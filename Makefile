@@ -1,0 +1,48 @@
+# Convenience targets for the rim reproduction. Everything is plain `go`;
+# the Makefile just names the common invocations.
+
+GO ?= go
+
+.PHONY: all build vet test bench repro figures tables cover fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerate every table/figure as benchmarks (the numbers EXPERIMENTS.md
+# records).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Print the full experiment catalogue.
+repro:
+	$(GO) run ./cmd/paperrepro
+
+# Render the paper's figures as SVG into figs/.
+figures:
+	$(GO) run ./cmd/paperrepro -exp f7 -figdir figs >/dev/null && ls figs
+
+# Save every experiment table as CSV into tables/.
+tables:
+	$(GO) run ./cmd/paperrepro -csv -outdir tables >/dev/null && ls tables
+
+cover:
+	$(GO) test -cover ./...
+
+# Short fuzz session over every fuzz target.
+fuzz:
+	$(GO) test -run=xxx -fuzz=FuzzInterferenceGridVsNaive -fuzztime=30s ./internal/core/
+	$(GO) test -run=xxx -fuzz=FuzzIncrementalConsistency -fuzztime=30s ./internal/core/
+	$(GO) test -run=xxx -fuzz=FuzzRobustnessBound -fuzztime=30s ./internal/core/
+	$(GO) test -run=xxx -fuzz=FuzzReadInstance -fuzztime=30s ./internal/encode/
+	$(GO) test -run=xxx -fuzz=FuzzReadTopology -fuzztime=30s ./internal/encode/
+
+clean:
+	rm -rf figs tables test_output.txt bench_output.txt

@@ -1,0 +1,111 @@
+// Command distlab runs the distributed topology-control protocols on the
+// synchronous message-passing runtime and tabulates their costs (rounds,
+// messages) and outputs (interference, edges), cross-checked against the
+// centralized constructions.
+//
+//	distlab -family uniform -n 200
+//	distlab -family highway -n 300 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/highway"
+	"repro/internal/tablefmt"
+	"repro/internal/topology"
+	"repro/internal/udg"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("distlab", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	family := fs.String("family", "uniform", "uniform|clustered|highway|gadget")
+	n := fs.Int("n", 200, "node count")
+	seed := fs.Int64("seed", 1, "instance seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var pts []geom.Point
+	switch *family {
+	case "uniform":
+		pts = gen.UniformSquare(rng, *n, 4)
+	case "clustered":
+		pts = gen.Clustered(rng, *n, 1+*n/40, 4, 0.25)
+	case "highway":
+		pts = gen.HighwayUniform(rng, *n, float64(*n)/10)
+	case "gadget":
+		k := *n / 3
+		if k < 2 {
+			k = 2
+		}
+		pts = gen.DoubleExpChain(k)
+	default:
+		fmt.Fprintf(stderr, "distlab: unknown family %q\n", *family)
+		return 2
+	}
+
+	type proto struct {
+		name        string
+		factory     func() dist.Node
+		centralized func([]geom.Point) *graph.Graph
+	}
+	protos := []proto{
+		{"XTC", dist.NewXTCNode, topology.XTC},
+		{"NNF", dist.NewNNFNode, topology.NNF},
+		{"LMST", dist.NewLMSTNode, topology.LMST},
+		{"GG", dist.NewGGNode, topology.GG},
+		{"RNG", dist.NewRNGNode, topology.RNG},
+	}
+	if highway.Validate(pts) == nil && len(pts) > 0 {
+		delta := udg.MaxDegree(pts, udg.Radius)
+		sp := int(math.Ceil(math.Sqrt(float64(delta))))
+		if sp < 1 {
+			sp = 1
+		}
+		anchor := pts[0].X
+		protos = append(protos, proto{
+			"AGen",
+			dist.NewAGenNode(sp, anchor),
+			func(p []geom.Point) *graph.Graph { return highway.AGenSpacing(p, sp) },
+		})
+	}
+
+	t := tablefmt.New(
+		fmt.Sprintf("Distributed protocols on %s (%s)", *family, gen.Describe(pts)),
+		"protocol", "rounds", "messages", "edges", "recv_I", "matches_centralized")
+	for _, p := range protos {
+		rt := dist.NewRuntime(pts, p.factory)
+		got := rt.Run(16)
+		want := p.centralized(pts)
+		match := got.M() == want.M()
+		if match {
+			for _, e := range want.Edges() {
+				if !got.HasEdge(e.U, e.V) {
+					match = false
+					break
+				}
+			}
+		}
+		t.AddRowf(p.name, rt.Rounds, rt.Messages, got.M(),
+			core.Interference(pts, got).Max(), match)
+	}
+	t.Render(stdout)
+	return 0
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDistlabHighwayIncludesAGen(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-family", "highway", "-n", "120"}, &out, &errOut); code != 0 {
+		t.Fatalf("code %d", code)
+	}
+	for _, want := range []string{"XTC", "NNF", "LMST", "AGen", "true"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "false") {
+		t.Errorf("a protocol diverged from its centralized version:\n%s", out.String())
+	}
+}
+
+func TestDistlab2DOmitsAGen(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-family", "uniform", "-n", "80"}, &out, &errOut); code != 0 {
+		t.Fatalf("code %d", code)
+	}
+	if strings.Contains(out.String(), "AGen") {
+		t.Error("AGen is 1-D only and must not run on 2-D instances")
+	}
+}
+
+func TestDistlabUnknownFamily(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-family", "void"}, &out, &errOut); code != 2 {
+		t.Fatalf("code %d", code)
+	}
+}

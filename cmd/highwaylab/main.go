@@ -1,0 +1,164 @@
+// Command highwaylab explores the highway model (Section 5): it sweeps
+// chain sizes or instance families and prints the interference of
+// Linear, A_exp, A_gen, and A_apx against the theoretical bounds, plus
+// the annealing upper bound on the optimum for moderate sizes.
+//
+//	highwaylab -mode chain                 # exponential-chain sweep (F8)
+//	highwaylab -mode random -n 2048        # random-instance comparison
+//	highwaylab -mode gamma -n 512          # critical-set analysis (Def 5.2)
+//	highwaylab -mode ablation -n 2000      # A_gen hub-spacing sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/highway"
+	"repro/internal/opt"
+	"repro/internal/stats"
+	"repro/internal/tablefmt"
+	"repro/internal/udg"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("highwaylab", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mode := fs.String("mode", "chain", "chain|random|gamma|ablation")
+	n := fs.Int("n", 1024, "node count for random/gamma modes")
+	length := fs.Float64("len", 50, "highway length for random/gamma modes")
+	seed := fs.Int64("seed", 1, "instance seed")
+	anneal := fs.Int("anneal", 0, "annealing iterations for an OPT upper bound (0 = skip)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch *mode {
+	case "chain":
+		chainSweep(stdout, *anneal)
+	case "random":
+		randomCompare(stdout, *n, *length, *seed, *anneal)
+	case "gamma":
+		gammaReport(stdout, *n, *length, *seed)
+	case "ablation":
+		ablation(stdout, *n, *length, *seed)
+	default:
+		fmt.Fprintf(stderr, "highwaylab: unknown mode %q\n", *mode)
+		return 2
+	}
+	return 0
+}
+
+func chainFor(n int) ([]geom.Point, float64) {
+	if n <= gen.MaxExpChainN {
+		return gen.ExpChain(n, 1), udg.Radius
+	}
+	return gen.ExpChainUnit(n), math.Inf(1)
+}
+
+func chainSweep(stdout io.Writer, annealIters int) {
+	t := tablefmt.New(
+		"Exponential node chain sweep (Theorem 5.1 / Figure 8)",
+		"n", "I_lin", "I_aexp", "thm51_bound", "sqrt_n", "anneal_ub")
+	var xs, ys []float64
+	for _, n := range []int{4, 8, 16, 32, 64, 128, 256, 500} {
+		pts, r := chainFor(n)
+		lin := core.Interference(pts, highway.LinearRange(pts, r)).Max()
+		aexp := core.Interference(pts, highway.AExp(pts)).Max()
+		annCell := "-"
+		if annealIters > 0 && n <= 64 {
+			rng := rand.New(rand.NewSource(1))
+			res := opt.Anneal(pts, rng, annealIters)
+			annCell = fmt.Sprintf("%d", res.Interference)
+		}
+		t.AddRowf(n, lin, aexp, highway.AExpBound(n), math.Sqrt(float64(n)), annCell)
+		xs = append(xs, float64(n))
+		ys = append(ys, float64(aexp))
+	}
+	t.Render(stdout)
+	c, k := stats.PowerFit(xs, ys)
+	fmt.Fprintf(stdout, "scaling law: I_aexp ≈ %.2f · n^%.3f (theory Θ(√n))\n", c, k)
+}
+
+func randomCompare(stdout io.Writer, n int, length float64, seed int64, annealIters int) {
+	rng := rand.New(rand.NewSource(seed))
+	families := []struct {
+		name string
+		pts  []geom.Point
+	}{
+		{"uniform", gen.HighwayUniform(rng, n, length)},
+		{"bursty", gen.HighwayBursty(rng, n, 1+n/64, length, 0.3)},
+		{"expfrag", gen.HighwayExpFragments(rng, 1+n/50, 8, length)},
+	}
+	t := tablefmt.New(
+		fmt.Sprintf("Random highway instances (n=%d, len=%.0f, seed=%d)", n, length, seed),
+		"family", "delta", "gamma", "I_lin", "I_agen", "I_apx", "branch", "sqrt_delta", "lb_sqrt_gamma2", "anneal_ub")
+	for _, f := range families {
+		delta := udg.MaxDegree(f.pts, udg.Radius)
+		gamma, _ := highway.Gamma(f.pts)
+		lin := core.Interference(f.pts, highway.Linear(f.pts)).Max()
+		agen := core.Interference(f.pts, highway.AGen(f.pts)).Max()
+		gApx, branch := highway.AApxExplain(f.pts)
+		apx := core.Interference(f.pts, gApx).Max()
+		annCell := "-"
+		if annealIters > 0 {
+			res := opt.Anneal(f.pts, rng, annealIters)
+			annCell = fmt.Sprintf("%d", res.Interference)
+		}
+		t.AddRowf(f.name, delta, gamma, lin, agen, apx, branch,
+			math.Sqrt(float64(delta)), highway.GammaLowerBound(gamma), annCell)
+	}
+	t.Render(stdout)
+}
+
+// ablation sweeps A_gen's hub spacing around the paper's ⌈√Δ⌉ choice:
+// spacing 1 degenerates to the linear chain, spacing Δ concentrates all
+// regular nodes on one hub per segment.
+func ablation(stdout io.Writer, n int, length float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	pts := gen.HighwayUniform(rng, n, length)
+	delta := udg.MaxDegree(pts, udg.Radius)
+	sqrtD := int(math.Ceil(math.Sqrt(float64(delta))))
+	t := tablefmt.New(
+		fmt.Sprintf("A_gen hub-spacing ablation (n=%d, Δ=%d, paper's choice ⌈√Δ⌉=%d)", n, delta, sqrtD),
+		"spacing", "I_agen", "I/sqrt_delta")
+	for _, sp := range []int{1, sqrtD / 2, sqrtD, 2 * sqrtD, delta} {
+		if sp < 1 {
+			sp = 1
+		}
+		g := highway.AGenSpacing(pts, sp)
+		got := core.Interference(pts, g).Max()
+		t.AddRowf(sp, got, float64(got)/math.Sqrt(float64(delta)))
+	}
+	t.Render(stdout)
+}
+
+func gammaReport(stdout io.Writer, n int, length float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	pts := gen.HighwayUniform(rng, n, length)
+	gamma, at := highway.Gamma(pts)
+	fmt.Fprintf(stdout, "instance: %s\n", gen.Describe(pts))
+	fmt.Fprintf(stdout, "γ = %d attained at node %d (x=%.3f)\n", gamma, at, pts[at].X)
+	fmt.Fprintf(stdout, "Lemma 5.5 lower bound on OPT: %d\n", highway.GammaLowerBound(gamma))
+	cs := highway.CriticalSet(pts, at)
+	fmt.Fprintf(stdout, "critical set C_v (%d nodes): %v\n", len(cs), cs)
+	// Distribution of |C_v| across nodes.
+	sizes := make([]float64, len(pts))
+	lin := highway.Linear(pts)
+	iv := core.Interference(pts, lin)
+	for v := range pts {
+		sizes[v] = float64(iv[v])
+	}
+	fmt.Fprintf(stdout, "|C_v| distribution: %s\n", stats.Summarize(sizes))
+}

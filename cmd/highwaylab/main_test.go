@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := run(args, &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+func TestChainMode(t *testing.T) {
+	out, _, code := runCapture(t, "-mode", "chain")
+	if code != 0 || !strings.Contains(out, "scaling law") {
+		t.Fatalf("code %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "thm51_bound") {
+		t.Error("bound column missing")
+	}
+}
+
+func TestRandomMode(t *testing.T) {
+	out, _, code := runCapture(t, "-mode", "random", "-n", "128", "-len", "10")
+	if code != 0 || !strings.Contains(out, "bursty") {
+		t.Fatalf("code %d:\n%s", code, out)
+	}
+}
+
+func TestGammaMode(t *testing.T) {
+	out, _, code := runCapture(t, "-mode", "gamma", "-n", "64", "-len", "6")
+	if code != 0 || !strings.Contains(out, "Lemma 5.5 lower bound") {
+		t.Fatalf("code %d:\n%s", code, out)
+	}
+}
+
+func TestAblationMode(t *testing.T) {
+	out, _, code := runCapture(t, "-mode", "ablation", "-n", "300", "-len", "10")
+	if code != 0 || !strings.Contains(out, "hub-spacing ablation") {
+		t.Fatalf("code %d:\n%s", code, out)
+	}
+}
+
+func TestUnknownMode(t *testing.T) {
+	_, errOut, code := runCapture(t, "-mode", "warp")
+	if code != 2 || !strings.Contains(errOut, "unknown mode") {
+		t.Fatalf("code %d, stderr %q", code, errOut)
+	}
+}

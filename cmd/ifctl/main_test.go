@@ -1,0 +1,120 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func runCapture(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := run(args, &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+func TestUsageOnNoArgs(t *testing.T) {
+	_, errOut, code := runCapture(t)
+	if code != 2 || !strings.Contains(errOut, "usage:") {
+		t.Fatalf("code %d, stderr %q", code, errOut)
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	_, errOut, code := runCapture(t, "frobnicate")
+	if code != 2 || !strings.Contains(errOut, "usage:") {
+		t.Fatalf("code %d, stderr %q", code, errOut)
+	}
+}
+
+func TestUnknownFamily(t *testing.T) {
+	_, errOut, code := runCapture(t, "compare", "-family", "marsbase")
+	if code != 2 || !strings.Contains(errOut, "unknown family") {
+		t.Fatalf("code %d, stderr %q", code, errOut)
+	}
+}
+
+func TestCompareListsWholeZoo(t *testing.T) {
+	out, _, code := runCapture(t, "compare", "-family", "uniform", "-n", "60")
+	if code != 0 {
+		t.Fatalf("code %d", code)
+	}
+	for _, a := range topology.All() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("compare output missing %s", a.Name)
+		}
+	}
+}
+
+func TestCompareCSV(t *testing.T) {
+	out, _, code := runCapture(t, "compare", "-family", "expchain", "-n", "16", "-csv")
+	if code != 0 || !strings.HasPrefix(out, "algorithm,") {
+		t.Fatalf("code %d, out %q", code, out[:40])
+	}
+}
+
+func TestMeasureUnknownAlgorithm(t *testing.T) {
+	_, errOut, code := runCapture(t, "measure", "-alg", "Telepathy")
+	if code != 2 || !strings.Contains(errOut, "unknown algorithm") {
+		t.Fatalf("code %d, stderr %q", code, errOut)
+	}
+}
+
+func TestMeasureReportsWitnesses(t *testing.T) {
+	out, _, code := runCapture(t, "measure", "-family", "expchain", "-n", "12", "-alg", "MST")
+	if code != 0 {
+		t.Fatal("measure failed")
+	}
+	if !strings.Contains(out, "I(G') =") || !strings.Contains(out, "witnesses") {
+		t.Errorf("measure output incomplete:\n%s", out)
+	}
+}
+
+func TestOptimalSmallChain(t *testing.T) {
+	out, _, code := runCapture(t, "optimal", "-family", "expchain", "-n", "8")
+	if code != 0 {
+		t.Fatal("optimal failed")
+	}
+	if !strings.Contains(out, "optimal interference: 4 (proved: true") {
+		t.Errorf("optimal output:\n%s", out)
+	}
+}
+
+func TestOptimalRefusesLargeInstance(t *testing.T) {
+	_, errOut, code := runCapture(t, "optimal", "-family", "uniform", "-n", "100")
+	if code != 2 || !strings.Contains(errOut, "exact optimum needs") {
+		t.Fatalf("code %d, stderr %q", code, errOut)
+	}
+}
+
+func TestProfileIncludesFaultExposure(t *testing.T) {
+	out, _, code := runCapture(t, "profile", "-family", "uniform", "-n", "50", "-alg", "MST")
+	if code != 0 || !strings.Contains(out, "bridges / cut vertices") {
+		t.Fatalf("profile output:\n%s", out)
+	}
+}
+
+func TestStatsHighwayShowsGamma(t *testing.T) {
+	out, _, code := runCapture(t, "stats", "-family", "expchain", "-n", "20")
+	if code != 0 || !strings.Contains(out, "γ (highway") {
+		t.Fatalf("stats output:\n%s", out)
+	}
+}
+
+func TestDumpRoundTripHeader(t *testing.T) {
+	out, _, code := runCapture(t, "dump", "-family", "expchain", "-n", "5")
+	if code != 0 || !strings.HasPrefix(out, "x,y\n") {
+		t.Fatalf("dump output:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 6 { // header + 5 points
+		t.Errorf("dump lines = %d", got)
+	}
+}
+
+func TestSVGOutput(t *testing.T) {
+	out, _, code := runCapture(t, "svg", "-family", "expchain", "-n", "10", "-alg", "MST")
+	if code != 0 || !strings.HasPrefix(out, "<svg") {
+		t.Fatalf("svg output:\n%.60s", out)
+	}
+}

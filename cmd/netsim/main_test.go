@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := run(args, &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+func TestNetsimSmoke(t *testing.T) {
+	out, _, code := runCapture(t, "-family", "expchain", "-n", "12", "-topo", "linear,aexp", "-slots", "4000")
+	if code != 0 {
+		t.Fatalf("code %d", code)
+	}
+	for _, want := range []string{"linear", "aexp", "collision_rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNetsimSINRAndCSMA(t *testing.T) {
+	out, _, code := runCapture(t, "-family", "expchain", "-n", "10", "-topo", "aexp", "-slots", "2000", "-sinr", "-csma")
+	if code != 0 || !strings.Contains(out, "aexp") {
+		t.Fatalf("code %d:\n%s", code, out)
+	}
+}
+
+func TestNetsimUnknownTopology(t *testing.T) {
+	_, errOut, code := runCapture(t, "-topo", "teleport")
+	if code != 2 || !strings.Contains(errOut, "unknown topology") {
+		t.Fatalf("code %d, stderr %q", code, errOut)
+	}
+}
+
+func TestNetsimUnknownFamily(t *testing.T) {
+	_, errOut, code := runCapture(t, "-family", "moonbase")
+	if code != 2 || !strings.Contains(errOut, "unknown family") {
+		t.Fatalf("code %d, stderr %q", code, errOut)
+	}
+}
+
+func TestNetsim1DTopologyOn2DInstanceRejected(t *testing.T) {
+	_, errOut, code := runCapture(t, "-family", "uniform2d", "-n", "20", "-topo", "linear")
+	if code != 2 || !strings.Contains(errOut, "unknown topology") {
+		t.Fatalf("code %d, stderr %q", code, errOut)
+	}
+}

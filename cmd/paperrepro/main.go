@@ -1,0 +1,129 @@
+// Command paperrepro regenerates every table and figure of the paper's
+// evaluation as ASCII tables (or CSV/LaTeX), one experiment per
+// artifact. Run with no flags to print the full catalogue; select one
+// experiment with -exp; list ids with -list.
+//
+//	paperrepro                     # all experiments
+//	paperrepro -exp t51            # only Theorem 5.1 / Figure 8
+//	paperrepro -exp s4 -csv        # Section 4 comparison as CSV
+//	paperrepro -latex -outdir out  # every table, also saved as .tex
+//	paperrepro -figdir figs        # render the paper's figures as SVG
+//
+// The experiment catalogue lives in internal/exp (Registry); ids: f1,
+// t41, f7, t51, t52, t54, t56, s4, x1–x9, mc.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/tablefmt"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body: it parses args, executes the selected
+// experiments, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("paperrepro", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	expID := fs.String("exp", "all", "experiment id (see -list) or 'all'")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	latex := fs.Bool("latex", false, "emit LaTeX tabulars instead of aligned tables")
+	seed := fs.Int64("seed", 1, "seed for the randomized instance families")
+	simN := fs.Int("simn", 24, "chain size for the packet-simulation experiments")
+	mcTrials := fs.Int("mctrials", 16, "instances per family for the Monte-Carlo experiment")
+	figdir := fs.String("figdir", "", "also render the paper's figures as SVG into this directory")
+	outdir := fs.String("outdir", "", "also write each experiment's table into this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, e := range exp.Registry() {
+			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+
+	if *figdir != "" {
+		files, err := exp.RenderFigures(*figdir, *seed)
+		if err != nil {
+			fmt.Fprintln(stderr, "paperrepro: figures:", err)
+			return 1
+		}
+		for _, f := range files {
+			fmt.Fprintln(stdout, "wrote", f)
+		}
+		fmt.Fprintln(stdout)
+	}
+
+	params := exp.DefaultParams()
+	params.Seed = *seed
+	params.SimN = *simN
+	params.MCTrials = *mcTrials
+
+	want := strings.ToLower(*expID)
+	found := false
+	for _, e := range exp.Registry() {
+		if want != "all" && want != e.ID {
+			continue
+		}
+		found = true
+		tb, note := e.Run(params)
+		var err error
+		switch {
+		case *csv:
+			err = tb.RenderCSV(stdout)
+		case *latex:
+			err = tb.RenderLaTeX(stdout)
+		default:
+			err = tb.Render(stdout)
+			if note != "" {
+				fmt.Fprintln(stdout, note)
+			}
+			fmt.Fprintln(stdout)
+		}
+		if err == nil && *outdir != "" {
+			err = writeTable(*outdir, e.ID, tb, *csv, *latex)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "paperrepro:", err)
+			return 1
+		}
+	}
+	if !found {
+		fmt.Fprintf(stderr, "paperrepro: unknown experiment %q (use -list)\n", *expID)
+		return 2
+	}
+	return 0
+}
+
+// writeTable persists a table under dir as <id>.csv/.tex/.txt according
+// to the selected format.
+func writeTable(dir, id string, tb *tablefmt.Table, csv, latex bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	ext, render := ".txt", tb.Render
+	switch {
+	case csv:
+		ext, render = ".csv", tb.RenderCSV
+	case latex:
+		ext, render = ".tex", tb.RenderLaTeX
+	}
+	f, err := os.Create(filepath.Join(dir, id+ext))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return render(f)
+}

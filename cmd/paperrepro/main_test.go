@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, e := range exp.Registry() {
+		if !strings.Contains(out.String(), e.ID) {
+			t.Errorf("listing missing %s", e.ID)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-exp", "f7"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "I_lin") {
+		t.Errorf("f7 table missing:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-exp", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Error("missing diagnostic")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestRunOutdirFormats(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut strings.Builder
+	if code := run([]string{"-exp", "t52", "-latex", "-outdir", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "t52.tex"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `\begin{tabular}`) {
+		t.Error("not LaTeX output")
+	}
+	// CSV variant.
+	out.Reset()
+	if code := run([]string{"-exp", "t52", "-csv", "-outdir", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("csv exit %d", code)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "t52.csv")); err != nil {
+		t.Error("csv file missing")
+	}
+	if !strings.Contains(out.String(), ",") {
+		t.Error("stdout should carry CSV too")
+	}
+}
+
+func TestRegistryIDsUniqueAndRunnable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range exp.Registry() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" {
+			t.Errorf("%s: empty title", e.ID)
+		}
+	}
+}

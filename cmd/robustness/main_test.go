@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1Mode(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 0 {
+		t.Fatalf("code %d", code)
+	}
+	if !strings.Contains(out.String(), "max_node_delta") {
+		t.Errorf("figure1 table missing:\n%s", out.String())
+	}
+}
+
+func TestSequenceMode(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-mode", "sequence", "-steps", "5", "-n", "20"}, &out, &errOut); code != 0 {
+		t.Fatalf("code %d", code)
+	}
+	if !strings.Contains(out.String(), "recv_delta_max") {
+		t.Errorf("sequence table missing:\n%s", out.String())
+	}
+}
+
+func TestUnknownModeRejected(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-mode", "x"}, &out, &errOut); code != 2 {
+		t.Fatalf("code %d", code)
+	}
+}

@@ -1,0 +1,82 @@
+package rim_test
+
+// Runnable documentation: go test verifies every Output block, so these
+// examples double as golden tests for the headline numbers.
+
+import (
+	"fmt"
+
+	rim "repro"
+)
+
+// The paper's headline highway result: the naive linear connection of an
+// exponential node chain suffers interference n−2, the scan-line
+// algorithm A_exp stays at O(√n), matching the closed-form bound of
+// Theorem 5.1.
+func Example() {
+	n := 32
+	pts := rim.ExpChain(n, 1)
+	linear := rim.Interference(pts, rim.Linear(pts)).Max()
+	aexp := rim.Interference(pts, rim.AExp(pts)).Max()
+	fmt.Println("linear:", linear)
+	fmt.Println("A_exp: ", aexp)
+	fmt.Println("bound: ", rim.AExpBound(n))
+	// Output:
+	// linear: 30
+	// A_exp:  8
+	// bound:  8
+}
+
+// Definition 3.1 at work: a node is disturbed by every node whose
+// transmission disk covers it, not only by its topology neighbors.
+func ExampleInterference() {
+	pts := []rim.Point{
+		rim.Pt(0, 0),   // u
+		rim.Pt(0.3, 0), // u's neighbor
+		rim.Pt(1.0, 0), // v: its farthest neighbor lies beyond u
+		rim.Pt(2.2, 0),
+		rim.Pt(2.5, 0),
+	}
+	g := rim.NewGraph(5)
+	g.AddEdge(0, 1, 0.3)
+	g.AddEdge(1, 2, 0.7)
+	g.AddEdge(2, 3, 1.2)
+	g.AddEdge(3, 4, 0.3)
+	iv := rim.Interference(pts, g)
+	fmt.Println("I(u) =", iv[0])
+	// Output:
+	// I(u) = 2
+}
+
+// The exact optimizer proves minimum interference for small instances.
+func ExampleOptimalExact() {
+	pts := rim.ExpChain(10, 1)
+	res := rim.OptimalExact(pts)
+	fmt.Println("optimal:", res.Interference, "proved:", res.Exact)
+	// Output:
+	// optimal: 4 proved: true
+}
+
+// γ (Definition 5.2) measures how hostile a highway instance is: the
+// exponential chain maximizes it.
+func ExampleGamma() {
+	pts := rim.ExpChain(20, 1)
+	gamma, at := rim.Gamma(pts)
+	fmt.Println("gamma:", gamma, "at node:", at)
+	// Output:
+	// gamma: 18 at node: 0
+}
+
+// A TDMA schedule derived from the interference disks is collision-free
+// by construction; its frame length is the scheduled-access price of
+// I(G').
+func ExampleTDMASchedule() {
+	pts := rim.ExpChain(12, 1)
+	low := rim.TDMASchedule(rim.NewNetwork(pts, rim.AExp(pts)))
+	high := rim.TDMASchedule(rim.NewNetwork(pts, rim.Linear(pts)))
+	fmt.Println("A_exp frame: ", low.Frame)
+	fmt.Println("linear frame:", high.Frame)
+	// Output:
+	// A_exp frame:  15
+	// linear frame: 21
+}

@@ -1,0 +1,47 @@
+// Dynamic: online topology maintenance under churn — the robustness
+// property as an engineering win.
+//
+// Nodes join and leave continuously. Because one arrival raises any
+// node's interference by at most 1 (the paper's robustness theorem),
+// cheap local rules — link the newcomer to its nearest neighbor, patch
+// departures with the shortest crossing edge — keep the topology near
+// optimal for hundreds of events, and a full rebuild fires only when the
+// measured drift crosses a threshold.
+//
+//	go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	rim "repro"
+	"repro/internal/tablefmt"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(2026))
+	m := rim.NewMaintainer(rim.UniformSquare(rng, 60, 2), 2)
+
+	t := tablefmt.New(
+		"500 churn events over a 2×2 field (maintain, rebuild only on 2x drift)",
+		"after_event", "n", "maintained_I", "rebuilds_so_far")
+	for e := 1; e <= 500; e++ {
+		if rng.Float64() < 0.5 || len(m.Points()) < 20 {
+			m.Insert(rim.Pt(rng.Float64()*2, rng.Float64()*2))
+		} else {
+			m.Remove(rng.Intn(len(m.Points())))
+		}
+		if e%100 == 0 {
+			t.AddRowf(e, len(m.Points()), m.Interference(), m.Rebuilds())
+		}
+	}
+	t.Render(os.Stdout)
+
+	pts := m.Points()
+	fresh := rim.Interference(pts, rim.GreedyMinI(pts)).Max()
+	fmt.Printf("\nfinal maintained I = %d vs fresh greedy rebuild I = %d\n", m.Interference(), fresh)
+	fmt.Printf("%d full rebuilds absorbed %d events — the measure's robustness is what\n", m.Rebuilds(), m.Events())
+	fmt.Println("makes the cheap local rules sufficient almost always.")
+}

@@ -1,0 +1,101 @@
+// Mobility: nodes joining and leaving a live network — the robustness
+// property in action.
+//
+// The example replays an arrival/departure churn sequence over a random
+// deployment and tracks both interference measures after each event,
+// demonstrating the paper's Figure 1 point: the sender-centric measure of
+// [2] can jump by Θ(n) on a single arrival, while the receiver-centric
+// measure moves gently (and, with radii held fixed, by at most 1 per
+// node — the model's robustness theorem).
+//
+//	go run ./examples/mobility
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	rim "repro"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/tablefmt"
+	"repro/internal/topology"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// Start from the paper's own worst case: a homogeneous cluster. Churn
+	// then adds remote stragglers (the Figure 1 arrival) and random
+	// departures.
+	pts := gen.UniformSquare(rng, 48, 0.25) // tight cluster
+	t := tablefmt.New(
+		"Churn over a clustered deployment (topology rebuilt by MST after each event)",
+		"event", "n", "recv_I", "send_I", "worst_node_recv_delta")
+
+	record := func(event string, prev rim.Vector, cur []rim.Point) rim.Vector {
+		g := topology.MST(cur)
+		iv := rim.Interference(cur, g)
+		_, send := rim.SenderInterference(cur, g)
+		delta := "-"
+		if prev != nil {
+			maxD := 0
+			m := len(prev)
+			if len(iv) < m {
+				m = len(iv)
+			}
+			for v := 0; v < m; v++ {
+				if d := iv[v] - prev[v]; d > maxD {
+					maxD = d
+				}
+			}
+			delta = fmt.Sprintf("%d", maxD)
+		}
+		t.AddRow(event, fmt.Sprintf("%d", len(cur)), fmt.Sprintf("%d", iv.Max()),
+			fmt.Sprintf("%d", send), delta)
+		return iv
+	}
+
+	prev := record("initial cluster", nil, pts)
+
+	// Event 1: the Figure-1 arrival — a single node just inside range.
+	pts = append(pts, rim.Pt(1.15, 0.12))
+	prev = record("remote node joins", prev, pts)
+
+	// Event 2: it leaves again.
+	pts = pts[:len(pts)-1]
+	prev = record("remote node leaves", prev, pts)
+
+	// Events 3..8: random churn inside the cluster.
+	for i := 0; i < 3; i++ {
+		pts = append(pts, rim.Pt(rng.Float64()*0.25, rng.Float64()*0.25))
+		prev = record(fmt.Sprintf("local join #%d", i+1), prev, pts)
+		victim := rng.Intn(len(pts) - 1)
+		pts = append(pts[:victim], pts[victim+1:]...)
+		prev = record(fmt.Sprintf("local leave #%d", i+1), prev, pts)
+	}
+	t.Render(os.Stdout)
+
+	fmt.Println("\nThe sender-centric column spikes to ≈ n the moment the remote node joins")
+	fmt.Println("(one link must span the cluster) and collapses when it leaves; the")
+	fmt.Println("receiver-centric column barely moves. With the pre-arrival radii held")
+	fmt.Println("fixed the per-node increase is provably at most 1:")
+
+	// Show the fixed-radii bound explicitly for the remote arrival.
+	cluster := gen.UniformSquare(rand.New(rand.NewSource(11)), 48, 0.25)
+	withRemote := append(append([]rim.Point(nil), cluster...), rim.Pt(1.15, 0.12))
+	radii := rim.Radii(cluster, topology.MST(cluster))
+	deltas := core.FixedTopologyDelta(withRemote, radii, 1.2)
+	maxD := 0
+	for _, d := range deltas {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	fmt.Printf("  fixed-radii per-node increase after the arrival: max = %d (theorem: <= 1)\n", maxD)
+	if maxD > 1 {
+		fmt.Fprintln(os.Stderr, "robustness bound violated — this is a bug")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,69 @@
+// Sensornet: a data-gathering sensor network — the application domain
+// that motivated the receiver-centric measure's precursor [4].
+//
+// A field of sensors reports periodically to a sink. The example builds
+// several connectivity-preserving topologies over the same deployment,
+// compares their static interference, then runs identical convergecast
+// traffic through the packet simulator over each and shows how the
+// static measure predicts collisions, delivery, and energy.
+//
+//	go run ./examples/sensornet
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	rim "repro"
+	"repro/internal/sim"
+	"repro/internal/tablefmt"
+)
+
+func main() {
+	// A clustered deployment: dense patches connected by sparse bridges —
+	// the regime where implicit "sparseness implies low interference"
+	// reasoning fails.
+	rng := rand.New(rand.NewSource(7))
+	n := 120
+	var pts []rim.Point
+	for _, c := range []rim.Point{rim.Pt(0.5, 0.5), rim.Pt(2.2, 0.6), rim.Pt(1.3, 2.0)} {
+		for i := 0; i < n/3; i++ {
+			pts = append(pts, rim.Pt(c.X+rng.NormFloat64()*0.18, c.Y+rng.NormFloat64()*0.18))
+		}
+	}
+	sink := 0
+
+	type candidate struct {
+		name string
+		g    *rim.Graph
+	}
+	candidates := []candidate{
+		{"MST", rim.MST(pts)},
+		{"GG", rim.GG(pts)},
+		{"XTC", rim.XTC(pts)},
+		{"LMST", rim.LMST(pts)},
+		{"LIFE", rim.LIFE(pts)},
+	}
+
+	t := tablefmt.New(
+		fmt.Sprintf("Sensor field: %d nodes, 3 clusters, sink=%d, periodic convergecast", len(pts), sink),
+		"topology", "I(G)", "mean_I", "delivery", "collision_rate", "retx", "latency", "energy")
+	for _, c := range candidates {
+		iv := rim.Interference(pts, c.g)
+		nw := rim.NewNetwork(pts, c.g)
+		cfg := rim.DefaultSimConfig()
+		cfg.Slots = 60000
+		cfg.Seed = 99
+		s := rim.NewSimulator(nw, cfg)
+		sim.Convergecast{N: len(pts), Sink: sink, Period: 2500, Slots: 30000, Stagger: true}.Install(s)
+		m := s.Run()
+		t.AddRowf(c.name, iv.Max(), iv.Mean(), m.DeliveryRatio(), m.CollisionRate(),
+			m.Retransmits, m.MeanLatency(), m.Energy)
+	}
+	t.Render(os.Stdout)
+
+	fmt.Println("\nThe receiver-centric I(G) tracks the measured collision rates: the")
+	fmt.Println("low-interference trees (MST/LMST/LIFE) collide least, the dense Gabriel")
+	fmt.Println("graph most — interference counted at receivers is what the MAC pays for.")
+}

@@ -1,0 +1,63 @@
+// TDMA: interference sets the price of collision-free operation.
+//
+// The example builds several topologies over the same exponential-chain
+// instance, derives a conflict-free TDMA link schedule from each
+// topology's interference disks, and runs identical traffic under random
+// access (CSMA) and under the schedule with sleep between owned slots.
+// Random access pays for interference with collisions and
+// retransmissions; scheduled access pays with frame length and latency —
+// and collects the energy dividend of sleeping.
+//
+//	go run ./examples/tdma
+package main
+
+import (
+	"fmt"
+	"os"
+
+	rim "repro"
+	"repro/internal/sim"
+	"repro/internal/tablefmt"
+)
+
+func main() {
+	n := 20
+	pts := rim.ExpChain(n, 1)
+	topos := []struct {
+		name string
+		g    *rim.Graph
+	}{
+		{"linear (I=n-2)", rim.Linear(pts)},
+		{"A_exp (I=O(√n))", rim.AExp(pts)},
+		{"A_gen (I=O(√Δ))", rim.AGen(pts)},
+	}
+
+	t := tablefmt.New(
+		"Random access vs TDMA on the same 20-node exponential chain (periodic convergecast)",
+		"topology", "I(G)", "mode", "frame", "collisions", "retx", "delivery", "latency", "energy")
+	for _, tc := range topos {
+		nw := rim.NewNetwork(pts, tc.g)
+		iG := rim.Interference(pts, tc.g).Max()
+
+		cfg := rim.DefaultSimConfig()
+		cfg.Slots = 120000
+		csma := rim.NewSimulator(nw, cfg)
+		sim.Convergecast{N: n, Sink: 0, Period: 1500, Slots: 60000, Stagger: true}.Install(csma)
+		mc := csma.Run()
+		t.AddRowf(tc.name, iG, "CSMA", "-", mc.Collisions, mc.Retransmits,
+			mc.DeliveryRatio(), mc.MeanLatency(), mc.TotalEnergy())
+
+		tdma, frame := rim.RunTDMA(nw, cfg)
+		sim.Convergecast{N: n, Sink: 0, Period: 1500, Slots: 60000, Stagger: true}.Install(tdma)
+		mt := tdma.Run()
+		t.AddRowf("", iG, "TDMA", frame, mt.Collisions, mt.Retransmits,
+			mt.DeliveryRatio(), mt.MeanLatency(), mt.TotalEnergy())
+	}
+	t.Render(os.Stdout)
+
+	fmt.Println("\nReading the table:")
+	fmt.Println("  - CSMA rows: collisions and retransmissions track I(G) (the paper's X2).")
+	fmt.Println("  - TDMA rows: zero collisions by construction; the frame length — and")
+	fmt.Println("    with it the latency — tracks I(G) instead, and sleeping outside owned")
+	fmt.Println("    slots cuts total energy by roughly the awake-fraction of the frame.")
+}

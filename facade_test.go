@@ -1,0 +1,182 @@
+package rim_test
+
+// Facade coverage for the extended API surface: every re-export must be
+// callable end-to-end through the public package.
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	rim "repro"
+)
+
+func TestFacadeZooConstructors(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pts := rim.UniformSquare(rng, 50, 2)
+	builders := map[string]func([]rim.Point) *rim.Graph{
+		"NNF":     rim.NNF,
+		"MST":     rim.MST,
+		"GG":      rim.GG,
+		"RNG":     rim.RNG,
+		"XTC":     rim.XTC,
+		"LMST":    rim.LMST,
+		"LIFE":    rim.LIFE,
+		"GreedyI": rim.GreedyMinI,
+	}
+	for name, b := range builders {
+		g := b(pts)
+		if g.N() != 50 {
+			t.Errorf("%s: wrong node count", name)
+		}
+	}
+	if g := rim.Yao(pts, 6); g.N() != 50 {
+		t.Error("Yao wrong")
+	}
+	if g := rim.LISE(pts, 2); g.N() != 50 {
+		t.Error("LISE wrong")
+	}
+	if g := rim.LLISE(pts, 2); g.N() != 50 {
+		t.Error("LLISE wrong")
+	}
+	if g := rim.AGen2D(pts); g.N() != 50 {
+		t.Error("AGen2D wrong")
+	}
+	if g, pick := rim.Best2D(pts); g.N() != 50 || pick == "" {
+		t.Error("Best2D wrong")
+	}
+}
+
+func TestFacadeProfile(t *testing.T) {
+	pts := rim.ExpChain(16, 1)
+	p := rim.ProfileOf(pts, rim.AExp(pts))
+	if p.N != 16 || p.RecvMax <= 0 || !p.PreservesConnectivity {
+		t.Errorf("profile = %+v", p)
+	}
+}
+
+func TestFacadeTDMA(t *testing.T) {
+	pts := rim.ExpChain(12, 1)
+	nw := rim.NewNetwork(pts, rim.AExp(pts))
+	sch := rim.TDMASchedule(nw)
+	if sch.Frame <= 0 {
+		t.Fatal("empty frame")
+	}
+	if _, _, ok := sch.Verify(nw); !ok {
+		t.Fatal("schedule conflicts")
+	}
+	cfg := rim.DefaultSimConfig()
+	cfg.Slots = int64(sch.Frame) * 200
+	s, frame := rim.RunTDMA(nw, cfg)
+	if frame != sch.Frame {
+		t.Fatalf("frame mismatch %d vs %d", frame, sch.Frame)
+	}
+	s.Schedule(0, func() { s.Inject(11, 0) })
+	m := s.Run()
+	if m.Delivered != 1 || m.Collisions != 0 {
+		t.Fatalf("TDMA delivery failed: %+v", *m)
+	}
+}
+
+func TestFacadeEncodeRoundTrip(t *testing.T) {
+	pts := rim.ExpChain(10, 1)
+	g := rim.Linear(pts)
+	var bi, bt bytes.Buffer
+	if err := rim.WriteInstanceCSV(&bi, pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := rim.WriteTopologyCSV(&bt, g); err != nil {
+		t.Fatal(err)
+	}
+	pts2, err := rim.ReadInstanceCSV(&bi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := rim.ReadTopologyCSV(&bt, len(pts2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts2) != 10 || g2.M() != g.M() {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestFacadeSVG(t *testing.T) {
+	pts := rim.ExpChain(8, 1)
+	var sb strings.Builder
+	if err := rim.WriteSVG(&sb, pts, rim.AExp(pts), true, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<svg") {
+		t.Fatal("no SVG emitted")
+	}
+}
+
+func TestFacadeDistributedProtocols(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	pts := rim.UniformSquare(rng, 40, 2)
+	rt := rim.NewDistRuntime(pts, rim.DistXTC)
+	got := rt.Run(10)
+	want := rim.XTC(pts)
+	if got.M() != want.M() {
+		t.Fatalf("distributed XTC %d edges, centralized %d", got.M(), want.M())
+	}
+	if rt2 := rim.NewDistRuntime(pts, rim.DistNNF); rt2.Run(10).M() != rim.NNF(pts).M() {
+		t.Fatal("distributed NNF mismatch")
+	}
+	if rt3 := rim.NewDistRuntime(pts, rim.DistLMST); rt3.Run(10).M() != rim.LMST(pts).M() {
+		t.Fatal("distributed LMST mismatch")
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	if len(rim.ExpChainUnit(20)) != 20 {
+		t.Error("ExpChainUnit wrong")
+	}
+	if len(rim.DoubleExpChain(5)) != 15 {
+		t.Error("DoubleExpChain wrong")
+	}
+	if len(rim.Figure1Gadget(rng, 20, 0.2)) != 20 {
+		t.Error("Figure1Gadget wrong")
+	}
+	if len(rim.HighwayUniform(rng, 30, 5)) != 30 {
+		t.Error("HighwayUniform wrong")
+	}
+	if rim.AExpBound(16) != 5 || rim.ExpChainLowerBound(16) != 4 {
+		t.Error("bounds wrong")
+	}
+}
+
+func TestFacadeRemainingSurface(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pts := rim.UniformSquare(rng, 40, 2)
+	if r := rim.Radii(pts, rim.MST(pts)); len(r) != 40 {
+		t.Error("Radii wrong")
+	}
+	if g := rim.CBTC(pts, 2*3.14159/3); g.N() != 40 {
+		t.Error("CBTC wrong")
+	}
+	if g := rim.KNeigh(pts, 9); g.N() != 40 {
+		t.Error("KNeigh wrong")
+	}
+	if g := rim.RCLISE(pts, 2); g.N() != 40 {
+		t.Error("RCLISE wrong")
+	}
+	m := rim.NewMaintainer(pts, 0) // 0 = default factor
+	m.Insert(rim.Pt(1, 1))
+	if m.Events() != 1 {
+		t.Error("maintainer wrong")
+	}
+	// Gathering trees through the facade.
+	chain := rim.ExpChain(16, 1)
+	for name, build := range map[string]func([]rim.Point, int) rim.GatherTree{
+		"spt": rim.GatherSPT, "mst": rim.GatherMST, "greedy": rim.GatherGreedy,
+	} {
+		tr := build(chain, 0)
+		if err := tr.Validate(chain); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

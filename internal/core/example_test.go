@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// Definition 3.1 on the paper's Figure 2 layout: node u is disturbed by
+// its direct neighbor AND by the distant node v whose own farthest
+// neighbor lies beyond u.
+func ExampleInterference() {
+	pts := []geom.Point{
+		geom.Pt(0, 0),   // u
+		geom.Pt(0.3, 0), // a
+		geom.Pt(1.0, 0), // v
+		geom.Pt(2.2, 0), // b
+		geom.Pt(2.5, 0), // e
+	}
+	g := graph.New(5)
+	g.AddEdge(0, 1, 0.3)
+	g.AddEdge(1, 2, 0.7)
+	g.AddEdge(2, 3, 1.2)
+	g.AddEdge(3, 4, 0.3)
+	iv := core.Interference(pts, g)
+	fmt.Println("I(u) =", iv[0], " I(G') =", iv.Max())
+	fmt.Println("witnesses of u:", core.CoveredBy(pts, g, 0))
+	// Output:
+	// I(u) = 2  I(G') = 2
+	// witnesses of u: [1 2]
+}
+
+// The robustness property: with existing radii fixed, one arrival raises
+// every node's interference by at most 1 — here, by exactly 1 for the
+// nodes the newcomer's disk covers and 0 elsewhere.
+func ExampleFixedTopologyDelta() {
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(0.4, 0), geom.Pt(0.8, 0), // existing
+		geom.Pt(1.0, 0), // the newcomer
+	}
+	existingRadii := []float64{0.4, 0.4, 0.4}
+	deltas := core.FixedTopologyDelta(pts, existingRadii, 0.3)
+	fmt.Println(deltas)
+	// Output:
+	// [0 0 1]
+}

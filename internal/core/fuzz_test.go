@@ -1,0 +1,114 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// decodeInstance deterministically maps fuzz bytes to a small instance:
+// pairs of uint16 become coordinates in [0, 8), one extra byte per node
+// becomes a radius in [0, 4).
+func decodeInstance(data []byte) ([]geom.Point, []float64) {
+	const stride = 5 // 2+2 coordinate bytes + 1 radius byte
+	n := len(data) / stride
+	if n > 64 {
+		n = 64
+	}
+	pts := make([]geom.Point, n)
+	radii := make([]float64, n)
+	for i := 0; i < n; i++ {
+		off := i * stride
+		x := float64(binary.LittleEndian.Uint16(data[off:])) / 65535 * 8
+		y := float64(binary.LittleEndian.Uint16(data[off+2:])) / 65535 * 8
+		pts[i] = geom.Pt(x, y)
+		radii[i] = float64(data[off+4]) / 255 * 4
+	}
+	return pts, radii
+}
+
+// FuzzInterferenceGridVsNaive cross-validates the grid-accelerated
+// evaluator against the O(n²) reference on arbitrary instances,
+// including pathological ones (coincident points, zero radii, points on
+// exact disk boundaries).
+func FuzzInterferenceGridVsNaive(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 255, 255, 255, 0, 0, 128})
+	f.Add(make([]byte, 64*5))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts, radii := decodeInstance(data)
+		if len(pts) == 0 {
+			return
+		}
+		fast := InterferenceRadii(pts, radii)
+		slow := InterferenceNaive(pts, radii)
+		for v := range fast {
+			if fast[v] != slow[v] {
+				t.Fatalf("node %d: grid %d, naive %d (pts=%v radii=%v)", v, fast[v], slow[v], pts, radii)
+			}
+		}
+		if fast.Max() > len(pts)-1 {
+			t.Fatalf("I exceeded n-1")
+		}
+	})
+}
+
+// FuzzIncrementalConsistency drives the incremental evaluator with a
+// fuzz-derived update sequence and checks it against full re-evaluation.
+func FuzzIncrementalConsistency(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts, initial := decodeInstance(data)
+		if len(pts) < 2 {
+			return
+		}
+		inc := NewIncremental(pts)
+		radii := make([]float64, len(pts))
+		// Apply the initial radii, then replay the remaining bytes as
+		// (node, radius) updates.
+		for u, r := range initial {
+			inc.SetRadius(u, r)
+			radii[u] = r
+		}
+		rest := data[len(pts)*5:]
+		for i := 0; i+1 < len(rest); i += 2 {
+			u := int(rest[i]) % len(pts)
+			r := float64(rest[i+1]) / 255 * 4
+			inc.SetRadius(u, r)
+			radii[u] = r
+		}
+		want := InterferenceRadii(pts, radii)
+		for v := range want {
+			if inc.I(v) != want[v] {
+				t.Fatalf("node %d: incremental %d, full %d", v, inc.I(v), want[v])
+			}
+		}
+		if inc.Max() != want.Max() {
+			t.Fatalf("max: incremental %d, full %d", inc.Max(), want.Max())
+		}
+	})
+}
+
+// FuzzRobustnessBound checks the ≤1 arrival bound on fuzz-shaped
+// instances (the theorem must hold on every input, not just random
+// ones).
+func FuzzRobustnessBound(f *testing.F) {
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 11, 12, 13, 14, 15})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts, radii := decodeInstance(data)
+		if len(pts) < 2 {
+			return
+		}
+		newR := radii[len(radii)-1] * 2
+		if math.IsNaN(newR) {
+			return
+		}
+		deltas := FixedTopologyDelta(pts, radii[:len(pts)-1], newR)
+		for v, d := range deltas {
+			if d < 0 || d > 1 {
+				t.Fatalf("delta[%d] = %d", v, d)
+			}
+		}
+	})
+}

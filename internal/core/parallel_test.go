@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestInterferenceParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(300)
+		pts := make([]geom.Point, n)
+		radii := make([]float64, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*6, rng.Float64()*6)
+			radii[i] = rng.Float64() * 2
+		}
+		want := InterferenceRadii(pts, radii)
+		for _, workers := range []int{0, 1, 2, 3, 7, 64} {
+			got := InterferenceParallel(pts, radii, workers)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("trial %d workers %d node %d: %d vs %d", trial, workers, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestInterferenceParallelDegenerate(t *testing.T) {
+	if iv := InterferenceParallel(nil, nil, 4); len(iv) != 0 {
+		t.Error("empty wrong")
+	}
+	pts := []geom.Point{geom.Pt(0, 0)}
+	if iv := InterferenceParallel(pts, []float64{1}, 8); iv[0] != 0 {
+		t.Error("singleton wrong")
+	}
+}
+
+func TestInterferenceParallelPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	InterferenceParallel([]geom.Point{geom.Pt(0, 0)}, nil, 2)
+}
+
+func BenchmarkInterferenceSerialLarge(b *testing.B) {
+	pts, radii := largeInstance(20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		InterferenceRadii(pts, radii)
+	}
+}
+
+func BenchmarkInterferenceParallelLarge(b *testing.B) {
+	pts, radii := largeInstance(20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		InterferenceParallel(pts, radii, 0)
+	}
+}
+
+func largeInstance(n int) ([]geom.Point, []float64) {
+	rng := rand.New(rand.NewSource(92))
+	pts := make([]geom.Point, n)
+	radii := make([]float64, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*50, rng.Float64()*50)
+		radii[i] = rng.Float64()
+	}
+	return pts, radii
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// TestScaleInvariance: scaling every coordinate and every radius by the
+// same positive factor changes no disk membership, hence no interference
+// value. This property is what justifies running exponential chains
+// unnormalized (gen.ExpChainUnit).
+func TestScaleInvariance(t *testing.T) {
+	f := func(seed int64, rawScale float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scale := 0.001 + mod1(rawScale)*1000 // (0.001, 1000.001)
+		n := 2 + rng.Intn(40)
+		pts := make([]geom.Point, n)
+		radii := make([]float64, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*4, rng.Float64()*4)
+			radii[i] = rng.Float64() * 2
+		}
+		scaled := make([]geom.Point, n)
+		sradii := make([]float64, n)
+		for i := range pts {
+			scaled[i] = pts[i].Scale(scale)
+			sradii[i] = radii[i] * scale
+		}
+		a := InterferenceRadii(pts, radii)
+		b := InterferenceRadii(scaled, sradii)
+		for v := range a {
+			if a[v] != b[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mod1(x float64) float64 {
+	m := math.Mod(math.Abs(x), 1)
+	if math.IsNaN(m) { // x was NaN or ±Inf
+		return 0.5
+	}
+	return m
+}
+
+// TestMonotoneInRadii: growing any single radius never decreases any
+// interference value — the monotonicity the exact solver's pruning rests
+// on.
+func TestMonotoneInRadii(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(40)
+		pts := make([]geom.Point, n)
+		radii := make([]float64, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*3, rng.Float64()*3)
+			radii[i] = rng.Float64()
+		}
+		before := InterferenceRadii(pts, radii)
+		u := rng.Intn(n)
+		radii[u] += rng.Float64() * 2
+		after := InterferenceRadii(pts, radii)
+		for v := range before {
+			if after[v] < before[v] {
+				t.Fatalf("trial %d: growing r_%d decreased I(%d): %d -> %d",
+					trial, u, v, before[v], after[v])
+			}
+		}
+	}
+}
+
+// TestTranslationInvariance: shifting all points leaves the vector
+// unchanged.
+func TestTranslationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(30)
+		pts := make([]geom.Point, n)
+		radii := make([]float64, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*3, rng.Float64()*3)
+			radii[i] = rng.Float64()
+		}
+		dx, dy := rng.Float64()*100-50, rng.Float64()*100-50
+		moved := make([]geom.Point, n)
+		for i := range pts {
+			moved[i] = geom.Pt(pts[i].X+dx, pts[i].Y+dy)
+		}
+		a := InterferenceRadii(pts, radii)
+		b := InterferenceRadii(moved, radii)
+		for v := range a {
+			if a[v] != b[v] {
+				t.Fatalf("trial %d: translation changed I(%d)", trial, v)
+			}
+		}
+	}
+}
+
+// TestSumIdentity: Σ_v I(v) equals Σ_u |D(u, r_u) ∩ V \ {u}| — each
+// covering relation is counted once from each side.
+func TestSumIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(50)
+		pts := make([]geom.Point, n)
+		radii := make([]float64, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*2, rng.Float64()*2)
+			radii[i] = rng.Float64()
+		}
+		iv := InterferenceRadii(pts, radii)
+		sumI := 0
+		for _, x := range iv {
+			sumI += x
+		}
+		sumCover := 0
+		for u := range pts {
+			if radii[u] <= 0 {
+				continue
+			}
+			for v := range pts {
+				if v != u && geom.InDisk(pts[u], radii[u], pts[v]) {
+					sumCover++
+				}
+			}
+		}
+		if sumI != sumCover {
+			t.Fatalf("trial %d: ΣI = %d, Σ|D∩V| = %d", trial, sumI, sumCover)
+		}
+	}
+}
+
+// TestRemovalNeverIncreases: deleting a node (and its radius) never
+// increases any surviving node's interference — the removal direction of
+// the robustness property.
+func TestRemovalNeverIncreases(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(40)
+		pts := make([]geom.Point, n)
+		radii := make([]float64, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*2, rng.Float64()*2)
+			radii[i] = rng.Float64()
+		}
+		before := InterferenceRadii(pts, radii)
+		// Remove the last node.
+		after := InterferenceRadii(pts[:n-1], radii[:n-1])
+		for v := 0; v < n-1; v++ {
+			if after[v] > before[v] {
+				t.Fatalf("trial %d: removal increased I(%d)", trial, v)
+			}
+			if before[v]-after[v] > 1 {
+				t.Fatalf("trial %d: removal decreased I(%d) by more than 1", trial, v)
+			}
+		}
+	}
+}

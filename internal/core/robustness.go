@@ -1,0 +1,83 @@
+package core
+
+import (
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// This file quantifies the robustness property that distinguishes the
+// receiver-centric measure: when a single node arrives, every existing
+// node's interference I(v) grows by at most 1 as long as existing nodes
+// keep their links — the newcomer is one additional packet source, nothing
+// more. The sender-centric measure has no such bound: one arrival can
+// drag a link across the whole network and push the measure from O(1) to
+// n (the paper's Figure 1).
+
+// AdditionImpact reports how interference changes when node `newIdx` of
+// pts joins a network previously running topology oldG over pts without
+// that node. The Builder recomputes the topology on the enlarged set.
+type AdditionImpact struct {
+	// Receiver-centric: I(G') before and after, and the largest increase
+	// of any pre-existing node's I(v).
+	ReceiverBefore, ReceiverAfter int
+	MaxNodeDelta                  int
+	// Sender-centric: max edge coverage before and after.
+	SenderBefore, SenderAfter int
+}
+
+// Builder constructs a topology over a point set. All topology-control
+// algorithms in internal/topology and internal/highway satisfy it.
+type Builder func(pts []geom.Point) *graph.Graph
+
+// MeasureAddition evaluates both interference measures on pts[:n-1] and
+// on all of pts (the last point is the newcomer), rebuilding the topology
+// with build each time. MaxNodeDelta is the largest increase in I(v) over
+// the surviving nodes; under a *fixed* topology it is provably ≤ 1, and
+// under rebuilt topologies it measures how gracefully the construction
+// absorbs an arrival.
+func MeasureAddition(pts []geom.Point, build Builder) AdditionImpact {
+	if len(pts) < 2 {
+		panic("core: MeasureAddition needs at least two points")
+	}
+	before := pts[:len(pts)-1]
+	gOld := build(before)
+	gNew := build(pts)
+	ivOld := Interference(before, gOld)
+	ivNew := Interference(pts, gNew)
+	_, sOld := SenderInterference(before, gOld)
+	_, sNew := SenderInterference(pts, gNew)
+	maxDelta := 0
+	for v := range ivOld {
+		if d := ivNew[v] - ivOld[v]; d > maxDelta {
+			maxDelta = d
+		}
+	}
+	return AdditionImpact{
+		ReceiverBefore: ivOld.Max(),
+		ReceiverAfter:  ivNew.Max(),
+		MaxNodeDelta:   maxDelta,
+		SenderBefore:   sOld,
+		SenderAfter:    sNew,
+	}
+}
+
+// FixedTopologyDelta computes, for a fixed radius assignment over the
+// first n-1 points, the increase in each surviving node's interference
+// when the last point joins with transmission radius newRadius. This is
+// the setting of the paper's robustness argument; the returned slice has
+// every entry in {0, 1}, and TestRobustnessAtMostOne verifies the theorem
+// over random instances.
+func FixedTopologyDelta(pts []geom.Point, radii []float64, newRadius float64) []int {
+	n := len(pts)
+	if len(radii) != n-1 {
+		panic("core: radii must cover all but the new node")
+	}
+	old := InterferenceRadii(pts[:n-1], radii)
+	extended := append(append([]float64(nil), radii...), newRadius)
+	now := InterferenceRadii(pts, extended)
+	deltas := make([]int, n-1)
+	for v := range deltas {
+		deltas[v] = now[v] - old[v]
+	}
+	return deltas
+}

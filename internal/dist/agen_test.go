@@ -1,0 +1,92 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/highway"
+	"repro/internal/udg"
+)
+
+func agenSpacingFor(pts []geom.Point) int {
+	delta := udg.MaxDegree(pts, udg.Radius)
+	sp := int(math.Ceil(math.Sqrt(float64(delta))))
+	if sp < 1 {
+		sp = 1
+	}
+	return sp
+}
+
+func TestDistributedAGenMatchesCentralized(t *testing.T) {
+	rng := rand.New(rand.NewSource(801))
+	instances := [][]geom.Point{
+		gen.HighwayUniform(rng, 150, 10),
+		gen.HighwayUniform(rng, 250, 4), // dense
+		gen.HighwayBursty(rng, 200, 5, 20, 0.3),
+		gen.HighwayExpFragments(rng, 4, 7, 15),
+		gen.ExpChain(24, 1),
+	}
+	for i, pts := range instances {
+		sp := agenSpacingFor(pts)
+		anchor := 0.0
+		if len(pts) > 0 {
+			anchor = pts[0].X
+		}
+		rt := NewRuntime(pts, NewAGenNode(sp, anchor))
+		got := rt.Run(10)
+		want := highway.AGenSpacing(pts, sp)
+		if got.M() != want.M() {
+			t.Fatalf("instance %d: edges %d vs %d", i, got.M(), want.M())
+		}
+		for _, e := range want.Edges() {
+			if !got.HasEdge(e.U, e.V) {
+				t.Fatalf("instance %d: missing edge (%d,%d)", i, e.U, e.V)
+			}
+		}
+		if rt.Rounds != 2 {
+			t.Errorf("instance %d: %d rounds, want 2", i, rt.Rounds)
+		}
+	}
+}
+
+func TestDistributedAGenPreservesConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(802))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(150)
+		pts := gen.HighwayUniform(rng, n, 2+rng.Float64()*30)
+		sp := agenSpacingFor(pts)
+		got := NewRuntime(pts, NewAGenNode(sp, pts[0].X)).Run(10)
+		base := udg.Build(pts)
+		if !graph.SameComponents(base, got) {
+			t.Fatalf("trial %d: connectivity broken", trial)
+		}
+	}
+}
+
+func TestDistributedAGenSingletonSegments(t *testing.T) {
+	// Isolated nodes in their own segments, some joinable, some not.
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(0.9, 0), // adjacent segments, within range
+		geom.Pt(3.5, 0), // unreachable
+	}
+	got := NewRuntime(pts, NewAGenNode(2, 0)).Run(10)
+	if !got.HasEdge(0, 1) {
+		t.Error("cross-segment join missing")
+	}
+	if got.Degree(2) != 0 {
+		t.Error("unreachable node should stay isolated")
+	}
+}
+
+func TestNewAGenNodePanicsOnBadSpacing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewAGenNode(0, 0)
+}

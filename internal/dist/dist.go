@@ -1,0 +1,184 @@
+// Package dist provides a synchronous message-passing execution substrate
+// for distributed topology-control protocols, and distributed
+// implementations of the constructions the paper discusses as protocols:
+// XTC (Wattenhofer & Zollinger [19]), the Nearest Neighbor Forest, and
+// LMST (Li, Hou & Sha [9]).
+//
+// The paper's setting is an ad-hoc network: nodes only talk to their UDG
+// neighbors and must decide their links from local information. The
+// substrate runs protocols in synchronous rounds (the standard LOCAL
+// model): in each round every node reads the messages its neighbors sent
+// in the previous round, updates its state, and sends new messages. The
+// framework counts rounds and messages so protocol costs are measurable,
+// and the resulting topologies are cross-validated against the
+// centralized constructions in internal/topology.
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/udg"
+)
+
+// Message is an opaque protocol payload exchanged between UDG neighbors.
+type Message interface{}
+
+// Node is a protocol participant. Implementations hold per-node state.
+type Node interface {
+	// Init is called once before round 0 with the node's id, position,
+	// and UDG neighborhood (ids and positions are the only global
+	// knowledge, matching the paper's assumption of known distances to
+	// neighbors).
+	Init(id int, pos geom.Point, neighbors []int, env *Env)
+	// Round processes the messages received this round (keyed by sender)
+	// and returns true when the node has terminated. A terminated node's
+	// Round is not called again.
+	Round(round int, inbox map[int]Message) bool
+}
+
+// Env is the per-node interface to the runtime: sending messages and
+// declaring topology links.
+type Env struct {
+	runtime *Runtime
+	id      int
+}
+
+// Send queues a message to neighbor v for delivery next round. Sending
+// to a non-neighbor panics: radios only reach UDG neighbors.
+func (e *Env) Send(v int, m Message) {
+	e.runtime.send(e.id, v, m)
+}
+
+// Broadcast queues a message to every UDG neighbor (one radio
+// transmission in practice; counted as one message per receiver to keep
+// the cost measure conservative).
+func (e *Env) Broadcast(m Message) {
+	for _, v := range e.runtime.udg.Neighbors(e.id) {
+		e.runtime.send(e.id, v, m)
+	}
+}
+
+// DeclareLink records that this node wants the symmetric link {id, v}.
+// The final topology keeps a link iff both endpoints declared it, the
+// usual handshake of link-based protocols.
+func (e *Env) DeclareLink(v int) {
+	e.runtime.declare(e.id, v)
+}
+
+// Dist returns the Euclidean distance to a UDG neighbor (local
+// information: nodes know distances to their neighbors).
+func (e *Env) Dist(v int) float64 {
+	return e.runtime.pts[e.id].Dist(e.runtime.pts[v])
+}
+
+// NeighborPos returns a neighbor's position (available in the paper's
+// model, where nodes know their neighborhood geometry).
+func (e *Env) NeighborPos(v int) geom.Point { return e.runtime.pts[v] }
+
+// Runtime executes a protocol over a UDG in synchronous rounds.
+type Runtime struct {
+	pts   []geom.Point
+	udg   *graph.Graph
+	nodes []Node
+	// Mailboxes: next[v][u] = message u sent to v this round.
+	next []map[int]Message
+	// Link declarations: declared[u] has v iff u declared {u,v}.
+	declared []map[int]bool
+	done     []bool
+
+	// Cost counters.
+	Rounds   int
+	Messages int64
+}
+
+// NewRuntime builds a runtime over pts; factory creates one protocol
+// instance per node.
+func NewRuntime(pts []geom.Point, factory func() Node) *Runtime {
+	n := len(pts)
+	rt := &Runtime{
+		pts:      pts,
+		udg:      udg.Build(pts),
+		nodes:    make([]Node, n),
+		next:     make([]map[int]Message, n),
+		declared: make([]map[int]bool, n),
+		done:     make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		rt.nodes[i] = factory()
+		rt.next[i] = make(map[int]Message)
+		rt.declared[i] = make(map[int]bool)
+	}
+	for i := 0; i < n; i++ {
+		neigh := append([]int(nil), rt.udg.Neighbors(i)...)
+		sort.Ints(neigh)
+		rt.nodes[i].Init(i, pts[i], neigh, &Env{runtime: rt, id: i})
+	}
+	return rt
+}
+
+func (rt *Runtime) send(u, v int, m Message) {
+	if !rt.udg.HasEdge(u, v) {
+		panic(fmt.Sprintf("dist: node %d sent to non-neighbor %d", u, v))
+	}
+	rt.next[v][u] = m
+	rt.Messages++
+}
+
+func (rt *Runtime) declare(u, v int) {
+	if !rt.udg.HasEdge(u, v) {
+		panic(fmt.Sprintf("dist: node %d declared link to non-neighbor %d", u, v))
+	}
+	rt.declared[u][v] = true
+}
+
+// Run executes rounds until every node terminates or maxRounds elapses;
+// it returns the declared symmetric topology. It panics if maxRounds is
+// exhausted — a protocol bug, since all implemented protocols terminate
+// in O(1) or O(diameter) rounds.
+func (rt *Runtime) Run(maxRounds int) *graph.Graph {
+	n := len(rt.pts)
+	for round := 0; ; round++ {
+		allDone := true
+		for i := 0; i < n; i++ {
+			if !rt.done[i] {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			rt.Rounds = round
+			break
+		}
+		if round >= maxRounds {
+			panic(fmt.Sprintf("dist: protocol did not terminate within %d rounds", maxRounds))
+		}
+		// Swap mailboxes: messages sent during this round are delivered
+		// next round.
+		inboxes := rt.next
+		rt.next = make([]map[int]Message, n)
+		for i := range rt.next {
+			rt.next[i] = make(map[int]Message)
+		}
+		for i := 0; i < n; i++ {
+			if rt.done[i] {
+				continue
+			}
+			if rt.nodes[i].Round(round, inboxes[i]) {
+				rt.done[i] = true
+			}
+		}
+	}
+	// Assemble the symmetric topology.
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := range rt.declared[u] {
+			if u < v && rt.declared[v][u] {
+				g.AddEdge(u, v, rt.pts[u].Dist(rt.pts[v]))
+			}
+		}
+	}
+	return g
+}

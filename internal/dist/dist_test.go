@@ -1,0 +1,188 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func sameTopology(t *testing.T, name string, a, b *graph.Graph) {
+	t.Helper()
+	if a.N() != b.N() {
+		t.Fatalf("%s: node counts differ", name)
+	}
+	if a.M() != b.M() {
+		t.Fatalf("%s: edge counts differ: %d vs %d", name, a.M(), b.M())
+	}
+	for _, e := range a.Edges() {
+		if !b.HasEdge(e.U, e.V) {
+			t.Fatalf("%s: edge (%d,%d) missing from counterpart", name, e.U, e.V)
+		}
+	}
+}
+
+func TestDistributedXTCMatchesCentralized(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	for trial := 0; trial < 12; trial++ {
+		n := 2 + rng.Intn(80)
+		pts := gen.UniformSquare(rng, n, 1.5+rng.Float64()*3)
+		rt := NewRuntime(pts, NewXTCNode)
+		got := rt.Run(10)
+		want := topology.XTC(pts)
+		sameTopology(t, "XTC", got, want)
+		if rt.Rounds != 2 {
+			t.Errorf("trial %d: XTC took %d rounds, want 2", trial, rt.Rounds)
+		}
+	}
+}
+
+func TestDistributedNNFMatchesCentralized(t *testing.T) {
+	rng := rand.New(rand.NewSource(502))
+	for trial := 0; trial < 12; trial++ {
+		n := 2 + rng.Intn(80)
+		pts := gen.UniformSquare(rng, n, 2+rng.Float64()*3)
+		rt := NewRuntime(pts, NewNNFNode)
+		got := rt.Run(10)
+		want := topology.NNF(pts)
+		sameTopology(t, "NNF", got, want)
+	}
+}
+
+func TestDistributedLMSTMatchesCentralized(t *testing.T) {
+	rng := rand.New(rand.NewSource(503))
+	for trial := 0; trial < 12; trial++ {
+		n := 2 + rng.Intn(60)
+		pts := gen.UniformSquare(rng, n, 1.5+rng.Float64()*2)
+		rt := NewRuntime(pts, NewLMSTNode)
+		got := rt.Run(10)
+		want := topology.LMST(pts)
+		sameTopology(t, "LMST", got, want)
+	}
+}
+
+func TestDistributedProtocolsOnGadget(t *testing.T) {
+	// The Theorem 4.1 gadget has extreme distance ratios; the protocols
+	// must still match their centralized versions there.
+	pts := gen.DoubleExpChain(16)
+	sameTopology(t, "XTC-gadget", NewRuntime(pts, NewXTCNode).Run(10), topology.XTC(pts))
+	sameTopology(t, "NNF-gadget", NewRuntime(pts, NewNNFNode).Run(10), topology.NNF(pts))
+}
+
+func TestRuntimeCostAccounting(t *testing.T) {
+	pts := gen.UniformSquare(rand.New(rand.NewSource(504)), 30, 2)
+	rt := NewRuntime(pts, NewNNFNode)
+	rt.Run(10)
+	if rt.Messages == 0 {
+		t.Error("message count should be positive")
+	}
+	// NNF broadcasts once per node: messages = Σ degrees = 2·|E_udg|.
+	udgEdges := int64(0)
+	rt2 := NewRuntime(pts, NewNNFNode)
+	udgEdges = int64(rt2.udg.M())
+	if rt.Messages != 2*udgEdges {
+		t.Errorf("messages = %d, want 2·|E| = %d", rt.Messages, 2*udgEdges)
+	}
+}
+
+func TestRuntimeIsolatedNodes(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(5, 0), geom.Pt(10, 0)}
+	for _, factory := range []func() Node{NewXTCNode, NewNNFNode, NewLMSTNode} {
+		g := NewRuntime(pts, factory).Run(10)
+		if g.M() != 0 {
+			t.Error("isolated nodes must produce no links")
+		}
+	}
+}
+
+func TestRuntimeEmpty(t *testing.T) {
+	g := NewRuntime(nil, NewXTCNode).Run(5)
+	if g.N() != 0 {
+		t.Error("empty runtime wrong")
+	}
+}
+
+func TestSendToNonNeighborPanics(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(5, 0)}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	rt := NewRuntime(pts, func() Node { return &rogueNode{} })
+	rt.Run(5)
+}
+
+// rogueNode tries to message a node outside its radio range.
+type rogueNode struct {
+	env *Env
+	id  int
+}
+
+func (r *rogueNode) Init(id int, _ geom.Point, _ []int, env *Env) { r.id, r.env = id, env }
+func (r *rogueNode) Round(int, map[int]Message) bool {
+	r.env.Send(1-r.id, "hello") // nodes are 5 apart: not neighbors
+	return true
+}
+
+func TestNonTerminatingProtocolPanics(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.5, 0)}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewRuntime(pts, func() Node { return &foreverNode{} }).Run(3)
+}
+
+type foreverNode struct{}
+
+func (foreverNode) Init(int, geom.Point, []int, *Env) {}
+func (foreverNode) Round(int, map[int]Message) bool   { return false }
+
+func TestOneSidedDeclarationYieldsNoLink(t *testing.T) {
+	// A protocol where only node 0 declares: the handshake must reject.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.5, 0)}
+	g := NewRuntime(pts, func() Node { return &oneSided{} }).Run(5)
+	if g.M() != 0 {
+		t.Error("one-sided declaration must not create a link")
+	}
+}
+
+type oneSided struct {
+	id  int
+	env *Env
+}
+
+func (o *oneSided) Init(id int, _ geom.Point, _ []int, env *Env) { o.id, o.env = id, env }
+func (o *oneSided) Round(int, map[int]Message) bool {
+	if o.id == 0 {
+		o.env.DeclareLink(1)
+	}
+	return true
+}
+
+func BenchmarkDistributedXTC(b *testing.B) {
+	pts := gen.UniformSquare(rand.New(rand.NewSource(505)), 300, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewRuntime(pts, NewXTCNode).Run(10)
+	}
+}
+
+func TestDistributedGGAndRNGMatchCentralized(t *testing.T) {
+	rng := rand.New(rand.NewSource(506))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(70)
+		pts := gen.UniformSquare(rng, n, 1.5+rng.Float64()*2.5)
+		sameTopology(t, "GG", NewRuntime(pts, NewGGNode).Run(10), topology.GG(pts))
+		sameTopology(t, "RNG", NewRuntime(pts, NewRNGNode).Run(10), topology.RNG(pts))
+	}
+	// And on the adversarial gadget.
+	g := gen.DoubleExpChain(12)
+	sameTopology(t, "GG-gadget", NewRuntime(g, NewGGNode).Run(10), topology.GG(g))
+	sameTopology(t, "RNG-gadget", NewRuntime(g, NewRNGNode).Run(10), topology.RNG(g))
+}

@@ -1,0 +1,78 @@
+package dist
+
+import "repro/internal/geom"
+
+// Distributed aggregation flood — computes the global maximum of a
+// per-node integer (here: UDG degree, yielding Δ) by flooding maxima for
+// n rounds. Any graph's diameter is below its node count, so after n
+// rounds every node holds the true maximum of its component; n is the
+// usual "nodes know the network size" assumption of the LOCAL model,
+// and this protocol is what justifies handing the global ⌈√Δ⌉ spacing
+// to the distributed A_gen protocol as a parameter.
+//
+// Cost: ≤ n rounds; a node re-broadcasts only when its value improves,
+// so each node sends O(log-diameter improvements) broadcasts in the
+// typical case and O(n) rounds only bound the worst case.
+
+// maxFlood is the message: the best value seen so far.
+type maxFlood int
+
+// DeltaNode floods UDG degrees; after Run, Value() of any node is Δ of
+// its component.
+type DeltaNode struct {
+	env    *Env
+	n      int // termination horizon = network size
+	value  int
+	degree int
+}
+
+// NewDeltaNode returns a factory for a Δ-flood over a network of size n.
+func NewDeltaNode(n int) func() Node {
+	if n < 1 {
+		panic("dist: DeltaNode needs the network size")
+	}
+	return func() Node { return &DeltaNode{n: n} }
+}
+
+// Value returns the flooded maximum (valid after the runtime finishes).
+func (d *DeltaNode) Value() int { return d.value }
+
+// Init implements Node.
+func (d *DeltaNode) Init(_ int, _ geom.Point, neighbors []int, env *Env) {
+	d.env = env
+	d.degree = len(neighbors)
+	d.value = d.degree
+}
+
+// Round implements Node.
+func (d *DeltaNode) Round(round int, inbox map[int]Message) bool {
+	improved := round == 0 // everyone announces in round 0
+	for _, m := range inbox {
+		if v := int(m.(maxFlood)); v > d.value {
+			d.value = v
+			improved = true
+		}
+	}
+	if improved && d.degree > 0 {
+		d.env.Broadcast(maxFlood(d.value))
+	}
+	// Terminate after n rounds: every component's diameter is < n, so the
+	// maximum has certainly reached everyone.
+	return round >= d.n-1
+}
+
+// FloodDelta is the convenience wrapper: it runs the Δ-flood over pts and
+// returns each node's final value (Δ of its UDG component).
+func FloodDelta(pts []geom.Point) ([]int, *Runtime) {
+	n := len(pts)
+	if n == 0 {
+		return nil, NewRuntime(nil, NewDeltaNode(1))
+	}
+	rt := NewRuntime(pts, NewDeltaNode(n))
+	rt.Run(n + 1)
+	out := make([]int, n)
+	for i, node := range rt.nodes {
+		out[i] = node.(*DeltaNode).Value()
+	}
+	return out, rt
+}

@@ -1,0 +1,83 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/highway"
+	"repro/internal/udg"
+)
+
+func TestFloodDeltaMatchesGlobalMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(1501))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(80)
+		pts := gen.UniformSquare(rng, n, 1.5+rng.Float64()*3)
+		values, _ := FloodDelta(pts)
+		base := udg.Build(pts)
+		label, _ := base.Components()
+		// Per component, every node must hold that component's max degree.
+		wantByComp := map[int]int{}
+		for v := 0; v < n; v++ {
+			if d := base.Degree(v); d > wantByComp[label[v]] {
+				wantByComp[label[v]] = d
+			}
+		}
+		for v := 0; v < n; v++ {
+			if values[v] != wantByComp[label[v]] {
+				t.Fatalf("trial %d node %d: flooded %d, component max %d", trial, v, values[v], wantByComp[label[v]])
+			}
+		}
+	}
+}
+
+func TestFloodDeltaIsolatedAndEmpty(t *testing.T) {
+	values, _ := FloodDelta([]geom.Point{geom.Pt(0, 0), geom.Pt(9, 9)})
+	if values[0] != 0 || values[1] != 0 {
+		t.Error("isolated nodes flood 0")
+	}
+	if v, _ := FloodDelta(nil); v != nil {
+		t.Error("empty flood wrong")
+	}
+}
+
+func TestFloodThenDistributedAGenEndToEnd(t *testing.T) {
+	// The full distributed pipeline: flood Δ, derive the spacing, run the
+	// A_gen protocol — the result must equal the centralized construction
+	// parameterized with the true Δ.
+	rng := rand.New(rand.NewSource(1502))
+	pts := gen.HighwayUniform(rng, 180, 12)
+	values, _ := FloodDelta(pts)
+	delta := values[0] // connected instance: every node agrees
+	for _, v := range values {
+		if v != delta {
+			t.Fatal("flood disagreed on a connected instance")
+		}
+	}
+	sp := int(math.Ceil(math.Sqrt(float64(delta))))
+	if sp < 1 {
+		sp = 1
+	}
+	got := NewRuntime(pts, NewAGenNode(sp, pts[0].X)).Run(10)
+	want := highway.AGenSpacing(pts, sp)
+	if got.M() != want.M() {
+		t.Fatalf("edges %d vs %d", got.M(), want.M())
+	}
+	for _, e := range want.Edges() {
+		if !got.HasEdge(e.U, e.V) {
+			t.Fatalf("missing edge (%d,%d)", e.U, e.V)
+		}
+	}
+}
+
+func TestDeltaNodePanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewDeltaNode(0)
+}

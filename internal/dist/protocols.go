@@ -1,0 +1,284 @@
+package dist
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// This file implements the protocol-style constructions as actual
+// message-passing protocols on the Runtime. Each is cross-validated
+// against its centralized counterpart in internal/topology by the tests.
+
+// ---------------------------------------------------------------------
+// Distributed XTC — 2 rounds, O(Δ) words per message.
+//
+// Round 0: every node broadcasts its total order over its neighbors
+// (ranked by distance, ties by id), exactly the "order exchange" phase of
+// the XTC paper. Round 1: with all neighbor orders known, each node
+// locally runs the XTC selection rule — keep v unless some w is better
+// than v from u's view and better than u from v's view — and declares the
+// surviving links. XTC's selection is provably symmetric, so the
+// both-ends handshake keeps exactly the links either endpoint computes.
+// ---------------------------------------------------------------------
+
+// xtcOrder is the ranking a node broadcasts: neighbor ids, best first.
+type xtcOrder []int
+
+// XTCNode is the per-node state of distributed XTC.
+type XTCNode struct {
+	id        int
+	env       *Env
+	neighbors []int
+	rank      map[int]int // my rank of each neighbor (0 = best)
+}
+
+// NewXTCNode returns a protocol instance; use with NewRuntime.
+func NewXTCNode() Node { return &XTCNode{} }
+
+// Init implements Node.
+func (x *XTCNode) Init(id int, _ geom.Point, neighbors []int, env *Env) {
+	x.id = id
+	x.env = env
+	x.neighbors = neighbors
+	ordered := append([]int(nil), neighbors...)
+	sort.Slice(ordered, func(a, b int) bool {
+		da, db := env.Dist(ordered[a]), env.Dist(ordered[b])
+		if da != db {
+			return da < db
+		}
+		return ordered[a] < ordered[b]
+	})
+	x.rank = make(map[int]int, len(ordered))
+	for i, v := range ordered {
+		x.rank[v] = i
+	}
+}
+
+// Round implements Node.
+func (x *XTCNode) Round(round int, inbox map[int]Message) bool {
+	switch round {
+	case 0:
+		// Broadcast my order.
+		order := make(xtcOrder, len(x.neighbors))
+		for v, r := range x.rank {
+			order[r] = v
+		}
+		x.env.Broadcast(order)
+		return false
+	default:
+		// Reconstruct each neighbor's ranking from its broadcast.
+		theirRank := make(map[int]map[int]int, len(inbox))
+		for from, m := range inbox {
+			order := m.(xtcOrder)
+			r := make(map[int]int, len(order))
+			for i, v := range order {
+				r[v] = i
+			}
+			theirRank[from] = r
+		}
+		for _, v := range x.neighbors {
+			vr, ok := theirRank[v]
+			if !ok {
+				continue // lost order: keep conservative silence
+			}
+			drop := false
+			for _, w := range x.neighbors {
+				if w == v {
+					continue
+				}
+				wRankAtV, shared := vr[w]
+				if !shared {
+					continue // w is not v's neighbor: not a mutual shortcut
+				}
+				if x.rank[w] < x.rank[v] && wRankAtV < vr[x.id] {
+					drop = true
+					break
+				}
+			}
+			if !drop {
+				x.env.DeclareLink(v)
+			}
+		}
+		return true
+	}
+}
+
+// ---------------------------------------------------------------------
+// Distributed NNF — 2 rounds, O(1) words per message.
+//
+// Round 0: broadcast the id of my nearest neighbor. Round 1: declare the
+// link to my own pick and to everyone who picked me (the symmetric
+// closure of nearest-neighbor selection — the NNF).
+// ---------------------------------------------------------------------
+
+type nnfPick int
+
+// NNFNode is the per-node state of the distributed Nearest Neighbor
+// Forest.
+type NNFNode struct {
+	id   int
+	env  *Env
+	pick int
+}
+
+// NewNNFNode returns a protocol instance; use with NewRuntime.
+func NewNNFNode() Node { return &NNFNode{} }
+
+// Init implements Node.
+func (n *NNFNode) Init(id int, _ geom.Point, neighbors []int, env *Env) {
+	n.id = id
+	n.env = env
+	n.pick = -1
+	best := -1.0
+	for _, v := range neighbors {
+		d := env.Dist(v)
+		if n.pick < 0 || d < best || (d == best && v < n.pick) {
+			n.pick, best = v, d
+		}
+	}
+}
+
+// Round implements Node.
+func (n *NNFNode) Round(round int, inbox map[int]Message) bool {
+	switch round {
+	case 0:
+		if n.pick >= 0 {
+			n.env.Broadcast(nnfPick(n.pick))
+		}
+		return n.pick < 0 // isolated nodes terminate immediately
+	default:
+		n.env.DeclareLink(n.pick)
+		for from, m := range inbox {
+			if int(m.(nnfPick)) == n.id {
+				n.env.DeclareLink(from)
+			}
+		}
+		return true
+	}
+}
+
+// ---------------------------------------------------------------------
+// Distributed LMST — 2 rounds, O(1) words per message.
+//
+// Round 0: broadcast my position. Round 1: build the Euclidean MST of my
+// closed neighborhood from the received positions and declare my local
+// tree edges; the runtime's both-ends handshake yields the symmetric
+// intersection variant G₀⁻.
+// ---------------------------------------------------------------------
+
+type lmstPos geom.Point
+
+// LMSTNode is the per-node state of distributed LMST.
+type LMSTNode struct {
+	id  int
+	pos geom.Point
+	env *Env
+}
+
+// NewLMSTNode returns a protocol instance; use with NewRuntime.
+func NewLMSTNode() Node { return &LMSTNode{} }
+
+// Init implements Node.
+func (l *LMSTNode) Init(id int, pos geom.Point, _ []int, env *Env) {
+	l.id = id
+	l.pos = pos
+	l.env = env
+}
+
+// Round implements Node.
+func (l *LMSTNode) Round(round int, inbox map[int]Message) bool {
+	switch round {
+	case 0:
+		l.env.Broadcast(lmstPos(l.pos))
+		return false
+	default:
+		// Closed neighborhood in deterministic (id) order.
+		ids := make([]int, 0, len(inbox)+1)
+		ids = append(ids, l.id)
+		for from := range inbox {
+			ids = append(ids, from)
+		}
+		sort.Ints(ids)
+		local := make([]geom.Point, len(ids))
+		mine := -1
+		for i, v := range ids {
+			if v == l.id {
+				local[i] = l.pos
+				mine = i
+			} else {
+				local[i] = geom.Point(inbox[v].(lmstPos))
+			}
+		}
+		lt := graph.EuclideanMST(local, 1)
+		for i, v := range ids {
+			if i != mine && lt.HasEdge(mine, i) {
+				l.env.DeclareLink(v)
+			}
+		}
+		return true
+	}
+}
+
+// ---------------------------------------------------------------------
+// Distributed Gabriel Graph and Relative Neighborhood Graph — 2 rounds,
+// O(1) words per message.
+//
+// Both constructions prune a UDG edge {u, v} when a third node lies in a
+// forbidden region (the diameter disk for GG, the lune for RNG). Any
+// such blocker w satisfies |uw| < |uv| ≤ 1 and |wv| < |uv| ≤ 1, so it is
+// a UDG neighbor of BOTH endpoints — one position broadcast therefore
+// hands every node all the blockers it could ever need, and each
+// endpoint decides each of its edges locally and symmetrically.
+// ---------------------------------------------------------------------
+
+type regionPos geom.Point
+
+// regionNode implements both protocols; blocked selects the region.
+type regionNode struct {
+	id      int
+	pos     geom.Point
+	env     *Env
+	blocked func(u, v, w geom.Point) bool
+}
+
+// NewGGNode returns a distributed Gabriel Graph protocol instance.
+func NewGGNode() Node { return &regionNode{blocked: geom.InGabrielDisk} }
+
+// NewRNGNode returns a distributed Relative Neighborhood Graph instance.
+func NewRNGNode() Node { return &regionNode{blocked: geom.InLune} }
+
+// Init implements Node.
+func (r *regionNode) Init(id int, pos geom.Point, _ []int, env *Env) {
+	r.id = id
+	r.pos = pos
+	r.env = env
+}
+
+// Round implements Node.
+func (r *regionNode) Round(round int, inbox map[int]Message) bool {
+	switch round {
+	case 0:
+		r.env.Broadcast(regionPos(r.pos))
+		return false
+	default:
+		for v, mv := range inbox {
+			pv := geom.Point(mv.(regionPos))
+			keep := true
+			for w, mw := range inbox {
+				if w == v {
+					continue
+				}
+				if r.blocked(r.pos, pv, geom.Point(mw.(regionPos))) {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				r.env.DeclareLink(v)
+			}
+		}
+		return true
+	}
+}

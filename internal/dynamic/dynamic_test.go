@@ -1,0 +1,124 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/topology"
+	"repro/internal/udg"
+)
+
+func TestMaintainerChurnInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1101))
+	m := New(gen.UniformSquare(rng, 40, 2), 2)
+	for step := 0; step < 200; step++ {
+		if rng.Float64() < 0.5 || len(m.Points()) < 5 {
+			m.Insert(geom.Pt(rng.Float64()*2, rng.Float64()*2))
+		} else {
+			m.Remove(rng.Intn(len(m.Points())))
+		}
+		if step%17 == 0 {
+			pts := m.Points()
+			base := udg.Build(pts)
+			if !graph.SameComponents(base, m.Topology()) {
+				t.Fatalf("step %d: connectivity diverged from UDG", step)
+			}
+		}
+	}
+	// Bounded drift: the maintained interference stays within the rebuild
+	// factor of a fresh greedy build (plus one event's slack).
+	pts := m.Points()
+	fresh := core.Interference(pts, topology.GreedyMinI(pts)).Max()
+	if cur := m.Interference(); float64(cur) > 2*float64(fresh)+4 {
+		t.Errorf("maintained I=%d too far above fresh rebuild %d", cur, fresh)
+	}
+}
+
+func TestMaintainerRebuildsAreRare(t *testing.T) {
+	rng := rand.New(rand.NewSource(1102))
+	m := New(gen.UniformSquare(rng, 60, 2), 2)
+	for step := 0; step < 300; step++ {
+		if rng.Float64() < 0.5 {
+			m.Insert(geom.Pt(rng.Float64()*2, rng.Float64()*2))
+		} else if len(m.Points()) > 10 {
+			m.Remove(rng.Intn(len(m.Points())))
+		}
+	}
+	// The whole point: far fewer rebuilds than events.
+	if m.Rebuilds()*4 > m.Events() {
+		t.Errorf("rebuilds %d of %d events — maintenance isn't amortizing", m.Rebuilds(), m.Events())
+	}
+}
+
+func TestMaintainerRebuildEveryEventMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(1103))
+	m := New(gen.UniformSquare(rng, 20, 1.5), 1) // factor <= 1: rebuild always
+	for i := 0; i < 10; i++ {
+		m.Insert(geom.Pt(rng.Float64()*1.5, rng.Float64()*1.5))
+	}
+	if m.Rebuilds() != 11 { // initial + each event
+		t.Errorf("rebuilds = %d, want 11", m.Rebuilds())
+	}
+}
+
+func TestMaintainerCutVertexRepair(t *testing.T) {
+	// A path a—b—c where b is the articulation point; removing b must
+	// reconnect a and c if the UDG still allows it.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.5, 0), geom.Pt(1.0, 0)}
+	m := New(pts, 100) // huge factor: no interference-triggered rebuilds
+	m.Remove(1)
+	if got := len(m.Points()); got != 2 {
+		t.Fatalf("points = %d", got)
+	}
+	// a and c are at distance 1.0: still UDG-connected; repair must link
+	// them.
+	if !m.Topology().Connected() {
+		t.Error("cut-vertex removal not repaired")
+	}
+}
+
+func TestMaintainerDisconnectionAccepted(t *testing.T) {
+	// If the UDG itself splits, the maintainer must NOT invent edges.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.9, 0), geom.Pt(1.8, 0)}
+	m := New(pts, 100)
+	m.Remove(1) // survivors at distance 1.8: disconnected UDG
+	_, k := m.Topology().Components()
+	if k != 2 {
+		t.Errorf("components = %d, want 2", k)
+	}
+}
+
+func TestMaintainerInsertOutOfRange(t *testing.T) {
+	m := New([]geom.Point{geom.Pt(0, 0)}, 100)
+	idx := m.Insert(geom.Pt(5, 5))
+	if m.Topology().Degree(idx) != 0 {
+		t.Error("out-of-range newcomer must stay isolated")
+	}
+}
+
+func TestMaintainerRemovePanicsOutOfRange(t *testing.T) {
+	m := New([]geom.Point{geom.Pt(0, 0)}, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.Remove(5)
+}
+
+func BenchmarkMaintainerChurn(b *testing.B) {
+	rng := rand.New(rand.NewSource(1104))
+	m := New(gen.UniformSquare(rng, 100, 2.5), 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			m.Insert(geom.Pt(rng.Float64()*2.5, rng.Float64()*2.5))
+		} else if len(m.Points()) > 50 {
+			m.Remove(rng.Intn(len(m.Points())))
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package encode
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/topology"
+)
+
+func TestInstanceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := gen.UniformSquare(rng, 100, 5)
+	// Include awkward floats.
+	pts = append(pts, gen.ExpChainUnit(20)...)
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("len %d vs %d", len(got), len(pts))
+	}
+	for i := range pts {
+		if got[i] != pts[i] {
+			t.Fatalf("point %d: %v vs %v — %%.17g must round-trip exactly", i, got[i], pts[i])
+		}
+	}
+}
+
+func TestTopologyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := gen.UniformSquare(rng, 60, 3)
+	g := topology.MST(pts)
+	var buf bytes.Buffer
+	if err := WriteTopology(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTopology(&buf, len(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.M() != g.M() {
+		t.Fatalf("edges %d vs %d", got.M(), g.M())
+	}
+	for _, e := range g.Edges() {
+		w, ok := got.EdgeWeight(e.U, e.V)
+		if !ok || w != e.W {
+			t.Fatalf("edge (%d,%d): %v,%v", e.U, e.V, w, ok)
+		}
+	}
+}
+
+func TestTopologySerializationCanonical(t *testing.T) {
+	// Two graphs with identical edges inserted in different orders must
+	// serialize byte-identically.
+	rng := rand.New(rand.NewSource(3))
+	pts := gen.UniformSquare(rng, 40, 2)
+	g := topology.MST(pts)
+	var a, b bytes.Buffer
+	WriteTopology(&a, g)
+	// Rebuild by reading back (different internal insertion order).
+	g2, _ := ReadTopology(bytes.NewReader(a.Bytes()), len(pts))
+	WriteTopology(&b, g2)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("serialization is not canonical")
+	}
+}
+
+func TestReadInstanceErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong,header\n1,2\n",
+		"x,y\n1\n",
+		"x,y\nfoo,2\n",
+		"x,y\n1,bar\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadInstance(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q should fail", c)
+		}
+	}
+	// Blank lines are tolerated.
+	pts, err := ReadInstance(strings.NewReader("x,y\n1,2\n\n3,4\n"))
+	if err != nil || len(pts) != 2 {
+		t.Errorf("blank-line input failed: %v %d", err, len(pts))
+	}
+}
+
+func TestReadTopologyErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bad\n",
+		"u,v,w\n1\n",
+		"u,v,w\nx,1,2\n",
+		"u,v,w\n0,x,2\n",
+		"u,v,w\n0,1,x\n",
+		"u,v,w\n0,9,1\n",  // out of range for n=3
+		"u,v,w\n-1,1,1\n", // negative
+		"u,v,w\n1,1,1\n",  // self-loop
+	}
+	for _, c := range cases {
+		if _, err := ReadTopology(strings.NewReader(c), 3); err == nil {
+			t.Errorf("input %q should fail", c)
+		}
+	}
+}
+
+func TestSpecialFloatValues(t *testing.T) {
+	var buf bytes.Buffer
+	// Subnormal-scale coordinates must round-trip.
+	src := gen.ExpChain(3, math.SmallestNonzeroFloat64*1e10)
+	if err := WriteInstance(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("subnormal point %d: %v vs %v", i, got[i], src[i])
+		}
+	}
+}
+
+// brokenWriter fails after the first n writes, exercising the error
+// propagation paths of the writers.
+type brokenWriter struct{ left int }
+
+func (b *brokenWriter) Write(p []byte) (int, error) {
+	if b.left <= 0 {
+		return 0, errSink
+	}
+	b.left--
+	return len(p), nil
+}
+
+var errSink = &sinkErr{}
+
+type sinkErr struct{}
+
+func (*sinkErr) Error() string { return "sink failed" }
+
+func TestWriteErrorsPropagate(t *testing.T) {
+	pts := gen.ExpChain(8, 1)
+	g := topology.MST(pts)
+	// Instance writer: header write failure and body write failure both
+	// surface. bufio coalesces small writes, so force tiny buffers by
+	// writing enough points that Flush must hit the sink.
+	if err := WriteInstance(&brokenWriter{left: 0}, pts); err == nil {
+		t.Error("instance write to a dead sink should fail")
+	}
+	if err := WriteTopology(&brokenWriter{left: 0}, g); err == nil {
+		t.Error("topology write to a dead sink should fail")
+	}
+}

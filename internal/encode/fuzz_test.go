@@ -1,0 +1,68 @@
+package encode
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadInstance feeds arbitrary bytes to the parser: it must never
+// panic, and anything it accepts must survive a write/read round-trip.
+func FuzzReadInstance(f *testing.F) {
+	f.Add("x,y\n1,2\n")
+	f.Add("x,y\n1e308,-1e-308\n0.1,0.2\n")
+	f.Add("x,y\nNaN,Inf\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, input string) {
+		pts, err := ReadInstance(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteInstance(&buf, pts); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		again, err := ReadInstance(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(again) != len(pts) {
+			t.Fatalf("round-trip length %d vs %d", len(again), len(pts))
+		}
+		for i := range pts {
+			// NaN coordinates compare unequal to themselves; accept them
+			// as long as both sides are NaN.
+			if pts[i] != again[i] && !(pts[i].X != pts[i].X || pts[i].Y != pts[i].Y) {
+				t.Fatalf("point %d: %v vs %v", i, pts[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzReadTopology: parser robustness and round-trip for the edge-list
+// format.
+func FuzzReadTopology(f *testing.F) {
+	f.Add("u,v,w\n0,1,0.5\n", 4)
+	f.Add("u,v,w\n", 0)
+	f.Add("u,v,w\n3,2,1\n1,2,7\n", 5)
+	f.Fuzz(func(t *testing.T, input string, n int) {
+		if n < 0 || n > 1000 {
+			return
+		}
+		g, err := ReadTopology(strings.NewReader(input), n)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTopology(&buf, g); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		again, err := ReadTopology(&buf, n)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if again.M() != g.M() {
+			t.Fatalf("round-trip edges %d vs %d", again.M(), g.M())
+		}
+	})
+}

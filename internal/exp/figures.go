@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/highway"
+	"repro/internal/topology"
+	"repro/internal/viz"
+)
+
+// RenderFigures writes SVG renderings of the paper's figures into dir
+// (created if needed) and returns the list of files written:
+//
+//	fig1_before.svg / fig1_after.svg — the cluster gadget without/with
+//	    the remote node (MST topology, interference disks)
+//	fig2.svg — the five-node I(u)=2 example
+//	fig4_nnf.svg / fig5_opt.svg — the Theorem 4.1 gadget under the NNF
+//	    and under the constant-interference tree
+//	fig7_linear.svg / fig8_aexp.svg — the exponential chain connected
+//	    linearly and by the scan-line algorithm
+//	fig9_agen.svg — A_gen's segment/hub structure on a random highway
+func RenderFigures(dir string, seed int64) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var written []string
+	emit := func(name string, pts []geom.Point, g *graph.Graph, opt viz.Options) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := viz.WriteSVG(f, pts, g, opt); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+
+	// Figure 1: the gadget before and after the remote arrival.
+	fig1 := gen.Figure1(rng, 40, 0.2)
+	before := fig1[:len(fig1)-1]
+	if err := emit("fig1_before.svg", before, topology.MST(before), viz.Options{Disks: true}); err != nil {
+		return written, err
+	}
+	if err := emit("fig1_after.svg", fig1, topology.MST(fig1), viz.Options{Disks: true}); err != nil {
+		return written, err
+	}
+
+	// Figure 2: the five-node example (same layout as TestFigure2).
+	fig2 := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(0.3, 0), geom.Pt(1.0, 0), geom.Pt(2.2, 0), geom.Pt(2.5, 0),
+	}
+	g2 := graph.New(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}} {
+		g2.AddEdge(e[0], e[1], fig2[e[0]].Dist(fig2[e[1]]))
+	}
+	if err := emit("fig2.svg", fig2, g2, viz.Options{Disks: true, Labels: true}); err != nil {
+		return written, err
+	}
+
+	// Figures 3–5: the gadget under the NNF and the optimal tree.
+	gadget := gen.DoubleExpChain(12)
+	if err := emit("fig4_nnf.svg", gadget, topology.NNF(gadget), viz.Options{Labels: true}); err != nil {
+		return written, err
+	}
+	if err := emit("fig5_opt.svg", gadget, OptTreeGadget(gadget, 12), viz.Options{Labels: true}); err != nil {
+		return written, err
+	}
+
+	// Figures 6–8: the exponential chain, linear vs A_exp. Drawn on the
+	// chain itself (not log scale): the long edges dominate, as in the
+	// paper's Figure 6.
+	chain := gen.ExpChain(16, 1)
+	if err := emit("fig7_linear.svg", chain, highway.Linear(chain), viz.Options{Disks: true, Labels: true}); err != nil {
+		return written, err
+	}
+	if err := emit("fig8_aexp.svg", chain, highway.AExp(chain), viz.Options{Disks: true, Labels: true}); err != nil {
+		return written, err
+	}
+
+	// Figure 9: A_gen's hubs on a random highway instance.
+	hw := gen.HighwayUniform(rng, 60, 4)
+	if err := emit("fig9_agen.svg", hw, highway.AGen(hw), viz.Options{Disks: true, Labels: true}); err != nil {
+		return written, err
+	}
+	return written, nil
+}

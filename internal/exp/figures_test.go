@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRenderFiguresWritesAllFiles(t *testing.T) {
+	dir := t.TempDir()
+	files, err := RenderFigures(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"fig1_before.svg", "fig1_after.svg", "fig2.svg",
+		"fig4_nnf.svg", "fig5_opt.svg",
+		"fig7_linear.svg", "fig8_aexp.svg", "fig9_agen.svg",
+	}
+	if len(files) != len(want) {
+		t.Fatalf("wrote %d files, want %d", len(files), len(want))
+	}
+	for _, name := range want {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s := string(data)
+		if !strings.HasPrefix(s, "<svg") || !strings.Contains(s, "</svg>") {
+			t.Errorf("%s: not an SVG", name)
+		}
+		if !strings.Contains(s, "<circle") {
+			t.Errorf("%s: no nodes drawn", name)
+		}
+	}
+	// The topological figures must contain edges.
+	for _, name := range []string{"fig4_nnf.svg", "fig5_opt.svg", "fig7_linear.svg", "fig8_aexp.svg", "fig9_agen.svg"} {
+		data, _ := os.ReadFile(filepath.Join(dir, name))
+		if !strings.Contains(string(data), "<line") {
+			t.Errorf("%s: no edges drawn", name)
+		}
+	}
+}
+
+func TestRenderFiguresBadDir(t *testing.T) {
+	// A path under a regular file cannot be created.
+	dir := t.TempDir()
+	f := filepath.Join(dir, "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RenderFigures(filepath.Join(f, "sub"), 1); err == nil {
+		t.Error("expected error for uncreatable directory")
+	}
+}

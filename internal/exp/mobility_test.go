@@ -1,0 +1,44 @@
+package exp
+
+import "testing"
+
+func TestMobilityX4SenderMoreVolatile(t *testing.T) {
+	tb := MobilityX4(1, 60, 300)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	var recvRow, sendRow []string
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "receiver-centric":
+			recvRow = row
+		case "sender-centric":
+			sendRow = row
+		}
+	}
+	if recvRow == nil || sendRow == nil {
+		t.Fatal("missing measure rows")
+	}
+	recvVol := cellFloat(t, recvRow[4]) // std/mean
+	sendVol := cellFloat(t, sendRow[4])
+	if sendVol <= recvVol {
+		t.Errorf("sender volatility %.3f not above receiver %.3f", sendVol, recvVol)
+	}
+	recvJump := cellFloat(t, recvRow[6]) // max_jump/mean
+	sendJump := cellFloat(t, sendRow[6])
+	if sendJump <= recvJump {
+		t.Errorf("sender max jump %.3f not above receiver %.3f", sendJump, recvJump)
+	}
+}
+
+func TestMaxJump(t *testing.T) {
+	if j := maxJump([]float64{1, 4, 2, 2}); j != 3 {
+		t.Errorf("maxJump = %v", j)
+	}
+	if j := maxJump([]float64{5}); j != 0 {
+		t.Errorf("single sample jump = %v", j)
+	}
+	if j := maxJump(nil); j != 0 {
+		t.Errorf("empty jump = %v", j)
+	}
+}

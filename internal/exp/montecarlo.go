@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/planar"
+	"repro/internal/stats"
+	"repro/internal/tablefmt"
+	"repro/internal/topology"
+)
+
+// ParallelMap runs fn over 0..n-1 on a bounded worker pool and collects
+// the results in index order. It is the fan-out primitive of the
+// Monte-Carlo experiments: trials are independent, each takes its own
+// seeded RNG, and the output is deterministic regardless of scheduling.
+func ParallelMap[T any](n, workers int, fn func(i int) T) []T {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// MonteCarlo runs the full algorithm zoo (plus the 2-D hub construction)
+// over `trials` random instances of each family, in parallel, and
+// reports the distribution of the receiver-centric interference per
+// algorithm. This is the statistical complement to the single-instance
+// S4 table: it shows whether the single-seed ordering is typical.
+func MonteCarlo(baseSeed int64, trials, workers int) *tablefmt.Table {
+	type algo struct {
+		name  string
+		build func([]geom.Point) *graph.Graph
+	}
+	algos := make([]algo, 0, len(topology.All())+1)
+	for _, a := range topology.All() {
+		algos = append(algos, algo{a.Name, a.Build})
+	}
+	algos = append(algos, algo{"AGen2D", planar.AGen2D})
+
+	families := []struct {
+		name string
+		make func(rng *rand.Rand) []geom.Point
+	}{
+		{"uniform-2d", func(rng *rand.Rand) []geom.Point { return gen.UniformSquare(rng, 200, 4) }},
+		{"clustered-2d", func(rng *rand.Rand) []geom.Point { return gen.Clustered(rng, 200, 5, 4, 0.25) }},
+	}
+
+	t := tablefmt.New(
+		fmt.Sprintf("Monte-Carlo: receiver-centric I(G') over %d random instances per family", trials),
+		"family", "algorithm", "mean_I", "std", "min", "median", "max")
+	for _, fam := range families {
+		// One instance per trial; every algorithm sees the same instance
+		// so the comparison is paired.
+		type row struct{ is []int }
+		results := ParallelMap(trials, workers, func(i int) row {
+			rng := rand.New(rand.NewSource(baseSeed + int64(i)))
+			pts := fam.make(rng)
+			is := make([]int, len(algos))
+			for k, a := range algos {
+				is[k] = core.Interference(pts, a.build(pts)).Max()
+			}
+			return row{is}
+		})
+		for k, a := range algos {
+			xs := make([]float64, trials)
+			for i, r := range results {
+				xs[i] = float64(r.is[k])
+			}
+			s := stats.Summarize(xs)
+			t.AddRowf(fam.name, a.name, s.Mean, s.Std, s.Min, s.Median, s.Max)
+		}
+	}
+	return t
+}
+
+// Planar2D is the future-work experiment (the paper's conclusion:
+// "adaptation of our approach to higher dimensions remains an open
+// problem"): the AGen2D hub construction against the classical zoo on
+// 2-D instances including the Theorem 4.1 gadget, with the √Δ reference
+// the 1-D theorem suggests.
+func Planar2D(seed int64) *tablefmt.Table {
+	rng := rand.New(rand.NewSource(seed))
+	t := tablefmt.New(
+		"X3 (future work): 2-D hub construction AGen2D and the Best2D portfolio vs the zoo",
+		"instance", "n", "delta", "sqrt_delta", "I_agen2d", "I_best2d", "best_pick", "I_mst", "I_lmst", "I_life", "I_nnf")
+	instances := []struct {
+		name string
+		pts  []geom.Point
+	}{
+		{"uniform-2d", gen.UniformSquare(rng, 250, 4)},
+		{"dense-2d", gen.UniformSquare(rng, 500, 3)},
+		{"clustered-2d", gen.Clustered(rng, 250, 6, 4, 0.25)},
+		{"gadget-T41", gen.DoubleExpChain(80)},
+	}
+	for _, in := range instances {
+		delta := 0
+		if len(in.pts) > 0 {
+			delta = maxDeg(in.pts)
+		}
+		bestG, pick := planar.Best2D(in.pts)
+		t.AddRowf(in.name, len(in.pts), delta, sqrtF(delta),
+			core.Interference(in.pts, planar.AGen2D(in.pts)).Max(),
+			core.Interference(in.pts, bestG).Max(),
+			pick,
+			core.Interference(in.pts, topology.MST(in.pts)).Max(),
+			core.Interference(in.pts, topology.LMST(in.pts)).Max(),
+			core.Interference(in.pts, topology.LIFE(in.pts)).Max(),
+			core.Interference(in.pts, topology.NNF(in.pts)).Max())
+	}
+	return t
+}

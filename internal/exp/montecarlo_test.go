@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelMapOrderAndCompleteness(t *testing.T) {
+	n := 200
+	out := ParallelMap(n, 8, func(i int) int { return i * i })
+	for i := 0; i < n; i++ {
+		if out[i] != i*i {
+			t.Fatalf("out[%d] = %d", i, out[i])
+		}
+	}
+}
+
+func TestParallelMapRunsEveryIndexOnce(t *testing.T) {
+	n := 500
+	var counters [500]int64
+	ParallelMap(n, 16, func(i int) struct{} {
+		atomic.AddInt64(&counters[i], 1)
+		return struct{}{}
+	})
+	for i, c := range counters {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestParallelMapDegenerate(t *testing.T) {
+	if out := ParallelMap(0, 4, func(int) int { return 1 }); len(out) != 0 {
+		t.Error("n=0 wrong")
+	}
+	// workers <= 0 falls back to GOMAXPROCS; workers > n clamps.
+	out := ParallelMap(3, 0, func(i int) int { return i })
+	if len(out) != 3 || out[2] != 2 {
+		t.Error("default-workers map wrong")
+	}
+	out = ParallelMap(2, 100, func(i int) int { return i + 1 })
+	if out[0] != 1 || out[1] != 2 {
+		t.Error("clamped-workers map wrong")
+	}
+}
+
+func TestParallelMapDeterministicAggregation(t *testing.T) {
+	// Two runs with different worker counts must agree element-wise:
+	// parallelism never changes results.
+	a := ParallelMap(64, 1, func(i int) int { return i * 3 })
+	b := ParallelMap(64, 13, func(i int) int { return i * 3 })
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("worker-count dependence at %d", i)
+		}
+	}
+}
+
+func TestMonteCarloTable(t *testing.T) {
+	tb := MonteCarlo(42, 4, 4)
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Paired design: every algorithm appears once per family.
+	perFamily := map[string]int{}
+	for _, row := range tb.Rows {
+		perFamily[row[0]]++
+	}
+	for fam, k := range perFamily {
+		if k < 9 {
+			t.Errorf("family %s has only %d algorithm rows", fam, k)
+		}
+	}
+	// Reproducibility across runs (and across worker counts).
+	tb2 := MonteCarlo(42, 4, 1)
+	if len(tb2.Rows) != len(tb.Rows) {
+		t.Fatal("row count changed")
+	}
+	for i := range tb.Rows {
+		for j := range tb.Rows[i] {
+			if tb.Rows[i][j] != tb2.Rows[i][j] {
+				t.Fatalf("row %d col %d differs across worker counts: %q vs %q",
+					i, j, tb.Rows[i][j], tb2.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestPlanar2DTable(t *testing.T) {
+	tb := Planar2D(1)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		agen2d := cellInt(t, row[4])
+		best := cellInt(t, row[5])
+		mst := cellInt(t, row[7])
+		nnf := cellInt(t, row[10])
+		// The portfolio never loses to either of its members.
+		if best > agen2d || best > mst {
+			t.Errorf("%s: Best2D %d worse than a member (agen2d %d, mst %d)", row[0], best, agen2d, mst)
+		}
+		if row[0] == "gadget-T41" {
+			if agen2d >= nnf {
+				t.Errorf("gadget: AGen2D %d should beat NNF-chained %d", agen2d, nnf)
+			}
+			if agen2d*2 > mst {
+				t.Errorf("gadget: AGen2D %d not well below MST %d", agen2d, mst)
+			}
+			if row[6] == "mst" {
+				t.Error("gadget: portfolio should not pick the MST")
+			}
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package exp
+
+import "testing"
+
+func TestNodeCorrX10StrongRankCorrelation(t *testing.T) {
+	tb := NodeCorrX10(24, 1)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		spear := cellFloat(t, row[2])
+		if spear < 0.5 {
+			t.Errorf("%s: Spearman %.3f — static I(v) should rank-order measured failures", row[0], spear)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package exp
+
+import "repro/internal/tablefmt"
+
+// Params carries the knobs shared by the experiment runners.
+type Params struct {
+	// Seed drives every randomized instance family.
+	Seed int64
+	// SimN is the chain size of the packet-simulation experiments.
+	SimN int
+	// MCTrials is the instance count per family for the Monte-Carlo
+	// experiment; MCWorkers its worker-pool size (0 = GOMAXPROCS).
+	MCTrials  int
+	MCWorkers int
+	// ChurnEvents is the event count of the dynamic-maintenance run.
+	ChurnEvents int
+}
+
+// DefaultParams returns the parameters the reproduction documents.
+func DefaultParams() Params {
+	return Params{Seed: 1, SimN: 24, MCTrials: 16, ChurnEvents: 300}
+}
+
+// Experiment is one catalogued reproduction artifact.
+type Experiment struct {
+	// ID is the stable identifier used by cmd/paperrepro -exp.
+	ID string
+	// Title is a one-line description for listings.
+	Title string
+	// Run produces the experiment's table and an optional free-form note
+	// (e.g. a fitted scaling law).
+	Run func(p Params) (*tablefmt.Table, string)
+}
+
+// Registry returns the full experiment catalogue in presentation order —
+// the single source of truth consumed by cmd/paperrepro and the tests.
+func Registry() []Experiment {
+	return []Experiment{
+		{"f1", "Figure 1 — robustness of both measures under one arrival",
+			func(p Params) (*tablefmt.Table, string) { return Figure1(p.Seed), "" }},
+		{"t41", "Theorem 4.1 — NNF is Ω(n) on the gadget",
+			func(p Params) (*tablefmt.Table, string) { return Theorem41(), "" }},
+		{"f7", "Figures 6–7 — linear exponential chain has I = n−2",
+			func(p Params) (*tablefmt.Table, string) { return Figure7(), "" }},
+		{"t51", "Theorem 5.1 / Figure 8 — A_exp achieves O(√n)",
+			func(p Params) (*tablefmt.Table, string) { return Theorem51() }},
+		{"f8", "Figure 8 detail — per-node interference labels under A_exp",
+			func(p Params) (*tablefmt.Table, string) { return Figure8Detail(16), "" }},
+		{"t52", "Theorem 5.2 — exact optimum vs the √n lower bound",
+			func(p Params) (*tablefmt.Table, string) { return Theorem52(), "" }},
+		{"t54", "Theorem 5.4 / Figure 9 — A_gen achieves O(√Δ)",
+			func(p Params) (*tablefmt.Table, string) { return Theorem54(p.Seed), "" }},
+		{"t56", "Theorem 5.6 — A_apx approximation quality",
+			func(p Params) (*tablefmt.Table, string) { return Theorem56(p.Seed), "" }},
+		{"s4", "Section 4 — the topology-control zoo under the new measure",
+			func(p Params) (*tablefmt.Table, string) { return Section4(p.Seed), "" }},
+		{"x1", "X1 — per-arrival interference deltas",
+			func(p Params) (*tablefmt.Table, string) { return RobustnessX1(p.Seed, 12), "" }},
+		{"x2", "X2 — packet-level validation of the measure",
+			func(p Params) (*tablefmt.Table, string) { return SimX2(p.SimN, p.Seed), "" }},
+		{"x3", "X3 — the 2-D future work: AGen2D and Best2D",
+			func(p Params) (*tablefmt.Table, string) { return Planar2D(p.Seed), "" }},
+		{"x4", "X4 — measure volatility under random-waypoint motion",
+			func(p Params) (*tablefmt.Table, string) { return MobilityX4(p.Seed, 60, 400), "" }},
+		{"x5", "X5 — interference vs classical topology-control goals",
+			func(p Params) (*tablefmt.Table, string) { return TradeoffX5(p.Seed), "" }},
+		{"x6", "X6 — protocol (disk) vs physical (SINR) reception",
+			func(p Params) (*tablefmt.Table, string) { return SinrX6(p.SimN, p.Seed), "" }},
+		{"x7", "X7 — TDMA: interference as frame length and sleep energy",
+			func(p Params) (*tablefmt.Table, string) { return TdmaX7(p.SimN, p.Seed), "" }},
+		{"x8", "X8 — online maintenance under churn",
+			func(p Params) (*tablefmt.Table, string) { return DynamicX8(p.Seed, p.ChurnEvents), "" }},
+		{"x9", "X9 — directed data-gathering trees ([4]'s setting)",
+			func(p Params) (*tablefmt.Table, string) { return GatherX9(p.Seed), "" }},
+		{"x10", "X10 — per-node I(v) vs measured reception failures",
+			func(p Params) (*tablefmt.Table, string) { return NodeCorrX10(p.SimN, p.Seed), "" }},
+		{"x11", "X11 — distributed protocol costs (LOCAL model)",
+			func(p Params) (*tablefmt.Table, string) { return DistCostX11(p.Seed, 150), "" }},
+		{"x12", "X12 — topology churn under motion",
+			func(p Params) (*tablefmt.Table, string) { return StabilityX12(p.Seed, 60, 60), "" }},
+		{"r54", "T5.4 replicated — O(√Δ) constant with error bars",
+			func(p Params) (*tablefmt.Table, string) { return ReplicatedT54(p.Seed, p.MCTrials, p.MCWorkers), "" }},
+		{"r56", "T5.6 replicated — approximation ratio distribution",
+			func(p Params) (*tablefmt.Table, string) { return ReplicatedT56(p.Seed, p.MCTrials, p.MCWorkers), "" }},
+		{"mc", "MC — parallel Monte-Carlo over random instances",
+			func(p Params) (*tablefmt.Table, string) { return MonteCarlo(p.Seed, p.MCTrials, p.MCWorkers), "" }},
+	}
+}

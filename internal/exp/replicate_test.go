@@ -1,0 +1,40 @@
+package exp
+
+import "testing"
+
+func TestReplicatedT54ConstantStable(t *testing.T) {
+	tb := ReplicatedT54(1, 6, 0)
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		mean := cellFloat(t, row[2])
+		std := cellFloat(t, row[3])
+		max := cellFloat(t, row[4])
+		if mean < 0.5 || mean > 4 {
+			t.Errorf("%s n=%s: mean ratio %.2f outside the O(√Δ) constant band", row[0], row[1], mean)
+		}
+		if std > mean {
+			t.Errorf("%s n=%s: std %.2f exceeds mean %.2f — unstable", row[0], row[1], std, mean)
+		}
+		if max > 8 {
+			t.Errorf("%s n=%s: worst ratio %.2f blows the bound", row[0], row[1], max)
+		}
+	}
+}
+
+func TestReplicatedT56WithinGuarantee(t *testing.T) {
+	tb := ReplicatedT56(1, 6, 0)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if max := cellFloat(t, row[3]); max > 20 {
+			t.Errorf("%s: worst ratio %.2f implausibly large", row[0], max)
+		}
+		frac := cellFloat(t, row[4])
+		if frac < 0 || frac > 1 {
+			t.Errorf("%s: branch fraction %.2f out of range", row[0], frac)
+		}
+	}
+}

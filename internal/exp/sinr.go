@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/highway"
+	"repro/internal/sim"
+	"repro/internal/tablefmt"
+)
+
+// SinrX6 compares the paper's protocol (disk) reception model against
+// the physical (SINR) model on the exponential chain: the same MAC and
+// workload, both models, three traffic patterns. It quantifies where the
+// disk abstraction predicts physical outages (direction-neutral traffic)
+// and where it cannot (directional traffic, where per-hop power margins
+// — invisible to disks — dominate).
+func SinrX6(n int, seed int64) *tablefmt.Table {
+	pts := gen.ExpChain(n, 1)
+	topos := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"linear", highway.Linear(pts)},
+		{"aexp", highway.AExp(pts)},
+		{"agen", highway.AGen(pts)},
+	}
+	workloads := []struct {
+		name    string
+		install func(s *sim.Simulator, slots int64)
+	}{
+		{"conv-left", func(s *sim.Simulator, slots int64) {
+			sim.Convergecast{N: n, Sink: 0, Period: 400, Slots: slots / 2, Stagger: true}.Install(s)
+		}},
+		{"conv-right", func(s *sim.Simulator, slots int64) {
+			sim.Convergecast{N: n, Sink: n - 1, Period: 400, Slots: slots / 2, Stagger: true}.Install(s)
+		}},
+		{"poisson", func(s *sim.Simulator, slots int64) {
+			sim.PoissonPairs{N: n, Rate: 0.04, Slots: slots / 2, Seed: seed, SameComponentOnly: true}.Install(s)
+		}},
+	}
+	t := tablefmt.New(
+		fmt.Sprintf("X6: protocol (disk) vs physical (SINR) reception, %d-node exponential chain", n),
+		"workload", "topology", "I(G)", "disk_collrate", "sinr_collrate", "disk_delivery", "sinr_delivery")
+	const slots = 30000
+	for _, wl := range workloads {
+		for _, tc := range topos {
+			run := func(physical bool) *sim.Metrics {
+				nw := sim.NewNetwork(pts, tc.g)
+				cfg := sim.DefaultConfig()
+				cfg.Slots = slots
+				cfg.Seed = seed
+				if physical {
+					cfg.Physical = sim.DefaultPhysical()
+				}
+				s := sim.New(nw, cfg)
+				wl.install(s, slots)
+				return s.Run()
+			}
+			d := run(false)
+			p := run(true)
+			t.AddRowf(wl.name, tc.name, core.Interference(pts, tc.g).Max(),
+				d.CollisionRate(), p.CollisionRate(), d.DeliveryRatio(), p.DeliveryRatio())
+		}
+	}
+	return t
+}

@@ -1,0 +1,35 @@
+package exp
+
+import "testing"
+
+func TestSinrX6Shapes(t *testing.T) {
+	tb := SinrX6(20, 1)
+	get := func(wl, topo string) []string {
+		for _, row := range tb.Rows {
+			if row[0] == wl && row[1] == topo {
+				return row
+			}
+		}
+		t.Fatalf("row %s/%s missing", wl, topo)
+		return nil
+	}
+	// Direction-neutral traffic: the disk ordering persists under SINR.
+	linP := cellFloat(t, get("poisson", "linear")[4])
+	aexpP := cellFloat(t, get("poisson", "aexp")[4])
+	if aexpP >= linP {
+		t.Errorf("poisson SINR: aexp %.4f not below linear %.4f", aexpP, linP)
+	}
+	// Directional traffic: the margin asymmetry flips the linear chain
+	// between directions under SINR but not under disks.
+	leftSinr := cellFloat(t, get("conv-left", "linear")[4])
+	rightSinr := cellFloat(t, get("conv-right", "linear")[4])
+	if leftSinr >= rightSinr {
+		t.Errorf("linear chain SINR: downhill %.4f should be far below uphill %.4f", leftSinr, rightSinr)
+	}
+	// Uphill linear delivery collapses under SINR relative to disks.
+	rightDiskDel := cellFloat(t, get("conv-right", "linear")[5])
+	rightSinrDel := cellFloat(t, get("conv-right", "linear")[6])
+	if rightSinrDel >= rightDiskDel {
+		t.Errorf("uphill linear: SINR delivery %.3f should fall below disk %.3f", rightSinrDel, rightDiskDel)
+	}
+}

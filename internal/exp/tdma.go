@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/highway"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/tablefmt"
+	"repro/internal/topology"
+)
+
+// TdmaX7 measures scheduled access: for each topology of the same
+// exponential-chain instance it builds the greedy conflict-free TDMA link
+// schedule and runs identical convergecast traffic. Random access pays
+// for interference with collisions (X2); scheduled access pays with
+// frame length and hence latency — I(G') governs both prices.
+func TdmaX7(n int, seed int64) *tablefmt.Table {
+	pts := gen.ExpChain(n, 1)
+	t := tablefmt.New(
+		fmt.Sprintf("X7: TDMA scheduled access on a %d-node exponential chain (energy: tx + idle listening; CSMA column for contrast)", n),
+		"topology", "I(G)", "frame_len", "collisions", "delivery", "mean_latency", "tdma_energy", "csma_energy")
+	topos := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"linear", highway.Linear(pts)},
+		{"aexp", highway.AExp(pts)},
+		{"agen", highway.AGen(pts)},
+		{"mst", topology.MST(pts)},
+	}
+	for _, tc := range topos {
+		nw := sim.NewNetwork(pts, tc.g)
+		cfg := sim.DefaultConfig()
+		cfg.Slots = 120000
+		cfg.Seed = seed
+		s, frame := schedule.RunTDMA(nw, cfg)
+		sim.Convergecast{N: n, Sink: 0, Period: 1500, Slots: 60000, Stagger: true}.Install(s)
+		m := s.Run()
+		// The CSMA baseline on identical traffic, for the energy contrast.
+		cs := sim.New(nw, cfg2(cfg))
+		sim.Convergecast{N: n, Sink: 0, Period: 1500, Slots: 60000, Stagger: true}.Install(cs)
+		mc := cs.Run()
+		t.AddRowf(tc.name, core.Interference(pts, tc.g).Max(), frame,
+			m.Collisions, m.DeliveryRatio(), m.MeanLatency(), m.TotalEnergy(), mc.TotalEnergy())
+	}
+	return t
+}
+
+// cfg2 strips the scheduling gates off a config, yielding the CSMA twin.
+func cfg2(c sim.Config) sim.Config {
+	c.SlotGate = nil
+	c.AwakeGate = nil
+	return c
+}

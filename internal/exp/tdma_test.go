@@ -1,0 +1,33 @@
+package exp
+
+import "testing"
+
+func TestTdmaX7Shape(t *testing.T) {
+	tb := TdmaX7(20, 1)
+	get := func(topo string) []string {
+		for _, row := range tb.Rows {
+			if row[0] == topo {
+				return row
+			}
+		}
+		t.Fatalf("row %s missing", topo)
+		return nil
+	}
+	lin, aexp := get("linear"), get("aexp")
+	// Zero collisions and full delivery across the board.
+	for _, row := range tb.Rows {
+		if row[3] != "0" {
+			t.Errorf("%s: collisions %s under TDMA", row[0], row[3])
+		}
+		if cellFloat(t, row[4]) < 0.999 {
+			t.Errorf("%s: delivery %s", row[0], row[4])
+		}
+	}
+	// Higher interference ⇒ longer frame ⇒ higher latency.
+	if cellInt(t, lin[2]) <= cellInt(t, aexp[2]) {
+		t.Errorf("frames: linear %s should exceed aexp %s", lin[2], aexp[2])
+	}
+	if cellFloat(t, lin[5]) <= cellFloat(t, aexp[5]) {
+		t.Errorf("latency: linear %s should exceed aexp %s", lin[5], aexp[5])
+	}
+}

@@ -1,0 +1,40 @@
+package exp
+
+import (
+	"math/rand"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/report"
+	"repro/internal/tablefmt"
+	"repro/internal/topology"
+)
+
+// TradeoffX5 profiles the whole zoo on one uniform and one clustered
+// instance, putting both interference measures next to the classical
+// topology-control goals (degree, spanner stretch, energy). It makes the
+// related-work tension concrete: the constructions that optimize
+// sparseness or stretch do not optimize interference, and vice versa —
+// trees minimize interference but pay unbounded stretch, spanners pay
+// interference for stretch.
+func TradeoffX5(seed int64) *tablefmt.Table {
+	rng := rand.New(rand.NewSource(seed))
+	t := tablefmt.New(
+		"X5: interference vs classical topology-control goals",
+		"instance", "algorithm", "recv_I", "send_I", "max_deg", "stretch", "radii_energy", "total_len", "bridges")
+	instances := []struct {
+		name string
+		pts  []geom.Point
+	}{
+		{"uniform-2d", gen.UniformSquare(rng, 120, 2.5)},
+		{"clustered-2d", gen.Clustered(rng, 120, 4, 2.5, 0.2)},
+	}
+	for _, in := range instances {
+		for _, alg := range topology.All() {
+			p := report.Build(in.pts, alg.Build(in.pts))
+			t.AddRowf(in.name, alg.Name, p.RecvMax, p.SendMax, p.MaxDegree,
+				p.Stretch, p.RadiiEnergy, p.TotalLength, p.Bridges)
+		}
+	}
+	return t
+}

@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestTradeoffX5Shape(t *testing.T) {
+	tb := TradeoffX5(1)
+	want := 2 * len(topology.All())
+	if len(tb.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(tb.Rows), want)
+	}
+	byKey := map[string][]string{}
+	for _, row := range tb.Rows {
+		byKey[row[0]+"/"+row[1]] = row
+	}
+	for _, inst := range []string{"uniform-2d", "clustered-2d"} {
+		mst := byKey[inst+"/MST"]
+		gg := byKey[inst+"/GG"]
+		greedy := byKey[inst+"/GreedyI"]
+		if mst == nil || gg == nil || greedy == nil {
+			t.Fatalf("%s: missing rows", inst)
+		}
+		// The tension: the Gabriel graph (a spanner) has lower stretch but
+		// at least the MST's interference; trees the reverse.
+		if cellFloat(t, gg[5]) > cellFloat(t, mst[5]) {
+			t.Errorf("%s: GG stretch above MST's", inst)
+		}
+		if cellInt(t, gg[2]) < cellInt(t, mst[2]) {
+			t.Errorf("%s: GG interference below MST's — GG contains MST", inst)
+		}
+		// GreedyI optimizes the receiver measure: never worse than MST.
+		if cellInt(t, greedy[2]) > cellInt(t, mst[2]) {
+			t.Errorf("%s: GreedyI %s worse than MST %s", inst, greedy[2], mst[2])
+		}
+		// Stretch of any connectivity-preserving construction is finite.
+		for _, alg := range topology.All() {
+			if !alg.PreservesConnectivity {
+				continue
+			}
+			row := byKey[inst+"/"+alg.Name]
+			if s := cellFloat(t, row[5]); math.IsInf(s, 1) || s < 1 {
+				t.Errorf("%s/%s: stretch %v", inst, alg.Name, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package gen generates the node distributions the paper's constructions
+// and experiments are built on: the Figure 1 cluster-plus-remote-node
+// gadget, the Figure 3 double exponential chain with helper nodes, the
+// exponential node chain of Section 5.1, and the random 1-D and 2-D
+// families used by the measurement campaigns.
+//
+// Every randomized generator takes an explicit *rand.Rand so experiments
+// are reproducible bit-for-bit from a seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// ExpChain returns the exponential node chain of Section 5.1: n collinear
+// nodes v_1..v_n where the distance between consecutive nodes doubles from
+// left to right, scaled so the whole chain fits within extent maxExtent
+// (the paper assumes extent ≤ 1, making the chain a complete UDG).
+//
+// With gaps d, 2d, 4d, …, 2^{n-2}·d the total extent is (2^{n-1} − 1)·d.
+//
+// Float64 cannot place more than ~46 doubling gaps inside a fixed extent
+// (the smallest gap falls below the ulp of the largest coordinate and
+// consecutive nodes collapse), so ExpChain panics for n > MaxExpChainN;
+// larger chains must use ExpChainUnit, whose coordinates are exact.
+func ExpChain(n int, maxExtent float64) []geom.Point {
+	if n < 1 {
+		panic("gen: ExpChain needs n >= 1")
+	}
+	if n > MaxExpChainN {
+		panic("gen: ExpChain cannot resolve gaps beyond MaxExpChainN nodes in float64; use ExpChainUnit")
+	}
+	pts := make([]geom.Point, n)
+	if n == 1 {
+		return pts
+	}
+	// Base gap so the chain exactly spans maxExtent.
+	d := maxExtent / (math.Pow(2, float64(n-1)) - 1)
+	x := 0.0
+	for i := 1; i < n; i++ {
+		x += d * math.Pow(2, float64(i-1))
+		pts[i] = geom.Pt(x, 0)
+	}
+	return pts
+}
+
+// MaxExpChainN is the largest exponential chain ExpChain can place inside
+// a fixed extent without float64 gap collapse: the smallest gap is
+// extent/2^{n-1}, and it must stay well above the 2^-52 ulp of the
+// largest coordinate.
+const MaxExpChainN = 44
+
+// MaxExpChainUnitN is the largest chain ExpChainUnit can emit: node i
+// sits at 2^i − 1 and the SQUARED distances the disk tests compute
+// overflow float64 once coordinates pass 2^511.
+const MaxExpChainUnitN = 500
+
+// ExpChainUnit returns the exponential node chain with UNIT base gap:
+// node i sits at x = 2^i − 1 (gaps 1, 2, 4, …) — exact in float64 for
+// i ≤ 52 and accurate to one ulp (relative 2^-52) beyond, which never
+// flips a disk-membership comparison because chain distances differ by
+// factors of two. The chain's extent is 2^{n-1} − 1, far beyond the unit
+// communication range — it is intended for the range-free Section 5.1
+// analyses (Linear/AExp via LinearRange with r = +Inf), which is sound
+// because the receiver-centric interference measure is scale-invariant:
+// scaling all coordinates scales all radii and changes no disk membership.
+func ExpChainUnit(n int) []geom.Point {
+	if n < 1 {
+		panic("gen: ExpChainUnit needs n >= 1")
+	}
+	if n > MaxExpChainUnitN {
+		panic("gen: ExpChainUnit positions overflow float64 beyond MaxExpChainUnitN nodes")
+	}
+	pts := make([]geom.Point, n)
+	for i := 1; i < n; i++ {
+		pts[i] = geom.Pt(math.Pow(2, float64(i))-1, 0)
+	}
+	return pts
+}
+
+// Figure1 returns the paper's Figure 1 gadget: a roughly homogeneous
+// cluster of n−1 nodes of unit-ish spacing and one remote node to its
+// right, so close to the cluster boundary that the cluster must raise a
+// long link to integrate it. clusterSpread controls the cluster diameter
+// (must be well below 1 so intra-cluster links are short); the remote node
+// sits at distance just under the unit range from the rightmost cluster
+// node.
+func Figure1(rng *rand.Rand, n int, clusterSpread float64) []geom.Point {
+	if n < 3 {
+		panic("gen: Figure1 needs n >= 3")
+	}
+	if clusterSpread <= 0 || clusterSpread >= 0.5 {
+		panic("gen: Figure1 clusterSpread must lie in (0, 0.5)")
+	}
+	pts := make([]geom.Point, 0, n)
+	for i := 0; i < n-1; i++ {
+		pts = append(pts, geom.Pt(rng.Float64()*clusterSpread, rng.Float64()*clusterSpread))
+	}
+	// The remote node: reachable (distance < 1) from every cluster node,
+	// so the UDG is connected, but far enough that any link to it covers
+	// the entire cluster.
+	pts = append(pts, geom.Pt(clusterSpread+0.95, clusterSpread/2))
+	return pts
+}
+
+// DoubleExpChain returns the two-exponential-chains gadget of Figures 3–5
+// (the Theorem 4.1 lower-bound instance). It consists of k triples
+// (h_i, v_i, t_i), n = 3k nodes total:
+//
+//   - h_i: the horizontal chain with |h_i, h_{i+1}| = 2^i (scaled),
+//   - v_i: vertically displaced from h_i by d_i slightly larger than
+//     h_i's distance 2^{i-1} to its left neighbor, so h_i's nearest
+//     neighbor is v_i — the NNF links every h_i upward, and
+//   - t_i: a helper between v_{i-1} and v_i placed so that
+//     |h_i, t_i| > |h_i, v_i|, keeping v_i the nearest neighbor of h_i
+//     while gluing the diagonal chain together.
+//
+// The construction is scaled so the whole instance fits in extent ≤ 1
+// (complete UDG), matching the paper's assumption that transmission radii
+// can be chosen sufficiently large.
+func DoubleExpChain(k int) []geom.Point {
+	if k < 2 {
+		panic("gen: DoubleExpChain needs k >= 2 triples")
+	}
+	// Build unscaled, then normalize.
+	type triple struct{ h, v, t geom.Point }
+	ts := make([]triple, k)
+	x := 0.0
+	const eps = 0.05 // d_i = (1+eps)·2^{i-1} > 2^{i-1}
+	for i := 0; i < k; i++ {
+		h := geom.Pt(x, 0)
+		// Distance from h_i to its left horizontal neighbor is 2^{i-1}
+		// (for i = 0 use 0.5 so d_0 is well-defined and small).
+		leftGap := math.Pow(2, float64(i-1))
+		d := (1 + eps) * leftGap
+		v := geom.Pt(x, d)
+		ts[i] = triple{h: h, v: v}
+		x += math.Pow(2, float64(i))
+	}
+	// Helpers t_i between v_{i-1} and v_i, pushed toward v_{i-1}: at
+	// fraction 0.1 of the diagonal, |h_i, t_i| ≈ 1.07·2^{i-1} exceeds
+	// |h_i, v_i| = 1.05·2^{i-1}, satisfying the paper's constraint while
+	// keeping t_i's nearest neighbors on the diagonal chain.
+	const frac = 0.1
+	for i := 1; i < k; i++ {
+		a, b := ts[i-1].v, ts[i].v
+		ts[i].t = geom.Pt(a.X+(b.X-a.X)*frac, a.Y+(b.Y-a.Y)*frac)
+	}
+	// The first triple's helper hangs just off v_0 so n = 3k exactly; it
+	// plays no role in the bound.
+	ts[0].t = geom.Pt(ts[0].v.X-0.1, ts[0].v.Y+0.1)
+
+	pts := make([]geom.Point, 0, 3*k)
+	for _, tr := range ts {
+		pts = append(pts, tr.h, tr.v, tr.t)
+	}
+	// Normalize so the bounding-box diagonal is 1: every pairwise distance
+	// is then at most 1 and the UDG is complete, matching the paper's
+	// assumption that transmission radii can be chosen sufficiently large.
+	b := Bounds(pts)
+	diag := math.Hypot(b.Width(), b.Height())
+	if diag > 0 {
+		s := 1.0 / diag
+		for i := range pts {
+			pts[i] = geom.Pt((pts[i].X-b.Min.X)*s, (pts[i].Y-b.Min.Y)*s)
+		}
+	}
+	return pts
+}
+
+// Bounds re-exports geom.Bounds for generator-internal use and for
+// callers that already import gen.
+func Bounds(pts []geom.Point) geom.Rect { return geom.Bounds(pts) }
+
+// HighwayUniform returns n nodes uniformly at random on a highway segment
+// [0, length], sorted left to right.
+func HighwayUniform(rng *rand.Rand, n int, length float64) []geom.Point {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * length
+	}
+	sort.Float64s(xs)
+	pts := make([]geom.Point, n)
+	for i, x := range xs {
+		pts[i] = geom.Pt(x, 0)
+	}
+	return pts
+}
+
+// HighwayBursty returns n nodes in clusters along a highway: cluster
+// centers are uniform on [0, length] and nodes scatter around their
+// cluster center with the given spread. Models traffic bunching behind
+// slow vehicles. Sorted left to right.
+func HighwayBursty(rng *rand.Rand, n, clusters int, length, spread float64) []geom.Point {
+	if clusters < 1 {
+		panic("gen: HighwayBursty needs clusters >= 1")
+	}
+	centers := make([]float64, clusters)
+	for i := range centers {
+		centers[i] = rng.Float64() * length
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		c := centers[rng.Intn(clusters)]
+		x := c + rng.NormFloat64()*spread
+		if x < 0 {
+			x = 0
+		}
+		if x > length {
+			x = length
+		}
+		xs[i] = x
+	}
+	sort.Float64s(xs)
+	pts := make([]geom.Point, n)
+	for i, x := range xs {
+		pts[i] = geom.Pt(x, 0)
+	}
+	return pts
+}
+
+// HighwayExpFragments returns a highway instance composed of f exponential
+// chain fragments of m nodes each, the fragments' origins uniform on
+// [0, length]. These instances mix the benign (locally uniform) and the
+// adversarial (exponential) regimes and exercise A_apx's γ detector.
+func HighwayExpFragments(rng *rand.Rand, f, m int, length float64) []geom.Point {
+	if f < 1 || m < 1 {
+		panic("gen: HighwayExpFragments needs f, m >= 1")
+	}
+	var xs []float64
+	for i := 0; i < f; i++ {
+		origin := rng.Float64() * length
+		frag := ExpChain(m, 0.9) // fragment extent just under unit range
+		for _, p := range frag {
+			xs = append(xs, origin+p.X)
+		}
+	}
+	sort.Float64s(xs)
+	pts := make([]geom.Point, len(xs))
+	for i, x := range xs {
+		pts[i] = geom.Pt(x, 0)
+	}
+	return pts
+}
+
+// UniformSquare returns n nodes uniform on a side×side square.
+func UniformSquare(rng *rand.Rand, n int, side float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+	}
+	return pts
+}
+
+// Clustered returns n nodes in k Gaussian clusters on a side×side square
+// (cluster centers uniform, standard deviation spread, clipped to the
+// square). Models the inhomogeneous deployments where implicit
+// interference reduction fails.
+func Clustered(rng *rand.Rand, n, k int, side, spread float64) []geom.Point {
+	if k < 1 {
+		panic("gen: Clustered needs k >= 1")
+	}
+	centers := make([]geom.Point, k)
+	for i := range centers {
+		centers[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+	}
+	clip := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > side {
+			return side
+		}
+		return x
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		c := centers[rng.Intn(k)]
+		pts[i] = geom.Pt(clip(c.X+rng.NormFloat64()*spread), clip(c.Y+rng.NormFloat64()*spread))
+	}
+	return pts
+}
+
+// Perturb returns a copy of pts with every coordinate jittered uniformly
+// in [-eps, eps]; robustness experiments use it to verify measure
+// stability under small displacements.
+func Perturb(rng *rand.Rand, pts []geom.Point, eps float64) []geom.Point {
+	out := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		out[i] = geom.Pt(p.X+(rng.Float64()*2-1)*eps, p.Y+(rng.Float64()*2-1)*eps)
+	}
+	return out
+}
+
+// Describe returns a short human-readable summary of an instance (node
+// count and extent), used in experiment logs.
+func Describe(pts []geom.Point) string {
+	if len(pts) == 0 {
+		return "empty instance"
+	}
+	b := geom.Bounds(pts)
+	return fmt.Sprintf("n=%d extent=%.3gx%.3g", len(pts), b.Width(), b.Height())
+}

@@ -1,0 +1,237 @@
+package geom
+
+import "math"
+
+// Grid is a uniform-cell spatial index over a fixed point set. It supports
+// the two queries the interference machinery needs:
+//
+//   - Within(c, r): indices of all points within distance r of c, and
+//   - Nearest(i): the nearest other point to point i.
+//
+// Cells have side length equal to the construction cell size; a radius-r
+// query touches ⌈r/cell⌉+1 cells per axis. For the Unit Disk Graphs used
+// throughout the paper, cell = 1 makes neighbor enumeration near-linear in
+// output size.
+type Grid struct {
+	pts   []Point
+	cell  float64
+	minX  float64
+	minY  float64
+	nx    int
+	ny    int
+	cells [][]int32 // cells[cy*nx+cx] lists point indices
+}
+
+// NewGrid indexes pts with the given cell size. The points slice is
+// retained (not copied); callers must not mutate it while the grid is in
+// use. cell must be positive.
+func NewGrid(pts []Point, cell float64) *Grid {
+	if cell <= 0 || math.IsNaN(cell) || math.IsInf(cell, 0) {
+		panic("geom: NewGrid with non-positive cell size")
+	}
+	g := &Grid{pts: pts, cell: cell}
+	if len(pts) == 0 {
+		g.nx, g.ny = 1, 1
+		g.cells = make([][]int32, 1)
+		return g
+	}
+	b := Bounds(pts)
+	g.minX, g.minY = b.Min.X, b.Min.Y
+	g.nx = int(math.Floor(b.Width()/cell)) + 1
+	g.ny = int(math.Floor(b.Height()/cell)) + 1
+	g.cells = make([][]int32, g.nx*g.ny)
+	for i, p := range pts {
+		c := g.cellOf(p)
+		g.cells[c] = append(g.cells[c], int32(i))
+	}
+	return g
+}
+
+// Len returns the number of indexed points.
+func (g *Grid) Len() int { return len(g.pts) }
+
+// Points returns the indexed point slice (shared, not a copy).
+func (g *Grid) Points() []Point { return g.pts }
+
+func (g *Grid) cellOf(p Point) int {
+	cx := int((p.X - g.minX) / g.cell)
+	cy := int((p.Y - g.minY) / g.cell)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= g.nx {
+		cx = g.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= g.ny {
+		cy = g.ny - 1
+	}
+	return cy*g.nx + cx
+}
+
+// Within appends to dst the indices of every indexed point p with
+// c.Dist(p) <= r (boundary-inclusive, with the same epsilon tolerance as
+// InDisk) and returns the extended slice. The center point itself is
+// included when it is part of the indexed set and within range — callers
+// that need to exclude a self index filter it out.
+func (g *Grid) Within(c Point, r float64, dst []int) []int {
+	if r < 0 || len(g.pts) == 0 {
+		return dst
+	}
+	r2 := r * r * diskGrow
+	cx0 := int(math.Floor((c.X - r - g.minX) / g.cell))
+	cx1 := int(math.Floor((c.X + r - g.minX) / g.cell))
+	cy0 := int(math.Floor((c.Y - r - g.minY) / g.cell))
+	cy1 := int(math.Floor((c.Y + r - g.minY) / g.cell))
+	if cx0 < 0 {
+		cx0 = 0
+	}
+	if cy0 < 0 {
+		cy0 = 0
+	}
+	if cx1 >= g.nx {
+		cx1 = g.nx - 1
+	}
+	if cy1 >= g.ny {
+		cy1 = g.ny - 1
+	}
+	for cy := cy0; cy <= cy1; cy++ {
+		row := cy * g.nx
+		for cx := cx0; cx <= cx1; cx++ {
+			for _, idx := range g.cells[row+cx] {
+				if c.Dist2(g.pts[idx]) <= r2 {
+					dst = append(dst, int(idx))
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// CountWithin returns the number of indexed points within distance r of c.
+// It is Within without the allocation, used on the hot path of
+// interference evaluation.
+func (g *Grid) CountWithin(c Point, r float64) int {
+	if r < 0 || len(g.pts) == 0 {
+		return 0
+	}
+	r2 := r * r * diskGrow
+	cx0 := int(math.Floor((c.X - r - g.minX) / g.cell))
+	cx1 := int(math.Floor((c.X + r - g.minX) / g.cell))
+	cy0 := int(math.Floor((c.Y - r - g.minY) / g.cell))
+	cy1 := int(math.Floor((c.Y + r - g.minY) / g.cell))
+	if cx0 < 0 {
+		cx0 = 0
+	}
+	if cy0 < 0 {
+		cy0 = 0
+	}
+	if cx1 >= g.nx {
+		cx1 = g.nx - 1
+	}
+	if cy1 >= g.ny {
+		cy1 = g.ny - 1
+	}
+	n := 0
+	for cy := cy0; cy <= cy1; cy++ {
+		row := cy * g.nx
+		for cx := cx0; cx <= cx1; cx++ {
+			for _, idx := range g.cells[row+cx] {
+				if c.Dist2(g.pts[idx]) <= r2 {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Nearest returns the index of the nearest indexed point to point i other
+// than i itself, together with the distance. It returns (-1, +Inf) when
+// the set has fewer than two points. Ties are broken toward the smaller
+// index so results are deterministic.
+func (g *Grid) Nearest(i int) (int, float64) {
+	if len(g.pts) < 2 {
+		return -1, math.Inf(1)
+	}
+	p := g.pts[i]
+	best, bestD2 := -1, math.Inf(1)
+	// Expand rings of cells outward until the best candidate distance is
+	// certainly smaller than anything in an unexplored ring.
+	pcx := int((p.X - g.minX) / g.cell)
+	pcy := int((p.Y - g.minY) / g.cell)
+	maxRing := g.nx
+	if g.ny > maxRing {
+		maxRing = g.ny
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		if best >= 0 {
+			// Any point in a cell of ring `ring` is at distance at least
+			// (ring-1)*cell from p; stop once that exceeds the best found.
+			lo := float64(ring-1) * g.cell
+			if lo > 0 && lo*lo > bestD2 {
+				break
+			}
+		}
+		scanned := false
+		for cy := pcy - ring; cy <= pcy+ring; cy++ {
+			if cy < 0 || cy >= g.ny {
+				continue
+			}
+			for cx := pcx - ring; cx <= pcx+ring; cx++ {
+				if cx < 0 || cx >= g.nx {
+					continue
+				}
+				// Only the ring's border cells (interior handled earlier).
+				if ring > 0 && cx != pcx-ring && cx != pcx+ring && cy != pcy-ring && cy != pcy+ring {
+					continue
+				}
+				scanned = true
+				for _, idx := range g.cells[cy*g.nx+cx] {
+					j := int(idx)
+					if j == i {
+						continue
+					}
+					d2 := p.Dist2(g.pts[j])
+					if d2 < bestD2 || (d2 == bestD2 && j < best) {
+						best, bestD2 = j, d2
+					}
+				}
+			}
+		}
+		if !scanned && best >= 0 {
+			break
+		}
+	}
+	return best, math.Sqrt(bestD2)
+}
+
+// NearestBrute is the O(n) reference implementation of Nearest, kept for
+// cross-validation in tests.
+func NearestBrute(pts []Point, i int) (int, float64) {
+	best, bestD2 := -1, math.Inf(1)
+	for j, q := range pts {
+		if j == i {
+			continue
+		}
+		d2 := pts[i].Dist2(q)
+		if d2 < bestD2 || (d2 == bestD2 && j < best) {
+			best, bestD2 = j, d2
+		}
+	}
+	if best < 0 {
+		return -1, math.Inf(1)
+	}
+	return best, math.Sqrt(bestD2)
+}
+
+// WithinBrute is the O(n) reference implementation of Within.
+func WithinBrute(pts []Point, c Point, r float64, dst []int) []int {
+	r2 := r * r * diskGrow
+	for j, q := range pts {
+		if c.Dist2(q) <= r2 {
+			dst = append(dst, j)
+		}
+	}
+	return dst
+}

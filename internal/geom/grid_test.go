@@ -1,0 +1,162 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randomPoints(rng *rand.Rand, n int, w, h float64) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64()*w, rng.Float64()*h)
+	}
+	return pts
+}
+
+func TestGridWithinMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(200)
+		pts := randomPoints(rng, n, 10, 10)
+		g := NewGrid(pts, 1)
+		for q := 0; q < 10; q++ {
+			c := Pt(rng.Float64()*12-1, rng.Float64()*12-1)
+			r := rng.Float64() * 3
+			got := g.Within(c, r, nil)
+			want := WithinBrute(pts, c, r, nil)
+			sort.Ints(got)
+			sort.Ints(want)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: Within returned %d points, brute %d", trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: Within mismatch at %d: %d vs %d", trial, i, got[i], want[i])
+				}
+			}
+			if cn := g.CountWithin(c, r); cn != len(want) {
+				t.Fatalf("trial %d: CountWithin = %d, want %d", trial, cn, len(want))
+			}
+		}
+	}
+}
+
+func TestGridNearestMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(150)
+		pts := randomPoints(rng, n, 8, 3)
+		g := NewGrid(pts, 0.7)
+		for i := 0; i < n; i++ {
+			gi, gd := g.Nearest(i)
+			bi, bd := NearestBrute(pts, i)
+			if gi != bi {
+				// Equal distances with different indices are a tie-break bug.
+				t.Fatalf("trial %d point %d: Nearest = %d (%v), brute = %d (%v)", trial, i, gi, gd, bi, bd)
+			}
+			if math.Abs(gd-bd) > 1e-12 {
+				t.Fatalf("trial %d point %d: distance %v vs %v", trial, i, gd, bd)
+			}
+		}
+	}
+}
+
+func TestGridDegenerate(t *testing.T) {
+	// Empty set.
+	g := NewGrid(nil, 1)
+	if g.Len() != 0 {
+		t.Error("empty grid should have Len 0")
+	}
+	if got := g.Within(Pt(0, 0), 5, nil); len(got) != 0 {
+		t.Error("Within on empty grid should return nothing")
+	}
+	if i, _ := g.Nearest(0); i != -1 {
+		t.Error("Nearest on empty grid should return -1")
+	}
+	// Single point.
+	g = NewGrid([]Point{Pt(3, 3)}, 1)
+	if i, _ := g.Nearest(0); i != -1 {
+		t.Error("Nearest with one point should return -1")
+	}
+	if got := g.Within(Pt(3, 3), 0, nil); len(got) != 1 {
+		t.Error("Within r=0 at the point should return it")
+	}
+	// Coincident points: all at the same location.
+	pts := []Point{Pt(1, 1), Pt(1, 1), Pt(1, 1)}
+	g = NewGrid(pts, 1)
+	if i, d := g.Nearest(1); i != 0 || d != 0 {
+		t.Errorf("Nearest among coincident points = (%d,%v), want (0,0)", i, d)
+	}
+	if got := g.Within(Pt(1, 1), 0, nil); len(got) != 3 {
+		t.Errorf("Within r=0 should return all coincident points, got %d", len(got))
+	}
+}
+
+func TestGridNegativeRadius(t *testing.T) {
+	g := NewGrid([]Point{Pt(0, 0)}, 1)
+	if got := g.Within(Pt(0, 0), -1, nil); len(got) != 0 {
+		t.Error("negative radius should match nothing")
+	}
+	if got := g.CountWithin(Pt(0, 0), -1); got != 0 {
+		t.Error("negative radius should count nothing")
+	}
+}
+
+func TestGridPanicsOnBadCell(t *testing.T) {
+	for _, cell := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGrid(cell=%v) should panic", cell)
+				}
+			}()
+			NewGrid([]Point{Pt(0, 0)}, cell)
+		}()
+	}
+}
+
+func TestGridExponentialSpread(t *testing.T) {
+	// The exponential node chain concentrates points near the origin while
+	// spanning a large extent; verify the grid still answers correctly.
+	pts := make([]Point, 20)
+	x := 0.0
+	for i := range pts {
+		pts[i] = Pt(x, 0)
+		x += math.Pow(2, float64(i)) * 1e-5
+	}
+	g := NewGrid(pts, 0.01)
+	for i := range pts {
+		gi, _ := g.Nearest(i)
+		bi, _ := NearestBrute(pts, i)
+		if gi != bi {
+			t.Fatalf("point %d: Nearest = %d, brute = %d", i, gi, bi)
+		}
+	}
+	all := g.Within(Pt(0, 0), x, nil)
+	if len(all) != len(pts) {
+		t.Fatalf("Within full radius found %d of %d", len(all), len(pts))
+	}
+}
+
+func BenchmarkGridWithin(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randomPoints(rng, 10000, 100, 100)
+	g := NewGrid(pts, 1)
+	buf := make([]int, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.Within(pts[i%len(pts)], 1, buf[:0])
+	}
+}
+
+func BenchmarkGridNearest(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randomPoints(rng, 10000, 100, 100)
+	g := NewGrid(pts, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Nearest(i % len(pts))
+	}
+}

@@ -1,0 +1,172 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// ConvexHull returns the convex hull of pts in counter-clockwise order
+// (Andrew's monotone chain), starting from the lexicographically smallest
+// point. Collinear points on hull edges are dropped. Degenerate inputs
+// return what they can: fewer than three distinct points yield the
+// distinct points themselves.
+func ConvexHull(pts []Point) []Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	s := append([]Point(nil), pts...)
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].X != s[j].X {
+			return s[i].X < s[j].X
+		}
+		return s[i].Y < s[j].Y
+	})
+	// Deduplicate.
+	uniq := s[:1]
+	for _, p := range s[1:] {
+		if p != uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	s = uniq
+	if len(s) < 3 {
+		return s
+	}
+	cross := func(o, a, b Point) float64 {
+		return (a.X-o.X)*(b.Y-o.Y) - (a.Y-o.Y)*(b.X-o.X)
+	}
+	var hull []Point
+	// Lower chain.
+	for _, p := range s {
+		for len(hull) >= 2 && cross(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper chain.
+	lower := len(hull) + 1
+	for i := len(s) - 2; i >= 0; i-- {
+		p := s[i]
+		for len(hull) >= lower && cross(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull[:len(hull)-1] // last point repeats the first
+}
+
+// PolygonArea returns the signed-area magnitude of the polygon (shoelace
+// formula); 0 for fewer than three vertices.
+func PolygonArea(poly []Point) float64 {
+	if len(poly) < 3 {
+		return 0
+	}
+	a := 0.0
+	for i, p := range poly {
+		q := poly[(i+1)%len(poly)]
+		a += p.X*q.Y - q.X*p.Y
+	}
+	return math.Abs(a) / 2
+}
+
+// ClosestPair returns the indices and distance of the closest pair of
+// points (divide and conquer, O(n log n)). It returns (-1, -1, +Inf) for
+// fewer than two points. Ties resolve to the pair with lexicographically
+// smallest indices, so results are deterministic.
+func ClosestPair(pts []Point) (i, j int, d float64) {
+	n := len(pts)
+	if n < 2 {
+		return -1, -1, math.Inf(1)
+	}
+	idx := make([]int, n)
+	for k := range idx {
+		idx[k] = k
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]], pts[idx[b]]
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		if pa.Y != pb.Y {
+			return pa.Y < pb.Y
+		}
+		return idx[a] < idx[b]
+	})
+	best := pairResult{i: -1, j: -1, d2: math.Inf(1)}
+	buf := make([]int, n)
+	cpRec(pts, idx, buf, &best)
+	return best.i, best.j, math.Sqrt(best.d2)
+}
+
+type pairResult struct {
+	i, j int
+	d2   float64
+}
+
+// update keeps the smaller distance; ties keep the lexicographically
+// smaller index pair.
+func (r *pairResult) update(pts []Point, a, b int) {
+	if a > b {
+		a, b = b, a
+	}
+	d2 := pts[a].Dist2(pts[b])
+	if d2 < r.d2 || (d2 == r.d2 && (a < r.i || (a == r.i && b < r.j))) {
+		r.i, r.j, r.d2 = a, b, d2
+	}
+}
+
+// cpRec processes idx (sorted by x) and leaves it sorted by y (classic
+// merge-based variant). buf is scratch of the same length as idx.
+func cpRec(pts []Point, idx, buf []int, best *pairResult) {
+	n := len(idx)
+	if n <= 3 {
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				best.update(pts, idx[a], idx[b])
+			}
+		}
+		sort.Slice(idx, func(a, b int) bool { return pts[idx[a]].Y < pts[idx[b]].Y })
+		return
+	}
+	mid := n / 2
+	midX := pts[idx[mid]].X
+	cpRec(pts, idx[:mid], buf[:mid], best)
+	cpRec(pts, idx[mid:], buf[mid:], best)
+	// Merge by y into buf, then copy back.
+	l, r, k := 0, mid, 0
+	for l < mid && r < n {
+		if pts[idx[l]].Y <= pts[idx[r]].Y {
+			buf[k] = idx[l]
+			l++
+		} else {
+			buf[k] = idx[r]
+			r++
+		}
+		k++
+	}
+	for l < mid {
+		buf[k] = idx[l]
+		l++
+		k++
+	}
+	for r < n {
+		buf[k] = idx[r]
+		r++
+		k++
+	}
+	copy(idx, buf[:n])
+	// Strip pass: points within the best distance of the dividing line,
+	// each checked against the following few in y order.
+	d := math.Sqrt(best.d2)
+	strip := buf[:0]
+	for _, id := range idx {
+		if math.Abs(pts[id].X-midX) <= d {
+			strip = append(strip, id)
+		}
+	}
+	for a := 0; a < len(strip); a++ {
+		for b := a + 1; b < len(strip) && pts[strip[b]].Y-pts[strip[a]].Y <= d; b++ {
+			best.update(pts, strip[a], strip[b])
+		}
+	}
+}

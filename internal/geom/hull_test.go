@@ -1,0 +1,144 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1),
+		Pt(0.5, 0.5), Pt(0.2, 0.8), // interior
+		Pt(0.5, 0), // collinear on an edge
+	}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull size = %d, want 4 (%v)", len(hull), hull)
+	}
+	if a := PolygonArea(hull); math.Abs(a-1) > 1e-12 {
+		t.Errorf("hull area = %v, want 1", a)
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if h := ConvexHull(nil); h != nil {
+		t.Error("empty hull wrong")
+	}
+	if h := ConvexHull([]Point{Pt(1, 1)}); len(h) != 1 {
+		t.Error("single-point hull wrong")
+	}
+	if h := ConvexHull([]Point{Pt(1, 1), Pt(1, 1), Pt(1, 1)}); len(h) != 1 {
+		t.Error("coincident hull wrong")
+	}
+	// Collinear points: hull is the two extremes.
+	h := ConvexHull([]Point{Pt(0, 0), Pt(1, 0), Pt(2, 0), Pt(3, 0)})
+	if len(h) != 2 {
+		t.Fatalf("collinear hull size = %d, want 2 (%v)", len(h), h)
+	}
+	if PolygonArea(h) != 0 {
+		t.Error("degenerate area should be 0")
+	}
+}
+
+func TestConvexHullContainsAllPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(1401))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(200)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*4, rng.Float64()*4)
+		}
+		hull := ConvexHull(pts)
+		// Every point lies inside or on the hull: all cross products of
+		// consecutive hull edges vs the point are >= 0 (CCW hull).
+		for _, p := range pts {
+			for i := range hull {
+				a, b := hull[i], hull[(i+1)%len(hull)]
+				cross := (b.X-a.X)*(p.Y-a.Y) - (b.Y-a.Y)*(p.X-a.X)
+				if cross < -1e-9 {
+					t.Fatalf("trial %d: point %v outside hull edge %v->%v", trial, p, a, b)
+				}
+			}
+		}
+		// Hull vertices are a subset of the input.
+		for _, h := range hull {
+			found := false
+			for _, p := range pts {
+				if p == h {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("hull vertex %v not an input point", h)
+			}
+		}
+	}
+}
+
+func TestClosestPairMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1402))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(300)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*5, rng.Float64()*5)
+		}
+		i, j, d := ClosestPair(pts)
+		bi, bj, bd := closestBrute(pts)
+		if math.Abs(d-bd) > 1e-12 {
+			t.Fatalf("trial %d: distance %v vs brute %v", trial, d, bd)
+		}
+		if pts[i].Dist(pts[j]) != pts[bi].Dist(pts[bj]) {
+			t.Fatalf("trial %d: pair (%d,%d) vs brute (%d,%d)", trial, i, j, bi, bj)
+		}
+	}
+}
+
+func closestBrute(pts []Point) (int, int, float64) {
+	bi, bj, bd2 := -1, -1, math.Inf(1)
+	for a := 0; a < len(pts); a++ {
+		for b := a + 1; b < len(pts); b++ {
+			d2 := pts[a].Dist2(pts[b])
+			if d2 < bd2 {
+				bi, bj, bd2 = a, b, d2
+			}
+		}
+	}
+	return bi, bj, math.Sqrt(bd2)
+}
+
+func TestClosestPairDegenerate(t *testing.T) {
+	if i, j, d := ClosestPair(nil); i != -1 || j != -1 || !math.IsInf(d, 1) {
+		t.Error("empty wrong")
+	}
+	if i, j, d := ClosestPair([]Point{Pt(0, 0)}); i != -1 || j != -1 || !math.IsInf(d, 1) {
+		t.Error("single wrong")
+	}
+	// Coincident points: distance zero.
+	if _, _, d := ClosestPair([]Point{Pt(1, 1), Pt(1, 1), Pt(2, 2)}); d != 0 {
+		t.Errorf("coincident distance = %v", d)
+	}
+}
+
+func TestClosestPairOnChain(t *testing.T) {
+	// The exponential chain's closest pair is its first gap.
+	pts := []Point{Pt(0, 0), Pt(0.1, 0), Pt(0.3, 0), Pt(0.7, 0)}
+	i, j, d := ClosestPair(pts)
+	if i != 0 || j != 1 || math.Abs(d-0.1) > 1e-12 {
+		t.Errorf("pair = (%d,%d,%v)", i, j, d)
+	}
+}
+
+func BenchmarkClosestPair(b *testing.B) {
+	rng := rand.New(rand.NewSource(1403))
+	pts := make([]Point, 5000)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64()*10, rng.Float64()*10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ClosestPair(pts)
+	}
+}

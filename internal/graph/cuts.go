@@ -1,0 +1,111 @@
+package graph
+
+// Tarjan-style cut analysis: bridges and articulation points, the
+// vulnerability structure of a topology. Sparse low-interference trees
+// are all bridges — every link is a single point of failure — while
+// spanners pay interference for redundancy; the report/X5 trade-off
+// story and the dynamic maintainer's repair logic use this.
+
+// cutState carries the shared DFS bookkeeping.
+type cutState struct {
+	g        *Graph
+	disc     []int
+	low      []int
+	parent   []int
+	time     int
+	bridges  []Edge
+	artPoint []bool
+}
+
+// Bridges returns the bridge edges of g (edges whose removal disconnects
+// their component), in discovery order.
+func (g *Graph) Bridges() []Edge {
+	st := newCutState(g)
+	for v := 0; v < g.n; v++ {
+		if st.disc[v] == -1 {
+			st.dfs(v)
+		}
+	}
+	return st.bridges
+}
+
+// ArticulationPoints returns a boolean mask of the cut vertices of g
+// (nodes whose removal disconnects their component).
+func (g *Graph) ArticulationPoints() []bool {
+	st := newCutState(g)
+	for v := 0; v < g.n; v++ {
+		if st.disc[v] == -1 {
+			st.dfs(v)
+		}
+	}
+	return st.artPoint
+}
+
+func newCutState(g *Graph) *cutState {
+	st := &cutState{
+		g:        g,
+		disc:     make([]int, g.n),
+		low:      make([]int, g.n),
+		parent:   make([]int, g.n),
+		artPoint: make([]bool, g.n),
+	}
+	for i := range st.disc {
+		st.disc[i] = -1
+		st.parent[i] = -1
+	}
+	return st
+}
+
+// dfs runs the iterative lowlink computation from root (iterative to
+// survive deep path graphs without blowing the goroutine stack).
+func (st *cutState) dfs(root int) {
+	type frame struct {
+		v    int
+		next int // index into adjacency list
+	}
+	stack := []frame{{v: root}}
+	st.disc[root] = st.time
+	st.low[root] = st.time
+	st.time++
+	rootChildren := 0
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		adj := st.g.adj[f.v]
+		if f.next < len(adj) {
+			w := adj[f.next]
+			f.next++
+			switch {
+			case st.disc[w] == -1:
+				st.parent[w] = f.v
+				if f.v == root {
+					rootChildren++
+				}
+				st.disc[w] = st.time
+				st.low[w] = st.time
+				st.time++
+				stack = append(stack, frame{v: w})
+			case w != st.parent[f.v]:
+				if st.disc[w] < st.low[f.v] {
+					st.low[f.v] = st.disc[w]
+				}
+			}
+			continue
+		}
+		// Post-order: fold f.v's lowlink into its parent and classify.
+		stack = stack[:len(stack)-1]
+		p := st.parent[f.v]
+		if p != -1 {
+			if st.low[f.v] < st.low[p] {
+				st.low[p] = st.low[f.v]
+			}
+			if st.low[f.v] > st.disc[p] {
+				w, _ := st.g.EdgeWeight(p, f.v)
+				st.bridges = append(st.bridges, NewEdge(p, f.v, w))
+			}
+			if p != root && st.low[f.v] >= st.disc[p] {
+				st.artPoint[p] = true
+			}
+		}
+	}
+	st.artPoint[root] = rootChildren > 1
+}

@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBridgesOnPath(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	if got := g.Bridges(); len(got) != 3 {
+		t.Fatalf("path bridges = %d, want 3", len(got))
+	}
+	ap := g.ArticulationPoints()
+	if !ap[1] || !ap[2] || ap[0] || ap[3] {
+		t.Errorf("path articulation mask = %v", ap)
+	}
+}
+
+func TestBridgesOnCycle(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 0, 1)
+	if got := g.Bridges(); len(got) != 0 {
+		t.Fatalf("cycle bridges = %d, want 0", len(got))
+	}
+	for v, a := range g.ArticulationPoints() {
+		if a {
+			t.Errorf("cycle node %d flagged as articulation", v)
+		}
+	}
+}
+
+func TestBridgesBarbell(t *testing.T) {
+	// Two triangles joined by one edge: the joint is the only bridge and
+	// its endpoints the only articulation points.
+	g := New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 0, 1)
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(4, 5, 1)
+	g.AddEdge(5, 3, 1)
+	g.AddEdge(2, 3, 1)
+	br := g.Bridges()
+	if len(br) != 1 || br[0].U != 2 || br[0].V != 3 {
+		t.Fatalf("bridges = %v", br)
+	}
+	ap := g.ArticulationPoints()
+	for v := 0; v < 6; v++ {
+		want := v == 2 || v == 3
+		if ap[v] != want {
+			t.Errorf("node %d articulation = %v, want %v", v, ap[v], want)
+		}
+	}
+}
+
+func TestBridgesMultiComponent(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 1) // bridge component
+	g.AddEdge(2, 3, 1) // triangle component
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(4, 2, 1)
+	if got := g.Bridges(); len(got) != 1 {
+		t.Fatalf("bridges = %v", got)
+	}
+}
+
+func TestEveryTreeEdgeIsABridge(t *testing.T) {
+	rng := rand.New(rand.NewSource(1301))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(60)
+		g := New(n)
+		// Random spanning tree via random attachment.
+		for v := 1; v < n; v++ {
+			g.AddEdge(v, rng.Intn(v), rng.Float64())
+		}
+		if got := g.Bridges(); len(got) != n-1 {
+			t.Fatalf("trial %d: tree bridges = %d, want %d", trial, len(got), n-1)
+		}
+	}
+}
+
+func TestBridgesMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1302))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(20)
+		g := New(n)
+		for i := 0; i < n*2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, 1)
+			}
+		}
+		fast := map[[2]int]bool{}
+		for _, e := range g.Bridges() {
+			fast[[2]int{e.U, e.V}] = true
+		}
+		// Brute force: remove each edge, compare component counts.
+		_, k := g.Components()
+		for _, e := range g.Edges() {
+			h := New(n)
+			for _, f := range g.Edges() {
+				if f.U == e.U && f.V == e.V {
+					continue
+				}
+				h.AddEdge(f.U, f.V, f.W)
+			}
+			_, hk := h.Components()
+			isBridge := hk > k
+			if fast[[2]int{e.U, e.V}] != isBridge {
+				t.Fatalf("trial %d: edge (%d,%d) bridge=%v, brute=%v", trial, e.U, e.V, fast[[2]int{e.U, e.V}], isBridge)
+			}
+		}
+	}
+}
+
+func TestArticulationMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1303))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(18)
+		g := New(n)
+		for i := 0; i < n*2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, 1)
+			}
+		}
+		fast := g.ArticulationPoints()
+		for v := 0; v < n; v++ {
+			// Brute force: delete v, compare component counts among the
+			// remaining nodes.
+			h := New(n)
+			for _, e := range g.Edges() {
+				if e.U != v && e.V != v {
+					h.AddEdge(e.U, e.V, e.W)
+				}
+			}
+			labelG, _ := g.Components()
+			labelH, _ := h.Components()
+			// v's component splits iff two of its old companions now have
+			// different labels.
+			split := false
+			seen := map[int]int{}
+			for w := 0; w < n; w++ {
+				if w == v || labelG[w] != labelG[v] {
+					continue
+				}
+				if rep, ok := seen[0]; ok {
+					if labelH[w] != rep {
+						split = true
+					}
+				} else {
+					seen[0] = labelH[w]
+				}
+			}
+			if fast[v] != split {
+				t.Fatalf("trial %d node %d: articulation=%v, brute=%v", trial, v, fast[v], split)
+			}
+		}
+	}
+}
+
+func TestDeepPathDoesNotOverflow(t *testing.T) {
+	// 200k-node path: the iterative DFS must not blow the stack.
+	n := 200000
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v-1, v, 1)
+	}
+	if got := len(g.Bridges()); got != n-1 {
+		t.Fatalf("deep path bridges = %d", got)
+	}
+}

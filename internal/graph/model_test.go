@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Model-based testing: drive Graph with random operation sequences and
+// mirror every operation in a trivial map-backed model; any divergence is
+// a bug in the adjacency/edge-list bookkeeping.
+
+type modelOp struct {
+	U, V uint8
+	W    float64
+}
+
+func TestGraphAgainstMapModel(t *testing.T) {
+	f := func(ops []modelOp) bool {
+		const n = 24
+		g := New(n)
+		model := map[[2]int]float64{}
+		for _, op := range ops {
+			u, v := int(op.U)%n, int(op.V)%n
+			if u == v {
+				continue
+			}
+			key := [2]int{u, v}
+			if u > v {
+				key = [2]int{v, u}
+			}
+			_, existed := model[key]
+			added := g.AddEdge(u, v, op.W)
+			if added == existed {
+				return false // dedup semantics diverged
+			}
+			if !existed {
+				model[key] = op.W
+			}
+		}
+		// Full-state comparison.
+		if g.M() != len(model) {
+			return false
+		}
+		for key, w := range model {
+			if !g.HasEdge(key[0], key[1]) || !g.HasEdge(key[1], key[0]) {
+				return false
+			}
+			got, ok := g.EdgeWeight(key[0], key[1])
+			if !ok || got != w {
+				return false
+			}
+		}
+		// Degrees agree with the model.
+		deg := make([]int, n)
+		for key := range model {
+			deg[key[0]]++
+			deg[key[1]]++
+		}
+		for v := 0; v < n; v++ {
+			if g.Degree(v) != deg[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComponentsAgainstUnionFindModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		g := New(n)
+		uf := NewUnionFind(n)
+		for i := 0; i < n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, 1)
+				uf.Union(u, v)
+			}
+		}
+		label, k := g.Components()
+		if k != uf.Sets() {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if (label[u] == label[v]) != uf.Same(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxDegreeMatchesAdjacency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		g := New(n)
+		for i := 0; i < n*3; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, 1)
+			}
+		}
+		max := 0
+		for v := 0; v < n; v++ {
+			if d := len(g.Neighbors(v)); d > max {
+				max = d
+			}
+		}
+		return g.MaxDegree() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// distItem is a priority-queue entry for Dijkstra.
+type distItem struct {
+	node int
+	dist float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Dijkstra returns the weighted shortest-path distance from src to every
+// node, +Inf when unreachable. Edge weights must be non-negative (always
+// true for Euclidean lengths).
+func (g *Graph) Dijkstra(src int) []float64 {
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	h := &distHeap{{src, 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(distItem)
+		if it.dist > dist[it.node] {
+			continue // stale entry
+		}
+		u := it.node
+		for _, v := range g.adj[u] {
+			w, _ := g.EdgeWeight(u, v)
+			if nd := dist[u] + w; nd < dist[v] {
+				dist[v] = nd
+				heap.Push(h, distItem{v, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// PathTo reconstructs one shortest weighted path from src to dst as a node
+// sequence (inclusive of both endpoints), or nil when dst is unreachable.
+func (g *Graph) PathTo(src, dst int) []int {
+	dist := make([]float64, g.n)
+	prev := make([]int, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	h := &distHeap{{src, 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(distItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		if it.node == dst {
+			break
+		}
+		u := it.node
+		for _, v := range g.adj[u] {
+			w, _ := g.EdgeWeight(u, v)
+			if nd := dist[u] + w; nd < dist[v] {
+				dist[v] = nd
+				prev[v] = u
+				heap.Push(h, distItem{v, nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil
+	}
+	// Walk back from dst.
+	var rev []int
+	for v := dst; v != -1; v = prev[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Stretch returns the maximum over connected node pairs (u,v) of the ratio
+// between the shortest-path distance in sub and the shortest-path distance
+// in base (the spanner stretch factor of sub with respect to base). Pairs
+// disconnected in base are ignored; pairs connected in base but not in sub
+// yield +Inf. For n <= 1 the stretch is 1.
+//
+// This is O(n · (m log n)) and intended for analysis, not hot paths.
+func Stretch(base, sub *Graph) float64 {
+	if base.n != sub.n {
+		panic("graph: Stretch over mismatched node counts")
+	}
+	if base.n <= 1 {
+		return 1
+	}
+	worst := 1.0
+	for s := 0; s < base.n; s++ {
+		db := base.Dijkstra(s)
+		ds := sub.Dijkstra(s)
+		for v := s + 1; v < base.n; v++ {
+			if math.IsInf(db[v], 1) {
+				continue
+			}
+			if math.IsInf(ds[v], 1) {
+				return math.Inf(1)
+			}
+			if db[v] == 0 {
+				continue // coincident nodes
+			}
+			if r := ds[v] / db[v]; r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst
+}

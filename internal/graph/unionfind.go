@@ -1,0 +1,67 @@
+package graph
+
+// UnionFind is a disjoint-set forest with union by rank and path halving.
+// It backs Kruskal's algorithm and the connectivity pruning in the exact
+// minimum-interference solver.
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+	sets   int
+}
+
+// NewUnionFind returns n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{
+		parent: make([]int32, n),
+		rank:   make([]int8, n),
+		sets:   n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (uf *UnionFind) Find(x int) int {
+	p := int32(x)
+	for uf.parent[p] != p {
+		uf.parent[p] = uf.parent[uf.parent[p]] // path halving
+		p = uf.parent[p]
+	}
+	return int(p)
+}
+
+// Union merges the sets of x and y and reports whether a merge happened
+// (false when they were already joined).
+func (uf *UnionFind) Union(x, y int) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.rank[rx] < uf.rank[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = int32(rx)
+	if uf.rank[rx] == uf.rank[ry] {
+		uf.rank[rx]++
+	}
+	uf.sets--
+	return true
+}
+
+// Sets returns the current number of disjoint sets.
+func (uf *UnionFind) Sets() int { return uf.sets }
+
+// Same reports whether x and y are in the same set.
+func (uf *UnionFind) Same(x, y int) bool { return uf.Find(x) == uf.Find(y) }
+
+// Reset restores n singleton sets without reallocating, for reuse inside
+// search loops.
+func (uf *UnionFind) Reset() {
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+		uf.rank[i] = 0
+	}
+	uf.sets = len(uf.parent)
+}

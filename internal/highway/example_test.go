@@ -1,0 +1,42 @@
+package highway_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/highway"
+)
+
+// The Section 5.1 pipeline: build the exponential node chain, connect it
+// with the scan-line algorithm, and compare against the naive linear
+// connection and the theoretical bounds.
+func Example() {
+	n := 32
+	pts := gen.ExpChain(n, 1)
+	aexp := core.Interference(pts, highway.AExp(pts)).Max()
+	linear := core.Interference(pts, highway.Linear(pts)).Max()
+	fmt.Println("linear:", linear)
+	fmt.Println("A_exp: ", aexp, "=", highway.AExpBound(n), "(closed form)")
+	fmt.Println("lower: ", highway.LowerBoundExpChain(n))
+	// Output:
+	// linear: 30
+	// A_exp:  8 = 8 (closed form)
+	// lower:  5
+}
+
+// A_apx detects whether an instance is inherently hard via γ
+// (Definition 5.2) and picks its branch accordingly.
+func ExampleAApxExplain() {
+	chain := gen.ExpChain(40, 1)
+	_, branch := highway.AApxExplain(chain)
+	fmt.Println("exponential chain:", branch)
+
+	pts := gen.HighwayUniform(rand.New(rand.NewSource(1)), 200, 8) // dense: γ small
+	_, branch2 := highway.AApxExplain(pts)
+	fmt.Println("dense uniform:   ", branch2)
+	// Output:
+	// exponential chain: agen
+	// dense uniform:    linear
+}

@@ -1,0 +1,480 @@
+package highway
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/udg"
+)
+
+func TestValidate(t *testing.T) {
+	good := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 0)}
+	if err := Validate(good); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+	if err := Validate([]geom.Point{geom.Pt(0, 1)}); err == nil {
+		t.Error("nonzero Y accepted")
+	}
+	if err := Validate([]geom.Point{geom.Pt(1, 0), geom.Pt(0, 0)}); err == nil {
+		t.Error("unsorted instance accepted")
+	}
+}
+
+// TestFigure7LinearChain reproduces Figures 6–7: connecting the
+// exponential node chain linearly yields interference n−2 at the leftmost
+// node, since every node connected to the right covers all nodes to its
+// left. (For n = 3 the chain maximum is 2, attained at the middle node,
+// which its two boundary-covering neighbors disturb.)
+func TestFigure7LinearChain(t *testing.T) {
+	for _, n := range []int{4, 5, 8, 16, 40} {
+		pts := gen.ExpChain(n, 1)
+		g := Linear(pts)
+		if !g.Connected() {
+			t.Fatalf("n=%d: linear chain disconnected", n)
+		}
+		iv := core.Interference(pts, g)
+		if iv[0] != n-2 {
+			t.Errorf("n=%d: I(leftmost) = %d, want n-2 = %d", n, iv[0], n-2)
+		}
+		if iv.Max() != n-2 {
+			t.Errorf("n=%d: I(G_lin) = %d, want %d", n, iv.Max(), n-2)
+		}
+	}
+	// Large chains via the unnormalized generator and range-free linear
+	// connection (scale invariance).
+	for _, n := range []int{128, 500} {
+		pts := gen.ExpChainUnit(n)
+		g := LinearRange(pts, math.Inf(1))
+		iv := core.Interference(pts, g)
+		if iv[0] != n-2 || iv.Max() != n-2 {
+			t.Errorf("n=%d (unit): I(leftmost)=%d max=%d, want %d", n, iv[0], iv.Max(), n-2)
+		}
+	}
+}
+
+func TestLinearRespectsRange(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.5, 0), geom.Pt(2, 0)}
+	g := Linear(pts)
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 2) {
+		t.Error("linear should link only in-range neighbors")
+	}
+}
+
+func TestHubsDefinition(t *testing.T) {
+	// 0-1-2 path: 0 and 1 have right-going edges, 2 does not.
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	h := Hubs(g)
+	if len(h) != 2 || h[0] != 0 || h[1] != 1 {
+		t.Errorf("Hubs = %v, want [0 1]", h)
+	}
+	hd := HubsByDegree(g)
+	if len(hd) != 1 || hd[0] != 1 {
+		t.Errorf("HubsByDegree = %v, want [1]", hd)
+	}
+}
+
+// TestTheorem51AExp verifies that the scan-line algorithm achieves the
+// closed-form bound from the proof of Theorem 5.1 on exponential chains —
+// I(G_exp) ≤ AExpBound(n) = O(√n) — and stays connected.
+func TestTheorem51AExp(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8, 16, 32, 64, 128, 256, 500} {
+		var pts []geom.Point
+		if n <= gen.MaxExpChainN {
+			pts = gen.ExpChain(n, 1)
+		} else {
+			pts = gen.ExpChainUnit(n)
+		}
+		g := AExp(pts)
+		if !g.Connected() {
+			t.Fatalf("n=%d: AExp topology disconnected", n)
+		}
+		got := core.Interference(pts, g).Max()
+		bound := AExpBound(n)
+		if got > bound {
+			t.Errorf("n=%d: I = %d exceeds Theorem 5.1 bound %d", n, got, bound)
+		}
+		// And the bound is Θ(√n): check the constant stays sane.
+		if got > int(3*math.Sqrt(float64(n)))+2 {
+			t.Errorf("n=%d: I = %d not O(√n)", n, got)
+		}
+	}
+}
+
+func TestAExpBeatsLinearAsymptotically(t *testing.T) {
+	n := 256
+	pts := gen.ExpChainUnit(n)
+	lin := core.Interference(pts, LinearRange(pts, math.Inf(1))).Max()
+	aexp := core.Interference(pts, AExp(pts)).Max()
+	if lin != n-2 {
+		t.Fatalf("linear I = %d, want %d", lin, n-2)
+	}
+	if aexp*4 > lin {
+		t.Errorf("AExp I = %d should be far below linear %d", aexp, lin)
+	}
+}
+
+func TestAExpHubStructure(t *testing.T) {
+	// The proof of Theorem 5.1: each hub (beyond the first two) connects
+	// to one more node than its predecessor. Verify hub degrees are
+	// non-decreasing (allowing the final, truncated hub to fall short).
+	pts := gen.ExpChainUnit(100)
+	g := AExp(pts)
+	hubs := Hubs(g)
+	degs := make([]int, len(hubs))
+	for i, h := range hubs {
+		degs[i] = g.Degree(h)
+	}
+	for i := 2; i+1 < len(degs); i++ {
+		if degs[i] < degs[i-1] {
+			t.Errorf("hub %d degree %d < predecessor %d", i, degs[i], degs[i-1])
+		}
+	}
+	// Only hubs interfere with the leftmost node (Figure 8's caption).
+	iv := core.Interference(pts, g)
+	if iv[0] > len(hubs) {
+		t.Errorf("I(v_0) = %d exceeds hub count %d", iv[0], len(hubs))
+	}
+}
+
+func TestAExpTrivialInputs(t *testing.T) {
+	if g := AExp(nil); g.N() != 0 {
+		t.Error("empty AExp wrong")
+	}
+	if g := AExp([]geom.Point{geom.Pt(0, 0)}); g.M() != 0 {
+		t.Error("singleton AExp should have no edges")
+	}
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.25, 0)}
+	g := AExp(pts)
+	if !g.HasEdge(0, 1) {
+		t.Error("pair AExp should link the two nodes")
+	}
+}
+
+func TestAExpBoundValues(t *testing.T) {
+	cases := map[int]int{2: 1, 3: 2, 4: 2, 5: 3, 8: 4, 12: 5, 100: 14}
+	for n, want := range cases {
+		if got := AExpBound(n); got != want {
+			t.Errorf("AExpBound(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if AExpBound(1) != 0 || AExpBound(0) != 0 {
+		t.Error("degenerate bounds should be 0")
+	}
+}
+
+func TestLowerBoundExpChain(t *testing.T) {
+	if LowerBoundExpChain(1) != 0 {
+		t.Error("n=1 bound should be 0")
+	}
+	if LowerBoundExpChain(16) != 4 {
+		t.Errorf("n=16 bound = %d, want 4", LowerBoundExpChain(16))
+	}
+	// AExp achieves O(√n), so the ratio achieved/bound must stay bounded.
+	for _, n := range []int{16, 64, 256, 500} {
+		pts := gen.ExpChainUnit(n)
+		got := core.Interference(pts, AExp(pts)).Max()
+		lb := LowerBoundExpChain(n)
+		if got < lb/2 {
+			t.Errorf("n=%d: achieved %d suspiciously below lower bound %d — check the model", n, got, lb)
+		}
+		if got > 3*lb+2 {
+			t.Errorf("n=%d: achieved %d too far above lower bound %d", n, got, lb)
+		}
+	}
+}
+
+// TestTheorem54AGen verifies A_gen's O(√Δ) guarantee over the random
+// highway families.
+func TestTheorem54AGen(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	instances := [][]geom.Point{
+		gen.HighwayUniform(rng, 300, 20),
+		gen.HighwayUniform(rng, 500, 5), // dense: Δ large
+		gen.HighwayBursty(rng, 400, 6, 40, 0.3),
+		gen.HighwayExpFragments(rng, 5, 8, 30),
+		gen.ExpChain(32, 1),
+	}
+	for i, pts := range instances {
+		base := udg.Build(pts)
+		g := AGen(pts)
+		if !graph.SameComponents(base, g) {
+			t.Fatalf("instance %d: AGen does not preserve connectivity", i)
+		}
+		delta := base.MaxDegree()
+		got := core.Interference(pts, g).Max()
+		// Theorem 5.4: I = O(√Δ). The proof's constant is 3·(2√Δ + √Δ);
+		// allow 8√Δ + 4 to absorb rounding at small Δ.
+		bound := int(8*math.Sqrt(float64(delta))) + 4
+		if got > bound {
+			t.Errorf("instance %d: I = %d > 8√Δ+4 = %d (Δ=%d)", i, got, bound, delta)
+		}
+	}
+}
+
+func TestAGenSegmentJoins(t *testing.T) {
+	// Nodes spanning several unit segments with a gap > 1: two components.
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(0.4, 0), geom.Pt(0.9, 0), // segment 0
+		geom.Pt(1.2, 0), geom.Pt(1.8, 0), // segment 1
+		geom.Pt(4.5, 0), geom.Pt(4.9, 0), // far segment
+	}
+	base := udg.Build(pts)
+	g := AGen(pts)
+	if !graph.SameComponents(base, g) {
+		t.Fatal("AGen must preserve the two-component structure")
+	}
+	_, k := g.Components()
+	if k != 2 {
+		t.Errorf("components = %d, want 2", k)
+	}
+}
+
+func TestAGenTrivial(t *testing.T) {
+	if g := AGen(nil); g.N() != 0 {
+		t.Error("empty AGen wrong")
+	}
+	if g := AGen([]geom.Point{geom.Pt(0, 0)}); g.M() != 0 {
+		t.Error("singleton AGen wrong")
+	}
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.5, 0)}
+	if g := AGen(pts); !g.HasEdge(0, 1) {
+		t.Error("pair AGen should connect")
+	}
+}
+
+func TestAGenSpacingAblation(t *testing.T) {
+	// Larger hub spacing concentrates interference at hubs; spacing 1
+	// (every node a hub) degenerates to the linear chain. Both must stay
+	// connected.
+	rng := rand.New(rand.NewSource(202))
+	pts := gen.HighwayUniform(rng, 200, 10)
+	base := udg.Build(pts)
+	for _, sp := range []int{1, 2, 5, 10, 50} {
+		g := AGenSpacing(pts, sp)
+		if !graph.SameComponents(base, g) {
+			t.Errorf("spacing %d: connectivity broken", sp)
+		}
+	}
+}
+
+func TestCriticalSetMatchesLinearInterference(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	pts := gen.HighwayUniform(rng, 60, 4)
+	lin := Linear(pts)
+	iv := core.Interference(pts, lin)
+	for v := 0; v < len(pts); v += 7 {
+		cs := CriticalSet(pts, v)
+		if len(cs) != iv[v] {
+			t.Errorf("node %d: |C_v| = %d, I_lin(v) = %d", v, len(cs), iv[v])
+		}
+	}
+}
+
+func TestGamma(t *testing.T) {
+	pts := gen.ExpChain(20, 1)
+	gamma, at := Gamma(pts)
+	if gamma != 18 {
+		t.Errorf("γ on exp chain = %d, want n-2 = 18", gamma)
+	}
+	if at != 0 {
+		t.Errorf("γ attained at node %d, want leftmost", at)
+	}
+	if g, a := Gamma(nil); g != 0 || a != -1 {
+		t.Error("empty Gamma wrong")
+	}
+}
+
+func TestGammaLowerBound(t *testing.T) {
+	if GammaLowerBound(0) != 0 || GammaLowerBound(1) != 1 {
+		t.Error("small γ bounds wrong")
+	}
+	if GammaLowerBound(18) != 3 {
+		t.Errorf("GammaLowerBound(18) = %d, want 3", GammaLowerBound(18))
+	}
+	if GammaLowerBound(200) != 10 {
+		t.Errorf("GammaLowerBound(200) = %d, want 10", GammaLowerBound(200))
+	}
+}
+
+// TestTheorem56AApx verifies the hybrid algorithm's branch selection and
+// its O(Δ^¼) approximation guarantee against the Lemma 5.5 lower bound.
+func TestTheorem56AApx(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+
+	// Uniform instance: γ is small, the linear branch fires, and the
+	// result is within Δ^¼ of optimal.
+	uni := gen.HighwayUniform(rng, 300, 60)
+	gU, branchU := AApxExplain(uni)
+	if !gU.Connected() && udg.Build(uni).Connected() {
+		t.Fatal("AApx broke connectivity on uniform instance")
+	}
+
+	// Exponential chain: γ = n−2 is huge, the AGen branch fires.
+	chain := gen.ExpChain(40, 1)
+	_, branchC := AApxExplain(chain)
+	if branchC != "agen" {
+		t.Errorf("exp chain branch = %q, want agen", branchC)
+	}
+	_ = branchU // uniform instances may fall either side of the √Δ line
+
+	// Approximation guarantee on mixed instances: achieved interference ≤
+	// c · Δ^¼ · lowerBound.
+	for trial := 0; trial < 5; trial++ {
+		pts := gen.HighwayExpFragments(rng, 3, 7, 25)
+		base := udg.Build(pts)
+		g := AApx(pts)
+		if !graph.SameComponents(base, g) {
+			t.Fatalf("trial %d: AApx broke connectivity", trial)
+		}
+		gamma, _ := Gamma(pts)
+		lb := GammaLowerBound(gamma)
+		if lb == 0 {
+			continue
+		}
+		got := core.Interference(pts, g).Max()
+		delta := base.MaxDegree()
+		ratio := float64(got) / float64(lb)
+		limit := 10 * math.Pow(float64(delta), 0.25)
+		if ratio > limit {
+			t.Errorf("trial %d: ratio %.2f exceeds 10·Δ^¼ = %.2f (I=%d lb=%d Δ=%d)",
+				trial, ratio, limit, got, lb, delta)
+		}
+	}
+}
+
+func TestAApxLinearBranchOnUniformSpacing(t *testing.T) {
+	// Identical gaps: γ = 2 (each node covered only by its two
+	// neighbors), so AApx must pick the linear branch — the case that
+	// motivates the hybrid (§5.3: AGen would needlessly pay O(√Δ) here).
+	pts := make([]geom.Point, 50)
+	for i := range pts {
+		pts[i] = geom.Pt(float64(i)*0.5, 0)
+	}
+	g, branch := AApxExplain(pts)
+	if branch != "linear" {
+		t.Errorf("branch = %q, want linear", branch)
+	}
+	got := core.Interference(pts, g).Max()
+	if got > 4 {
+		t.Errorf("uniform spacing interference = %d, want small constant", got)
+	}
+}
+
+func TestExtent(t *testing.T) {
+	if Extent(nil) != 0 {
+		t.Error("empty extent wrong")
+	}
+	pts := gen.ExpChain(10, 1)
+	if math.Abs(Extent(pts)-1) > 1e-9 {
+		t.Errorf("extent = %v, want 1", Extent(pts))
+	}
+}
+
+func TestAExpRangeRespectsRange(t *testing.T) {
+	// A long highway: the unbounded AExp would emit illegal links; the
+	// range-aware variant must stay inside the UDG and preserve its
+	// components.
+	rng := rand.New(rand.NewSource(205))
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.Intn(200)
+		pts := gen.HighwayUniform(rng, n, 2+rng.Float64()*30)
+		base := udg.Build(pts)
+		g := AExpRange(pts, udg.Radius)
+		for _, e := range g.Edges() {
+			if !base.HasEdge(e.U, e.V) {
+				t.Fatalf("trial %d: over-range edge (%d,%d) length %v", trial, e.U, e.V, e.W)
+			}
+		}
+		if !graph.SameComponents(base, g) {
+			t.Fatalf("trial %d: connectivity broken", trial)
+		}
+	}
+}
+
+func TestAExpRangeInfinityMatchesAExp(t *testing.T) {
+	pts := gen.ExpChain(32, 1)
+	a := AExp(pts)
+	b := AExpRange(pts, math.Inf(1))
+	if a.M() != b.M() {
+		t.Fatal("edge counts differ")
+	}
+	for _, e := range a.Edges() {
+		if !b.HasEdge(e.U, e.V) {
+			t.Fatal("edges differ")
+		}
+	}
+}
+
+func TestAExpRangeDisconnectedGapsRespected(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.5, 0), geom.Pt(3, 0), geom.Pt(3.4, 0)}
+	g := AExpRange(pts, udg.Radius)
+	_, k := g.Components()
+	if k != 2 {
+		t.Fatalf("components = %d, want 2", k)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(2, 3) {
+		t.Error("in-range pairs should connect")
+	}
+}
+
+// TestTheorem51EqualityExhaustive: across every chain size float64 can
+// represent normalized (2..44) and a ladder of unnormalized sizes, A_exp
+// achieves the proof's closed-form value EXACTLY — stronger than the
+// paper's O(√n) statement.
+func TestTheorem51EqualityExhaustive(t *testing.T) {
+	check := func(n int, pts []geom.Point) {
+		t.Helper()
+		got := core.Interference(pts, AExp(pts)).Max()
+		if got != AExpBound(n) {
+			t.Errorf("n=%d: I(A_exp) = %d, closed form %d", n, got, AExpBound(n))
+		}
+	}
+	for n := 2; n <= gen.MaxExpChainN; n++ {
+		check(n, gen.ExpChain(n, 1))
+	}
+	for _, n := range []int{45, 64, 100, 200, 350, 500} {
+		check(n, gen.ExpChainUnit(n))
+	}
+}
+
+func TestAExpWithTraceConsistent(t *testing.T) {
+	pts := gen.ExpChain(32, 1)
+	g, trace := AExpWithTrace(pts)
+	plain := AExp(pts)
+	if g.M() != plain.M() {
+		t.Fatal("traced and plain runs diverge")
+	}
+	if len(trace) != 31 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	// MaxAfter is non-decreasing and the final value equals I(G_exp).
+	prev := 0
+	promotions := 0
+	for i, step := range trace {
+		if step.MaxAfter < prev {
+			t.Fatalf("step %d: interference decreased", i)
+		}
+		if step.Promoted {
+			promotions++
+			if step.MaxAfter != prev+1 {
+				t.Fatalf("step %d: promotion jumped by %d", i, step.MaxAfter-prev)
+			}
+		}
+		prev = step.MaxAfter
+	}
+	if got := core.Interference(pts, g).Max(); got != prev {
+		t.Fatalf("final trace max %d vs actual %d", prev, got)
+	}
+	// Figure 8's narrative: the gap between consecutive promotions grows
+	// by one (each new hub serves one more node than its predecessor).
+	if promotions < 5 {
+		t.Fatalf("only %d promotions on a 32-chain", promotions)
+	}
+}

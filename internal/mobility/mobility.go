@@ -1,0 +1,123 @@
+// Package mobility provides the random-waypoint mobility model used to
+// study both interference measures under continuous motion: nodes pick a
+// uniform waypoint and speed, travel there, pause, and repeat. The
+// experiments rebuild topologies periodically along the trajectory and
+// compare how violently each measure reacts — the dynamic counterpart of
+// the paper's single-arrival robustness argument.
+package mobility
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Model is a random-waypoint mobility simulation over a rectangle.
+type Model struct {
+	W, H   float64
+	rng    *rand.Rand
+	pos    []geom.Point
+	dest   []geom.Point
+	speed  []float64
+	pause  []float64 // remaining pause time
+	vmin   float64
+	vmax   float64
+	pauseT float64
+}
+
+// NewWaypoint places n nodes uniformly on a W×H rectangle with speeds
+// uniform in [vmin, vmax] (distance units per time unit) and a fixed
+// pause at each waypoint. All randomness comes from rng.
+func NewWaypoint(rng *rand.Rand, n int, w, h, vmin, vmax, pause float64) *Model {
+	if n < 0 || w <= 0 || h < 0 || vmin < 0 || vmax < vmin || pause < 0 {
+		panic("mobility: invalid waypoint parameters")
+	}
+	m := &Model{
+		W: w, H: h, rng: rng,
+		pos:    make([]geom.Point, n),
+		dest:   make([]geom.Point, n),
+		speed:  make([]float64, n),
+		pause:  make([]float64, n),
+		vmin:   vmin,
+		vmax:   vmax,
+		pauseT: pause,
+	}
+	for i := range m.pos {
+		m.pos[i] = m.randomPoint()
+		m.pickWaypoint(i)
+	}
+	return m
+}
+
+func (m *Model) randomPoint() geom.Point {
+	return geom.Pt(m.rng.Float64()*m.W, m.rng.Float64()*m.H)
+}
+
+func (m *Model) pickWaypoint(i int) {
+	m.dest[i] = m.randomPoint()
+	m.speed[i] = m.vmin + m.rng.Float64()*(m.vmax-m.vmin)
+}
+
+// N returns the node count.
+func (m *Model) N() int { return len(m.pos) }
+
+// Positions returns a snapshot copy of the current node positions.
+func (m *Model) Positions() []geom.Point {
+	return append([]geom.Point(nil), m.pos...)
+}
+
+// Step advances the model by dt time units. Nodes that reach their
+// waypoint within the step pause there (consuming the remaining step
+// time) and then pick a new waypoint.
+func (m *Model) Step(dt float64) {
+	if dt < 0 {
+		panic("mobility: negative time step")
+	}
+	for i := range m.pos {
+		remaining := dt
+		for remaining > 1e-12 {
+			if m.pause[i] > 0 {
+				// Sit out the pause.
+				if m.pause[i] >= remaining {
+					m.pause[i] -= remaining
+					remaining = 0
+					break
+				}
+				remaining -= m.pause[i]
+				m.pause[i] = 0
+				m.pickWaypoint(i)
+			}
+			d := m.pos[i].Dist(m.dest[i])
+			travel := m.speed[i] * remaining
+			if m.speed[i] <= 0 {
+				// Degenerate zero speed: treat the waypoint as reached so
+				// the node re-pauses rather than stalling forever.
+				m.pos[i] = m.dest[i]
+				m.pause[i] = m.pauseT
+				if m.pauseT == 0 {
+					m.pickWaypoint(i)
+					remaining = 0
+				}
+				continue
+			}
+			if travel >= d {
+				// Arrive and start pausing.
+				m.pos[i] = m.dest[i]
+				used := d / m.speed[i]
+				remaining -= used
+				m.pause[i] = m.pauseT
+				if m.pauseT == 0 {
+					m.pickWaypoint(i)
+				}
+				continue
+			}
+			// Move toward the waypoint.
+			frac := travel / d
+			m.pos[i] = geom.Pt(
+				m.pos[i].X+(m.dest[i].X-m.pos[i].X)*frac,
+				m.pos[i].Y+(m.dest[i].Y-m.pos[i].Y)*frac,
+			)
+			remaining = 0
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPositionsStayInBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewWaypoint(rng, 50, 4, 3, 0.1, 1, 0.5)
+	for step := 0; step < 500; step++ {
+		m.Step(0.2)
+		for i, p := range m.Positions() {
+			if p.X < 0 || p.X > 4 || p.Y < 0 || p.Y > 3 {
+				t.Fatalf("step %d: node %d escaped to %v", step, i, p)
+			}
+		}
+	}
+}
+
+func TestDisplacementBoundedBySpeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vmax := 0.8
+	m := NewWaypoint(rng, 40, 5, 5, 0.2, vmax, 0)
+	prev := m.Positions()
+	dt := 0.25
+	for step := 0; step < 300; step++ {
+		m.Step(dt)
+		cur := m.Positions()
+		for i := range cur {
+			if d := prev[i].Dist(cur[i]); d > vmax*dt*(1+1e-9) {
+				t.Fatalf("step %d node %d moved %v > vmax·dt %v", step, i, d, vmax*dt)
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestPausingNodesHold(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Huge pause: after every arrival nodes freeze; with vmax high they
+	// arrive quickly, so eventually the whole field is static.
+	m := NewWaypoint(rng, 20, 2, 2, 5, 10, 1e9)
+	m.Step(10) // everyone reaches a waypoint within 10 time units
+	a := m.Positions()
+	m.Step(5)
+	b := m.Positions()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("paused node %d moved %v -> %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNodesActuallyMove(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewWaypoint(rng, 30, 5, 5, 0.5, 1, 0)
+	a := m.Positions()
+	m.Step(1)
+	b := m.Positions()
+	moved := 0
+	for i := range a {
+		if a[i] != b[i] {
+			moved++
+		}
+	}
+	if moved < 25 {
+		t.Fatalf("only %d of 30 nodes moved", moved)
+	}
+}
+
+func TestDeterministicFromSeed(t *testing.T) {
+	run := func() []float64 {
+		m := NewWaypoint(rand.New(rand.NewSource(7)), 25, 3, 3, 0.2, 0.9, 0.3)
+		var xs []float64
+		for step := 0; step < 50; step++ {
+			m.Step(0.5)
+		}
+		for _, p := range m.Positions() {
+			xs = append(xs, p.X, p.Y)
+		}
+		return xs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestZeroSpeedDoesNotHang(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewWaypoint(rng, 5, 2, 2, 0, 0, 0.1)
+	for i := 0; i < 100; i++ {
+		m.Step(1) // must terminate
+	}
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cases := []func(){
+		func() { NewWaypoint(rng, -1, 1, 1, 0, 1, 0) },
+		func() { NewWaypoint(rng, 5, 0, 1, 0, 1, 0) },
+		func() { NewWaypoint(rng, 5, 1, 1, 2, 1, 0) },
+		func() { NewWaypoint(rng, 5, 1, 1, 0, 1, -1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+	m := NewWaypoint(rng, 2, 1, 1, 0.1, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative step should panic")
+		}
+	}()
+	m.Step(-1)
+}

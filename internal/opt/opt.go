@@ -1,0 +1,339 @@
+// Package opt computes minimum-interference connectivity-preserving
+// topologies — the optimum the paper's theorems compare against.
+//
+// # Radius-assignment search
+//
+// The receiver-centric interference of a topology depends only on its
+// radius vector (r_u): I(v) = |{u ≠ v : |u,v| ≤ r_u}|. Conversely, given
+// any radius assignment r, the mutual-reachability graph
+//
+//	Ĝ(r) = { {u,v} : |u,v| ≤ min(r_u, r_v) and |u,v| ≤ 1 }
+//
+// contains every topology realizing r, and any spanning forest of Ĝ(r)
+// realizes radii pointwise ≤ r, hence interference ≤ I(r). The minimum
+// interference over connectivity-preserving topologies therefore equals
+// the minimum of I(r) over radius assignments r (each r_u a distance from
+// u to some other node) whose Ĝ(r) preserves the UDG's components.
+// Searching radius vectors (≤ n candidate values per node) is
+// exponentially smaller than searching spanning trees (n^{n−2} of them)
+// and admits strong pruning:
+//
+//   - interference is monotone in every radius, so candidates are tried
+//     in ascending order and a pruned radius prunes all larger ones;
+//   - every node of a non-singleton UDG component needs some neighbor, so
+//     r_u is at least the distance to u's nearest UDG neighbor; and
+//   - a node whose assigned radius cannot reach any mutually reachable
+//     partner (assigned or future) is a dead end.
+//
+// Exact is a depth-first branch-and-bound over this space, practical to
+// n ≈ 14 — enough to verify Theorem 5.2 and the A_apx approximation
+// ratios at small scale. Anneal is a simulated-annealing heuristic over
+// the same space for larger instances; it yields upper bounds on the
+// optimum and is labeled as such in experiments.
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/udg"
+)
+
+// Result is a minimum-interference topology search outcome.
+type Result struct {
+	// Interference is I(G') of the best topology found.
+	Interference int
+	// Radii is the radius assignment attaining it.
+	Radii []float64
+	// Topology is a spanning forest of the mutual-reachability graph of
+	// Radii (one tree per UDG component).
+	Topology *graph.Graph
+	// Exact records whether the search proved optimality (false when the
+	// node budget ran out or the annealer produced the result).
+	Exact bool
+	// Visited counts search-tree nodes (reporting/ablation only).
+	Visited int64
+}
+
+// MaxExactN bounds the instance size Exact accepts; beyond it the search
+// space stops being practical even with pruning.
+const MaxExactN = 16
+
+// defaultBudget caps the number of search-tree nodes Exact explores
+// before giving up on the optimality proof.
+const defaultBudget = 200_000_000
+
+// Exact computes the minimum-interference connectivity-preserving
+// topology by branch-and-bound over radius assignments. It panics when
+// len(pts) > MaxExactN. If the internal node budget is exhausted the best
+// topology found so far is returned with Exact == false.
+func Exact(pts []geom.Point) Result {
+	return ExactBudget(pts, defaultBudget)
+}
+
+// ExactBudget is Exact with an explicit search budget (search-tree nodes
+// explored before giving up on the optimality proof). Small budgets turn
+// the solver into an anytime heuristic that still returns the best
+// topology found, flagged Exact == false.
+func ExactBudget(pts []geom.Point, budget int64) Result {
+	n := len(pts)
+	if n > MaxExactN {
+		panic("opt: instance too large for exact search; use Anneal")
+	}
+	if n == 0 {
+		return Result{Topology: graph.New(0), Exact: true}
+	}
+	base := udg.Build(pts)
+	wantLabel, wantK := base.Components()
+
+	s := &exactSearch{
+		pts:       pts,
+		cand:      candidates(pts, base),
+		udgAdj:    base,
+		wantLabel: wantLabel,
+		wantK:     wantK,
+		radii:     make([]float64, n),
+		budget:    budget,
+	}
+
+	// Seed the upper bound with the best feasible topology at hand: the
+	// range-limited Euclidean MST, improved by a short annealing run. The
+	// tighter the seed, the harder the bound prunes.
+	mst := graph.EuclideanMST(pts, udg.Radius)
+	seedRadii := core.Radii(pts, mst)
+	seedI := core.InterferenceRadii(pts, seedRadii).Max()
+	if ann := Anneal(pts, rand.New(rand.NewSource(1)), 400*n); ann.Interference < seedI {
+		seedI = ann.Interference
+		seedRadii = ann.Radii
+	}
+	s.best = seedI
+	s.bestRadii = append([]float64(nil), seedRadii...)
+
+	s.inc = core.NewIncremental(pts)
+	s.search(0)
+
+	return Result{
+		Interference: s.best,
+		Radii:        s.bestRadii,
+		Topology:     RealizeForest(pts, s.bestRadii),
+		Exact:        s.budget > 0,
+		Visited:      s.visited,
+	}
+}
+
+// candidates returns, for each node, the ascending list of admissible
+// radii: distances to other nodes within unit range, starting at the
+// nearest-UDG-neighbor distance (nodes of non-singleton components need
+// at least one link), or {0} for isolated nodes.
+func candidates(pts []geom.Point, base *graph.Graph) [][]float64 {
+	n := len(pts)
+	cand := make([][]float64, n)
+	for u := 0; u < n; u++ {
+		if base.Degree(u) == 0 {
+			cand[u] = []float64{0}
+			continue
+		}
+		var set []float64
+		for v := 0; v < n; v++ {
+			if v == u {
+				continue
+			}
+			if d := pts[u].Dist(pts[v]); d <= udg.Radius*(1+1e-9) {
+				set = append(set, d)
+			}
+		}
+		sort.Float64s(set)
+		out := set[:1]
+		for _, d := range set[1:] {
+			if d != out[len(out)-1] {
+				out = append(out, d)
+			}
+		}
+		cand[u] = out
+	}
+	return cand
+}
+
+type exactSearch struct {
+	pts       []geom.Point
+	cand      [][]float64
+	udgAdj    *graph.Graph
+	wantLabel []int
+	wantK     int
+	radii     []float64
+	inc       *core.Incremental
+	best      int // best feasible interference found (inclusive bound)
+	bestRadii []float64
+	visited   int64
+	budget    int64
+}
+
+// search assigns a radius to node u and recurses. Invariant: inc holds
+// the radii of nodes < u (nodes ≥ u at 0, contributing nothing to
+// interference yet, which underestimates — safe for pruning).
+func (s *exactSearch) search(u int) {
+	if s.budget <= 0 {
+		return
+	}
+	n := len(s.pts)
+	if u == n {
+		if s.inc.Max() < s.best && s.feasible() {
+			s.best = s.inc.Max()
+			s.bestRadii = append(s.bestRadii[:0], s.radii...)
+		}
+		return
+	}
+	for _, r := range s.cand[u] {
+		if s.budget <= 0 {
+			return
+		}
+		s.visited++
+		s.budget--
+		old := s.inc.SetRadius(u, r)
+		s.radii[u] = r
+		pruned := s.inc.Max() >= s.best
+		if !pruned && !s.deadEnd(u, r) {
+			s.search(u + 1)
+		}
+		s.inc.SetRadius(u, old)
+		s.radii[u] = 0
+		if pruned {
+			// Candidates ascend and interference is monotone in the
+			// radius: every larger candidate is pruned too.
+			break
+		}
+	}
+}
+
+// deadEnd reports whether assigning radius r to node u makes connecting u
+// impossible: u (in a non-singleton component) has no assigned partner it
+// mutually reaches and no unassigned UDG neighbor within r.
+func (s *exactSearch) deadEnd(u int, r float64) bool {
+	if s.udgAdj.Degree(u) == 0 {
+		return false
+	}
+	for _, v := range s.udgAdj.Neighbors(u) {
+		d := s.pts[u].Dist(s.pts[v])
+		if d > r*(1+1e-9) {
+			continue
+		}
+		if v > u {
+			return false // a future node can still meet u
+		}
+		if s.radii[v] >= d*(1-1e-9) {
+			return false // mutually reachable assigned partner
+		}
+	}
+	return true
+}
+
+// feasible reports whether the current radius assignment's mutual-
+// reachability graph preserves the UDG component structure.
+func (s *exactSearch) feasible() bool {
+	g := MutualGraph(s.pts, s.radii)
+	label, k := g.Components()
+	if k != s.wantK {
+		return false
+	}
+	for i := range label {
+		if label[i] != s.wantLabel[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MutualGraph returns Ĝ(r): edges between nodes that can mutually reach
+// each other within their radii and within unit range.
+func MutualGraph(pts []geom.Point, radii []float64) *graph.Graph {
+	g := graph.New(len(pts))
+	for u := 0; u < len(pts); u++ {
+		for v := u + 1; v < len(pts); v++ {
+			d := pts[u].Dist(pts[v])
+			if d <= udg.Radius*(1+1e-9) && d <= radii[u]*(1+1e-9) && d <= radii[v]*(1+1e-9) {
+				g.AddEdge(u, v, d)
+			}
+		}
+	}
+	return g
+}
+
+// RealizeForest returns a spanning forest of the mutual-reachability
+// graph of radii, preferring short edges (Kruskal), i.e. a concrete
+// topology realizing at most the interference of the radius assignment.
+func RealizeForest(pts []geom.Point, radii []float64) *graph.Graph {
+	return graph.KruskalMSF(MutualGraph(pts, radii))
+}
+
+// Anneal searches radius assignments by simulated annealing, returning a
+// feasible topology and an upper bound on the optimal interference. The
+// search space and feasibility test match Exact; a move picks a node and
+// retargets its radius to a random candidate, rejected outright when it
+// breaks connectivity.
+func Anneal(pts []geom.Point, rng *rand.Rand, iters int) Result {
+	n := len(pts)
+	if n == 0 {
+		return Result{Topology: graph.New(0)}
+	}
+	base := udg.Build(pts)
+	wantLabel, wantK := base.Components()
+	feasible := func(radii []float64) bool {
+		g := MutualGraph(pts, radii)
+		label, k := g.Components()
+		if k != wantK {
+			return false
+		}
+		for i := range label {
+			if label[i] != wantLabel[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Start from the MST radii (feasible by construction).
+	mst := graph.EuclideanMST(pts, udg.Radius)
+	cur := core.Radii(pts, mst)
+	curI := core.InterferenceRadii(pts, cur).Max()
+	best := append([]float64(nil), cur...)
+	bestI := curI
+
+	cand := candidates(pts, base)
+
+	temp := 2.0
+	cool := math.Pow(0.01/temp, 1/math.Max(1, float64(iters)))
+	work := append([]float64(nil), cur...)
+	for it := 0; it < iters; it++ {
+		u := rng.Intn(n)
+		if len(cand[u]) == 0 {
+			continue
+		}
+		copy(work, cur)
+		work[u] = cand[u][rng.Intn(len(cand[u]))]
+		if work[u] == cur[u] || !feasible(work) {
+			temp *= cool
+			continue
+		}
+		newI := core.InterferenceRadii(pts, work).Max()
+		dE := float64(newI - curI)
+		if dE <= 0 || rng.Float64() < math.Exp(-dE/temp) {
+			cur, work = work, cur
+			curI = newI
+			if curI < bestI {
+				bestI = curI
+				copy(best, cur)
+			}
+		}
+		temp *= cool
+	}
+	return Result{
+		Interference: bestI,
+		Radii:        best,
+		Topology:     RealizeForest(pts, best),
+		Exact:        false,
+	}
+}

@@ -1,0 +1,78 @@
+// Package report computes per-topology quality profiles: both
+// interference measures next to the classical topology-control goals the
+// related-work section lists — node degree, spanner stretch, and energy.
+// The trade-off experiment (interference vs. stretch vs. energy) and
+// ifctl's detailed output are built on it.
+package report
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/udg"
+)
+
+// Profile summarizes one topology over one instance.
+type Profile struct {
+	// Nodes and links.
+	N, Edges  int
+	MaxDegree int
+	// Receiver-centric interference (the paper's measure).
+	RecvMax  int
+	RecvMean float64
+	// Sender-centric interference (Burkhart et al. [2]).
+	SendMax int
+	// Euclidean spanner stretch versus the UDG (+Inf when the topology
+	// disconnects a UDG-connected pair); 1 for n <= 1.
+	Stretch float64
+	// Energy proxies: the sum of transmission radii raised to the
+	// path-loss exponent (radio power to maintain the topology) and the
+	// total edge length.
+	RadiiEnergy float64
+	TotalLength float64
+	// Connectivity preserved with respect to the UDG.
+	PreservesConnectivity bool
+	// Fault exposure: bridge edges and cut vertices. Trees are all
+	// bridges — minimum interference buys maximum fragility — while
+	// spanners pay interference for redundancy.
+	Bridges     int
+	CutVertices int
+}
+
+// Alpha is the path-loss exponent of the energy proxy.
+const Alpha = 2
+
+// Build computes the profile of topology g over pts.
+func Build(pts []geom.Point, g *graph.Graph) Profile {
+	base := udg.Build(pts)
+	iv := core.Interference(pts, g)
+	_, send := core.SenderInterference(pts, g)
+	radii := core.Radii(pts, g)
+	energy := 0.0
+	for _, r := range radii {
+		energy += math.Pow(r, Alpha)
+	}
+	cuts := 0
+	for _, a := range g.ArticulationPoints() {
+		if a {
+			cuts++
+		}
+	}
+	p := Profile{
+		N:                     len(pts),
+		Bridges:               len(g.Bridges()),
+		CutVertices:           cuts,
+		Edges:                 g.M(),
+		MaxDegree:             g.MaxDegree(),
+		RecvMax:               iv.Max(),
+		RecvMean:              iv.Mean(),
+		SendMax:               send,
+		Stretch:               graph.Stretch(base, g),
+		RadiiEnergy:           energy,
+		TotalLength:           graph.TotalWeight(g),
+		PreservesConnectivity: graph.SameComponents(base, g),
+	}
+	return p
+}

@@ -1,0 +1,103 @@
+package report
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func TestProfileOnSimpleLine(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.5, 0), geom.Pt(1, 0)}
+	g := graph.New(3)
+	g.AddEdge(0, 1, 0.5)
+	g.AddEdge(1, 2, 0.5)
+	p := Build(pts, g)
+	if p.N != 3 || p.Edges != 2 || p.MaxDegree != 2 {
+		t.Errorf("basic counts wrong: %+v", p)
+	}
+	if p.RecvMax != 2 { // middle node covered by both ends
+		t.Errorf("RecvMax = %d", p.RecvMax)
+	}
+	if !p.PreservesConnectivity {
+		t.Error("line preserves connectivity")
+	}
+	if math.Abs(p.TotalLength-1.0) > 1e-12 {
+		t.Errorf("TotalLength = %v", p.TotalLength)
+	}
+	if math.Abs(p.RadiiEnergy-3*0.25) > 1e-12 { // each node r=0.5
+		t.Errorf("RadiiEnergy = %v", p.RadiiEnergy)
+	}
+	if p.Bridges != 2 || p.CutVertices != 1 {
+		t.Errorf("fault exposure = %d bridges, %d cut vertices; want 2, 1", p.Bridges, p.CutVertices)
+	}
+	// The UDG here includes the (0,2) edge of length 1, so the line's
+	// stretch is (0.5+0.5)/1 = 1.
+	if p.Stretch != 1 {
+		t.Errorf("Stretch = %v", p.Stretch)
+	}
+}
+
+func TestProfileDetectsDisconnection(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.5, 0)}
+	p := Build(pts, graph.New(2))
+	if p.PreservesConnectivity {
+		t.Error("empty topology disconnects a connected UDG")
+	}
+	if !math.IsInf(p.Stretch, 1) {
+		t.Errorf("Stretch = %v, want +Inf", p.Stretch)
+	}
+}
+
+func TestProfilesOverZoo(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := gen.UniformSquare(rng, 60, 2)
+	for _, alg := range topology.All() {
+		p := Build(pts, alg.Build(pts))
+		if alg.PreservesConnectivity && !p.PreservesConnectivity {
+			t.Errorf("%s: profile says connectivity broken", alg.Name)
+		}
+		if p.RecvMax < p.MaxDegree {
+			t.Errorf("%s: I(G) %d below max degree %d", alg.Name, p.RecvMax, p.MaxDegree)
+		}
+		if alg.PreservesConnectivity && (p.Stretch < 1 || math.IsInf(p.Stretch, 1)) {
+			t.Errorf("%s: stretch %v out of range", alg.Name, p.Stretch)
+		}
+		if p.RadiiEnergy < 0 || p.TotalLength < 0 {
+			t.Errorf("%s: negative energy proxies", alg.Name)
+		}
+	}
+}
+
+func TestTreesAreAllBridges(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := gen.UniformSquare(rng, 60, 1.5)
+	mst := Build(pts, topology.MST(pts))
+	if mst.Bridges != mst.Edges {
+		t.Errorf("MST: %d bridges of %d edges — a tree is all bridges", mst.Bridges, mst.Edges)
+	}
+	gg := Build(pts, topology.GG(pts))
+	if gg.Bridges >= gg.Edges {
+		t.Errorf("GG: every edge a bridge on a dense instance — no redundancy?")
+	}
+}
+
+func TestSpannersHaveLowerStretchThanTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := gen.UniformSquare(rng, 70, 2)
+	mst := Build(pts, topology.MST(pts))
+	gg := Build(pts, topology.GG(pts))
+	if gg.Stretch > mst.Stretch {
+		t.Errorf("GG stretch %v above MST's %v — GG ⊇ MST", gg.Stretch, mst.Stretch)
+	}
+	lise := Build(pts, topology.LISE(pts, 2))
+	// LISE guarantees per-edge stretch ≤ 2; overall Euclidean stretch vs
+	// the UDG is then ≤ 2 as well.
+	if lise.Stretch > 2+1e-9 {
+		t.Errorf("LISE2 stretch %v exceeds its guarantee", lise.Stretch)
+	}
+}

@@ -1,0 +1,23 @@
+package schedule_test
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/highway"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+)
+
+// A conflict-free TDMA schedule derived from the interference disks: the
+// frame length is the scheduled-access price of I(G').
+func ExampleGreedyLinkSchedule() {
+	pts := gen.ExpChain(12, 1)
+	low := schedule.GreedyLinkSchedule(sim.NewNetwork(pts, highway.AExp(pts)))
+	high := schedule.GreedyLinkSchedule(sim.NewNetwork(pts, highway.Linear(pts)))
+	fmt.Println("A_exp frame: ", low.Frame)
+	fmt.Println("linear frame:", high.Frame)
+	// Output:
+	// A_exp frame:  15
+	// linear frame: 21
+}

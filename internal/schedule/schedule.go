@@ -1,0 +1,154 @@
+// Package schedule turns the receiver-centric interference structure into
+// collision-free TDMA link schedules, making the paper's motivation
+// quantitative from the other side: if random access pays for
+// interference with collisions, scheduled access pays with frame length —
+// and the frame length needed is governed by the very disks Definition
+// 3.1 counts.
+//
+// Two directed transmissions (u→v) and (w→x) conflict when they cannot
+// share a slot:
+//
+//   - u == w (one radio, one frame per slot),
+//   - v == x (a receiver decodes one frame per slot),
+//   - u == x or w == v (half-duplex), or
+//   - w's disk covers v, or u's disk covers x (the paper's interference).
+//
+// GreedyLinkSchedule colors the directed links of a topology greedily in
+// a deterministic order; the classical greedy bound gives frame length at
+// most one more than the maximum conflict degree, which is O(Δ_G + I(G'))
+// — the test suite checks the concrete bound.
+package schedule
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// Link is a directed transmission over a topology edge.
+type Link struct {
+	From, To int
+}
+
+// Schedule assigns each directed link a slot in [0, Frame).
+type Schedule struct {
+	Slots map[Link]int
+	Frame int
+}
+
+// GreedyLinkSchedule builds a collision-free schedule for every directed
+// link of the network's topology.
+func GreedyLinkSchedule(nw *sim.Network) Schedule {
+	links := allLinks(nw)
+	// Deterministic order: by (From, To). Sorting by conflict degree
+	// first is the classic Welsh–Powell improvement; keep the simple
+	// order so results are reproducible and the bound test meaningful.
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].From != links[j].From {
+			return links[i].From < links[j].From
+		}
+		return links[i].To < links[j].To
+	})
+	slots := make(map[Link]int, len(links))
+	frame := 0
+	used := make(map[int]bool)
+	for _, l := range links {
+		for k := range used {
+			delete(used, k)
+		}
+		for _, m := range links {
+			s, ok := slots[m]
+			if !ok {
+				continue
+			}
+			if Conflict(nw, l, m) {
+				used[s] = true
+			}
+		}
+		s := 0
+		for used[s] {
+			s++
+		}
+		slots[l] = s
+		if s+1 > frame {
+			frame = s + 1
+		}
+	}
+	return Schedule{Slots: slots, Frame: frame}
+}
+
+// allLinks enumerates both directions of every topology edge.
+func allLinks(nw *sim.Network) []Link {
+	var links []Link
+	for _, e := range nw.Topo.Edges() {
+		links = append(links, Link{e.U, e.V}, Link{e.V, e.U})
+	}
+	return links
+}
+
+// Conflict reports whether two directed links cannot share a slot under
+// the paper's disk model.
+func Conflict(nw *sim.Network, a, b Link) bool {
+	if a == b {
+		return false
+	}
+	if a.From == b.From || a.To == b.To {
+		return true
+	}
+	if a.From == b.To || b.From == a.To {
+		return true
+	}
+	// b's sender disturbs a's receiver?
+	if covers(nw, b.From, a.To) {
+		return true
+	}
+	// a's sender disturbs b's receiver?
+	if covers(nw, a.From, b.To) {
+		return true
+	}
+	return false
+}
+
+func covers(nw *sim.Network, w, v int) bool {
+	return nw.Radii[w] > 0 && geom.InDisk(nw.Pts[w], nw.Radii[w], nw.Pts[v])
+}
+
+// Verify checks that no two links sharing a slot conflict; it returns the
+// first offending pair, or ok = true.
+func (s Schedule) Verify(nw *sim.Network) (a, b Link, ok bool) {
+	bySlot := make(map[int][]Link)
+	for l, slot := range s.Slots {
+		bySlot[slot] = append(bySlot[slot], l)
+	}
+	for _, ls := range bySlot {
+		for i := 0; i < len(ls); i++ {
+			for j := i + 1; j < len(ls); j++ {
+				if Conflict(nw, ls[i], ls[j]) {
+					return ls[i], ls[j], false
+				}
+			}
+		}
+	}
+	return Link{}, Link{}, true
+}
+
+// MaxConflictDegree returns the largest number of links any single link
+// conflicts with — the greedy coloring's frame length is at most this
+// plus one.
+func MaxConflictDegree(nw *sim.Network) int {
+	links := allLinks(nw)
+	max := 0
+	for _, l := range links {
+		d := 0
+		for _, m := range links {
+			if Conflict(nw, l, m) {
+				d++
+			}
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,53 @@
+package schedule
+
+import "repro/internal/sim"
+
+// Gate adapts the schedule to the simulator's scheduled-access hook: node
+// u may transmit to v in slot t iff the directed link (u → v) owns slot
+// t mod Frame.
+func (s Schedule) Gate() func(slot int64, from, to int) bool {
+	return func(slot int64, from, to int) bool {
+		assigned, ok := s.Slots[Link{From: from, To: to}]
+		if !ok {
+			return false // link not in the schedule: never transmit
+		}
+		return int(slot%int64(s.Frame)) == assigned
+	}
+}
+
+// AwakeGate returns the sleep schedule implied by the link schedule:
+// node u's radio must be on in slot t iff some link it sends or receives
+// on owns t mod Frame. Everything else is sleep — the energy saving that
+// motivates scheduled access.
+func (s Schedule) AwakeGate() func(slot int64, node int) bool {
+	// awakeSlots[node] = set of frame offsets the node participates in.
+	awake := make(map[int]map[int]bool)
+	for l, slot := range s.Slots {
+		for _, node := range []int{l.From, l.To} {
+			if awake[node] == nil {
+				awake[node] = make(map[int]bool)
+			}
+			awake[node][slot] = true
+		}
+	}
+	return func(slot int64, node int) bool {
+		m := awake[node]
+		if m == nil {
+			return false
+		}
+		return m[int(slot%int64(s.Frame))]
+	}
+}
+
+// RunTDMA is a convenience: it builds the link schedule for the network,
+// installs the transmit and sleep gates, and returns both the configured
+// simulator and the frame length, so callers measure scheduled access
+// with one call site.
+func RunTDMA(nw *sim.Network, cfg sim.Config) (*sim.Simulator, int) {
+	sch := GreedyLinkSchedule(nw)
+	if sch.Frame > 0 {
+		cfg.SlotGate = sch.Gate()
+		cfg.AwakeGate = sch.AwakeGate()
+	}
+	return sim.New(nw, cfg), sch.Frame
+}

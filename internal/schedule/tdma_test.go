@@ -1,0 +1,149 @@
+package schedule
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/highway"
+	"repro/internal/sim"
+)
+
+func TestTDMAZeroCollisions(t *testing.T) {
+	// Scheduled access over a conflict-free schedule: no collisions, ever,
+	// on either topology, under heavy convergecast.
+	pts := gen.ExpChain(20, 1)
+	for _, tc := range []struct {
+		name string
+		nw   *sim.Network
+	}{
+		{"linear", sim.NewNetwork(pts, highway.Linear(pts))},
+		{"aexp", sim.NewNetwork(pts, highway.AExp(pts))},
+	} {
+		cfg := sim.DefaultConfig()
+		cfg.Slots = 120000
+		s, frame := RunTDMA(tc.nw, cfg)
+		if frame <= 0 {
+			t.Fatalf("%s: empty frame", tc.name)
+		}
+		// Offered load must fit the TDMA capacity: the sink's incoming
+		// link carries every report and serves one frame per TDMA frame.
+		sim.Convergecast{N: 20, Sink: 0, Period: 1500, Slots: 30000, Stagger: true}.Install(s)
+		m := s.Run()
+		if m.Collisions != 0 {
+			t.Errorf("%s: %d collisions under TDMA", tc.name, m.Collisions)
+		}
+		if m.HalfDuplex != 0 {
+			t.Errorf("%s: %d half-duplex misses — schedule should forbid them", tc.name, m.HalfDuplex)
+		}
+		if m.DeliveryRatio() < 0.999 {
+			t.Errorf("%s: delivery %.4f under collision-free TDMA", tc.name, m.DeliveryRatio())
+		}
+		if m.Retransmits != 0 {
+			t.Errorf("%s: %d retransmissions without collisions", tc.name, m.Retransmits)
+		}
+	}
+}
+
+func TestTDMALatencyTracksFrameLength(t *testing.T) {
+	// The price of scheduling: per-hop delay ~ frame length. The linear
+	// chain's frame (≈ n) makes its TDMA latency much worse than A_exp's
+	// (frame ≈ √n·c) on the same workload — the paper's interference
+	// measure surfaces as scheduled-access latency.
+	pts := gen.ExpChain(20, 1)
+	run := func(nw *sim.Network) (float64, int) {
+		cfg := sim.DefaultConfig()
+		cfg.Slots = 120000
+		s, frame := RunTDMA(nw, cfg)
+		sim.Convergecast{N: 20, Sink: 0, Period: 1500, Slots: 60000, Stagger: true}.Install(s)
+		m := s.Run()
+		if m.DeliveryRatio() < 0.99 {
+			t.Fatalf("delivery %.3f too low to compare latencies", m.DeliveryRatio())
+		}
+		return m.MeanLatency(), frame
+	}
+	linLat, linFrame := run(sim.NewNetwork(pts, highway.Linear(pts)))
+	aexpLat, aexpFrame := run(sim.NewNetwork(pts, highway.AExp(pts)))
+	if linFrame <= aexpFrame {
+		t.Fatalf("frames: linear %d should exceed aexp %d", linFrame, aexpFrame)
+	}
+	if linLat <= aexpLat {
+		t.Errorf("TDMA latency: linear %.1f should exceed aexp %.1f", linLat, aexpLat)
+	}
+}
+
+func TestGateRejectsUnknownLinks(t *testing.T) {
+	pts := gen.ExpChain(6, 1)
+	nw := sim.NewNetwork(pts, highway.Linear(pts))
+	sch := GreedyLinkSchedule(nw)
+	gate := sch.Gate()
+	// (0, 5) is not a topology link.
+	for slot := int64(0); slot < int64(sch.Frame); slot++ {
+		if gate(slot, 0, 5) {
+			t.Fatal("gate admitted a non-link")
+		}
+	}
+	// Every scheduled link fires exactly once per frame.
+	for l, want := range sch.Slots {
+		fired := 0
+		for slot := int64(0); slot < int64(sch.Frame); slot++ {
+			if gate(slot, l.From, l.To) {
+				fired++
+				if int(slot) != want {
+					t.Fatalf("link %v fired in slot %d, owns %d", l, slot, want)
+				}
+			}
+		}
+		if fired != 1 {
+			t.Fatalf("link %v fired %d times per frame", l, fired)
+		}
+	}
+}
+
+func TestTDMASleepSavesListeningEnergy(t *testing.T) {
+	// Same workload, CSMA vs TDMA: scheduled nodes sleep outside their
+	// slots, so listening energy collapses while delivery stays perfect.
+	pts := gen.ExpChain(16, 1)
+	nw := sim.NewNetwork(pts, highway.AExp(pts))
+	base := sim.DefaultConfig()
+	base.Slots = 60000
+
+	csma := sim.New(nw, base)
+	sim.Convergecast{N: 16, Sink: 0, Period: 1500, Slots: 30000, Stagger: true}.Install(csma)
+	mCsma := csma.Run()
+
+	tdma, _ := RunTDMA(nw, base)
+	sim.Convergecast{N: 16, Sink: 0, Period: 1500, Slots: 30000, Stagger: true}.Install(tdma)
+	mTdma := tdma.Run()
+
+	if mTdma.DeliveryRatio() < 0.999 {
+		t.Fatalf("TDMA delivery %.3f", mTdma.DeliveryRatio())
+	}
+	if mCsma.ListenEnergy <= 0 || mTdma.ListenEnergy <= 0 {
+		t.Fatal("listening energy not accounted")
+	}
+	// With ~16 nodes awake every slot vs only schedule participants, the
+	// saving should be at least 2x (typically much more).
+	if mTdma.ListenEnergy*2 > mCsma.ListenEnergy {
+		t.Errorf("TDMA listening %.1f not well below CSMA %.1f", mTdma.ListenEnergy, mCsma.ListenEnergy)
+	}
+	if mTdma.TotalEnergy() >= mCsma.TotalEnergy() {
+		t.Errorf("TDMA total energy %.1f should beat CSMA %.1f", mTdma.TotalEnergy(), mCsma.TotalEnergy())
+	}
+}
+
+func TestAwakeGateCoversScheduledLinks(t *testing.T) {
+	pts := gen.ExpChain(10, 1)
+	nw := sim.NewNetwork(pts, highway.Linear(pts))
+	sch := GreedyLinkSchedule(nw)
+	awake := sch.AwakeGate()
+	for l, slot := range sch.Slots {
+		if !awake(int64(slot), l.From) || !awake(int64(slot), l.To) {
+			t.Fatalf("link %v endpoints not awake in their slot %d", l, slot)
+		}
+		// And in the next frame too (modular behavior).
+		later := int64(slot) + int64(sch.Frame)
+		if !awake(later, l.From) || !awake(later, l.To) {
+			t.Fatalf("link %v endpoints asleep in a later frame", l)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/highway"
+	"repro/internal/sim"
+)
+
+// Run identical convergecast traffic over a high- and a low-interference
+// topology of the same instance: the collision budget follows I(G').
+func Example() {
+	pts := gen.ExpChain(16, 1)
+	for _, tc := range []struct {
+		name string
+		g    func() *sim.Network
+	}{
+		{"linear", func() *sim.Network { return sim.NewNetwork(pts, highway.Linear(pts)) }},
+		{"aexp", func() *sim.Network { return sim.NewNetwork(pts, highway.AExp(pts)) }},
+	} {
+		cfg := sim.DefaultConfig()
+		cfg.Slots = 20000
+		s := sim.New(tc.g(), cfg)
+		sim.Convergecast{N: 16, Sink: 0, Period: 500, Slots: 10000, Stagger: true}.Install(s)
+		m := s.Run()
+		fmt.Printf("%s: I=%d collisions=%d delivered=%d/%d\n",
+			tc.name, tc.g().MaxInterference(), m.Collisions, m.Delivered, m.Injected)
+	}
+	// Output:
+	// linear: I=14 collisions=1550 delivered=299/300
+	// aexp: I=5 collisions=612 delivered=300/300
+}

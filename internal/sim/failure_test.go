@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/highway"
+)
+
+func TestCarrierSenseReducesCollisions(t *testing.T) {
+	// Heavy convergecast on the linear exponential chain: CSMA must cut
+	// the collision rate relative to plain p-persistence under the same
+	// workload and seed.
+	pts := gen.ExpChain(20, 1)
+	topo := highway.Linear(pts)
+	run := func(cs bool) *Metrics {
+		nw := NewNetwork(pts, topo)
+		cfg := DefaultConfig()
+		cfg.Slots = 30000
+		cfg.CarrierSense = cs
+		s := New(nw, cfg)
+		Convergecast{N: 20, Sink: 0, Period: 300, Slots: 15000, Stagger: true}.Install(s)
+		return s.Run()
+	}
+	plain := run(false)
+	csma := run(true)
+	if csma.Deferrals == 0 {
+		t.Fatal("CSMA run never deferred — sensing inactive")
+	}
+	if plain.Deferrals != 0 {
+		t.Fatal("plain run should never defer")
+	}
+	if csma.CollisionRate() >= plain.CollisionRate() {
+		t.Errorf("CSMA collision rate %.4f not below plain %.4f",
+			csma.CollisionRate(), plain.CollisionRate())
+	}
+}
+
+func TestNodeFailureStopsForwarding(t *testing.T) {
+	// A 5-node line; the middle node fails mid-run. Frames injected after
+	// the failure cannot cross it and are dropped after retries.
+	nw := lineNetwork(5, 0.5)
+	cfg := DefaultConfig()
+	cfg.Slots = 20000
+	s := New(nw, cfg)
+	s.FailNodeAt(5000, 2)
+	// One frame before the failure (delivered), one after (dropped).
+	s.Schedule(0, func() { s.Inject(0, 4) })
+	s.Schedule(10000, func() { s.Inject(0, 4) })
+	m := s.Run()
+	if m.Delivered != 1 {
+		t.Fatalf("delivered %d, want 1 (pre-failure frame only)", m.Delivered)
+	}
+	if m.DroppedHop != 1 {
+		t.Errorf("dropped %d, want 1 (post-failure frame)", m.DroppedHop)
+	}
+	if m.DeadRx == 0 {
+		t.Error("expected transmissions toward the dead node to be counted")
+	}
+	total := m.Delivered + m.DroppedHop + m.DroppedQ + m.Unroutable + m.InFlight + m.LostAtFail
+	if total != m.Injected {
+		t.Errorf("conservation violated: %d of %d", total, m.Injected)
+	}
+}
+
+func TestNodeFailureDestroysQueuedFrames(t *testing.T) {
+	// Stuff the relay's queue, then fail it: queued frames are lost and
+	// counted.
+	nw := lineNetwork(3, 0.5)
+	cfg := DefaultConfig()
+	cfg.P = 1
+	cfg.Slots = 100
+	s := New(nw, cfg)
+	s.Schedule(0, func() {
+		for i := 0; i < 4; i++ {
+			s.Inject(0, 2)
+		}
+	})
+	// With P = 1 the first frame reaches the relay in slot 0; failing the
+	// relay at slot 1 destroys it in-queue.
+	s.FailNodeAt(1, 1)
+	m := s.Run()
+	if m.LostAtFail == 0 {
+		t.Error("expected frames lost in the failed relay's queue")
+	}
+	total := m.Delivered + m.DroppedHop + m.DroppedQ + m.Unroutable + m.InFlight + m.LostAtFail
+	if total != m.Injected {
+		t.Errorf("conservation violated: %d of %d", total, m.Injected)
+	}
+}
+
+func TestFailNodeIdempotent(t *testing.T) {
+	nw := lineNetwork(3, 0.5)
+	cfg := DefaultConfig()
+	cfg.Slots = 10
+	s := New(nw, cfg)
+	s.FailNodeAt(1, 1)
+	s.FailNodeAt(2, 1) // second failure of the same node: no double count
+	s.Schedule(0, func() { s.Inject(0, 2) })
+	m := s.Run()
+	if m.LostAtFail > 1 {
+		t.Errorf("LostAtFail = %d; double-counted on repeated failure", m.LostAtFail)
+	}
+}
+
+func TestDeadNodeDoesNotTransmit(t *testing.T) {
+	nw := lineNetwork(2, 0.5)
+	cfg := DefaultConfig()
+	cfg.P = 1
+	cfg.Slots = 50
+	s := New(nw, cfg)
+	s.FailNodeAt(0, 0)
+	s.Schedule(1, func() { s.Inject(0, 1) })
+	m := s.Run()
+	if m.TxAttempts != 0 {
+		t.Errorf("dead node transmitted %d times", m.TxAttempts)
+	}
+	if m.InFlight != 1 {
+		t.Errorf("frame should rot in the dead node's queue (InFlight=%d)", m.InFlight)
+	}
+}
+
+func TestCarrierSenseDeterministic(t *testing.T) {
+	pts := gen.ExpChain(16, 1)
+	topo := highway.AExp(pts)
+	run := func() Metrics {
+		nw := NewNetwork(pts, topo)
+		cfg := DefaultConfig()
+		cfg.Slots = 10000
+		cfg.CarrierSense = true
+		s := New(nw, cfg)
+		Convergecast{N: 16, Sink: 0, Period: 400, Slots: 5000, Stagger: true}.Install(s)
+		return *s.Run()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("CSMA runs diverged:\n%+v\n%+v", a, b)
+	}
+}

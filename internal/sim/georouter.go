@@ -1,0 +1,52 @@
+package sim
+
+import "repro/internal/geom"
+
+// GreedyGeoRouter forwards geographically: from u, pick the topology
+// neighbor strictly closer to the destination than u itself (the greedy
+// rule of the position-based routing literature the paper cites — Bose
+// et al. [1], GPSR [7], Kuhn et al. [8]). When no neighbor makes
+// progress the packet is at a local minimum and greedy gives up
+// (NextHop returns -1); recovery schemes like face routing are beyond
+// this reproduction's scope, and the tests measure exactly how often
+// trees vs spanners strand greedy packets.
+type GreedyGeoRouter struct {
+	pts  []geom.Point
+	topo topoAdj
+}
+
+// topoAdj is the minimal adjacency view the router needs (satisfied by
+// *graph.Graph).
+type topoAdj interface {
+	Neighbors(u int) []int
+}
+
+// NewGreedyGeoRouter builds a geographic router over the network's
+// topology and node positions.
+func NewGreedyGeoRouter(nw *Network) *GreedyGeoRouter {
+	return &GreedyGeoRouter{pts: nw.Pts, topo: nw.Topo}
+}
+
+// NextHop implements Router: the neighbor closest to the destination,
+// provided it improves on u's own distance. Ties break toward the
+// smaller index, so routes are deterministic.
+func (r *GreedyGeoRouter) NextHop(from, to int) int {
+	if from == to {
+		return -1
+	}
+	dst := r.pts[to]
+	best := -1
+	bestD2 := r.pts[from].Dist2(dst)
+	for _, v := range r.topo.Neighbors(from) {
+		d2 := r.pts[v].Dist2(dst)
+		if d2 < bestD2 || (d2 == bestD2 && best >= 0 && v < best) {
+			best, bestD2 = v, d2
+		}
+	}
+	return best
+}
+
+// SetRouter swaps the simulator's routing strategy; call before
+// injecting traffic. Frames already queued keep routing through the new
+// router, so swapping mid-run is the caller's responsibility to avoid.
+func (s *Simulator) SetRouter(r Router) { s.router = r }

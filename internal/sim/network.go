@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// Network is the static radio layout a simulation runs over: node
+// positions, the topology's links, each node's transmission radius
+// r_u (distance to its farthest neighbor, as in the model), and the
+// precomputed coverage sets that drive collision detection.
+type Network struct {
+	Pts   []geom.Point
+	Topo  *graph.Graph
+	Radii []float64
+	// Covers[w] lists the nodes inside D(w, Radii[w]) other than w: the
+	// nodes a transmission by w disturbs. This is the adjacency the
+	// paper's I(v) counts, transposed.
+	Covers [][]int
+	// CoveredBy[v] lists the nodes whose disks contain v; len(CoveredBy[v])
+	// is exactly I(v).
+	CoveredBy [][]int
+}
+
+// NewNetwork precomputes the radio layout for a topology over pts.
+func NewNetwork(pts []geom.Point, topo *graph.Graph) *Network {
+	if topo.N() != len(pts) {
+		panic(fmt.Sprintf("sim: topology over %d nodes, %d points", topo.N(), len(pts)))
+	}
+	n := len(pts)
+	nw := &Network{
+		Pts:       pts,
+		Topo:      topo,
+		Radii:     core.Radii(pts, topo),
+		Covers:    make([][]int, n),
+		CoveredBy: make([][]int, n),
+	}
+	if n == 0 {
+		return nw
+	}
+	grid := geom.NewGrid(pts, gridCellFor(pts))
+	buf := make([]int, 0, 64)
+	for w := 0; w < n; w++ {
+		if nw.Radii[w] <= 0 {
+			continue
+		}
+		buf = grid.Within(pts[w], nw.Radii[w], buf[:0])
+		for _, v := range buf {
+			if v == w {
+				continue
+			}
+			nw.Covers[w] = append(nw.Covers[w], v)
+			nw.CoveredBy[v] = append(nw.CoveredBy[v], w)
+		}
+	}
+	return nw
+}
+
+// Interference returns I(v) for node v — the length of its covered-by
+// list, by construction identical to core.Interference.
+func (nw *Network) Interference(v int) int { return len(nw.CoveredBy[v]) }
+
+// MaxInterference returns I(G') of the underlying topology.
+func (nw *Network) MaxInterference() int {
+	m := 0
+	for v := range nw.CoveredBy {
+		if len(nw.CoveredBy[v]) > m {
+			m = len(nw.CoveredBy[v])
+		}
+	}
+	return m
+}
+
+func gridCellFor(pts []geom.Point) float64 {
+	b := geom.Bounds(pts)
+	ext := b.Width()
+	if b.Height() > ext {
+		ext = b.Height()
+	}
+	if ext <= 0 {
+		return 1
+	}
+	c := ext / float64(1+len(pts)/4)
+	if c <= 0 {
+		return 1
+	}
+	return c
+}
+
+// Router chooses the next hop toward a destination over the topology.
+type Router interface {
+	// NextHop returns the neighbor of `from` on a shortest path to `to`,
+	// or -1 when `to` is unreachable. NextHop(to, to) is never asked.
+	NextHop(from, to int) int
+}
+
+// BFSRouter routes along minimum-hop paths, computing and caching one
+// BFS tree per destination on first use. Ties between equal-hop parents
+// resolve to the smallest neighbor index, so routes are deterministic.
+type BFSRouter struct {
+	topo *graph.Graph
+	// parent[dst][u] = next hop from u toward dst (-1 unreachable).
+	parent map[int][]int
+}
+
+// NewBFSRouter returns a router over the given topology.
+func NewBFSRouter(topo *graph.Graph) *BFSRouter {
+	return &BFSRouter{topo: topo, parent: make(map[int][]int)}
+}
+
+// NextHop implements Router.
+func (r *BFSRouter) NextHop(from, to int) int {
+	tree, ok := r.parent[to]
+	if !ok {
+		tree = r.buildTree(to)
+		r.parent[to] = tree
+	}
+	return tree[from]
+}
+
+// buildTree runs BFS from dst and records, for every node, its parent
+// toward dst.
+func (r *BFSRouter) buildTree(dst int) []int {
+	n := r.topo.N()
+	par := make([]int, n)
+	dist := make([]int, n)
+	for i := range par {
+		par[i] = -1
+		dist[i] = -1
+	}
+	dist[dst] = 0
+	queue := []int{dst}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range r.topo.Neighbors(u) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				par[v] = u
+				queue = append(queue, v)
+			} else if dist[v] == dist[u]+1 && u < par[v] {
+				par[v] = u // deterministic tie-break
+			}
+		}
+	}
+	return par
+}

@@ -1,0 +1,422 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config sets the MAC and accounting parameters of a run.
+type Config struct {
+	// Slots is the simulation horizon.
+	Slots int64
+	// P is the transmit probability of the p-persistent MAC when a node
+	// has a frame and its backoff has expired. Typical 0.1–0.5.
+	P float64
+	// MaxRetries bounds retransmissions of one hop before the frame is
+	// dropped.
+	MaxRetries int
+	// BackoffBase is the mean backoff (slots) after the k-th failure; the
+	// actual wait is uniform in [0, BackoffBase·2^k).
+	BackoffBase int
+	// Alpha is the path-loss exponent for the energy model: one
+	// transmission by u costs r_u^Alpha (plus a fixed electronics cost).
+	Alpha float64
+	// Seed drives all randomness of the run.
+	Seed int64
+	// QueueCap bounds each node's forwarding queue; arrivals beyond it are
+	// dropped (counted). Zero means unbounded.
+	QueueCap int
+	// CarrierSense enables CSMA: a node defers (without burning a backoff)
+	// when any node whose disk covers it transmitted in the previous slot.
+	// Sensing range is the interference disk system itself — a node hears
+	// exactly the transmitters that could collide at it.
+	CarrierSense bool
+	// Physical, when enabled, replaces the paper's disk reception model
+	// with SINR decoding (see sinr.go). Failures still count as
+	// Collisions.
+	Physical PhysicalConfig
+	// SlotGate, when non-nil, turns the MAC into scheduled access: node u
+	// may transmit its head frame to its next hop v in slot t only when
+	// SlotGate(t, u, v) is true (and it then transmits deterministically,
+	// ignoring P). internal/schedule derives gates from TDMA link
+	// schedules; a correct schedule yields zero collisions by
+	// construction.
+	SlotGate func(slot int64, from, to int) bool
+	// AwakeGate, when non-nil, lets nodes sleep: node u's radio is on in
+	// slot t iff AwakeGate(t, u). Sleeping nodes neither transmit nor pay
+	// idle-listening energy. Under random access every node must listen
+	// every slot (nil gate); under TDMA a node needs its radio only in
+	// slots where it sends or receives — internal/schedule derives the
+	// gate, and the energy gap is the point of the X7 experiment.
+	AwakeGate func(slot int64, node int) bool
+	// IdleListenCost is the energy one awake node pays per slot for
+	// listening (radios burn nearly as much receiving/idling as
+	// transmitting; this is what sleep scheduling saves).
+	IdleListenCost float64
+	// PerNode enables per-node accounting (Metrics.NodeRxFailures and
+	// NodeTxAttempts), the data behind the node-level I(v)↔collisions
+	// correlation experiment.
+	PerNode bool
+}
+
+// DefaultConfig returns sane MAC parameters for the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Slots:       20000,
+		P:           0.25,
+		MaxRetries:  7,
+		BackoffBase: 2,
+		Alpha:       2,
+		Seed:        1,
+		// Idle listening costs a large fraction of a short transmission:
+		// the standard radio-energy regime that makes sleeping worthwhile.
+		IdleListenCost: 0.005,
+	}
+}
+
+// Frame is one end-to-end message hopping through the network.
+type Frame struct {
+	ID      int64
+	Src     int
+	Dst     int
+	Born    int64 // slot of injection at Src
+	Hops    int
+	retries int
+}
+
+// Metrics aggregates a run's outcome.
+type Metrics struct {
+	Injected     int64 // frames entering the network
+	Delivered    int64 // frames that reached their destination
+	DroppedHop   int64 // frames dropped after MaxRetries on some hop
+	DroppedQ     int64 // frames dropped on queue overflow
+	Unroutable   int64 // frames with no path to the destination
+	InFlight     int64 // frames still queued at the horizon
+	Collisions   int64 // receptions destroyed by a covering transmission
+	HalfDuplex   int64 // receptions missed because the receiver was sending
+	TxAttempts   int64 // transmissions (incl. retransmissions)
+	Retransmits  int64
+	Deferrals    int64   // transmissions postponed by carrier sensing
+	DeadRx       int64   // transmissions toward a failed node
+	LostAtFail   int64   // frames destroyed in a failing node's queue
+	Energy       float64 // Σ per-transmission r^α + electronics
+	ListenEnergy float64 // Σ idle-listening cost over awake node-slots
+	LatencySum   int64   // Σ (delivery slot − Born) over delivered frames
+	HopSum       int64   // Σ hops over delivered frames
+	// Per-node accounting (nil unless Config.PerNode):
+	// NodeRxFailures[v] counts receptions addressed to v destroyed by a
+	// covering transmission — the dynamic counterpart of I(v);
+	// NodeTxAttempts[u] counts u's transmissions.
+	NodeRxFailures []int64
+	NodeTxAttempts []int64
+}
+
+// TotalEnergy returns transmission plus listening energy.
+func (m *Metrics) TotalEnergy() float64 { return m.Energy + m.ListenEnergy }
+
+// DeliveryRatio returns Delivered/Injected (1 for an idle run).
+func (m *Metrics) DeliveryRatio() float64 {
+	if m.Injected == 0 {
+		return 1
+	}
+	return float64(m.Delivered) / float64(m.Injected)
+}
+
+// MeanLatency returns the average end-to-end latency in slots over
+// delivered frames (0 when none were delivered).
+func (m *Metrics) MeanLatency() float64 {
+	if m.Delivered == 0 {
+		return 0
+	}
+	return float64(m.LatencySum) / float64(m.Delivered)
+}
+
+// CollisionRate returns Collisions/TxAttempts (0 for an idle run).
+func (m *Metrics) CollisionRate() float64 {
+	if m.TxAttempts == 0 {
+		return 0
+	}
+	return float64(m.Collisions) / float64(m.TxAttempts)
+}
+
+// Simulator runs a workload over a Network.
+type Simulator struct {
+	cfg    Config
+	nw     *Network
+	router Router
+	rng    *rand.Rand
+	sched  Scheduler
+	// Per-node sender state.
+	queues  [][]*Frame // head = queues[u][0]
+	backoff []int64    // slot until which u stays silent
+	// Per-slot scratch.
+	txFrame     []*Frame // frame being sent by u this slot (nil = silent)
+	txTarget    []int
+	sending     []bool
+	prevSending []bool // last slot's senders, for carrier sensing
+	dead        []bool // failed nodes (failure injection)
+	m           Metrics
+	tracer      Tracer
+	frameSeq    int64
+	now         int64
+}
+
+// New builds a simulator over the network with BFS minimum-hop routing.
+func New(nw *Network, cfg Config) *Simulator {
+	if cfg.P <= 0 || cfg.P > 1 {
+		panic(fmt.Sprintf("sim: transmit probability %v out of (0,1]", cfg.P))
+	}
+	n := len(nw.Pts)
+	var nodeRx, nodeTx []int64
+	if cfg.PerNode {
+		nodeRx = make([]int64, n)
+		nodeTx = make([]int64, n)
+	}
+	return &Simulator{
+		m:           Metrics{NodeRxFailures: nodeRx, NodeTxAttempts: nodeTx},
+		cfg:         cfg,
+		nw:          nw,
+		router:      NewBFSRouter(nw.Topo),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		queues:      make([][]*Frame, n),
+		backoff:     make([]int64, n),
+		txFrame:     make([]*Frame, n),
+		txTarget:    make([]int, n),
+		sending:     make([]bool, n),
+		prevSending: make([]bool, n),
+		dead:        make([]bool, n),
+	}
+}
+
+// FailNodeAt schedules a permanent failure of the node at the given
+// slot: its queued frames are destroyed (counted in LostAtFail) and it
+// neither transmits nor receives afterwards. Routing is static, so
+// frames whose path crosses the failed node retry and eventually drop —
+// the failure-injection experiments measure exactly that exposure.
+func (s *Simulator) FailNodeAt(slot int64, node int) {
+	s.Schedule(slot, func() {
+		if s.dead[node] {
+			return
+		}
+		s.dead[node] = true
+		s.m.LostAtFail += int64(len(s.queues[node]))
+		if s.tracer != nil {
+			for _, f := range s.queues[node] {
+				s.tracer.OnDrop(s.now, f.ID, "node-failure")
+			}
+		}
+		s.queues[node] = nil
+	})
+}
+
+// Now returns the current slot.
+func (s *Simulator) Now() int64 { return s.now }
+
+// Metrics returns the accumulated metrics (valid after Run).
+func (s *Simulator) Metrics() *Metrics { return &s.m }
+
+// Schedule registers fn to run at the given slot (workload hook).
+func (s *Simulator) Schedule(slot int64, fn func()) { s.sched.At(slot, fn) }
+
+// Inject enters a new frame at src destined for dst at the current slot.
+// Frames to self are delivered immediately.
+func (s *Simulator) Inject(src, dst int) {
+	s.m.Injected++
+	if src == dst {
+		s.m.Delivered++
+		return
+	}
+	if s.router.NextHop(src, dst) < 0 {
+		s.m.Unroutable++
+		return
+	}
+	s.frameSeq++
+	f := &Frame{ID: s.frameSeq, Src: src, Dst: dst, Born: s.now}
+	s.enqueue(src, f)
+}
+
+func (s *Simulator) enqueue(u int, f *Frame) {
+	if s.cfg.QueueCap > 0 && len(s.queues[u]) >= s.cfg.QueueCap {
+		s.m.DroppedQ++
+		if s.tracer != nil {
+			s.tracer.OnDrop(s.now, f.ID, "queue")
+		}
+		return
+	}
+	s.queues[u] = append(s.queues[u], f)
+}
+
+// Run executes the configured number of slots.
+func (s *Simulator) Run() *Metrics {
+	for s.now = 0; s.now < s.cfg.Slots; s.now++ {
+		s.sched.DrainSlot(s.now)
+		s.step()
+	}
+	for _, q := range s.queues {
+		s.m.InFlight += int64(len(q))
+	}
+	return &s.m
+}
+
+// step simulates one slot: transmit decisions, then reception resolution.
+func (s *Simulator) step() {
+	n := len(s.nw.Pts)
+	// Phase 1: every backlogged node with expired backoff transmits with
+	// probability P (p-persistent slotted access).
+	for u := 0; u < n; u++ {
+		s.sending[u] = false
+		s.txFrame[u] = nil
+		if s.dead[u] {
+			continue
+		}
+		awake := s.cfg.AwakeGate == nil || s.cfg.AwakeGate(s.now, u)
+		if awake {
+			s.m.ListenEnergy += s.cfg.IdleListenCost
+		}
+		if !awake || len(s.queues[u]) == 0 || s.backoff[u] > s.now {
+			continue
+		}
+		if s.cfg.CarrierSense && s.channelBusy(u) {
+			s.m.Deferrals++
+			continue
+		}
+		f := s.queues[u][0]
+		hop := s.router.NextHop(u, f.Dst)
+		if hop < 0 {
+			// With BFS routing this cannot happen (routes are static); a
+			// geographic router strands frames at local minima. Drop and
+			// account the frame so conservation holds.
+			s.pop(u)
+			s.m.Unroutable++
+			if s.tracer != nil {
+				s.tracer.OnDrop(s.now, f.ID, "unroutable")
+			}
+			continue
+		}
+		if s.cfg.SlotGate != nil {
+			// Scheduled access: transmit deterministically in owned slots.
+			if !s.cfg.SlotGate(s.now, u, hop) {
+				continue
+			}
+		} else if s.rng.Float64() >= s.cfg.P {
+			// p-persistent random access.
+			continue
+		}
+		s.sending[u] = true
+		s.txFrame[u] = f
+		s.txTarget[u] = hop
+		s.m.TxAttempts++
+		if s.m.NodeTxAttempts != nil {
+			s.m.NodeTxAttempts[u]++
+		}
+		if f.retries > 0 {
+			s.m.Retransmits++
+		}
+		s.m.Energy += math.Pow(s.nw.Radii[u], s.cfg.Alpha) + electronicsCost
+	}
+
+	// Phase 2: resolve receptions. A frame u→v succeeds iff v is not
+	// itself sending (half-duplex) and no OTHER sender's disk covers v.
+	for u := 0; u < n; u++ {
+		if !s.sending[u] {
+			continue
+		}
+		v := s.txTarget[u]
+		f := s.txFrame[u]
+		ok := true
+		if s.dead[v] {
+			ok = false
+			s.m.DeadRx++
+		} else if s.sending[v] {
+			ok = false
+			s.m.HalfDuplex++
+		} else if s.cfg.Physical.Enabled {
+			if !s.sinrOK(u, v) {
+				ok = false
+				s.m.Collisions++
+				if s.m.NodeRxFailures != nil {
+					s.m.NodeRxFailures[v]++
+				}
+			}
+		} else {
+			for _, w := range s.nw.CoveredBy[v] {
+				if w != u && s.sending[w] {
+					ok = false
+					s.m.Collisions++
+					if s.m.NodeRxFailures != nil {
+						s.m.NodeRxFailures[v]++
+					}
+					break
+				}
+			}
+		}
+		if s.tracer != nil {
+			outcome := "ok"
+			switch {
+			case ok:
+			case s.dead[v]:
+				outcome = "dead-rx"
+			case s.sending[v]:
+				outcome = "half-duplex"
+			default:
+				outcome = "collision"
+			}
+			s.tracer.OnTx(s.now, u, v, f.ID, outcome)
+		}
+		if ok {
+			s.pop(u)
+			f.retries = 0
+			f.Hops++
+			if v == f.Dst {
+				s.m.Delivered++
+				s.m.LatencySum += s.now - f.Born
+				s.m.HopSum += int64(f.Hops)
+				if s.tracer != nil {
+					s.tracer.OnDeliver(s.now, f.ID, f.Src, f.Dst, f.Hops)
+				}
+			} else {
+				s.enqueue(v, f)
+			}
+			s.backoff[u] = 0
+		} else {
+			f.retries++
+			if f.retries > s.cfg.MaxRetries {
+				s.pop(u)
+				s.m.DroppedHop++
+				if s.tracer != nil {
+					s.tracer.OnDrop(s.now, f.ID, "retries")
+				}
+			} else {
+				// Binary exponential backoff.
+				window := int64(s.cfg.BackoffBase) << uint(f.retries-1)
+				if window < 1 {
+					window = 1
+				}
+				s.backoff[u] = s.now + 1 + s.rng.Int63n(window)
+			}
+		}
+	}
+	copy(s.prevSending, s.sending)
+}
+
+// channelBusy reports whether node u sensed a transmission in the
+// previous slot: some node whose interference disk covers u was sending.
+func (s *Simulator) channelBusy(u int) bool {
+	for _, w := range s.nw.CoveredBy[u] {
+		if s.prevSending[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// electronicsCost is the fixed per-transmission energy (radio
+// electronics), keeping zero-radius transmissions from being free.
+const electronicsCost = 0.01
+
+func (s *Simulator) pop(u int) {
+	q := s.queues[u]
+	copy(q, q[1:])
+	s.queues[u] = q[:len(q)-1]
+}

@@ -1,0 +1,326 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/highway"
+	"repro/internal/topology"
+)
+
+func lineNetwork(n int, gap float64) *Network {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(float64(i)*gap, 0)
+	}
+	topo := graph.New(n)
+	for i := 1; i < n; i++ {
+		topo.AddEdge(i-1, i, gap)
+	}
+	return NewNetwork(pts, topo)
+}
+
+func TestSchedulerOrder(t *testing.T) {
+	var s Scheduler
+	var got []int
+	s.At(5, func() { got = append(got, 5) })
+	s.At(1, func() { got = append(got, 1) })
+	s.At(5, func() { got = append(got, 50) }) // same slot: insertion order
+	s.At(3, func() { got = append(got, 3) })
+	if s.NextSlot() != 1 {
+		t.Errorf("NextSlot = %d", s.NextSlot())
+	}
+	s.DrainSlot(4)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("after DrainSlot(4): %v", got)
+	}
+	s.DrainSlot(10)
+	if len(got) != 4 || got[2] != 5 || got[3] != 50 {
+		t.Fatalf("final order: %v", got)
+	}
+	if s.Pending() != 0 || s.NextSlot() != -1 {
+		t.Error("queue should be empty")
+	}
+}
+
+func TestNetworkCoverageMatchesCoreInterference(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(60)
+		pts := gen.UniformSquare(rng, n, 3)
+		topo := topology.MST(pts)
+		nw := NewNetwork(pts, topo)
+		iv := core.Interference(pts, topo)
+		for v := 0; v < n; v++ {
+			if nw.Interference(v) != iv[v] {
+				t.Fatalf("trial %d node %d: network I=%d, core I=%d", trial, v, nw.Interference(v), iv[v])
+			}
+		}
+		if nw.MaxInterference() != iv.Max() {
+			t.Fatalf("trial %d: max %d vs %d", trial, nw.MaxInterference(), iv.Max())
+		}
+	}
+}
+
+func TestBFSRouterShortestHops(t *testing.T) {
+	nw := lineNetwork(5, 0.5)
+	r := NewBFSRouter(nw.Topo)
+	if h := r.NextHop(0, 4); h != 1 {
+		t.Errorf("NextHop(0,4) = %d, want 1", h)
+	}
+	if h := r.NextHop(4, 0); h != 3 {
+		t.Errorf("NextHop(4,0) = %d, want 3", h)
+	}
+	// Unreachable.
+	topo := graph.New(3)
+	topo.AddEdge(0, 1, 1)
+	r2 := NewBFSRouter(topo)
+	if h := r2.NextHop(0, 2); h != -1 {
+		t.Errorf("unreachable NextHop = %d, want -1", h)
+	}
+}
+
+func TestSingleFrameDelivery(t *testing.T) {
+	nw := lineNetwork(4, 0.5)
+	cfg := DefaultConfig()
+	cfg.Slots = 2000
+	cfg.P = 1 // only one sender ever: deterministic success each slot
+	s := New(nw, cfg)
+	s.Schedule(0, func() { s.Inject(0, 3) })
+	m := s.Run()
+	if m.Injected != 1 || m.Delivered != 1 {
+		t.Fatalf("injected %d delivered %d", m.Injected, m.Delivered)
+	}
+	if m.Collisions != 0 {
+		t.Errorf("collisions = %d on a lone frame", m.Collisions)
+	}
+	if m.HopSum != 3 {
+		t.Errorf("hops = %d, want 3", m.HopSum)
+	}
+	// The first hop fires in the injection slot, so a 3-hop delivery
+	// completes 2 slots after birth at the earliest.
+	if m.MeanLatency() < 2 {
+		t.Errorf("latency %v below hops-1", m.MeanLatency())
+	}
+	if m.Energy <= 0 {
+		t.Error("energy should accumulate")
+	}
+}
+
+func TestSelfAndUnroutableFrames(t *testing.T) {
+	topo := graph.New(3)
+	topo.AddEdge(0, 1, 0.5)
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.5, 0), geom.Pt(5, 0)}
+	s := New(NewNetwork(pts, topo), DefaultConfig())
+	s.Schedule(0, func() {
+		s.Inject(0, 0) // self: immediate delivery
+		s.Inject(0, 2) // unroutable
+	})
+	m := s.Run()
+	if m.Delivered != 1 || m.Unroutable != 1 {
+		t.Errorf("delivered %d unroutable %d", m.Delivered, m.Unroutable)
+	}
+}
+
+func TestTwoSendersCollideAtSharedReceiver(t *testing.T) {
+	// Nodes 0 and 2 both flood frames to 1 in the middle; with P = 1 both
+	// transmit every slot and every reception at 1 is destroyed: zero
+	// deliveries, only drops.
+	nw := lineNetwork(3, 0.5)
+	cfg := DefaultConfig()
+	cfg.Slots = 500
+	cfg.P = 1
+	cfg.BackoffBase = 0 // retry immediately: perpetual collision
+	s := New(nw, cfg)
+	s.Schedule(0, func() { s.Inject(0, 1); s.Inject(2, 1) })
+	m := s.Run()
+	if m.Delivered != 0 {
+		t.Fatalf("delivered %d, want 0 (P=1 lockstep collision)", m.Delivered)
+	}
+	if m.Collisions == 0 {
+		t.Error("expected collisions")
+	}
+	if m.DroppedHop != 2 {
+		t.Errorf("dropped %d, want both frames dropped", m.DroppedHop)
+	}
+}
+
+func TestBackoffResolvesContention(t *testing.T) {
+	// Same duel, but probabilistic access and backoff let both through.
+	nw := lineNetwork(3, 0.5)
+	cfg := DefaultConfig()
+	cfg.Slots = 5000
+	cfg.P = 0.3
+	s := New(nw, cfg)
+	s.Schedule(0, func() { s.Inject(0, 1); s.Inject(2, 1) })
+	m := s.Run()
+	if m.Delivered != 2 {
+		t.Fatalf("delivered %d, want 2", m.Delivered)
+	}
+}
+
+func TestHalfDuplexAccounting(t *testing.T) {
+	// 0 → 1 and 1 → 2 simultaneously: node 1 cannot receive while sending.
+	nw := lineNetwork(3, 0.5)
+	cfg := DefaultConfig()
+	cfg.Slots = 1
+	cfg.P = 1
+	s := New(nw, cfg)
+	s.Schedule(0, func() { s.Inject(0, 1); s.Inject(1, 2) })
+	m := s.Run()
+	if m.HalfDuplex != 1 {
+		t.Errorf("half-duplex misses = %d, want 1 (0→1 while 1 sends)", m.HalfDuplex)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	pts := gen.UniformSquare(rng, 40, 2)
+	topo := topology.MST(pts)
+	run := func() Metrics {
+		nw := NewNetwork(pts, topo)
+		cfg := DefaultConfig()
+		cfg.Slots = 3000
+		s := New(nw, cfg)
+		PoissonPairs{N: 40, Rate: 0.05, Slots: 3000, Seed: 7, SameComponentOnly: true}.Install(s)
+		return *s.Run()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different metrics:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestConvergecastAllReportsAccounted(t *testing.T) {
+	nw := lineNetwork(6, 0.5)
+	cfg := DefaultConfig()
+	cfg.Slots = 30000
+	s := New(nw, cfg)
+	Convergecast{N: 6, Sink: 0, Period: 600, Slots: 6000, Stagger: true}.Install(s)
+	m := s.Run()
+	wantInjected := int64(5 * 10) // 5 senders × 10 periods
+	if m.Injected != wantInjected {
+		t.Fatalf("injected %d, want %d", m.Injected, wantInjected)
+	}
+	total := m.Delivered + m.DroppedHop + m.DroppedQ + m.Unroutable + m.InFlight
+	if total != m.Injected {
+		t.Fatalf("conservation violated: %d accounted of %d", total, m.Injected)
+	}
+	if m.DeliveryRatio() < 0.9 {
+		t.Errorf("delivery ratio %.2f too low for light convergecast", m.DeliveryRatio())
+	}
+}
+
+// TestInterferenceDrivesCollisions is the X2 validation: under identical
+// workloads, the high-interference linear chain suffers more collisions
+// than the AExp topology on the same exponential instance.
+func TestInterferenceDrivesCollisions(t *testing.T) {
+	pts := gen.ExpChain(24, 1)
+	linear := highway.Linear(pts)
+	aexp := highway.AExp(pts)
+	run := func(topo *graph.Graph) *Metrics {
+		nw := NewNetwork(pts, topo)
+		cfg := DefaultConfig()
+		cfg.Slots = 40000
+		s := New(nw, cfg)
+		Convergecast{N: 24, Sink: 0, Period: 400, Slots: 20000, Stagger: true}.Install(s)
+		return s.Run()
+	}
+	mLin := run(linear)
+	mExp := run(aexp)
+	iLin := core.Interference(pts, linear).Max()
+	iExp := core.Interference(pts, aexp).Max()
+	if iLin <= iExp {
+		t.Fatalf("setup broken: I_lin=%d should exceed I_aexp=%d", iLin, iExp)
+	}
+	if mLin.CollisionRate() <= mExp.CollisionRate() {
+		t.Errorf("collision rates: linear %.4f <= aexp %.4f — interference should drive collisions",
+			mLin.CollisionRate(), mExp.CollisionRate())
+	}
+}
+
+func TestQueueCapDropsAccounted(t *testing.T) {
+	nw := lineNetwork(3, 0.5)
+	cfg := DefaultConfig()
+	cfg.Slots = 10
+	cfg.QueueCap = 1
+	s := New(nw, cfg)
+	s.Schedule(0, func() {
+		s.Inject(0, 2)
+		s.Inject(0, 2)
+		s.Inject(0, 2)
+	})
+	m := s.Run()
+	if m.DroppedQ != 2 {
+		t.Errorf("queue drops = %d, want 2", m.DroppedQ)
+	}
+}
+
+func TestNewPanicsOnBadP(t *testing.T) {
+	nw := lineNetwork(2, 0.5)
+	for _, p := range []float64{0, -0.1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("P=%v should panic", p)
+				}
+			}()
+			cfg := DefaultConfig()
+			cfg.P = p
+			New(nw, cfg)
+		}()
+	}
+}
+
+func TestMetricsHelpers(t *testing.T) {
+	m := Metrics{}
+	if m.DeliveryRatio() != 1 || m.MeanLatency() != 0 || m.CollisionRate() != 0 {
+		t.Error("idle metrics wrong")
+	}
+	m = Metrics{Injected: 4, Delivered: 2, LatencySum: 10, TxAttempts: 8, Collisions: 2}
+	if m.DeliveryRatio() != 0.5 {
+		t.Error("ratio wrong")
+	}
+	if m.MeanLatency() != 5 {
+		t.Error("latency wrong")
+	}
+	if m.CollisionRate() != 0.25 {
+		t.Error("collision rate wrong")
+	}
+}
+
+func TestPoissonSamplerMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	lambda := 0.7
+	sum := 0
+	trials := 20000
+	for i := 0; i < trials; i++ {
+		sum += poisson(rng, lambda)
+	}
+	mean := float64(sum) / float64(trials)
+	if math.Abs(mean-lambda) > 0.05 {
+		t.Errorf("poisson mean %.3f, want ≈ %.1f", mean, lambda)
+	}
+	if poisson(rng, 0) != 0 {
+		t.Error("zero-rate poisson should be 0")
+	}
+}
+
+func BenchmarkSimSlot(b *testing.B) {
+	rng := rand.New(rand.NewSource(404))
+	pts := gen.UniformSquare(rng, 200, 4)
+	topo := topology.MST(pts)
+	nw := NewNetwork(pts, topo)
+	cfg := DefaultConfig()
+	cfg.Slots = int64(b.N)
+	s := New(nw, cfg)
+	PoissonPairs{N: 200, Rate: 0.2, Slots: cfg.Slots, Seed: 5, SameComponentOnly: true}.Install(s)
+	b.ResetTimer()
+	s.Run()
+}

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// Tracer receives the simulator's per-slot events. All methods are called
+// synchronously from the slot loop, in deterministic order, so traces of
+// identically-seeded runs are byte-identical.
+type Tracer interface {
+	// OnTx fires for every transmission attempt; outcome is one of
+	// "ok", "collision", "half-duplex", "dead-rx".
+	OnTx(slot int64, from, to int, frame int64, outcome string)
+	// OnDeliver fires when a frame reaches its destination.
+	OnDeliver(slot int64, frame int64, src, dst int, hops int)
+	// OnDrop fires when a frame leaves the system undelivered; reason is
+	// one of "retries", "queue", "unroutable", "node-failure".
+	OnDrop(slot int64, frame int64, reason string)
+}
+
+// SetTracer installs a tracer (nil disables tracing). Install before Run.
+func (s *Simulator) SetTracer(t Tracer) { s.tracer = t }
+
+// WriterTracer renders events as compact text lines, one per event:
+//
+//	t=SLOT tx FROM->TO frame=ID outcome
+//	t=SLOT deliver frame=ID SRC=>DST hops=H
+//	t=SLOT drop frame=ID reason
+//
+// Write errors are sticky and reported by Err (the simulation itself
+// never fails on a broken trace sink).
+type WriterTracer struct {
+	W   io.Writer
+	err error
+}
+
+// Err returns the first write error, if any.
+func (w *WriterTracer) Err() error { return w.err }
+
+func (w *WriterTracer) printf(format string, args ...interface{}) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = fmt.Fprintf(w.W, format, args...)
+}
+
+// OnTx implements Tracer.
+func (w *WriterTracer) OnTx(slot int64, from, to int, frame int64, outcome string) {
+	w.printf("t=%d tx %d->%d frame=%d %s\n", slot, from, to, frame, outcome)
+}
+
+// OnDeliver implements Tracer.
+func (w *WriterTracer) OnDeliver(slot int64, frame int64, src, dst int, hops int) {
+	w.printf("t=%d deliver frame=%d %d=>%d hops=%d\n", slot, frame, src, dst, hops)
+}
+
+// OnDrop implements Tracer.
+func (w *WriterTracer) OnDrop(slot int64, frame int64, reason string) {
+	w.printf("t=%d drop frame=%d %s\n", slot, frame, reason)
+}

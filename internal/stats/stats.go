@@ -1,0 +1,262 @@
+// Package stats provides the summary statistics and curve fits the
+// experiment harness reports: means, deviations, percentiles, histograms,
+// and least-squares fits for the I ~ c·n^k scaling laws the paper's
+// theorems predict.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance (0 for fewer than 2 samples).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation.
+func Stddev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Percentile returns the p-th percentile (p in [0,100]) by linear
+// interpolation between closest ranks. It panics on empty input or p
+// outside [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty sample")
+	}
+	if p < 0 || p > 100 {
+		panic("stats: percentile out of [0,100]")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Summary bundles the standard descriptive statistics of a sample.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Median, Max float64
+	P25, P75         float64
+}
+
+// Summarize computes a Summary (zero value for empty input).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return Summary{
+		N:      len(s),
+		Mean:   Mean(s),
+		Std:    Stddev(s),
+		Min:    s[0],
+		Median: Percentile(s, 50),
+		Max:    s[len(s)-1],
+		P25:    Percentile(s, 25),
+		P75:    Percentile(s, 75),
+	}
+}
+
+// String renders the summary compactly for experiment logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g±%.2g min=%.3g med=%.3g max=%.3g",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.Max)
+}
+
+// LinFit fits y = a + b·x by least squares, returning (a, b). It panics
+// when fewer than two points are given or all x are equal.
+func LinFit(xs, ys []float64) (a, b float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("stats: LinFit needs >= 2 paired samples")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	num, den := 0.0, 0.0
+	for i := range xs {
+		num += (xs[i] - mx) * (ys[i] - my)
+		den += (xs[i] - mx) * (xs[i] - mx)
+	}
+	if den == 0 {
+		panic("stats: LinFit with constant x")
+	}
+	b = num / den
+	a = my - b*mx
+	return a, b
+}
+
+// PowerFit fits y = c·x^k by least squares in log-log space, returning
+// (c, k). All samples must be positive. The theorems predict k ≈ 0.5 for
+// A_exp on exponential chains (I ~ √n) and for A_gen over Δ.
+func PowerFit(xs, ys []float64) (c, k float64) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			panic("stats: PowerFit needs positive samples")
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	a, b := LinFit(lx, ly)
+	return math.Exp(a), b
+}
+
+// RSquared returns the coefficient of determination of predictions ps
+// against observations ys.
+func RSquared(ys, ps []float64) float64 {
+	if len(ys) != len(ps) || len(ys) == 0 {
+		panic("stats: RSquared needs paired samples")
+	}
+	my := Mean(ys)
+	ssTot, ssRes := 0.0, 0.0
+	for i := range ys {
+		ssTot += (ys[i] - my) * (ys[i] - my)
+		ssRes += (ys[i] - ps[i]) * (ys[i] - ps[i])
+	}
+	if ssTot == 0 {
+		return 1
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Histogram counts samples into equal-width bins over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram bins xs into k equal-width bins spanning the data range
+// (or [0,1] for empty input). Values at the upper edge land in the last
+// bin.
+func NewHistogram(xs []float64, k int) Histogram {
+	if k < 1 {
+		panic("stats: histogram needs >= 1 bin")
+	}
+	h := Histogram{Min: 0, Max: 1, Counts: make([]int, k)}
+	if len(xs) == 0 {
+		return h
+	}
+	h.Min, h.Max = xs[0], xs[0]
+	for _, x := range xs {
+		if x < h.Min {
+			h.Min = x
+		}
+		if x > h.Max {
+			h.Max = x
+		}
+	}
+	span := h.Max - h.Min
+	for _, x := range xs {
+		i := 0
+		if span > 0 {
+			f := (x - h.Min) / span * float64(k)
+			switch {
+			case math.IsNaN(f) || f < 0: // extreme ranges can overflow to ±Inf/NaN
+				i = 0
+			case f >= float64(k):
+				i = k - 1
+			default:
+				i = int(f)
+			}
+		}
+		h.Counts[i]++
+	}
+	return h
+}
+
+// IntsToFloats converts an int sample to float64 for the helpers above.
+func IntsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Pearson returns the Pearson correlation coefficient of paired samples.
+// It panics on mismatched or too-short input and returns 0 when either
+// side is constant (correlation undefined).
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("stats: Pearson needs >= 2 paired samples")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation of paired samples:
+// Pearson over fractional ranks (ties get the average rank), the robust
+// choice for monotone-association questions like "does I(v) order the
+// per-node collision counts?".
+func Spearman(xs, ys []float64) float64 {
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// ranks returns fractional ranks (1-based; ties averaged).
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}

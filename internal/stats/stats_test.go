@@ -1,0 +1,245 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanVarianceStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Variance(xs) != 4 {
+		t.Errorf("Variance = %v", Variance(xs))
+	}
+	if Stddev(xs) != 2 {
+		t.Errorf("Stddev = %v", Stddev(xs))
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate cases wrong")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 4 {
+		t.Error("extremes wrong")
+	}
+	if !almost(Percentile(xs, 50), 2.5, 1e-12) {
+		t.Errorf("median = %v", Percentile(xs, 50))
+	}
+	if Percentile([]float64{7}, 50) != 7 {
+		t.Error("singleton wrong")
+	}
+	if !almost(Median([]float64{3, 1, 2}), 2, 1e-12) {
+		t.Error("median of odd sample wrong")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary wrong")
+	}
+	if s.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestLinFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	a, b := LinFit(xs, ys)
+	if !almost(a, 1, 1e-12) || !almost(b, 2, 1e-12) {
+		t.Errorf("fit = (%v, %v)", a, b)
+	}
+}
+
+func TestLinFitPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { LinFit([]float64{1}, []float64{1}) },
+		func() { LinFit([]float64{2, 2}, []float64{1, 3}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPowerFitRecoversSqrtLaw(t *testing.T) {
+	// y = 3·x^0.5 with noise-free samples: the fit the Theorem 5.1
+	// experiment applies to AExp's interference curve.
+	var xs, ys []float64
+	for x := 4.0; x <= 4096; x *= 2 {
+		xs = append(xs, x)
+		ys = append(ys, 3*math.Sqrt(x))
+	}
+	c, k := PowerFit(xs, ys)
+	if !almost(c, 3, 1e-9) || !almost(k, 0.5, 1e-12) {
+		t.Errorf("power fit = (%v, %v), want (3, 0.5)", c, k)
+	}
+}
+
+func TestPowerFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var xs, ys []float64
+	for x := 8.0; x <= 1<<20; x *= 2 {
+		xs = append(xs, x)
+		ys = append(ys, 2*math.Pow(x, 0.5)*(1+0.05*(rng.Float64()-0.5)))
+	}
+	_, k := PowerFit(xs, ys)
+	if math.Abs(k-0.5) > 0.03 {
+		t.Errorf("noisy exponent = %v, want ≈ 0.5", k)
+	}
+}
+
+func TestPowerFitPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	PowerFit([]float64{1, 0}, []float64{1, 2})
+}
+
+func TestRSquared(t *testing.T) {
+	ys := []float64{1, 2, 3}
+	if RSquared(ys, ys) != 1 {
+		t.Error("perfect fit should be 1")
+	}
+	if r := RSquared(ys, []float64{2, 2, 2}); r != 0 {
+		t.Errorf("mean predictor R² = %v, want 0", r)
+	}
+	if RSquared([]float64{5, 5}, []float64{5, 5}) != 1 {
+		t.Error("constant data perfect fit wrong")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	// 0.5 sits exactly on the bin boundary and lands in the upper bin.
+	h := NewHistogram([]float64{0, 0.1, 0.5, 0.9, 1}, 2)
+	if h.Counts[0] != 2 || h.Counts[1] != 3 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	// Upper edge lands in the last bin.
+	h = NewHistogram([]float64{0, 1}, 4)
+	if h.Counts[3] != 1 {
+		t.Error("max value should land in last bin")
+	}
+	// Constant data: everything in bin 0.
+	h = NewHistogram([]float64{2, 2, 2}, 3)
+	if h.Counts[0] != 3 {
+		t.Error("constant data should fill bin 0")
+	}
+}
+
+func TestHistogramTotalPreserved(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		h := NewHistogram(xs, 7)
+		total := 0
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntsToFloats(t *testing.T) {
+	fs := IntsToFloats([]int{1, 2})
+	if len(fs) != 2 || fs[0] != 1 || fs[1] != 2 {
+		t.Error("conversion wrong")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if r := Pearson(xs, []float64{2, 4, 6, 8}); !almost(r, 1, 1e-12) {
+		t.Errorf("perfect positive = %v", r)
+	}
+	if r := Pearson(xs, []float64{8, 6, 4, 2}); !almost(r, -1, 1e-12) {
+		t.Errorf("perfect negative = %v", r)
+	}
+	if r := Pearson(xs, []float64{5, 5, 5, 5}); r != 0 {
+		t.Errorf("constant side = %v, want 0", r)
+	}
+}
+
+func TestPearsonPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Pearson([]float64{1}, []float64{1})
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any monotone transform preserves Spearman = 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 125, 1e6}
+	if r := Spearman(xs, ys); !almost(r, 1, 1e-12) {
+		t.Errorf("monotone Spearman = %v", r)
+	}
+	// Reversal gives -1.
+	rev := []float64{5, 4, 3, 2, 1}
+	if r := Spearman(xs, rev); !almost(r, -1, 1e-12) {
+		t.Errorf("reversed Spearman = %v", r)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	r := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", r, want)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package tablefmt renders the experiment harness's output: aligned ASCII
+// tables for terminals and CSV for downstream tooling. Every experiment
+// binary and the paperrepro driver emit their rows through this package so
+// the reproduction's tables share one format.
+package tablefmt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is a simple column-aligned table with a title and header.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// New returns an empty table with the given title and column headers.
+func New(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; cells beyond the header width are rejected.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Header) {
+		panic(fmt.Sprintf("tablefmt: row with %d cells exceeds %d columns", len(cells), len(t.Header)))
+	}
+	row := make([]string, len(t.Header))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row of formatted values: each value is rendered with
+// %v, floats with %.4g.
+func (t *Table) AddRowf(values ...interface{}) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = fmt.Sprintf("%.4g", x)
+		case float32:
+			cells[i] = fmt.Sprintf("%.4g", x)
+		default:
+			cells[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(cells...)
+}
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if w := utf8.RuneCountInString(c); w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		var line strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				line.WriteString("  ")
+			}
+			line.WriteString(c)
+			line.WriteString(strings.Repeat(" ", widths[i]-utf8.RuneCountInString(c)))
+		}
+		sb.WriteString(strings.TrimRight(line.String(), " "))
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// RenderCSV writes the table as RFC-4180-ish CSV (quotes only when
+// needed).
+func (t *Table) RenderCSV(w io.Writer) error {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				sb.WriteByte('"')
+				sb.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				sb.WriteByte('"')
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// RenderLaTeX writes the table as a LaTeX tabular environment (booktabs
+// style rules), escaping the characters LaTeX treats specially.
+func (t *Table) RenderLaTeX(w io.Writer) error {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString("% ")
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(`\begin{tabular}{` + strings.Repeat("l", len(t.Header)) + "}\n")
+	sb.WriteString("\\toprule\n")
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString(" & ")
+			}
+			sb.WriteString(latexEscape(c))
+		}
+		sb.WriteString(" \\\\\n")
+	}
+	writeRow(t.Header)
+	sb.WriteString("\\midrule\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	sb.WriteString("\\bottomrule\n\\end{tabular}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// latexEscape protects the LaTeX special characters occurring in cell
+// text (we never emit backslashes ourselves, so a simple replacement
+// table suffices).
+func latexEscape(s string) string {
+	r := strings.NewReplacer(
+		`&`, `\&`, `%`, `\%`, `$`, `\$`, `#`, `\#`,
+		`_`, `\_`, `{`, `\{`, `}`, `\}`, `~`, `\textasciitilde{}`,
+		`^`, `\textasciicircum{}`, `\`, `\textbackslash{}`,
+	)
+	return r.Replace(s)
+}

@@ -1,0 +1,132 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tb := New("Demo", "alg", "I")
+	tb.AddRow("NNF", "12")
+	tb.AddRow("AExp", "4")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "alg ") || !strings.Contains(lines[1], "I") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "----") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	// Column alignment: "I" column starts at the same offset everywhere.
+	idx := strings.Index(lines[1], "I")
+	if lines[3][idx:idx+2] != "12" {
+		t.Errorf("row misaligned: %q (expect 12 at col %d)", lines[3], idx)
+	}
+	for _, l := range lines {
+		if strings.HasSuffix(l, " ") {
+			t.Errorf("trailing whitespace in %q", l)
+		}
+	}
+}
+
+func TestRenderNoTitle(t *testing.T) {
+	tb := New("", "a")
+	tb.AddRow("x")
+	var sb strings.Builder
+	tb.Render(&sb)
+	if strings.HasPrefix(sb.String(), "\n") {
+		t.Error("empty title should not emit a blank line")
+	}
+}
+
+func TestAddRowfFormatsFloats(t *testing.T) {
+	tb := New("", "v", "f")
+	tb.AddRowf(3, 0.123456)
+	if tb.Rows[0][0] != "3" || tb.Rows[0][1] != "0.1235" {
+		t.Errorf("row = %v", tb.Rows[0])
+	}
+}
+
+func TestAddRowShortRowPadded(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("only")
+	if len(tb.Rows[0]) != 2 || tb.Rows[0][1] != "" {
+		t.Errorf("short row not padded: %v", tb.Rows[0])
+	}
+}
+
+func TestAddRowPanicsOnTooManyCells(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New("", "a").AddRow("1", "2")
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := New("ignored", "name", "note")
+	tb.AddRow("a", `plain`)
+	tb.AddRow("b", `has,comma`)
+	tb.AddRow("c", `has"quote`)
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,note\na,plain\nb,\"has,comma\"\nc,\"has\"\"quote\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestRenderLaTeX(t *testing.T) {
+	tb := New("Demo & more", "alg_name", "I")
+	tb.AddRow("A_exp", "5")
+	tb.AddRow("100%", "$2")
+	var sb strings.Builder
+	if err := tb.RenderLaTeX(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`\begin{tabular}{ll}`, `\toprule`, `\midrule`, `\bottomrule`,
+		`alg\_name & I \\`, `A\_exp & 5 \\`, `100\% & \$2 \\`,
+		"% Demo & more",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderAlignsMultibyteRunes(t *testing.T) {
+	tb := New("", "name", "v")
+	tb.AddRow("A_exp (I=O(√n))", "1") // multi-byte √
+	tb.AddRow("plain", "2")
+	var sb strings.Builder
+	tb.Render(&sb)
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	// The "v" column must start at the same rune offset on both data rows.
+	find := func(l string) int {
+		runes := []rune(l)
+		for i := len(runes) - 1; i >= 0; i-- {
+			if runes[i] == ' ' {
+				return i
+			}
+		}
+		return -1
+	}
+	if find(lines[2]) != find(lines[3]) {
+		t.Errorf("columns misaligned:\n%s", sb.String())
+	}
+}

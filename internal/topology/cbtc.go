@@ -1,0 +1,124 @@
+package topology
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/udg"
+)
+
+// CBTC implements the cone-based topology control of Wattenhofer, Li,
+// Bahl & Wang [18] with parameter α: every node grows its power —
+// equivalently, admits neighbors in increasing distance order — until
+// every cone of angle α around it contains a neighbor (or its maximum
+// power is reached). α = 2π/3 preserves connectivity.
+//
+// The cone condition is checked as: the selected neighbors' directions,
+// sorted angularly, leave no gap larger than α (nodes that cannot
+// satisfy it keep all their UDG neighbors, as the protocol's boundary
+// case prescribes). The returned topology is the symmetric closure: an
+// edge appears when either endpoint selected it, matching the protocol's
+// asymmetric-edge removal phase being skipped — the conservative variant
+// that always preserves connectivity.
+func CBTC(pts []geom.Point, alpha float64) *graph.Graph {
+	if alpha <= 0 || alpha > 2*math.Pi {
+		panic("topology: CBTC cone angle out of (0, 2π]")
+	}
+	base := udg.Build(pts)
+	g := graph.New(len(pts))
+	type cand struct {
+		v     int
+		d     float64
+		angle float64
+	}
+	for u := range pts {
+		neigh := base.Neighbors(u)
+		if len(neigh) == 0 {
+			continue
+		}
+		cands := make([]cand, len(neigh))
+		for i, v := range neigh {
+			cands[i] = cand{v: v, d: pts[u].Dist(pts[v]), angle: pts[u].Angle(pts[v])}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].d != cands[j].d {
+				return cands[i].d < cands[j].d
+			}
+			return cands[i].v < cands[j].v
+		})
+		// Admit in distance order until the angular gaps close.
+		var selected []cand
+		var angles []float64
+		for _, c := range cands {
+			selected = append(selected, c)
+			angles = append(angles, c.angle)
+			if maxAngularGap(angles) <= alpha {
+				break
+			}
+		}
+		// Boundary nodes (gap never closes) keep everything they admitted.
+		for _, c := range selected {
+			g.AddEdge(u, c.v, c.d)
+		}
+	}
+	return g
+}
+
+// maxAngularGap returns the largest angular gap between consecutive
+// directions (with wraparound); 2π for a single direction. The input is
+// modified (sorted).
+func maxAngularGap(angles []float64) float64 {
+	if len(angles) <= 1 {
+		return 2 * math.Pi
+	}
+	sort.Float64s(angles)
+	maxGap := 2*math.Pi - angles[len(angles)-1] + angles[0]
+	for i := 1; i < len(angles); i++ {
+		if gap := angles[i] - angles[i-1]; gap > maxGap {
+			maxGap = gap
+		}
+	}
+	return maxGap
+}
+
+// KNeigh implements the k-neighbors protocol (Blough et al.): every node
+// proposes links to its k nearest UDG neighbors and the topology keeps
+// the symmetric intersection — edge {u, v} iff each is among the other's
+// k nearest. The original protocol's recommended k ≈ 9 makes the result
+// connected with high probability on uniform instances (it is NOT
+// guaranteed; the zoo metadata marks it accordingly).
+func KNeigh(pts []geom.Point, k int) *graph.Graph {
+	if k < 1 {
+		panic("topology: KNeigh needs k >= 1")
+	}
+	base := udg.Build(pts)
+	g := graph.New(len(pts))
+	chosen := make([]map[int]bool, len(pts))
+	for u := range pts {
+		neigh := append([]int(nil), base.Neighbors(u)...)
+		sort.Slice(neigh, func(i, j int) bool {
+			di, dj := pts[u].Dist2(pts[neigh[i]]), pts[u].Dist2(pts[neigh[j]])
+			if di != dj {
+				return di < dj
+			}
+			return neigh[i] < neigh[j]
+		})
+		if len(neigh) > k {
+			neigh = neigh[:k]
+		}
+		chosen[u] = make(map[int]bool, len(neigh))
+		for _, v := range neigh {
+			chosen[u][v] = true
+		}
+	}
+	for u := range pts {
+		for v := range chosen[u] {
+			if u < v && chosen[v][u] {
+				g.AddEdge(u, v, pts[u].Dist(pts[v]))
+			}
+		}
+	}
+	return g
+}

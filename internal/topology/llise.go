@@ -1,0 +1,148 @@
+package topology
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/udg"
+)
+
+// LLISE implements the local variant of LISE from Burkhart et al. [2]
+// (LLISE: Locally Low Interference Spanner Establisher). For every UDG
+// edge {u, v} independently, it finds the minimum-interference t-spanning
+// path: the path from u to v of length at most t·|uv| that minimizes the
+// maximum sender-centric coverage over its edges. The output topology is
+// the union of these paths.
+//
+// The bottleneck path is found by binary search over the coverage
+// threshold: for a candidate coverage c, a Dijkstra restricted to edges
+// with coverage ≤ c checks whether a path of length ≤ t·|uv| exists. The
+// smallest feasible c is the edge's local interference optimum, exactly
+// the quantity LLISE's k-hop collection phase computes; running it on the
+// full graph is the centralized equivalent (the local and global
+// computations agree because a t-spanning path never leaves the
+// ⌈t/2⌉-hop neighborhood of the edge).
+func LLISE(pts []geom.Point, t float64) *graph.Graph {
+	base := udg.Build(pts)
+	cov, _ := core.SenderInterference(pts, base)
+	// Coverage per edge, aligned with base.Edges().
+	covOf := make(map[[2]int]int, len(cov))
+	for i, e := range base.Edges() {
+		covOf[[2]int{e.U, e.V}] = cov[i]
+	}
+	// Sorted unique thresholds for the binary search.
+	thresholds := append([]int(nil), cov...)
+	sort.Ints(thresholds)
+	thresholds = uniqueInts(thresholds)
+
+	out := graph.New(len(pts))
+	for _, e := range base.Edges() {
+		budget := t * e.W
+		// Binary search the smallest threshold admitting a short-enough
+		// path. The edge itself is always a path with its own coverage,
+		// so feasibility is guaranteed at its threshold.
+		lo, hi := 0, len(thresholds)-1
+		var bestPath []int
+		for lo <= hi {
+			mid := (lo + hi) / 2
+			if path := boundedPath(pts, base, covOf, e.U, e.V, thresholds[mid], budget); path != nil {
+				bestPath = path
+				hi = mid - 1
+			} else {
+				lo = mid + 1
+			}
+		}
+		for i := 0; i+1 < len(bestPath); i++ {
+			a, b := bestPath[i], bestPath[i+1]
+			out.AddEdge(a, b, pts[a].Dist(pts[b]))
+		}
+	}
+	return out
+}
+
+func uniqueInts(xs []int) []int {
+	if len(xs) == 0 {
+		return xs
+	}
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// boundedPath returns a shortest path from src to dst using only edges
+// with coverage ≤ maxCov, or nil if its length exceeds budget (with a
+// relative tolerance so an edge's own path is always feasible at its own
+// coverage threshold).
+func boundedPath(pts []geom.Point, base *graph.Graph, covOf map[[2]int]int, src, dst, maxCov int, budget float64) []int {
+	n := base.N()
+	dist := make([]float64, n)
+	prev := make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	h := &pathHeap{{src, 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pathItem)
+		if it.d > dist[it.node] {
+			continue
+		}
+		if it.node == dst {
+			break
+		}
+		u := it.node
+		for _, v := range base.Neighbors(u) {
+			key := [2]int{u, v}
+			if u > v {
+				key = [2]int{v, u}
+			}
+			if covOf[key] > maxCov {
+				continue
+			}
+			w := pts[u].Dist(pts[v])
+			if nd := dist[u] + w; nd < dist[v] && nd <= budget*(1+1e-9) {
+				dist[v] = nd
+				prev[v] = u
+				heap.Push(h, pathItem{v, nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != -1; v = prev[v] {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+type pathItem struct {
+	node int
+	d    float64
+}
+
+type pathHeap []pathItem
+
+func (h pathHeap) Len() int            { return len(h) }
+func (h pathHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h pathHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pathHeap) Push(x interface{}) { *h = append(*h, x.(pathItem)) }
+func (h *pathHeap) Pop() interface{} {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
+}

@@ -1,0 +1,67 @@
+package topology
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/udg"
+)
+
+// RCLISE is LISE re-targeted at the paper's measure: build a t-spanner of
+// the UDG while greedily minimizing the RECEIVER-centric interference
+// I(G') instead of the sender-centric coverage of [2]. Edges are chosen
+// by the exact interference the partial topology would have after adding
+// them (ties by shorter length, then ids); an edge is added only when its
+// endpoints are not yet connected within t times its length; the loop
+// ends when every UDG edge is t-spanned.
+//
+// Like GreedyMinI this uses lazy greedy: I(G') is monotone in the edge
+// set, so a stale evaluation is a lower bound and the heap's usual
+// re-check argument applies; and "already spanned" is absorbing (edges
+// only shrink distances), so spanned candidates are dropped for good.
+func RCLISE(pts []geom.Point, t float64) *graph.Graph {
+	base := udg.Build(pts)
+	g := graph.New(len(pts))
+	if len(pts) < 2 {
+		return g
+	}
+	inc := core.NewIncremental(pts)
+
+	evaluate := func(e graph.Edge) int {
+		oldU := inc.GrowTo(e.U, e.W)
+		oldV := inc.GrowTo(e.V, e.W)
+		cand := inc.Max()
+		inc.SetRadius(e.U, oldU)
+		inc.SetRadius(e.V, oldV)
+		return cand
+	}
+	spanned := func(e graph.Edge) bool {
+		d := g.Dijkstra(e.U)
+		return d[e.V] <= t*e.W*(1+1e-9) && !math.IsInf(d[e.V], 1)
+	}
+
+	h := &candHeap{}
+	for _, e := range base.Edges() {
+		heap.Push(h, candidate{cost: evaluate(e), w: e.W, u: e.U, v: e.V})
+	}
+	for h.Len() > 0 {
+		c := heap.Pop(h).(candidate)
+		e := graph.NewEdge(c.u, c.v, c.w)
+		if spanned(e) {
+			continue
+		}
+		cur := evaluate(e)
+		if cur != c.cost && h.Len() > 0 && !c.less(candidate{cost: cur, w: c.w, u: c.u, v: c.v}, h.items[0]) {
+			c.cost = cur
+			heap.Push(h, c)
+			continue
+		}
+		g.AddEdge(e.U, e.V, e.W)
+		inc.GrowTo(e.U, e.W)
+		inc.GrowTo(e.V, e.W)
+	}
+	return g
+}

@@ -1,0 +1,182 @@
+// Package viz renders instances and topologies as standalone SVG — the
+// quickest way to see a Figure 1 gadget, an exponential chain, or a hub
+// structure. Nodes are dots, topology links lines, and (optionally) the
+// interference disks D(u, r_u) translucent circles, so a drawing shows
+// exactly what Definition 3.1 counts.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// Options controls the rendering.
+type Options struct {
+	// WidthPx is the output width in pixels (height follows the aspect
+	// ratio). Default 800.
+	WidthPx float64
+	// Disks draws the interference disks D(u, r_u).
+	Disks bool
+	// Labels annotates each node with "id:I(v)".
+	Labels bool
+	// MarginFrac pads the bounding box by this fraction (default 0.05).
+	MarginFrac float64
+	// Heatmap overlays a grid colored by the interference a probe placed
+	// in each cell would experience — the spatial field I(x) = |{u :
+	// x ∈ D(u, r_u)}| behind Definition 3.1. HeatmapCells controls the
+	// grid resolution along the longer axis (default 40).
+	Heatmap      bool
+	HeatmapCells int
+}
+
+// WriteSVG renders pts and topology g (g may be nil for a bare point
+// set).
+func WriteSVG(w io.Writer, pts []geom.Point, g *graph.Graph, opt Options) error {
+	if opt.WidthPx <= 0 {
+		opt.WidthPx = 800
+	}
+	if opt.MarginFrac <= 0 {
+		opt.MarginFrac = 0.05
+	}
+	var sb strings.Builder
+
+	// World-to-screen transform.
+	var b geom.Rect
+	if len(pts) > 0 {
+		b = geom.Bounds(pts)
+	}
+	spanX := b.Width()
+	spanY := b.Height()
+	// Include disk extents when drawing disks.
+	var radii []float64
+	var iv core.Vector
+	if g != nil {
+		radii = core.Radii(pts, g)
+		iv = core.Interference(pts, g)
+		if opt.Disks {
+			for i, r := range radii {
+				if pts[i].X-r < b.Min.X {
+					b.Min.X = pts[i].X - r
+				}
+				if pts[i].Y-r < b.Min.Y {
+					b.Min.Y = pts[i].Y - r
+				}
+				if pts[i].X+r > b.Max.X {
+					b.Max.X = pts[i].X + r
+				}
+				if pts[i].Y+r > b.Max.Y {
+					b.Max.Y = pts[i].Y + r
+				}
+			}
+			spanX, spanY = b.Width(), b.Height()
+		}
+	}
+	if spanX <= 0 {
+		spanX = 1
+	}
+	if spanY <= 0 {
+		spanY = 1
+	}
+	margin := opt.MarginFrac * spanX
+	scale := opt.WidthPx / (spanX + 2*margin)
+	heightPx := (spanY + 2*margin) * scale
+	tx := func(x float64) float64 { return (x - b.Min.X + margin) * scale }
+	// SVG y grows downward; flip so drawings match the math convention.
+	ty := func(y float64) float64 { return heightPx - (y-b.Min.Y+margin)*scale }
+
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		opt.WidthPx, heightPx, opt.WidthPx, heightPx)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	if g != nil && opt.Heatmap {
+		writeHeatmap(&sb, pts, radii, b, opt, scale, heightPx)
+	}
+	if g != nil && opt.Disks {
+		for u, r := range radii {
+			if r <= 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="#4488cc" fill-opacity="0.06" stroke="#4488cc" stroke-opacity="0.35" stroke-width="1"/>`+"\n",
+				tx(pts[u].X), ty(pts[u].Y), r*scale)
+		}
+	}
+	if g != nil {
+		for _, e := range g.Edges() {
+			fmt.Fprintf(&sb, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="#333" stroke-width="1.2"/>`+"\n",
+				tx(pts[e.U].X), ty(pts[e.U].Y), tx(pts[e.V].X), ty(pts[e.V].Y))
+		}
+	}
+	for i, p := range pts {
+		fmt.Fprintf(&sb, `<circle cx="%.2f" cy="%.2f" r="3" fill="#cc3322"/>`+"\n", tx(p.X), ty(p.Y))
+		if opt.Labels {
+			label := fmt.Sprintf("%d", i)
+			if iv != nil {
+				label = fmt.Sprintf("%d:%d", i, iv[i])
+			}
+			fmt.Fprintf(&sb, `<text x="%.2f" y="%.2f" font-size="10" fill="#555">%s</text>`+"\n",
+				tx(p.X)+4, ty(p.Y)-4, label)
+		}
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// writeHeatmap paints the interference field: each cell's fill opacity
+// scales with how many transmission disks cover its center.
+func writeHeatmap(sb *strings.Builder, pts []geom.Point, radii []float64, b geom.Rect, opt Options, scale, heightPx float64) {
+	cells := opt.HeatmapCells
+	if cells <= 0 {
+		cells = 40
+	}
+	w, h := b.Width(), b.Height()
+	if w <= 0 {
+		w = 1
+	}
+	if h <= 0 {
+		h = 1
+	}
+	step := w / float64(cells)
+	if hs := h / float64(cells); hs > step {
+		step = hs
+	}
+	if step <= 0 {
+		return
+	}
+	maxI := 1
+	type cell struct {
+		x, y float64
+		i    int
+	}
+	var grid []cell
+	for cx := b.Min.X; cx < b.Max.X+step/2; cx += step {
+		for cy := b.Min.Y; cy < b.Max.Y+step/2; cy += step {
+			probe := geom.Pt(cx+step/2, cy+step/2)
+			i := 0
+			for u, r := range radii {
+				if r > 0 && geom.InDisk(pts[u], r, probe) {
+					i++
+				}
+			}
+			if i > maxI {
+				maxI = i
+			}
+			if i > 0 {
+				grid = append(grid, cell{cx, cy, i})
+			}
+		}
+	}
+	margin := opt.MarginFrac * w
+	for _, c := range grid {
+		px := (c.x - b.Min.X + margin) * scale
+		py := heightPx - (c.y+step-b.Min.Y+margin)*scale
+		op := 0.08 + 0.5*float64(c.i)/float64(maxI)
+		fmt.Fprintf(sb, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="#cc6622" fill-opacity="%.3f"/>`+"\n",
+			px, py, step*scale, step*scale, op)
+	}
+}

@@ -1,0 +1,107 @@
+package viz
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/topology"
+)
+
+func TestWriteSVGStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := gen.UniformSquare(rng, 30, 2)
+	g := topology.MST(pts)
+	var sb strings.Builder
+	if err := WriteSVG(&sb, pts, g, Options{Disks: true, Labels: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(out, "</svg>\n") {
+		t.Error("not a well-formed SVG envelope")
+	}
+	if got := strings.Count(out, "<circle"); got < 30 {
+		t.Errorf("expected ≥30 circles (nodes), got %d", got)
+	}
+	if got := strings.Count(out, "<line"); got != g.M() {
+		t.Errorf("lines = %d, want one per edge %d", got, g.M())
+	}
+	if !strings.Contains(out, "<text") {
+		t.Error("labels requested but none rendered")
+	}
+	if !strings.Contains(out, "fill-opacity") {
+		t.Error("disks requested but none rendered")
+	}
+}
+
+func TestWriteSVGBareInstance(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSVG(&sb, []geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)}, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), "<circle") != 2 {
+		t.Error("bare instance should draw exactly the nodes")
+	}
+	if strings.Contains(sb.String(), "<line") {
+		t.Error("no topology should mean no lines")
+	}
+}
+
+func TestWriteSVGDegenerate(t *testing.T) {
+	var sb strings.Builder
+	// Empty instance.
+	if err := WriteSVG(&sb, nil, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Collinear instance (zero height) must not divide by zero.
+	sb.Reset()
+	pts := gen.ExpChain(8, 1)
+	if err := WriteSVG(&sb, pts, topology.MST(pts), Options{Disks: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<line") {
+		t.Error("chain topology should render edges")
+	}
+	// Single point.
+	sb.Reset()
+	if err := WriteSVG(&sb, []geom.Point{geom.Pt(3, 3)}, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteSVGNoNaNCoordinates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := gen.Clustered(rng, 50, 3, 3, 0.2)
+	g := topology.GG(pts)
+	var sb strings.Builder
+	if err := WriteSVG(&sb, pts, g, Options{Disks: true, Labels: true}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "NaN") || strings.Contains(sb.String(), "Inf") {
+		t.Error("SVG contains non-finite coordinates")
+	}
+}
+
+func TestWriteSVGHeatmap(t *testing.T) {
+	pts := gen.ExpChain(12, 1)
+	g := topology.MST(pts)
+	var sb strings.Builder
+	if err := WriteSVG(&sb, pts, g, Options{Heatmap: true, HeatmapCells: 20}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "<rect") < 5 { // background + heat cells
+		t.Errorf("heatmap rendered too few cells:\n%.200s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Error("heatmap produced NaN coordinates")
+	}
+	// Degenerate: heatmap over a bare point set (no radii) draws nothing
+	// extra and must not panic.
+	sb.Reset()
+	if err := WriteSVG(&sb, pts, nil, Options{Heatmap: true}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package rim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	rim "repro"
+)
+
+// TestQuickstartFlow exercises the documented public-API flow end to end.
+func TestQuickstartFlow(t *testing.T) {
+	pts := rim.ExpChain(32, 1)
+	topo := rim.AExp(pts)
+	iv := rim.Interference(pts, topo)
+	if iv.Max() <= 0 {
+		t.Fatal("interference should be positive on a connected chain")
+	}
+	if iv.Max() > rim.AExpBound(32) {
+		t.Fatalf("AExp exceeded its bound: %d > %d", iv.Max(), rim.AExpBound(32))
+	}
+	lin := rim.Interference(pts, rim.Linear(pts))
+	if lin.Max() != 30 {
+		t.Fatalf("linear chain I = %d, want n-2", lin.Max())
+	}
+}
+
+func TestZooThroughFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := rim.UniformSquare(rng, 60, 2)
+	base := rim.UnitDiskGraph(pts)
+	if base.N() != 60 {
+		t.Fatal("UDG node count wrong")
+	}
+	for _, alg := range rim.Algorithms() {
+		g := alg.Build(pts)
+		iv := rim.Interference(pts, g)
+		if len(iv) != 60 {
+			t.Fatalf("%s: vector length wrong", alg.Name)
+		}
+		if _, max := rim.SenderInterference(pts, g); max < 0 {
+			t.Fatalf("%s: sender interference negative", alg.Name)
+		}
+	}
+	if rim.MaxDegree(pts) != base.MaxDegree() {
+		t.Error("MaxDegree mismatch")
+	}
+}
+
+func TestOptimizersThroughFacade(t *testing.T) {
+	pts := rim.ExpChain(8, 1)
+	res := rim.OptimalExact(pts)
+	if !res.Exact || res.Interference < 2 {
+		t.Fatalf("exact result suspicious: %+v", res.Interference)
+	}
+	rng := rand.New(rand.NewSource(2))
+	ann := rim.OptimalAnneal(pts, rng, 500)
+	if ann.Interference < res.Interference {
+		t.Fatalf("anneal %d beat proven optimum %d", ann.Interference, res.Interference)
+	}
+}
+
+func TestSimulatorThroughFacade(t *testing.T) {
+	pts := rim.ExpChain(12, 1)
+	nw := rim.NewNetwork(pts, rim.AExp(pts))
+	cfg := rim.DefaultSimConfig()
+	cfg.Slots = 5000
+	s := rim.NewSimulator(nw, cfg)
+	s.Schedule(0, func() { s.Inject(11, 0) })
+	m := s.Run()
+	if m.Delivered != 1 {
+		t.Fatalf("delivered %d, want 1", m.Delivered)
+	}
+}
+
+func TestHighwayHelpersThroughFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := rim.HighwayUniform(rng, 100, 10)
+	gamma, at := rim.Gamma(pts)
+	if gamma < 1 || at < 0 {
+		t.Fatalf("gamma = %d at %d", gamma, at)
+	}
+	for _, build := range []func([]rim.Point) *rim.Graph{rim.Linear, rim.AGen, rim.AApx} {
+		g := build(pts)
+		if g.N() != 100 {
+			t.Fatal("node count wrong")
+		}
+	}
+	impact := rim.MeasureAddition(pts, rim.MST)
+	if impact.ReceiverAfter < 0 {
+		t.Fatal("impact wrong")
+	}
+}
