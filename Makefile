@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench repro figures tables cover fuzz clean
+.PHONY: all build vet test bench bench-json repro figures tables cover fuzz clean
 
 all: build vet test
 
@@ -20,6 +20,12 @@ test:
 # records).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Archive the evaluator-rework headline benchmarks as JSON (the numbers
+# EXPERIMENTS.md's incremental-evaluation table records).
+bench-json:
+	$(GO) test -run=xxx -bench='BenchmarkAnnealEvaluator|BenchmarkAnnealRecompute|BenchmarkDynamicEvents|BenchmarkExactSearch|BenchmarkAblationIncremental' -benchtime=1x . \
+		| $(GO) run ./cmd/benchjson > BENCH_1.json && cat BENCH_1.json
 
 # Print the full experiment catalogue.
 repro:
@@ -39,7 +45,7 @@ cover:
 # Short fuzz session over every fuzz target.
 fuzz:
 	$(GO) test -run=xxx -fuzz=FuzzInterferenceGridVsNaive -fuzztime=30s ./internal/core/
-	$(GO) test -run=xxx -fuzz=FuzzIncrementalConsistency -fuzztime=30s ./internal/core/
+	$(GO) test -run=xxx -fuzz=FuzzEvaluatorConsistency -fuzztime=30s ./internal/core/
 	$(GO) test -run=xxx -fuzz=FuzzRobustnessBound -fuzztime=30s ./internal/core/
 	$(GO) test -run=xxx -fuzz=FuzzReadInstance -fuzztime=30s ./internal/encode/
 	$(GO) test -run=xxx -fuzz=FuzzReadTopology -fuzztime=30s ./internal/encode/

@@ -197,7 +197,7 @@ func simBench(b *testing.B, pts []geom.Point, topo *graph.Graph) {
 func BenchmarkAblationIncremental(b *testing.B) {
 	pts := gen.ExpChainUnit(400)
 	b.Run("incremental", func(b *testing.B) {
-		inc := core.NewIncremental(pts)
+		inc := core.NewEvaluator(pts)
 		for i := 0; i < b.N; i++ {
 			u := i % len(pts)
 			inc.SetRadius(u, pts[u].X/2+1)
@@ -351,4 +351,66 @@ func BenchmarkX8Maintainer(b *testing.B) {
 			m.Remove(rng.Intn(len(m.Points())))
 		}
 	}
+}
+
+// BenchmarkAnnealEvaluator measures the incremental-evaluator annealer
+// on a large instance — the headline number for the evaluator rework.
+// Compare the iters/s metric with BenchmarkAnnealRecompute, the seed's
+// recompute-everything annealer kept as opt.AnnealFull: the target is a
+// ≥10× throughput gap at this size.
+func BenchmarkAnnealEvaluator(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := gen.UniformSquare(rng, 4096, 12)
+	const iters = 2000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Anneal(pts, rand.New(rand.NewSource(int64(i))), iters)
+	}
+	b.ReportMetric(float64(iters)*float64(b.N)/b.Elapsed().Seconds(), "iters/s")
+}
+
+// BenchmarkAnnealRecompute is the ablation baseline for
+// BenchmarkAnnealEvaluator: same instance, same walk, but every move
+// re-derives feasibility from a materialized mutual graph and
+// interference from a fresh evaluation.
+func BenchmarkAnnealRecompute(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := gen.UniformSquare(rng, 4096, 12)
+	const iters = 50
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.AnnealFull(pts, rand.New(rand.NewSource(int64(i))), iters)
+	}
+	b.ReportMetric(float64(iters)*float64(b.N)/b.Elapsed().Seconds(), "iters/s")
+}
+
+// BenchmarkDynamicEvents measures maintainer throughput under churn at
+// n≈1024, where the persistent evaluator replaces the seed's full
+// re-evaluation per event.
+func BenchmarkDynamicEvents(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	m := dynamic.New(gen.UniformSquare(rng, 1024, 8), 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			m.Insert(geom.Pt(rng.Float64()*8, rng.Float64()*8))
+		} else if len(m.Points()) > 512 {
+			m.Remove(rng.Intn(len(m.Points())))
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkExactSearch measures branch-and-bound throughput in visited
+// search-tree nodes per second; the snapshot/restore evaluator turns
+// each DFS edge into an O(|annulus|) delta.
+func BenchmarkExactSearch(b *testing.B) {
+	pts := gen.ExpChain(12, 1)
+	var visited int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := opt.Exact(pts)
+		visited += res.Visited
+	}
+	b.ReportMetric(float64(visited)/b.Elapsed().Seconds(), "nodes/s")
 }

@@ -1,0 +1,118 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON document on stdout, so benchmark numbers can be archived and
+// diffed by CI without scraping text logs:
+//
+//	go test -run=xxx -bench=. -benchtime=1x . | benchjson > BENCH.json
+//
+// Each benchmark line becomes one record carrying the run count, ns/op,
+// and any custom metrics reported via b.ReportMetric (iters/s, events/s,
+// nodes/s, ...). Context lines (goos, goarch, pkg, cpu) are captured
+// into the document header.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the emitted JSON root.
+type Document struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main's testable body.
+func run(stdin io.Reader, stdout, stderr io.Writer) int {
+	doc, err := parse(stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	return 0
+}
+
+// parse consumes `go test -bench` output and collects benchmark lines.
+func parse(r io.Reader) (*Document, error) {
+	doc := &Document{Benchmarks: []Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if res, ok := parseBench(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, res)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseBench parses one benchmark result line of the form
+//
+//	BenchmarkName-8   123   456789 ns/op   42.5 iters/s   16 B/op
+//
+// The name's -GOMAXPROCS suffix is kept as printed; unit tokens pair the
+// preceding number with the unit name.
+func parseBench(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0]}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res.Runs = runs
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			res.NsPerOp = val
+			continue
+		}
+		if res.Metrics == nil {
+			res.Metrics = map[string]float64{}
+		}
+		res.Metrics[unit] = val
+	}
+	return res, true
+}

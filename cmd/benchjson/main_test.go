@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAnnealEvaluator 	       1	 816737030 ns/op	      2449 iters/s
+BenchmarkDynamicEvents-8   	     200	   7252188 ns/op	       137.9 events/s
+PASS
+ok  	repro	6.164s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Pkg != "repro" || !strings.Contains(doc.CPU, "Xeon") {
+		t.Errorf("header mishandled: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	b0 := doc.Benchmarks[0]
+	if b0.Name != "BenchmarkAnnealEvaluator" || b0.Runs != 1 || b0.NsPerOp != 816737030 {
+		t.Errorf("bench 0 = %+v", b0)
+	}
+	if b0.Metrics["iters/s"] != 2449 {
+		t.Errorf("iters/s = %v", b0.Metrics["iters/s"])
+	}
+	if doc.Benchmarks[1].Metrics["events/s"] != 137.9 {
+		t.Errorf("events/s = %v", doc.Benchmarks[1].Metrics["events/s"])
+	}
+}
+
+func TestRunEmitsValidJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(strings.NewReader(sample), &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	var doc Document
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output not valid JSON: %v", err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Errorf("round-trip lost benchmarks: %+v", doc)
+	}
+}
+
+func TestParseSkipsMalformedLines(t *testing.T) {
+	doc, err := parse(strings.NewReader("BenchmarkBroken abc\nBenchmarkOK 5 100 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].Name != "BenchmarkOK" {
+		t.Errorf("got %+v", doc.Benchmarks)
+	}
+}

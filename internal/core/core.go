@@ -29,6 +29,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/graph"
@@ -109,25 +111,11 @@ func InterferenceRadii(pts []geom.Point, radii []float64) Vector {
 	if len(radii) != len(pts) {
 		panic("core: radius vector length mismatch")
 	}
-	iv := make(Vector, len(pts))
 	if len(pts) == 0 {
-		return iv
+		return make(Vector, 0)
 	}
 	grid := geom.NewGrid(pts, gridCell(pts))
-	buf := make([]int, 0, 64)
-	for u, p := range pts {
-		if radii[u] <= 0 {
-			// A silent node covers only itself; contributes nothing.
-			continue
-		}
-		buf = grid.Within(p, radii[u], buf[:0])
-		for _, v := range buf {
-			if v != u {
-				iv[v]++
-			}
-		}
-	}
-	return iv
+	return accumulateInterference(grid, pts, radii, 1, nil)
 }
 
 // InterferenceNaive is the O(n²) reference evaluator used by tests to
@@ -149,8 +137,38 @@ func InterferenceNaive(pts []geom.Point, radii []float64) Vector {
 }
 
 // CoveredBy returns the indices of the nodes whose disks cover v under
-// topology g (the witnesses behind I(v)), excluding v itself.
+// topology g (the witnesses behind I(v)), excluding v itself, in
+// ascending order.
+//
+// The query is grid-accelerated like InterferenceRadii: every covering
+// node is within r_max of v, so one range query bounded by the largest
+// radius finds all candidates — O(|D(v, r_max) ∩ V|) instead of a full
+// scan. CoveredByNaive is the O(n) reference kept for cross-validation.
 func CoveredBy(pts []geom.Point, g *graph.Graph, v int) []int {
+	radii := Radii(pts, g)
+	maxR := 0.0
+	for _, r := range radii {
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if maxR <= 0 {
+		return nil
+	}
+	grid := geom.NewGrid(pts, gridCell(pts))
+	var out []int
+	for _, u := range grid.Within(pts[v], maxR, nil) {
+		if u != v && radii[u] > 0 && geom.InDisk(pts[u], radii[u], pts[v]) {
+			out = append(out, u)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CoveredByNaive is the O(n) reference implementation of CoveredBy, used
+// by tests to cross-validate the grid-accelerated path.
+func CoveredByNaive(pts []geom.Point, g *graph.Graph, v int) []int {
 	radii := Radii(pts, g)
 	var out []int
 	for u := range pts {
@@ -182,9 +200,18 @@ func gridCell(pts []geom.Point) float64 {
 	return cell
 }
 
-// isqrt returns ⌊√n⌋ for small non-negative n.
+// isqrt returns ⌊√n⌋ for non-negative n. math.Sqrt gives the answer in
+// one instruction; the adjustment loops absorb the at-most-one-off
+// rounding of the float path (exact squares near 2^53 could otherwise
+// round either way), keeping the result exact for all inputs.
 func isqrt(n int) int {
-	i := 0
+	if n < 0 {
+		return 0
+	}
+	i := int(math.Sqrt(float64(n)))
+	for i > 0 && i*i > n {
+		i--
+	}
 	for (i+1)*(i+1) <= n {
 		i++
 	}

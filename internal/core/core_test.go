@@ -197,3 +197,56 @@ func TestEdgeCoverageExcludesEndpoints(t *testing.T) {
 		t.Errorf("coverage = %d, want 1", c)
 	}
 }
+
+func TestCoveredByMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(80)
+		pts, g := randomInstance(rng, n, 4, 4)
+		for v := 0; v < n; v++ {
+			got := CoveredBy(pts, g, v)
+			want := CoveredByNaive(pts, g, v)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d node %d: grid %v, naive %v", trial, v, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d node %d: grid %v, naive %v", trial, v, got, want)
+				}
+			}
+			// The witness list must explain I(v) exactly.
+			if iv := Interference(pts, g); len(got) != iv[v] {
+				t.Fatalf("trial %d node %d: %d witnesses, I(v)=%d", trial, v, len(got), iv[v])
+			}
+		}
+	}
+}
+
+func TestCoveredByEdgelessTopology(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}
+	if got := CoveredBy(pts, graph.New(2), 0); got != nil {
+		t.Errorf("edgeless topology: CoveredBy = %v, want nil", got)
+	}
+}
+
+func TestIsqrt(t *testing.T) {
+	// Exhaustive small range plus exact squares and their neighbors, where
+	// a float-rounded sqrt is most likely to come out one off.
+	for n := 0; n <= 10000; n++ {
+		got := isqrt(n)
+		if got*got > n || (got+1)*(got+1) <= n {
+			t.Fatalf("isqrt(%d) = %d", n, got)
+		}
+	}
+	for _, k := range []int{1 << 20, 1<<26 - 3, 1 << 26, 94906265 /* > 2^26.5 */, 1 << 30} {
+		for _, n := range []int{k*k - 1, k * k, k*k + 1, k*k + 2*k /* (k+1)²-1 */, k*k + 2*k + 1} {
+			got := isqrt(n)
+			if got*got > n || (got+1)*(got+1) <= n {
+				t.Fatalf("isqrt(%d) = %d", n, got)
+			}
+		}
+	}
+	if isqrt(-5) != 0 {
+		t.Error("negative input should map to 0")
+	}
+}

@@ -7,7 +7,7 @@ import (
 	"repro/internal/geom"
 )
 
-func TestIncrementalMatchesFullEvaluation(t *testing.T) {
+func TestEvaluatorMatchesFullEvaluation(t *testing.T) {
 	rng := rand.New(rand.NewSource(51))
 	for trial := 0; trial < 25; trial++ {
 		n := 2 + rng.Intn(60)
@@ -15,7 +15,7 @@ func TestIncrementalMatchesFullEvaluation(t *testing.T) {
 		for i := range pts {
 			pts[i] = geom.Pt(rng.Float64()*4, rng.Float64()*4)
 		}
-		inc := NewIncremental(pts)
+		inc := NewEvaluator(pts)
 		radii := make([]float64, n)
 		for step := 0; step < 200; step++ {
 			u := rng.Intn(n)
@@ -53,9 +53,9 @@ func TestIncrementalMatchesFullEvaluation(t *testing.T) {
 	}
 }
 
-func TestIncrementalRevert(t *testing.T) {
+func TestEvaluatorRevert(t *testing.T) {
 	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0)}
-	inc := NewIncremental(pts)
+	inc := NewEvaluator(pts)
 	inc.SetRadius(0, 1)
 	base := inc.Vector()
 	baseMax := inc.Max()
@@ -74,9 +74,9 @@ func TestIncrementalRevert(t *testing.T) {
 	}
 }
 
-func TestIncrementalGrowTo(t *testing.T) {
+func TestEvaluatorGrowTo(t *testing.T) {
 	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}
-	inc := NewIncremental(pts)
+	inc := NewEvaluator(pts)
 	inc.GrowTo(0, 1)
 	if inc.Radius(0) != 1 {
 		t.Fatal("GrowTo should raise the radius")
@@ -90,9 +90,9 @@ func TestIncrementalGrowTo(t *testing.T) {
 	}
 }
 
-func TestIncrementalMaxDecreases(t *testing.T) {
+func TestEvaluatorMaxDecreases(t *testing.T) {
 	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.5, 0), geom.Pt(1, 0)}
-	inc := NewIncremental(pts)
+	inc := NewEvaluator(pts)
 	inc.SetRadius(0, 1) // covers 1, 2
 	inc.SetRadius(2, 1) // covers 0, 1 -> I(1) = 2
 	if inc.Max() != 2 {
@@ -108,9 +108,9 @@ func TestIncrementalMaxDecreases(t *testing.T) {
 	}
 }
 
-func TestIncrementalReset(t *testing.T) {
+func TestEvaluatorReset(t *testing.T) {
 	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}
-	inc := NewIncremental(pts)
+	inc := NewEvaluator(pts)
 	inc.SetRadius(0, 2)
 	inc.Reset()
 	if inc.Max() != 0 || inc.I(1) != 0 || inc.Radius(0) != 0 {
@@ -123,13 +123,13 @@ func TestIncrementalReset(t *testing.T) {
 	}
 }
 
-func TestIncrementalPanicsOnNegativeRadius(t *testing.T) {
+func TestEvaluatorPanicsOnNegativeRadius(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Error("negative radius should panic")
 		}
 	}()
-	NewIncremental([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}).SetRadius(0, -1)
+	NewEvaluator([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}).SetRadius(0, -1)
 }
 
 func TestRobustnessAtMostOne(t *testing.T) {
@@ -162,14 +162,14 @@ func TestRobustnessAtMostOne(t *testing.T) {
 	}
 }
 
-func BenchmarkIncrementalSetRadius(b *testing.B) {
+func BenchmarkEvaluatorSetRadius(b *testing.B) {
 	rng := rand.New(rand.NewSource(71))
 	n := 2000
 	pts := make([]geom.Point, n)
 	for i := range pts {
 		pts[i] = geom.Pt(rng.Float64()*20, rng.Float64()*20)
 	}
-	inc := NewIncremental(pts)
+	inc := NewEvaluator(pts)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		inc.SetRadius(i%n, rng.Float64()*2)

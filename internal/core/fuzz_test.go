@@ -54,38 +54,105 @@ func FuzzInterferenceGridVsNaive(f *testing.F) {
 	})
 }
 
-// FuzzIncrementalConsistency drives the incremental evaluator with a
-// fuzz-derived update sequence and checks it against full re-evaluation.
-func FuzzIncrementalConsistency(f *testing.F) {
+// checkEvaluator asserts the evaluator's vector and maximum agree with
+// the O(n²) reference on the shadow state.
+func checkEvaluator(t *testing.T, ev *Evaluator, pts []geom.Point, radii []float64, step int, op string) {
+	t.Helper()
+	want := InterferenceNaive(pts, radii)
+	for v := range want {
+		if ev.I(v) != want[v] {
+			t.Fatalf("step %d (%s) node %d: evaluator %d, naive %d", step, op, v, ev.I(v), want[v])
+		}
+	}
+	if ev.Max() != want.Max() {
+		t.Fatalf("step %d (%s) max: evaluator %d, naive %d", step, op, ev.Max(), want.Max())
+	}
+}
+
+// FuzzEvaluatorConsistency interprets fuzz bytes as a program over the
+// full Evaluator API — SetRadius, Snapshot, Restore, BatchSet, AddPoint,
+// RemovePoint — against shadow state updated by the obvious slice
+// operations, and cross-checks the evaluator's vector and maximum with
+// InterferenceNaive after every single operation. Snapshots push a deep
+// copy of the shadow radii; Restore pops it, so the undo log is checked
+// against an independent implementation of the same semantics.
+func FuzzEvaluatorConsistency(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{0, 0, 0, 0, 255, 255, 255, 0, 0, 128, 1, 9, 9, 2, 0, 0, 3, 7, 7, 4, 200, 30, 5, 0, 0, 2, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		pts, initial := decodeInstance(data)
 		if len(pts) < 2 {
 			return
 		}
-		inc := NewIncremental(pts)
+		ev := NewEvaluator(pts)
+		pts = append([]geom.Point(nil), pts...) // shadow copy
 		radii := make([]float64, len(pts))
-		// Apply the initial radii, then replay the remaining bytes as
-		// (node, radius) updates.
 		for u, r := range initial {
-			inc.SetRadius(u, r)
+			ev.SetRadius(u, r)
 			radii[u] = r
 		}
+		var stack [][]float64 // shadow of the snapshot marks
 		rest := data[len(pts)*5:]
-		for i := 0; i+1 < len(rest); i += 2 {
-			u := int(rest[i]) % len(pts)
-			r := float64(rest[i+1]) / 255 * 4
-			inc.SetRadius(u, r)
-			radii[u] = r
-		}
-		want := InterferenceRadii(pts, radii)
-		for v := range want {
-			if inc.I(v) != want[v] {
-				t.Fatalf("node %d: incremental %d, full %d", v, inc.I(v), want[v])
+		for i := 0; i+2 < len(rest) && i < 3*64; i += 3 {
+			op, a, b := rest[i]%6, rest[i+1], rest[i+2]
+			name := ""
+			switch op {
+			case 0:
+				name = "SetRadius"
+				u := int(a) % len(pts)
+				r := float64(b) / 255 * 4
+				ev.SetRadius(u, r)
+				radii[u] = r
+			case 1:
+				name = "Snapshot"
+				if len(stack) >= 8 {
+					continue
+				}
+				ev.Snapshot()
+				stack = append(stack, append([]float64(nil), radii...))
+			case 2:
+				name = "Restore"
+				if len(stack) == 0 {
+					continue
+				}
+				ev.Restore()
+				radii = stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+			case 3:
+				name = "BatchSet"
+				if len(stack) > 0 {
+					continue // illegal during a snapshot (panics by contract)
+				}
+				for u := range radii {
+					radii[u] = float64((int(a)*31+u*17)%256) / 255 * 4
+				}
+				ev.BatchSet(radii, 0)
+			case 4:
+				name = "AddPoint"
+				if len(stack) > 0 {
+					continue
+				}
+				p := geom.Pt(float64(a)/255*8, float64(b)/255*8)
+				ev.AddPoint(p)
+				pts = append(pts, p)
+				radii = append(radii, 0)
+			case 5:
+				name = "RemovePoint"
+				if len(stack) > 0 || len(pts) <= 2 {
+					continue
+				}
+				idx := int(a) % len(pts)
+				ev.RemovePoint(idx)
+				pts = append(pts[:idx], pts[idx+1:]...)
+				radii = append(radii[:idx], radii[idx+1:]...)
 			}
+			checkEvaluator(t, ev, pts, radii, i/3, name)
 		}
-		if inc.Max() != want.Max() {
-			t.Fatalf("max: incremental %d, full %d", inc.Max(), want.Max())
+		for len(stack) > 0 { // unwind leftover snapshots and re-verify
+			ev.Restore()
+			radii = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			checkEvaluator(t, ev, pts, radii, -1, "unwind")
 		}
 	})
 }

@@ -7,6 +7,10 @@ import (
 	"repro/internal/geom"
 )
 
+// parallelCutoff is the instance size below which sharding the disk
+// enumeration over goroutines costs more than it saves.
+const parallelCutoff = 2048
+
 // InterferenceParallel evaluates Definition 3.1 using all CPU cores: the
 // disk enumeration is sharded over transmitters, each worker accumulates
 // into a private counter vector, and the shards are reduced at the end.
@@ -18,10 +22,30 @@ func InterferenceParallel(pts []geom.Point, radii []float64, workers int) Vector
 	if len(radii) != len(pts) {
 		panic("core: radius vector length mismatch")
 	}
+	if len(pts) == 0 {
+		return make(Vector, 0)
+	}
+	grid := geom.NewGrid(pts, gridCell(pts))
+	return accumulateInterference(grid, pts, radii, workers, nil)
+}
+
+// accumulateInterference is the sharded disk enumeration shared by
+// InterferenceParallel and Evaluator.BatchSet: it evaluates Definition
+// 3.1 over an existing grid, splitting transmitters across workers (≤ 0
+// selects GOMAXPROCS; small instances run serially either way). The
+// result is appended to dst (reset to length n first), so hot callers
+// can reuse one vector allocation.
+func accumulateInterference(grid *geom.Grid, pts []geom.Point, radii []float64, workers int, dst Vector) Vector {
 	n := len(pts)
-	out := make(Vector, n)
+	for len(dst) < n {
+		dst = append(dst, 0)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 0
+	}
 	if n == 0 {
-		return out
+		return dst
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -29,10 +53,21 @@ func InterferenceParallel(pts []geom.Point, radii []float64, workers int) Vector
 	if workers > n {
 		workers = n
 	}
-	if workers == 1 {
-		return InterferenceRadii(pts, radii)
+	if workers == 1 || n < parallelCutoff {
+		buf := make([]int, 0, 64)
+		for u := 0; u < n; u++ {
+			if radii[u] <= 0 {
+				continue
+			}
+			buf = grid.Within(pts[u], radii[u], buf[:0])
+			for _, v := range buf {
+				if v != u {
+					dst[v]++
+				}
+			}
+		}
+		return dst
 	}
-	grid := geom.NewGrid(pts, gridCell(pts))
 
 	// Shard transmitters into contiguous ranges; each worker owns a
 	// private counter vector so there are no atomics on the hot path.
@@ -75,8 +110,8 @@ func InterferenceParallel(pts []geom.Point, radii []float64, workers int) Vector
 			continue
 		}
 		for v, x := range iv {
-			out[v] += x
+			dst[v] += x
 		}
 	}
-	return out
+	return dst
 }

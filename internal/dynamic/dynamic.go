@@ -17,6 +17,13 @@
 //     reconnects the pieces with the shortest available UDG edges
 //     between them (a local repair, not a rebuild).
 //
+// Every event is an evaluator delta: a persistent core.Evaluator carries
+// the point set, the per-node interference vector, and I(G') across
+// events, so an arrival costs the newcomer's disk query plus the
+// answering node's annulus, and a departure costs the shrinking annuli
+// plus an O(n) index shift — never a full re-evaluation. The maintained
+// I(G') is therefore O(1) to read after every event.
+//
 // Drift control: local rules accumulate suboptimality, so the maintainer
 // tracks I(G') incrementally and rebuilds with the greedy constructor
 // when the maintained value exceeds RebuildFactor times the last
@@ -25,7 +32,6 @@ package dynamic
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -41,7 +47,7 @@ type Maintainer struct {
 	// disables maintenance (rebuild every event); 0 means the default 2.
 	RebuildFactor float64
 
-	pts      []geom.Point
+	ev       *core.Evaluator
 	topo     *graph.Graph
 	baseline int // I(G') right after the last rebuild
 	rebuilds int
@@ -55,23 +61,25 @@ func New(pts []geom.Point, rebuildFactor float64) *Maintainer {
 	if m.RebuildFactor == 0 {
 		m.RebuildFactor = 2
 	}
-	m.pts = append([]geom.Point(nil), pts...)
-	m.rebuild()
+	m.rebuild(pts)
 	return m
 }
 
+// points returns the current instance (shared with the evaluator; treat
+// as read-only).
+func (m *Maintainer) points() []geom.Point { return m.ev.Points() }
+
 // Points returns a snapshot of the current instance.
 func (m *Maintainer) Points() []geom.Point {
-	return append([]geom.Point(nil), m.pts...)
+	return append([]geom.Point(nil), m.points()...)
 }
 
 // Topology returns the maintained topology (shared; treat as read-only).
 func (m *Maintainer) Topology() *graph.Graph { return m.topo }
 
-// Interference returns the maintained I(G').
-func (m *Maintainer) Interference() int {
-	return core.Interference(m.pts, m.topo).Max()
-}
+// Interference returns the maintained I(G'), read from the incremental
+// evaluator in O(1).
+func (m *Maintainer) Interference() int { return m.ev.Max() }
 
 // Rebuilds returns how many full rebuilds have happened (including the
 // initial construction).
@@ -80,9 +88,11 @@ func (m *Maintainer) Rebuilds() int { return m.rebuilds }
 // Events returns how many arrivals/departures were applied.
 func (m *Maintainer) Events() int { return m.events }
 
-func (m *Maintainer) rebuild() {
-	m.topo = topology.GreedyMinI(m.pts)
-	m.baseline = m.Interference()
+func (m *Maintainer) rebuild(pts []geom.Point) {
+	m.topo = topology.GreedyMinI(pts)
+	m.ev = core.NewEvaluator(pts)
+	m.ev.BatchSet(core.Radii(pts, m.topo), 0)
+	m.baseline = m.ev.Max()
 	m.rebuilds++
 }
 
@@ -91,23 +101,17 @@ func (m *Maintainer) rebuild() {
 // component, which is correct — the UDG is disconnected there too.
 func (m *Maintainer) Insert(p geom.Point) int {
 	m.events++
-	m.pts = append(m.pts, p)
-	idx := len(m.pts) - 1
-	grown := graph.New(len(m.pts))
+	idx := m.ev.AddPoint(p)
+	grown := graph.New(idx + 1)
 	for _, e := range m.topo.Edges() {
 		grown.AddEdge(e.U, e.V, e.W)
 	}
 	m.topo = grown
-	// Nearest in-range neighbor.
-	best, bestD := -1, math.Inf(1)
-	for v := 0; v < idx; v++ {
-		d := p.Dist(m.pts[v])
-		if d <= udg.Radius*(1+1e-9) && d < bestD {
-			best, bestD = v, d
-		}
-	}
-	if best >= 0 {
+	// Nearest in-range neighbor, straight off the evaluator's grid.
+	if best, bestD := m.ev.Grid().Nearest(idx); best >= 0 && bestD <= udg.Radius*(1+1e-9) {
 		m.topo.AddEdge(idx, best, bestD)
+		m.ev.SetRadius(idx, bestD)
+		m.ev.GrowTo(best, bestD)
 	}
 	m.maybeRebuild()
 	return idx
@@ -116,27 +120,39 @@ func (m *Maintainer) Insert(p geom.Point) int {
 // Remove deletes the node at index idx (indices above shift down by one,
 // matching slice semantics). It panics on out-of-range indices.
 func (m *Maintainer) Remove(idx int) {
-	if idx < 0 || idx >= len(m.pts) {
+	if idx < 0 || idx >= len(m.points()) {
 		panic(fmt.Sprintf("dynamic: remove index %d out of range", idx))
 	}
 	m.events++
+	// The victim's former neighbors shrink to their remaining farthest
+	// neighbor; each shrink is one annulus update.
+	for _, v := range m.topo.Neighbors(idx) {
+		far := 0.0
+		for _, w := range m.topo.Neighbors(v) {
+			if w == idx {
+				continue
+			}
+			if d, ok := m.topo.EdgeWeight(v, w); ok && d > far {
+				far = d
+			}
+		}
+		m.ev.SetRadius(v, far)
+	}
+	m.ev.RemovePoint(idx)
 	// Rebuild the topology over the surviving nodes with edges remapped.
-	survivors := append([]geom.Point(nil), m.pts[:idx]...)
-	survivors = append(survivors, m.pts[idx+1:]...)
 	remap := func(v int) int {
 		if v > idx {
 			return v - 1
 		}
 		return v
 	}
-	ng := graph.New(len(survivors))
+	ng := graph.New(len(m.points()))
 	for _, e := range m.topo.Edges() {
 		if e.U == idx || e.V == idx {
 			continue
 		}
 		ng.AddEdge(remap(e.U), remap(e.V), e.W)
 	}
-	m.pts = survivors
 	m.topo = ng
 	m.repairConnectivity()
 	m.maybeRebuild()
@@ -144,9 +160,11 @@ func (m *Maintainer) Remove(idx int) {
 
 // repairConnectivity reconnects topology components that the UDG still
 // joins, using the shortest available crossing edge per component pair
-// (iterated until the component structures agree).
+// (iterated until the component structures agree). Every repair edge
+// grows its endpoints' radii through the evaluator, keeping the
+// maintained interference exact.
 func (m *Maintainer) repairConnectivity() {
-	base := udg.Build(m.pts)
+	base := udg.Build(m.points())
 	for {
 		tl, tk := m.topo.Components()
 		_, bk := base.Components()
@@ -170,22 +188,23 @@ func (m *Maintainer) repairConnectivity() {
 			return // nothing joinable (shouldn't happen when counts differ)
 		}
 		m.topo.AddEdge(best.U, best.V, best.W)
+		m.ev.GrowTo(best.U, best.W)
+		m.ev.GrowTo(best.V, best.W)
 	}
 }
 
 func (m *Maintainer) maybeRebuild() {
 	if m.RebuildFactor <= 1 {
-		m.rebuild()
+		m.rebuild(m.points())
 		return
 	}
-	cur := m.Interference()
-	if float64(cur) > m.RebuildFactor*float64(m.baseline)+1e-9 || !m.connectivityOK() {
-		m.rebuild()
+	if float64(m.ev.Max()) > m.RebuildFactor*float64(m.baseline)+1e-9 || !m.connectivityOK() {
+		m.rebuild(m.points())
 	}
 }
 
 // connectivityOK checks the maintained topology still matches the UDG's
 // component structure.
 func (m *Maintainer) connectivityOK() bool {
-	return graph.SameComponents(udg.Build(m.pts), m.topo)
+	return graph.SameComponents(udg.Build(m.points()), m.topo)
 }

@@ -122,3 +122,30 @@ func BenchmarkMaintainerChurn(b *testing.B) {
 		}
 	}
 }
+
+func TestMaintainerEvaluatorStaysExact(t *testing.T) {
+	// The maintainer never re-evaluates interference from scratch between
+	// rebuilds — every event is an evaluator delta. This churn drives the
+	// maintainer and re-derives, at every step, both the radius assignment
+	// implied by the topology and the interference it induces, so any
+	// drift in the incremental bookkeeping surfaces immediately.
+	rng := rand.New(rand.NewSource(1105))
+	m := New(gen.UniformSquare(rng, 30, 2), 3)
+	for step := 0; step < 150; step++ {
+		if rng.Float64() < 0.5 || len(m.Points()) < 5 {
+			m.Insert(geom.Pt(rng.Float64()*2, rng.Float64()*2))
+		} else {
+			m.Remove(rng.Intn(len(m.Points())))
+		}
+		pts := m.Points()
+		wantRadii := core.Radii(pts, m.Topology())
+		for u, r := range m.ev.Radii() {
+			if r != wantRadii[u] {
+				t.Fatalf("step %d: radius[%d] = %v, topology implies %v", step, u, r, wantRadii[u])
+			}
+		}
+		if want := core.InterferenceRadii(pts, wantRadii).Max(); m.Interference() != want {
+			t.Fatalf("step %d: maintained I = %d, recomputed %d", step, m.Interference(), want)
+		}
+	}
+}

@@ -189,7 +189,7 @@ func GreedyMinITree(pts []geom.Point, sink int) Tree {
 	for i := range parent {
 		parent[i] = -1
 	}
-	inc := core.NewIncremental(pts)
+	inc := core.NewEvaluator(pts)
 	inTree := make([]bool, n)
 	inTree[sink] = true
 

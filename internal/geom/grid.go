@@ -20,6 +20,10 @@ type Grid struct {
 	nx    int
 	ny    int
 	cells [][]int32 // cells[cy*nx+cx] lists point indices
+	// strays records that Add clamped at least one out-of-bounds point
+	// into a border cell. Border cells then hold points outside their
+	// rectangle, so rectangle-based cell pruning must skip them.
+	strays bool
 }
 
 // NewGrid indexes pts with the given cell size. The points slice is
@@ -108,6 +112,162 @@ func (g *Grid) Within(c Point, r float64, dst []int) []int {
 	return dst
 }
 
+// WithinAnnulus appends to dst the indices of every indexed point p in
+// the closed annulus between radii lo < hi around c: p satisfies the
+// Within test for hi but not the Within test for lo (so the union of
+// WithinAnnulus(c, lo, hi) and Within(c, lo) is exactly Within(c, hi),
+// with identical boundary epsilons). A non-positive lo degenerates to
+// Within(c, hi) — the inner disk is empty, matching the convention that
+// a silent node covers nothing.
+//
+// This is the query behind O(|annulus|) incremental radius updates:
+// cells wholly inside the inner disk or wholly outside the outer disk
+// are skipped without touching their points.
+func (g *Grid) WithinAnnulus(c Point, lo, hi float64, dst []int) []int {
+	if hi < 0 || len(g.pts) == 0 {
+		return dst
+	}
+	hi2 := hi * hi * diskGrow
+	lo2 := lo * lo * diskGrow
+	cx0 := int(math.Floor((c.X - hi - g.minX) / g.cell))
+	cx1 := int(math.Floor((c.X + hi - g.minX) / g.cell))
+	cy0 := int(math.Floor((c.Y - hi - g.minY) / g.cell))
+	cy1 := int(math.Floor((c.Y + hi - g.minY) / g.cell))
+	if cx0 < 0 {
+		cx0 = 0
+	}
+	if cy0 < 0 {
+		cy0 = 0
+	}
+	if cx1 >= g.nx {
+		cx1 = g.nx - 1
+	}
+	if cy1 >= g.ny {
+		cy1 = g.ny - 1
+	}
+	for cy := cy0; cy <= cy1; cy++ {
+		row := cy * g.nx
+		// Rectangle bounds of this cell row on the y axis.
+		ry0 := g.minY + float64(cy)*g.cell
+		ry1 := ry0 + g.cell
+		for cx := cx0; cx <= cx1; cx++ {
+			pts := g.cells[row+cx]
+			if len(pts) == 0 {
+				continue
+			}
+			// Cell-level pruning by rectangle distance bounds. Border
+			// cells of a grid with strays hold points outside their
+			// rectangle, so the bounds don't apply there.
+			if !g.strays || (cx > 0 && cx < g.nx-1 && cy > 0 && cy < g.ny-1) {
+				rx0 := g.minX + float64(cx)*g.cell
+				rx1 := rx0 + g.cell
+				nearD2, farD2 := rectDist2(c, rx0, ry0, rx1, ry1)
+				if nearD2 > hi2 {
+					continue // every point beyond the outer disk
+				}
+				if lo > 0 && farD2 <= lo*lo {
+					// Every point is within lo of c, hence inside the
+					// inner disk under the (more permissive) epsilon test.
+					continue
+				}
+			}
+			for _, idx := range pts {
+				d2 := c.Dist2(g.pts[idx])
+				if d2 > hi2 {
+					continue
+				}
+				if lo > 0 && d2 <= lo2 {
+					continue // inside both disks
+				}
+				dst = append(dst, int(idx))
+			}
+		}
+	}
+	return dst
+}
+
+// rectDist2 returns the squared distances from c to the nearest and
+// farthest points of the axis-aligned rectangle [x0,x1]×[y0,y1].
+func rectDist2(c Point, x0, y0, x1, y1 float64) (near, far float64) {
+	var ndx, ndy float64
+	if c.X < x0 {
+		ndx = x0 - c.X
+	} else if c.X > x1 {
+		ndx = c.X - x1
+	}
+	if c.Y < y0 {
+		ndy = y0 - c.Y
+	} else if c.Y > y1 {
+		ndy = c.Y - y1
+	}
+	fdx := c.X - x0
+	if d := x1 - c.X; d > fdx {
+		fdx = d
+	}
+	fdy := c.Y - y0
+	if d := y1 - c.Y; d > fdy {
+		fdy = d
+	}
+	return ndx*ndx + ndy*ndy, fdx*fdx + fdy*fdy
+}
+
+// WithinAnnulusBrute is the O(n) reference implementation of
+// WithinAnnulus, kept for cross-validation in tests.
+func WithinAnnulusBrute(pts []Point, c Point, lo, hi float64, dst []int) []int {
+	hi2 := hi * hi * diskGrow
+	lo2 := lo * lo * diskGrow
+	for j, q := range pts {
+		d2 := c.Dist2(q)
+		if d2 > hi2 || (lo > 0 && d2 <= lo2) {
+			continue
+		}
+		dst = append(dst, j)
+	}
+	return dst
+}
+
+// Add appends p to the indexed set and returns its index. Points outside
+// the construction bounding box are clamped into border cells; queries
+// remain correct (the clamp is monotone, so a clamped point's cell is
+// always inside any query's clamped cell range that covers the point),
+// at the price of disabling rectangle pruning for border cells.
+//
+// The grid's point slice may be reallocated by the append; callers
+// sharing it must re-fetch it via Points.
+func (g *Grid) Add(p Point) int {
+	g.pts = append(g.pts, p)
+	idx := len(g.pts) - 1
+	if p.X < g.minX || p.X > g.minX+float64(g.nx)*g.cell ||
+		p.Y < g.minY || p.Y > g.minY+float64(g.ny)*g.cell {
+		g.strays = true
+	}
+	c := g.cellOf(p)
+	g.cells[c] = append(g.cells[c], int32(idx))
+	return idx
+}
+
+// Remove deletes the point at index idx from the indexed set. Indices
+// above idx shift down by one, matching slice semantics. Cost is O(n):
+// every stored index above idx is decremented.
+func (g *Grid) Remove(idx int) {
+	c := g.cellOf(g.pts[idx])
+	list := g.cells[c]
+	for i, v := range list {
+		if int(v) == idx {
+			g.cells[c] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	for ci := range g.cells {
+		for i, v := range g.cells[ci] {
+			if int(v) > idx {
+				g.cells[ci][i] = v - 1
+			}
+		}
+	}
+	g.pts = append(g.pts[:idx], g.pts[idx+1:]...)
+}
+
 // CountWithin returns the number of indexed points within distance r of c.
 // It is Within without the allocation, used on the hot path of
 // interference evaluation.
@@ -157,9 +317,23 @@ func (g *Grid) Nearest(i int) (int, float64) {
 	p := g.pts[i]
 	best, bestD2 := -1, math.Inf(1)
 	// Expand rings of cells outward until the best candidate distance is
-	// certainly smaller than anything in an unexplored ring.
+	// certainly smaller than anything in an unexplored ring. The center
+	// cell is clamped for out-of-bounds points (which Add stores in
+	// border cells); the ring lower bound stays valid because clamping
+	// projects onto the grid rectangle, which never increases distances
+	// to indexed cells.
 	pcx := int((p.X - g.minX) / g.cell)
 	pcy := int((p.Y - g.minY) / g.cell)
+	if pcx < 0 {
+		pcx = 0
+	} else if pcx >= g.nx {
+		pcx = g.nx - 1
+	}
+	if pcy < 0 {
+		pcy = 0
+	} else if pcy >= g.ny {
+		pcy = g.ny - 1
+	}
 	maxRing := g.nx
 	if g.ny > maxRing {
 		maxRing = g.ny

@@ -160,3 +160,151 @@ func BenchmarkGridNearest(b *testing.B) {
 		g.Nearest(i % len(pts))
 	}
 }
+
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}
+
+func TestWithinAnnulusMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pts := randomPoints(rng, 400, 8, 8)
+	g := NewGrid(pts, 0.5)
+	for trial := 0; trial < 300; trial++ {
+		c := Pt(rng.Float64()*10-1, rng.Float64()*10-1)
+		hi := rng.Float64() * 6
+		lo := hi * rng.Float64()
+		if trial%7 == 0 {
+			lo = 0 // degenerate annulus = full disk
+		}
+		if trial%11 == 0 {
+			c = pts[rng.Intn(len(pts))] // centered on an indexed point
+		}
+		got := sortedCopy(g.WithinAnnulus(c, lo, hi, nil))
+		want := sortedCopy(WithinAnnulusBrute(pts, c, lo, hi, nil))
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: annulus(%v,%g,%g) = %d points, brute %d", trial, c, lo, hi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: annulus mismatch at %d: %d vs %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWithinAnnulusComplementsWithin(t *testing.T) {
+	// Within(hi) must equal Within(lo) ∪ WithinAnnulus(lo, hi) exactly,
+	// including boundary epsilons — the invariant incremental radius
+	// updates depend on.
+	rng := rand.New(rand.NewSource(22))
+	pts := randomPoints(rng, 300, 5, 5)
+	g := NewGrid(pts, 0.4)
+	for trial := 0; trial < 200; trial++ {
+		c := pts[rng.Intn(len(pts))]
+		hi := rng.Float64() * 4
+		lo := hi * rng.Float64()
+		inner := g.Within(c, lo, nil)
+		ann := g.WithinAnnulus(c, lo, hi, nil)
+		outer := sortedCopy(g.Within(c, hi, nil))
+		union := sortedCopy(append(inner, ann...))
+		if len(union) != len(outer) {
+			t.Fatalf("trial %d: |inner|+|annulus| = %d, |outer| = %d", trial, len(union), len(outer))
+		}
+		for i := range union {
+			if union[i] != outer[i] {
+				t.Fatalf("trial %d: union mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestWithinAnnulusBoundaryExact(t *testing.T) {
+	// Points exactly on the inner and outer boundaries: the inner
+	// boundary is excluded (it belongs to the inner disk under the
+	// inclusive InDisk convention), the outer boundary included.
+	pts := []Point{Pt(1, 0), Pt(2, 0), Pt(1.5, 0), Pt(0, 0)}
+	g := NewGrid(pts, 0.5)
+	got := sortedCopy(g.WithinAnnulus(Pt(0, 0), 1, 2, nil))
+	want := []int{1, 2}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("boundary annulus = %v, want %v", got, want)
+	}
+	// lo = 0 keeps coincident points (distance 0) in the result.
+	if got := g.WithinAnnulus(Pt(0, 0), 0, 1, nil); len(got) != 2 { // points 0 and 3
+		t.Fatalf("lo=0 annulus = %v, want the unit disk incl. center", got)
+	}
+}
+
+func TestGridAddRemove(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pts := randomPoints(rng, 50, 4, 4)
+	g := NewGrid(pts, 0.5)
+	live := append([]Point(nil), pts...)
+	for step := 0; step < 400; step++ {
+		switch {
+		case len(live) < 5 || rng.Float64() < 0.55:
+			var p Point
+			if rng.Float64() < 0.2 {
+				p = Pt(rng.Float64()*20-8, rng.Float64()*20-8) // often out of bounds
+			} else {
+				p = Pt(rng.Float64()*4, rng.Float64()*4)
+			}
+			if idx := g.Add(p); idx != len(live) {
+				t.Fatalf("step %d: Add index %d, want %d", step, idx, len(live))
+			}
+			live = append(live, p)
+		default:
+			idx := rng.Intn(len(live))
+			g.Remove(idx)
+			live = append(live[:idx], live[idx+1:]...)
+		}
+		if g.Len() != len(live) {
+			t.Fatalf("step %d: Len %d, want %d", step, g.Len(), len(live))
+		}
+		if step%13 == 0 {
+			c := Pt(rng.Float64()*6-1, rng.Float64()*6-1)
+			r := rng.Float64() * 5
+			got := sortedCopy(g.Within(c, r, nil))
+			want := sortedCopy(WithinBrute(live, c, r, nil))
+			if len(got) != len(want) {
+				t.Fatalf("step %d: Within %d vs brute %d", step, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("step %d: Within mismatch", step)
+				}
+			}
+			lo := r * rng.Float64()
+			gotA := sortedCopy(g.WithinAnnulus(c, lo, r, nil))
+			wantA := sortedCopy(WithinAnnulusBrute(live, c, lo, r, nil))
+			if len(gotA) != len(wantA) {
+				t.Fatalf("step %d: annulus %d vs brute %d", step, len(gotA), len(wantA))
+			}
+			for i := range gotA {
+				if gotA[i] != wantA[i] {
+					t.Fatalf("step %d: annulus mismatch", step)
+				}
+			}
+			// Nearest stays correct under churn, including strays.
+			i := rng.Intn(len(live))
+			gi, _ := g.Nearest(i)
+			bi, _ := NearestBrute(live, i)
+			if gi != bi {
+				t.Fatalf("step %d: Nearest(%d) = %d, brute %d", step, i, gi, bi)
+			}
+		}
+	}
+}
+
+func BenchmarkGridWithinAnnulus(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randomPoints(rng, 10000, 100, 100)
+	g := NewGrid(pts, 1)
+	buf := make([]int, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.WithinAnnulus(pts[i%len(pts)], 9.5, 10, buf[:0])
+	}
+}

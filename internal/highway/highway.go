@@ -130,7 +130,7 @@ func AExpRange(pts []geom.Point, r float64) *graph.Graph {
 	inRange := func(d float64) bool {
 		return math.IsInf(r, 1) || d <= r*(1+1e-9)
 	}
-	inc := core.NewIncremental(pts)
+	inc := core.NewEvaluator(pts)
 	hub := 0
 	for i := 1; i < len(pts); i++ {
 		d := pts[hub].Dist(pts[i])
@@ -403,7 +403,7 @@ func AExpWithTrace(pts []geom.Point) (*graph.Graph, []AExpTrace) {
 	if len(pts) < 2 {
 		return g, nil
 	}
-	inc := core.NewIncremental(pts)
+	inc := core.NewEvaluator(pts)
 	hub := 0
 	trace := make([]AExpTrace, 0, len(pts)-1)
 	for i := 1; i < len(pts); i++ {

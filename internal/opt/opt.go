@@ -88,16 +88,17 @@ func ExactBudget(pts []geom.Point, budget int64) Result {
 		return Result{Topology: graph.New(0), Exact: true}
 	}
 	base := udg.Build(pts)
-	wantLabel, wantK := base.Components()
+	_, wantK := base.Components()
 
+	ev := core.NewEvaluator(pts)
 	s := &exactSearch{
-		pts:       pts,
-		cand:      candidates(pts, base),
-		udgAdj:    base,
-		wantLabel: wantLabel,
-		wantK:     wantK,
-		radii:     make([]float64, n),
-		budget:    budget,
+		pts:    pts,
+		cand:   candidatesGrid(pts, base, ev.Grid()),
+		udgAdj: base,
+		fc:     newFeasChecker(pts, ev.Grid(), wantK),
+		radii:  make([]float64, n),
+		budget: budget,
+		ev:     ev,
 	}
 
 	// Seed the upper bound with the best feasible topology at hand: the
@@ -113,7 +114,6 @@ func ExactBudget(pts []geom.Point, budget int64) Result {
 	s.best = seedI
 	s.bestRadii = append([]float64(nil), seedRadii...)
 
-	s.inc = core.NewIncremental(pts)
 	s.search(0)
 
 	return Result{
@@ -146,43 +146,158 @@ func candidates(pts []geom.Point, base *graph.Graph) [][]float64 {
 				set = append(set, d)
 			}
 		}
-		sort.Float64s(set)
-		out := set[:1]
-		for _, d := range set[1:] {
-			if d != out[len(out)-1] {
-				out = append(out, d)
-			}
-		}
-		cand[u] = out
+		cand[u] = dedupeSorted(set)
 	}
 	return cand
+}
+
+// candidatesGrid computes the same candidate lists as candidates but
+// enumerates each node's unit disk through the grid instead of scanning
+// all n² pairs — O(n + Σ_u |D(u, 1) ∩ V|) total, the difference between
+// milliseconds and seconds at the annealer's n = 4096 scale.
+func candidatesGrid(pts []geom.Point, base *graph.Graph, grid *geom.Grid) [][]float64 {
+	n := len(pts)
+	cand := make([][]float64, n)
+	buf := make([]int, 0, 64)
+	for u := 0; u < n; u++ {
+		if base.Degree(u) == 0 {
+			cand[u] = []float64{0}
+			continue
+		}
+		var set []float64
+		// Query slightly wide, then apply the exact admissibility test so
+		// the lists match candidates bit-for-bit.
+		buf = grid.Within(pts[u], udg.Radius*(1+1e-9), buf[:0])
+		for _, v := range buf {
+			if v == u {
+				continue
+			}
+			if d := pts[u].Dist(pts[v]); d <= udg.Radius*(1+1e-9) {
+				set = append(set, d)
+			}
+		}
+		cand[u] = dedupeSorted(set)
+	}
+	return cand
+}
+
+// dedupeSorted sorts set ascending and removes duplicates in place.
+func dedupeSorted(set []float64) []float64 {
+	sort.Float64s(set)
+	out := set[:1]
+	for _, d := range set[1:] {
+		if d != out[len(out)-1] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// feasChecker tests whether a radius assignment's mutual-reachability
+// graph Ĝ(r) preserves the UDG component structure, without building the
+// graph: mutual edges are enumerated through the shared grid and merged
+// in a reusable union-find. Because Ĝ(r) is always a subgraph of the
+// UDG, its component count equals the UDG's iff the partitions are
+// identical, so only the count is compared. Cost is O(n + Σ_u |D(u,
+// min(r_u, 1)) ∩ V|) per call — output-sensitive, against the Θ(n²) of
+// materializing MutualGraph.
+type feasChecker struct {
+	pts    []geom.Point
+	grid   *geom.Grid
+	wantK  int
+	parent []int32
+	buf    []int
+}
+
+func newFeasChecker(pts []geom.Point, grid *geom.Grid, wantK int) *feasChecker {
+	return &feasChecker{
+		pts:    pts,
+		grid:   grid,
+		wantK:  wantK,
+		parent: make([]int32, len(pts)),
+	}
+}
+
+func (fc *feasChecker) find(u int32) int32 {
+	for fc.parent[u] != u {
+		fc.parent[u] = fc.parent[fc.parent[u]] // path halving
+		u = fc.parent[u]
+	}
+	return u
+}
+
+// feasible reports whether Ĝ(radii) preserves the UDG components.
+func (fc *feasChecker) feasible(radii []float64) bool {
+	n := len(fc.pts)
+	for i := range fc.parent {
+		fc.parent[i] = int32(i)
+	}
+	comps := n
+	for u := 0; u < n; u++ {
+		ru := radii[u]
+		if ru <= 0 {
+			continue
+		}
+		q := ru
+		if q > udg.Radius {
+			q = udg.Radius
+		}
+		fc.buf = fc.grid.Within(fc.pts[u], q*(1+1e-9), fc.buf[:0])
+		for _, v := range fc.buf {
+			if v <= u {
+				continue // each unordered pair once, from its smaller side
+			}
+			// Unit-range membership uses the same squared-radius epsilon
+			// as udg.Build, so checked edges are guaranteed UDG edges and
+			// the comps ≥ wantK invariant (and its early exit) holds.
+			if !geom.InDisk(fc.pts[u], udg.Radius, fc.pts[v]) {
+				continue
+			}
+			d := fc.pts[u].Dist(fc.pts[v])
+			if d > ru*(1+1e-9) || d > radii[v]*(1+1e-9) {
+				continue
+			}
+			a, b := fc.find(int32(u)), fc.find(int32(v))
+			if a != b {
+				fc.parent[a] = b
+				comps--
+				if comps == fc.wantK {
+					// Mutual edges never join distinct UDG components, so
+					// comps ≥ wantK is invariant: hitting it is success.
+					return true
+				}
+			}
+		}
+	}
+	return comps == fc.wantK
 }
 
 type exactSearch struct {
 	pts       []geom.Point
 	cand      [][]float64
 	udgAdj    *graph.Graph
-	wantLabel []int
-	wantK     int
+	fc        *feasChecker
 	radii     []float64
-	inc       *core.Incremental
+	ev        *core.Evaluator
 	best      int // best feasible interference found (inclusive bound)
 	bestRadii []float64
 	visited   int64
 	budget    int64
 }
 
-// search assigns a radius to node u and recurses. Invariant: inc holds
+// search assigns a radius to node u and recurses. Invariant: ev holds
 // the radii of nodes < u (nodes ≥ u at 0, contributing nothing to
-// interference yet, which underestimates — safe for pruning).
+// interference yet, which underestimates — safe for pruning). Each
+// speculative assignment is pushed with Snapshot and popped with
+// Restore, so backtracking costs exactly the annuli it touched.
 func (s *exactSearch) search(u int) {
 	if s.budget <= 0 {
 		return
 	}
 	n := len(s.pts)
 	if u == n {
-		if s.inc.Max() < s.best && s.feasible() {
-			s.best = s.inc.Max()
+		if s.ev.Max() < s.best && s.feasible() {
+			s.best = s.ev.Max()
 			s.bestRadii = append(s.bestRadii[:0], s.radii...)
 		}
 		return
@@ -193,13 +308,14 @@ func (s *exactSearch) search(u int) {
 		}
 		s.visited++
 		s.budget--
-		old := s.inc.SetRadius(u, r)
+		s.ev.Snapshot()
+		s.ev.SetRadius(u, r)
 		s.radii[u] = r
-		pruned := s.inc.Max() >= s.best
+		pruned := s.ev.Max() >= s.best
 		if !pruned && !s.deadEnd(u, r) {
 			s.search(u + 1)
 		}
-		s.inc.SetRadius(u, old)
+		s.ev.Restore()
 		s.radii[u] = 0
 		if pruned {
 			// Candidates ascend and interference is monotone in the
@@ -234,17 +350,7 @@ func (s *exactSearch) deadEnd(u int, r float64) bool {
 // feasible reports whether the current radius assignment's mutual-
 // reachability graph preserves the UDG component structure.
 func (s *exactSearch) feasible() bool {
-	g := MutualGraph(s.pts, s.radii)
-	label, k := g.Components()
-	if k != s.wantK {
-		return false
-	}
-	for i := range label {
-		if label[i] != s.wantLabel[i] {
-			return false
-		}
-	}
-	return true
+	return s.fc.feasible(s.radii)
 }
 
 // MutualGraph returns Ĝ(r): edges between nodes that can mutually reach
@@ -274,7 +380,88 @@ func RealizeForest(pts []geom.Point, radii []float64) *graph.Graph {
 // search space and feasibility test match Exact; a move picks a node and
 // retargets its radius to a random candidate, rejected outright when it
 // breaks connectivity.
+//
+// The hot loop is fully incremental: interference deltas come from the
+// persistent evaluator (O(|annulus|) per move instead of a full
+// re-evaluation), and connectivity is only re-checked on radius
+// decreases — growing a radius adds mutual edges, and adding edges to a
+// subgraph of the UDG whose partition already equals the UDG's cannot
+// change the partition. Decreases run through the grid-backed union-find
+// checker. AnnealFull is the original recompute-everything implementation
+// kept for the ablation benchmarks; both draw identically from rng, so
+// they walk the same move sequence.
 func Anneal(pts []geom.Point, rng *rand.Rand, iters int) Result {
+	n := len(pts)
+	if n == 0 {
+		return Result{Topology: graph.New(0)}
+	}
+	base := udg.Build(pts)
+	_, wantK := base.Components()
+
+	ev := core.NewEvaluator(pts)
+	fc := newFeasChecker(pts, ev.Grid(), wantK)
+	cand := candidatesGrid(pts, base, ev.Grid())
+
+	// Start from the MST radii (feasible by construction).
+	mst := graph.EuclideanMST(pts, udg.Radius)
+	cur := core.Radii(pts, mst)
+	ev.BatchSet(cur, 0)
+	curI := ev.Max()
+	best := append([]float64(nil), cur...)
+	bestI := curI
+
+	temp := 2.0
+	cool := math.Pow(0.01/temp, 1/math.Max(1, float64(iters)))
+	for it := 0; it < iters; it++ {
+		u := rng.Intn(n)
+		if len(cand[u]) == 0 {
+			continue
+		}
+		r := cand[u][rng.Intn(len(cand[u]))]
+		if r == cur[u] {
+			temp *= cool
+			continue
+		}
+		if r < cur[u] {
+			// Shrinking can disconnect; test before touching the state.
+			cur[u] = r
+			ok := fc.feasible(cur)
+			if !ok {
+				cur[u] = ev.Radius(u)
+				temp *= cool
+				continue
+			}
+			cur[u] = ev.Radius(u)
+		}
+		old := ev.SetRadius(u, r)
+		newI := ev.Max()
+		dE := float64(newI - curI)
+		if dE <= 0 || rng.Float64() < math.Exp(-dE/temp) {
+			cur[u] = r
+			curI = newI
+			if curI < bestI {
+				bestI = curI
+				copy(best, cur)
+			}
+		} else {
+			ev.SetRadius(u, old)
+		}
+		temp *= cool
+	}
+	return Result{
+		Interference: bestI,
+		Radii:        best,
+		Topology:     RealizeForest(pts, best),
+		Exact:        false,
+	}
+}
+
+// AnnealFull is the pre-evaluator reference implementation of Anneal: it
+// rebuilds the mutual-reachability graph and re-evaluates interference
+// from scratch on every move. Kept verbatim for the ablation benchmarks
+// (BenchmarkAnnealRecompute vs BenchmarkAnnealEvaluator) and for
+// cross-checking the incremental path; prefer Anneal everywhere else.
+func AnnealFull(pts []geom.Point, rng *rand.Rand, iters int) Result {
 	n := len(pts)
 	if n == 0 {
 		return Result{Topology: graph.New(0)}
@@ -295,7 +482,6 @@ func Anneal(pts []geom.Point, rng *rand.Rand, iters int) Result {
 		return true
 	}
 
-	// Start from the MST radii (feasible by construction).
 	mst := graph.EuclideanMST(pts, udg.Radius)
 	cur := core.Radii(pts, mst)
 	curI := core.InterferenceRadii(pts, cur).Max()

@@ -29,12 +29,17 @@ func Best2D(pts []geom.Point) (*graph.Graph, string) {
 		{"life", topology.LIFE},
 		{"agen2d", AGen2D},
 	}
+	// One evaluator serves all candidates: the spatial grid is built once
+	// and each candidate costs a BatchSet over it instead of a fresh
+	// evaluation from scratch.
+	ev := core.NewEvaluator(pts)
 	var bestG *graph.Graph
 	bestI := -1
 	bestName := ""
 	for _, c := range candidates {
 		g := c.build(pts)
-		i := core.Interference(pts, g).Max()
+		ev.BatchSet(core.Radii(pts, g), 0)
+		i := ev.Max()
 		if bestI < 0 || i < bestI {
 			bestG, bestI, bestName = g, i, c.name
 		}

@@ -35,7 +35,7 @@ func GreedyMinI(pts []geom.Point) *graph.Graph {
 	if len(pts) < 2 {
 		return g
 	}
-	inc := core.NewIncremental(pts)
+	inc := core.NewEvaluator(pts)
 	inTree := make([]bool, len(pts))
 
 	evaluate := func(u, v int, w float64) int {

@@ -28,7 +28,7 @@ func RCLISE(pts []geom.Point, t float64) *graph.Graph {
 	if len(pts) < 2 {
 		return g
 	}
-	inc := core.NewIncremental(pts)
+	inc := core.NewEvaluator(pts)
 
 	evaluate := func(e graph.Edge) int {
 		oldU := inc.GrowTo(e.U, e.W)
