@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench bench-json repro figures tables cover fuzz clean
+.PHONY: all build vet test check bench bench-json repro figures tables cover fuzz fuzz-nightly clean
 
 all: build vet test
 
@@ -15,6 +15,15 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The pre-merge gate: vet, the race detector over shuffled tests (order
+# dependence is a bug), and the differential-oracle suite spelled out by
+# name so a -run filter typo can't silently skip it.
+check: vet
+	$(GO) test -race -shuffle=on ./...
+	$(GO) test -run 'Oracle|Law|Replay|BruteForce|Golden|Fuzz' -count=1 \
+		./internal/oracle/ ./internal/core/ ./internal/opt/ ./internal/topology/ \
+		./internal/highway/ ./internal/dynamic/ ./internal/sim/ ./cmd/paperrepro/
 
 # Regenerate every table/figure as benchmarks (the numbers EXPERIMENTS.md
 # records).
@@ -42,13 +51,21 @@ tables:
 cover:
 	$(GO) test -cover ./...
 
-# Short fuzz session over every fuzz target.
+# Short fuzz session over every fuzz target (seeded by the committed
+# corpora under testdata/fuzz/).
+FUZZTIME ?= 30s
 fuzz:
-	$(GO) test -run=xxx -fuzz=FuzzInterferenceGridVsNaive -fuzztime=30s ./internal/core/
-	$(GO) test -run=xxx -fuzz=FuzzEvaluatorConsistency -fuzztime=30s ./internal/core/
-	$(GO) test -run=xxx -fuzz=FuzzRobustnessBound -fuzztime=30s ./internal/core/
-	$(GO) test -run=xxx -fuzz=FuzzReadInstance -fuzztime=30s ./internal/encode/
-	$(GO) test -run=xxx -fuzz=FuzzReadTopology -fuzztime=30s ./internal/encode/
+	$(GO) test -run=xxx -fuzz=FuzzInterferenceGridVsNaive -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -run=xxx -fuzz=FuzzEvaluatorConsistency -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -run=xxx -fuzz=FuzzRobustnessBound -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -run=xxx -fuzz=FuzzCheckRadii -fuzztime=$(FUZZTIME) ./internal/oracle/
+	$(GO) test -run=xxx -fuzz=FuzzLaws -fuzztime=$(FUZZTIME) ./internal/oracle/
+	$(GO) test -run=xxx -fuzz=FuzzReadInstance -fuzztime=$(FUZZTIME) ./internal/encode/
+	$(GO) test -run=xxx -fuzz=FuzzReadTopology -fuzztime=$(FUZZTIME) ./internal/encode/
+
+# The nightly CI job's longer exploration of the same targets.
+fuzz-nightly:
+	$(MAKE) fuzz FUZZTIME=5m
 
 clean:
 	rm -rf figs tables test_output.txt bench_output.txt

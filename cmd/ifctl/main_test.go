@@ -35,6 +35,42 @@ func TestUnknownFamily(t *testing.T) {
 	}
 }
 
+// TestBadInvocations pins the CLI error contract across subcommands:
+// malformed invocations exit 2 with a diagnostic on stderr and nothing
+// on stdout.
+func TestBadInvocations(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		args   []string
+		stderr string // required substring of the diagnostic
+	}{
+		{"no-args", nil, "usage:"},
+		{"unknown-subcommand", []string{"frobnicate"}, "usage:"},
+		{"undefined-flag", []string{"compare", "-bogus"}, "flag provided but not defined"},
+		{"flag-needs-value", []string{"measure", "-alg"}, "flag needs an argument"},
+		{"non-numeric-n", []string{"compare", "-n", "lots"}, "invalid value"},
+		{"unknown-family-measure", []string{"measure", "-family", "moonbase"}, "unknown family"},
+		{"unknown-family-dump", []string{"dump", "-family", "moonbase"}, "unknown family"},
+		{"unknown-algorithm-measure", []string{"measure", "-alg", "Telepathy"}, "unknown algorithm"},
+		{"unknown-algorithm-svg", []string{"svg", "-alg", "Telepathy"}, "unknown algorithm"},
+		{"optimal-too-large", []string{"optimal", "-family", "uniform", "-n", "60"}, "exact optimum needs"},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			out, errOut, code := runCapture(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("code %d, want 2 (stderr %q)", code, errOut)
+			}
+			if !strings.Contains(errOut, tc.stderr) {
+				t.Errorf("stderr %q missing %q", errOut, tc.stderr)
+			}
+			if out != "" {
+				t.Errorf("stdout not empty on error: %q", out)
+			}
+		})
+	}
+}
+
 func TestCompareListsWholeZoo(t *testing.T) {
 	out, _, code := runCapture(t, "compare", "-family", "uniform", "-n", "60")
 	if code != 0 {

@@ -51,3 +51,34 @@ func TestNetsim1DTopologyOn2DInstanceRejected(t *testing.T) {
 		t.Fatalf("code %d, stderr %q", code, errOut)
 	}
 }
+
+// TestBadInvocations pins the CLI error contract: every malformed
+// invocation exits 2 with a diagnostic on stderr and nothing on stdout.
+func TestBadInvocations(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		args   []string
+		stderr string // required substring of the diagnostic
+	}{
+		{"undefined-flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"flag-needs-value", []string{"-topo"}, "flag needs an argument"},
+		{"non-numeric-slots", []string{"-slots", "forever"}, "invalid value"},
+		{"unknown-topology", []string{"-topo", "teleport"}, "unknown topology"},
+		{"unknown-family", []string{"-family", "moonbase"}, "unknown family"},
+		{"unknown-workload", []string{"-family", "expchain", "-n", "8", "-workload", "gossip"}, "unknown workload"},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			out, errOut, code := runCapture(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("code %d, want 2 (stderr %q)", code, errOut)
+			}
+			if !strings.Contains(errOut, tc.stderr) {
+				t.Errorf("stderr %q missing %q", errOut, tc.stderr)
+			}
+			if out != "" {
+				t.Errorf("stdout not empty on error: %q", out)
+			}
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden tables under testdata from the current output")
+
+// Golden-table tests: the two fully deterministic paper artifacts —
+// the Figure 1 robustness gadget and the Theorem 4.1 NNF bound table —
+// are rendered at seed 1 and diffed byte-for-byte against checked-in
+// goldens. Any change to the experiment pipeline, the table formatter,
+// or the underlying algorithms that shifts a single cell shows up as a
+// readable diff here. Refresh deliberately with:
+//
+//	go test ./cmd/paperrepro -run Golden -update
+func TestGoldenTables(t *testing.T) {
+	for _, id := range []string{"f1", "t41"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var out, errOut strings.Builder
+			if code := run([]string{"-exp", id, "-seed", "1"}, &out, &errOut); code != 0 {
+				t.Fatalf("exit %d: %s", code, errOut.String())
+			}
+			golden := filepath.Join("testdata", id+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(out.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if got := out.String(); got != string(want) {
+				t.Errorf("%s output drifted from golden.\n--- got ---\n%s\n--- want ---\n%s\n(refresh deliberately with -update)", id, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenTablesStableAcrossRuns guards the goldens' premise: the two
+// pinned experiments must be deterministic run-to-run in one process,
+// otherwise the files would flap on every -update.
+func TestGoldenTablesStableAcrossRuns(t *testing.T) {
+	for _, id := range []string{"f1", "t41"} {
+		var a, b, errOut strings.Builder
+		if code := run([]string{"-exp", id, "-seed", "1"}, &a, &errOut); code != 0 {
+			t.Fatalf("%s: exit %d: %s", id, code, errOut.String())
+		}
+		if code := run([]string{"-exp", id, "-seed", "1"}, &b, &errOut); code != 0 {
+			t.Fatalf("%s: exit %d: %s", id, code, errOut.String())
+		}
+		if a.String() != b.String() {
+			t.Errorf("%s: two renders in one process differ; experiment is not deterministic", id)
+		}
+	}
+}

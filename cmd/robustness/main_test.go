@@ -31,3 +31,33 @@ func TestUnknownModeRejected(t *testing.T) {
 		t.Fatalf("code %d", code)
 	}
 }
+
+// TestBadInvocations pins the CLI error contract: every malformed
+// invocation exits 2 with a diagnostic on stderr and nothing on stdout.
+func TestBadInvocations(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		args   []string
+		stderr string // required substring of the diagnostic
+	}{
+		{"undefined-flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"flag-needs-value", []string{"-mode"}, "flag needs an argument"},
+		{"non-numeric-n", []string{"-n", "many"}, "invalid value"},
+		{"unknown-mode", []string{"-mode", "teleport"}, "unknown mode"},
+		{"unknown-mode-empty", []string{"-mode", ""}, "unknown mode"},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut strings.Builder
+			if code := run(tc.args, &out, &errOut); code != 2 {
+				t.Fatalf("code %d, want 2 (stderr %q)", code, errOut.String())
+			}
+			if !strings.Contains(errOut.String(), tc.stderr) {
+				t.Errorf("stderr %q missing %q", errOut.String(), tc.stderr)
+			}
+			if out.Len() != 0 {
+				t.Errorf("stdout not empty on error: %q", out.String())
+			}
+		})
+	}
+}

@@ -1,12 +1,19 @@
-package core
+package core_test
 
 import (
 	"encoding/binary"
 	"math"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/oracle"
 )
+
+// This file lives in the external test package so it can lean on
+// internal/oracle (which itself imports core): the naive shadow models
+// the fuzzers check against are maintained once, in the oracle, instead
+// of being re-implemented next to every fuzz target.
 
 // decodeInstance deterministically maps fuzz bytes to a small instance:
 // pairs of uint16 become coordinates in [0, 8), one extra byte per node
@@ -41,8 +48,8 @@ func FuzzInterferenceGridVsNaive(f *testing.F) {
 		if len(pts) == 0 {
 			return
 		}
-		fast := InterferenceRadii(pts, radii)
-		slow := InterferenceNaive(pts, radii)
+		fast := core.InterferenceRadii(pts, radii)
+		slow := oracle.Interference(pts, radii)
 		for v := range fast {
 			if fast[v] != slow[v] {
 				t.Fatalf("node %d: grid %d, naive %d (pts=%v radii=%v)", v, fast[v], slow[v], pts, radii)
@@ -54,28 +61,11 @@ func FuzzInterferenceGridVsNaive(f *testing.F) {
 	})
 }
 
-// checkEvaluator asserts the evaluator's vector and maximum agree with
-// the O(n²) reference on the shadow state.
-func checkEvaluator(t *testing.T, ev *Evaluator, pts []geom.Point, radii []float64, step int, op string) {
-	t.Helper()
-	want := InterferenceNaive(pts, radii)
-	for v := range want {
-		if ev.I(v) != want[v] {
-			t.Fatalf("step %d (%s) node %d: evaluator %d, naive %d", step, op, v, ev.I(v), want[v])
-		}
-	}
-	if ev.Max() != want.Max() {
-		t.Fatalf("step %d (%s) max: evaluator %d, naive %d", step, op, ev.Max(), want.Max())
-	}
-}
-
 // FuzzEvaluatorConsistency interprets fuzz bytes as a program over the
 // full Evaluator API — SetRadius, Snapshot, Restore, BatchSet, AddPoint,
-// RemovePoint — against shadow state updated by the obvious slice
-// operations, and cross-checks the evaluator's vector and maximum with
-// InterferenceNaive after every single operation. Snapshots push a deep
-// copy of the shadow radii; Restore pops it, so the undo log is checked
-// against an independent implementation of the same semantics.
+// RemovePoint — through oracle.DiffEvaluator, which mirrors every
+// operation onto a naive shadow model and cross-checks the engine's
+// radii, vector, and maximum after every single step.
 func FuzzEvaluatorConsistency(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
 	f.Add([]byte{0, 0, 0, 0, 255, 255, 255, 0, 0, 128, 1, 9, 9, 2, 0, 0, 3, 7, 7, 4, 200, 30, 5, 0, 0, 2, 0, 0})
@@ -84,14 +74,10 @@ func FuzzEvaluatorConsistency(f *testing.F) {
 		if len(pts) < 2 {
 			return
 		}
-		ev := NewEvaluator(pts)
-		pts = append([]geom.Point(nil), pts...) // shadow copy
-		radii := make([]float64, len(pts))
+		d := oracle.NewDiffEvaluator(pts)
 		for u, r := range initial {
-			ev.SetRadius(u, r)
-			radii[u] = r
+			d.SetRadius(u, r)
 		}
-		var stack [][]float64 // shadow of the snapshot marks
 		rest := data[len(pts)*5:]
 		for i := 0; i+2 < len(rest) && i < 3*64; i += 3 {
 			op, a, b := rest[i]%6, rest[i+1], rest[i+2]
@@ -99,60 +85,49 @@ func FuzzEvaluatorConsistency(f *testing.F) {
 			switch op {
 			case 0:
 				name = "SetRadius"
-				u := int(a) % len(pts)
-				r := float64(b) / 255 * 4
-				ev.SetRadius(u, r)
-				radii[u] = r
+				d.SetRadius(int(a)%d.N(), float64(b)/255*4)
 			case 1:
 				name = "Snapshot"
-				if len(stack) >= 8 {
+				if d.Depth() >= 8 {
 					continue
 				}
-				ev.Snapshot()
-				stack = append(stack, append([]float64(nil), radii...))
+				d.Snapshot()
 			case 2:
 				name = "Restore"
-				if len(stack) == 0 {
+				if d.Depth() == 0 {
 					continue
 				}
-				ev.Restore()
-				radii = stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
+				d.Restore()
 			case 3:
 				name = "BatchSet"
-				if len(stack) > 0 {
+				if d.Depth() > 0 {
 					continue // illegal during a snapshot (panics by contract)
 				}
+				radii := make([]float64, d.N())
 				for u := range radii {
 					radii[u] = float64((int(a)*31+u*17)%256) / 255 * 4
 				}
-				ev.BatchSet(radii, 0)
+				d.BatchSet(radii, 0)
 			case 4:
 				name = "AddPoint"
-				if len(stack) > 0 {
+				if d.Depth() > 0 {
 					continue
 				}
-				p := geom.Pt(float64(a)/255*8, float64(b)/255*8)
-				ev.AddPoint(p)
-				pts = append(pts, p)
-				radii = append(radii, 0)
+				d.AddPoint(geom.Pt(float64(a)/255*8, float64(b)/255*8))
 			case 5:
 				name = "RemovePoint"
-				if len(stack) > 0 || len(pts) <= 2 {
+				if d.Depth() > 0 || d.N() <= 2 {
 					continue
 				}
-				idx := int(a) % len(pts)
-				ev.RemovePoint(idx)
-				pts = append(pts[:idx], pts[idx+1:]...)
-				radii = append(radii[:idx], radii[idx+1:]...)
+				d.RemovePoint(int(a) % d.N())
 			}
-			checkEvaluator(t, ev, pts, radii, i/3, name)
+			if err := d.Verify(); err != nil {
+				t.Fatalf("step %d (%s): %v", i/3, name, err)
+			}
 		}
-		for len(stack) > 0 { // unwind leftover snapshots and re-verify
-			ev.Restore()
-			radii = stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			checkEvaluator(t, ev, pts, radii, -1, "unwind")
+		d.Unwind() // pop leftover snapshots and re-verify the base state
+		if err := d.Verify(); err != nil {
+			t.Fatalf("after unwind: %v", err)
 		}
 	})
 }
@@ -171,7 +146,7 @@ func FuzzRobustnessBound(f *testing.F) {
 		if math.IsNaN(newR) {
 			return
 		}
-		deltas := FixedTopologyDelta(pts, radii[:len(pts)-1], newR)
+		deltas := core.FixedTopologyDelta(pts, radii[:len(pts)-1], newR)
 		for v, d := range deltas {
 			if d < 0 || d > 1 {
 				t.Fatalf("delta[%d] = %d", v, d)

@@ -1,0 +1,88 @@
+package dynamic_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/oracle"
+)
+
+// Differential test against internal/oracle: the Maintainer's whole
+// point is that it never recomputes from scratch — arrivals and
+// departures are evaluator deltas and I(G') is an O(1) read. Here a
+// full rebuild happens anyway, after every single churn event, and the
+// maintained state must match it exactly: the O(1) interference against
+// a quadratic recompute of the maintained topology, and the maintained
+// partition against the naive UDG component oracle.
+
+// churn drives one maintainer through a scripted random event sequence,
+// cross-checking after every event.
+func churn(t *testing.T, seed int64, rebuildFactor float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pts := gen.UniformSquare(rng, 20, 2)
+	m := dynamic.New(pts, rebuildFactor)
+	check := func(step int, what string) {
+		cur := m.Points()
+		topo := m.Topology()
+		if got, want := m.Interference(), oracle.InterferenceOf(cur, topo); got != want {
+			t.Fatalf("step %d (%s, n=%d): maintained I=%d, full recompute %d", step, what, len(cur), got, want)
+		}
+		if err := oracle.Check(cur, topo); err != nil {
+			t.Fatalf("step %d (%s): %v", step, what, err)
+		}
+		wantLabel, wantK := oracle.Components(cur)
+		gotLabel, gotK := topo.Components()
+		if gotK != wantK {
+			t.Fatalf("step %d (%s): maintained topology has %d components, UDG has %d", step, what, gotK, wantK)
+		}
+		for i := range gotLabel {
+			for j := i + 1; j < len(gotLabel); j++ {
+				if (gotLabel[i] == gotLabel[j]) != (wantLabel[i] == wantLabel[j]) {
+					t.Fatalf("step %d (%s): partition differs from UDG at (%d,%d)", step, what, i, j)
+				}
+			}
+		}
+	}
+	check(0, "initial")
+	for step := 1; step <= 60; step++ {
+		n := len(m.Points())
+		if rng.Intn(2) == 0 || n <= 3 {
+			p := geom.Pt(rng.Float64()*2, rng.Float64()*2)
+			if rng.Intn(8) == 0 {
+				// Occasionally land far away: a fresh singleton component.
+				p = p.Add(geom.Pt(10, 10))
+			}
+			m.Insert(p)
+			check(step, "insert")
+		} else {
+			m.Remove(rng.Intn(n))
+			check(step, "remove")
+		}
+	}
+	if m.Events() != 60 {
+		t.Fatalf("maintainer counted %d events, drove 60", m.Events())
+	}
+}
+
+func TestMaintainerAgainstOracleEveryEvent(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		seed   int64
+		factor float64
+	}{
+		{"default-factor", 1, 0},
+		{"lazy-rebuilds", 2, 8},       // high factor: local rules run long before a rebuild fires
+		{"rebuild-every-event", 3, 1}, // factor <= 1 disables maintenance entirely
+		{"default-second-seed", 4, 0},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			churn(t, tc.seed, tc.factor)
+		})
+	}
+}

@@ -377,7 +377,11 @@ func (g *Grid) Nearest(i int) (int, float64) {
 			break
 		}
 	}
-	return best, math.Sqrt(bestD2)
+	// Report the distance through Dist so the result is bit-identical to
+	// every other distance in the system (Dist uses Hypot, which can
+	// differ from √Dist2 by one ulp); callers store it as an edge weight
+	// next to Dist-derived weights.
+	return best, p.Dist(g.pts[best])
 }
 
 // NearestBrute is the O(n) reference implementation of Nearest, kept for
@@ -396,7 +400,7 @@ func NearestBrute(pts []Point, i int) (int, float64) {
 	if best < 0 {
 		return -1, math.Inf(1)
 	}
-	return best, math.Sqrt(bestD2)
+	return best, pts[i].Dist(pts[best])
 }
 
 // WithinBrute is the O(n) reference implementation of Within.

@@ -1,0 +1,118 @@
+package highway_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/highway"
+	"repro/internal/oracle"
+	"repro/internal/udg"
+)
+
+// Differential tests against internal/oracle for the Section 5
+// constructions. AExp maintains its interference incrementally through
+// core.Evaluator during the scan and AGen's hub wiring is O(√Δ)
+// bookkeeping; every resulting graph is pushed through the oracle's
+// quadratic recompute of the full stack, on random highway instances
+// and on the exponential chains the theorems are about.
+
+func highwayInstances(rng *rand.Rand) map[string][]geom.Point {
+	return map[string][]geom.Point{
+		"expchain-16":  gen.ExpChain(16, 1),
+		"expchain-40":  gen.ExpChain(40, 1),
+		"uniform":      gen.HighwayUniform(rng, 60, 8),
+		"bursty":       gen.HighwayBursty(rng, 60, 5, 10, 0.05),
+		"fragments":    gen.HighwayExpFragments(rng, 4, 10, 12),
+		"double-pairs": {geom.Pt(0, 0), geom.Pt(0, 0), geom.Pt(0.5, 0), geom.Pt(0.5, 0), geom.Pt(1.2, 0)},
+	}
+}
+
+func TestHighwayConstructionsAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for name, pts := range highwayInstances(rng) {
+		name, pts := name, pts
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			algs := map[string]func([]geom.Point) *graph.Graph{
+				"Linear": highway.Linear,
+				"AGen":   highway.AGen,
+				"AApx":   highway.AApx,
+				"AExp":   func(p []geom.Point) *graph.Graph { return highway.AExpRange(p, udg.Radius) },
+			}
+			for algName, build := range algs {
+				g := build(pts)
+				if err := oracle.Check(pts, g); err != nil {
+					t.Errorf("%s: %v", algName, err)
+				}
+			}
+		})
+	}
+}
+
+// TestAExpIncrementalMatchesNaiveRecompute pins the scan-line
+// algorithm's internal incremental evaluator against a from-scratch
+// quadratic recompute of the finished graph: the MaxAfter of the last
+// trace step is the interference AExp believes it built, and the oracle
+// must measure the same value on the output.
+func TestAExpIncrementalMatchesNaiveRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	chains := [][]geom.Point{
+		gen.ExpChain(2, 1),
+		gen.ExpChain(16, 1),
+		gen.ExpChain(40, 1),
+		gen.ExpChainUnit(24),
+		gen.HighwayUniform(rng, 40, 1), // unit extent: in-range for the Inf-range scan too
+	}
+	for i, pts := range chains {
+		g, trace := highway.AExpWithTrace(pts)
+		if len(trace) == 0 {
+			t.Fatalf("chain %d: empty trace", i)
+		}
+		claimed := trace[len(trace)-1].MaxAfter
+		if got := oracle.InterferenceOf(pts, g); got != claimed {
+			t.Errorf("chain %d (n=%d): incremental evaluator claims I=%d, naive recompute says %d",
+				i, len(pts), claimed, got)
+		}
+		if err := oracle.Check(pts, g); err != nil {
+			t.Errorf("chain %d: %v", i, err)
+		}
+	}
+}
+
+// TestTheoremBoundsOnExpChain checks Theorems 5.1/5.2 with the oracle as
+// the measuring instrument: AExp's interference on the exponential chain
+// sits between the ⌊√n⌋ lower bound (which binds every connected
+// topology) and the AExpBound upper bound, while Linear realizes the
+// n−2 worst case of Figure 7.
+func TestTheoremBoundsOnExpChain(t *testing.T) {
+	for _, n := range []int{4, 9, 16, 25, 40} {
+		pts := gen.ExpChain(n, 1)
+		i := oracle.InterferenceOf(pts, highway.AExp(pts))
+		if lo := highway.LowerBoundExpChain(n); i < lo {
+			t.Errorf("n=%d: AExp interference %d below the universal lower bound %d", n, i, lo)
+		}
+		if hi := highway.AExpBound(n); i > hi {
+			t.Errorf("n=%d: AExp interference %d above the Theorem 5.1 bound %d", n, i, hi)
+		}
+		if lin := oracle.InterferenceOf(pts, highway.Linear(pts)); lin != n-2 {
+			t.Errorf("n=%d: linear chain interference %d, want n-2 = %d", n, lin, n-2)
+		}
+	}
+}
+
+// TestAGenSpacingSweepAgainstOracle runs the ablation spacings through
+// the oracle so the O(√Δ) wiring is cross-checked away from the default
+// parameter too.
+func TestAGenSpacingSweepAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pts := gen.HighwayBursty(rng, 50, 4, 6, 0.08)
+	for _, spacing := range []int{1, 2, 3, 5, 50} {
+		g := highway.AGenSpacing(pts, spacing)
+		if err := oracle.Check(pts, g); err != nil {
+			t.Errorf("spacing %d: %v", spacing, err)
+		}
+	}
+}

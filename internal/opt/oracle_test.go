@@ -1,0 +1,105 @@
+package opt_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/opt"
+	"repro/internal/oracle"
+)
+
+// Differential tests against internal/oracle: the branch-and-bound and
+// both annealers search heavily pruned, incrementally evaluated spaces;
+// the oracle enumerates the same space with quadratic recomputes. At
+// n ≤ 8 the two must agree exactly on the optimum, and every result's
+// claimed interference must match a naive recompute of its radii.
+
+// tinyInstances yields small instances across the shapes the searches
+// care about: dense squares, near-boundary chains, and a disconnected
+// pair of clusters.
+func tinyInstances(rng *rand.Rand, trial int) []geom.Point {
+	switch trial % 4 {
+	case 0:
+		return gen.UniformSquare(rng, 2+rng.Intn(7), 1.5)
+	case 1:
+		return gen.ExpChain(4+rng.Intn(5), 1)
+	case 2:
+		return gen.HighwayUniform(rng, 4+rng.Intn(5), 2)
+	default:
+		left := gen.UniformSquare(rng, 2+rng.Intn(3), 0.8)
+		right := gen.UniformSquare(rng, 2+rng.Intn(3), 0.8)
+		for i := range right {
+			right[i] = right[i].Add(geom.Pt(10, 0))
+		}
+		return append(left, right...)
+	}
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 24; trial++ {
+		pts := tinyInstances(rng, trial)
+		want, _ := oracle.BruteForceOptimal(pts)
+		res := opt.Exact(pts)
+		if !res.Exact {
+			t.Fatalf("trial %d (n=%d): search budget exhausted on a tiny instance", trial, len(pts))
+		}
+		if res.Interference != want {
+			t.Fatalf("trial %d (n=%d): Exact found %d, brute force %d", trial, len(pts), res.Interference, want)
+		}
+		if got := oracle.Interference(pts, res.Radii).Max(); got != res.Interference {
+			t.Fatalf("trial %d: claimed %d but radii evaluate to %d", trial, res.Interference, got)
+		}
+		if !oracle.Feasible(pts, res.Radii) {
+			t.Fatalf("trial %d: Exact returned infeasible radii", trial)
+		}
+		if got := oracle.InterferenceOf(pts, res.Topology); got > res.Interference {
+			t.Fatalf("trial %d: realized topology has I=%d above the radii's %d", trial, got, res.Interference)
+		}
+	}
+}
+
+func TestAnnealersAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 16; trial++ {
+		pts := tinyInstances(rng, trial)
+		want, _ := oracle.BruteForceOptimal(pts)
+		for name, run := range map[string]func() opt.Result{
+			"Anneal":     func() opt.Result { return opt.Anneal(pts, rand.New(rand.NewSource(int64(trial))), 400) },
+			"AnnealFull": func() opt.Result { return opt.AnnealFull(pts, rand.New(rand.NewSource(int64(trial))), 400) },
+		} {
+			res := run()
+			if res.Interference < want {
+				t.Fatalf("trial %d: %s reported %d below the true optimum %d", trial, name, res.Interference, want)
+			}
+			if got := oracle.Interference(pts, res.Radii).Max(); got != res.Interference {
+				t.Fatalf("trial %d: %s claimed %d but radii evaluate to %d", trial, name, res.Interference, got)
+			}
+			if !oracle.Feasible(pts, res.Radii) {
+				t.Fatalf("trial %d: %s returned infeasible radii", trial, name)
+			}
+		}
+	}
+}
+
+// TestAnnealWalksMatch pins the documented contract that Anneal and
+// AnnealFull draw identically from their RNG and hence walk the same move
+// sequence: same seed, same iteration budget, same final best.
+func TestAnnealWalksMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 6; trial++ {
+		pts := gen.UniformSquare(rng, 20+rng.Intn(20), 2)
+		a := opt.Anneal(pts, rand.New(rand.NewSource(77)), 2000)
+		b := opt.AnnealFull(pts, rand.New(rand.NewSource(77)), 2000)
+		if a.Interference != b.Interference {
+			t.Fatalf("trial %d: incremental anneal %d, full anneal %d", trial, a.Interference, b.Interference)
+		}
+		for u := range a.Radii {
+			if a.Radii[u] != b.Radii[u] {
+				t.Fatalf("trial %d: radius of %d differs: %v vs %v", trial, u, a.Radii[u], b.Radii[u])
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// DiffEvaluator shadows a core.Evaluator with the obvious slice
+// semantics: every mutation is applied to both the optimized engine and a
+// plain (points, radii, snapshot-stack) model, and Verify recomputes the
+// naive interference vector and compares every observable — radii,
+// per-node I(v), and the maximum. Fuzzers and property tests drive this
+// instead of hand-rolling their own shadow state.
+//
+// Mutations mirror the Evaluator API including its contracts: BatchSet,
+// AddPoint, and RemovePoint must not be called while a snapshot is
+// active (the underlying engine panics, by design).
+type DiffEvaluator struct {
+	ev    *core.Evaluator
+	pts   []geom.Point
+	radii []float64
+	stack [][]float64 // shadow of the snapshot marks
+}
+
+// NewDiffEvaluator starts both the engine and the shadow model from the
+// all-zero assignment over pts.
+func NewDiffEvaluator(pts []geom.Point) *DiffEvaluator {
+	return &DiffEvaluator{
+		ev:    core.NewEvaluator(pts),
+		pts:   append([]geom.Point(nil), pts...),
+		radii: make([]float64, len(pts)),
+	}
+}
+
+// Evaluator exposes the engine under test (for assertions beyond Verify).
+func (d *DiffEvaluator) Evaluator() *core.Evaluator { return d.ev }
+
+// N returns the current number of points.
+func (d *DiffEvaluator) N() int { return len(d.pts) }
+
+// Depth returns the number of active snapshots.
+func (d *DiffEvaluator) Depth() int { return len(d.stack) }
+
+// SetRadius mirrors Evaluator.SetRadius.
+func (d *DiffEvaluator) SetRadius(u int, r float64) {
+	d.ev.SetRadius(u, r)
+	d.radii[u] = r
+}
+
+// GrowTo mirrors Evaluator.GrowTo.
+func (d *DiffEvaluator) GrowTo(u int, r float64) {
+	d.ev.GrowTo(u, r)
+	if r > d.radii[u] {
+		d.radii[u] = r
+	}
+}
+
+// Snapshot mirrors Evaluator.Snapshot; the shadow pushes a deep copy of
+// the radii, so Restore is checked against an independent implementation
+// of the same semantics rather than against the engine's own undo log.
+func (d *DiffEvaluator) Snapshot() {
+	d.ev.Snapshot()
+	d.stack = append(d.stack, append([]float64(nil), d.radii...))
+}
+
+// Restore mirrors Evaluator.Restore.
+func (d *DiffEvaluator) Restore() {
+	d.ev.Restore()
+	d.radii = d.stack[len(d.stack)-1]
+	d.stack = d.stack[:len(d.stack)-1]
+}
+
+// BatchSet mirrors Evaluator.BatchSet.
+func (d *DiffEvaluator) BatchSet(radii []float64, workers int) {
+	d.ev.BatchSet(radii, workers)
+	copy(d.radii, radii)
+}
+
+// AddPoint mirrors Evaluator.AddPoint and returns the new index.
+func (d *DiffEvaluator) AddPoint(p geom.Point) int {
+	idx := d.ev.AddPoint(p)
+	d.pts = append(d.pts, p)
+	d.radii = append(d.radii, 0)
+	return idx
+}
+
+// RemovePoint mirrors Evaluator.RemovePoint.
+func (d *DiffEvaluator) RemovePoint(idx int) {
+	d.ev.RemovePoint(idx)
+	d.pts = append(d.pts[:idx], d.pts[idx+1:]...)
+	d.radii = append(d.radii[:idx], d.radii[idx+1:]...)
+}
+
+// Reset mirrors Evaluator.Reset.
+func (d *DiffEvaluator) Reset() {
+	d.ev.Reset()
+	for i := range d.radii {
+		d.radii[i] = 0
+	}
+	d.stack = d.stack[:0]
+}
+
+// Unwind pops every remaining snapshot (engine and shadow alike), so a
+// test can end a random operation sequence in a verifiable base state.
+func (d *DiffEvaluator) Unwind() {
+	for len(d.stack) > 0 {
+		d.Restore()
+	}
+}
+
+// Verify recomputes the naive interference of the shadow state and
+// compares every observable of the engine against it, returning an error
+// naming the first divergence.
+func (d *DiffEvaluator) Verify() error {
+	if d.ev.N() != len(d.pts) {
+		return fmt.Errorf("oracle: evaluator has %d points, shadow %d", d.ev.N(), len(d.pts))
+	}
+	for u, r := range d.radii {
+		if d.ev.Radius(u) != r {
+			return fmt.Errorf("oracle: radius of node %d: evaluator %v, shadow %v", u, d.ev.Radius(u), r)
+		}
+	}
+	want := Interference(d.pts, d.radii)
+	for v := range want {
+		if d.ev.I(v) != want[v] {
+			return fmt.Errorf("oracle: I(%d): evaluator %d, naive %d", v, d.ev.I(v), want[v])
+		}
+	}
+	if d.ev.Max() != want.Max() {
+		return fmt.Errorf("oracle: max: evaluator %d, naive %d", d.ev.Max(), want.Max())
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package oracle_test
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/oracle"
+)
+
+// decodeInstance maps fuzz bytes to a small instance the same way the
+// core fuzzers do: pairs of uint16 become coordinates in [0, 8), one
+// extra byte per node a radius in [0, 4). Capped at 48 nodes so the
+// quadratic oracle stays fast under the fuzzing engine's iteration rate.
+func decodeInstance(data []byte) ([]geom.Point, []float64) {
+	const stride = 5
+	n := len(data) / stride
+	if n > 48 {
+		n = 48
+	}
+	pts := make([]geom.Point, n)
+	radii := make([]float64, n)
+	for i := 0; i < n; i++ {
+		off := i * stride
+		x := float64(binary.LittleEndian.Uint16(data[off:])) / 65535 * 8
+		y := float64(binary.LittleEndian.Uint16(data[off+2:])) / 65535 * 8
+		pts[i] = geom.Pt(x, y)
+		radii[i] = float64(data[off+4]) / 255 * 4
+	}
+	return pts, radii
+}
+
+// FuzzCheckRadii runs the whole evaluation-path cross-check on
+// byte-derived instances: coincident points, nodes exactly on disk
+// boundaries, all-zero assignments. Any divergence between the naive
+// model and any optimized path fails the run.
+func FuzzCheckRadii(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 255, 255, 255, 0, 0, 128})
+	f.Add(make([]byte, 12*5))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts, radii := decodeInstance(data)
+		if len(pts) == 0 {
+			return
+		}
+		if err := oracle.CheckRadii(pts, radii); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzLaws drives every metamorphic law from a fuzz-chosen seed, letting
+// the mutation engine explore the laws' instance spaces beyond the fixed
+// sweep in laws_test.go.
+func FuzzLaws(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(424242))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		for _, law := range oracle.Laws() {
+			if err := law.Check(rand.New(rand.NewSource(seed))); err != nil {
+				t.Fatalf("%s: %v", law.Name, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package oracle_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/oracle"
+)
+
+// TestLawsHoldOnRandomInstances sweeps every metamorphic law over many
+// independently seeded instances. Each law draws its own instance shape,
+// so this is the package's broad property net; fuzzing extends the same
+// checks to adversarial byte-derived instances.
+func TestLawsHoldOnRandomInstances(t *testing.T) {
+	for _, law := range oracle.Laws() {
+		law := law
+		t.Run(law.Name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 150; seed++ {
+				if err := law.Check(rand.New(rand.NewSource(seed))); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// TestLawNamesUnique guards the catalogue against copy-paste entries; test
+// filters and corpus directories key on the name.
+func TestLawNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, law := range oracle.Laws() {
+		if seen[law.Name] {
+			t.Fatalf("duplicate law name %q", law.Name)
+		}
+		seen[law.Name] = true
+	}
+}

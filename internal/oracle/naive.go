@@ -1,0 +1,306 @@
+package oracle
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/udg"
+)
+
+// This file holds the straight-from-the-paper reference implementations:
+// quadratic loops over all pairs, no spatial index, no incremental state.
+// They are deliberately boring — the point is that each one is obviously
+// a transcription of a definition, so agreement with the optimized paths
+// is evidence about the optimized paths, not about shared cleverness.
+
+// Radii returns the transmission radius r_u = max_{v ∈ N_u} |u, v| of
+// every node (Definition: minimum power reaching the farthest neighbor),
+// recomputing every distance from the geometry rather than trusting the
+// stored edge weights — so a topology built with wrong weights diverges
+// here.
+func Radii(pts []geom.Point, g *graph.Graph) []float64 {
+	r := make([]float64, len(pts))
+	for u := range pts {
+		for _, v := range g.Neighbors(u) {
+			if d := pts[u].Dist(pts[v]); d > r[u] {
+				r[u] = d
+			}
+		}
+	}
+	return r
+}
+
+// Interference evaluates Definition 3.1 by the double loop it is stated
+// as: I(v) = |{u ≠ v : v ∈ D(u, r_u)}|.
+func Interference(pts []geom.Point, radii []float64) core.Vector {
+	iv := make(core.Vector, len(pts))
+	for u := range pts {
+		if radii[u] <= 0 {
+			continue
+		}
+		for v := range pts {
+			if v != u && geom.InDisk(pts[u], radii[u], pts[v]) {
+				iv[v]++
+			}
+		}
+	}
+	return iv
+}
+
+// InterferenceOf is Definition 3.2 for a topology: derive the radii, count
+// the disks, take the maximum.
+func InterferenceOf(pts []geom.Point, g *graph.Graph) int {
+	return Interference(pts, Radii(pts, g)).Max()
+}
+
+// CoveredBy lists the witnesses behind I(v) — the nodes u ≠ v whose disks
+// contain v — in ascending index order.
+func CoveredBy(pts []geom.Point, radii []float64, v int) []int {
+	var out []int
+	for u := range pts {
+		if u != v && radii[u] > 0 && geom.InDisk(pts[u], radii[u], pts[v]) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Within is the naive range query: every index within distance r of c
+// (boundary-inclusive, same predicate as the grid), ascending.
+func Within(pts []geom.Point, c geom.Point, r float64) []int {
+	var out []int
+	for j := range pts {
+		if geom.InDisk(c, r, pts[j]) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// WithinAnnulus is the naive annulus query: indices j with
+// lo < |c, p_j| ≤ hi under the shared boundary predicate, ascending —
+// the reference for the grid query behind Evaluator.SetRadius.
+func WithinAnnulus(pts []geom.Point, c geom.Point, lo, hi float64) []int {
+	var out []int
+	for j := range pts {
+		if geom.InDisk(c, hi, pts[j]) && !geom.InDisk(c, lo, pts[j]) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// NNF builds the Nearest Neighbor Forest by the definition: every node
+// links to its nearest neighbor within communication range, ties broken
+// toward the smaller index.
+func NNF(pts []geom.Point) *graph.Graph {
+	g := graph.New(len(pts))
+	for u := range pts {
+		best, bestD := -1, math.Inf(1)
+		for v := range pts {
+			if v == u {
+				continue
+			}
+			if d := pts[u].Dist(pts[v]); d < bestD {
+				best, bestD = v, d
+			}
+		}
+		if best >= 0 && bestD <= udg.Radius*(1+1e-9) {
+			g.AddEdge(u, best, bestD)
+		}
+	}
+	return g
+}
+
+// UDG builds the unit disk graph by the quadratic definition: an edge for
+// every pair within communication range.
+func UDG(pts []geom.Point) *graph.Graph {
+	g := graph.New(len(pts))
+	for u := range pts {
+		for v := u + 1; v < len(pts); v++ {
+			if d := pts[u].Dist(pts[v]); d <= udg.Radius*(1+1e-9) {
+				g.AddEdge(u, v, d)
+			}
+		}
+	}
+	return g
+}
+
+// Components labels the UDG components by brute-force flood fill over the
+// pairwise distance matrix, returning the label vector and the count.
+func Components(pts []geom.Point) ([]int, int) {
+	n := len(pts)
+	label := make([]int, n)
+	for i := range label {
+		label[i] = -1
+	}
+	k := 0
+	for s := 0; s < n; s++ {
+		if label[s] >= 0 {
+			continue
+		}
+		queue := []int{s}
+		label[s] = k
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < n; v++ {
+				if label[v] < 0 && pts[u].Dist(pts[v]) <= udg.Radius*(1+1e-9) {
+					label[v] = k
+					queue = append(queue, v)
+				}
+			}
+		}
+		k++
+	}
+	return label, k
+}
+
+// MSTWeight returns the total weight of a minimum spanning forest of the
+// UDG by the textbook O(n³) Prim (one pass per component, no heap) — the
+// reference for graph.EuclideanMST's filtered Kruskal.
+func MSTWeight(pts []geom.Point) float64 {
+	n := len(pts)
+	inTree := make([]bool, n)
+	dist := make([]float64, n)
+	total := 0.0
+	for root := 0; root < n; root++ {
+		if inTree[root] {
+			continue
+		}
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+		dist[root] = 0
+		for {
+			u, best := -1, math.Inf(1)
+			for v := 0; v < n; v++ {
+				if !inTree[v] && dist[v] < best {
+					u, best = v, dist[v]
+				}
+			}
+			if u < 0 {
+				break
+			}
+			inTree[u] = true
+			total += dist[u]
+			for v := 0; v < n; v++ {
+				if inTree[v] {
+					continue
+				}
+				if d := pts[u].Dist(pts[v]); d <= udg.Radius*(1+1e-9) && d < dist[v] {
+					dist[v] = d
+				}
+			}
+		}
+	}
+	return total
+}
+
+// MutualGraph returns Ĝ(r) by the definition in internal/opt: edges
+// between nodes that mutually reach each other within their radii and
+// within unit range.
+func MutualGraph(pts []geom.Point, radii []float64) *graph.Graph {
+	g := graph.New(len(pts))
+	for u := range pts {
+		for v := u + 1; v < len(pts); v++ {
+			d := pts[u].Dist(pts[v])
+			if d <= udg.Radius*(1+1e-9) && d <= radii[u]*(1+1e-9) && d <= radii[v]*(1+1e-9) {
+				g.AddEdge(u, v, d)
+			}
+		}
+	}
+	return g
+}
+
+// Feasible reports whether the radius assignment preserves the UDG
+// component structure: the partition of Ĝ(r) equals the UDG's (compared
+// label-by-label, not just by count).
+func Feasible(pts []geom.Point, radii []float64) bool {
+	wantLabel, wantK := Components(pts)
+	gotLabel, gotK := MutualGraph(pts, radii).Components()
+	if gotK != wantK {
+		return false
+	}
+	// Both labelings are canonical (first-seen order), so after count
+	// equality a pointwise comparison via a remap detects any difference.
+	remap := make(map[int]int)
+	for i := range wantLabel {
+		m, ok := remap[gotLabel[i]]
+		if !ok {
+			remap[gotLabel[i]] = wantLabel[i]
+		} else if m != wantLabel[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxBruteN bounds the instance size BruteForceOptimal accepts.
+const MaxBruteN = 9
+
+// BruteForceOptimal enumerates every radius assignment over the
+// per-node candidate sets (distances to in-range nodes, exactly the space
+// internal/opt searches) and returns the minimum interference over
+// assignments whose mutual-reachability graph preserves the UDG
+// components, together with an attaining assignment. It is the oracle for
+// opt.Exact at n ≤ MaxBruteN.
+//
+// The only concession to tractability is the obvious monotonicity skip —
+// interference of a prefix (unassigned radii zero) never exceeds the
+// finished assignment's, so prefixes already at or above the incumbent
+// are not extended. Every evaluation is a fresh quadratic recompute.
+func BruteForceOptimal(pts []geom.Point) (int, []float64) {
+	n := len(pts)
+	if n > MaxBruteN {
+		panic("oracle: instance too large for brute force")
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	base := UDG(pts)
+	cand := make([][]float64, n)
+	for u := 0; u < n; u++ {
+		if base.Degree(u) == 0 {
+			cand[u] = []float64{0}
+			continue
+		}
+		for v := 0; v < n; v++ {
+			if v == u {
+				continue
+			}
+			if d := pts[u].Dist(pts[v]); d <= udg.Radius*(1+1e-9) {
+				cand[u] = append(cand[u], d)
+			}
+		}
+	}
+
+	best := math.MaxInt
+	var bestRadii []float64
+	radii := make([]float64, n)
+	var enumerate func(u int)
+	enumerate = func(u int) {
+		if Interference(pts, radii).Max() >= best {
+			return
+		}
+		if u == n {
+			if Feasible(pts, radii) {
+				best = Interference(pts, radii).Max()
+				bestRadii = append(bestRadii[:0], radii...)
+			}
+			return
+		}
+		for _, r := range cand[u] {
+			radii[u] = r
+			enumerate(u + 1)
+			radii[u] = 0
+		}
+	}
+	enumerate(0)
+	if bestRadii == nil {
+		return -1, nil // no feasible assignment (cannot happen: UDG radii are feasible)
+	}
+	return best, bestRadii
+}

@@ -1,0 +1,80 @@
+package oracle
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Deterministic-replay harness for the packet simulator. A simulation is
+// fully determined by its construction (instance, topology, Config.Seed,
+// scheduled workload), so re-executing the same construction must
+// reproduce bit-identical Metrics and a byte-identical event trace. The
+// harness turns that contract into a checkable property: any hidden
+// nondeterminism — map iteration, time dependence, shared mutable state
+// between runs, goroutine scheduling — shows up as a trace or metrics
+// divergence.
+
+// Run captures one complete simulation: the final metrics and the full
+// per-event trace recorded through sim.Tracer.
+type Run struct {
+	Metrics sim.Metrics
+	Trace   string
+}
+
+// Record builds a simulator with mk, attaches a trace recorder, runs it
+// to the horizon, and captures the outcome. mk must return a fresh,
+// not-yet-run simulator with its workload installed.
+func Record(mk func() *sim.Simulator) Run {
+	s := mk()
+	var sb strings.Builder
+	s.SetTracer(&sim.WriterTracer{W: &sb})
+	m := s.Run()
+	return Run{Metrics: *m, Trace: sb.String()}
+}
+
+// Replay executes mk twice and requires the two runs to be bit-identical:
+// every Metrics field equal (including per-node slices) and the event
+// traces byte-for-byte the same. It returns the first run and an error
+// describing the earliest divergence, nil when the runs agree.
+func Replay(mk func() *sim.Simulator) (Run, error) {
+	first := Record(mk)
+	second := Record(mk)
+	return first, DiffRuns(first, second)
+}
+
+// DiffRuns compares two captured runs, reporting the first divergence:
+// the earliest differing trace line, or the differing Metrics field when
+// the traces agree (possible when divergence hides in untraced
+// accounting such as energy or deferrals).
+func DiffRuns(a, b Run) error {
+	if a.Trace != b.Trace {
+		al := strings.Split(a.Trace, "\n")
+		bl := strings.Split(b.Trace, "\n")
+		for i := 0; i < len(al) || i < len(bl); i++ {
+			la, lb := "<end of trace>", "<end of trace>"
+			if i < len(al) {
+				la = al[i]
+			}
+			if i < len(bl) {
+				lb = bl[i]
+			}
+			if la != lb {
+				return fmt.Errorf("oracle: replay diverged at trace line %d:\n  run 1: %s\n  run 2: %s", i+1, la, lb)
+			}
+		}
+	}
+	if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+		va, vb := reflect.ValueOf(a.Metrics), reflect.ValueOf(b.Metrics)
+		for i := 0; i < va.NumField(); i++ {
+			if !reflect.DeepEqual(va.Field(i).Interface(), vb.Field(i).Interface()) {
+				return fmt.Errorf("oracle: replay diverged in Metrics.%s: run 1 %v, run 2 %v",
+					va.Type().Field(i).Name, va.Field(i).Interface(), vb.Field(i).Interface())
+			}
+		}
+		return fmt.Errorf("oracle: replay metrics diverged")
+	}
+	return nil
+}
