@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench bench-json repro figures tables cover fuzz fuzz-nightly clean
+.PHONY: all build vet test check bench bench-json serve-smoke repro figures tables cover fuzz fuzz-nightly clean
 
 all: build vet test
 
@@ -30,11 +30,21 @@ check: vet
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Archive the evaluator-rework headline benchmarks as JSON (the numbers
-# EXPERIMENTS.md's incremental-evaluation table records).
+# Archive the headline benchmarks as JSON. BENCH selects the output file
+# (BENCH_$(BENCH).json), so successive PRs archive side by side:
+#   BENCH=1  evaluator-rework numbers (the default regex's first five)
+#   BENCH=2  + the serving-layer mixed-workload numbers
+# e.g. `make bench-json BENCH=2`.
+BENCH ?= 1
+BENCH_REGEX ?= BenchmarkAnnealEvaluator|BenchmarkAnnealRecompute|BenchmarkDynamicEvents|BenchmarkExactSearch|BenchmarkAblationIncremental|BenchmarkServeMixed|BenchmarkServeHTTPMixed
 bench-json:
-	$(GO) test -run=xxx -bench='BenchmarkAnnealEvaluator|BenchmarkAnnealRecompute|BenchmarkDynamicEvents|BenchmarkExactSearch|BenchmarkAblationIncremental' -benchtime=1x . \
-		| $(GO) run ./cmd/benchjson > BENCH_1.json && cat BENCH_1.json
+	$(GO) test -run=xxx -bench='$(BENCH_REGEX)' -benchtime=1x . \
+		| $(GO) run ./cmd/benchjson > BENCH_$(BENCH).json && cat BENCH_$(BENCH).json
+
+# End-to-end daemon smoke: boot rimd on a random port, run a scripted
+# HTTP client session, scrape /metrics, SIGTERM, assert a clean drain.
+serve-smoke:
+	$(GO) test -run 'TestServeSmoke|TestRimd' -count=1 -v ./cmd/rimd/
 
 # Print the full experiment catalogue.
 repro:

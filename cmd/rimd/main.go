@@ -1,0 +1,97 @@
+// Command rimd is the topology-control daemon: it serves the interference
+// engine over HTTP/JSON through internal/serve's sharded, single-writer
+// session pipeline.
+//
+//	rimd -addr 127.0.0.1:8086
+//	rimd -addr 127.0.0.1:0 -deterministic        # random port, traced sessions
+//
+// The daemon prints its actual listening address on stdout (useful with
+// port 0), exposes /healthz and Prometheus /metrics, and drains
+// gracefully on SIGINT/SIGTERM: the listener closes, queued mutations are
+// applied, then the process exits 0. See README.md for curl examples.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable body: it returns 2 on usage errors, 1 on runtime
+// failures, and 0 after a clean drain.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rimd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr          = fs.String("addr", "127.0.0.1:8086", "listen address (port 0 picks a free port)")
+		shards        = fs.Int("shards", 0, "worker goroutines (0 = min(GOMAXPROCS, 8))")
+		queueCap      = fs.Int("queue-cap", 1024, "per-session mutation queue bound")
+		batchCap      = fs.Int("batch-cap", 256, "max mutations applied per batch")
+		deterministic = fs.Bool("deterministic", false, "record replayable per-session mutation traces")
+		traceCap      = fs.Int("trace-cap", 1<<20, "retained trace lines per session (ring buffer; 0 = unlimited)")
+		rebuild       = fs.Float64("rebuild-factor", 0, "maintainer drift-rebuild factor (0 = default)")
+		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "max time to drain queues on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "rimd: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	mgr := serve.NewManager(serve.Config{
+		Shards:        *shards,
+		QueueCap:      *queueCap,
+		BatchCap:      *batchCap,
+		Deterministic: *deterministic,
+		TraceCap:      *traceCap,
+		RebuildFactor: *rebuild,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "rimd: listen: %v\n", err)
+		return 1
+	}
+	srv := &http.Server{Handler: serve.NewHandler(mgr)}
+	fmt.Fprintf(stdout, "rimd: listening on %s\n", ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(stdout, "rimd: %v, draining (timeout %s)\n", sig, *drainTimeout)
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "rimd: serve: %v\n", err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "rimd: http shutdown: %v\n", err)
+	}
+	if err := mgr.Close(ctx); err != nil {
+		fmt.Fprintf(stderr, "rimd: drain: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "rimd: drained %d sessions, bye\n", len(mgr.SessionIDs()))
+	return 0
+}

@@ -1,0 +1,35 @@
+package core
+
+import "repro/internal/geom"
+
+// State is a copy-on-read export of an Evaluator's observables: the point
+// set, the radius assignment, the per-node interference vector, and the
+// maximum. It is plain data with no backing references into the engine,
+// so a caller may publish it to concurrent readers (the serving layer's
+// atomically-swapped snapshots) while the evaluator keeps mutating.
+type State struct {
+	Points []geom.Point
+	Radii  []float64
+	I      Vector
+	Max    int
+}
+
+// N returns the number of nodes in the exported state.
+func (s *State) N() int { return len(s.Points) }
+
+// ExportState copies the evaluator's current observables into dst and
+// returns it, allocating a fresh State when dst is nil. The backing
+// arrays of a non-nil dst are reused when their capacity allows, so a
+// single-reader loop can export repeatedly without allocating; pass nil
+// whenever the result must be immutable (shared with other readers).
+// Cost is three memcpys — nothing is recomputed.
+func (ev *Evaluator) ExportState(dst *State) *State {
+	if dst == nil {
+		dst = &State{}
+	}
+	dst.Points = append(dst.Points[:0], ev.pts...)
+	dst.Radii = append(dst.Radii[:0], ev.radii...)
+	dst.I = append(dst.I[:0], ev.iv...)
+	dst.Max = ev.max
+	return dst
+}

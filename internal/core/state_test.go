@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestExportStateMatchesAccessors(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0), geom.Pt(0.5, 1)}
+	ev := NewEvaluator(pts)
+	ev.SetRadius(0, 1.2)
+	ev.SetRadius(3, 2)
+
+	st := ev.ExportState(nil)
+	if st.N() != ev.N() {
+		t.Fatalf("state has %d nodes, evaluator %d", st.N(), ev.N())
+	}
+	for u := range pts {
+		if st.Points[u] != pts[u] {
+			t.Errorf("point %d: %v != %v", u, st.Points[u], pts[u])
+		}
+		if st.Radii[u] != ev.Radius(u) {
+			t.Errorf("radius %d: %v != %v", u, st.Radii[u], ev.Radius(u))
+		}
+		if st.I[u] != ev.I(u) {
+			t.Errorf("I(%d): %d != %d", u, st.I[u], ev.I(u))
+		}
+	}
+	if st.Max != ev.Max() {
+		t.Errorf("max: %d != %d", st.Max, ev.Max())
+	}
+}
+
+// TestExportStateIsolation pins the copy-on-read contract: mutating the
+// evaluator after an export must not bleed into the exported state.
+func TestExportStateIsolation(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0)}
+	ev := NewEvaluator(pts)
+	ev.SetRadius(0, 1)
+	st := ev.ExportState(nil)
+	wantR, wantI, wantMax := st.Radii[0], append(Vector(nil), st.I...), st.Max
+
+	ev.SetRadius(0, 2.5)
+	ev.SetRadius(2, 2.5)
+	ev.AddPoint(geom.Pt(0.5, 0))
+
+	if st.N() != 3 || st.Radii[0] != wantR || st.Max != wantMax {
+		t.Fatalf("export mutated by later evaluator activity: %+v", st)
+	}
+	for v := range wantI {
+		if st.I[v] != wantI[v] {
+			t.Fatalf("I vector mutated at %d", v)
+		}
+	}
+}
+
+// TestExportStateReuse checks dst recycling keeps the same semantics.
+func TestExportStateReuse(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}
+	ev := NewEvaluator(pts)
+	var st State
+	ev.ExportState(&st)
+	ev.SetRadius(1, 1.5)
+	ev.ExportState(&st)
+	if st.Radii[1] != 1.5 || st.I[0] != 1 || st.Max != 1 {
+		t.Fatalf("reused export stale: %+v", st)
+	}
+	// Shrinking instance must shrink the export too.
+	ev.RemovePoint(0)
+	ev.ExportState(&st)
+	if st.N() != 1 || len(st.Radii) != 1 || len(st.I) != 1 {
+		t.Fatalf("reused export kept stale length: %+v", st)
+	}
+}

@@ -32,13 +32,76 @@ package dynamic
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/opt"
 	"repro/internal/topology"
 	"repro/internal/udg"
 )
+
+// Engine is the incremental-evaluator surface the maintainer drives.
+// *core.Evaluator implements it and is the production engine; the
+// differential oracle's DiffEvaluator wraps one behind the same surface,
+// so a whole maintenance (or serving) pipeline can run against the
+// shadow-checked engine without code changes.
+type Engine interface {
+	N() int
+	Points() []geom.Point
+	Grid() *geom.Grid
+	Max() int
+	SetRadius(u int, r float64) float64
+	GrowTo(u int, r float64) float64
+	AddPoint(p geom.Point) int
+	RemovePoint(idx int)
+	BatchSet(radii []float64, workers int)
+	ExportState(dst *core.State) *core.State
+}
+
+var _ Engine = (*core.Evaluator)(nil)
+
+// EngineFactory builds the engine for an instance; the maintainer calls
+// it at construction and again on every full rebuild.
+type EngineFactory func(pts []geom.Point) Engine
+
+// EventKind labels a maintainer event for hook consumers.
+type EventKind uint8
+
+const (
+	EventInsert EventKind = iota + 1
+	EventRemove
+	EventSetRadius
+	EventAnneal
+	EventRebuild
+)
+
+// String names the kind for traces and logs.
+func (k EventKind) String() string {
+	switch k {
+	case EventInsert:
+		return "insert"
+	case EventRemove:
+		return "remove"
+	case EventSetRadius:
+		return "set-radius"
+	case EventAnneal:
+		return "anneal"
+	case EventRebuild:
+		return "rebuild"
+	}
+	return "unknown"
+}
+
+// Event is the notification delivered to OnEvent after each applied
+// operation. Index is the affected node for Insert/Remove/SetRadius
+// (-1 otherwise); Max is the maintained I(G') after the operation.
+type Event struct {
+	Kind  EventKind
+	Index int
+	Max   int
+}
 
 // Maintainer holds the evolving instance and topology.
 type Maintainer struct {
@@ -47,7 +110,14 @@ type Maintainer struct {
 	// disables maintenance (rebuild every event); 0 means the default 2.
 	RebuildFactor float64
 
-	ev       *core.Evaluator
+	// OnEvent, when non-nil, is called synchronously after every applied
+	// operation (and after every full rebuild, including those triggered
+	// mid-operation by drift control). The serving pipeline hooks its
+	// metrics and trace recording here.
+	OnEvent func(Event)
+
+	factory  EngineFactory
+	eng      Engine
 	topo     *graph.Graph
 	baseline int // I(G') right after the last rebuild
 	rebuilds int
@@ -55,11 +125,21 @@ type Maintainer struct {
 }
 
 // New starts a maintainer over the initial instance, built with the
-// greedy constructor.
+// greedy constructor and the production core.Evaluator engine.
 func New(pts []geom.Point, rebuildFactor float64) *Maintainer {
-	m := &Maintainer{RebuildFactor: rebuildFactor}
+	return NewWithEngine(pts, rebuildFactor, nil)
+}
+
+// NewWithEngine is New with an explicit engine factory (nil selects
+// core.NewEvaluator). Tests pass a factory returning the oracle's
+// DiffEvaluator to shadow-check every maintenance op.
+func NewWithEngine(pts []geom.Point, rebuildFactor float64, factory EngineFactory) *Maintainer {
+	m := &Maintainer{RebuildFactor: rebuildFactor, factory: factory}
 	if m.RebuildFactor == 0 {
 		m.RebuildFactor = 2
+	}
+	if m.factory == nil {
+		m.factory = func(pts []geom.Point) Engine { return core.NewEvaluator(pts) }
 	}
 	m.rebuild(pts)
 	return m
@@ -67,7 +147,12 @@ func New(pts []geom.Point, rebuildFactor float64) *Maintainer {
 
 // points returns the current instance (shared with the evaluator; treat
 // as read-only).
-func (m *Maintainer) points() []geom.Point { return m.ev.Points() }
+func (m *Maintainer) points() []geom.Point { return m.eng.Points() }
+
+// Engine returns the maintainer's evaluator engine (shared; callers must
+// not mutate it behind the maintainer's back — use the maintenance ops).
+// The serving layer reads snapshots through Engine().ExportState.
+func (m *Maintainer) Engine() Engine { return m.eng }
 
 // Points returns a snapshot of the current instance.
 func (m *Maintainer) Points() []geom.Point {
@@ -79,7 +164,7 @@ func (m *Maintainer) Topology() *graph.Graph { return m.topo }
 
 // Interference returns the maintained I(G'), read from the incremental
 // evaluator in O(1).
-func (m *Maintainer) Interference() int { return m.ev.Max() }
+func (m *Maintainer) Interference() int { return m.eng.Max() }
 
 // Rebuilds returns how many full rebuilds have happened (including the
 // initial construction).
@@ -90,10 +175,17 @@ func (m *Maintainer) Events() int { return m.events }
 
 func (m *Maintainer) rebuild(pts []geom.Point) {
 	m.topo = topology.GreedyMinI(pts)
-	m.ev = core.NewEvaluator(pts)
-	m.ev.BatchSet(core.Radii(pts, m.topo), 0)
-	m.baseline = m.ev.Max()
+	m.eng = m.factory(pts)
+	m.eng.BatchSet(core.Radii(pts, m.topo), 0)
+	m.baseline = m.eng.Max()
 	m.rebuilds++
+	m.fire(Event{Kind: EventRebuild, Index: -1, Max: m.baseline})
+}
+
+func (m *Maintainer) fire(ev Event) {
+	if m.OnEvent != nil {
+		m.OnEvent(ev)
+	}
 }
 
 // Insert adds a node and returns its index. The newcomer links to its
@@ -101,18 +193,19 @@ func (m *Maintainer) rebuild(pts []geom.Point) {
 // component, which is correct — the UDG is disconnected there too.
 func (m *Maintainer) Insert(p geom.Point) int {
 	m.events++
-	idx := m.ev.AddPoint(p)
+	idx := m.eng.AddPoint(p)
 	grown := graph.New(idx + 1)
 	for _, e := range m.topo.Edges() {
 		grown.AddEdge(e.U, e.V, e.W)
 	}
 	m.topo = grown
 	// Nearest in-range neighbor, straight off the evaluator's grid.
-	if best, bestD := m.ev.Grid().Nearest(idx); best >= 0 && bestD <= udg.Radius*(1+1e-9) {
+	if best, bestD := m.eng.Grid().Nearest(idx); best >= 0 && bestD <= udg.Radius*(1+1e-9) {
 		m.topo.AddEdge(idx, best, bestD)
-		m.ev.SetRadius(idx, bestD)
-		m.ev.GrowTo(best, bestD)
+		m.eng.SetRadius(idx, bestD)
+		m.eng.GrowTo(best, bestD)
 	}
+	m.fire(Event{Kind: EventInsert, Index: idx, Max: m.eng.Max()})
 	m.maybeRebuild()
 	return idx
 }
@@ -136,9 +229,9 @@ func (m *Maintainer) Remove(idx int) {
 				far = d
 			}
 		}
-		m.ev.SetRadius(v, far)
+		m.eng.SetRadius(v, far)
 	}
-	m.ev.RemovePoint(idx)
+	m.eng.RemovePoint(idx)
 	// Rebuild the topology over the surviving nodes with edges remapped.
 	remap := func(v int) int {
 		if v > idx {
@@ -155,7 +248,42 @@ func (m *Maintainer) Remove(idx int) {
 	}
 	m.topo = ng
 	m.repairConnectivity()
+	m.fire(Event{Kind: EventRemove, Index: idx, Max: m.eng.Max()})
 	m.maybeRebuild()
+}
+
+// SetRadius overrides node idx's transmission radius through the engine
+// and returns the previous value. The override is advisory: the
+// maintained topology is left untouched (a radius below the farthest
+// topology neighbor makes that edge unrealizable until the next rebuild),
+// and any later event's drift control may rebuild over it. It exists for
+// the serving pipeline's expert set-radius mutation. Panics on negative
+// radii or out-of-range indices, mirroring the engine's contract.
+func (m *Maintainer) SetRadius(idx int, r float64) float64 {
+	if idx < 0 || idx >= len(m.points()) {
+		panic(fmt.Sprintf("dynamic: set-radius index %d out of range", idx))
+	}
+	m.events++
+	old := m.eng.SetRadius(idx, r)
+	m.fire(Event{Kind: EventSetRadius, Index: idx, Max: m.eng.Max()})
+	return old
+}
+
+// Anneal runs the simulated-annealing optimizer over the current instance
+// for iters iterations (seeded deterministically by seed) and adopts the
+// resulting radius assignment and topology wholesale, resetting the drift
+// baseline. It returns the new maintained I(G'). Instances with fewer
+// than two nodes are a no-op.
+func (m *Maintainer) Anneal(seed int64, iters int) int {
+	m.events++
+	if len(m.points()) >= 2 && iters > 0 {
+		res := opt.Anneal(m.points(), rand.New(rand.NewSource(seed)), iters)
+		m.eng.BatchSet(res.Radii, 0)
+		m.topo = res.Topology
+		m.baseline = m.eng.Max()
+	}
+	m.fire(Event{Kind: EventAnneal, Index: -1, Max: m.eng.Max()})
+	return m.eng.Max()
 }
 
 // repairConnectivity reconnects topology components that the UDG still
@@ -188,8 +316,8 @@ func (m *Maintainer) repairConnectivity() {
 			return // nothing joinable (shouldn't happen when counts differ)
 		}
 		m.topo.AddEdge(best.U, best.V, best.W)
-		m.ev.GrowTo(best.U, best.W)
-		m.ev.GrowTo(best.V, best.W)
+		m.eng.GrowTo(best.U, best.W)
+		m.eng.GrowTo(best.V, best.W)
 	}
 }
 
@@ -198,7 +326,7 @@ func (m *Maintainer) maybeRebuild() {
 		m.rebuild(m.points())
 		return
 	}
-	if float64(m.ev.Max()) > m.RebuildFactor*float64(m.baseline)+1e-9 || !m.connectivityOK() {
+	if float64(m.eng.Max()) > m.RebuildFactor*float64(m.baseline)+1e-9 || !m.connectivityOK() {
 		m.rebuild(m.points())
 	}
 }

@@ -139,7 +139,7 @@ func TestMaintainerEvaluatorStaysExact(t *testing.T) {
 		}
 		pts := m.Points()
 		wantRadii := core.Radii(pts, m.Topology())
-		for u, r := range m.ev.Radii() {
+		for u, r := range m.Engine().ExportState(nil).Radii {
 			if r != wantRadii[u] {
 				t.Fatalf("step %d: radius[%d] = %v, topology implies %v", step, u, r, wantRadii[u])
 			}

@@ -1,0 +1,164 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/geom"
+)
+
+func TestMaintainerEventHook(t *testing.T) {
+	var got []Event
+	m := New(gen.UniformSquare(rand.New(rand.NewSource(2201)), 10, 1.5), 100)
+	m.OnEvent = func(ev Event) { got = append(got, ev) }
+
+	idx := m.Insert(geom.Pt(0.7, 0.7))
+	m.SetRadius(idx, 0.5)
+	m.Remove(idx)
+	m.Anneal(9, 100)
+
+	kinds := make([]EventKind, len(got))
+	for i, ev := range got {
+		kinds[i] = ev.Kind
+	}
+	want := []EventKind{EventInsert, EventSetRadius, EventRemove, EventAnneal}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	if got[0].Index != idx || got[1].Index != idx {
+		t.Errorf("insert/set events carry index %d/%d, want %d", got[0].Index, got[1].Index, idx)
+	}
+	if got[3].Index != -1 {
+		t.Errorf("anneal event index = %d, want -1", got[3].Index)
+	}
+	for i, ev := range got {
+		if ev.Max != 0 && ev.Max < 0 {
+			t.Errorf("event %d: bad max %d", i, ev.Max)
+		}
+	}
+	// Events() counts applied operations, including the radius override
+	// and the anneal.
+	if m.Events() != 4 {
+		t.Errorf("Events() = %d, want 4", m.Events())
+	}
+}
+
+func TestMaintainerRebuildFiresEvent(t *testing.T) {
+	var rebuilds int
+	m := New(gen.UniformSquare(rand.New(rand.NewSource(2202)), 12, 1.5), 1) // rebuild every event
+	m.OnEvent = func(ev Event) {
+		if ev.Kind == EventRebuild {
+			rebuilds++
+		}
+	}
+	for i := 0; i < 5; i++ {
+		m.Insert(geom.Pt(0.1*float64(i), 0.2))
+	}
+	// One rebuild per insert (the hook was installed after the initial
+	// construction's rebuild, so exactly 5 fire here).
+	if rebuilds != 5 {
+		t.Errorf("rebuild events = %d, want 5", rebuilds)
+	}
+	if m.Rebuilds() != 6 {
+		t.Errorf("Rebuilds() = %d, want 6", m.Rebuilds())
+	}
+}
+
+// countingEngine wraps the production evaluator to prove factory injection
+// routes every engine call through the configured engine, including
+// post-rebuild replacements.
+type countingEngine struct {
+	Engine
+	calls *int
+}
+
+func (c *countingEngine) SetRadius(u int, r float64) float64 {
+	*c.calls++
+	return c.Engine.SetRadius(u, r)
+}
+
+func TestNewWithEngineFactoryInjection(t *testing.T) {
+	calls, built := 0, 0
+	factory := func(pts []geom.Point) Engine {
+		built++
+		return &countingEngine{Engine: core.NewEvaluator(pts), calls: &calls}
+	}
+	m := NewWithEngine(gen.UniformSquare(rand.New(rand.NewSource(2203)), 15, 1.5), 1, factory)
+	if built != 1 {
+		t.Fatalf("factory built %d engines at construction", built)
+	}
+	m.SetRadius(0, 0.4)
+	if calls == 0 {
+		t.Fatalf("SetRadius bypassed the injected engine")
+	}
+	// RebuildFactor 1: the next structural event rebuilds, and the rebuild
+	// must go through the factory again.
+	m.Insert(geom.Pt(0.3, 0.3))
+	if built != 2 {
+		t.Fatalf("rebuild bypassed the factory: built = %d", built)
+	}
+}
+
+func TestMaintainerSetRadiusSemantics(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0.5, 0), geom.Pt(1.0, 0)}
+	m := New(pts, 100)
+	old := m.SetRadius(0, 0.9)
+	if old != 0.5 {
+		t.Fatalf("previous radius = %v, want the topology-implied 0.5", old)
+	}
+	// Radius 0.9 now covers both other nodes: their I includes node 0.
+	st := m.Engine().ExportState(nil)
+	if st.Radii[0] != 0.9 {
+		t.Fatalf("radius not applied: %v", st.Radii[0])
+	}
+	if want := core.InterferenceRadii(pts, st.Radii).Max(); m.Interference() != want {
+		t.Fatalf("maintained I = %d, recomputed %d", m.Interference(), want)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range SetRadius must panic")
+		}
+	}()
+	m.SetRadius(99, 1)
+}
+
+func TestMaintainerAnneal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2204))
+	pts := gen.UniformSquare(rng, 30, 1.8)
+	m := New(pts, 100)
+
+	got := m.Anneal(7, 3000)
+	if got != m.Interference() {
+		t.Fatalf("Anneal returned %d, maintained %d", got, m.Interference())
+	}
+	// Adopted state is self-consistent: radii realize the adopted topology's
+	// interference, and connectivity matches the UDG (anneal preserves it).
+	st := m.Engine().ExportState(nil)
+	if want := core.InterferenceRadii(pts, st.Radii).Max(); got != want {
+		t.Fatalf("adopted I = %d, recomputed %d", got, want)
+	}
+
+	// Determinism: same seed, same budget, same instance → same result.
+	m2 := New(pts, 100)
+	if again := m2.Anneal(7, 3000); again != got {
+		t.Fatalf("anneal nondeterministic: %d vs %d", got, again)
+	}
+
+	// No-ops: tiny instances and zero budgets leave state untouched.
+	single := New([]geom.Point{geom.Pt(0, 0)}, 100)
+	if single.Anneal(1, 100) != 0 {
+		t.Errorf("singleton anneal changed interference")
+	}
+	before := m.Interference()
+	if m.Anneal(1, 0) != before {
+		t.Errorf("zero-budget anneal changed state")
+	}
+}

@@ -43,18 +43,36 @@ func (d *DiffEvaluator) N() int { return len(d.pts) }
 // Depth returns the number of active snapshots.
 func (d *DiffEvaluator) Depth() int { return len(d.stack) }
 
-// SetRadius mirrors Evaluator.SetRadius.
-func (d *DiffEvaluator) SetRadius(u int, r float64) {
-	d.ev.SetRadius(u, r)
+// SetRadius mirrors Evaluator.SetRadius, returning the prior radius.
+func (d *DiffEvaluator) SetRadius(u int, r float64) float64 {
+	old := d.ev.SetRadius(u, r)
 	d.radii[u] = r
+	return old
 }
 
-// GrowTo mirrors Evaluator.GrowTo.
-func (d *DiffEvaluator) GrowTo(u int, r float64) {
-	d.ev.GrowTo(u, r)
+// GrowTo mirrors Evaluator.GrowTo, returning the prior radius.
+func (d *DiffEvaluator) GrowTo(u int, r float64) float64 {
+	old := d.ev.GrowTo(u, r)
 	if r > d.radii[u] {
 		d.radii[u] = r
 	}
+	return old
+}
+
+// Points delegates to the engine (the maintainer reads positions through
+// this); Verify still compares against the shadow's own copy.
+func (d *DiffEvaluator) Points() []geom.Point { return d.ev.Points() }
+
+// Grid delegates the engine's spatial index, so maintenance pipelines
+// that run range queries off the evaluator work unchanged on the shadow.
+func (d *DiffEvaluator) Grid() *geom.Grid { return d.ev.Grid() }
+
+// Max delegates to the engine; Verify independently recomputes it.
+func (d *DiffEvaluator) Max() int { return d.ev.Max() }
+
+// ExportState delegates the engine's copy-on-read snapshot export.
+func (d *DiffEvaluator) ExportState(dst *core.State) *core.State {
+	return d.ev.ExportState(dst)
 }
 
 // Snapshot mirrors Evaluator.Snapshot; the shadow pushes a deep copy of

@@ -45,26 +45,37 @@ func Replay(mk func() *sim.Simulator) (Run, error) {
 	return first, DiffRuns(first, second)
 }
 
+// DiffText compares two textual traces byte-for-byte, reporting the
+// earliest differing line (nil when identical). It is the shared
+// comparator behind DiffRuns and the serving layer's trace replay.
+func DiffText(a, b string) error {
+	if a == b {
+		return nil
+	}
+	al := strings.Split(a, "\n")
+	bl := strings.Split(b, "\n")
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		la, lb := "<end of trace>", "<end of trace>"
+		if i < len(al) {
+			la = al[i]
+		}
+		if i < len(bl) {
+			lb = bl[i]
+		}
+		if la != lb {
+			return fmt.Errorf("oracle: replay diverged at trace line %d:\n  run 1: %s\n  run 2: %s", i+1, la, lb)
+		}
+	}
+	return fmt.Errorf("oracle: traces differ but no line diverges (impossible)")
+}
+
 // DiffRuns compares two captured runs, reporting the first divergence:
 // the earliest differing trace line, or the differing Metrics field when
 // the traces agree (possible when divergence hides in untraced
 // accounting such as energy or deferrals).
 func DiffRuns(a, b Run) error {
-	if a.Trace != b.Trace {
-		al := strings.Split(a.Trace, "\n")
-		bl := strings.Split(b.Trace, "\n")
-		for i := 0; i < len(al) || i < len(bl); i++ {
-			la, lb := "<end of trace>", "<end of trace>"
-			if i < len(al) {
-				la = al[i]
-			}
-			if i < len(bl) {
-				lb = bl[i]
-			}
-			if la != lb {
-				return fmt.Errorf("oracle: replay diverged at trace line %d:\n  run 1: %s\n  run 2: %s", i+1, la, lb)
-			}
-		}
+	if err := DiffText(a.Trace, b.Trace); err != nil {
+		return err
 	}
 	if !reflect.DeepEqual(a.Metrics, b.Metrics) {
 		va, vb := reflect.ValueOf(a.Metrics), reflect.ValueOf(b.Metrics)

@@ -1,0 +1,34 @@
+package oracle
+
+import "repro/internal/dynamic"
+
+// Trace adapter: the deterministic-replay harness generalized beyond the
+// packet simulator to any component that can deterministically re-emit a
+// textual trace — in particular the serving layer's per-session mutation
+// log. Two contracts are checkable:
+//
+//   - byte identity: executing the same construction twice must produce
+//     byte-identical trace text (ReplayText), exactly the property Replay
+//     checks for simulations; and
+//   - shadow equivalence: because *DiffEvaluator satisfies
+//     dynamic.Engine, a recorded mutation trace can be re-applied through
+//     a maintenance pipeline whose engine is the naive-shadowed
+//     evaluator, so every radius/interference observable of the replay is
+//     cross-checked against the from-the-definition model (Verify).
+//
+// The compile-time assertion below is the load-bearing piece of the
+// second contract: it keeps the shadow evaluator drop-in compatible with
+// every pipeline built on the engine interface.
+var _ dynamic.Engine = (*DiffEvaluator)(nil)
+
+// ReplayText executes run twice and requires the produced traces to be
+// byte-identical, returning the first run's text and an error describing
+// the earliest divergence (nil when the runs agree). run must perform a
+// complete, self-contained execution — shared mutable state between the
+// two invocations is exactly the nondeterminism this harness exists to
+// expose.
+func ReplayText(run func() string) (string, error) {
+	first := run()
+	second := run()
+	return first, DiffText(first, second)
+}

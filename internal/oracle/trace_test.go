@@ -1,0 +1,55 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestReplayTextDeterministic(t *testing.T) {
+	run := func() string {
+		var sb strings.Builder
+		for i := 0; i < 5; i++ {
+			fmt.Fprintf(&sb, "step %d\n", i*i)
+		}
+		return sb.String()
+	}
+	text, err := ReplayText(run)
+	if err != nil {
+		t.Fatalf("deterministic producer flagged: %v", err)
+	}
+	if text != run() {
+		t.Fatalf("ReplayText returned %q", text)
+	}
+}
+
+func TestReplayTextCatchesNondeterminism(t *testing.T) {
+	// Shared mutable state across runs — the bug class this exists for.
+	calls := 0
+	run := func() string {
+		calls++
+		return fmt.Sprintf("a\nrun %d\nb\n", calls)
+	}
+	if _, err := ReplayText(run); err == nil {
+		t.Fatal("nondeterministic producer not flagged")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("divergence not localized to line 2: %v", err)
+	}
+}
+
+func TestDiffTextLocalizesEarliestDivergence(t *testing.T) {
+	if err := DiffText("x\ny\n", "x\ny\n"); err != nil {
+		t.Fatalf("equal texts flagged: %v", err)
+	}
+	err := DiffText("x\ny\nz\n", "x\nY\nz\n")
+	if err == nil {
+		t.Fatal("differing texts not flagged")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("wrong localization: %v", err)
+	}
+	// Length-only divergence (one trace is a prefix of the other).
+	if err := DiffText("x\n", "x\ny\n"); err == nil {
+		t.Fatal("prefix divergence not flagged")
+	}
+}

@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Op enumerates the mutation kinds a session pipeline applies.
+type Op uint8
+
+const (
+	OpAdd Op = iota + 1
+	OpRemove
+	OpMove
+	OpSetRadius
+	OpAnneal
+)
+
+// String names the op as it appears in traces and the HTTP API.
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "add"
+	case OpRemove:
+		return "remove"
+	case OpMove:
+		return "move"
+	case OpSetRadius:
+		return "set"
+	case OpAnneal:
+		return "anneal"
+	}
+	return "unknown"
+}
+
+// opFromString inverts Op.String (also accepting the HTTP API's
+// "set_radius" spelling).
+func opFromString(s string) (Op, bool) {
+	switch s {
+	case "add":
+		return OpAdd, true
+	case "remove":
+		return OpRemove, true
+	case "move":
+		return OpMove, true
+	case "set", "set_radius":
+		return OpSetRadius, true
+	case "anneal":
+		return OpAnneal, true
+	}
+	return 0, false
+}
+
+// Mutation is one pipeline operation. Node addresses the stable external
+// node ID (not the engine index); for OpAdd a negative Node requests
+// automatic assignment — use the constructors below, whose zero-valued
+// fields are always safe.
+type Mutation struct {
+	Op    Op
+	Node  int64   // target ID; for OpAdd: -1 = assign, >= 0 = forced (replay)
+	X, Y  float64 // OpAdd, OpMove
+	R     float64 // OpSetRadius
+	Iters int     // OpAnneal
+	Seed  int64   // OpAnneal
+}
+
+// Add enqueues a new node at (x, y) with an automatically assigned ID.
+func Add(x, y float64) Mutation { return Mutation{Op: OpAdd, Node: -1, X: x, Y: y} }
+
+// Remove deletes node id.
+func Remove(id int64) Mutation { return Mutation{Op: OpRemove, Node: id} }
+
+// Move relocates node id to (x, y), keeping its ID.
+func Move(id int64, x, y float64) Mutation { return Mutation{Op: OpMove, Node: id, X: x, Y: y} }
+
+// SetRadius overrides node id's transmission radius.
+func SetRadius(id int64, r float64) Mutation { return Mutation{Op: OpSetRadius, Node: id, R: r} }
+
+// AnnealStep runs a deterministic simulated-annealing budget over the
+// whole instance, adopting the result.
+func AnnealStep(iters int, seed int64) Mutation {
+	return Mutation{Op: OpAnneal, Iters: iters, Seed: seed}
+}
+
+// checkCoord rejects non-finite or out-of-bound coordinates. The bound
+// matters operationally: the spatial index allocates cells over the
+// instance's bounding box, so a single coordinate at 1e9 would make one
+// cheap mutation allocate gigabytes.
+func checkCoord(x, y, maxCoord float64) error {
+	bad := func(f float64) bool { return math.IsNaN(f) || math.Abs(f) > maxCoord }
+	if bad(x) || bad(y) {
+		return fmt.Errorf("coordinates (%v, %v) outside [-%g, %g]", x, y, maxCoord, maxCoord)
+	}
+	return nil
+}
+
+// validate rejects malformed mutations at enqueue time, so the owner
+// goroutine never has to crash on garbage (NaN or far-flung coordinates,
+// negative radii, unbounded anneal budgets).
+func (mu Mutation) validate(maxAnnealIters int, maxCoord float64) error {
+	bad := func(f float64) bool { return math.IsNaN(f) || math.IsInf(f, 0) }
+	switch mu.Op {
+	case OpAdd, OpMove:
+		if err := checkCoord(mu.X, mu.Y, maxCoord); err != nil {
+			return fmt.Errorf("serve: %s with %w", mu.Op, err)
+		}
+	case OpSetRadius:
+		if bad(mu.R) || mu.R < 0 {
+			return fmt.Errorf("serve: set radius %v out of range", mu.R)
+		}
+	case OpAnneal:
+		if mu.Iters <= 0 || mu.Iters > maxAnnealIters {
+			return fmt.Errorf("serve: anneal iters %d outside (0, %d]", mu.Iters, maxAnnealIters)
+		}
+	case OpRemove:
+	default:
+		return fmt.Errorf("serve: unknown op %d", mu.Op)
+	}
+	return nil
+}
+
+// coalesce collapses redundant mutations within one drained batch: only
+// the last set-radius per node survives. Dropping the earlier writes is
+// sound because intermediate states inside a batch are unobservable
+// (snapshots publish at batch boundaries only), radius overrides trigger
+// no rebuilds, and the anneal step derives from positions alone. Used
+// only outside deterministic mode, where trace bytes must not depend on
+// batch boundaries.
+func coalesce(batch []Mutation) []Mutation {
+	lastSet := make(map[int64]int)
+	sets := 0
+	for i, mu := range batch {
+		if mu.Op == OpSetRadius {
+			lastSet[mu.Node] = i
+			sets++
+		}
+	}
+	if sets <= len(lastSet) {
+		return batch
+	}
+	out := batch[:0]
+	for i, mu := range batch {
+		if mu.Op == OpSetRadius && lastSet[mu.Node] != i {
+			continue
+		}
+		out = append(out, mu)
+	}
+	return out
+}
+
+// Trace format. A deterministic-mode session emits a self-contained
+// textual log:
+//
+//	rimd-trace v1 n=<n>
+//	p i=<idx> x=<x> y=<y>                   one line per initial node
+//	m seq=<s> <op fields> n=<n> max=<max>   one line per processed op
+//
+// Applied op fields are, by kind,
+//
+//	add id=<id> x=<x> y=<y>
+//	remove id=<id>
+//	move id=<id> x=<x> y=<y>
+//	set id=<id> r=<r>
+//	anneal iters=<k> seed=<s>
+//
+// and a mutation targeting a nonexistent node keeps its slot as
+// "reject <op fields>", so replays stay aligned with the recorded
+// decision sequence. Floats use strconv's shortest round-trip form, which
+// makes the format byte-stable under parse/format cycles.
+
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// formatOp renders the op-specific fields of a trace line.
+func formatOp(mu Mutation) string {
+	switch mu.Op {
+	case OpAdd:
+		return fmt.Sprintf("add id=%d x=%s y=%s", mu.Node, ftoa(mu.X), ftoa(mu.Y))
+	case OpRemove:
+		return fmt.Sprintf("remove id=%d", mu.Node)
+	case OpMove:
+		return fmt.Sprintf("move id=%d x=%s y=%s", mu.Node, ftoa(mu.X), ftoa(mu.Y))
+	case OpSetRadius:
+		return fmt.Sprintf("set id=%d r=%s", mu.Node, ftoa(mu.R))
+	case OpAnneal:
+		return fmt.Sprintf("anneal iters=%d seed=%d", mu.Iters, mu.Seed)
+	}
+	return "unknown"
+}
+
+// traceHeader renders the instance preamble.
+func traceHeader(pts []geom.Point) []string {
+	lines := make([]string, 0, len(pts)+1)
+	lines = append(lines, fmt.Sprintf("rimd-trace v1 n=%d", len(pts)))
+	for i, p := range pts {
+		lines = append(lines, fmt.Sprintf("p i=%d x=%s y=%s", i, ftoa(p.X), ftoa(p.Y)))
+	}
+	return lines
+}
+
+// ParseTrace recovers the initial instance and the mutation sequence from
+// trace text. Rejected ops are returned like applied ones — re-executing
+// them through a fresh pipeline reproduces the same rejections, which is
+// what keeps replay byte-identical. Lines starting with '#' are ignored.
+func ParseTrace(text string) (pts []geom.Point, ops []Mutation, err error) {
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "rimd-trace v1 ") {
+		return nil, nil, fmt.Errorf("serve: not a rimd-trace v1 header: %q", first(lines))
+	}
+	for no, line := range lines[1:] {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		kv, verb, rejected, perr := parseFields(fields)
+		if perr != nil {
+			return nil, nil, fmt.Errorf("serve: trace line %d: %w", no+2, perr)
+		}
+		switch {
+		case fields[0] == "p":
+			pts = append(pts, geom.Pt(kv["x"], kv["y"]))
+		case fields[0] == "m":
+			mu, merr := opFromTrace(verb, kv, rejected)
+			if merr != nil {
+				return nil, nil, fmt.Errorf("serve: trace line %d: %w", no+2, merr)
+			}
+			ops = append(ops, mu)
+		default:
+			return nil, nil, fmt.Errorf("serve: trace line %d: unknown record %q", no+2, fields[0])
+		}
+	}
+	return pts, ops, nil
+}
+
+func first(lines []string) string {
+	if len(lines) == 0 {
+		return ""
+	}
+	return lines[0]
+}
+
+// parseFields splits a trace line's tokens into key=value pairs plus the
+// op verb (the first bare token after the record tag, skipping "reject").
+func parseFields(fields []string) (kv map[string]float64, verb string, rejected bool, err error) {
+	kv = make(map[string]float64)
+	for _, tok := range fields[1:] {
+		k, v, isKV := strings.Cut(tok, "=")
+		if !isKV {
+			if tok == "reject" {
+				rejected = true
+			} else if verb == "" {
+				verb = tok
+			}
+			continue
+		}
+		f, perr := strconv.ParseFloat(v, 64)
+		if perr != nil {
+			return nil, "", false, fmt.Errorf("bad value %q: %v", tok, perr)
+		}
+		kv[k] = f
+	}
+	return kv, verb, rejected, nil
+}
+
+func opFromTrace(verb string, kv map[string]float64, rejected bool) (Mutation, error) {
+	op, ok := opFromString(verb)
+	if !ok {
+		return Mutation{}, fmt.Errorf("unknown op %q", verb)
+	}
+	_ = rejected // rejection is an outcome, not an input; replays re-derive it
+	mu := Mutation{Op: op, Node: int64(kv["id"])}
+	switch op {
+	case OpAdd, OpMove:
+		mu.X, mu.Y = kv["x"], kv["y"]
+	case OpSetRadius:
+		mu.R = kv["r"]
+	case OpAnneal:
+		mu.Iters = int(kv["iters"])
+		mu.Seed = int64(kv["seed"])
+	}
+	return mu, nil
+}

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Hand-rolled Prometheus-text-format instrumentation: counters,
+// histograms, and scrape-time per-session gauges, with no dependency
+// beyond the standard library (the container bakes in no client_golang).
+// Only the subset the daemon needs is implemented — monotonic counters,
+// fixed-bucket histograms, and gauges computed at scrape time.
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram. Observe is lock-free;
+// the rendered sum is maintained by CAS on float bits.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf implicit
+	counts []atomic.Int64
+	sum    atomic.Uint64 // math.Float64bits
+	n      atomic.Int64
+}
+
+// NewHistogram builds a histogram over ascending upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+x)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// write renders the histogram in Prometheus text format.
+func (h *Histogram) write(w io.Writer, name string) {
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, ftoa(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, ftoa(h.Sum()))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.n.Load())
+}
+
+// Metrics is the daemon's metric set. Counters and histograms are updated
+// on the hot paths; per-session gauges (queue depth, snapshot age, size)
+// are computed at scrape time from the live session table.
+type Metrics struct {
+	SessionsCreated Counter
+	Enqueued        Counter
+	QueueFull       Counter
+	Batches         Counter
+	Rebuilds        Counter
+	ApplyPanics     Counter
+
+	BatchSize    *Histogram
+	ApplyLatency *Histogram
+
+	httpMu   sync.Mutex
+	httpReqs map[string]int64 // `route,code` -> count
+}
+
+// NewMetrics builds the metric set with the daemon's bucket layouts.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		BatchSize:    NewHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+		ApplyLatency: NewHistogram(1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1),
+		httpReqs:     make(map[string]int64),
+	}
+}
+
+// IncHTTP counts one served request by route and status code.
+func (mx *Metrics) IncHTTP(route string, code int) {
+	key := route + "," + strconv.Itoa(code)
+	mx.httpMu.Lock()
+	mx.httpReqs[key]++
+	mx.httpMu.Unlock()
+}
+
+// WriteMetrics renders the full Prometheus text exposition: process-wide
+// counters and histograms plus per-session gauges, in deterministic
+// order.
+func (m *Manager) WriteMetrics(w io.Writer) {
+	mx := m.metrics
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("rimd_sessions_created_total", "Sessions created since start.", mx.SessionsCreated.Value())
+	counter("rimd_mutations_enqueued_total", "Mutations accepted into session queues.", mx.Enqueued.Value())
+	counter("rimd_queue_full_total", "Apply calls refused with backpressure.", mx.QueueFull.Value())
+	counter("rimd_batches_total", "Mutation batches applied.", mx.Batches.Value())
+	counter("rimd_rebuilds_total", "Full topology rebuilds across all sessions.", mx.Rebuilds.Value())
+	counter("rimd_apply_panics_total", "Mutations contained after an engine panic.", mx.ApplyPanics.Value())
+
+	sessions := m.liveSessions()
+	var applied, rejected int64
+	for _, s := range sessions {
+		a, r := s.Counts()
+		applied += a
+		rejected += r
+	}
+	counter("rimd_mutations_applied_total", "Mutations applied across live sessions.", applied)
+	counter("rimd_mutations_rejected_total", "Mutations rejected (unknown node, contained panic).", rejected)
+
+	fmt.Fprintf(w, "# HELP rimd_http_requests_total Served HTTP requests.\n# TYPE rimd_http_requests_total counter\n")
+	mx.httpMu.Lock()
+	keys := make([]string, 0, len(mx.httpReqs))
+	for k := range mx.httpReqs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		route, code, _ := cut2(k)
+		fmt.Fprintf(w, "rimd_http_requests_total{route=%q,code=%q} %d\n", route, code, mx.httpReqs[k])
+	}
+	mx.httpMu.Unlock()
+
+	fmt.Fprintf(w, "# HELP rimd_batch_size Mutations per applied batch.\n# TYPE rimd_batch_size histogram\n")
+	mx.BatchSize.write(w, "rimd_batch_size")
+	fmt.Fprintf(w, "# HELP rimd_apply_latency_seconds Batch apply latency.\n# TYPE rimd_apply_latency_seconds histogram\n")
+	mx.ApplyLatency.write(w, "rimd_apply_latency_seconds")
+
+	fmt.Fprintf(w, "# HELP rimd_sessions Live sessions.\n# TYPE rimd_sessions gauge\nrimd_sessions %d\n", len(sessions))
+	gauge := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+	gauge("rimd_queue_depth", "Pending mutations per session.")
+	for _, s := range sessions {
+		fmt.Fprintf(w, "rimd_queue_depth{session=%q} %d\n", s.id, s.QueueDepth())
+	}
+	gauge("rimd_snapshot_age_seconds", "Age of the published snapshot per session.")
+	for _, s := range sessions {
+		fmt.Fprintf(w, "rimd_snapshot_age_seconds{session=%q} %s\n", s.id, ftoa(s.Snapshot().Age().Seconds()))
+	}
+	gauge("rimd_session_seq", "Mutation-log prefix length per session.")
+	for _, s := range sessions {
+		fmt.Fprintf(w, "rimd_session_seq{session=%q} %d\n", s.id, s.Snapshot().Seq)
+	}
+	gauge("rimd_session_nodes", "Instance size per session.")
+	for _, s := range sessions {
+		fmt.Fprintf(w, "rimd_session_nodes{session=%q} %d\n", s.id, s.Snapshot().N)
+	}
+	gauge("rimd_session_interference", "Maintained I(G') per session.")
+	for _, s := range sessions {
+		fmt.Fprintf(w, "rimd_session_interference{session=%q} %d\n", s.id, s.Snapshot().Max)
+	}
+}
+
+func cut2(key string) (route, code string, ok bool) {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == ',' {
+			return key[:i], key[i+1:], true
+		}
+	}
+	return key, "", false
+}

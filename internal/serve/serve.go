@@ -1,0 +1,280 @@
+// Package serve is the concurrent topology-control service layered on the
+// incremental interference engine: the long-lived, many-client front door
+// the one-shot CLIs lack.
+//
+// # Architecture
+//
+// A Session is one network instance — a dynamic.Maintainer owning a
+// core.Evaluator — identified by a client-chosen string ID and holding a
+// stable external node-ID space (engine indices shift on removal; session
+// IDs never do). Sessions are sharded across a fixed pool of worker
+// goroutines by session ID, and each session's mutations flow through a
+// single-writer pipeline:
+//
+//   - clients enqueue mutations (add/remove/move node, set radius, run an
+//     anneal step budget) into the session's bounded queue; a full queue
+//     reports ErrQueueFull, which the HTTP layer maps to 429 with
+//     Retry-After — explicit backpressure instead of unbounded buffering;
+//   - the session's shard drains the queue in batches (coalescing
+//     redundant same-node radius writes outside deterministic mode) and
+//     applies them on its own goroutine — the session's only writer, so
+//     the engine needs no locks;
+//   - after every batch the owner exports the engine state into an
+//     immutable Snapshot and publishes it with one atomic pointer swap.
+//
+// Readers never block the writer and never see a torn state: every query
+// is answered from the latest published snapshot, which reflects a prefix
+// of the session's mutation log (all mutations up to Snapshot.Seq,
+// nothing after).
+//
+// # Determinism
+//
+// With Config.Deterministic a session records every applied mutation as
+// one line of a textual trace (initial instance included, coalescing
+// disabled). The trace is self-contained: ParseTrace recovers the
+// instance and the exact mutation sequence, so a recorded session can be
+// re-executed through a fresh pipeline — byte-identically, checkable with
+// oracle.ReplayText — or through a pipeline whose engine is the oracle's
+// naive-shadowed DiffEvaluator, inheriting the differential-testing
+// guarantees of the correctness layer.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/dynamic"
+	"repro/internal/geom"
+)
+
+// Service errors. The HTTP layer maps them onto status codes.
+var (
+	ErrClosed        = errors.New("serve: manager closed")
+	ErrSessionClosed = errors.New("serve: session closed")
+	ErrSessionExists = errors.New("serve: session already exists")
+	ErrNoSession     = errors.New("serve: no such session")
+	ErrQueueFull     = errors.New("serve: mutation queue full")
+)
+
+// Config parameterizes a Manager. The zero value selects sane defaults.
+type Config struct {
+	// Shards is the number of worker goroutines; sessions are assigned by
+	// ID hash. <= 0 selects min(GOMAXPROCS, 8).
+	Shards int
+	// QueueCap bounds each session's pending-mutation queue; <= 0 means
+	// 1024. A full queue is backpressure, not an error to retry blindly.
+	QueueCap int
+	// BatchCap bounds how many mutations one batch applies before
+	// publishing a snapshot; <= 0 means 256.
+	BatchCap int
+	// Deterministic records a replayable per-session mutation trace and
+	// disables batch coalescing (so trace bytes are independent of batch
+	// boundaries).
+	Deterministic bool
+	// TraceCap bounds the retained trace lines per session via a ring
+	// buffer (sim.TraceBuffer); <= 0 retains everything. Replay requires
+	// an uncapped (or never-overflowed) trace.
+	TraceCap int
+	// RebuildFactor is passed to dynamic.Maintainer; 0 means its default.
+	RebuildFactor float64
+	// MaxAnnealIters caps the per-mutation anneal budget; <= 0 means
+	// 100_000. Larger requests are rejected at enqueue time.
+	MaxAnnealIters int
+	// MaxCoord bounds |x| and |y| of every node coordinate; <= 0 means
+	// 1024. The engine's spatial index allocates cells over the instance's
+	// bounding box, so one far-flung coordinate would balloon memory — the
+	// service rejects such instances and mutations up front.
+	MaxCoord float64
+	// Engine overrides the evaluator engine factory (nil selects the
+	// production core.Evaluator). Tests inject oracle.NewDiffEvaluator
+	// here to shadow-check a whole serving pipeline.
+	Engine dynamic.EngineFactory
+	// BeforeBatch and AfterBatch are debug/verification hooks called on
+	// the owner goroutine around every batch (nil to disable). AfterBatch
+	// receives the session's engine — a replay harness casts it to the
+	// oracle's DiffEvaluator and verifies.
+	BeforeBatch func(sessionID string)
+	AfterBatch  func(sessionID string, eng dynamic.Engine)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = min(runtime.GOMAXPROCS(0), 8)
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1024
+	}
+	if c.BatchCap <= 0 {
+		c.BatchCap = 256
+	}
+	if c.MaxAnnealIters <= 0 {
+		c.MaxAnnealIters = 100_000
+	}
+	if c.MaxCoord <= 0 {
+		c.MaxCoord = 1024
+	}
+	return c
+}
+
+// Manager owns the shard pool and the session table.
+type Manager struct {
+	cfg     Config
+	metrics *Metrics
+	shards  []*shard
+	wg      sync.WaitGroup
+
+	mu       sync.RWMutex
+	sessions map[string]*Session
+	closed   bool
+}
+
+// NewManager starts the shard pool and returns an empty manager.
+func NewManager(cfg Config) *Manager {
+	m := &Manager{
+		cfg:      cfg.withDefaults(),
+		metrics:  NewMetrics(),
+		sessions: make(map[string]*Session),
+	}
+	m.shards = make([]*shard, m.cfg.Shards)
+	for i := range m.shards {
+		m.shards[i] = newShard()
+		m.wg.Add(1)
+		go m.shards[i].loop(&m.wg)
+	}
+	return m
+}
+
+// Config returns the manager's effective (defaulted) configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Metrics returns the manager's metric set.
+func (m *Manager) Metrics() *Metrics { return m.metrics }
+
+// shardFor deterministically assigns a session ID to a shard.
+func (m *Manager) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return m.shards[h.Sum32()%uint32(len(m.shards))]
+}
+
+// CreateSession builds a session over the initial instance and registers
+// it. Construction (greedy topology + engine build) runs on the caller;
+// the session is readable immediately (its initial snapshot is published
+// before return) and writable through Apply.
+func (m *Manager) CreateSession(id string, pts []geom.Point) (*Session, error) {
+	if id == "" {
+		return nil, fmt.Errorf("serve: empty session id")
+	}
+	for i, p := range pts {
+		if err := checkCoord(p.X, p.Y, m.cfg.MaxCoord); err != nil {
+			return nil, fmt.Errorf("serve: point %d: %w", i, err)
+		}
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, dup := m.sessions[id]; dup {
+		m.mu.Unlock()
+		return nil, ErrSessionExists
+	}
+	// Reserve the ID while the (potentially slow) construction runs
+	// outside the lock.
+	m.sessions[id] = nil
+	m.mu.Unlock()
+
+	s := newSession(m, id, pts)
+
+	m.mu.Lock()
+	m.sessions[id] = s
+	m.mu.Unlock()
+	m.metrics.SessionsCreated.Add(1)
+	return s, nil
+}
+
+// Session looks up a registered session.
+func (m *Manager) Session(id string) (*Session, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s, ok := m.sessions[id]
+	return s, ok && s != nil
+}
+
+// SessionIDs returns the registered session IDs, sorted.
+func (m *Manager) SessionIDs() []string {
+	m.mu.RLock()
+	ids := make([]string, 0, len(m.sessions))
+	for id, s := range m.sessions {
+		if s != nil {
+			ids = append(ids, id)
+		}
+	}
+	m.mu.RUnlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// liveSessions returns the registered sessions, sorted by ID (for
+// deterministic metrics output and drain order).
+func (m *Manager) liveSessions() []*Session {
+	m.mu.RLock()
+	out := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	m.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// DropSession closes a session (further Apply calls fail) and removes it
+// from the table. Mutations already queued are still applied by the
+// owner; they just become unobservable once every snapshot holder lets
+// go.
+func (m *Manager) DropSession(id string) error {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if !ok || s == nil {
+		m.mu.Unlock()
+		return ErrNoSession
+	}
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	s.close()
+	return nil
+}
+
+// Close drains and stops the manager: no new sessions or mutations are
+// accepted, every queued mutation is applied, then the shard pool exits.
+// On ctx expiry the pool is stopped anyway (dropping whatever is still
+// queued) and the context error is returned — the graceful-drain path of
+// a SIGTERM handler with a deadline.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+
+	sessions := m.liveSessions()
+	for _, s := range sessions {
+		s.close()
+	}
+	var err error
+	for _, s := range sessions {
+		if err = s.Flush(ctx); err != nil {
+			break
+		}
+	}
+	for _, sh := range m.shards {
+		sh.stop()
+	}
+	m.wg.Wait()
+	return err
+}

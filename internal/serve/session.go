@@ -1,0 +1,367 @@
+package serve
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// Session is one network instance behind the pipeline: a
+// dynamic.Maintainer (owning the incremental evaluator) plus the stable
+// external node-ID space, a bounded mutation queue, and the published
+// snapshot. All engine state is touched only by the owning shard's
+// goroutine; clients interact through Apply/Flush/Snapshot.
+type Session struct {
+	id  string
+	mgr *Manager
+	sh  *shard
+	det bool
+
+	mu        sync.Mutex
+	cond      *sync.Cond // signaled when the queue fully drains
+	queue     []Mutation
+	scheduled bool // in the shard's runq or mid-batch
+	closed    bool
+	nextID    int64
+
+	// Owner-only state (shard goroutine).
+	mt      *dynamic.Maintainer
+	idOf    []int64       // engine index -> external ID
+	idxOf   map[int64]int // external ID -> engine index
+	seq     uint64
+	scratch *core.State // reused export buffer; snapshots copy out of it
+
+	header []string // deterministic mode: instance preamble
+	ops    *sim.TraceBuffer
+
+	snap     atomic.Pointer[Snapshot]
+	applied  atomic.Int64
+	rejected atomic.Int64
+}
+
+func newSession(m *Manager, id string, pts []geom.Point) *Session {
+	s := &Session{
+		id:     id,
+		mgr:    m,
+		sh:     m.shardFor(id),
+		det:    m.cfg.Deterministic,
+		nextID: int64(len(pts)),
+		idOf:   make([]int64, len(pts)),
+		idxOf:  make(map[int64]int, len(pts)),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := range pts {
+		s.idOf[i] = int64(i)
+		s.idxOf[int64(i)] = i
+	}
+	if s.det {
+		s.header = traceHeader(pts)
+		s.ops = &sim.TraceBuffer{Cap: m.cfg.TraceCap}
+	}
+	s.mt = dynamic.NewWithEngine(pts, m.cfg.RebuildFactor, m.cfg.Engine)
+	s.mt.OnEvent = func(ev dynamic.Event) {
+		if ev.Kind == dynamic.EventRebuild {
+			m.metrics.Rebuilds.Add(1)
+		}
+	}
+	s.publish()
+	return s
+}
+
+// ID returns the session's identifier.
+func (s *Session) ID() string { return s.id }
+
+// Snapshot returns the latest published state — one atomic load, never
+// blocking the writer. The result is immutable and always non-nil.
+func (s *Session) Snapshot() *Snapshot { return s.snap.Load() }
+
+// QueueDepth reports the pending-mutation count (metrics/backpressure
+// introspection; racy by nature).
+func (s *Session) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Counts reports processed mutations: applied and rejected.
+func (s *Session) Counts() (applied, rejected int64) {
+	return s.applied.Load(), s.rejected.Load()
+}
+
+// Apply validates and enqueues mutations, all or nothing, and returns the
+// IDs assigned to OpAdd mutations (in order). ErrQueueFull means the
+// bounded queue cannot take the whole batch — backpressure the caller
+// must respond to (the HTTP layer answers 429 + Retry-After).
+func (s *Session) Apply(muts ...Mutation) ([]int64, error) {
+	if len(muts) == 0 {
+		return nil, nil
+	}
+	for _, mu := range muts {
+		if err := mu.validate(s.mgr.cfg.MaxAnnealIters, s.mgr.cfg.MaxCoord); err != nil {
+			return nil, err
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrSessionClosed
+	}
+	if len(s.queue)+len(muts) > s.mgr.cfg.QueueCap {
+		s.mu.Unlock()
+		s.mgr.metrics.QueueFull.Add(1)
+		return nil, ErrQueueFull
+	}
+	var ids []int64
+	for i := range muts {
+		if muts[i].Op == OpAdd {
+			if muts[i].Node < 0 {
+				muts[i].Node = s.nextID
+				s.nextID++
+			} else if muts[i].Node >= s.nextID { // replayed forced ID
+				s.nextID = muts[i].Node + 1
+			}
+			ids = append(ids, muts[i].Node)
+		}
+	}
+	s.queue = append(s.queue, muts...)
+	sched := !s.scheduled
+	s.scheduled = true
+	s.mu.Unlock()
+	if sched {
+		s.sh.schedule(s)
+	}
+	s.mgr.metrics.Enqueued.Add(int64(len(muts)))
+	return ids, nil
+}
+
+// Flush blocks until every queued mutation has been applied and the
+// resulting snapshot published. A nil ctx waits indefinitely.
+func (s *Session) Flush(ctx context.Context) error {
+	if ctx != nil {
+		stop := context.AfterFunc(ctx, func() {
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		})
+		defer stop()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) > 0 || s.scheduled {
+		if ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		s.cond.Wait()
+	}
+	return nil
+}
+
+// close rejects future Apply calls; queued mutations still drain.
+func (s *Session) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+// TraceText renders the deterministic-mode trace: the instance preamble
+// plus every processed-op line. Outside deterministic mode it returns
+// "". When the ring buffer has evicted lines, a '#'-comment records the
+// count (such a trace is no longer replayable from the beginning — the
+// guard that keeps soak sessions from OOMing the daemon).
+func (s *Session) TraceText() string {
+	if !s.det {
+		return ""
+	}
+	var sb strings.Builder
+	for _, l := range s.header {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	if d := s.ops.Dropped(); d > 0 {
+		sb.WriteString("# ring cap evicted ")
+		sb.WriteString(strconv.FormatInt(d, 10))
+		sb.WriteString(" lines\n")
+	}
+	sb.WriteString(s.ops.String())
+	return sb.String()
+}
+
+// runBatch is the owner-side pipeline step: drain up to BatchCap
+// mutations, coalesce (non-deterministic mode), apply, publish one
+// snapshot, reschedule if more arrived meanwhile.
+func (s *Session) runBatch() {
+	cfg, mx := &s.mgr.cfg, s.mgr.metrics
+	if cfg.BeforeBatch != nil {
+		cfg.BeforeBatch(s.id)
+	}
+	s.mu.Lock()
+	n := min(len(s.queue), cfg.BatchCap)
+	batch := append([]Mutation(nil), s.queue[:n]...)
+	rest := copy(s.queue, s.queue[n:])
+	s.queue = s.queue[:rest]
+	s.mu.Unlock()
+
+	if !s.det {
+		batch = coalesce(batch)
+	}
+	t0 := time.Now()
+	for i := range batch {
+		s.applyOne(batch[i])
+	}
+	s.publish()
+	mx.Batches.Add(1)
+	mx.BatchSize.Observe(float64(len(batch)))
+	mx.ApplyLatency.Observe(time.Since(t0).Seconds())
+	if cfg.AfterBatch != nil {
+		cfg.AfterBatch(s.id, s.mt.Engine())
+	}
+
+	s.mu.Lock()
+	more := len(s.queue) > 0
+	if !more {
+		s.scheduled = false
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	if more {
+		s.sh.schedule(s)
+	}
+}
+
+// applyOne executes a single mutation against the maintainer, translating
+// external IDs to engine indices. Mutations addressing IDs that no longer
+// exist are rejected (recorded, counted, otherwise a no-op); an
+// unexpected engine panic is contained the same way so one poisoned
+// mutation cannot take the daemon down.
+func (s *Session) applyOne(mu Mutation) {
+	ok := true
+	defer func() {
+		if p := recover(); p != nil {
+			s.mgr.metrics.ApplyPanics.Add(1)
+			ok = false
+		}
+		s.seq++
+		if ok {
+			s.applied.Add(1)
+		} else {
+			s.rejected.Add(1)
+		}
+		s.trace(mu, ok)
+	}()
+
+	switch mu.Op {
+	case OpAdd:
+		if _, dup := s.idxOf[mu.Node]; dup { // forced-ID collision (bad replay input)
+			ok = false
+			return
+		}
+		s.insert(mu.Node, geom.Pt(mu.X, mu.Y))
+	case OpRemove:
+		idx, found := s.idxOf[mu.Node]
+		if !found {
+			ok = false
+			return
+		}
+		s.mt.Remove(idx)
+		s.dropID(mu.Node, idx)
+	case OpMove:
+		idx, found := s.idxOf[mu.Node]
+		if !found {
+			ok = false
+			return
+		}
+		s.mt.Remove(idx)
+		s.dropID(mu.Node, idx)
+		s.insert(mu.Node, geom.Pt(mu.X, mu.Y))
+	case OpSetRadius:
+		idx, found := s.idxOf[mu.Node]
+		if !found {
+			ok = false
+			return
+		}
+		s.mt.SetRadius(idx, mu.R)
+	case OpAnneal:
+		s.mt.Anneal(mu.Seed, mu.Iters)
+	}
+}
+
+func (s *Session) insert(id int64, p geom.Point) {
+	idx := s.mt.Insert(p)
+	s.idOf = append(s.idOf, id)
+	s.idxOf[id] = idx
+}
+
+// dropID removes id's mapping and shifts the indices above idx down by
+// one, mirroring the engine's slice semantics.
+func (s *Session) dropID(id int64, idx int) {
+	delete(s.idxOf, id)
+	s.idOf = append(s.idOf[:idx], s.idOf[idx+1:]...)
+	for i := idx; i < len(s.idOf); i++ {
+		s.idxOf[s.idOf[i]] = i
+	}
+}
+
+// trace records one processed-op line in deterministic mode.
+func (s *Session) trace(mu Mutation, applied bool) {
+	if !s.det {
+		return
+	}
+	eng := s.mt.Engine()
+	var sb strings.Builder
+	sb.WriteString("m seq=")
+	sb.WriteString(strconv.FormatUint(s.seq, 10))
+	sb.WriteByte(' ')
+	if !applied {
+		sb.WriteString("reject ")
+	}
+	sb.WriteString(formatOp(mu))
+	sb.WriteString(" n=")
+	sb.WriteString(strconv.Itoa(eng.N()))
+	sb.WriteString(" max=")
+	sb.WriteString(strconv.Itoa(eng.Max()))
+	s.ops.Append(sb.String())
+}
+
+// publish exports the engine state into a fresh immutable snapshot and
+// swaps it in. The export itself reuses an owner-only scratch buffer; only
+// the snapshot's own node/edge slices are freshly allocated (readers keep
+// references to them indefinitely).
+func (s *Session) publish() {
+	st := s.mt.Engine().ExportState(s.scratch)
+	s.scratch = st
+	nodes := make([]NodeState, st.N())
+	sum := 0
+	for i := range nodes {
+		nodes[i] = NodeState{ID: s.idOf[i], X: st.Points[i].X, Y: st.Points[i].Y, R: st.Radii[i], I: st.I[i]}
+		sum += st.I[i]
+	}
+	avg := 0.0
+	if st.N() > 0 {
+		avg = float64(sum) / float64(st.N())
+	}
+	topo := s.mt.Topology()
+	edges := make([][2]int64, 0, topo.M())
+	for _, e := range topo.Edges() {
+		edges = append(edges, [2]int64{s.idOf[e.U], s.idOf[e.V]})
+	}
+	s.snap.Store(&Snapshot{
+		Session:  s.id,
+		Seq:      s.seq,
+		N:        st.N(),
+		Max:      st.Max,
+		Avg:      avg,
+		Nodes:    nodes,
+		Edges:    edges,
+		Events:   s.mt.Events(),
+		Rebuilds: s.mt.Rebuilds(),
+		BuiltAt:  time.Now(),
+	})
+}

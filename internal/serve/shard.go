@@ -1,0 +1,61 @@
+package serve
+
+import "sync"
+
+// shard is one worker of the pool: a run queue of sessions with pending
+// mutations and the goroutine that drains them. A session appears in at
+// most one shard (by ID hash) and at most once in its run queue (the
+// session's scheduled flag), so every session has exactly one writer.
+type shard struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	runq    []*Session
+	stopped bool
+}
+
+func newShard() *shard {
+	sh := &shard{}
+	sh.cond = sync.NewCond(&sh.mu)
+	return sh
+}
+
+// schedule queues a session for a batch application. Called with the
+// session's scheduled flag freshly set, so a session is never queued
+// twice. After stop, scheduling is a no-op (drain has already flushed
+// every queue that matters).
+func (sh *shard) schedule(s *Session) {
+	sh.mu.Lock()
+	if !sh.stopped {
+		sh.runq = append(sh.runq, s)
+		sh.cond.Signal()
+	}
+	sh.mu.Unlock()
+}
+
+// stop makes the loop exit once the run queue is empty.
+func (sh *shard) stop() {
+	sh.mu.Lock()
+	sh.stopped = true
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+}
+
+// loop pops sessions and applies one batch each — round-robin across the
+// shard's sessions, so one hot session cannot starve its neighbors.
+func (sh *shard) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		sh.mu.Lock()
+		for len(sh.runq) == 0 && !sh.stopped {
+			sh.cond.Wait()
+		}
+		if len(sh.runq) == 0 && sh.stopped {
+			sh.mu.Unlock()
+			return
+		}
+		s := sh.runq[0]
+		sh.runq = sh.runq[1:]
+		sh.mu.Unlock()
+		s.runBatch()
+	}
+}

@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"time"
+)
+
+// NodeState is one node's view in a snapshot, keyed by stable external
+// ID.
+type NodeState struct {
+	ID int64   `json:"id"`
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+	R  float64 `json:"r"`
+	I  int     `json:"i"`
+}
+
+// Snapshot is the immutable, atomically-published view of a session's
+// state. Consistency model: a snapshot reflects exactly the first Seq
+// mutations of the session's log — every reader sees a prefix, never a
+// torn batch. Holders must treat all fields as read-only.
+type Snapshot struct {
+	Session  string
+	Seq      uint64 // mutations processed (applied + rejected) when built
+	N        int
+	Max      int     // I(G') of the maintained topology
+	Avg      float64 // mean per-node interference
+	Nodes    []NodeState
+	Edges    [][2]int64 // maintained topology edges, by node ID
+	Events   int        // maintainer events applied so far
+	Rebuilds int        // full rebuilds, including initial construction
+	BuiltAt  time.Time
+}
+
+// Age reports how stale the snapshot is — the /metrics snapshot-age
+// gauge. Freshly idle sessions age; that's a property of the session, not
+// a bug, but a hot session whose age grows means the writer is behind.
+func (s *Snapshot) Age() time.Duration { return time.Since(s.BuiltAt) }
+
+// Node returns the state of the node with the given ID, if present.
+// Snapshots keep nodes sorted by engine index, not ID, so this is a
+// linear scan — fine for diagnostics; bulk consumers iterate Nodes.
+func (s *Snapshot) Node(id int64) (NodeState, bool) {
+	for _, n := range s.Nodes {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	return NodeState{}, false
+}

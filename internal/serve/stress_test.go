@@ -1,0 +1,173 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/oracle"
+	"repro/internal/serve"
+)
+
+// TestStressConcurrentMixed hammers one deterministic session with
+// concurrent clients issuing a 90/10 read/mutation mix (run under -race
+// by `make check` and CI), checking snapshot invariants on every read.
+// Afterwards the recorded trace is cross-checked two ways:
+//
+//  1. replayed twice through fresh pipelines and compared byte-for-byte
+//     (oracle.ReplayText), and against the original recording;
+//  2. replayed through a pipeline whose engine is the oracle's
+//     naive-shadowed DiffEvaluator, with a full shadow verification after
+//     every batch.
+func TestStressConcurrentMixed(t *testing.T) {
+	const (
+		clients = 8
+		iters   = 300
+	)
+	mgr := serve.NewManager(serve.Config{Shards: 4, QueueCap: 4096, Deterministic: true})
+	defer mgr.Close(context.Background())
+
+	rng := rand.New(rand.NewSource(42))
+	pts := gen.UniformSquare(rng, 96, 2)
+	s := mustCreate(t, mgr, "stress", pts)
+
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + c)))
+			lastSeq := uint64(0)
+			for i := 0; i < iters; i++ {
+				if rng.Float64() < 0.9 {
+					snap := s.Snapshot()
+					// Monotonic: published snapshots never go backwards.
+					if snap.Seq < lastSeq {
+						errc <- fmt.Errorf("client %d: seq went backwards %d -> %d", c, lastSeq, snap.Seq)
+						return
+					}
+					lastSeq = snap.Seq
+					// Internally consistent: Max is the max per-node I, and
+					// the node list matches N.
+					if len(snap.Nodes) != snap.N {
+						errc <- fmt.Errorf("client %d: %d nodes in snapshot of N=%d", c, len(snap.Nodes), snap.N)
+						return
+					}
+					maxI := 0
+					for _, n := range snap.Nodes {
+						maxI = max(maxI, n.I)
+					}
+					if maxI != snap.Max {
+						errc <- fmt.Errorf("client %d: snapshot max %d != max over nodes %d", c, snap.Max, maxI)
+						return
+					}
+					continue
+				}
+				mu := randomMutation(rng, s.Snapshot())
+				for {
+					_, err := s.Apply(mu)
+					if !errors.Is(err, serve.ErrQueueFull) {
+						if err != nil {
+							errc <- err
+						}
+						break
+					}
+					time.Sleep(time.Millisecond) // backpressure: wait, resubmit
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	flush(t, s)
+
+	applied, _ := s.Counts()
+	if applied == 0 {
+		t.Fatal("stress run applied nothing")
+	}
+	recorded := s.TraceText()
+
+	// (1) Byte-identical replay, and identical to the live recording.
+	replayed, err := oracle.ReplayText(func() string { return replayTrace(t, recorded, nil, nil) })
+	if err != nil {
+		t.Fatalf("replay nondeterministic: %v", err)
+	}
+	if err := oracle.DiffText(recorded, replayed); err != nil {
+		t.Fatalf("replay diverged from live recording: %v", err)
+	}
+
+	// (2) Shadow-checked replay through the oracle's DiffEvaluator.
+	var verifyErr error
+	shadow := replayTrace(t, recorded,
+		func(pts []geom.Point) dynamic.Engine { return oracle.NewDiffEvaluator(pts) },
+		func(_ string, eng dynamic.Engine) {
+			if verifyErr == nil {
+				verifyErr = eng.(*oracle.DiffEvaluator).Verify()
+			}
+		})
+	if verifyErr != nil {
+		t.Fatalf("shadow verification failed during replay: %v", verifyErr)
+	}
+	if err := oracle.DiffText(recorded, shadow); err != nil {
+		t.Fatalf("shadow replay diverged: %v", err)
+	}
+}
+
+// randomMutation picks a mutation against currently-live IDs (reads the
+// snapshot for targets, so most ops hit; misses exercise rejection).
+func randomMutation(rng *rand.Rand, snap *serve.Snapshot) serve.Mutation {
+	pick := func() int64 {
+		if len(snap.Nodes) == 0 {
+			return 0
+		}
+		return snap.Nodes[rng.Intn(len(snap.Nodes))].ID
+	}
+	switch rng.Intn(10) {
+	case 0, 1, 2:
+		return serve.Add(rng.Float64()*2, rng.Float64()*2)
+	case 3, 4:
+		return serve.Remove(pick())
+	case 5, 6:
+		return serve.Move(pick(), rng.Float64()*2, rng.Float64()*2)
+	case 7, 8:
+		return serve.SetRadius(pick(), rng.Float64()*1.5)
+	default:
+		return serve.AnnealStep(50+rng.Intn(50), rng.Int63n(1<<30))
+	}
+}
+
+// replayTrace re-executes a recorded session trace through a fresh
+// single-shard deterministic pipeline and returns the new trace.
+func replayTrace(t *testing.T, text string, engine dynamic.EngineFactory, after func(string, dynamic.Engine)) string {
+	t.Helper()
+	pts, ops, err := serve.ParseTrace(text)
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	mgr := serve.NewManager(serve.Config{
+		Shards: 1, QueueCap: 4096, Deterministic: true,
+		Engine: engine, AfterBatch: after,
+	})
+	defer mgr.Close(context.Background())
+	s := mustCreate(t, mgr, "stress", pts)
+	for len(ops) > 0 {
+		n := min(len(ops), 1024)
+		if _, err := s.Apply(ops[:n]...); err != nil {
+			t.Fatalf("replay apply: %v", err)
+		}
+		flush(t, s)
+		ops = ops[n:]
+	}
+	return s.TraceText()
+}

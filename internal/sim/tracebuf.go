@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// TraceBuffer is an in-memory Tracer with an optional ring-buffer cap, so
+// a long-running process (the rimd daemon with deterministic tracing left
+// on, a soak test) retains the most recent Cap lines instead of growing
+// without bound. Cap <= 0 keeps every line — the faithful-recording mode
+// the replay oracles want.
+//
+// Lines are stored in event order. When the cap is exceeded the oldest
+// lines are dropped and counted; String and Lines return only the
+// retained suffix. Unlike WriterTracer, TraceBuffer is safe for one
+// writer plus concurrent readers (the daemon's owner goroutine appends
+// while HTTP scrapes read).
+type TraceBuffer struct {
+	// Cap bounds the number of retained lines; <= 0 means unlimited. Set
+	// before the first event and leave unchanged.
+	Cap int
+
+	mu      sync.Mutex
+	lines   []string
+	start   int // ring head when len(lines) == Cap
+	dropped int64
+}
+
+// Append records one raw line (no trailing newline), evicting the oldest
+// retained line once the cap is reached.
+func (tb *TraceBuffer) Append(line string) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if tb.Cap > 0 && len(tb.lines) == tb.Cap {
+		tb.lines[tb.start] = line
+		tb.start = (tb.start + 1) % tb.Cap
+		tb.dropped++
+		return
+	}
+	tb.lines = append(tb.lines, line)
+}
+
+// Len returns the number of retained lines.
+func (tb *TraceBuffer) Len() int {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return len(tb.lines)
+}
+
+// Dropped returns how many lines the ring evicted.
+func (tb *TraceBuffer) Dropped() int64 {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return tb.dropped
+}
+
+// Lines returns a copy of the retained lines in event order.
+func (tb *TraceBuffer) Lines() []string {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	out := make([]string, 0, len(tb.lines))
+	out = append(out, tb.lines[tb.start:]...)
+	out = append(out, tb.lines[:tb.start]...)
+	return out
+}
+
+// String renders the retained lines newline-terminated, matching what a
+// WriterTracer would have written for the same suffix of events.
+func (tb *TraceBuffer) String() string {
+	lines := tb.Lines()
+	if len(lines) == 0 {
+		return ""
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// Reset discards all retained lines and the drop count.
+func (tb *TraceBuffer) Reset() {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.lines = tb.lines[:0]
+	tb.start = 0
+	tb.dropped = 0
+}
+
+// OnTx implements Tracer with WriterTracer's line format.
+func (tb *TraceBuffer) OnTx(slot int64, from, to int, frame int64, outcome string) {
+	tb.Append(fmt.Sprintf("t=%d tx %d->%d frame=%d %s", slot, from, to, frame, outcome))
+}
+
+// OnDeliver implements Tracer.
+func (tb *TraceBuffer) OnDeliver(slot int64, frame int64, src, dst int, hops int) {
+	tb.Append(fmt.Sprintf("t=%d deliver frame=%d %d=>%d hops=%d", slot, frame, src, dst, hops))
+}
+
+// OnDrop implements Tracer.
+func (tb *TraceBuffer) OnDrop(slot int64, frame int64, reason string) {
+	tb.Append(fmt.Sprintf("t=%d drop frame=%d %s", slot, frame, reason))
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceBufferUncappedMatchesWriter(t *testing.T) {
+	// Same simulation, two tracers: the uncapped buffer must render
+	// byte-identically to WriterTracer.
+	run := func(tr Tracer) {
+		nw := lineNetwork(3, 0.5)
+		cfg := DefaultConfig()
+		cfg.Slots = 200
+		cfg.P = 1
+		s := New(nw, cfg)
+		s.SetTracer(tr)
+		s.Schedule(0, func() { s.Inject(0, 2); s.Inject(2, 0) })
+		s.Run()
+	}
+	var sb strings.Builder
+	run(&WriterTracer{W: &sb})
+	tb := &TraceBuffer{}
+	run(tb)
+	if tb.String() != sb.String() {
+		t.Errorf("buffer render diverges from WriterTracer:\n%q\nvs\n%q", tb.String(), sb.String())
+	}
+	if tb.Dropped() != 0 {
+		t.Errorf("uncapped buffer dropped %d", tb.Dropped())
+	}
+}
+
+func TestTraceBufferRingEviction(t *testing.T) {
+	tb := &TraceBuffer{Cap: 3}
+	for i := 0; i < 10; i++ {
+		tb.Append(fmt.Sprintf("line %d", i))
+	}
+	if tb.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tb.Len())
+	}
+	if tb.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", tb.Dropped())
+	}
+	want := []string{"line 7", "line 8", "line 9"}
+	got := tb.Lines()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lines = %v, want %v", got, want)
+		}
+	}
+	if tb.String() != "line 7\nline 8\nline 9\n" {
+		t.Fatalf("string = %q", tb.String())
+	}
+	tb.Reset()
+	if tb.Len() != 0 || tb.Dropped() != 0 || tb.String() != "" {
+		t.Fatalf("reset left state: len=%d dropped=%d", tb.Len(), tb.Dropped())
+	}
+	// Post-reset appends start a fresh window.
+	tb.Append("x")
+	if tb.String() != "x\n" {
+		t.Fatalf("post-reset string = %q", tb.String())
+	}
+}
+
+// TestTraceBufferBoundsSimTrace is the size-guard scenario: a long
+// simulation traced into a capped buffer retains exactly the cap, with the
+// overflow counted, while an unbounded recording of the same run confirms
+// the retained lines are the true suffix.
+func TestTraceBufferBoundsSimTrace(t *testing.T) {
+	run := func(tr Tracer) {
+		nw := lineNetwork(4, 0.5)
+		cfg := DefaultConfig()
+		cfg.Slots = 500
+		cfg.P = 1
+		s := New(nw, cfg)
+		s.SetTracer(tr)
+		for i := 0; i < 20; i++ {
+			slot := int64(i * 10)
+			s.Schedule(slot, func() { s.Inject(0, 3) })
+		}
+		s.Run()
+	}
+	full := &TraceBuffer{}
+	run(full)
+	capped := &TraceBuffer{Cap: 16}
+	run(capped)
+
+	if full.Len() <= 16 {
+		t.Skipf("run produced only %d lines; cap not exercised", full.Len())
+	}
+	if capped.Len() != 16 {
+		t.Fatalf("capped retained %d lines", capped.Len())
+	}
+	if want := int64(full.Len() - 16); capped.Dropped() != want {
+		t.Fatalf("dropped = %d, want %d", capped.Dropped(), want)
+	}
+	suffix := full.Lines()[full.Len()-16:]
+	for i, l := range capped.Lines() {
+		if l != suffix[i] {
+			t.Fatalf("retained line %d = %q, want suffix %q", i, l, suffix[i])
+		}
+	}
+}
+
+func TestTraceBufferConcurrentReaders(t *testing.T) {
+	tb := &TraceBuffer{Cap: 64}
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					_ = tb.String()
+					_ = tb.Len()
+					_ = tb.Dropped()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 5000; i++ {
+		tb.OnTx(int64(i), 0, 1, int64(i), "ok")
+	}
+	close(done)
+	wg.Wait()
+	if tb.Len() != 64 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+}
