@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench bench-json serve-smoke repro figures tables cover fuzz fuzz-nightly clean
+.PHONY: all build vet test check bench bench-json serve-smoke trace-demo obs-overhead repro figures tables cover fuzz fuzz-nightly clean
 
 all: build vet test
 
@@ -46,6 +46,28 @@ bench-json:
 serve-smoke:
 	$(GO) test -run 'TestServeSmoke|TestRimd' -count=1 -v ./cmd/rimd/
 
+# Observability demo: anneal + packet-sim an n=1024 instance with spans
+# on, emitting a Chrome trace (load trace.json in ui.perfetto.dev or
+# chrome://tracing) and a run manifest with per-phase rollups.
+trace-demo:
+	$(GO) run ./cmd/netsim -family uniform2d -n 1024 -topo anneal -slots 4000 \
+		-trace-out trace.json -manifest-out manifest.json
+	@echo "trace-demo: wrote trace.json (open in ui.perfetto.dev) and manifest.json"
+
+# Disabled-path overhead gate: benchmark the anneal evaluator with the
+# observability layer compiled out (-tags obs_off), archive it as the
+# baseline, then re-benchmark the normal build and fail if the best
+# ns/op regressed by more than 3%. The in-process guard gate
+# (RIM_OBS_GATE=1) additionally bounds the raw `if obs.On()` check at
+# <2ns/op and 0 allocs.
+OBS_TOL ?= 0.03
+obs-overhead:
+	$(GO) test -tags obs_off -run=xxx -bench='BenchmarkAnnealEvaluator$$' -benchtime=1x -count=3 . \
+		| $(GO) run ./cmd/benchjson > obs_base.json
+	$(GO) test -run=xxx -bench='BenchmarkAnnealEvaluator$$' -benchtime=1x -count=3 . \
+		| $(GO) run ./cmd/benchjson -gate obs_base.json -tol $(OBS_TOL)
+	RIM_OBS_GATE=1 $(GO) test -run TestDisabledOverheadGate -count=1 -v ./internal/obs/
+
 # Print the full experiment catalogue.
 repro:
 	$(GO) run ./cmd/paperrepro
@@ -78,4 +100,5 @@ fuzz-nightly:
 	$(MAKE) fuzz FUZZTIME=5m
 
 clean:
-	rm -rf figs tables test_output.txt bench_output.txt
+	rm -rf figs tables test_output.txt bench_output.txt \
+		trace.json manifest.json obs_base.json

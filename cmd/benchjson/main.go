@@ -7,17 +7,33 @@
 // Each benchmark line becomes one record carrying the run count, ns/op,
 // and any custom metrics reported via b.ReportMetric (iters/s, events/s,
 // nodes/s, ...). Context lines (goos, goarch, pkg, cpu) are captured
-// into the document header.
+// into the document header, and a run manifest (git SHA, Go version,
+// GOMAXPROCS) is embedded so archived numbers stay attributable to a
+// commit.
+//
+// Gate mode compares a fresh run against an archived baseline instead of
+// emitting JSON:
+//
+//	go test -bench=Anneal -count=3 . | benchjson -gate base.json -tol 0.03
+//
+// Each benchmark's best (minimum) ns/op across repeats is compared
+// against the baseline's; any regression beyond the tolerance exits 1.
+// `make obs-overhead` uses this to bound the disabled-path cost of the
+// observability layer.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Result is one parsed benchmark line.
@@ -30,24 +46,38 @@ type Result struct {
 
 // Document is the emitted JSON root.
 type Document struct {
-	Goos       string   `json:"goos,omitempty"`
-	Goarch     string   `json:"goarch,omitempty"`
-	Pkg        string   `json:"pkg,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
-	Benchmarks []Result `json:"benchmarks"`
+	Goos       string        `json:"goos,omitempty"`
+	Goarch     string        `json:"goarch,omitempty"`
+	Pkg        string        `json:"pkg,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []Result      `json:"benchmarks"`
+	Manifest   *obs.Manifest `json:"manifest,omitempty"`
 }
 
 func main() {
-	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
 // run is main's testable body.
-func run(stdin io.Reader, stdout, stderr io.Writer) int {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	gate := fs.String("gate", "", "baseline JSON to gate against (no JSON output; exit 1 on regression)")
+	tol := fs.Float64("tol", 0.03, "allowed fractional ns/op regression in gate mode")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	doc, err := parse(stdin)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchjson:", err)
 		return 1
 	}
+	if *gate != "" {
+		return runGate(doc, *gate, *tol, stdout, stderr)
+	}
+	m := obs.NewManifest("benchjson", args)
+	m.Finish(nil, nil)
+	doc.Manifest = m
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
@@ -55,6 +85,63 @@ func run(stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// runGate compares the current run against an archived baseline: for
+// every benchmark present in both, the best (minimum) ns/op across
+// repeats must not exceed the baseline's best by more than tol.
+func runGate(cur *Document, baselinePath string, tol float64, stdout, stderr io.Writer) int {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	var base Document
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %s: %v\n", baselinePath, err)
+		return 1
+	}
+	curBest, baseBest := bestNs(cur), bestNs(&base)
+	var names []string
+	for name := range curBest {
+		if _, ok := baseBest[name]; ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no common benchmarks between run and baseline")
+		return 1
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		b, c := baseBest[name], curBest[name]
+		ratio := c/b - 1
+		status := "ok"
+		if ratio > tol {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(stdout, "%s: base %.0f ns/op, current %.0f ns/op, %+.2f%% (tol %.2f%%) %s\n",
+			name, b, c, 100*ratio, 100*tol, status)
+	}
+	if failed {
+		fmt.Fprintln(stderr, "benchjson: gate failed")
+		return 1
+	}
+	return 0
+}
+
+// bestNs returns each benchmark's minimum ns/op across repeated lines
+// (the standard -count=N noise reduction).
+func bestNs(doc *Document) map[string]float64 {
+	best := make(map[string]float64)
+	for _, r := range doc.Benchmarks {
+		if cur, ok := best[r.Name]; !ok || r.NsPerOp < cur {
+			best[r.Name] = r.NsPerOp
+		}
+	}
+	return best
 }
 
 // parse consumes `go test -bench` output and collects benchmark lines.

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -42,7 +44,7 @@ func TestParse(t *testing.T) {
 
 func TestRunEmitsValidJSON(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run(strings.NewReader(sample), &out, &errb); code != 0 {
+	if code := run(nil, strings.NewReader(sample), &out, &errb); code != 0 {
 		t.Fatalf("exit %d, stderr %q", code, errb.String())
 	}
 	var doc Document
@@ -51,6 +53,61 @@ func TestRunEmitsValidJSON(t *testing.T) {
 	}
 	if len(doc.Benchmarks) != 2 {
 		t.Errorf("round-trip lost benchmarks: %+v", doc)
+	}
+}
+
+// writeBaseline archives a run as gate-mode baseline JSON.
+func writeBaseline(t *testing.T, benchText string) string {
+	t.Helper()
+	doc, err := parse(strings.NewReader(benchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	base := writeBaseline(t, "BenchmarkX 10 1000 ns/op\nBenchmarkX 10 900 ns/op\n")
+	// Best-of current (905) vs best-of baseline (900): +0.56%, under 3%.
+	cur := "BenchmarkX 10 1200 ns/op\nBenchmarkX 10 905 ns/op\n"
+	var out, errb bytes.Buffer
+	if code := run([]string{"-gate", base}, strings.NewReader(cur), &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %q, stdout %q", code, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkX: base 900 ns/op, current 905 ns/op") {
+		t.Errorf("report = %q", out.String())
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	base := writeBaseline(t, "BenchmarkX 10 1000 ns/op\n")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-gate", base, "-tol", "0.03"},
+		strings.NewReader("BenchmarkX 10 1100 ns/op\n"), &out, &errb); code != 1 {
+		t.Fatalf("10%% regression must fail the 3%% gate: exit %d, stdout %q", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("report = %q", out.String())
+	}
+}
+
+func TestGateFailsWithoutCommonBenchmarks(t *testing.T) {
+	base := writeBaseline(t, "BenchmarkOld 10 1000 ns/op\n")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-gate", base},
+		strings.NewReader("BenchmarkNew 10 1000 ns/op\n"), &out, &errb); code != 1 {
+		t.Fatalf("disjoint benchmark sets must fail closed: exit %d", code)
+	}
+	if !strings.Contains(errb.String(), "no common benchmarks") {
+		t.Errorf("stderr = %q", errb.String())
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/highway"
+	"repro/internal/obs"
 	"repro/internal/tablefmt"
 	"repro/internal/topology"
 	"repro/internal/udg"
@@ -37,9 +38,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	family := fs.String("family", "uniform", "uniform|clustered|highway|gadget")
 	n := fs.Int("n", 200, "node count")
 	seed := fs.Int64("seed", 1, "instance seed")
+	var ocli obs.CLI
+	ocli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	ostop, err := ocli.Start("distlab", args)
+	if err != nil {
+		fmt.Fprintln(stderr, "distlab:", err)
+		return 1
+	}
+	defer func() { ostop(stderr) }()
+	ocli.SetSeed(*seed)
 
 	rng := rand.New(rand.NewSource(*seed))
 	var pts []geom.Point

@@ -21,6 +21,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/geom"
 	"repro/internal/highway"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/stats"
 	"repro/internal/tablefmt"
@@ -40,9 +41,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	length := fs.Float64("len", 50, "highway length for random/gamma modes")
 	seed := fs.Int64("seed", 1, "instance seed")
 	anneal := fs.Int("anneal", 0, "annealing iterations for an OPT upper bound (0 = skip)")
+	var ocli obs.CLI
+	ocli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	ostop, err := ocli.Start("highwaylab", args)
+	if err != nil {
+		fmt.Fprintln(stderr, "highwaylab:", err)
+		return 1
+	}
+	defer func() { ostop(stderr) }()
+	ocli.SetSeed(*seed)
 
 	switch *mode {
 	case "chain":

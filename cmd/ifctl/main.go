@@ -36,6 +36,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/geom"
 	"repro/internal/highway"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/report"
 	"repro/internal/stats"
@@ -65,9 +66,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	alg := fs.String("alg", "MST", "algorithm name for measure/profile/svg (see 'compare' output)")
 	csv := fs.Bool("csv", false, "emit CSV")
 	heat := fs.Bool("heat", false, "overlay the interference heatmap in 'svg' output")
+	var ocli obs.CLI
+	ocli.AddFlags(fs)
 	if err := fs.Parse(args[1:]); err != nil {
 		return 2
 	}
+	ostop, oerr := ocli.Start("ifctl", args)
+	if oerr != nil {
+		fmt.Fprintln(stderr, "ifctl:", oerr)
+		return 1
+	}
+	defer func() { ostop(stderr) }()
+	ocli.SetSeed(*seed)
 
 	pts, err := makeInstance(*family, *n, *side, *seed)
 	if err != nil {

@@ -20,6 +20,8 @@ import (
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/highway"
+	"repro/internal/obs"
+	"repro/internal/opt"
 	"repro/internal/sim"
 	"repro/internal/tablefmt"
 	"repro/internal/topology"
@@ -36,7 +38,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	family := fs.String("family", "expchain", "expchain|highway|uniform2d|clustered2d")
 	n := fs.Int("n", 24, "node count")
-	topos := fs.String("topo", "linear,aexp,agen,mst", "comma-separated topologies: linear,aexp,agen,aapx,mst,gg,rng,xtc,lmst,life,nnf")
+	topos := fs.String("topo", "linear,aexp,agen,mst", "comma-separated topologies: linear,aexp,agen,aapx,mst,gg,rng,xtc,lmst,life,nnf,anneal")
 	workload := fs.String("workload", "convergecast", "convergecast|poisson")
 	rate := fs.Float64("rate", 0.05, "poisson injections per slot")
 	period := fs.Int64("period", 500, "convergecast report period (slots)")
@@ -46,9 +48,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	phys := fs.Bool("sinr", false, "use the physical (SINR) reception model instead of the disk model")
 	failNode := fs.Int("fail", -1, "node to fail at mid-run (-1 = none)")
 	trace := fs.String("trace", "", "write a per-event trace of the FIRST topology's run to this file")
+	annealIters := fs.Int("anneal-iters", 0, "iterations for the anneal topology (0 = 10·n)")
+	var ocli obs.CLI
+	ocli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	ostop, err := ocli.Start("netsim", args)
+	if err != nil {
+		fmt.Fprintln(stderr, "netsim:", err)
+		return 1
+	}
+	defer func() { ostop(stderr) }()
+	ocli.SetSeed(*seed)
 
 	pts, err := makeInstance(*family, *n, *seed)
 	if err != nil {
@@ -71,7 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	for i, name := range strings.Split(*topos, ",") {
 		name = strings.TrimSpace(name)
-		build := builder(name, pts)
+		build := builder(name, pts, *seed, *annealIters)
 		if build == nil {
 			fmt.Fprintf(stderr, "netsim: unknown topology %q\n", name)
 			return 2
@@ -125,7 +137,7 @@ func makeInstance(family string, n int, seed int64) ([]geom.Point, error) {
 	}
 }
 
-func builder(name string, pts []geom.Point) func() *graph.Graph {
+func builder(name string, pts []geom.Point, seed int64, annealIters int) func() *graph.Graph {
 	oneD := func(f func([]geom.Point) *graph.Graph) func() *graph.Graph {
 		if err := highway.Validate(pts); err != nil {
 			return nil
@@ -155,6 +167,17 @@ func builder(name string, pts []geom.Point) func() *graph.Graph {
 		return func() *graph.Graph { return topology.LIFE(pts) }
 	case "nnf":
 		return func() *graph.Graph { return topology.NNF(pts) }
+	case "anneal":
+		// Simulated-annealing topology: the optimizer's upper-bound
+		// construction, simulated like any other. Powers `make trace-demo`
+		// (anneal + sim in one traced run).
+		return func() *graph.Graph {
+			iters := annealIters
+			if iters <= 0 {
+				iters = 10 * len(pts)
+			}
+			return opt.Anneal(pts, rand.New(rand.NewSource(seed)), iters).Topology
+		}
 	default:
 		return nil
 	}

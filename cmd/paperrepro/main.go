@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/tablefmt"
 )
 
@@ -43,9 +44,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	mcTrials := fs.Int("mctrials", 16, "instances per family for the Monte-Carlo experiment")
 	figdir := fs.String("figdir", "", "also render the paper's figures as SVG into this directory")
 	outdir := fs.String("outdir", "", "also write each experiment's table into this directory")
+	var ocli obs.CLI
+	ocli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	ostop, err := ocli.Start("paperrepro", args)
+	if err != nil {
+		fmt.Fprintln(stderr, "paperrepro:", err)
+		return 1
+	}
+	defer func() { ostop(stderr) }()
+	ocli.SetSeed(*seed)
 
 	if *list {
 		for _, e := range exp.Registry() {

@@ -6,9 +6,11 @@
 //	rimd -addr 127.0.0.1:0 -deterministic        # random port, traced sessions
 //
 // The daemon prints its actual listening address on stdout (useful with
-// port 0), exposes /healthz and Prometheus /metrics, and drains
-// gracefully on SIGINT/SIGTERM: the listener closes, queued mutations are
-// applied, then the process exits 0. See README.md for curl examples.
+// port 0), exposes /healthz, Prometheus /metrics, net/http/pprof under
+// /debug/pprof/, and live span dumps at /debug/obs/spans (plain tree)
+// and /debug/obs/trace (Chrome trace_event JSON), and drains gracefully
+// on SIGINT/SIGTERM: the listener closes, queued mutations are applied,
+// then the process exits 0. See README.md for curl examples.
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -44,6 +47,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceCap      = fs.Int("trace-cap", 1<<20, "retained trace lines per session (ring buffer; 0 = unlimited)")
 		rebuild       = fs.Float64("rebuild-factor", 0, "maintainer drift-rebuild factor (0 = default)")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "max time to drain queues on shutdown")
+		obsOn         = fs.Bool("obs", true, "enable the observability layer (spans feed /debug/obs/*)")
+		spanSample    = fs.Int("span-sample", 16, "record every nth root span")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -51,6 +56,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if fs.NArg() > 0 {
 		fmt.Fprintf(stderr, "rimd: unexpected arguments: %v\n", fs.Args())
 		return 2
+	}
+	if *obsOn && obs.Available {
+		obs.SetEnabled(true)
+		obs.DefaultRecorder().SetSample(*spanSample)
 	}
 
 	mgr := serve.NewManager(serve.Config{
@@ -67,7 +76,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "rimd: listen: %v\n", err)
 		return 1
 	}
-	srv := &http.Server{Handler: serve.NewHandler(mgr)}
+	// Outer mux: the serve API at the root, with the debug surface
+	// (net/http/pprof, /debug/obs/spans, /debug/obs/trace) alongside.
+	mux := http.NewServeMux()
+	mux.Handle("/", serve.NewHandler(mgr))
+	obs.MountDebug(mux)
+	srv := &http.Server{Handler: mux}
 	fmt.Fprintf(stdout, "rimd: listening on %s\n", ln.Addr())
 
 	sigc := make(chan os.Signal, 1)

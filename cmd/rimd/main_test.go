@@ -14,6 +14,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // syncBuffer lets the test read the daemon's stdout while the run
@@ -146,6 +148,24 @@ func TestServeSmoke(t *testing.T) {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %q", want)
 		}
+	}
+
+	// The full exposition (rimd_* families plus the shared obs registry)
+	// must be well-formed Prometheus text — a malformed renderer fails
+	// the smoke test before it ever reaches a dashboard.
+	if n, err := obs.CheckExposition(strings.NewReader(metrics)); err != nil {
+		t.Errorf("/metrics exposition malformed: %v", err)
+	} else if n == 0 {
+		t.Error("/metrics exposition has no samples")
+	}
+
+	// Observability endpoints mounted by obs.MountDebug.
+	if heap := get("/debug/pprof/heap?debug=1", 200); !bytes.Contains(heap, []byte("heap profile:")) {
+		t.Errorf("/debug/pprof/heap?debug=1 not a heap profile: %.80s", heap)
+	}
+	get("/debug/obs/spans", 200)
+	if tr := get("/debug/obs/trace", 200); !bytes.Contains(tr, []byte("traceEvents")) {
+		t.Errorf("/debug/obs/trace not chrome-trace JSON: %.80s", tr)
 	}
 
 	trace := string(get("/v1/sessions/smoke/trace", 200))

@@ -18,6 +18,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/gen"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/tablefmt"
 	"repro/internal/topology"
 )
@@ -34,9 +35,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "seed")
 	steps := fs.Int("steps", 20, "arrivals in sequence mode")
 	n := fs.Int("n", 60, "starting nodes in sequence mode")
+	var ocli obs.CLI
+	ocli.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	ostop, err := ocli.Start("robustness", args)
+	if err != nil {
+		fmt.Fprintln(stderr, "robustness:", err)
+		return 1
+	}
+	defer func() { ostop(stderr) }()
+	ocli.SetSeed(*seed)
 
 	switch *mode {
 	case "figure1":

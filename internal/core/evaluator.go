@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // Evaluator is a stateful interference engine: it builds the spatial grid
@@ -134,6 +135,10 @@ func (ev *Evaluator) apply(u int, r float64) {
 		lo, hi, delta = r, old, -1
 	}
 	ev.buf = ev.grid.WithinAnnulus(ev.pts[u], lo, hi, ev.buf[:0])
+	if obs.On() {
+		obsSetRadius.Inc()
+		obsAnnulusNodes.Add(int64(len(ev.buf)))
+	}
 	for _, v := range ev.buf {
 		if v != u {
 			ev.bump(v, delta)
@@ -218,6 +223,11 @@ func (ev *Evaluator) BatchSet(radii []float64, workers int) {
 	if len(ev.pts) == 0 {
 		return
 	}
+	if obs.On() {
+		obsBatchSets.Inc()
+		sp := obs.Start("core.batchset")
+		defer sp.End()
+	}
 	ev.iv = accumulateInterference(ev.grid, ev.pts, ev.radii, workers, ev.iv[:0])
 	ev.rebuildHist()
 }
@@ -244,6 +254,9 @@ func (ev *Evaluator) rebuildHist() {
 func (ev *Evaluator) AddPoint(p geom.Point) int {
 	if len(ev.marks) > 0 {
 		panic("core: AddPoint during active snapshot")
+	}
+	if obs.On() {
+		obsAddPoints.Inc()
 	}
 	if ev.grid == nil {
 		// First point ever: bootstrap the grid around it.
@@ -286,6 +299,9 @@ func (ev *Evaluator) RemovePoint(idx int) {
 	}
 	if idx < 0 || idx >= len(ev.pts) {
 		panic(fmt.Sprintf("core: RemovePoint index %d out of range", idx))
+	}
+	if obs.On() {
+		obsRemovePoints.Inc()
 	}
 	ev.SetRadius(idx, 0)
 	d := ev.iv[idx]

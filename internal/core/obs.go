@@ -1,0 +1,19 @@
+package core
+
+import "repro/internal/obs"
+
+// Evaluator hot-path metrics. Every update site is guarded by obs.On()
+// — one atomic load when the layer is disabled, which is the budget the
+// obs-overhead gate enforces on BenchmarkAnnealEvaluator.
+var (
+	obsSetRadius = obs.Default().Counter("rim_core_set_radius_total",
+		"Single-radius evaluator updates applied.")
+	obsAnnulusNodes = obs.Default().Counter("rim_core_annulus_nodes_total",
+		"Nodes touched by annulus enumeration during radius updates.")
+	obsBatchSets = obs.Default().Counter("rim_core_batch_sets_total",
+		"Whole-vector BatchSet evaluations.")
+	obsAddPoints = obs.Default().Counter("rim_core_add_points_total",
+		"Dynamic point insertions into the evaluator.")
+	obsRemovePoints = obs.Default().Counter("rim_core_remove_points_total",
+		"Dynamic point removals from the evaluator.")
+)

@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/topology"
 	"repro/internal/udg"
@@ -174,6 +175,11 @@ func (m *Maintainer) Rebuilds() int { return m.rebuilds }
 func (m *Maintainer) Events() int { return m.events }
 
 func (m *Maintainer) rebuild(pts []geom.Point) {
+	sp := obs.Start("dynamic.rebuild")
+	defer sp.End()
+	if obs.On() {
+		obsRebuilds.Inc()
+	}
 	m.topo = topology.GreedyMinI(pts)
 	m.eng = m.factory(pts)
 	m.eng.BatchSet(core.Radii(pts, m.topo), 0)
@@ -192,6 +198,11 @@ func (m *Maintainer) fire(ev Event) {
 // nearest in-range neighbor (if any); out-of-range newcomers start a new
 // component, which is correct — the UDG is disconnected there too.
 func (m *Maintainer) Insert(p geom.Point) int {
+	sp := obs.Start("dynamic.insert")
+	defer sp.End()
+	if obs.On() {
+		obsEvents.Inc()
+	}
 	m.events++
 	idx := m.eng.AddPoint(p)
 	grown := graph.New(idx + 1)
@@ -215,6 +226,11 @@ func (m *Maintainer) Insert(p geom.Point) int {
 func (m *Maintainer) Remove(idx int) {
 	if idx < 0 || idx >= len(m.points()) {
 		panic(fmt.Sprintf("dynamic: remove index %d out of range", idx))
+	}
+	sp := obs.Start("dynamic.remove")
+	defer sp.End()
+	if obs.On() {
+		obsEvents.Inc()
 	}
 	m.events++
 	// The victim's former neighbors shrink to their remaining farthest
@@ -263,6 +279,11 @@ func (m *Maintainer) SetRadius(idx int, r float64) float64 {
 	if idx < 0 || idx >= len(m.points()) {
 		panic(fmt.Sprintf("dynamic: set-radius index %d out of range", idx))
 	}
+	sp := obs.Start("dynamic.set-radius")
+	defer sp.End()
+	if obs.On() {
+		obsEvents.Inc()
+	}
 	m.events++
 	old := m.eng.SetRadius(idx, r)
 	m.fire(Event{Kind: EventSetRadius, Index: idx, Max: m.eng.Max()})
@@ -275,6 +296,11 @@ func (m *Maintainer) SetRadius(idx int, r float64) float64 {
 // baseline. It returns the new maintained I(G'). Instances with fewer
 // than two nodes are a no-op.
 func (m *Maintainer) Anneal(seed int64, iters int) int {
+	sp := obs.Start("dynamic.anneal")
+	defer sp.End()
+	if obs.On() {
+		obsEvents.Inc()
+	}
 	m.events++
 	if len(m.points()) >= 2 && iters > 0 {
 		res := opt.Anneal(m.points(), rand.New(rand.NewSource(seed)), iters)
@@ -318,6 +344,9 @@ func (m *Maintainer) repairConnectivity() {
 		m.topo.AddEdge(best.U, best.V, best.W)
 		m.eng.GrowTo(best.U, best.W)
 		m.eng.GrowTo(best.V, best.W)
+		if obs.On() {
+			obsRepairEdges.Inc()
+		}
 	}
 }
 

@@ -1,0 +1,14 @@
+package dynamic
+
+import "repro/internal/obs"
+
+// Maintainer metrics: event mix, drift-triggered rebuilds, and how much
+// repair the departure path actually does.
+var (
+	obsEvents = obs.Default().Counter("rim_dynamic_events_total",
+		"Maintenance events applied (insert, remove, set-radius, anneal).")
+	obsRebuilds = obs.Default().Counter("rim_dynamic_rebuilds_total",
+		"Full greedy rebuilds (initial construction included).")
+	obsRepairEdges = obs.Default().Counter("rim_dynamic_repair_edges_total",
+		"Edges added by departure connectivity repair.")
+)

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/udg"
 )
 
@@ -127,6 +128,8 @@ func AExpRange(pts []geom.Point, r float64) *graph.Graph {
 	if len(pts) < 2 {
 		return g
 	}
+	sp := obs.Start("highway.aexp")
+	defer sp.End()
 	inRange := func(d float64) bool {
 		return math.IsInf(r, 1) || d <= r*(1+1e-9)
 	}
@@ -226,10 +229,16 @@ func AGenSpacing(pts []geom.Point, spacing int) *graph.Graph {
 	if len(pts) < 2 {
 		return g
 	}
+	sp := obs.Start("highway.agen")
+	defer sp.End()
 	if spacing <= 0 {
+		dsp := sp.Child("highway.agen.delta")
 		delta := udg.MaxDegree(pts, udg.Radius)
+		dsp.End()
 		spacing = hubSpacing(delta)
 	}
+	wire := sp.Child("highway.agen.wire")
+	defer wire.End()
 	// Partition into unit segments anchored at the leftmost node.
 	x0 := pts[0].X
 	segStart := 0
@@ -376,7 +385,11 @@ func AApxExplain(pts []geom.Point) (*graph.Graph, string) {
 	if len(pts) < 2 {
 		return graph.New(len(pts)), "linear"
 	}
+	sp := obs.Start("highway.aapx")
+	defer sp.End()
+	gsp := sp.Child("highway.aapx.gamma")
 	gamma, _ := Gamma(pts)
+	gsp.End()
 	delta := udg.MaxDegree(pts, udg.Radius)
 	if float64(gamma) > math.Sqrt(float64(delta)) {
 		return AGen(pts), "agen"

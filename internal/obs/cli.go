@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// CLI bundles the observability flags shared by every cmd/ binary. Wire
+// it in with:
+//
+//	var cli obs.CLI
+//	cli.AddFlags(fs)
+//	// after fs.Parse:
+//	stop, err := cli.Start("netsim", args)
+//	defer stop(stderr)
+//	cli.SetSeed(seed)
+//
+// Passing any of -trace-out, -manifest-out, or -obs enables the
+// observability layer for the run; otherwise it stays off and the
+// instrumentation costs one atomic load per guard.
+type CLI struct {
+	Obs         bool
+	TraceOut    string
+	ManifestOut string
+	CPUProfile  string
+	MemProfile  string
+	SpanSample  int
+	SpanCap     int
+
+	manifest *Manifest
+	rec      *Recorder
+	cpu      *os.File
+}
+
+// AddFlags registers the shared flags on fs.
+func (c *CLI) AddFlags(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Obs, "obs", false, "enable the observability layer (spans + metrics)")
+	fs.StringVar(&c.TraceOut, "trace-out", "", "write Chrome trace_event JSON here (implies -obs)")
+	fs.StringVar(&c.ManifestOut, "manifest-out", "", "write the run manifest JSON here (implies -obs)")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile here")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile here")
+	fs.IntVar(&c.SpanSample, "span-sample", 1, "record every nth root span (1 = all)")
+	fs.IntVar(&c.SpanCap, "span-cap", DefaultCap, "span ring capacity (records retained)")
+}
+
+// Start begins the run: enables the layer if requested, resets the
+// default recorder, opens the CPU profile, and starts the manifest. The
+// returned stop function finalizes everything (always non-nil; call it
+// exactly once, typically deferred) and reports any write failures.
+func (c *CLI) Start(binary string, args []string) (stop func(errw io.Writer) int, err error) {
+	enable := c.Obs || c.TraceOut != "" || c.ManifestOut != ""
+	if enable && !Available {
+		fmt.Fprintln(os.Stderr, "obs: built with obs_off; spans and manifests unavailable")
+		enable = false
+	}
+	if enable {
+		SetEnabled(true)
+		c.rec = ResetDefault(c.SpanCap)
+		c.rec.SetSample(c.SpanSample)
+		c.manifest = NewManifest(binary, args)
+	}
+	if c.CPUProfile != "" {
+		f, err := os.Create(c.CPUProfile)
+		if err != nil {
+			return func(io.Writer) int { return 1 }, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return func(io.Writer) int { return 1 }, err
+		}
+		c.cpu = f
+	}
+	return c.stop, nil
+}
+
+// SetSeed records the run's RNG seed in the manifest (no-op when the
+// layer is disabled).
+func (c *CLI) SetSeed(seed int64) {
+	if c.manifest != nil {
+		c.manifest.SetSeed(seed)
+	}
+}
+
+// stop finalizes the run: flushes profiles, writes the trace and the
+// manifest. Returns 0 on success, 1 if any artifact failed to write
+// (failures are reported on errw).
+func (c *CLI) stop(errw io.Writer) int {
+	code := 0
+	fail := func(what string, err error) {
+		fmt.Fprintf(errw, "obs: %s: %v\n", what, err)
+		code = 1
+	}
+	if c.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := c.cpu.Close(); err != nil {
+			fail("cpuprofile", err)
+		}
+		c.cpu = nil
+	}
+	if c.MemProfile != "" {
+		f, err := os.Create(c.MemProfile)
+		if err != nil {
+			fail("memprofile", err)
+		} else {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail("memprofile", err)
+			}
+			f.Close()
+		}
+	}
+	if c.TraceOut != "" && c.rec != nil {
+		f, err := os.Create(c.TraceOut)
+		if err != nil {
+			fail("trace-out", err)
+		} else {
+			if err := c.rec.WriteChromeTrace(f); err != nil {
+				fail("trace-out", err)
+			}
+			f.Close()
+		}
+	}
+	if c.manifest != nil {
+		c.manifest.Finish(c.rec, Default())
+		if c.ManifestOut != "" {
+			if err := c.manifest.WriteFile(c.ManifestOut); err != nil {
+				fail("manifest-out", err)
+			}
+		}
+	}
+	return code
+}
+
+// Manifest returns the in-flight manifest (nil when the layer is
+// disabled) — cmd/benchjson uses it to embed run metadata in its output.
+func (c *CLI) Manifest() *Manifest { return c.manifest }
+
+// Recorder returns the recorder for this run (nil when disabled).
+func (c *CLI) Recorder() *Recorder { return c.rec }

@@ -1,0 +1,13 @@
+//go:build obs_off
+
+package obs
+
+// Available is false in obs_off builds: SetEnabled has no effect and On
+// is a compile-time constant, so guarded instrumentation is eliminated
+// by dead-code analysis. This build exists solely as the uninstrumented
+// baseline for `make obs-overhead`.
+const Available = false
+
+// On is constantly false under obs_off, letting the compiler strip every
+// guarded call site.
+func On() bool { return false }

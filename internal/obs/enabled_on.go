@@ -1,0 +1,12 @@
+//go:build !obs_off
+
+package obs
+
+// Available reports whether the observability layer can be enabled in
+// this build (false under the obs_off tag, which exists only for the
+// overhead-gate baseline).
+const Available = true
+
+// On reports whether the observability layer is enabled. This is the
+// hot-path guard: one atomic load, no allocation.
+func On() bool { return enabledFlag.Load() }

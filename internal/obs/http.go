@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// MountDebug attaches the debug surface to mux:
+//
+//	/debug/pprof/*     net/http/pprof (profiles, heap, goroutines, trace)
+//	/debug/obs/spans   plain-text span tree from the default recorder
+//	/debug/obs/trace   Chrome trace_event JSON (open in ui.perfetto.dev)
+//
+// The daemon (cmd/rimd) mounts this next to its API; the /metrics
+// endpoint itself stays with the serve handler, which appends the
+// default registry's families to its own.
+func MountDebug(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/obs/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		DefaultRecorder().WriteTree(w)
+	})
+	mux.HandleFunc("/debug/obs/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = DefaultRecorder().WriteChromeTrace(w)
+	})
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Run manifests: one JSON document per run capturing what ran (binary,
+// args, git SHA), how (seed, GOMAXPROCS, Go version), and what happened
+// (wall time, per-phase span rollups, span coverage, final metric
+// snapshot). Every cmd/ entry point and the benchmark harness emits one
+// when -manifest-out is set, so results stay reproducible and
+// attributable long after the terminal scrollback is gone.
+
+// Manifest is the run-manifest schema (see DESIGN.md "Observability").
+type Manifest struct {
+	Binary     string    `json:"binary"`
+	Args       []string  `json:"args"`
+	GitSHA     string    `json:"git_sha,omitempty"`
+	GoVersion  string    `json:"go_version"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Seed       int64     `json:"seed"`
+	Start      time.Time `json:"start"`
+	WallMS     float64   `json:"wall_ms"`
+	// SpanCoverage is root-span time over wall time (0..1); ≥0.9 means
+	// the trace accounts for at least 90% of the run.
+	SpanCoverage float64            `json:"span_coverage"`
+	SpansKept    int                `json:"spans_kept"`
+	SpansDropped int64              `json:"spans_dropped"`
+	Spans        []Rollup           `json:"spans,omitempty"`
+	Metrics      map[string]float64 `json:"metrics,omitempty"`
+}
+
+// NewManifest starts a manifest for the named binary. Call Finish at the
+// end of the run and WriteFile to persist it.
+func NewManifest(binary string, args []string) *Manifest {
+	return &Manifest{
+		Binary:     binary,
+		Args:       append([]string(nil), args...),
+		GitSHA:     GitSHA(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Start:      time.Now(),
+	}
+}
+
+// SetSeed records the run's RNG seed.
+func (m *Manifest) SetSeed(seed int64) { m.Seed = seed }
+
+// Finish stamps wall time and folds in the recorder's rollups and the
+// registry's final snapshot. Either may be nil to skip that section.
+func (m *Manifest) Finish(rec *Recorder, reg *Registry) {
+	wall := time.Since(m.Start)
+	m.WallMS = float64(wall.Nanoseconds()) / 1e6
+	if rec != nil {
+		m.Spans = rec.Rollup()
+		m.SpansKept = rec.Len()
+		m.SpansDropped = rec.Dropped()
+		if wall > 0 {
+			m.SpanCoverage = float64(rec.RootNS()) / float64(wall.Nanoseconds())
+		}
+	}
+	if reg != nil {
+		m.Metrics = reg.Snapshot()
+	}
+}
+
+// WriteFile persists the manifest as indented JSON.
+func (m *Manifest) WriteFile(path string) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// GitSHA resolves the current commit by reading .git/HEAD (and the ref
+// file or packed-refs it points to), walking up from the working
+// directory. No git binary is executed. Returns "" outside a repository.
+func GitSHA() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return ""
+	}
+	for {
+		gitDir := filepath.Join(dir, ".git")
+		if fi, err := os.Stat(gitDir); err == nil && fi.IsDir() {
+			return shaFromGitDir(gitDir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+func shaFromGitDir(gitDir string) string {
+	head, err := os.ReadFile(filepath.Join(gitDir, "HEAD"))
+	if err != nil {
+		return ""
+	}
+	h := strings.TrimSpace(string(head))
+	if !strings.HasPrefix(h, "ref: ") {
+		return h // detached HEAD holds the SHA directly
+	}
+	ref := strings.TrimPrefix(h, "ref: ")
+	if b, err := os.ReadFile(filepath.Join(gitDir, filepath.FromSlash(ref))); err == nil {
+		return strings.TrimSpace(string(b))
+	}
+	// Ref may live only in packed-refs.
+	if b, err := os.ReadFile(filepath.Join(gitDir, "packed-refs")); err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if sha, name, ok := strings.Cut(strings.TrimSpace(line), " "); ok && name == ref {
+				return sha
+			}
+		}
+	}
+	return ""
+}

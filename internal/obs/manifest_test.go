@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestManifestFinishAndWrite(t *testing.T) {
+	m := NewManifest("testbin", []string{"-n", "42"})
+	m.SetSeed(7)
+	if m.GoVersion != runtime.Version() || m.GOMAXPROCS < 1 {
+		t.Errorf("environment fields not stamped: %+v", m)
+	}
+
+	r := NewRecorder(16)
+	// One root span covering (essentially) the whole run so coverage ≈ 1.
+	time.Sleep(2 * time.Millisecond)
+	record(r, SpanRecord{ID: 1, Lane: 1, Name: "run",
+		Start: m.Start.UnixNano(), Dur: time.Since(m.Start).Nanoseconds()})
+
+	reg := NewRegistry()
+	reg.Counter("events_total", "h").Add(5)
+	m.Finish(r, reg)
+
+	if m.WallMS <= 0 {
+		t.Errorf("WallMS = %v", m.WallMS)
+	}
+	if m.SpanCoverage < 0.5 || m.SpanCoverage > 1.5 {
+		t.Errorf("SpanCoverage = %v, want ≈1", m.SpanCoverage)
+	}
+	if m.SpansKept != 1 || len(m.Spans) != 1 || m.Spans[0].Name != "run" {
+		t.Errorf("span rollup not folded in: %+v", m)
+	}
+	if m.Metrics["events_total"] != 5 {
+		t.Errorf("metrics snapshot = %v", m.Metrics)
+	}
+
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if back.Binary != "testbin" || back.Seed != 7 || len(back.Args) != 2 {
+		t.Errorf("round-trip = %+v", back)
+	}
+}
+
+// TestGitSHA runs from inside this repository, so a 40-hex SHA must
+// resolve without executing git.
+func TestGitSHA(t *testing.T) {
+	sha := GitSHA()
+	if sha == "" {
+		t.Skip("not in a git repository")
+	}
+	if len(sha) != 40 {
+		t.Fatalf("GitSHA() = %q, want 40 hex chars", sha)
+	}
+	for _, c := range sha {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			t.Fatalf("GitSHA() = %q: non-hex rune %q", sha, c)
+		}
+	}
+}
+
+func TestShaFromGitDirPackedRefs(t *testing.T) {
+	dir := t.TempDir()
+	git := filepath.Join(dir, ".git")
+	if err := os.MkdirAll(git, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	const sha = "0123456789abcdef0123456789abcdef01234567"
+	writeFile := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(git, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("HEAD", "ref: refs/heads/main\n")
+	writeFile("packed-refs", "# pack-refs with: peeled fully-peeled sorted \n"+sha+" refs/heads/main\n")
+	if got := shaFromGitDir(git); got != sha {
+		t.Errorf("packed-refs lookup = %q, want %q", got, sha)
+	}
+	// Detached HEAD: the SHA sits in HEAD directly.
+	writeFile("HEAD", sha+"\n")
+	if got := shaFromGitDir(git); got != sha {
+		t.Errorf("detached HEAD = %q, want %q", got, sha)
+	}
+}

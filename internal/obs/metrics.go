@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric primitives: the Counter/Histogram machinery promoted out of
+// internal/serve (which keeps only its metric definitions) plus a
+// Registry that renders and snapshots every registered metric. All
+// updates are lock-free; rendering takes the registry lock only to walk
+// the family list.
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct{ v atomic.Uint64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(x float64) { g.v.Store(math.Float64bits(x)) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram. Observe is lock-free;
+// the rendered sum is maintained by CAS on float bits, backing off with
+// runtime.Gosched under contention so a pile-up of writers cannot
+// livelock each other out of the loop.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf implicit
+	counts []atomic.Int64
+	sum    atomic.Uint64 // math.Float64bits
+	n      atomic.Int64
+}
+
+// NewHistogram builds a histogram over ascending upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one sample. The sum CAS retries under contention;
+// every 8th failure yields the processor so the loop makes progress even
+// with 64 writers hammering the same word (the parallel-writer test
+// asserts no update is ever lost).
+func (h *Histogram) Observe(x float64) {
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for try := 1; ; try++ {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+x)) {
+			return
+		}
+		if try&7 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// WriteProm renders the histogram's sample lines in Prometheus text
+// format (bucket cumulative counts, sum, count) under the given name.
+func (h *Histogram) WriteProm(w io.Writer, name string) {
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, Ftoa(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, Ftoa(h.Sum()))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.n.Load())
+}
+
+// Ftoa renders a float in strconv's shortest round-trip form — the
+// byte-stable formatting shared by the exposition format and the rimd
+// trace format.
+func Ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// family is one registered metric: name, metadata, and how to render and
+// snapshot it.
+type family struct {
+	name, help, typ string
+	render          func(w io.Writer)
+	snapshot        func(into map[string]float64)
+}
+
+// Registry holds named metrics and renders them as a Prometheus text
+// exposition (families sorted by name, so output is deterministic) or as
+// a flat snapshot map for run manifests. Registration is idempotent on
+// the name: re-registering returns the existing metric, so package-level
+// definitions stay safe under repeated test setups.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		families: make(map[string]*family),
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that the instrumented
+// subsystems (core, opt, dynamic, sim, highway) register into.
+func Default() *Registry { return defaultRegistry }
+
+// Counter registers (or returns the existing) counter under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	r.families[name] = &family{
+		name: name, help: help, typ: "counter",
+		render:   func(w io.Writer) { fmt.Fprintf(w, "%s %d\n", name, c.Value()) },
+		snapshot: func(into map[string]float64) { into[name] = float64(c.Value()) },
+	}
+	return c
+}
+
+// Gauge registers (or returns the existing) gauge under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	r.families[name] = &family{
+		name: name, help: help, typ: "gauge",
+		render:   func(w io.Writer) { fmt.Fprintf(w, "%s %s\n", name, Ftoa(g.Value())) },
+		snapshot: func(into map[string]float64) { into[name] = g.Value() },
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.families[name]; ok {
+		return
+	}
+	r.families[name] = &family{
+		name: name, help: help, typ: "gauge",
+		render:   func(w io.Writer) { fmt.Fprintf(w, "%s %s\n", name, Ftoa(fn())) },
+		snapshot: func(into map[string]float64) { into[name] = fn() },
+	}
+}
+
+// Histogram registers (or returns the existing) histogram under name.
+func (r *Registry) Histogram(name, help string, bounds ...float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := NewHistogram(bounds...)
+	r.hists[name] = h
+	r.families[name] = &family{
+		name: name, help: help, typ: "histogram",
+		render: func(w io.Writer) { h.WriteProm(w, name) },
+		snapshot: func(into map[string]float64) {
+			into[name+"_count"] = float64(h.Count())
+			into[name+"_sum"] = h.Sum()
+		},
+	}
+	return h
+}
+
+// sorted returns the families ordered by name.
+func (r *Registry) sorted() []*family {
+	r.mu.Lock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// format, families sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	for _, f := range r.sorted() {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		f.render(w)
+	}
+}
+
+// Snapshot returns a flat name→value map of every registered metric
+// (histograms contribute _count and _sum), the final-metrics block of a
+// run manifest.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, f := range r.sorted() {
+		f.snapshot(out)
+	}
+	return out
+}

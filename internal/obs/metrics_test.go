@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, x := range []float64{0.5, 1, 5, 10, 99, 1000} {
+		h.Observe(x)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+5+10+99+1000; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	var sb strings.Builder
+	h.WriteProm(&sb, "x")
+	out := sb.String()
+	// Cumulative counts: le=1 -> {0.5, 1}, le=10 -> +{5, 10}, le=100 -> +{99}.
+	for _, want := range []string{
+		`x_bucket{le="1"} 2`,
+		`x_bucket{le="10"} 4`,
+		`x_bucket{le="100"} 5`,
+		`x_bucket{le="+Inf"} 6`,
+		"x_count 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramConcurrentSum hammers one histogram from 64 goroutines
+// and asserts the CAS-maintained sum lost no update. The observed values
+// are integers, so float addition is exact in any order and the final
+// sum must match exactly — this is the regression test for the Gosched
+// backoff in the Observe retry loop.
+func TestHistogramConcurrentSum(t *testing.T) {
+	h := NewHistogram(1, 8)
+	const goroutines, per = 64, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			x := float64(g%4 + 1) // 1..4, integer-valued: exact float sums
+			for i := 0; i < per; i++ {
+				h.Observe(x)
+			}
+		}(g)
+	}
+	wg.Wait()
+	wantN := int64(goroutines * per)
+	// Σ over g of per·(g%4+1): 16 goroutines each of value 1,2,3,4.
+	wantSum := float64(16*per) * (1 + 2 + 3 + 4)
+	if h.Count() != wantN {
+		t.Fatalf("count = %d, want %d", h.Count(), wantN)
+	}
+	if h.Sum() != wantSum {
+		t.Fatalf("sum = %v, want %v (CAS sum lost updates)", h.Sum(), wantSum)
+	}
+}
+
+func TestRegistryIdempotentAndSorted(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("b_total", "help b")
+	c2 := r.Counter("b_total", "other help ignored")
+	if c1 != c2 {
+		t.Fatal("re-registering a counter must return the existing one")
+	}
+	c1.Add(3)
+	r.Gauge("a_gauge", "help a").Set(2.5)
+	r.Histogram("c_hist", "help c", 1, 2).Observe(1.5)
+	r.GaugeFunc("d_fn", "help d", func() float64 { return 7 })
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	// Families render sorted by name.
+	order := []string{"a_gauge", "b_total", "c_hist", "d_fn"}
+	last := -1
+	for _, name := range order {
+		i := strings.Index(out, "# HELP "+name)
+		if i < 0 {
+			t.Fatalf("family %s missing:\n%s", name, out)
+		}
+		if i < last {
+			t.Fatalf("family %s out of order:\n%s", name, out)
+		}
+		last = i
+	}
+	if _, err := CheckExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("registry output invalid: %v", err)
+	}
+
+	snap := r.Snapshot()
+	if snap["b_total"] != 3 || snap["a_gauge"] != 2.5 || snap["d_fn"] != 7 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if snap["c_hist_count"] != 1 || snap["c_hist_sum"] != 1.5 {
+		t.Errorf("histogram snapshot = %v", snap)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	var g Gauge
+	g.Set(-1.25)
+	if g.Value() != -1.25 {
+		t.Errorf("gauge = %v", g.Value())
+	}
+}

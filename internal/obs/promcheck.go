@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition validates a Prometheus text-format exposition: every
+// line must be a well-formed comment (# HELP / # TYPE) or a sample with
+// a legal metric name, balanced quoted labels, and a parseable value.
+// It returns the number of sample lines, or an error naming the first
+// offending line. The serve smoke test runs it against a live /metrics
+// scrape so a malformed renderer fails CI instead of a dashboard.
+func CheckExposition(r io.Reader) (samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	typed := make(map[string]string) // family -> TYPE
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line, typed); err != nil {
+				return samples, fmt.Errorf("line %d: %w", lineno, err)
+			}
+			continue
+		}
+		if err := checkSample(line, typed); err != nil {
+			return samples, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("no samples in exposition")
+	}
+	return samples, nil
+}
+
+func checkComment(line string, typed map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	switch fields[1] {
+	case "HELP":
+		if !validMetricName(fields[2]) {
+			return fmt.Errorf("HELP for invalid metric name %q", fields[2])
+		}
+	case "TYPE":
+		if !validMetricName(fields[2]) {
+			return fmt.Errorf("TYPE for invalid metric name %q", fields[2])
+		}
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE line missing type: %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown TYPE %q for %s", fields[3], fields[2])
+		}
+		if prev, ok := typed[fields[2]]; ok {
+			return fmt.Errorf("duplicate TYPE for %s (already %s)", fields[2], prev)
+		}
+		typed[fields[2]] = fields[3]
+	default:
+		return fmt.Errorf("unknown comment keyword %q", fields[1])
+	}
+	return nil
+}
+
+func checkSample(line string, typed map[string]string) error {
+	name, rest := line, ""
+	if i := strings.IndexAny(line, "{ "); i >= 0 {
+		name, rest = line[:i], line[i:]
+	}
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = strings.TrimLeft(rest, " ")
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := checkLabels(rest[1:end]); err != nil {
+			return fmt.Errorf("%w in %q", err, line)
+		}
+		rest = strings.TrimLeft(rest[end+1:], " ")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("expected value [timestamp], got %q", rest)
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		if fields[0] != "+Inf" && fields[0] != "-Inf" && fields[0] != "NaN" {
+			return fmt.Errorf("bad sample value %q", fields[0])
+		}
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return nil
+}
+
+func checkLabels(s string) error {
+	if s == "" {
+		return nil
+	}
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq <= 0 {
+			return fmt.Errorf("bad label pair")
+		}
+		if !validLabelName(s[:eq]) {
+			return fmt.Errorf("bad label name %q", s[:eq])
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("label value not quoted")
+		}
+		// Scan the quoted value, honoring backslash escapes.
+		i := 1
+		for i < len(s) {
+			if s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(s) {
+			return fmt.Errorf("unterminated label value")
+		}
+		s = s[i+1:]
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		} else if len(s) > 0 {
+			return fmt.Errorf("expected ',' between labels")
+		}
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckExpositionValid(t *testing.T) {
+	const good = `# HELP rim_x_total things
+# TYPE rim_x_total counter
+rim_x_total 3
+# HELP rim_h_seconds latency
+# TYPE rim_h_seconds histogram
+rim_h_seconds_bucket{le="0.1"} 1
+rim_h_seconds_bucket{le="+Inf"} 2
+rim_h_seconds_sum 0.25
+rim_h_seconds_count 2
+rim_http{route="a b",code="200"} 1 1700000000
+rim_inf +Inf
+`
+	n, err := CheckExposition(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	if n != 7 {
+		t.Errorf("samples = %d, want 7", n)
+	}
+}
+
+func TestCheckExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad metric name":  "1bad_name 3\n",
+		"bad value":        "rim_x notanumber\n",
+		"unterminated set": "rim_x{a=\"b\" 3\n",
+		"unquoted label":   "rim_x{a=b} 3\n",
+		"bad label name":   "rim_x{1a=\"b\"} 3\n",
+		"unknown TYPE":     "# TYPE rim_x widget\nrim_x 1\n",
+		"duplicate TYPE":   "# TYPE rim_x counter\n# TYPE rim_x counter\nrim_x 1\n",
+		"bad comment":      "# NOTE rim_x hi\nrim_x 1\n",
+		"bad timestamp":    "rim_x 1 soon\n",
+		"empty exposition": "\n",
+	}
+	for name, in := range cases {
+		if _, err := CheckExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestCheckExpositionEscapedLabelValue(t *testing.T) {
+	in := "rim_x{path=\"a\\\"b\\\\c\"} 1\n"
+	if _, err := CheckExposition(strings.NewReader(in)); err != nil {
+		t.Errorf("escaped label value rejected: %v", err)
+	}
+}

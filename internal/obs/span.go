@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Hierarchical spans with a lock-free, sampling-aware recorder.
+//
+// A Span measures one phase of work. Roots come from Start (or
+// Recorder.Start); children from Span.Child, which works across
+// goroutines — hand the parent span to the worker and let it create its
+// own children (parent fields are immutable after creation, so the
+// handoff is race-free). End records the span into the recorder's ring
+// buffer; a span that never Ends simply leaves no record, and siblings
+// may End in any order.
+//
+// Disabled (obs.SetEnabled(false), the default), Start returns nil and
+// every method is a nil-safe no-op: zero allocations, no time.Now call.
+// Enabled, the recorder samples at root granularity — with SetSample(n)
+// only every nth root span (and its whole subtree) is recorded, which is
+// how per-iteration spans in million-iteration loops stay affordable.
+//
+// The ring buffer is a power-of-two slice of atomic pointers: writers
+// claim a slot with one atomic add and publish the record with one
+// atomic store, so concurrent spans from many goroutines never contend
+// on a lock and wraparound overwrites the oldest records first (End
+// happens at span close, so long-lived roots are recorded last and
+// survive the wrap).
+
+// SpanRecord is one completed span as stored in the recorder.
+type SpanRecord struct {
+	ID     uint64 // 1-based; 0 is "no parent"
+	Parent uint64
+	Lane   uint64 // root-span lane, inherited by descendants (trace row)
+	Name   string
+	Start  int64 // ns since the Unix epoch
+	Dur    int64 // ns
+}
+
+// Recorder collects span records into a fixed ring buffer.
+type Recorder struct {
+	slots  []atomic.Pointer[SpanRecord]
+	mask   uint64
+	cursor atomic.Uint64 // next slot (total records ever stored)
+	ids    atomic.Uint64
+	roots  atomic.Uint64 // root sequence, drives sampling
+	lanes  atomic.Uint64
+	sample atomic.Int64 // record every nth root; <= 1 records all
+}
+
+// DefaultCap is the default ring capacity (records retained).
+const DefaultCap = 1 << 16
+
+// NewRecorder builds a recorder retaining up to capacity records
+// (rounded up to a power of two; <= 0 selects DefaultCap).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCap
+	}
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return &Recorder{slots: make([]atomic.Pointer[SpanRecord], c), mask: uint64(c - 1)}
+}
+
+var defaultRecorder atomic.Pointer[Recorder]
+
+func init() { defaultRecorder.Store(NewRecorder(DefaultCap)) }
+
+// DefaultRecorder returns the process-wide recorder used by Start.
+func DefaultRecorder() *Recorder { return defaultRecorder.Load() }
+
+// ResetDefault replaces the process-wide recorder with a fresh one of
+// the given capacity (CLI startup; tests use their own recorders).
+func ResetDefault(capacity int) *Recorder {
+	r := NewRecorder(capacity)
+	defaultRecorder.Store(r)
+	return r
+}
+
+// SetSample makes the recorder keep every nth root span's subtree
+// (n <= 1 keeps everything).
+func (r *Recorder) SetSample(n int) { r.sample.Store(int64(n)) }
+
+// Span is one in-flight phase measurement. The zero of usefulness is the
+// nil *Span: all methods no-op on it.
+type Span struct {
+	rec    *Recorder
+	name   string
+	id     uint64
+	parent uint64
+	lane   uint64
+	start  time.Time
+}
+
+// Start opens a root span on the default recorder. It returns nil (a
+// valid, inert span) when observability is disabled.
+func Start(name string) *Span {
+	if !On() {
+		return nil
+	}
+	return DefaultRecorder().Start(name)
+}
+
+// Start opens a root span on this recorder, honoring the sampling rate.
+// It returns nil when observability is disabled or the root is sampled
+// out.
+func (r *Recorder) Start(name string) *Span {
+	if !On() {
+		return nil
+	}
+	seq := r.roots.Add(1)
+	if n := r.sample.Load(); n > 1 && seq%uint64(n) != 0 {
+		return nil
+	}
+	return &Span{
+		rec:   r,
+		name:  name,
+		id:    r.ids.Add(1),
+		lane:  r.lanes.Add(1),
+		start: time.Now(),
+	}
+}
+
+// Child opens a sub-span. Safe to call from any goroutine holding the
+// parent (explicit parent handoff is the cross-goroutine mechanism), and
+// a nil parent yields a nil child.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{
+		rec:    s.rec,
+		name:   name,
+		id:     s.rec.ids.Add(1),
+		parent: s.id,
+		lane:   s.lane,
+		start:  time.Now(),
+	}
+}
+
+// End closes the span and publishes its record. Nil-safe; spans may end
+// out of order (each record is independent).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	rec := &SpanRecord{
+		ID:     s.id,
+		Parent: s.parent,
+		Lane:   s.lane,
+		Name:   s.name,
+		Start:  s.start.UnixNano(),
+		Dur:    int64(time.Since(s.start)),
+	}
+	slot := s.rec.cursor.Add(1) - 1
+	s.rec.slots[slot&s.rec.mask].Store(rec)
+}
+
+// Len returns how many records are currently retained.
+func (r *Recorder) Len() int {
+	n := r.cursor.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Dropped returns how many records the ring has overwritten.
+func (r *Recorder) Dropped() int64 {
+	n := r.cursor.Load()
+	if n <= uint64(len(r.slots)) {
+		return 0
+	}
+	return int64(n - uint64(len(r.slots)))
+}
+
+// Records snapshots the retained records, oldest first. Records being
+// written concurrently are either included or not — never torn (each
+// slot is a single atomic pointer).
+func (r *Recorder) Records() []SpanRecord {
+	n := r.cursor.Load()
+	start := uint64(0)
+	if n > uint64(len(r.slots)) {
+		start = n - uint64(len(r.slots))
+	}
+	out := make([]SpanRecord, 0, n-start)
+	for i := start; i < n; i++ {
+		if p := r.slots[i&r.mask].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// Reset clears the recorder. Not safe to race with active spans; call it
+// between runs (CLI start, test setup).
+func (r *Recorder) Reset() {
+	for i := range r.slots {
+		r.slots[i].Store(nil)
+	}
+	r.cursor.Store(0)
+	r.ids.Store(0)
+	r.roots.Store(0)
+	r.lanes.Store(0)
+}

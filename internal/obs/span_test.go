@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// enable turns observability on for one test and restores the previous
+// state on cleanup. Tests that need the enabled path skip under the
+// obs_off build tag, where SetEnabled cannot win against On() == false.
+func enable(t *testing.T) {
+	t.Helper()
+	if !Available {
+		t.Skip("built with obs_off")
+	}
+	prev := SetEnabled(true)
+	t.Cleanup(func() { SetEnabled(prev) })
+}
+
+func TestSpanHierarchyOutOfOrderEnd(t *testing.T) {
+	enable(t)
+	r := NewRecorder(64)
+	root := r.Start("root")
+	a := root.Child("a")
+	b := root.Child("b")
+	ab := a.Child("a.inner")
+	// End out of order: parent before one child, siblings interleaved.
+	b.End()
+	a.End()
+	root.End()
+	ab.End() // ends after its whole ancestry closed
+
+	recs := r.Records()
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	byName := map[string]SpanRecord{}
+	for _, rec := range recs {
+		byName[rec.Name] = rec
+	}
+	if byName["a"].Parent != byName["root"].ID || byName["b"].Parent != byName["root"].ID {
+		t.Errorf("children must point at root: %+v", byName)
+	}
+	if byName["a.inner"].Parent != byName["a"].ID {
+		t.Errorf("grandchild parent = %d, want %d", byName["a.inner"].Parent, byName["a"].ID)
+	}
+	for _, rec := range recs {
+		if rec.Lane != byName["root"].Lane {
+			t.Errorf("span %s on lane %d, want root lane %d", rec.Name, rec.Lane, byName["root"].Lane)
+		}
+	}
+	// The tree dump must nest all four spans under the single root.
+	var sb strings.Builder
+	r.WriteTree(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "\n  a ") || !strings.Contains(out, "    a.inner ") {
+		t.Errorf("tree missing expected nesting:\n%s", out)
+	}
+}
+
+// TestSpanCrossGoroutineHandoff is the documented cross-goroutine
+// pattern: the parent span is handed to workers, each of which creates
+// and ends its own children. Run under -race in CI; a data race here is
+// a test failure even if the assertions pass.
+func TestSpanCrossGoroutineHandoff(t *testing.T) {
+	enable(t)
+	r := NewRecorder(256)
+	root := r.Start("root")
+	const workers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.Child("worker")
+			c.Child("task").End()
+			c.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+
+	recs := r.Records()
+	if len(recs) != 2*workers+1 {
+		t.Fatalf("got %d records, want %d", len(recs), 2*workers+1)
+	}
+	workersSeen := 0
+	for _, rec := range recs {
+		if rec.Name == "worker" {
+			workersSeen++
+			if rec.Parent == 0 {
+				t.Error("worker span lost its parent")
+			}
+		}
+	}
+	if workersSeen != workers {
+		t.Errorf("saw %d worker spans, want %d", workersSeen, workers)
+	}
+}
+
+func TestRecorderRingWraparound(t *testing.T) {
+	enable(t)
+	r := NewRecorder(8)
+	const total = 20
+	for i := 0; i < total; i++ {
+		r.Start("s").End()
+	}
+	if r.Len() != 8 {
+		t.Errorf("Len = %d, want 8", r.Len())
+	}
+	if r.Dropped() != total-8 {
+		t.Errorf("Dropped = %d, want %d", r.Dropped(), total-8)
+	}
+	recs := r.Records()
+	if len(recs) != 8 {
+		t.Fatalf("got %d records, want 8", len(recs))
+	}
+	// Oldest-first: the retained records are the last 8 started, in order.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].ID <= recs[i-1].ID {
+			t.Fatalf("records not oldest-first: %v then %v", recs[i-1].ID, recs[i].ID)
+		}
+	}
+	if recs[0].ID != total-8+1 {
+		t.Errorf("oldest retained ID = %d, want %d", recs[0].ID, total-8+1)
+	}
+	// The tree dump reports the eviction.
+	var sb strings.Builder
+	r.WriteTree(&sb)
+	if !strings.Contains(sb.String(), "# ring evicted 12 older spans") {
+		t.Errorf("missing eviction notice:\n%s", sb.String())
+	}
+}
+
+func TestRecorderSampling(t *testing.T) {
+	enable(t)
+	r := NewRecorder(64)
+	r.SetSample(4)
+	kept := 0
+	for i := 0; i < 16; i++ {
+		sp := r.Start("root")
+		if sp != nil {
+			kept++
+			sp.Child("kid").End() // sampled-in subtrees record fully
+		}
+		sp.End()
+	}
+	if kept != 4 {
+		t.Errorf("kept %d of 16 roots at sample=4, want 4", kept)
+	}
+	if got := len(r.Records()); got != 8 {
+		t.Errorf("recorded %d spans, want 8 (4 roots + 4 children)", got)
+	}
+}
+
+func TestDisabledSpansAreNilAndFree(t *testing.T) {
+	if !Available {
+		// obs_off build: On() is compile-time false, same assertions hold.
+		t.Log("running under obs_off")
+	}
+	prev := SetEnabled(false)
+	t.Cleanup(func() { SetEnabled(prev) })
+
+	if sp := Start("x"); sp != nil {
+		t.Fatal("Start must return nil while disabled")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := Start("hot")
+		c := sp.Child("inner")
+		c.End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled span path allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestRecorderCapacityRounding(t *testing.T) {
+	if got := len(NewRecorder(100).slots); got != 128 {
+		t.Errorf("capacity 100 -> %d slots, want 128", got)
+	}
+	if got := len(NewRecorder(0).slots); got != DefaultCap {
+		t.Errorf("capacity 0 -> %d slots, want %d", got, DefaultCap)
+	}
+}

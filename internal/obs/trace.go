@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Span export: Chrome trace_event JSON (loadable in chrome://tracing and
+// ui.perfetto.dev), a plain-text tree dump for terminals and
+// /debug/obs/spans, and per-name rollups for run manifests.
+
+// chromeEvent is one "X" (complete) event of the trace_event format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON object format's root.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the retained records as Chrome trace_event
+// JSON. Lanes map to thread rows, so concurrent root spans land on
+// separate rows and nesting inside a lane follows the span hierarchy.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	recs := r.Records()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Start < recs[j].Start })
+	var epoch int64
+	if len(recs) > 0 {
+		epoch = recs[0].Start
+	}
+	evs := make([]chromeEvent, 0, len(recs))
+	for _, rec := range recs {
+		evs = append(evs, chromeEvent{
+			Name: rec.Name,
+			Ph:   "X",
+			TS:   float64(rec.Start-epoch) / 1e3,
+			Dur:  float64(rec.Dur) / 1e3,
+			PID:  1,
+			TID:  rec.Lane,
+			Args: map[string]any{"id": rec.ID, "parent": rec.Parent},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
+
+// WriteTree renders the retained records as an indented tree, children
+// sorted by start time, durations humanized. Spans whose parent record
+// was evicted by ring wraparound print as roots.
+func (r *Recorder) WriteTree(w io.Writer) {
+	recs := r.Records()
+	byID := make(map[uint64]int, len(recs))
+	for i := range recs {
+		byID[recs[i].ID] = i
+	}
+	children := make(map[uint64][]int, len(recs))
+	var roots []int
+	for i := range recs {
+		if _, ok := byID[recs[i].Parent]; recs[i].Parent != 0 && ok {
+			children[recs[i].Parent] = append(children[recs[i].Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	order := func(idx []int) {
+		sort.Slice(idx, func(a, b int) bool { return recs[idx[a]].Start < recs[idx[b]].Start })
+	}
+	order(roots)
+	var dump func(i, depth int)
+	dump = func(i, depth int) {
+		rec := recs[i]
+		fmt.Fprintf(w, "%s%s %s\n", strings.Repeat("  ", depth), rec.Name, fmtDur(rec.Dur))
+		kids := children[rec.ID]
+		order(kids)
+		for _, k := range kids {
+			dump(k, depth+1)
+		}
+	}
+	if d := r.Dropped(); d > 0 {
+		fmt.Fprintf(w, "# ring evicted %d older spans\n", d)
+	}
+	for _, i := range roots {
+		dump(i, 0)
+	}
+}
+
+// fmtDur prints nanoseconds with a sensible unit.
+func fmtDur(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	}
+	return fmt.Sprintf("%dns", ns)
+}
+
+// Rollup aggregates the retained spans by name.
+type Rollup struct {
+	Name    string  `json:"name"`
+	Count   int64   `json:"count"`
+	TotalNS int64   `json:"total_ns"`
+	SelfNS  int64   `json:"self_ns"` // total minus recorded direct children
+	MaxNS   int64   `json:"max_ns"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+// Rollup aggregates records per span name, sorted by total time
+// descending — the per-phase breakdown embedded in run manifests.
+func (r *Recorder) Rollup() []Rollup {
+	recs := r.Records()
+	childNS := make(map[uint64]int64, len(recs)) // parent ID -> Σ child durations
+	for _, rec := range recs {
+		if rec.Parent != 0 {
+			childNS[rec.Parent] += rec.Dur
+		}
+	}
+	agg := make(map[string]*Rollup)
+	for _, rec := range recs {
+		ru := agg[rec.Name]
+		if ru == nil {
+			ru = &Rollup{Name: rec.Name}
+			agg[rec.Name] = ru
+		}
+		ru.Count++
+		ru.TotalNS += rec.Dur
+		ru.SelfNS += rec.Dur - childNS[rec.ID]
+		if rec.Dur > ru.MaxNS {
+			ru.MaxNS = rec.Dur
+		}
+	}
+	out := make([]Rollup, 0, len(agg))
+	for _, ru := range agg {
+		ru.TotalMS = float64(ru.TotalNS) / 1e6
+		out = append(out, *ru)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalNS != out[j].TotalNS {
+			return out[i].TotalNS > out[j].TotalNS
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// RootNS returns the summed duration of the retained root spans (spans
+// with no recorded parent) — the numerator of a run's span coverage.
+func (r *Recorder) RootNS() int64 {
+	recs := r.Records()
+	byID := make(map[uint64]bool, len(recs))
+	for _, rec := range recs {
+		byID[rec.ID] = true
+	}
+	var total int64
+	for _, rec := range recs {
+		if rec.Parent == 0 || !byID[rec.Parent] {
+			total += rec.Dur
+		}
+	}
+	return total
+}

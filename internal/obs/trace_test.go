@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// record stores a hand-built SpanRecord, bypassing timing, so trace and
+// rollup tests are deterministic.
+func record(r *Recorder, rec SpanRecord) {
+	slot := r.cursor.Add(1) - 1
+	r.slots[slot&r.mask].Store(&rec)
+}
+
+func testRecords(r *Recorder) {
+	base := time.Now().UnixNano()
+	record(r, SpanRecord{ID: 1, Lane: 1, Name: "run", Start: base, Dur: 1000})
+	record(r, SpanRecord{ID: 2, Parent: 1, Lane: 1, Name: "phase", Start: base + 100, Dur: 300})
+	record(r, SpanRecord{ID: 3, Parent: 1, Lane: 1, Name: "phase", Start: base + 500, Dur: 400})
+	record(r, SpanRecord{ID: 4, Parent: 2, Lane: 1, Name: "leaf", Start: base + 150, Dur: 100})
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	r := NewRecorder(16)
+	testRecords(r)
+	var sb strings.Builder
+	if err := r.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  uint64  `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(doc.TraceEvents))
+	}
+	// Events are start-sorted and timestamped relative to the first.
+	if doc.TraceEvents[0].Name != "run" || doc.TraceEvents[0].TS != 0 {
+		t.Errorf("first event = %+v, want run at ts 0", doc.TraceEvents[0])
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.PID != 1 || ev.TID != 1 {
+			t.Errorf("event %+v: want ph=X pid=1 tid=1", ev)
+		}
+	}
+	// Dur converts ns -> µs.
+	if doc.TraceEvents[0].Dur != 1.0 {
+		t.Errorf("run dur = %v µs, want 1", doc.TraceEvents[0].Dur)
+	}
+}
+
+func TestRollupAndRootNS(t *testing.T) {
+	r := NewRecorder(16)
+	testRecords(r)
+	rus := r.Rollup()
+	if len(rus) != 3 {
+		t.Fatalf("got %d rollups, want 3: %+v", len(rus), rus)
+	}
+	// Sorted by total descending: run (1000) > phase (700) > leaf (100).
+	if rus[0].Name != "run" || rus[1].Name != "phase" || rus[2].Name != "leaf" {
+		t.Fatalf("rollup order: %+v", rus)
+	}
+	if rus[1].Count != 2 || rus[1].TotalNS != 700 || rus[1].MaxNS != 400 {
+		t.Errorf("phase rollup = %+v", rus[1])
+	}
+	// Self time: run excludes its two phases, phase[ID 2] excludes leaf.
+	if rus[0].SelfNS != 1000-700 {
+		t.Errorf("run self = %d, want 300", rus[0].SelfNS)
+	}
+	if rus[1].SelfNS != 700-100 {
+		t.Errorf("phase self = %d, want 600", rus[1].SelfNS)
+	}
+	if got := r.RootNS(); got != 1000 {
+		t.Errorf("RootNS = %d, want 1000 (only the root counts)", got)
+	}
+}
+
+func TestRootNSCountsOrphansAfterEviction(t *testing.T) {
+	r := NewRecorder(16)
+	// Parent record evicted (never stored): child must count as a root.
+	record(r, SpanRecord{ID: 9, Parent: 7, Lane: 1, Name: "orphan", Start: 1, Dur: 50})
+	if got := r.RootNS(); got != 50 {
+		t.Errorf("RootNS = %d, want 50", got)
+	}
+}
+
+func TestWriteTreeOrphans(t *testing.T) {
+	r := NewRecorder(16)
+	record(r, SpanRecord{ID: 9, Parent: 7, Lane: 1, Name: "orphan", Start: 1, Dur: 50})
+	var sb strings.Builder
+	r.WriteTree(&sb)
+	if !strings.HasPrefix(sb.String(), "orphan ") {
+		t.Errorf("orphan must print as a root:\n%s", sb.String())
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := map[int64]string{
+		500:           "500ns",
+		1500:          "1.5µs",
+		2_500_000:     "2.50ms",
+		3_000_000_0:   "30.00ms",
+		1_500_000_000: "1.500s",
+	}
+	for ns, want := range cases {
+		if got := fmtDur(ns); got != want {
+			t.Errorf("fmtDur(%d) = %q, want %q", ns, got, want)
+		}
+	}
+}

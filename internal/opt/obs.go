@@ -1,0 +1,16 @@
+package opt
+
+import "repro/internal/obs"
+
+// Optimizer metrics. The annealer counts moves locally in the loop and
+// flushes once at the end, so the hot loop never touches shared atomics.
+var (
+	obsAnnealIters = obs.Default().Counter("rim_opt_anneal_iters_total",
+		"Simulated-annealing iterations executed.")
+	obsAnnealAccepted = obs.Default().Counter("rim_opt_anneal_accepted_total",
+		"Annealing moves accepted (including downhill).")
+	obsAnnealRejected = obs.Default().Counter("rim_opt_anneal_rejected_total",
+		"Annealing moves rejected by the Metropolis test or feasibility.")
+	obsExactVisited = obs.Default().Counter("rim_opt_exact_visited_total",
+		"Branch-and-bound search-tree nodes visited.")
+)

@@ -40,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/udg"
 )
 
@@ -87,6 +88,8 @@ func ExactBudget(pts []geom.Point, budget int64) Result {
 	if n == 0 {
 		return Result{Topology: graph.New(0), Exact: true}
 	}
+	sp := obs.Start("opt.exact")
+	defer sp.End()
 	base := udg.Build(pts)
 	_, wantK := base.Components()
 
@@ -104,6 +107,7 @@ func ExactBudget(pts []geom.Point, budget int64) Result {
 	// Seed the upper bound with the best feasible topology at hand: the
 	// range-limited Euclidean MST, improved by a short annealing run. The
 	// tighter the seed, the harder the bound prunes.
+	seed := sp.Child("opt.exact.seed")
 	mst := graph.EuclideanMST(pts, udg.Radius)
 	seedRadii := core.Radii(pts, mst)
 	seedI := core.InterferenceRadii(pts, seedRadii).Max()
@@ -113,8 +117,14 @@ func ExactBudget(pts []geom.Point, budget int64) Result {
 	}
 	s.best = seedI
 	s.bestRadii = append([]float64(nil), seedRadii...)
+	seed.End()
 
+	search := sp.Child("opt.exact.search")
 	s.search(0)
+	search.End()
+	if obs.On() {
+		obsExactVisited.Add(s.visited)
+	}
 
 	return Result{
 		Interference: s.best,
@@ -395,6 +405,9 @@ func Anneal(pts []geom.Point, rng *rand.Rand, iters int) Result {
 	if n == 0 {
 		return Result{Topology: graph.New(0)}
 	}
+	sp := obs.Start("opt.anneal")
+	defer sp.End()
+	setup := sp.Child("opt.anneal.setup")
 	base := udg.Build(pts)
 	_, wantK := base.Components()
 
@@ -409,10 +422,21 @@ func Anneal(pts []geom.Point, rng *rand.Rand, iters int) Result {
 	curI := ev.Max()
 	best := append([]float64(nil), cur...)
 	bestI := curI
+	setup.End()
 
+	loop := sp.Child("opt.anneal.loop")
+	var accepted, rejected int64
+	var chunk *obs.Span
 	temp := 2.0
 	cool := math.Pow(0.01/temp, 1/math.Max(1, float64(iters)))
 	for it := 0; it < iters; it++ {
+		// One trace span per 64-iteration chunk keeps per-move timing
+		// visible without a million-record trace; continues below are safe
+		// because the chunk ends at the next boundary, not per iteration.
+		if it&63 == 0 {
+			chunk.End()
+			chunk = loop.Child("opt.anneal.iters64")
+		}
 		u := rng.Intn(n)
 		if len(cand[u]) == 0 {
 			continue
@@ -429,6 +453,7 @@ func Anneal(pts []geom.Point, rng *rand.Rand, iters int) Result {
 			if !ok {
 				cur[u] = ev.Radius(u)
 				temp *= cool
+				rejected++
 				continue
 			}
 			cur[u] = ev.Radius(u)
@@ -439,14 +464,23 @@ func Anneal(pts []geom.Point, rng *rand.Rand, iters int) Result {
 		if dE <= 0 || rng.Float64() < math.Exp(-dE/temp) {
 			cur[u] = r
 			curI = newI
+			accepted++
 			if curI < bestI {
 				bestI = curI
 				copy(best, cur)
 			}
 		} else {
 			ev.SetRadius(u, old)
+			rejected++
 		}
 		temp *= cool
+	}
+	chunk.End()
+	loop.End()
+	if obs.On() {
+		obsAnnealIters.Add(int64(iters))
+		obsAnnealAccepted.Add(accepted)
+		obsAnnealRejected.Add(rejected)
 	}
 	return Result{
 		Interference: bestI,

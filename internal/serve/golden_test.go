@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"context"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/metrics.golden")
+
+// TestMetricsGolden locks the /metrics exposition format produced by
+// Manager.WriteMetrics: family order, metric names, HELP/TYPE lines, and
+// label structure must not drift (dashboards and scrape configs depend
+// on them). Sample values are timing- and load-dependent, so every value
+// is normalized to V before comparison — the golden file locks the
+// skeleton, not the numbers. Refresh with `go test ./internal/serve/
+// -run Golden -update` after an intentional format change.
+func TestMetricsGolden(t *testing.T) {
+	m := NewManager(Config{Shards: 1, QueueCap: 16, BatchCap: 8})
+	defer m.Close(context.Background())
+
+	s, err := m.CreateSession("g1", []geom.Point{geom.Pt(0, 0), geom.Pt(0.5, 0), geom.Pt(1.2, 0.3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply(SetRadius(0, 0.6), Add(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	m.metrics.IncHTTP("mutate", 200)
+	m.metrics.IncHTTP("metrics", 200)
+
+	var sb strings.Builder
+	m.WriteMetrics(&sb)
+	got := normalizeExposition(sb.String())
+
+	const path = "testdata/metrics.golden"
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition format drifted from %s (refresh with -update if intentional)\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+
+	// The raw exposition must also be well-formed Prometheus text.
+	if _, err := obs.CheckExposition(strings.NewReader(sb.String())); err != nil {
+		t.Errorf("exposition invalid: %v", err)
+	}
+}
+
+// normalizeExposition replaces every sample value with V, keeping
+// comments, names, and label sets verbatim.
+func normalizeExposition(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, line := range lines {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if j := strings.LastIndexByte(line, ' '); j >= 0 {
+			lines[i] = line[:j] + " V"
+		}
+	}
+	return strings.Join(lines, "\n")
+}

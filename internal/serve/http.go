@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // HTTP/JSON front door. Routes (Go 1.22 pattern syntax):
@@ -146,6 +147,9 @@ func (h *api) healthz(w http.ResponseWriter, _ *http.Request) {
 func (h *api) metrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	h.m.WriteMetrics(w)
+	// Registry-backed families (rim_core_*, rim_dynamic_*, …) render after
+	// the legacy rimd_* block, whose byte layout the golden test locks.
+	obs.Default().WritePrometheus(w)
 }
 
 func (h *api) create(w http.ResponseWriter, r *http.Request) {

@@ -3,73 +3,28 @@ package serve
 import (
 	"fmt"
 	"io"
-	"math"
 	"sort"
 	"strconv"
 	"sync"
-	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
-// Hand-rolled Prometheus-text-format instrumentation: counters,
-// histograms, and scrape-time per-session gauges, with no dependency
-// beyond the standard library (the container bakes in no client_golang).
-// Only the subset the daemon needs is implemented — monotonic counters,
-// fixed-bucket histograms, and gauges computed at scrape time.
+// The daemon's metric set, rendered in Prometheus text format. The
+// counter/histogram machinery lives in internal/obs (promoted from here
+// when the observability layer landed); this file keeps only the metric
+// definitions, the per-session scrape-time gauges, and the exposition
+// renderer — whose exact output is locked by the golden-file test.
 
-// Counter is a monotonically increasing metric.
-type Counter struct{ v atomic.Int64 }
-
-// Add increments the counter.
-func (c *Counter) Add(d int64) { c.v.Add(d) }
-
-// Value returns the current count.
-func (c *Counter) Value() int64 { return c.v.Load() }
-
-// Histogram is a fixed-bucket cumulative histogram. Observe is lock-free;
-// the rendered sum is maintained by CAS on float bits.
-type Histogram struct {
-	bounds []float64 // ascending upper bounds; +Inf implicit
-	counts []atomic.Int64
-	sum    atomic.Uint64 // math.Float64bits
-	n      atomic.Int64
-}
+// Counter and Histogram alias the obs primitives so the serve package's
+// exported metric surface (Metrics.Batches etc.) is unchanged.
+type (
+	Counter   = obs.Counter
+	Histogram = obs.Histogram
+)
 
 // NewHistogram builds a histogram over ascending upper bounds.
-func NewHistogram(bounds ...float64) *Histogram {
-	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
-}
-
-// Observe records one sample.
-func (h *Histogram) Observe(x float64) {
-	i := sort.SearchFloat64s(h.bounds, x)
-	h.counts[i].Add(1)
-	h.n.Add(1)
-	for {
-		old := h.sum.Load()
-		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+x)) {
-			return
-		}
-	}
-}
-
-// Count returns the number of samples observed.
-func (h *Histogram) Count() int64 { return h.n.Load() }
-
-// Sum returns the sum of all observed samples.
-func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
-
-// write renders the histogram in Prometheus text format.
-func (h *Histogram) write(w io.Writer, name string) {
-	cum := int64(0)
-	for i, b := range h.bounds {
-		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, ftoa(b), cum)
-	}
-	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %s\n", name, ftoa(h.Sum()))
-	fmt.Fprintf(w, "%s_count %d\n", name, h.n.Load())
-}
+func NewHistogram(bounds ...float64) *Histogram { return obs.NewHistogram(bounds...) }
 
 // Metrics is the daemon's metric set. Counters and histograms are updated
 // on the hot paths; per-session gauges (queue depth, snapshot age, size)
@@ -146,9 +101,9 @@ func (m *Manager) WriteMetrics(w io.Writer) {
 	mx.httpMu.Unlock()
 
 	fmt.Fprintf(w, "# HELP rimd_batch_size Mutations per applied batch.\n# TYPE rimd_batch_size histogram\n")
-	mx.BatchSize.write(w, "rimd_batch_size")
+	mx.BatchSize.WriteProm(w, "rimd_batch_size")
 	fmt.Fprintf(w, "# HELP rimd_apply_latency_seconds Batch apply latency.\n# TYPE rimd_apply_latency_seconds histogram\n")
-	mx.ApplyLatency.write(w, "rimd_apply_latency_seconds")
+	mx.ApplyLatency.WriteProm(w, "rimd_apply_latency_seconds")
 
 	fmt.Fprintf(w, "# HELP rimd_sessions Live sessions.\n# TYPE rimd_sessions gauge\nrimd_sessions %d\n", len(sessions))
 	gauge := func(name, help string) {

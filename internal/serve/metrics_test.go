@@ -1,56 +1,12 @@
 package serve
 
 import (
-	"strings"
-	"sync"
 	"testing"
 )
 
-func TestHistogramBucketsAndSum(t *testing.T) {
-	h := NewHistogram(1, 10, 100)
-	for _, x := range []float64{0.5, 1, 5, 10, 99, 1000} {
-		h.Observe(x)
-	}
-	if h.Count() != 6 {
-		t.Fatalf("count = %d", h.Count())
-	}
-	if got, want := h.Sum(), 0.5+1+5+10+99+1000; got != want {
-		t.Fatalf("sum = %v, want %v", got, want)
-	}
-	var sb strings.Builder
-	h.write(&sb, "x")
-	out := sb.String()
-	// Cumulative counts: le=1 -> {0.5, 1}, le=10 -> +{5, 10}, le=100 -> +{99}.
-	for _, want := range []string{
-		`x_bucket{le="1"} 2`,
-		`x_bucket{le="10"} 4`,
-		`x_bucket{le="100"} 5`,
-		`x_bucket{le="+Inf"} 6`,
-		"x_count 6",
-	} {
-		if !strings.Contains(out, want) {
-			t.Errorf("missing %q in:\n%s", want, out)
-		}
-	}
-}
-
-func TestHistogramConcurrentSum(t *testing.T) {
-	h := NewHistogram(1)
-	var wg sync.WaitGroup
-	for g := 0; g < 8; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := 0; i < 1000; i++ {
-				h.Observe(1)
-			}
-		}()
-	}
-	wg.Wait()
-	if h.Count() != 8000 || h.Sum() != 8000 {
-		t.Fatalf("count=%d sum=%v, want 8000/8000 (CAS sum lost updates)", h.Count(), h.Sum())
-	}
-}
+// The Counter/Histogram machinery (and its bucket/concurrent-sum tests)
+// moved to internal/obs; this file keeps the serve-local helpers. The
+// exposition format itself is locked by golden_test.go.
 
 func TestCut2(t *testing.T) {
 	route, code, ok := cut2("mutate,429")

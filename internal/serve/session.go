@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dynamic"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -212,11 +213,15 @@ func (s *Session) runBatch() {
 	if !s.det {
 		batch = coalesce(batch)
 	}
+	sp := obs.Start("serve.batch")
 	t0 := time.Now()
 	for i := range batch {
 		s.applyOne(batch[i])
 	}
+	pub := sp.Child("serve.publish")
 	s.publish()
+	pub.End()
+	sp.End()
 	mx.Batches.Add(1)
 	mx.BatchSize.Observe(float64(len(batch)))
 	mx.ApplyLatency.Observe(time.Since(t0).Seconds())

@@ -1,0 +1,20 @@
+package sim
+
+import "repro/internal/obs"
+
+// Simulator metrics, mirrored from the run's Metrics once at the end of
+// Run — the event loop itself stays free of shared atomics.
+var (
+	obsSlots = obs.Default().Counter("rim_sim_slots_total",
+		"Simulated MAC slots executed.")
+	obsInjected = obs.Default().Counter("rim_sim_injected_total",
+		"Frames injected into the network.")
+	obsDelivered = obs.Default().Counter("rim_sim_delivered_total",
+		"Frames delivered end-to-end.")
+	obsTxAttempts = obs.Default().Counter("rim_sim_tx_attempts_total",
+		"Transmissions attempted (including retransmissions).")
+	obsCollisions = obs.Default().Counter("rim_sim_collisions_total",
+		"Receptions destroyed by a covering transmission.")
+	obsDropped = obs.Default().Counter("rim_sim_dropped_total",
+		"Frames dropped (retries, queue overflow, unroutable, failures).")
+)

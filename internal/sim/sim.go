@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/obs"
 )
 
 // Config sets the MAC and accounting parameters of a run.
@@ -160,6 +162,7 @@ type Simulator struct {
 	tracer      Tracer
 	frameSeq    int64
 	now         int64
+	slotSpan    *obs.Span // sampled per-slot span (nil off the sample)
 }
 
 // New builds a simulator over the network with BFS minimum-hop routing.
@@ -249,12 +252,30 @@ func (s *Simulator) enqueue(u int, f *Frame) {
 
 // Run executes the configured number of slots.
 func (s *Simulator) Run() *Metrics {
+	sp := obs.Start("sim.run")
 	for s.now = 0; s.now < s.cfg.Slots; s.now++ {
+		// Every 64th slot gets its own span with tx/rx phase children —
+		// enough trace detail to see the loop's shape without one record
+		// per slot.
+		if sp != nil && s.now&63 == 0 {
+			s.slotSpan = sp.Child("sim.slot")
+		}
 		s.sched.DrainSlot(s.now)
 		s.step()
+		s.slotSpan.End()
+		s.slotSpan = nil
 	}
 	for _, q := range s.queues {
 		s.m.InFlight += int64(len(q))
+	}
+	sp.End()
+	if obs.On() {
+		obsSlots.Add(s.cfg.Slots)
+		obsInjected.Add(s.m.Injected)
+		obsDelivered.Add(s.m.Delivered)
+		obsTxAttempts.Add(s.m.TxAttempts)
+		obsCollisions.Add(s.m.Collisions)
+		obsDropped.Add(s.m.DroppedHop + s.m.DroppedQ + s.m.Unroutable + s.m.LostAtFail)
 	}
 	return &s.m
 }
@@ -264,6 +285,7 @@ func (s *Simulator) step() {
 	n := len(s.nw.Pts)
 	// Phase 1: every backlogged node with expired backoff transmits with
 	// probability P (p-persistent slotted access).
+	tx := s.slotSpan.Child("sim.tx-phase")
 	for u := 0; u < n; u++ {
 		s.sending[u] = false
 		s.txFrame[u] = nil
@@ -316,8 +338,11 @@ func (s *Simulator) step() {
 		s.m.Energy += math.Pow(s.nw.Radii[u], s.cfg.Alpha) + electronicsCost
 	}
 
+	tx.End()
+
 	// Phase 2: resolve receptions. A frame u→v succeeds iff v is not
 	// itself sending (half-duplex) and no OTHER sender's disk covers v.
+	rx := s.slotSpan.Child("sim.rx-phase")
 	for u := 0; u < n; u++ {
 		if !s.sending[u] {
 			continue
@@ -397,6 +422,7 @@ func (s *Simulator) step() {
 			}
 		}
 	}
+	rx.End()
 	copy(s.prevSending, s.sending)
 }
 
