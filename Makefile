@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench bench-json serve-smoke trace-demo obs-overhead repro figures tables cover fuzz fuzz-nightly clean
+.PHONY: all build vet test check bench bench-json serve-smoke store-smoke store-overhead trace-demo obs-overhead repro figures tables cover fuzz fuzz-nightly clean
 
 all: build vet test
 
@@ -34,9 +34,10 @@ bench:
 # (BENCH_$(BENCH).json), so successive PRs archive side by side:
 #   BENCH=1  evaluator-rework numbers (the default regex's first five)
 #   BENCH=2  + the serving-layer mixed-workload numbers
-# e.g. `make bench-json BENCH=2`.
+#   BENCH=3  + the durability numbers (WAL append, crash recovery)
+# e.g. `make bench-json BENCH=3`.
 BENCH ?= 1
-BENCH_REGEX ?= BenchmarkAnnealEvaluator|BenchmarkAnnealRecompute|BenchmarkDynamicEvents|BenchmarkExactSearch|BenchmarkAblationIncremental|BenchmarkServeMixed|BenchmarkServeHTTPMixed
+BENCH_REGEX ?= BenchmarkAnnealEvaluator|BenchmarkAnnealRecompute|BenchmarkDynamicEvents|BenchmarkExactSearch|BenchmarkAblationIncremental|BenchmarkServeMixed|BenchmarkServeHTTPMixed|BenchmarkWALAppend|BenchmarkRecovery
 bench-json:
 	$(GO) test -run=xxx -bench='$(BENCH_REGEX)' -benchtime=1x . \
 		| $(GO) run ./cmd/benchjson > BENCH_$(BENCH).json && cat BENCH_$(BENCH).json
@@ -45,6 +46,24 @@ bench-json:
 # HTTP client session, scrape /metrics, SIGTERM, assert a clean drain.
 serve-smoke:
 	$(GO) test -run 'TestServeSmoke|TestRimd' -count=1 -v ./cmd/rimd/
+
+# End-to-end durability smoke: build the real rimd binary, boot it with a
+# data directory, mutate over HTTP, kill -9, restart on the same
+# directory, and require byte-identical session state back (then a
+# graceful SIGTERM restart to prove the final-checkpoint path).
+store-smoke:
+	$(GO) test -run TestStoreSmoke -count=1 -v ./cmd/rimd/
+
+# WAL overhead gate: archive the serve mixed workload without a store as
+# the baseline, re-run it with a batched-fsync WAL attached
+# (RIM_BENCH_STORE=1), and fail if ns/op regressed beyond the tolerance —
+# the acceptance bound on what durability may cost the serving hot path.
+STORE_TOL ?= 0.10
+store-overhead:
+	$(GO) test -run=xxx -bench='BenchmarkServeMixed$$' -benchtime=1x -count=3 . \
+		| $(GO) run ./cmd/benchjson > store_base.json
+	RIM_BENCH_STORE=1 $(GO) test -run=xxx -bench='BenchmarkServeMixed$$' -benchtime=1x -count=3 . \
+		| $(GO) run ./cmd/benchjson -gate store_base.json -tol $(STORE_TOL)
 
 # Observability demo: anneal + packet-sim an n=1024 instance with spans
 # on, emitting a Chrome trace (load trace.json in ui.perfetto.dev or
@@ -94,6 +113,7 @@ fuzz:
 	$(GO) test -run=xxx -fuzz=FuzzLaws -fuzztime=$(FUZZTIME) ./internal/oracle/
 	$(GO) test -run=xxx -fuzz=FuzzReadInstance -fuzztime=$(FUZZTIME) ./internal/encode/
 	$(GO) test -run=xxx -fuzz=FuzzReadTopology -fuzztime=$(FUZZTIME) ./internal/encode/
+	$(GO) test -run=xxx -fuzz=FuzzWALDecode -fuzztime=$(FUZZTIME) ./internal/store/
 
 # The nightly CI job's longer exploration of the same targets.
 fuzz-nightly:
@@ -101,4 +121,4 @@ fuzz-nightly:
 
 clean:
 	rm -rf figs tables test_output.txt bench_output.txt \
-		trace.json manifest.json obs_base.json
+		trace.json manifest.json obs_base.json store_base.json

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -24,6 +25,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 const (
@@ -45,7 +47,19 @@ func perClient(n int) int {
 
 func newBenchSession(b *testing.B) (*serve.Manager, *serve.Session) {
 	b.Helper()
-	mgr := serve.NewManager(serve.Config{Shards: 4, QueueCap: 8192, BatchCap: 512})
+	cfg := serve.Config{Shards: 4, QueueCap: 8192, BatchCap: 512}
+	// RIM_BENCH_STORE=1 attaches a write-ahead log (batched fsync) so the
+	// same workload measures durability overhead; `make store-overhead`
+	// gates the env-on run against the env-off baseline.
+	if os.Getenv("RIM_BENCH_STORE") == "1" {
+		st, err := store.Open(store.Options{Dir: b.TempDir(), Sync: store.SyncBatch})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { st.Close() })
+		cfg.Store = st
+	}
+	mgr := serve.NewManager(cfg)
 	pts := gen.UniformSquare(rand.New(rand.NewSource(77)), serveBenchN, 12.8)
 	s, err := mgr.CreateSession("bench", pts)
 	if err != nil {

@@ -4,6 +4,7 @@
 //
 //	rimd -addr 127.0.0.1:8086
 //	rimd -addr 127.0.0.1:0 -deterministic        # random port, traced sessions
+//	rimd -data-dir /var/lib/rimd                 # durable sessions (WAL + checkpoints)
 //
 // The daemon prints its actual listening address on stdout (useful with
 // port 0), exposes /healthz, Prometheus /metrics, net/http/pprof under
@@ -11,6 +12,13 @@
 // and /debug/obs/trace (Chrome trace_event JSON), and drains gracefully
 // on SIGINT/SIGTERM: the listener closes, queued mutations are applied,
 // then the process exits 0. See README.md for curl examples.
+//
+// With -data-dir, every applied batch is write-ahead logged and sessions
+// are checkpointed periodically (-checkpoint-every) and at shutdown; on
+// boot the daemon recovers every session from the newest checkpoint plus
+// WAL replay, cross-checked against the naive oracle, and logs a recovery
+// manifest. -fsync picks the durability/latency trade
+// (always|batch|none). See DESIGN.md's Durability section.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -49,6 +58,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "max time to drain queues on shutdown")
 		obsOn         = fs.Bool("obs", true, "enable the observability layer (spans feed /debug/obs/*)")
 		spanSample    = fs.Int("span-sample", 16, "record every nth root span")
+		dataDir       = fs.String("data-dir", "", "durability directory (empty = in-memory only)")
+		fsyncMode     = fs.String("fsync", "batch", "WAL fsync policy: always, batch, or none")
+		ckptEvery     = fs.Duration("checkpoint-every", 5*time.Minute, "checkpoint-barrier interval (0 disables the ticker)")
+		segBytes      = fs.Int64("segment-bytes", 0, "WAL segment rotation size (0 = 64 MiB)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,6 +75,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		obs.DefaultRecorder().SetSample(*spanSample)
 	}
 
+	var st *store.Store
+	if *dataDir != "" {
+		policy, err := store.ParseSyncPolicy(*fsyncMode)
+		if err != nil {
+			fmt.Fprintf(stderr, "rimd: %v\n", err)
+			return 2
+		}
+		st, err = store.Open(store.Options{Dir: *dataDir, Sync: policy, SegmentBytes: *segBytes})
+		if err != nil {
+			fmt.Fprintf(stderr, "rimd: open store: %v\n", err)
+			return 1
+		}
+		defer st.Close()
+	}
+
 	mgr := serve.NewManager(serve.Config{
 		Shards:        *shards,
 		QueueCap:      *queueCap,
@@ -69,7 +97,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Deterministic: *deterministic,
 		TraceCap:      *traceCap,
 		RebuildFactor: *rebuild,
+		Store:         st,
 	})
+
+	if st != nil {
+		// Recover before the listener opens: clients never observe a
+		// half-rebuilt session table. Verification against the naive
+		// oracle turns a corrupt recovery into a refused boot.
+		rs, err := mgr.Recover(true)
+		if err != nil {
+			fmt.Fprintf(stderr, "rimd: recover: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout,
+			"rimd: recovered %d sessions (%d from checkpoint, %d from log, %d verified), replayed %d batches/%d mutations, %d dropped",
+			rs.Sessions, rs.FromCheckpoint, rs.FromLog, rs.Verified, rs.ReplayedBatches, rs.ReplayedMutations, rs.DroppedSessions)
+		if rs.TornTail {
+			fmt.Fprintf(stdout, ", healed torn tail (%d bytes)", rs.TornBytes)
+		}
+		if rs.InterruptedDrops > 0 {
+			fmt.Fprintf(stdout, ", finished %d interrupted drops", rs.InterruptedDrops)
+		}
+		if len(rs.SkippedCheckpoints) > 0 {
+			fmt.Fprintf(stdout, ", skipped %d invalid checkpoints", len(rs.SkippedCheckpoints))
+		}
+		fmt.Fprintln(stdout)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -89,6 +142,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
+	// Periodic checkpoint barrier: bounds WAL replay time after a crash
+	// and keeps pruning the log.
+	tickDone := make(chan struct{})
+	if st != nil && *ckptEvery > 0 {
+		ticker := time.NewTicker(*ckptEvery)
+		go func() {
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if pruned, err := mgr.CheckpointAll(context.Background()); err != nil {
+						fmt.Fprintf(stderr, "rimd: checkpoint barrier: %v\n", err)
+					} else if pruned > 0 {
+						fmt.Fprintf(stdout, "rimd: checkpoint barrier pruned %d WAL segments\n", pruned)
+					}
+				case <-tickDone:
+					return
+				}
+			}
+		}()
+	}
+
 	select {
 	case sig := <-sigc:
 		fmt.Fprintf(stdout, "rimd: %v, draining (timeout %s)\n", sig, *drainTimeout)
@@ -96,13 +171,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "rimd: serve: %v\n", err)
 		return 1
 	}
+	close(tickDone)
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(stderr, "rimd: http shutdown: %v\n", err)
 	}
-	if err := mgr.Close(ctx); err != nil {
+	ds, err := mgr.CloseStats(ctx)
+	if ds.DroppedMutations > 0 {
+		// The old drain discarded these silently; now every lost mutation
+		// is rejected, counted, and reported.
+		fmt.Fprintf(stderr, "rimd: drain deadline: rejected %d queued mutations across %d sessions\n",
+			ds.DroppedMutations, ds.DroppedSessions)
+	}
+	if st != nil {
+		fmt.Fprintf(stdout, "rimd: wrote %d final checkpoints (%d failed)\n",
+			ds.FinalCheckpoints, ds.CheckpointErrors)
+	}
+	if err != nil {
 		fmt.Fprintf(stderr, "rimd: drain: %v\n", err)
 		return 1
 	}

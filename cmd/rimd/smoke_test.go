@@ -1,0 +1,179 @@
+package main
+
+// TestStoreSmoke is the end-to-end durability smoke behind
+// `make store-smoke`: build the real rimd binary, boot it with a data
+// directory, mutate over HTTP, SIGKILL it mid-flight (no drain, no final
+// checkpoint), restart on the same directory, and require byte-identical
+// session state back — then a graceful restart to prove the
+// final-checkpoint path too.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// rimdProc is one booted daemon subprocess.
+type rimdProc struct {
+	cmd  *exec.Cmd
+	out  *syncBuffer
+	addr string
+}
+
+func buildRimd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "rimd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func bootRimd(t *testing.T, bin string, args ...string) *rimdProc {
+	t.Helper()
+	p := &rimdProc{out: &syncBuffer{}}
+	p.cmd = exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	p.cmd.Stdout = p.out
+	p.cmd.Stderr = p.out
+	if err := p.cmd.Start(); err != nil {
+		t.Fatalf("start rimd: %v", err)
+	}
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	for deadline := time.Now().Add(15 * time.Second); time.Now().Before(deadline); {
+		if m := addrRe.FindStringSubmatch(p.out.String()); m != nil {
+			p.addr = m[1]
+			return p
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("rimd never announced its address; output:\n%s", p.out.String())
+	return nil
+}
+
+func (p *rimdProc) post(t *testing.T, path, body string, wantCode int) []byte {
+	t.Helper()
+	resp, err := http.Post("http://"+p.addr+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST %s: status %d (want %d): %s", path, resp.StatusCode, wantCode, raw)
+	}
+	return raw
+}
+
+func (p *rimdProc) get(t *testing.T, path string, wantCode int) []byte {
+	t.Helper()
+	resp, err := http.Get("http://" + p.addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s: status %d (want %d): %s", path, resp.StatusCode, wantCode, raw)
+	}
+	return raw
+}
+
+// ageRe strips the only legitimately time-varying summary field before
+// byte comparison.
+var ageRe = regexp.MustCompile(`"snapshot_age_ms":[0-9.e+-]+`)
+
+func stripAge(raw []byte) string { return ageRe.ReplaceAllString(string(raw), `"snapshot_age_ms":X`) }
+
+func TestStoreSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("store smoke builds and boots real daemons; skipped in -short")
+	}
+	bin := buildRimd(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	durable := []string{"-data-dir", dataDir, "-fsync", "batch", "-checkpoint-every", "0"}
+
+	// Boot 1: create state, then die without ceremony.
+	p1 := bootRimd(t, bin, durable...)
+	p1.post(t, "/v1/sessions", `{"id":"smoke","n":32,"seed":5}`, 201)
+	p1.post(t, "/v1/sessions/smoke/mutations",
+		`{"ops":[{"op":"add","x":0.3,"y":0.4},{"op":"set_radius","node":2,"r":0.6},{"op":"anneal","iters":150,"seed":9}]}`, 202)
+	p1.post(t, "/v1/sessions/smoke/flush", ``, 200)
+	p1.post(t, "/v1/sessions", `{"id":"doomed","n":8,"seed":1}`, 201)
+	req, _ := http.NewRequest("DELETE", "http://"+p1.addr+"/v1/sessions/doomed", nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("DELETE doomed: %v %v", resp, err)
+	}
+	wantSummary := stripAge(p1.get(t, "/v1/sessions/smoke", 200))
+	wantNodes := string(p1.get(t, "/v1/sessions/smoke/nodes", 200))
+
+	if err := p1.cmd.Process.Kill(); err != nil { // SIGKILL: the crash
+		t.Fatal(err)
+	}
+	p1.cmd.Wait()
+
+	// Boot 2: recover from the WAL alone (no checkpoint ever ran).
+	p2 := bootRimd(t, bin, durable...)
+	if out := p2.out.String(); !strings.Contains(out, "recovered 1 sessions") {
+		t.Fatalf("recovery manifest missing after kill -9:\n%s", out)
+	}
+	if got := stripAge(p2.get(t, "/v1/sessions/smoke", 200)); got != wantSummary {
+		t.Fatalf("summary diverged after crash recovery:\n got %s\nwant %s", got, wantSummary)
+	}
+	if got := string(p2.get(t, "/v1/sessions/smoke/nodes", 200)); got != wantNodes {
+		t.Fatalf("nodes diverged after crash recovery:\n got %s\nwant %s", got, wantNodes)
+	}
+	p2.get(t, "/v1/sessions/doomed", 404)
+
+	// The recovered daemon keeps serving and logging.
+	p2.post(t, "/v1/sessions/smoke/mutations", `{"ops":[{"op":"add","x":0.9,"y":0.9}]}`, 202)
+	p2.post(t, "/v1/sessions/smoke/flush", ``, 200)
+	wantSummary = stripAge(p2.get(t, "/v1/sessions/smoke", 200))
+
+	// Graceful stop: SIGTERM writes final checkpoints.
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.cmd.Wait(); err != nil {
+		t.Fatalf("graceful exit: %v\n%s", err, p2.out.String())
+	}
+	if out := p2.out.String(); !strings.Contains(out, "wrote 1 final checkpoints (0 failed)") {
+		t.Fatalf("final checkpoint line missing:\n%s", out)
+	}
+
+	// Boot 3: a clean shutdown recovers from checkpoints with no replay.
+	p3 := bootRimd(t, bin, durable...)
+	out := p3.out.String()
+	if !strings.Contains(out, "1 from checkpoint") || !strings.Contains(out, "replayed 0 batches") {
+		t.Fatalf("boot after clean shutdown should need no WAL replay:\n%s", out)
+	}
+	if got := stripAge(p3.get(t, "/v1/sessions/smoke", 200)); got != wantSummary {
+		t.Fatalf("summary diverged after clean restart:\n got %s\nwant %s", got, wantSummary)
+	}
+	metrics := string(p3.get(t, "/metrics", 200))
+	for _, want := range []string{"rim_store_recoveries_total", "rim_store_wal_records_total"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if err := p3.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := p3.cmd.Wait(); err != nil {
+		t.Fatalf("boot 3 exit: %v\n%s", err, p3.out.String())
+	}
+	fmt.Printf("store smoke ok: 3 boots, 1 kill -9, state preserved\n")
+}

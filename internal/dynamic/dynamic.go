@@ -146,6 +146,66 @@ func NewWithEngine(pts []geom.Point, rebuildFactor float64, factory EngineFactor
 	return m
 }
 
+// RestoreState is a behavioral snapshot of a Maintainer: everything a
+// Restore needs to continue exactly where the source left off — same
+// maintained topology, same radii, same drift baseline, same counters.
+// The serving layer's checkpoint files serialize this.
+type RestoreState struct {
+	Points   []geom.Point
+	Radii    []float64
+	Edges    []graph.Edge
+	Baseline int
+	Events   int
+	Rebuilds int
+}
+
+// Snapshot captures the maintainer's full behavioral state. The returned
+// slices are copies; mutating them does not affect the maintainer.
+func (m *Maintainer) Snapshot() RestoreState {
+	var st core.State
+	m.eng.ExportState(&st)
+	return RestoreState{
+		Points:   st.Points,
+		Radii:    st.Radii,
+		Edges:    append([]graph.Edge(nil), m.topo.Edges()...),
+		Baseline: m.baseline,
+		Events:   m.events,
+		Rebuilds: m.rebuilds,
+	}
+}
+
+// Restore reconstructs a maintainer from a Snapshot without running the
+// greedy constructor: the engine is built from the snapshot's points and
+// radii, the topology from its edge list, and the drift baseline and
+// counters carry over. A restored maintainer is behaviorally identical
+// to the one snapshotted — the crash-recovery property test holds it
+// against a from-scratch replay. nil factory selects core.NewEvaluator.
+func Restore(st RestoreState, rebuildFactor float64, factory EngineFactory) (*Maintainer, error) {
+	if len(st.Radii) != len(st.Points) {
+		return nil, fmt.Errorf("dynamic: restore: %d radii for %d points", len(st.Radii), len(st.Points))
+	}
+	m := &Maintainer{RebuildFactor: rebuildFactor, factory: factory}
+	if m.RebuildFactor == 0 {
+		m.RebuildFactor = 2
+	}
+	if m.factory == nil {
+		m.factory = func(pts []geom.Point) Engine { return core.NewEvaluator(pts) }
+	}
+	m.topo = graph.New(len(st.Points))
+	for _, e := range st.Edges {
+		if e.U < 0 || e.U >= len(st.Points) || e.V < 0 || e.V >= len(st.Points) {
+			return nil, fmt.Errorf("dynamic: restore: edge (%d,%d) out of range for %d points", e.U, e.V, len(st.Points))
+		}
+		m.topo.AddEdge(e.U, e.V, e.W)
+	}
+	m.eng = m.factory(st.Points)
+	m.eng.BatchSet(st.Radii, 0)
+	m.baseline = st.Baseline
+	m.events = st.Events
+	m.rebuilds = st.Rebuilds
+	return m, nil
+}
+
 // points returns the current instance (shared with the evaluator; treat
 // as read-only).
 func (m *Maintainer) points() []geom.Point { return m.eng.Points() }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -201,13 +202,35 @@ func traceHeader(pts []geom.Point) []string {
 	return lines
 }
 
+// ErrTruncated reports trace text that does not end in a newline: the
+// final line may be a longer record cut short (a partial copy, a torn
+// file), so it cannot be trusted. ParseTrace returns it alongside the
+// mutations parsed from the complete lines, letting a caller that knows
+// the cut is benign keep the prefix.
+var ErrTruncated = errors.New("serve: trace truncated (no final newline)")
+
 // ParseTrace recovers the initial instance and the mutation sequence from
 // trace text. Rejected ops are returned like applied ones — re-executing
 // them through a fresh pipeline reproduces the same rejections, which is
 // what keeps replay byte-identical. Lines starting with '#' are ignored.
+//
+// Every trace line is newline-terminated (TraceText guarantees it), so
+// text that stops mid-line is damaged: the bytes after the last newline
+// could be a complete-looking prefix of a longer record ("m seq=5 add
+// id=3" cut from "...id=31 x=2 y=7"). ParseTrace refuses to guess — it
+// parses the complete lines and returns them with ErrTruncated.
 func ParseTrace(text string) (pts []geom.Point, ops []Mutation, err error) {
+	var truncated string
+	if n := len(text); n > 0 && text[n-1] != '\n' {
+		i := strings.LastIndexByte(text, '\n')
+		truncated = text[i+1:]
+		text = text[:i+1] // i == -1 leaves text empty: even the header is cut
+	}
 	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
 	if len(lines) == 0 || !strings.HasPrefix(lines[0], "rimd-trace v1 ") {
+		if truncated != "" {
+			return nil, nil, fmt.Errorf("serve: header line %q cut short: %w", truncated, ErrTruncated)
+		}
 		return nil, nil, fmt.Errorf("serve: not a rimd-trace v1 header: %q", first(lines))
 	}
 	for no, line := range lines[1:] {
@@ -231,6 +254,9 @@ func ParseTrace(text string) (pts []geom.Point, ops []Mutation, err error) {
 		default:
 			return nil, nil, fmt.Errorf("serve: trace line %d: unknown record %q", no+2, fields[0])
 		}
+	}
+	if truncated != "" {
+		return pts, ops, fmt.Errorf("serve: final line %q cut short: %w", truncated, ErrTruncated)
 	}
 	return pts, ops, nil
 }

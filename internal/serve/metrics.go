@@ -36,6 +36,8 @@ type Metrics struct {
 	Batches         Counter
 	Rebuilds        Counter
 	ApplyPanics     Counter
+	DrainDropped    Counter
+	WALFailures     Counter
 
 	BatchSize    *Histogram
 	ApplyLatency *Histogram
@@ -76,6 +78,8 @@ func (m *Manager) WriteMetrics(w io.Writer) {
 	counter("rimd_batches_total", "Mutation batches applied.", mx.Batches.Value())
 	counter("rimd_rebuilds_total", "Full topology rebuilds across all sessions.", mx.Rebuilds.Value())
 	counter("rimd_apply_panics_total", "Mutations contained after an engine panic.", mx.ApplyPanics.Value())
+	counter("rimd_drain_dropped_total", "Queued mutations rejected at the shutdown drain deadline.", mx.DrainDropped.Value())
+	counter("rimd_wal_failures_total", "WAL appends failed (durability logging disabled, serving continues).", mx.WALFailures.Value())
 
 	sessions := m.liveSessions()
 	var applied, rejected int64

@@ -47,9 +47,11 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dynamic"
 	"repro/internal/geom"
+	"repro/internal/store"
 )
 
 // Service errors. The HTTP layer maps them onto status codes.
@@ -100,6 +102,11 @@ type Config struct {
 	// oracle's DiffEvaluator and verifies.
 	BeforeBatch func(sessionID string)
 	AfterBatch  func(sessionID string, eng dynamic.Engine)
+	// Store, when non-nil, write-ahead-logs every applied batch and backs
+	// session checkpoints and boot-time recovery (see internal/store and
+	// durable.go). Nil costs nothing: the logging branch is one flag
+	// check per batch.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -131,6 +138,14 @@ type Manager struct {
 	mu       sync.RWMutex
 	sessions map[string]*Session
 	closed   bool
+
+	// ckptMu serializes the durability-ordering critical sections:
+	// create-record+registration, checkpoint writes, and
+	// checkpoint-deletion+drop-record (see durable.go and recover.go for
+	// why each pairing matters).
+	ckptMu    sync.Mutex
+	walBroken atomic.Bool
+	walErr    atomic.Pointer[error]
 }
 
 // NewManager starts the shard pool and returns an empty manager.
@@ -191,9 +206,22 @@ func (m *Manager) CreateSession(id string, pts []geom.Point) (*Session, error) {
 
 	s := newSession(m, id, pts)
 
+	// The create record and the registration are one critical section
+	// with the checkpoint barrier's rotate-and-list step: either this
+	// session's record lands before a rotation and the session is listed
+	// (so it gets a checkpoint before the record is pruned), or the
+	// record lands in the post-rotation segment and survives the prune.
+	m.ckptMu.Lock()
+	if m.walOK() {
+		rec := store.Record{Kind: store.RecordCreate, Session: id, Payload: createPayload(pts)}
+		if err := m.cfg.Store.Append(rec); err != nil {
+			m.walFail(err)
+		}
+	}
 	m.mu.Lock()
 	m.sessions[id] = s
 	m.mu.Unlock()
+	m.ckptMu.Unlock()
 	m.metrics.SessionsCreated.Add(1)
 	return s, nil
 }
@@ -248,16 +276,63 @@ func (m *Manager) DropSession(id string) error {
 	}
 	delete(m.sessions, id)
 	m.mu.Unlock()
+	s.mu.Lock()
+	s.dropped = true // stops WAL logging of the still-draining queue
+	s.mu.Unlock()
 	s.close()
+	if m.cfg.Store != nil {
+		// Checkpoints die BEFORE the drop record is logged: a crash
+		// between the two resurrects the session (safe — the drop was
+		// never acknowledged durable), while the reverse order could
+		// leave a stale checkpoint to poison a future session reusing
+		// this ID. ckptMu keeps an in-flight barrier checkpoint from
+		// landing between the delete and the record.
+		m.ckptMu.Lock()
+		derr := m.cfg.Store.DeleteCheckpoints(id)
+		if m.walOK() {
+			if err := m.cfg.Store.Append(store.Record{Kind: store.RecordDrop, Session: id}); err != nil {
+				m.walFail(err)
+			}
+		}
+		m.ckptMu.Unlock()
+		if derr != nil {
+			return fmt.Errorf("serve: drop %q: stale checkpoints remain: %w", id, derr)
+		}
+	}
 	return nil
 }
 
-// Close drains and stops the manager: no new sessions or mutations are
-// accepted, every queued mutation is applied, then the shard pool exits.
-// On ctx expiry the pool is stopped anyway (dropping whatever is still
-// queued) and the context error is returned — the graceful-drain path of
-// a SIGTERM handler with a deadline.
+// DrainStats reports what a shutdown drain did — and, crucially, what it
+// did NOT apply. Every number here used to be silent.
+type DrainStats struct {
+	// DroppedMutations counts queued-but-unapplied mutations explicitly
+	// rejected when the drain deadline expired (also counted into the
+	// rejected totals and rimd_drain_dropped_total).
+	DroppedMutations int
+	// DroppedSessions is how many sessions those mutations came from.
+	DroppedSessions int
+	// FinalCheckpoints counts checkpoints written after the pool stopped
+	// (Config.Store only); CheckpointErrors counts the ones that failed.
+	FinalCheckpoints int
+	CheckpointErrors int
+}
+
+// Close drains and stops the manager; see CloseStats for the accounting.
 func (m *Manager) Close(ctx context.Context) error {
+	_, err := m.CloseStats(ctx)
+	return err
+}
+
+// CloseStats drains and stops the manager: no new sessions or mutations
+// are accepted, every queued mutation is applied, then the shard pool
+// exits. On ctx expiry whatever is still queued is explicitly rejected —
+// counted per mutation in the returned stats and the drain-dropped
+// metric, never silently discarded — and the context error is returned.
+// With Config.Store set, a final checkpoint of every surviving session is
+// written after the pool stops, so a clean shutdown recovers from
+// checkpoints alone with no WAL replay.
+func (m *Manager) CloseStats(ctx context.Context) (DrainStats, error) {
+	var ds DrainStats
 	m.mu.Lock()
 	m.closed = true
 	m.mu.Unlock()
@@ -268,13 +343,50 @@ func (m *Manager) Close(ctx context.Context) error {
 	}
 	var err error
 	for _, s := range sessions {
-		if err = s.Flush(ctx); err != nil {
-			break
+		// Keep flushing the rest even after the deadline expires — the
+		// expired ctx returns immediately, and every remaining queue must
+		// be measured, not abandoned mid-loop.
+		if ferr := s.Flush(ctx); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	if err != nil {
+		for _, s := range sessions {
+			if n := s.rejectQueued(); n > 0 {
+				ds.DroppedMutations += n
+				ds.DroppedSessions++
+			}
+		}
+		if ds.DroppedMutations > 0 {
+			m.metrics.DrainDropped.Add(int64(ds.DroppedMutations))
 		}
 	}
 	for _, sh := range m.shards {
 		sh.stop()
 	}
 	m.wg.Wait()
-	return err
+
+	if m.cfg.Store != nil {
+		for _, s := range sessions {
+			s.failCheckpointWaiters(ErrSessionClosed)
+			s.mu.Lock()
+			dropped := s.dropped
+			s.mu.Unlock()
+			if dropped {
+				continue
+			}
+			// The pool is stopped: owner-only state is quiescent, so the
+			// capture is safe from this goroutine.
+			seq, payload := s.encodeCheckpoint()
+			m.ckptMu.Lock()
+			cerr := m.cfg.Store.WriteCheckpoint(s.id, seq, payload)
+			m.ckptMu.Unlock()
+			if cerr != nil {
+				ds.CheckpointErrors++
+			} else {
+				ds.FinalCheckpoints++
+			}
+		}
+	}
+	return ds, err
 }

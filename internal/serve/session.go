@@ -31,6 +31,9 @@ type Session struct {
 	queue     []Mutation
 	scheduled bool // in the shard's runq or mid-batch
 	closed    bool
+	dropped   bool             // DropSession (vs. manager drain): stop WAL logging
+	nolog     bool             // recovery replay: batches are already in the WAL
+	ckptW     []chan ckptReply // checkpoint waiters served between batches
 	nextID    int64
 
 	// Owner-only state (shard goroutine).
@@ -172,6 +175,22 @@ func (s *Session) close() {
 	s.mu.Unlock()
 }
 
+// rejectQueued clears the pending queue, counting every discarded
+// mutation as rejected. Shutdown-deadline path only: the owner may still
+// be applying the batch it already drained, but nothing cleared here
+// will ever run.
+func (s *Session) rejectQueued() int {
+	s.mu.Lock()
+	n := len(s.queue)
+	s.queue = s.queue[:0]
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if n > 0 {
+		s.rejected.Add(int64(n))
+	}
+	return n
+}
+
 // TraceText renders the deterministic-mode trace: the instance preamble
 // plus every processed-op line. Outside deterministic mode it returns
 // "". When the ring buffer has evicted lines, a '#'-comment records the
@@ -213,6 +232,17 @@ func (s *Session) runBatch() {
 	if !s.det {
 		batch = coalesce(batch)
 	}
+	if len(batch) > 0 && s.mgr.walOK() {
+		s.mu.Lock()
+		skip := s.dropped || s.nolog
+		s.mu.Unlock()
+		if !skip {
+			// Write-ahead: the batch is durable (per the fsync policy)
+			// before it is applied, so recovery can only ever land on a
+			// batch boundary of the acknowledged mutation log.
+			s.logBatch(batch)
+		}
+	}
 	sp := obs.Start("serve.batch")
 	t0 := time.Now()
 	for i := range batch {
@@ -228,9 +258,12 @@ func (s *Session) runBatch() {
 	if cfg.AfterBatch != nil {
 		cfg.AfterBatch(s.id, s.mt.Engine())
 	}
+	s.serveCheckpoints()
 
 	s.mu.Lock()
-	more := len(s.queue) > 0
+	// Pending checkpoint waiters that slipped in after serveCheckpoints
+	// count as work: reschedule so the next pass serves them.
+	more := len(s.queue) > 0 || len(s.ckptW) > 0
 	if !more {
 		s.scheduled = false
 		s.cond.Broadcast()

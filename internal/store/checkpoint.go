@@ -1,0 +1,225 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Checkpoint files. One file per (session, seq):
+//
+//	ckpt/<escaped-session>-<seq as 16 hex digits>.ckpt
+//
+// with the content
+//
+//	rimckpt v1 session=<escaped> seq=<n> len=<payload bytes> crc=<crc32c hex>\n
+//	<payload>
+//
+// The payload is opaque to the store (the serving layer serializes a
+// session's maintainer state there). Writes are crash-atomic: payload
+// goes to ckpt/tmp/ first, is fsynced, renamed into place, and the
+// directory is fsynced — a checkpoint either exists completely and
+// validly or not at all. Temp files live in a subdirectory rather than
+// under a dotted name so no session ID, however escaped, can collide
+// with one. LatestCheckpoints quietly skips anything that fails
+// validation (a damaged payload, a foreign file), so a crash
+// mid-checkpoint costs nothing but the checkpoint.
+
+const ckptSuffix = ".ckpt"
+
+// Checkpoint is one validated checkpoint file.
+type Checkpoint struct {
+	Session string
+	Seq     uint64
+	Payload []byte
+	Path    string
+}
+
+func escapeSession(id string) string { return url.PathEscape(id) }
+
+func ckptName(session string, seq uint64) string {
+	return fmt.Sprintf("%s-%016x%s", escapeSession(session), seq, ckptSuffix)
+}
+
+// parseCkptName inverts ckptName.
+func parseCkptName(name string) (session string, seq uint64, ok bool) {
+	if !strings.HasSuffix(name, ckptSuffix) {
+		return "", 0, false
+	}
+	stem := strings.TrimSuffix(name, ckptSuffix)
+	i := strings.LastIndexByte(stem, '-')
+	if i < 0 || len(stem)-i-1 != 16 {
+		return "", 0, false
+	}
+	seq, err := strconv.ParseUint(stem[i+1:], 16, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	session, err = url.PathUnescape(stem[:i])
+	if err != nil {
+		return "", 0, false
+	}
+	return session, seq, true
+}
+
+// writeCheckpoint persists one checkpoint crash-atomically and garbage
+// collects older checkpoints of the same session.
+func (s *Store) writeCheckpoint(session string, seq uint64, payload []byte) error {
+	t0 := time.Now()
+	name := ckptName(session, seq)
+	final := filepath.Join(s.ckptDir, name)
+	tmp := filepath.Join(s.ckptDir, "tmp", name)
+
+	f, err := s.fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	header := fmt.Sprintf("rimckpt v1 session=%s seq=%d len=%d crc=%08x\n",
+		escapeSession(session), seq, len(payload), crc32.Checksum(payload, crcTable))
+	if _, err := io.WriteString(f, header); err == nil {
+		_, err = f.Write(payload)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		s.mx.errors.Inc()
+		_ = s.fs.Remove(tmp)
+		return fmt.Errorf("store: checkpoint %s: %w", session, err)
+	}
+	if err := s.fs.Rename(tmp, final); err != nil {
+		s.mx.errors.Inc()
+		_ = s.fs.Remove(tmp)
+		return fmt.Errorf("store: checkpoint %s: %w", session, err)
+	}
+	if err := syncDir(s.fs, s.ckptDir); err != nil {
+		s.mx.errors.Inc()
+		return fmt.Errorf("store: checkpoint %s: dir sync: %w", session, err)
+	}
+	s.mx.ckpts.Inc()
+	s.mx.ckptBytes.Observe(float64(len(header) + len(payload)))
+	s.mx.ckptNs.Observe(float64(time.Since(t0).Nanoseconds()))
+	s.gcCheckpoints(session, seq)
+	return nil
+}
+
+// gcCheckpoints removes this session's checkpoints older than keep
+// (best-effort; recovery picks the newest valid one regardless).
+func (s *Store) gcCheckpoints(session string, keep uint64) {
+	ents, err := s.fs.ReadDir(s.ckptDir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if sess, seq, ok := parseCkptName(e.Name()); ok && sess == session && seq < keep {
+			_ = s.fs.Remove(filepath.Join(s.ckptDir, e.Name()))
+		}
+	}
+}
+
+// deleteCheckpoints removes every checkpoint (and stale temp file) for a
+// session. Called before a drop record is logged, so a crash between the
+// two resurrects the session rather than leaving a stale checkpoint to
+// poison a future session with the same ID.
+func (s *Store) deleteCheckpoints(session string) error {
+	var firstErr error
+	for _, dir := range []string{s.ckptDir, filepath.Join(s.ckptDir, "tmp")} {
+		ents, err := s.fs.ReadDir(dir)
+		if err != nil {
+			if dir == s.ckptDir {
+				return err
+			}
+			continue // tmp dir may not exist on a foreign layout
+		}
+		for _, e := range ents {
+			if sess, _, ok := parseCkptName(e.Name()); ok && sess == session {
+				if err := s.fs.Remove(filepath.Join(dir, e.Name())); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+	}
+	return firstErr
+}
+
+// latestCheckpoints returns the newest valid checkpoint per session,
+// skipping (and reporting) files that fail validation.
+func (s *Store) latestCheckpoints() (map[string]Checkpoint, []string, error) {
+	ents, err := s.fs.ReadDir(s.ckptDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(map[string]Checkpoint)
+	var skipped []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() {
+			continue // ckpt/tmp/
+		}
+		sess, seq, ok := parseCkptName(name)
+		if !ok {
+			if strings.HasSuffix(name, ckptSuffix) {
+				skipped = append(skipped, name+": unparseable name")
+			}
+			continue // foreign entries
+		}
+		if prev, dup := out[sess]; dup && prev.Seq >= seq {
+			continue
+		}
+		path := filepath.Join(s.ckptDir, name)
+		payload, err := s.loadCheckpoint(path, sess, seq)
+		if err != nil {
+			skipped = append(skipped, fmt.Sprintf("%s: %v", name, err))
+			continue
+		}
+		out[sess] = Checkpoint{Session: sess, Seq: seq, Payload: payload, Path: path}
+	}
+	return out, skipped, nil
+}
+
+// loadCheckpoint reads and validates one checkpoint file.
+func (s *Store) loadCheckpoint(path, wantSess string, wantSeq uint64) ([]byte, error) {
+	f, err := s.fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	header, err := r.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("header: %w", err)
+	}
+	var esc string
+	var seq uint64
+	var length int
+	var sum uint32
+	if _, err := fmt.Sscanf(strings.TrimSuffix(header, "\n"),
+		"rimckpt v1 session=%s seq=%d len=%d crc=%08x", &esc, &seq, &length, &sum); err != nil {
+		return nil, fmt.Errorf("bad header %q", header)
+	}
+	sess, err := url.PathUnescape(esc)
+	if err != nil || sess != wantSess || seq != wantSeq {
+		return nil, fmt.Errorf("header/name mismatch (header session=%q seq=%d)", sess, seq)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("payload cut short: %w", err)
+	}
+	if _, err := r.ReadByte(); err == nil {
+		return nil, fmt.Errorf("trailing bytes after payload")
+	}
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, fmt.Errorf("payload crc mismatch")
+	}
+	return payload, nil
+}

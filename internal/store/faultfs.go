@@ -1,0 +1,216 @@
+package store
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// Injected fault errors.
+var (
+	// ErrCrashed is returned by every FaultFS operation after the
+	// crash-at-offset budget trips: the simulated machine is off.
+	ErrCrashed = errors.New("store: faultfs crashed (power cut)")
+	// ErrInjectedSync is the default error for injected fsync failures.
+	ErrInjectedSync = errors.New("store: faultfs injected fsync error")
+)
+
+// FaultFS wraps a base FS (usually OSFS over a temp dir) and injects
+// storage faults deterministically:
+//
+//   - CrashAfterBytes(n): a power cut after n more payload bytes reach
+//     any file. The write that crosses the budget lands only its prefix
+//     (a torn write), then every subsequent operation — writes, fsyncs,
+//     renames, opens — fails with ErrCrashed. Recovery tests then re-open
+//     the directory with a fresh FS, exactly like a reboot.
+//   - ShortWrites(k): every write lands at most k bytes and reports a
+//     short-write error, exercising the caller's partial-write handling.
+//   - FailSyncs(n, err): the next n Sync calls fail with err (fsync
+//     error handling must be fail-stop, never retry-and-hope).
+//
+// Directory fsyncs (0-byte writes) don't consume budget. The zero value
+// with Base set injects nothing.
+type FaultFS struct {
+	Base FS
+
+	mu         sync.Mutex
+	budget     int64 // remaining payload bytes before the crash; -1 = unlimited
+	crashed    bool
+	shortWrite int   // max bytes per write; 0 = unlimited
+	failSyncs  int   // remaining Sync calls to fail
+	syncErr    error // error for injected sync failures
+	bytes      int64 // total payload bytes written through this FS
+}
+
+// NewFaultFS wraps base with no faults armed.
+func NewFaultFS(base FS) *FaultFS {
+	return &FaultFS{Base: base, budget: -1}
+}
+
+// CrashAfterBytes arms a power cut after n more written bytes.
+func (f *FaultFS) CrashAfterBytes(n int64) {
+	f.mu.Lock()
+	f.budget = n
+	f.mu.Unlock()
+}
+
+// ShortWrites caps every write at k bytes (0 disarms).
+func (f *FaultFS) ShortWrites(k int) {
+	f.mu.Lock()
+	f.shortWrite = k
+	f.mu.Unlock()
+}
+
+// FailSyncs makes the next n Sync calls fail with err (nil selects
+// ErrInjectedSync).
+func (f *FaultFS) FailSyncs(n int, err error) {
+	if err == nil {
+		err = ErrInjectedSync
+	}
+	f.mu.Lock()
+	f.failSyncs, f.syncErr = n, err
+	f.mu.Unlock()
+}
+
+// Crashed reports whether the power cut has tripped.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// BytesWritten reports total payload bytes accepted so far — the offset
+// axis of a kill-at-every-offset sweep.
+func (f *FaultFS) BytesWritten() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.bytes
+}
+
+func (f *FaultFS) alive() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := f.alive(); err != nil {
+		return nil, err
+	}
+	file, err := f.Base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.alive(); err != nil {
+		return err
+	}
+	return f.Base.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.alive(); err != nil {
+		return err
+	}
+	return f.Base.Remove(name)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.alive(); err != nil {
+		return err
+	}
+	return f.Base.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err := f.alive(); err != nil {
+		return nil, err
+	}
+	return f.Base.ReadDir(name)
+}
+
+// faultFile applies the FS-level fault state to one file's operations.
+type faultFile struct {
+	fs *FaultFS
+	f  File
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) { return ff.f.Read(p) }
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	if ff.fs.crashed {
+		ff.fs.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	allow := len(p)
+	short := false
+	if ff.fs.shortWrite > 0 && allow > ff.fs.shortWrite {
+		allow, short = ff.fs.shortWrite, true
+	}
+	torn := false
+	if ff.fs.budget >= 0 && int64(allow) >= ff.fs.budget {
+		allow = int(ff.fs.budget)
+		ff.fs.crashed = true
+		torn = true
+	}
+	if ff.fs.budget >= 0 {
+		ff.fs.budget -= int64(allow)
+	}
+	ff.fs.bytes += int64(allow)
+	ff.fs.mu.Unlock()
+
+	n, err := ff.f.Write(p[:allow])
+	if err != nil {
+		return n, err
+	}
+	if torn {
+		return n, ErrCrashed
+	}
+	if short {
+		return n, errShortWrite{}
+	}
+	return n, nil
+}
+
+// errShortWrite distinguishes an injected short write from io.ErrShortWrite
+// so tests can assert the injection fired; it still reads as a write error.
+type errShortWrite struct{}
+
+func (errShortWrite) Error() string { return "store: faultfs short write" }
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	if ff.fs.crashed {
+		ff.fs.mu.Unlock()
+		return ErrCrashed
+	}
+	if ff.fs.failSyncs > 0 {
+		ff.fs.failSyncs--
+		err := ff.fs.syncErr
+		ff.fs.mu.Unlock()
+		return err
+	}
+	ff.fs.mu.Unlock()
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	if err := ff.fs.alive(); err != nil {
+		return err
+	}
+	return ff.f.Truncate(size)
+}
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) {
+	return ff.f.Seek(offset, whence)
+}
+
+func (ff *faultFile) Close() error { return ff.f.Close() }

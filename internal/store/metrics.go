@@ -1,0 +1,58 @@
+package store
+
+import "repro/internal/obs"
+
+// The store's metric set, registered in a shared obs.Registry under
+// rim_store_* names (the exposition skeleton is locked by the golden
+// test). Histogram timings are recorded unconditionally — they sit at
+// batch granularity, not per-mutation, so the cost is two clock reads
+// per WAL append.
+type metrics struct {
+	appendNs   *obs.Histogram
+	fsyncNs    *obs.Histogram
+	walRecords *obs.Counter
+	walBytes   *obs.Counter
+	rotations  *obs.Counter
+	errors     *obs.Counter
+
+	ckptBytes *obs.Histogram
+	ckptNs    *obs.Histogram
+	ckpts     *obs.Counter
+
+	recoveries      *obs.Counter
+	replayedBatches *obs.Counter
+	tornBytes       *obs.Counter
+}
+
+// registerMetrics binds the rim_store_* families into reg (idempotent —
+// re-registration returns the existing metrics, so multiple Stores in one
+// process share one family set).
+func registerMetrics(reg *obs.Registry) *metrics {
+	nsBounds := []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+	return &metrics{
+		appendNs: reg.Histogram("rim_store_wal_append_ns",
+			"WAL append latency (encode+write+policy fsync) in nanoseconds.", nsBounds...),
+		fsyncNs: reg.Histogram("rim_store_fsync_ns",
+			"WAL fsync latency in nanoseconds.", nsBounds...),
+		walRecords: reg.Counter("rim_store_wal_records_total",
+			"Records appended to the WAL."),
+		walBytes: reg.Counter("rim_store_wal_bytes_total",
+			"Bytes appended to the WAL (frames included)."),
+		rotations: reg.Counter("rim_store_wal_rotations_total",
+			"WAL segment rotations."),
+		errors: reg.Counter("rim_store_errors_total",
+			"Store operations failed (append, fsync, checkpoint)."),
+		ckptBytes: reg.Histogram("rim_store_checkpoint_bytes",
+			"Checkpoint file sizes in bytes.", 1<<10, 1<<12, 1<<14, 1<<16, 1<<18, 1<<20, 1<<24),
+		ckptNs: reg.Histogram("rim_store_checkpoint_ns",
+			"Checkpoint write latency (write+fsync+rename+dirsync) in nanoseconds.", nsBounds...),
+		ckpts: reg.Counter("rim_store_checkpoints_total",
+			"Checkpoints written."),
+		recoveries: reg.Counter("rim_store_recoveries_total",
+			"Recovery passes completed."),
+		replayedBatches: reg.Counter("rim_store_recovery_replayed_batches_total",
+			"WAL batch records replayed during recovery."),
+		tornBytes: reg.Counter("rim_store_recovery_torn_bytes_total",
+			"Bytes discarded from torn WAL tails during recovery."),
+	}
+}

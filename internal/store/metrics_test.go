@@ -1,0 +1,95 @@
+package store
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/metrics.golden")
+
+// TestStoreMetricsGolden locks the rim_store_* exposition skeleton:
+// family order, names, HELP/TYPE lines, and histogram bucket labels.
+// Values are normalized to V (timings vary); refresh with
+// `go test ./internal/store/ -run Golden -update`.
+func TestStoreMetricsGolden(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := mustOpen(t, testOpts(t, t.TempDir(), func(o *Options) { o.Registry = reg; o.Sync = SyncAlways }))
+	defer s.Close()
+
+	// Touch every family so the golden shows live counters, not zeros.
+	if err := s.Append(rec(RecordBatch, "g", 1, "m add id=0 x=1 y=2\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteCheckpoint("g", 1, []byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	s.CountRecovery(3, 17)
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	got := normalizeExposition(sb.String())
+
+	const path = "testdata/metrics.golden"
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("rim_store_* exposition drifted from %s (refresh with -update if intentional)\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+	if _, err := obs.CheckExposition(strings.NewReader(sb.String())); err != nil {
+		t.Errorf("exposition invalid: %v", err)
+	}
+}
+
+// TestMetricsSharedRegistry: two Stores against one registry must share
+// metric families instead of colliding on registration.
+func TestMetricsSharedRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	s1 := mustOpen(t, testOpts(t, t.TempDir(), func(o *Options) { o.Registry = reg }))
+	defer s1.Close()
+	s2 := mustOpen(t, testOpts(t, t.TempDir(), func(o *Options) { o.Registry = reg }))
+	defer s2.Close()
+	if err := s1.Append(rec(RecordBatch, "a", 1, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Append(rec(RecordBatch, "b", 1, "y")); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap["rim_store_wal_records_total"] != 2 {
+		t.Fatalf("shared counter = %v, want 2", snap["rim_store_wal_records_total"])
+	}
+}
+
+// normalizeExposition replaces every sample value with V, keeping
+// comments, names, and label sets verbatim (same convention as the serve
+// golden test).
+func normalizeExposition(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, line := range lines {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if j := strings.LastIndexByte(line, ' '); j >= 0 {
+			lines[i] = line[:j] + " V"
+		}
+	}
+	return strings.Join(lines, "\n")
+}
