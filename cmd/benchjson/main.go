@@ -64,6 +64,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	gate := fs.String("gate", "", "baseline JSON to gate against (no JSON output; exit 1 on regression)")
 	tol := fs.Float64("tol", 0.03, "allowed fractional ns/op regression in gate mode")
+	min := fs.String("min", "", "comma-separated absolute floors `name:metric=value` (name is a prefix match; metric is a b.ReportMetric unit where higher is better); exit 1 when the best run of a matched benchmark falls below the floor")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -71,6 +72,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "benchjson:", err)
 		return 1
+	}
+	if *min != "" {
+		if code := runMin(doc, *min, stdout, stderr); code != 0 {
+			return code
+		}
+		if *gate == "" {
+			return 0
+		}
 	}
 	if *gate != "" {
 		return runGate(doc, *gate, *tol, stdout, stderr)
@@ -127,6 +136,64 @@ func runGate(cur *Document, baselinePath string, tol float64, stdout, stderr io.
 	}
 	if failed {
 		fmt.Fprintln(stderr, "benchjson: gate failed")
+		return 1
+	}
+	return 0
+}
+
+// runMin enforces absolute metric floors: each spec `name:metric=value`
+// must find at least one benchmark whose name starts with `name`, and
+// the best (maximum) reading of `metric` across those lines must reach
+// `value`. This is how CI pins "the wire door serves at least N ops/s"
+// as a hard number rather than a relative drift bound.
+func runMin(cur *Document, specs string, stdout, stderr io.Writer) int {
+	failed := false
+	for _, spec := range strings.Split(specs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(spec, ":")
+		if !ok {
+			fmt.Fprintf(stderr, "benchjson: bad -min spec %q (want name:metric=value)\n", spec)
+			return 2
+		}
+		metric, valStr, ok := strings.Cut(rest, "=")
+		if !ok {
+			fmt.Fprintf(stderr, "benchjson: bad -min spec %q (want name:metric=value)\n", spec)
+			return 2
+		}
+		floor, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: bad -min floor %q: %v\n", valStr, err)
+			return 2
+		}
+		best, matched := 0.0, false
+		for _, r := range cur.Benchmarks {
+			if !strings.HasPrefix(r.Name, name) {
+				continue
+			}
+			v, ok := r.Metrics[metric]
+			if !ok {
+				continue
+			}
+			if !matched || v > best {
+				best, matched = v, true
+			}
+		}
+		switch {
+		case !matched:
+			fmt.Fprintf(stderr, "benchjson: -min %s: no benchmark matched\n", spec)
+			failed = true
+		case best < floor:
+			fmt.Fprintf(stdout, "%s: best %s %.1f < floor %.1f FAIL\n", name, metric, best, floor)
+			failed = true
+		default:
+			fmt.Fprintf(stdout, "%s: best %s %.1f >= floor %.1f ok\n", name, metric, best, floor)
+		}
+	}
+	if failed {
+		fmt.Fprintln(stderr, "benchjson: min gate failed")
 		return 1
 	}
 	return 0

@@ -5,6 +5,7 @@
 //	rimd -addr 127.0.0.1:8086
 //	rimd -addr 127.0.0.1:0 -deterministic        # random port, traced sessions
 //	rimd -data-dir /var/lib/rimd                 # durable sessions (WAL + checkpoints)
+//	rimd -wire-addr 127.0.0.1:8087               # rimwire binary front door alongside HTTP
 //
 // The daemon prints its actual listening address on stdout (useful with
 // port 0), exposes /healthz, Prometheus /metrics, net/http/pprof under
@@ -36,6 +37,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/store"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -49,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		addr          = fs.String("addr", "127.0.0.1:8086", "listen address (port 0 picks a free port)")
+		wireAddr      = fs.String("wire-addr", "", "rimwire binary-protocol listen address (empty = disabled)")
 		shards        = fs.Int("shards", 0, "worker goroutines (0 = min(GOMAXPROCS, 8))")
 		queueCap      = fs.Int("queue-cap", 1024, "per-session mutation queue bound")
 		batchCap      = fs.Int("batch-cap", 256, "max mutations applied per batch")
@@ -129,6 +132,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "rimd: listen: %v\n", err)
 		return 1
 	}
+
 	// Outer mux: the serve API at the root, with the debug surface
 	// (net/http/pprof, /debug/obs/spans, /debug/obs/trace) alongside.
 	mux := http.NewServeMux()
@@ -136,6 +140,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	obs.MountDebug(mux)
 	srv := &http.Server{Handler: mux}
 	fmt.Fprintf(stdout, "rimd: listening on %s\n", ln.Addr())
+
+	// The rimwire binary front door shares the manager (and therefore the
+	// session table, batch pipeline, WAL, and metrics registry) with the
+	// HTTP facade — two doors, one building. Announced after the HTTP
+	// address so "listening on" keeps meaning the JSON endpoint to every
+	// existing log scraper.
+	var wireSrv *wire.Server
+	if *wireAddr != "" {
+		wln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "rimd: wire listen: %v\n", err)
+			ln.Close()
+			return 1
+		}
+		wireSrv = wire.NewServer(wire.ServerConfig{Manager: mgr})
+		go func() {
+			if err := wireSrv.Serve(wln); err != nil {
+				fmt.Fprintf(stderr, "rimd: wire serve: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(stdout, "rimd: wire listening on %s\n", wln.Addr())
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -175,6 +201,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if wireSrv != nil {
+		// Wire connections close before the manager drains: in-flight
+		// mutate frames were ACKed at enqueue and the drain below applies
+		// them, same contract as the HTTP shutdown.
+		wireSrv.Close()
+	}
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(stderr, "rimd: http shutdown: %v\n", err)
 	}

@@ -97,6 +97,17 @@ func (ev *Evaluator) I(v int) int { return ev.iv[v] }
 // Max returns the current I(G') = max_v I(v).
 func (ev *Evaluator) Max() int { return ev.max }
 
+// SumI returns Σ_v I(v), read off the interference histogram in
+// O(max I) — the serving layer publishes mean interference after every
+// batch, so this must not cost a vector scan.
+func (ev *Evaluator) SumI() int {
+	sum := 0
+	for i := 1; i <= ev.max; i++ {
+		sum += i * ev.hist[i]
+	}
+	return sum
+}
+
 // Vector returns a copy of the current per-node interference vector.
 func (ev *Evaluator) Vector() Vector { return append(Vector(nil), ev.iv...) }
 

@@ -53,6 +53,7 @@ type Engine interface {
 	Points() []geom.Point
 	Grid() *geom.Grid
 	Max() int
+	SumI() int
 	SetRadius(u int, r float64) float64
 	GrowTo(u int, r float64) float64
 	AddPoint(p geom.Point) int

@@ -1,0 +1,17 @@
+package obs
+
+// LatencyBuckets is the shared histogram layout for latency metrics, in
+// seconds. It starts at 50 nanoseconds: the serving layer's lock-free
+// snapshot reads complete in tens of nanoseconds, and the earlier
+// per-subsystem layouts (first bucket 10µs) collapsed that entire tail
+// into one bucket — a p99 of 51ns and a p99 of 9µs rendered
+// identically. Use this layout for any new latency histogram so
+// wire-level and native read tails stay measurable on one scale; the
+// pre-existing rimd_* histograms keep their original bounds because the
+// serve golden test locks that exposition byte-for-byte.
+var LatencyBuckets = []float64{
+	50e-9, 100e-9, 250e-9, 500e-9,
+	1e-6, 2.5e-6, 5e-6, 10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1,
+}

@@ -1,0 +1,40 @@
+package obs
+
+import "testing"
+
+// The shared latency layout exists to keep nanosecond-scale reads
+// measurable: strictly increasing bounds, sub-microsecond resolution at
+// the bottom, and a top bound that still catches full-second stalls.
+func TestLatencyBucketsShape(t *testing.T) {
+	if len(LatencyBuckets) == 0 {
+		t.Fatal("empty layout")
+	}
+	for i := 1; i < len(LatencyBuckets); i++ {
+		if LatencyBuckets[i] <= LatencyBuckets[i-1] {
+			t.Fatalf("bucket %d (%g) not above bucket %d (%g)",
+				i, LatencyBuckets[i], i-1, LatencyBuckets[i-1])
+		}
+	}
+	subMicro := 0
+	for _, b := range LatencyBuckets {
+		if b < 1e-6 {
+			subMicro++
+		}
+	}
+	if subMicro < 3 {
+		t.Fatalf("only %d sub-microsecond buckets; nanosecond reads collapse into one bucket", subMicro)
+	}
+	if top := LatencyBuckets[len(LatencyBuckets)-1]; top < 0.5 {
+		t.Fatalf("top bound %g too low to catch second-scale stalls", top)
+	}
+
+	// The layout must round-trip through a real histogram: observations
+	// at the extremes land in distinct buckets.
+	r := NewRegistry()
+	h := r.Histogram("obs_buckets_shape_test_seconds", "layout test", LatencyBuckets...)
+	h.Observe(60e-9)
+	h.Observe(0.9)
+	if got := h.Count(); got != 2 {
+		t.Fatalf("Count=%d, want 2", got)
+	}
+}

@@ -70,6 +70,9 @@ func (d *DiffEvaluator) Grid() *geom.Grid { return d.ev.Grid() }
 // Max delegates to the engine; Verify independently recomputes it.
 func (d *DiffEvaluator) Max() int { return d.ev.Max() }
 
+// SumI delegates to the engine; Verify covers the underlying vector.
+func (d *DiffEvaluator) SumI() int { return d.ev.SumI() }
+
 // ExportState delegates the engine's copy-on-read snapshot export.
 func (d *DiffEvaluator) ExportState(dst *core.State) *core.State {
 	return d.ev.ExportState(dst)

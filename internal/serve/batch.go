@@ -176,20 +176,47 @@ func coalesce(batch []Mutation) []Mutation {
 func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
 
 // formatOp renders the op-specific fields of a trace line.
-func formatOp(mu Mutation) string {
+func formatOp(mu Mutation) string { return string(appendOp(nil, mu)) }
+
+// appendOp is formatOp in append form — the WAL encode path renders
+// batch payloads through it into a reused buffer, so the per-batch
+// record costs no intermediate strings (the BENCH_3 WAL throughput
+// fix). Output is byte-identical to the historical fmt.Sprintf
+// rendering; parseFields round-trips both.
+func appendOp(dst []byte, mu Mutation) []byte {
+	appendFloat := func(dst []byte, f float64) []byte {
+		return strconv.AppendFloat(dst, f, 'g', -1, 64)
+	}
 	switch mu.Op {
 	case OpAdd:
-		return fmt.Sprintf("add id=%d x=%s y=%s", mu.Node, ftoa(mu.X), ftoa(mu.Y))
+		dst = append(dst, "add id="...)
+		dst = strconv.AppendInt(dst, mu.Node, 10)
+		dst = append(dst, " x="...)
+		dst = appendFloat(dst, mu.X)
+		dst = append(dst, " y="...)
+		return appendFloat(dst, mu.Y)
 	case OpRemove:
-		return fmt.Sprintf("remove id=%d", mu.Node)
+		dst = append(dst, "remove id="...)
+		return strconv.AppendInt(dst, mu.Node, 10)
 	case OpMove:
-		return fmt.Sprintf("move id=%d x=%s y=%s", mu.Node, ftoa(mu.X), ftoa(mu.Y))
+		dst = append(dst, "move id="...)
+		dst = strconv.AppendInt(dst, mu.Node, 10)
+		dst = append(dst, " x="...)
+		dst = appendFloat(dst, mu.X)
+		dst = append(dst, " y="...)
+		return appendFloat(dst, mu.Y)
 	case OpSetRadius:
-		return fmt.Sprintf("set id=%d r=%s", mu.Node, ftoa(mu.R))
+		dst = append(dst, "set id="...)
+		dst = strconv.AppendInt(dst, mu.Node, 10)
+		dst = append(dst, " r="...)
+		return appendFloat(dst, mu.R)
 	case OpAnneal:
-		return fmt.Sprintf("anneal iters=%d seed=%d", mu.Iters, mu.Seed)
+		dst = append(dst, "anneal iters="...)
+		dst = strconv.AppendInt(dst, int64(mu.Iters), 10)
+		dst = append(dst, " seed="...)
+		return strconv.AppendInt(dst, mu.Seed, 10)
 	}
-	return "unknown"
+	return append(dst, "unknown"...)
 }
 
 // traceHeader renders the instance preamble.

@@ -74,14 +74,14 @@ func parseCreatePayload(payload []byte) ([]geom.Point, error) {
 	return pts, nil
 }
 
-// encodeBatch renders one formatOp line per mutation.
-func encodeBatch(batch []Mutation) []byte {
-	var sb strings.Builder
-	for _, mu := range batch {
-		sb.WriteString(formatOp(mu))
-		sb.WriteByte('\n')
+// encodeBatch renders one formatOp line per mutation, appending onto
+// dst (pass dst[:0] to reuse a buffer across batches).
+func encodeBatch(dst []byte, batch []Mutation) []byte {
+	for i := range batch {
+		dst = appendOp(dst, batch[i])
+		dst = append(dst, '\n')
 	}
-	return []byte(sb.String())
+	return dst
 }
 
 // parseBatchPayload inverts encodeBatch.
@@ -112,11 +112,16 @@ func parseBatchPayload(payload []byte) ([]Mutation, error) {
 // under ckptMu so a batch that raced past the dropped-flag check still
 // lands before its session's drop record, never after.
 func (s *Session) logBatch(batch []Mutation) {
+	// The payload buffer is owner-only scratch; Append consumes it
+	// synchronously (the store copies it into its own encode buffer), so
+	// reusing it across batches is safe and keeps the log path
+	// allocation-free at steady state.
+	s.walBuf = encodeBatch(s.walBuf[:0], batch)
 	rec := store.Record{
 		Kind:    store.RecordBatch,
 		Session: s.id,
 		Seq:     s.seq + uint64(len(batch)),
-		Payload: encodeBatch(batch),
+		Payload: s.walBuf,
 	}
 	s.mgr.ckptMu.Lock()
 	err := s.mgr.cfg.Store.Append(rec)

@@ -21,7 +21,7 @@ func TestBatchPayloadRoundTrip(t *testing.T) {
 		{Op: OpSetRadius, Node: 7, R: 2.75},
 		{Op: OpAnneal, Iters: 500, Seed: -42},
 	}
-	got, err := parseBatchPayload(encodeBatch(batch))
+	got, err := parseBatchPayload(encodeBatch(nil, batch))
 	if err != nil {
 		t.Fatalf("parseBatchPayload: %v", err)
 	}

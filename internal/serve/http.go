@@ -194,11 +194,11 @@ func (h *api) summary(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	snap := s.Snapshot()
+	head := s.Head()
 	writeJSON(w, http.StatusOK, summaryJSON{
-		ID: s.ID(), N: snap.N, Max: snap.Max, Avg: snap.Avg,
-		Edges: len(snap.Edges), Seq: snap.Seq, Events: snap.Events,
-		Rebuilds: snap.Rebuilds, AgeMS: float64(snap.Age()) / float64(time.Millisecond),
+		ID: s.ID(), N: head.N, Max: head.Max, Avg: head.Avg,
+		Edges: head.Edges, Seq: head.Seq, Events: head.Events,
+		Rebuilds: head.Rebuilds, AgeMS: float64(head.Age()) / float64(time.Millisecond),
 		Queue: s.QueueDepth(),
 	})
 }

@@ -117,21 +117,21 @@ func (m *Manager) WriteMetrics(w io.Writer) {
 	for _, s := range sessions {
 		fmt.Fprintf(w, "rimd_queue_depth{session=%q} %d\n", s.id, s.QueueDepth())
 	}
-	gauge("rimd_snapshot_age_seconds", "Age of the published snapshot per session.")
+	gauge("rimd_snapshot_age_seconds", "Age of the published head per session.")
 	for _, s := range sessions {
-		fmt.Fprintf(w, "rimd_snapshot_age_seconds{session=%q} %s\n", s.id, ftoa(s.Snapshot().Age().Seconds()))
+		fmt.Fprintf(w, "rimd_snapshot_age_seconds{session=%q} %s\n", s.id, ftoa(s.Head().Age().Seconds()))
 	}
 	gauge("rimd_session_seq", "Mutation-log prefix length per session.")
 	for _, s := range sessions {
-		fmt.Fprintf(w, "rimd_session_seq{session=%q} %d\n", s.id, s.Snapshot().Seq)
+		fmt.Fprintf(w, "rimd_session_seq{session=%q} %d\n", s.id, s.Head().Seq)
 	}
 	gauge("rimd_session_nodes", "Instance size per session.")
 	for _, s := range sessions {
-		fmt.Fprintf(w, "rimd_session_nodes{session=%q} %d\n", s.id, s.Snapshot().N)
+		fmt.Fprintf(w, "rimd_session_nodes{session=%q} %d\n", s.id, s.Head().N)
 	}
 	gauge("rimd_session_interference", "Maintained I(G') per session.")
 	for _, s := range sessions {
-		fmt.Fprintf(w, "rimd_session_interference{session=%q} %d\n", s.id, s.Snapshot().Max)
+		fmt.Fprintf(w, "rimd_session_interference{session=%q} %d\n", s.id, s.Head().Max)
 	}
 }
 

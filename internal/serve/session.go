@@ -27,13 +27,14 @@ type Session struct {
 	det bool
 
 	mu        sync.Mutex
-	cond      *sync.Cond // signaled when the queue fully drains
+	cond      *sync.Cond  // signaled when the queue fully drains
 	queue     []Mutation
-	scheduled bool // in the shard's runq or mid-batch
-	closed    bool
+	scheduled bool        // in the shard's runq or mid-batch
+	closed    atomic.Bool // set under mu; read lock-free by Closed
 	dropped   bool             // DropSession (vs. manager drain): stop WAL logging
 	nolog     bool             // recovery replay: batches are already in the WAL
 	ckptW     []chan ckptReply // checkpoint waiters served between batches
+	flushW    int              // Flush waiters: drain publishes full before releasing them
 	nextID    int64
 
 	// Owner-only state (shard goroutine).
@@ -45,11 +46,21 @@ type Session struct {
 
 	header []string // deterministic mode: instance preamble
 	ops    *sim.TraceBuffer
+	walBuf []byte // owner-only scratch for WAL batch payload encoding
 
-	snap     atomic.Pointer[Snapshot]
-	applied  atomic.Int64
-	rejected atomic.Int64
+	snap      atomic.Pointer[Snapshot]
+	head      atomic.Pointer[Head]
+	sinceFull int // owner-only: batches since the last full publish
+	applied   atomic.Int64
+	rejected  atomic.Int64
+	depth     atomic.Int64 // mirrors len(queue); read lock-free by QueueDepth
 }
+
+// fullSnapshotEvery bounds how many batches may pass before the full
+// node/edge snapshot is rebuilt anyway. Flush always forces a rebuild,
+// so this only bounds how far Snapshot-path readers (node dumps,
+// traces) can trail while nobody flushes.
+const fullSnapshotEvery = 64
 
 func newSession(m *Manager, id string, pts []geom.Point) *Session {
 	s := &Session{
@@ -83,16 +94,24 @@ func newSession(m *Manager, id string, pts []geom.Point) *Session {
 // ID returns the session's identifier.
 func (s *Session) ID() string { return s.id }
 
-// Snapshot returns the latest published state — one atomic load, never
-// blocking the writer. The result is immutable and always non-nil.
+// Snapshot returns the latest published full state — one atomic load,
+// never blocking the writer. The result is immutable and always
+// non-nil. Under sustained mutation load it may trail Head by up to
+// fullSnapshotEvery batches; after Flush it is exact.
 func (s *Session) Snapshot() *Snapshot { return s.snap.Load() }
 
+// Head returns the scalar head of the session's state — refreshed after
+// every batch, one atomic load, never blocking the writer. Hot summary
+// readers (the wire and HTTP front doors) use this instead of Snapshot
+// so they never touch the full node dump.
+func (s *Session) Head() *Head { return s.head.Load() }
+
 // QueueDepth reports the pending-mutation count (metrics/backpressure
-// introspection; racy by nature).
+// introspection; racy by nature). It reads an atomic mirror of the
+// queue length so high-rate summary scrapes — the wire front door reads
+// it on every MsgSummary — never contend with the enqueue mutex.
 func (s *Session) QueueDepth() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.queue)
+	return int(s.depth.Load())
 }
 
 // Counts reports processed mutations: applied and rejected.
@@ -114,7 +133,7 @@ func (s *Session) Apply(muts ...Mutation) ([]int64, error) {
 		}
 	}
 	s.mu.Lock()
-	if s.closed {
+	if s.closed.Load() {
 		s.mu.Unlock()
 		return nil, ErrSessionClosed
 	}
@@ -136,6 +155,7 @@ func (s *Session) Apply(muts ...Mutation) ([]int64, error) {
 		}
 	}
 	s.queue = append(s.queue, muts...)
+	s.depth.Store(int64(len(s.queue)))
 	sched := !s.scheduled
 	s.scheduled = true
 	s.mu.Unlock()
@@ -147,7 +167,14 @@ func (s *Session) Apply(muts ...Mutation) ([]int64, error) {
 }
 
 // Flush blocks until every queued mutation has been applied and the
-// resulting snapshot published. A nil ctx waits indefinitely.
+// resulting full snapshot published. A nil ctx waits indefinitely.
+//
+// Because the full snapshot is only rebuilt on demand, Flush registers
+// itself as a waiter (the owner publishes full before releasing waiters)
+// and, if it finds the session quiescent with the snapshot trailing the
+// head, schedules one empty owner pass to refresh it. The re-check runs
+// in a loop so a waiter that registered after the owner's drain check
+// can never return with a stale snapshot.
 func (s *Session) Flush(ctx context.Context) error {
 	if ctx != nil {
 		stop := context.AfterFunc(ctx, func() {
@@ -159,21 +186,60 @@ func (s *Session) Flush(ctx context.Context) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(s.queue) > 0 || s.scheduled {
-		if ctx != nil && ctx.Err() != nil {
-			return ctx.Err()
+	s.flushW++
+	defer func() { s.flushW-- }()
+	for {
+		for len(s.queue) > 0 || s.scheduled {
+			if ctx != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			s.cond.Wait()
 		}
-		s.cond.Wait()
+		if s.snap.Load().Seq == s.head.Load().Seq {
+			return nil
+		}
+		// Quiescent but the full snapshot trails the head. Holding the
+		// scheduled flag with an empty queue makes this goroutine the
+		// session's owner — no shard pass can start — so it can rebuild
+		// the full snapshot in place instead of paying an empty batch.
+		s.scheduled = true
+		s.mu.Unlock()
+		s.publishFull()
+		s.mu.Lock()
+		if len(s.queue) > 0 || len(s.ckptW) > 0 {
+			// Work arrived while we published: Apply/checkpoint saw
+			// scheduled=true and left dispatch to us. Hand the session
+			// back to its shard and keep waiting.
+			s.mu.Unlock()
+			ok := s.sh.schedule(s)
+			s.mu.Lock()
+			if !ok {
+				// Shard stopped mid-shutdown; the queue will be
+				// rejected. Accept the snapshot we just built.
+				s.scheduled = false
+				s.cond.Broadcast()
+				return nil
+			}
+			continue
+		}
+		s.scheduled = false
+		s.cond.Broadcast()
+		return nil
 	}
-	return nil
 }
 
 // close rejects future Apply calls; queued mutations still drain.
 func (s *Session) close() {
 	s.mu.Lock()
-	s.closed = true
+	s.closed.Store(true)
 	s.mu.Unlock()
 }
+
+// Closed reports whether the session has stopped accepting mutations
+// (dropped, or the manager is draining). Lock-free: front doors that
+// cache session handles across requests use it to invalidate without
+// touching the enqueue mutex.
+func (s *Session) Closed() bool { return s.closed.Load() }
 
 // rejectQueued clears the pending queue, counting every discarded
 // mutation as rejected. Shutdown-deadline path only: the owner may still
@@ -183,6 +249,7 @@ func (s *Session) rejectQueued() int {
 	s.mu.Lock()
 	n := len(s.queue)
 	s.queue = s.queue[:0]
+	s.depth.Store(0)
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	if n > 0 {
@@ -227,6 +294,7 @@ func (s *Session) runBatch() {
 	batch := append([]Mutation(nil), s.queue[:n]...)
 	rest := copy(s.queue, s.queue[n:])
 	s.queue = s.queue[:rest]
+	s.depth.Store(int64(rest))
 	s.mu.Unlock()
 
 	if !s.det {
@@ -249,7 +317,7 @@ func (s *Session) runBatch() {
 		s.applyOne(batch[i])
 	}
 	pub := sp.Child("serve.publish")
-	s.publish()
+	s.publishHead()
 	pub.End()
 	sp.End()
 	mx.Batches.Add(1)
@@ -260,10 +328,28 @@ func (s *Session) runBatch() {
 	}
 	s.serveCheckpoints()
 
+	// The full node/edge snapshot is rebuilt only when a Flush waiter is
+	// about to be released or at the staleness bound — rebuilding it per
+	// batch was the serving layer's largest single cost under the wire
+	// workload (small batches drain the queue constantly, so "publish
+	// full on drain" degenerates to "publish full per batch").
+	s.mu.Lock()
+	more := len(s.queue) > 0 || len(s.ckptW) > 0
+	wantFull := s.flushW > 0
+	s.mu.Unlock()
+	s.sinceFull++
+	if (!more && wantFull) || s.sinceFull >= fullSnapshotEvery {
+		s.publishFull()
+		s.sinceFull = 0
+	}
+
 	s.mu.Lock()
 	// Pending checkpoint waiters that slipped in after serveCheckpoints
-	// count as work: reschedule so the next pass serves them.
-	more := len(s.queue) > 0 || len(s.ckptW) > 0
+	// count as work: reschedule so the next pass serves them. The full
+	// publish above happens before the Broadcast; a Flush waiter that
+	// registered too late to be seen by the drain check re-checks
+	// snapshot freshness on wake and schedules its own refresh pass.
+	more = len(s.queue) > 0 || len(s.ckptW) > 0
 	if !more {
 		s.scheduled = false
 		s.cond.Broadcast()
@@ -368,11 +454,40 @@ func (s *Session) trace(mu Mutation, applied bool) {
 	s.ops.Append(sb.String())
 }
 
-// publish exports the engine state into a fresh immutable snapshot and
+// publish refreshes both published views; session construction and
+// recovery use it so readers start with an exact full snapshot.
+func (s *Session) publish() {
+	s.publishHead()
+	s.publishFull()
+}
+
+// publishHead swaps in a fresh scalar head: O(max I) for the mean (read
+// off the engine's interference histogram), everything else O(1). This
+// runs after every batch, so it must stay cheap.
+func (s *Session) publishHead() {
+	eng := s.mt.Engine()
+	n := eng.N()
+	avg := 0.0
+	if n > 0 {
+		avg = float64(eng.SumI()) / float64(n)
+	}
+	s.head.Store(&Head{
+		Seq:      s.seq,
+		N:        n,
+		Max:      eng.Max(),
+		Avg:      avg,
+		Edges:    s.mt.Topology().M(),
+		Events:   s.mt.Events(),
+		Rebuilds: s.mt.Rebuilds(),
+		BuiltAt:  time.Now(),
+	})
+}
+
+// publishFull exports the engine state into a fresh immutable snapshot and
 // swaps it in. The export itself reuses an owner-only scratch buffer; only
 // the snapshot's own node/edge slices are freshly allocated (readers keep
 // references to them indefinitely).
-func (s *Session) publish() {
+func (s *Session) publishFull() {
 	st := s.mt.Engine().ExportState(s.scratch)
 	s.scratch = st
 	nodes := make([]NodeState, st.N())

@@ -22,14 +22,18 @@ func newShard() *shard {
 // schedule queues a session for a batch application. Called with the
 // session's scheduled flag freshly set, so a session is never queued
 // twice. After stop, scheduling is a no-op (drain has already flushed
-// every queue that matters).
-func (sh *shard) schedule(s *Session) {
+// every queue that matters); the return value reports whether the
+// session was actually queued, so callers that must not wait on a dead
+// owner — Flush's snapshot-refresh pass — can back out.
+func (sh *shard) schedule(s *Session) bool {
 	sh.mu.Lock()
-	if !sh.stopped {
-		sh.runq = append(sh.runq, s)
-		sh.cond.Signal()
+	defer sh.mu.Unlock()
+	if sh.stopped {
+		return false
 	}
-	sh.mu.Unlock()
+	sh.runq = append(sh.runq, s)
+	sh.cond.Signal()
+	return true
 }
 
 // stop makes the loop exit once the run queue is empty.

@@ -116,6 +116,13 @@ func (s *Store) Policy() SyncPolicy { return s.wal.policy }
 // Append writes one record to the WAL under the configured fsync policy.
 func (s *Store) Append(rec Record) error { return s.wal.append(rec) }
 
+// AppendBatch writes a group of records as one contiguous WAL write:
+// they are framed back to back in the encode buffer, hit the segment in
+// a single syscall, and share one fsync under SyncAlways. The crash
+// contract is unchanged — each record still carries its own CRC frame,
+// so recovery keeps any valid prefix of the group.
+func (s *Store) AppendBatch(recs []Record) error { return s.wal.append(recs...) }
+
 // Sync forces the WAL durable up to everything appended so far.
 func (s *Store) Sync() error {
 	s.wal.mu.Lock()

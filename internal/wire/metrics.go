@@ -1,0 +1,56 @@
+package wire
+
+import "repro/internal/obs"
+
+// The wire front door's metric set, registered under rim_wire_* names in
+// a shared obs.Registry (rimd's /metrics exposition picks them up from
+// the default registry automatically). Registration is idempotent, so
+// multiple servers in one process — tests — share one family set.
+type metrics struct {
+	connsOpened  *obs.Counter
+	connsClosed  *obs.Counter
+	framesIn     *obs.Counter
+	framesOut    *obs.Counter
+	bytesIn      *obs.Counter
+	bytesOut     *obs.Counter
+	requests     *obs.Counter
+	errors       *obs.Counter
+	backpressure *obs.Counter
+	batches      *obs.Counter
+	batchOps     *obs.Histogram
+	readLatency  *obs.Histogram
+}
+
+func registerMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		connsOpened: reg.Counter("rim_wire_connections_opened_total",
+			"Wire connections accepted."),
+		connsClosed: reg.Counter("rim_wire_connections_closed_total",
+			"Wire connections closed."),
+		framesIn: reg.Counter("rim_wire_frames_in_total",
+			"Frames received."),
+		framesOut: reg.Counter("rim_wire_frames_out_total",
+			"Frames sent."),
+		bytesIn: reg.Counter("rim_wire_bytes_in_total",
+			"Payload bytes received (headers included)."),
+		bytesOut: reg.Counter("rim_wire_bytes_out_total",
+			"Payload bytes sent (headers included)."),
+		requests: reg.Counter("rim_wire_requests_total",
+			"Requests served (every frame type except hello)."),
+		errors: reg.Counter("rim_wire_errors_total",
+			"Error responses sent (any non-zero status)."),
+		backpressure: reg.Counter("rim_wire_backpressure_total",
+			"Mutate frames answered 429 (queue full: wait and resubmit)."),
+		batches: reg.Counter("rim_wire_mutate_batches_total",
+			"Coalesced enqueue calls (pipelined mutate frames per Apply)."),
+		batchOps: reg.Histogram("rim_wire_batch_ops",
+			"Mutations per coalesced enqueue.", 1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+		// Sub-microsecond buckets on purpose: snapshot reads run in tens
+		// of nanoseconds, and the coarser legacy layouts collapsed the
+		// whole read tail into their first bucket (the BENCH_3
+		// p99_read_ms=0.000051 lesson).
+		readLatency: reg.Histogram("rim_wire_read_latency_seconds",
+			"Server-side read handling latency (decode to encoded response).",
+			obs.LatencyBuckets...),
+	}
+}

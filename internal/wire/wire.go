@@ -1,0 +1,162 @@
+// Package wire is rimd's binary front door: the rimwire v1 framing
+// protocol spoken over persistent TCP connections, built to close the
+// gap BENCH_3 measured between the engine (3.9M ops/s native) and the
+// HTTP/JSON facade (14.8k ops/s). The JSON codec and per-request
+// connection handling were eating ~300× of the throughput the
+// incremental evaluator earns; rimwire removes both.
+//
+// # Frame layout
+//
+// Every message is one frame: a fixed 16-byte little-endian header
+// followed by the payload and an optional CRC32-C trailer:
+//
+//	offset 0  uint32  payload length (bytes after the header, CRC excluded)
+//	offset 4  uint8   message type (Msg* constants)
+//	offset 5  uint8   flags (FlagCRC: a 4-byte CRC32-C of the payload follows it)
+//	offset 6  uint16  status (responses: 0 ok, else an HTTP-alike code)
+//	offset 8  uint64  request id (echoed verbatim in the response)
+//
+// The header is fixed-width on purpose — no varints on the hot path, so
+// encode is straight stores and decode is straight loads. Strings
+// (session IDs, error text) appear only inside payloads, length-prefixed
+// with uint16. Mutation ops are fixed 33-byte records (see AppendOps).
+// The length word is validated against MaxFrame before any allocation,
+// so an adversarial length prefix cannot balloon memory — the same
+// guard discipline as serve's MaxCoord and the store's maxRecordSize.
+//
+// # Pipelining and ordering
+//
+// A connection carries many requests in flight: the client writes
+// frames back to back without waiting, and the server answers every
+// frame exactly once, in request order (FIFO per connection). Request
+// ids exist so a multiplexing client can hand responses back to the
+// right caller without assuming order; the per-connection FIFO is
+// nevertheless part of the v1 contract (it is what makes "flush, then
+// read" meaningful inside one connection).
+//
+// Mutations are acknowledged at *enqueue* (the HTTP 202 analog): an ok
+// MsgMutate response means the batch entered the session's bounded
+// queue, not that it was applied. Reads observe a published snapshot —
+// a prefix of the mutation log — exactly as over HTTP. MsgFlush blocks
+// until the queue drains, again exactly as over HTTP.
+//
+// # Backpressure
+//
+// A full session queue is the same backpressure signal HTTP expresses
+// as 429 + Retry-After: the server answers status 429 (StatusAgain) and
+// the client is expected to wait and resubmit. No frame is ever
+// silently dropped; a connection-fatal condition (bad magic, oversized
+// frame, CRC mismatch) closes the connection after a best-effort
+// status-400 frame.
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Protocol identity. The handshake payload pins both so a v2 can bump
+// either without ambiguity.
+const (
+	Magic   = "rimwire"
+	Version = 1
+)
+
+// HeaderSize is the fixed frame-header length in bytes.
+const HeaderSize = 16
+
+// MaxFrame is the default bound on a frame's payload length. Length
+// words beyond the configured bound are rejected before any allocation.
+const MaxFrame = 16 << 20
+
+// Flags (header offset 5).
+const (
+	// FlagCRC marks a frame whose payload is followed by a uint32
+	// little-endian CRC32-C of the payload bytes. Optional: the hot path
+	// skips it (TCP already checksums); a client talking across storage
+	// or relays can turn it on per connection.
+	FlagCRC = 1 << 0
+)
+
+// Message types. Requests are odd jobs of the client; every request
+// type has exactly one response frame (MsgErr substitutes for any of
+// them on failure).
+const (
+	MsgHello     uint8 = 1  // handshake: payload "rimwire" + version byte
+	MsgHelloOK   uint8 = 2  // server accepts; payload mirrors MsgHello
+	MsgPing      uint8 = 3  // liveness probe
+	MsgPong      uint8 = 4  // liveness answer
+	MsgCreate    uint8 = 5  // create a session from explicit points
+	MsgCreateGen uint8 = 6  // create a session from (n, seed, side)
+	MsgCreateOK  uint8 = 7  // payload: uint32 n
+	MsgMutate    uint8 = 8  // enqueue a mutation batch
+	MsgMutateOK  uint8 = 9  // payload: assigned ids for OpAdd mutations
+	MsgSummary   uint8 = 10 // read the session summary
+	MsgSummaryOK uint8 = 11 // payload: fixed Summary record
+	MsgNodes     uint8 = 12 // read per-node state
+	MsgNodesOK   uint8 = 13 // payload: seq + fixed 36-byte node records
+	MsgFlush     uint8 = 14 // wait until the session queue drains
+	MsgFlushOK   uint8 = 15 // payload: uint64 seq
+	MsgDrop      uint8 = 16 // drop a session
+	MsgDropOK    uint8 = 17
+	MsgErr       uint8 = 18 // status in header, human-readable text payload
+)
+
+// Response status codes (header offset 6). Deliberately the HTTP
+// numbers, so the two front doors speak one operational language and
+// the 429 semantics documented for the JSON facade carry over verbatim.
+const (
+	StatusOK       = 0
+	StatusBad      = 400 // malformed frame or rejected mutation
+	StatusNotFound = 404 // no such session
+	StatusExists   = 409 // session id already taken
+	StatusGone     = 410 // session closed
+	StatusAgain    = 429 // queue full: wait and resubmit (Retry-After analog)
+	StatusInternal = 500
+)
+
+// Decode errors. ErrFrameTooBig is the allocation-bomb guard: it fires
+// on the length word alone, before any payload buffer is grown.
+var (
+	ErrFrameTooBig = errors.New("wire: frame length exceeds limit")
+	ErrTruncated   = errors.New("wire: frame truncated")
+	ErrChecksum    = errors.New("wire: payload crc mismatch")
+	ErrBadPayload  = errors.New("wire: malformed payload")
+)
+
+// Error is a decoded MsgErr response: the status code plus the server's
+// message text.
+type Error struct {
+	Status int
+	Msg    string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("wire: status %d: %s", e.Status, e.Msg) }
+
+// IsBackpressure reports whether err is the server's queue-full signal
+// (status 429): not a failure, an instruction to wait and resubmit.
+func IsBackpressure(err error) bool {
+	var we *Error
+	return errors.As(err, &we) && we.Status == StatusAgain
+}
+
+// Summary is the fixed-layout session summary a MsgSummaryOK carries —
+// the binary twin of the HTTP summary document.
+type Summary struct {
+	N        uint32
+	Max      uint32
+	Edges    uint32
+	Events   uint32
+	Rebuilds uint32
+	Queue    uint32
+	Seq      uint64
+	Avg      float64
+	AgeNS    int64
+}
+
+// Node is one fixed 36-byte record of a MsgNodesOK payload.
+type Node struct {
+	ID      int64
+	X, Y, R float64
+	I       uint32
+}
