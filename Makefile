@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench bench-json serve-smoke store-smoke store-overhead wire-smoke wire-gate trace-demo obs-overhead repro figures tables cover fuzz fuzz-nightly clean
+.PHONY: all build vet test check bench bench-json serve-smoke store-smoke store-overhead wire-smoke wire-gate repl-smoke trace-demo obs-overhead repro figures tables cover fuzz fuzz-nightly clean
 
 all: build vet test
 
@@ -38,9 +38,11 @@ bench:
 #   BENCH=4  + the binary wire protocol (codec, RTT, pipelined mixed
 #            workload) and the rimload open-loop latency profile
 #            (p50/p99/p999 under Poisson arrivals)
-# e.g. `make bench-json BENCH=4`.
+#   BENCH=5  + end-to-end WAL replication throughput over a loopback
+#            feed (leader apply + stream + follower apply, per mutation)
+# e.g. `make bench-json BENCH=5`.
 BENCH ?= 1
-BENCH_REGEX ?= BenchmarkAnnealEvaluator|BenchmarkAnnealRecompute|BenchmarkDynamicEvents|BenchmarkExactSearch|BenchmarkAblationIncremental|BenchmarkServeMixed|BenchmarkServeHTTPMixed|BenchmarkWALAppend|BenchmarkRecovery|BenchmarkServeWireMixed|BenchmarkWireCodec|BenchmarkWireRTT
+BENCH_REGEX ?= BenchmarkAnnealEvaluator|BenchmarkAnnealRecompute|BenchmarkDynamicEvents|BenchmarkExactSearch|BenchmarkAblationIncremental|BenchmarkServeMixed|BenchmarkServeHTTPMixed|BenchmarkWALAppend|BenchmarkRecovery|BenchmarkServeWireMixed|BenchmarkWireCodec|BenchmarkWireRTT|BenchmarkReplThroughput
 RIMLOAD_PROFILE ?= smoke
 bench-json:
 	( $(GO) test -run=xxx -bench='$(BENCH_REGEX)' -benchtime=1x . ; \
@@ -65,6 +67,14 @@ store-smoke:
 # on the same session.
 wire-smoke:
 	$(GO) test -run TestWireSmoke -count=1 -v ./cmd/rimd/
+
+# End-to-end replication smoke: build the real rimd binary, boot a
+# 3-node loopback cluster (leader + two followers), mutate over HTTP,
+# require both followers to serve byte-identical reads, kill -9 the
+# leader, and require the ring successor to auto-promote and keep
+# serving the same state — now writable.
+repl-smoke:
+	$(GO) test -run TestReplSmoke -count=1 -v ./cmd/rimd/
 
 # Wire throughput floor: the pipelined mixed workload must clear 500k
 # ops/s (best of WIRE_COUNT short runs — an absolute floor, not a
@@ -150,6 +160,7 @@ fuzz:
 	$(GO) test -run=xxx -fuzz=FuzzReadTopology -fuzztime=$(FUZZTIME) ./internal/encode/
 	$(GO) test -run=xxx -fuzz=FuzzWALDecode -fuzztime=$(FUZZTIME) ./internal/store/
 	$(GO) test -run=xxx -fuzz=FuzzWireDecode -fuzztime=$(FUZZTIME) ./internal/wire/
+	$(GO) test -run=xxx -fuzz=FuzzReplDecode -fuzztime=$(FUZZTIME) ./internal/wire/
 
 # The nightly CI job's longer exploration of the same targets.
 fuzz-nightly:

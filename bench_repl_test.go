@@ -1,0 +1,123 @@
+package rim_test
+
+// Replication benchmark, archived in BENCH_5.json via
+// `make bench-json BENCH=5`:
+//
+//   - BenchmarkReplThroughput: end-to-end mutation replication over a
+//     loopback rimwire feed — leader apply + WAL append + stream encode
+//     + follower decode + follower apply + follower WAL append, per
+//     mutation. The number that bounds how hot a leader can run before
+//     its followers fall behind.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/repl"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// BenchmarkReplThroughput drives one session of Move mutations through
+// a leader and waits for a live follower to apply every record. One op
+// is one mutation durable on the leader AND applied (and re-logged) on
+// the follower — the full replication pipeline, not just the wire.
+func BenchmarkReplThroughput(b *testing.B) {
+	const nodes = 128
+	pts := make([]geom.Point, nodes)
+	for i := range pts {
+		pts[i] = geom.Pt(float64(i%16)*0.3, float64(i/16)*0.3)
+	}
+
+	ldrStore, err := store.Open(store.Options{
+		Dir: b.TempDir(), Sync: store.SyncNone, Registry: obs.NewRegistry(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ldrStore.Close()
+	ldrMgr := serve.NewManager(serve.Config{Shards: 1, Store: ldrStore})
+	defer ldrMgr.Close(context.Background())
+	sess, err := ldrMgr.CreateSession("bench", pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	ldr := repl.NewLeader(repl.LeaderConfig{
+		Store: ldrStore, NodeID: "n1", Epoch: 1,
+		Poll: time.Millisecond, Registry: obs.NewRegistry(),
+	})
+	defer ldr.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go ldr.Serve(ln)
+
+	folDir := b.TempDir()
+	folStore, err := store.Open(store.Options{
+		Dir: folDir, Sync: store.SyncNone, Registry: obs.NewRegistry(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer folStore.Close()
+	folMgr := serve.NewManager(serve.Config{Shards: 1, Store: folStore, NoCoalesce: true})
+	defer folMgr.Close(context.Background())
+	fol, err := repl.NewFollower(repl.FollowerConfig{
+		Manager: folMgr, NodeID: "n2", LeaderAddr: ln.Addr().String(),
+		CursorPath: filepath.Join(folDir, "cursor"),
+		Backoff:    time.Millisecond, Registry: obs.NewRegistry(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	go fol.Run()
+	defer fol.Stop()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		// Rotate across node IDs so leader-side coalescing keeps batches
+		// honest instead of collapsing the workload to one record. Radius
+		// changes on the sparse grid keep the engine event cheap — the
+		// benchmark measures the replication pipeline, not maintainer
+		// churn. Periodic flushes bound the queue (the client-side
+		// backpressure contract).
+		if _, err := sess.Apply(serve.SetRadius(int64(i%nodes), 0.05+float64(i%3)*0.01)); err != nil {
+			b.Fatal(err)
+		}
+		if i%512 == 511 {
+			if err := sess.Flush(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := sess.Flush(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	tail := ldrStore.ReplTail()
+	for deadline := time.Now().Add(2 * time.Minute); fol.Cursor() != tail; {
+		if time.Now().After(deadline) {
+			b.Fatalf("follower stuck at %v, want %v", fol.Cursor(), tail)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	if st := fol.Stats(); st.Gaps != 0 || st.Resyncs != 0 {
+		b.Fatalf("benchmark stream was not clean: %+v", st)
+	}
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "muts/s")
+	if testing.Verbose() {
+		fmt.Printf("repl throughput: %d mutations in %v\n", b.N, elapsed)
+	}
+}

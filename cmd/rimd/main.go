@@ -31,6 +31,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -65,6 +67,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fsyncMode     = fs.String("fsync", "batch", "WAL fsync policy: always, batch, or none")
 		ckptEvery     = fs.Duration("checkpoint-every", 5*time.Minute, "checkpoint-barrier interval (0 disables the ticker)")
 		segBytes      = fs.Int64("segment-bytes", 0, "WAL segment rotation size (0 = 64 MiB)")
+		nodeID        = fs.String("node-id", "rimd", "this node's name in the replication ring")
+		replAddr      = fs.String("repl-addr", "", "replication feed listen address (leader mode, or armed for promotion; requires -data-dir)")
+		replFollow    = fs.String("repl-follow", "", "leader feed address to follow (read-only follower mode; requires -data-dir)")
+		replLeaderID  = fs.String("repl-leader-id", "", "the leader's node ID (followers use it for ring successor math)")
+		replPeers     = fs.String("repl-peers", "", "comma-separated ring membership, leader included (e.g. n1,n2,n3)")
+		replEpoch     = fs.Uint64("repl-epoch", 1, "leader epoch (a promoted follower serves at observed epoch + 1)")
+		replAutoProm  = fs.Duration("repl-auto-promote", 0, "promote automatically after the leader is unreachable this long (0 = manual POST /repl/promote)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -127,6 +136,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout)
 	}
 
+	// Replication role, wired after recovery so a follower resubscribes
+	// from a cursor its own recovered WAL can back, and before the HTTP
+	// listener so clients never see a follower accept writes.
+	var peers []string
+	if *replPeers != "" {
+		for _, p := range strings.Split(*replPeers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+	}
+	var cursorPath string
+	if *dataDir != "" {
+		cursorPath = filepath.Join(*dataDir, "repl.cursor")
+	}
+	rn, err := startRepl(replOpts{
+		nodeID: *nodeID, addr: *replAddr, follow: *replFollow,
+		leaderID: *replLeaderID, peers: peers, epoch: *replEpoch,
+		autoPromote: *replAutoProm, cursorPath: cursorPath,
+	}, mgr, st, stdout, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "rimd: repl: %v\n", err)
+		return 2
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "rimd: listen: %v\n", err)
@@ -137,6 +171,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// (net/http/pprof, /debug/obs/spans, /debug/obs/trace) alongside.
 	mux := http.NewServeMux()
 	mux.Handle("/", serve.NewHandler(mgr))
+	if rn != nil {
+		rn.register(mux)
+	}
 	obs.MountDebug(mux)
 	srv := &http.Server{Handler: mux}
 	fmt.Fprintf(stdout, "rimd: listening on %s\n", ln.Addr())
@@ -201,6 +238,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if rn != nil {
+		// The feed (or feed consumer) detaches before the manager drains:
+		// no new replicated records arrive mid-close, and a leader's
+		// followers see a clean connection close and fall into their
+		// reconnect loop.
+		rn.close()
+	}
 	if wireSrv != nil {
 		// Wire connections close before the manager drains: in-flight
 		// mutate frames were ACKed at enqueue and the drain below applies

@@ -1,0 +1,265 @@
+package main
+
+// Replication wiring for the daemon: -repl-addr turns a rimd into a
+// leader streaming its WAL over rimwire, -repl-follow turns it into a
+// read-only follower applying that stream, and POST /repl/promote (or
+// the -repl-auto-promote watchdog) hands a follower the keyspace when
+// its leader dies. Promotion order is decided by the consistent-hash
+// ring over -repl-peers — every surviving node computes the same
+// successor, so no election traffic exists to lose.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/repl"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+type replOpts struct {
+	nodeID      string
+	addr        string // feed listener (leader now, or after promotion)
+	follow      string // leader feed address (follower mode)
+	leaderID    string // leader's node ID (for ring successor math)
+	peers       []string
+	epoch       uint64
+	autoPromote time.Duration
+	cursorPath  string
+}
+
+// replNode is the daemon's replication role: leader, follower, or (once
+// promoted) both histories in one process.
+type replNode struct {
+	opts           replOpts
+	mgr            *serve.Manager
+	st             *store.Store
+	stdout, stderr io.Writer
+
+	mu    sync.Mutex
+	role  string // "leader" | "follower"
+	epoch uint64
+	ldr   *repl.Leader
+	fol   *repl.Follower
+	stopc chan struct{}
+	stop  sync.Once
+}
+
+// startRepl boots the configured role. Returns nil when no repl flag is
+// set.
+func startRepl(opts replOpts, mgr *serve.Manager, st *store.Store, stdout, stderr io.Writer) (*replNode, error) {
+	if opts.addr == "" && opts.follow == "" {
+		return nil, nil
+	}
+	if st == nil {
+		return nil, errors.New("replication requires -data-dir")
+	}
+	n := &replNode{
+		opts: opts, mgr: mgr, st: st,
+		stdout: stdout, stderr: stderr,
+		epoch: opts.epoch, stopc: make(chan struct{}),
+	}
+	if opts.follow != "" {
+		fol, err := repl.NewFollower(repl.FollowerConfig{
+			Manager:    mgr,
+			NodeID:     opts.nodeID,
+			LeaderAddr: opts.follow,
+			CursorPath: opts.cursorPath,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.role, n.fol = "follower", fol
+		go func() {
+			if err := fol.Run(); err != nil {
+				// Only unrecoverable apply errors end Run; the daemon keeps
+				// serving reads from its last applied state.
+				fmt.Fprintf(stderr, "rimd: repl follower stopped: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(stdout, "rimd: repl following %s (node %s)\n", opts.follow, opts.nodeID)
+		if opts.autoPromote > 0 {
+			go n.watchLeader()
+		}
+		return n, nil
+	}
+	if err := n.lead(opts.epoch); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// lead starts the feed listener. Caller must not hold mu.
+func (n *replNode) lead(epoch uint64) error {
+	ln, err := net.Listen("tcp", n.opts.addr)
+	if err != nil {
+		return fmt.Errorf("repl listen: %w", err)
+	}
+	ldr := repl.NewLeader(repl.LeaderConfig{
+		Store: n.st, NodeID: n.opts.nodeID, Epoch: epoch,
+	})
+	go ldr.Serve(ln)
+	n.mu.Lock()
+	n.role, n.ldr, n.epoch = "leader", ldr, epoch
+	n.mu.Unlock()
+	fmt.Fprintf(n.stdout, "rimd: repl leading on %s (node %s, epoch %d)\n", ln.Addr(), n.opts.nodeID, epoch)
+	return nil
+}
+
+// candidate reports whether the ring names this node the dead leader's
+// successor.
+func (n *replNode) candidate() bool {
+	if n.opts.leaderID == "" || len(n.opts.peers) == 0 {
+		return false
+	}
+	return repl.NewRing(n.opts.peers...).Successor(n.opts.leaderID) == n.opts.nodeID
+}
+
+// promote hands the node over: drain the feed, lift read-only, and (when
+// -repl-addr is set) start leading at the next epoch.
+func (n *replNode) promote() error {
+	n.mu.Lock()
+	if n.role != "follower" {
+		n.mu.Unlock()
+		return fmt.Errorf("repl: %s cannot be promoted", n.role)
+	}
+	fol := n.fol
+	n.mu.Unlock()
+	if err := fol.Promote(context.Background()); err != nil {
+		return err
+	}
+	epoch := fol.LeaderEpoch()
+	if n.opts.epoch > epoch {
+		epoch = n.opts.epoch
+	}
+	epoch++
+	fmt.Fprintf(n.stdout, "rimd: repl promoted %s at cursor %s (epoch %d)\n",
+		n.opts.nodeID, fol.Cursor(), epoch)
+	if n.opts.addr != "" {
+		return n.lead(epoch)
+	}
+	n.mu.Lock()
+	n.role, n.epoch = "leader", epoch
+	n.mu.Unlock()
+	return nil
+}
+
+// watchLeader is the -repl-auto-promote watchdog: when the leader's feed
+// address refuses connections for the whole window and the ring names
+// this node successor, promote. Non-successors stop watching and keep
+// retrying the old address — repointing them at the new leader is the
+// operator's move (or the next config push).
+func (n *replNode) watchLeader() {
+	interval := n.opts.autoPromote / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var downSince time.Time
+	for {
+		select {
+		case <-n.stopc:
+			return
+		case <-ticker.C:
+		}
+		c, err := net.DialTimeout("tcp", n.opts.follow, interval)
+		if err == nil {
+			c.Close()
+			downSince = time.Time{}
+			continue
+		}
+		if downSince.IsZero() {
+			downSince = time.Now()
+			continue
+		}
+		if time.Since(downSince) < n.opts.autoPromote {
+			continue
+		}
+		if !n.candidate() {
+			fmt.Fprintf(n.stdout, "rimd: repl leader %s down; ring successor is elsewhere, holding\n", n.opts.follow)
+			return
+		}
+		fmt.Fprintf(n.stdout, "rimd: repl leader %s down for %s; taking over\n", n.opts.follow, n.opts.autoPromote)
+		if err := n.promote(); err != nil {
+			fmt.Fprintf(n.stderr, "rimd: repl auto-promote: %v\n", err)
+		}
+		return
+	}
+}
+
+func (n *replNode) close() {
+	n.stop.Do(func() { close(n.stopc) })
+	n.mu.Lock()
+	fol, ldr := n.fol, n.ldr
+	n.mu.Unlock()
+	if fol != nil {
+		fol.Stop()
+	}
+	if ldr != nil {
+		ldr.Close()
+	}
+}
+
+// replStatus is the GET /repl/status document.
+type replStatus struct {
+	Node             string `json:"node"`
+	Role             string `json:"role"`
+	Epoch            uint64 `json:"epoch"`
+	Cursor           string `json:"cursor"`
+	LeaderAddr       string `json:"leader_addr,omitempty"`
+	PromoteCandidate bool   `json:"promote_candidate"`
+	Frames           uint64 `json:"frames"`
+	Records          uint64 `json:"records"`
+	Reconnects       uint64 `json:"reconnects"`
+	Gaps             uint64 `json:"gaps"`
+	Resyncs          uint64 `json:"resyncs"`
+}
+
+func (n *replNode) register(mux *http.ServeMux) {
+	mux.HandleFunc("/repl/status", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		n.mu.Lock()
+		st := replStatus{
+			Node: n.opts.nodeID, Role: n.role, Epoch: n.epoch,
+			LeaderAddr: n.opts.follow,
+		}
+		fol := n.fol
+		n.mu.Unlock()
+		if st.Role == "leader" {
+			st.Cursor = n.st.ReplTail().String()
+			st.LeaderAddr = ""
+		} else if fol != nil {
+			st.Cursor = fol.Cursor().String()
+			st.Epoch = fol.LeaderEpoch()
+			fs := fol.Stats()
+			st.Frames, st.Records, st.Reconnects, st.Gaps, st.Resyncs =
+				fs.Frames, fs.Records, fs.Reconnects, fs.Gaps, fs.Resyncs
+			st.PromoteCandidate = n.candidate()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(st)
+	})
+	mux.HandleFunc("/repl/promote", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := n.promote(); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"promoted\":%q}\n", n.opts.nodeID)
+	})
+}

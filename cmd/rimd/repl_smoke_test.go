@@ -1,0 +1,190 @@
+package main
+
+// TestReplSmoke is the end-to-end replication smoke behind
+// `make repl-smoke`: build the real rimd binary, boot a 3-node loopback
+// cluster (one leader, two followers), mutate over HTTP, wait for both
+// followers to catch up and serve byte-identical reads, SIGKILL the
+// leader, and require the ring successor to auto-promote and keep
+// serving the same state — now writable.
+
+import (
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/repl"
+)
+
+// waitBody polls a GET until the body equals want (optionally with the
+// time-varying age field stripped) — the last read must be byte-equal.
+func waitBody(t *testing.T, p *rimdProc, path, want string, strip bool) {
+	t.Helper()
+	var got string
+	for deadline := time.Now().Add(15 * time.Second); time.Now().Before(deadline); {
+		raw := p.get(t, path, 200)
+		if got = string(raw); strip {
+			got = stripAge(raw)
+		}
+		if got == want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("GET %s never converged:\n got %s\nwant %s", path, got, want)
+}
+
+func delReq(t *testing.T, p *rimdProc, path string) {
+	t.Helper()
+	req, _ := http.NewRequest("DELETE", "http://"+p.addr+path, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("DELETE %s: %v %v", path, resp, err)
+	}
+	resp.Body.Close()
+}
+
+var replAddrRe = regexp.MustCompile(`repl leading on (\S+) \(node`)
+
+// replStatusDoc mirrors the /repl/status JSON.
+type replStatusDoc struct {
+	Node             string `json:"node"`
+	Role             string `json:"role"`
+	Epoch            uint64 `json:"epoch"`
+	Cursor           string `json:"cursor"`
+	PromoteCandidate bool   `json:"promote_candidate"`
+	Gaps             uint64 `json:"gaps"`
+	Resyncs          uint64 `json:"resyncs"`
+}
+
+func (p *rimdProc) replStatus(t *testing.T) replStatusDoc {
+	t.Helper()
+	var doc replStatusDoc
+	if err := json.Unmarshal(p.get(t, "/repl/status", 200), &doc); err != nil {
+		t.Fatalf("decode /repl/status: %v", err)
+	}
+	return doc
+}
+
+func TestReplSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repl smoke builds and boots a 3-node cluster; skipped in -short")
+	}
+	bin := buildRimd(t)
+	base := t.TempDir()
+	common := []string{"-fsync", "batch", "-checkpoint-every", "0"}
+
+	// Leader n1 announces its feed address on stdout.
+	ldr := bootRimd(t, bin, append([]string{
+		"-node-id", "n1", "-data-dir", filepath.Join(base, "n1"),
+		"-repl-addr", "127.0.0.1:0"}, common...)...)
+	var feedAddr string
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if m := replAddrRe.FindStringSubmatch(ldr.out.String()); m != nil {
+			feedAddr = m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if feedAddr == "" {
+		t.Fatalf("leader never announced its feed address:\n%s", ldr.out.String())
+	}
+
+	// Followers n2 and n3 subscribe; the ring decides who inherits n1.
+	follower := func(id string) *rimdProc {
+		return bootRimd(t, bin, append([]string{
+			"-node-id", id, "-data-dir", filepath.Join(base, id),
+			"-repl-follow", feedAddr, "-repl-leader-id", "n1",
+			"-repl-peers", "n1,n2,n3", "-repl-addr", "127.0.0.1:0",
+			"-repl-auto-promote", "300ms"}, common...)...)
+	}
+	n2, n3 := follower("n2"), follower("n3")
+	successor := repl.NewRing("n1", "n2", "n3").Successor("n1")
+	byID := map[string]*rimdProc{"n2": n2, "n3": n3}
+	heir, bystander := byID[successor], n3
+	if successor == "n3" {
+		bystander = n2
+	}
+
+	// Workload on the leader: the store-smoke script, one dropped session
+	// included so the drop record rides the stream too.
+	ldr.post(t, "/v1/sessions", `{"id":"smoke","n":32,"seed":5}`, 201)
+	ldr.post(t, "/v1/sessions/smoke/mutations",
+		`{"ops":[{"op":"add","x":0.3,"y":0.4},{"op":"set_radius","node":2,"r":0.6},{"op":"anneal","iters":150,"seed":9}]}`, 202)
+	ldr.post(t, "/v1/sessions/smoke/flush", ``, 200)
+	ldr.post(t, "/v1/sessions", `{"id":"doomed","n":8,"seed":1}`, 201)
+	delReq(t, ldr, "/v1/sessions/doomed")
+	wantSummary := stripAge(ldr.get(t, "/v1/sessions/smoke", 200))
+	wantNodes := string(ldr.get(t, "/v1/sessions/smoke/nodes", 200))
+	tail := ldr.replStatus(t).Cursor
+
+	// Both followers catch up to the leader's durable tail, gap-free, and
+	// serve byte-identical reads — but refuse writes.
+	for _, p := range []*rimdProc{n2, n3} {
+		for deadline := time.Now().Add(15 * time.Second); ; {
+			st := p.replStatus(t)
+			if st.Cursor == tail && st.Gaps == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("follower %s never caught up to %s: %+v\n%s", p.addr, tail, st, p.out.String())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		// The cursor says every record arrived; the full snapshot still
+		// publishes asynchronously on queue drain, so reads are polled to
+		// convergence — and must then be byte-identical.
+		waitBody(t, p, "/v1/sessions/smoke", wantSummary, true)
+		waitBody(t, p, "/v1/sessions/smoke/nodes", wantNodes, false)
+		p.get(t, "/v1/sessions/doomed", 404)
+		p.post(t, "/v1/sessions/smoke/mutations", `{"ops":[{"op":"add","x":0.5,"y":0.5}]}`, 403)
+	}
+
+	// kill -9 the leader. The ring successor must notice, self-promote,
+	// and serve the exact pre-crash state — now writable.
+	if err := ldr.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	ldr.cmd.Wait()
+	for deadline := time.Now().Add(20 * time.Second); ; {
+		if st := heir.replStatus(t); st.Role == "leader" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("successor %s never promoted:\n%s", successor, heir.out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	waitBody(t, heir, "/v1/sessions/smoke", wantSummary, true)
+	waitBody(t, heir, "/v1/sessions/smoke/nodes", wantNodes, false)
+	heir.post(t, "/v1/sessions/smoke/mutations", `{"ops":[{"op":"add","x":0.9,"y":0.1}]}`, 202)
+	heir.post(t, "/v1/sessions/smoke/flush", ``, 200)
+
+	// The bystander holds: the ring said the keyspace is not its to take.
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if strings.Contains(bystander.out.String(), "ring successor is elsewhere, holding") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("bystander never reported holding:\n%s", bystander.out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if st := bystander.replStatus(t); st.Role != "follower" {
+		t.Fatalf("bystander role = %q, want follower", st.Role)
+	}
+
+	// Clean exits for the survivors.
+	for _, p := range []*rimdProc{heir, bystander} {
+		if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.cmd.Wait(); err != nil {
+			t.Fatalf("graceful exit: %v\n%s", err, p.out.String())
+		}
+	}
+}

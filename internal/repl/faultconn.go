@@ -1,0 +1,152 @@
+package repl
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// FaultConn wraps a net.Conn with deterministic, byte-precise network
+// faults — the knob set the replication test harness turns. It injects
+// on either side of the stream: wrap the follower's dialed connection
+// (Follower.Dial) to tear the read path, or the leader's accepted
+// connection (Leader.WrapConn) to tear the write path. All faults are
+// one connection deep on purpose: replication's contract is that any
+// single connection may die at any byte, and the follower heals by
+// reconnecting from its cursor — so the harness kills connections, and
+// correctness is judged on the state that survives.
+type FaultConn struct {
+	net.Conn
+
+	mu          sync.Mutex
+	readBudget  int64 // bytes until reads fail; -1 = unlimited
+	writeBudget int64 // bytes until writes fail; -1 = unlimited
+	readDelay   time.Duration
+	stallUntil  time.Time // partition: block reads/writes, then fail
+	dupWrites   bool      // write every buffer twice (duplicate delivery)
+}
+
+// NewFaultConn wraps c with no faults armed.
+func NewFaultConn(c net.Conn) *FaultConn {
+	return &FaultConn{Conn: c, readBudget: -1, writeBudget: -1}
+}
+
+// CutReadAfter arms a cut: after n more bytes are read the connection
+// fails mid-frame (reads return ErrUnexpectedEOF and the underlying
+// conn closes). n = 0 cuts the next read.
+func (f *FaultConn) CutReadAfter(n int64) {
+	f.mu.Lock()
+	f.readBudget = n
+	f.mu.Unlock()
+}
+
+// CutWriteAfter arms a cut on the write path: after n more bytes the
+// peer sees a torn stream (writes fail and the conn closes).
+func (f *FaultConn) CutWriteAfter(n int64) {
+	f.mu.Lock()
+	f.writeBudget = n
+	f.mu.Unlock()
+}
+
+// DelayReads adds a fixed delay before every read — cheap latency
+// injection to shake out timing assumptions.
+func (f *FaultConn) DelayReads(d time.Duration) {
+	f.mu.Lock()
+	f.readDelay = d
+	f.mu.Unlock()
+}
+
+// Partition blackholes the connection for d: reads and writes block
+// until the window passes, then fail (a partitioned TCP peer looks like
+// a stall that ends in a broken connection, not a clean close).
+func (f *FaultConn) Partition(d time.Duration) {
+	f.mu.Lock()
+	f.stallUntil = time.Now().Add(d)
+	f.mu.Unlock()
+}
+
+// DuplicateWrites makes every subsequent Write deliver its bytes twice.
+// Only meaningful for idempotent message flows (acks); duplicating a
+// framed request stream is a protocol error the peer must reject.
+func (f *FaultConn) DuplicateWrites(on bool) {
+	f.mu.Lock()
+	f.dupWrites = on
+	f.mu.Unlock()
+}
+
+// stall blocks through an armed partition window and reports whether
+// one fired.
+func (f *FaultConn) stall() bool {
+	f.mu.Lock()
+	until := f.stallUntil
+	f.mu.Unlock()
+	if until.IsZero() || !time.Now().Before(until) {
+		return !until.IsZero()
+	}
+	time.Sleep(time.Until(until))
+	return true
+}
+
+func (f *FaultConn) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	delay := f.readDelay
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if f.stall() {
+		f.Conn.Close()
+		return 0, io.ErrUnexpectedEOF
+	}
+	f.mu.Lock()
+	budget := f.readBudget
+	f.mu.Unlock()
+	if budget >= 0 && int64(len(p)) > budget {
+		p = p[:budget]
+	}
+	if len(p) == 0 && budget >= 0 {
+		f.Conn.Close()
+		return 0, io.ErrUnexpectedEOF
+	}
+	n, err := f.Conn.Read(p)
+	if budget >= 0 {
+		f.mu.Lock()
+		f.readBudget -= int64(n)
+		f.mu.Unlock()
+	}
+	return n, err
+}
+
+func (f *FaultConn) Write(p []byte) (int, error) {
+	if f.stall() {
+		f.Conn.Close()
+		return 0, io.ErrUnexpectedEOF
+	}
+	f.mu.Lock()
+	budget := f.writeBudget
+	dup := f.dupWrites
+	f.mu.Unlock()
+	if budget >= 0 && int64(len(p)) >= budget {
+		// Deliver exactly the budget, then tear the stream: the peer sees
+		// budget bytes and a broken conn — a frame cut at a precise byte.
+		if budget > 0 {
+			f.Conn.Write(p[:budget])
+		}
+		f.mu.Lock()
+		f.writeBudget = 0
+		f.mu.Unlock()
+		f.Conn.Close()
+		return int(budget), io.ErrUnexpectedEOF
+	}
+	n, err := f.Conn.Write(p)
+	if err == nil && dup {
+		f.Conn.Write(p[:n])
+	}
+	if budget >= 0 {
+		f.mu.Lock()
+		f.writeBudget -= int64(n)
+		f.mu.Unlock()
+	}
+	return n, err
+}

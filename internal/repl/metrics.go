@@ -1,0 +1,48 @@
+package repl
+
+import "repro/internal/obs"
+
+// Replication metric set, rim_repl_* in a shared obs.Registry.
+// Registration is idempotent, so a leader and several followers in one
+// process (tests, single-binary clusters) share one family set.
+type metrics struct {
+	subs       *obs.Counter
+	framesOut  *obs.Counter
+	recordsOut *obs.Counter
+	acks       *obs.Counter
+	framesIn   *obs.Counter
+	recordsIn  *obs.Counter
+	reconnects *obs.Counter
+	gaps       *obs.Counter
+	resyncs    *obs.Counter
+	promotions *obs.Counter
+	lag        *obs.Histogram
+}
+
+func registerMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		subs: reg.Counter("rim_repl_subscriptions_total",
+			"Follower subscriptions accepted by the leader feed."),
+		framesOut: reg.Counter("rim_repl_frames_out_total",
+			"MsgReplRecords frames streamed to followers."),
+		recordsOut: reg.Counter("rim_repl_records_out_total",
+			"WAL records streamed to followers."),
+		acks: reg.Counter("rim_repl_acks_total",
+			"MsgReplAck frames received from followers."),
+		framesIn: reg.Counter("rim_repl_frames_in_total",
+			"MsgReplRecords frames applied by this follower."),
+		recordsIn: reg.Counter("rim_repl_records_in_total",
+			"WAL records delivered to this follower (redeliveries included)."),
+		reconnects: reg.Counter("rim_repl_reconnects_total",
+			"Follower feed reconnects (any connection death)."),
+		gaps: reg.Counter("rim_repl_gaps_total",
+			"Seq gaps detected in the replicated stream (each forces a resync)."),
+		resyncs: reg.Counter("rim_repl_resyncs_total",
+			"Full resyncs from the log start (gap or cursor mismatch)."),
+		promotions: reg.Counter("rim_repl_promotions_total",
+			"Follower promotions to leader."),
+		lag: reg.Histogram("rim_repl_batch_records",
+			"Records per streamed MsgReplRecords frame.",
+			1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+	}
+}

@@ -1,0 +1,165 @@
+// Package repl replicates the rimd write-ahead log: a leader streams
+// committed WAL records to follower nodes over rimwire push frames
+// (MsgReplSubscribe / MsgReplRecords / MsgReplAck), followers apply
+// them through the normal serve shard pipeline and answer reads from
+// their own lock-free snapshots, and on leader death a follower is
+// promoted — its WAL tail already replayed through recovery — to take
+// over the keyspace.
+//
+// The unit of replication is the store.Record and the unit of progress
+// is the store.Cursor: a (segment, offset) position in the leader's
+// log. The leader streams only records at or below its durable horizon,
+// so a promoted follower can never hold state the crashed leader would
+// not itself recover — the invariant the failover matrix checks by
+// comparing a promoted follower byte-for-byte against a from-scratch
+// replay of the leader's WAL.
+//
+// Topology v1: one leader owns the whole keyspace and every follower
+// subscribes to the full stream. The Ring generalizes serve's FNV-1a
+// session sharding across nodes: today it decides promotion order
+// (deterministically, with no coordination — every surviving node
+// computes the same successor) and gives reads a session→node map;
+// partitioning the stream itself across several leaders is the ring's
+// next step, not this one.
+package repl
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringVnodes is how many virtual points each node contributes. 64 keeps
+// the per-node load spread within a few percent at 3-16 nodes while the
+// whole ring stays cache-resident (64 × 12 bytes per node).
+const ringVnodes = 64
+
+type ringPoint struct {
+	h    uint64
+	node string
+}
+
+// Ring is a consistent-hash ring over node IDs — the cross-node
+// generalization of serve.shardFor's FNV-1a hash. Keys (session IDs)
+// map to the first virtual point clockwise from their hash; adding or
+// removing one node moves only the keys adjacent to its virtual points.
+// Not safe for concurrent mutation; copy-on-write via Clone for shared
+// use.
+type Ring struct {
+	points []ringPoint
+	nodes  map[string]bool
+}
+
+// NewRing builds a ring over the given node IDs (duplicates ignored).
+func NewRing(nodes ...string) *Ring {
+	r := &Ring{nodes: make(map[string]bool)}
+	for _, n := range nodes {
+		r.AddNode(n)
+	}
+	return r
+}
+
+// hash64 is FNV-1a (the same family as serve's shard hash) with a
+// splitmix64 finalizer. Raw FNV-1a is fine for "mod shards" (low bits
+// mix well) but poor as a ring position: similar strings — and vnode
+// labels differ only in a numeric suffix — land in narrow bands of the
+// full 64-bit range, which collapses the ring's balance. The finalizer
+// avalanches every input bit across the word.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// AddNode inserts a node's virtual points. No-op if present.
+func (r *Ring) AddNode(node string) {
+	if node == "" || r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < ringVnodes; i++ {
+		r.points = append(r.points, ringPoint{h: hash64(fmt.Sprintf("%s#%d", node, i)), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// RemoveNode deletes a node's virtual points. No-op if absent.
+func (r *Ring) RemoveNode(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Has reports node membership.
+func (r *Ring) Has(node string) bool { return r.nodes[node] }
+
+// Len reports the node count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the member IDs, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owner maps a key to its owning node: the first virtual point at or
+// clockwise from the key's hash. Empty ring returns "".
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Successor names the node that takes over when dead fails: the owner
+// of the dead node's own ID on the ring without it. Every node computes
+// the same answer from the same membership — promotion needs no
+// election. Returns "" when dead was not a member or no nodes remain.
+func (r *Ring) Successor(dead string) string {
+	if !r.nodes[dead] {
+		return ""
+	}
+	s := r.Clone()
+	s.RemoveNode(dead)
+	return s.Owner(dead)
+}
+
+// Clone returns an independent copy.
+func (r *Ring) Clone() *Ring {
+	c := &Ring{
+		points: append([]ringPoint(nil), r.points...),
+		nodes:  make(map[string]bool, len(r.nodes)),
+	}
+	for n := range r.nodes {
+		c.nodes[n] = true
+	}
+	return c
+}

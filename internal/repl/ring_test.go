@@ -1,0 +1,112 @@
+package repl
+
+import (
+	"fmt"
+	"testing"
+)
+
+func sampleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("session-%04d", i)
+	}
+	return keys
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing("n1", "n2", "n3")
+	b := NewRing("n3", "n1", "n2") // insertion order must not matter
+	for _, k := range sampleKeys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %q: owner %q vs %q across insertion orders", k, a.Owner(k), b.Owner(k))
+		}
+	}
+	if got := NewRing().Owner("x"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing("n1", "n2", "n3")
+	counts := map[string]int{}
+	keys := sampleKeys(9000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for _, n := range r.Nodes() {
+		frac := float64(counts[n]) / float64(len(keys))
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("node %s owns %.1f%% of keys — ring badly unbalanced (%v)", n, 100*frac, counts)
+		}
+	}
+}
+
+func TestRingMinimalDisruption(t *testing.T) {
+	keys := sampleKeys(2000)
+	r := NewRing("n1", "n2", "n3")
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+
+	// Adding a node only pulls keys toward the new node.
+	r.AddNode("n4")
+	moved := 0
+	for _, k := range keys {
+		if got := r.Owner(k); got != before[k] {
+			if got != "n4" {
+				t.Fatalf("key %q moved %q -> %q on AddNode(n4): only n4 may gain keys", k, before[k], got)
+			}
+			moved++
+		}
+	}
+	if moved == 0 || moved > len(keys)/2 {
+		t.Fatalf("AddNode moved %d/%d keys, want a modest nonzero share", moved, len(keys))
+	}
+
+	// Removing it restores the previous assignment exactly.
+	r.RemoveNode("n4")
+	for _, k := range keys {
+		if got := r.Owner(k); got != before[k] {
+			t.Fatalf("key %q owner %q after add+remove, want %q", k, got, before[k])
+		}
+	}
+}
+
+func TestRingSuccessor(t *testing.T) {
+	r := NewRing("n1", "n2", "n3")
+	succ := r.Successor("n1")
+	if succ != "n2" && succ != "n3" {
+		t.Fatalf("Successor(n1) = %q, want a surviving member", succ)
+	}
+	// Deterministic: every node computes the same answer.
+	if again := NewRing("n2", "n3", "n1").Successor("n1"); again != succ {
+		t.Fatalf("Successor(n1) = %q vs %q across instances", succ, again)
+	}
+	// The successor computation must not disturb the ring itself.
+	if !r.Has("n1") || r.Len() != 3 {
+		t.Fatal("Successor mutated the ring")
+	}
+	if got := r.Successor("nx"); got != "" {
+		t.Fatalf("Successor of non-member = %q, want empty", got)
+	}
+	two := NewRing("a", "b")
+	if got := two.Successor("a"); got != "b" {
+		t.Fatalf("2-node Successor(a) = %q, want b", got)
+	}
+	if got := NewRing("solo").Successor("solo"); got != "" {
+		t.Fatalf("last-node successor = %q, want empty", got)
+	}
+}
+
+func TestRingCloneIndependent(t *testing.T) {
+	r := NewRing("n1", "n2")
+	c := r.Clone()
+	c.RemoveNode("n1")
+	if !r.Has("n1") {
+		t.Fatal("RemoveNode on clone mutated the original")
+	}
+	if c.Owner("k") == "" || r.Owner("k") == "" {
+		t.Fatal("owners lost after clone")
+	}
+}

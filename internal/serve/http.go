@@ -176,6 +176,8 @@ func (h *api) create(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrSessionExists):
 		writeErr(w, http.StatusConflict, err.Error())
+	case errors.Is(err, ErrReadOnly):
+		writeErr(w, http.StatusForbidden, err.Error())
 	case errors.Is(err, ErrClosed):
 		writeErr(w, http.StatusServiceUnavailable, err.Error())
 	case err != nil:
@@ -205,6 +207,10 @@ func (h *api) summary(w http.ResponseWriter, r *http.Request) {
 
 func (h *api) drop(w http.ResponseWriter, r *http.Request) {
 	if err := h.m.DropSession(r.PathValue("id")); err != nil {
+		if errors.Is(err, ErrReadOnly) {
+			writeErr(w, http.StatusForbidden, err.Error())
+			return
+		}
 		writeErr(w, http.StatusNotFound, err.Error())
 		return
 	}
@@ -246,6 +252,8 @@ func (h *api) mutate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrSessionClosed):
 		writeErr(w, http.StatusGone, err.Error())
+	case errors.Is(err, ErrReadOnly):
+		writeErr(w, http.StatusForbidden, err.Error())
 	case err != nil:
 		writeErr(w, http.StatusBadRequest, err.Error())
 	default:

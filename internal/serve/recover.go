@@ -186,7 +186,7 @@ func (m *Manager) Recover(verify bool) (RecoveryStats, error) {
 				return rs, fmt.Errorf("serve: recover %q: batch seq=%d does not extend prefix at %d by %d",
 					id, rec.Seq, s.seqFloor(), len(muts))
 			}
-			if _, aerr := s.Apply(muts...); aerr != nil {
+			if _, aerr := s.apply(muts); aerr != nil {
 				return rs, fmt.Errorf("serve: recover %q: replay batch seq=%d: %w", id, rec.Seq, aerr)
 			}
 			if ferr := s.Flush(nil); ferr != nil {
@@ -199,6 +199,13 @@ func (m *Manager) Recover(verify bool) (RecoveryStats, error) {
 			return rs, fmt.Errorf("serve: recover %q: %w", id, err)
 		}
 		s.setNoLog(false)
+		// A follower resumes replication right after recovery: the
+		// replicated-record guard must treat everything replayed locally
+		// as already delivered. The session is quiescent post-Flush, so
+		// reading s.seq here is safe.
+		s.mu.Lock()
+		s.replSeq = s.seq
+		s.mu.Unlock()
 		rs.Sessions++
 
 		if verify {
@@ -242,15 +249,16 @@ func (m *Manager) restoreSession(id string, st sessState) (*Session, error) {
 		return nil, err
 	}
 	s := &Session{
-		id:     id,
-		mgr:    m,
-		sh:     m.shardFor(id),
-		det:    m.cfg.Deterministic,
-		nextID: st.nextID,
-		idOf:   append([]int64(nil), st.idOf...),
-		idxOf:  make(map[int64]int, len(st.idOf)),
-		seq:    st.seq,
-		mt:     mt,
+		id:      id,
+		mgr:     m,
+		sh:      m.shardFor(id),
+		det:     m.cfg.Deterministic,
+		nextID:  st.nextID,
+		idOf:    append([]int64(nil), st.idOf...),
+		idxOf:   make(map[int64]int, len(st.idOf)),
+		seq:     st.seq,
+		replSeq: st.seq,
+		mt:      mt,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i, ext := range st.idOf {

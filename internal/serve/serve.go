@@ -61,6 +61,12 @@ var (
 	ErrSessionExists = errors.New("serve: session already exists")
 	ErrNoSession     = errors.New("serve: no such session")
 	ErrQueueFull     = errors.New("serve: mutation queue full")
+	// ErrReadOnly rejects client-originated writes on a manager serving
+	// as a replication follower: every mutation must arrive through
+	// ApplyRecord so the follower's state stays a prefix of the leader's
+	// log. The HTTP layer maps it to 403, the wire layer to
+	// StatusReadOnly.
+	ErrReadOnly = errors.New("serve: manager is read-only (replication follower)")
 )
 
 // Config parameterizes a Manager. The zero value selects sane defaults.
@@ -107,6 +113,12 @@ type Config struct {
 	// durable.go). Nil costs nothing: the logging branch is one flag
 	// check per batch.
 	Store *store.Store
+	// NoCoalesce disables batch coalescing even outside deterministic
+	// mode. A replication follower must set it: the leader logs batches
+	// post-coalesce, so each replicated record's mutation count is
+	// exactly its seq advance — re-coalescing across record boundaries
+	// on the follower would drop mutations and diverge the seq space.
+	NoCoalesce bool
 }
 
 func (c Config) withDefaults() Config {
@@ -146,7 +158,19 @@ type Manager struct {
 	ckptMu    sync.Mutex
 	walBroken atomic.Bool
 	walErr    atomic.Pointer[error]
+
+	// readOnly marks the manager as a replication follower: front-door
+	// writes (CreateSession, DropSession, Session.Apply) are rejected
+	// with ErrReadOnly; only ApplyRecord (and recovery replay) mutate.
+	readOnly atomic.Bool
 }
+
+// SetReadOnly switches the follower write gate. Promotion flips it off
+// after the WAL tail is replayed; reads are unaffected either way.
+func (m *Manager) SetReadOnly(v bool) { m.readOnly.Store(v) }
+
+// ReadOnly reports whether the manager rejects front-door writes.
+func (m *Manager) ReadOnly() bool { return m.readOnly.Load() }
 
 // NewManager starts the shard pool and returns an empty manager.
 func NewManager(cfg Config) *Manager {
@@ -182,6 +206,15 @@ func (m *Manager) shardFor(id string) *shard {
 // the session is readable immediately (its initial snapshot is published
 // before return) and writable through Apply.
 func (m *Manager) CreateSession(id string, pts []geom.Point) (*Session, error) {
+	if m.readOnly.Load() {
+		return nil, ErrReadOnly
+	}
+	return m.createSession(id, pts)
+}
+
+// createSession is CreateSession without the read-only gate — the path
+// replicated create records take on a follower.
+func (m *Manager) createSession(id string, pts []geom.Point) (*Session, error) {
 	if id == "" {
 		return nil, fmt.Errorf("serve: empty session id")
 	}
@@ -268,6 +301,15 @@ func (m *Manager) liveSessions() []*Session {
 // owner; they just become unobservable once every snapshot holder lets
 // go.
 func (m *Manager) DropSession(id string) error {
+	if m.readOnly.Load() {
+		return ErrReadOnly
+	}
+	return m.dropSession(id)
+}
+
+// dropSession is DropSession without the read-only gate — the path
+// replicated drop records take on a follower.
+func (m *Manager) dropSession(id string) error {
 	m.mu.Lock()
 	s, ok := m.sessions[id]
 	if !ok || s == nil {

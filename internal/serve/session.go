@@ -36,6 +36,7 @@ type Session struct {
 	ckptW     []chan ckptReply // checkpoint waiters served between batches
 	flushW    int              // Flush waiters: drain publishes full before releasing them
 	nextID    int64
+	replSeq   uint64 // follower: seq through the last enqueued replicated record
 
 	// Owner-only state (shard goroutine).
 	mt      *dynamic.Maintainer
@@ -124,6 +125,16 @@ func (s *Session) Counts() (applied, rejected int64) {
 // bounded queue cannot take the whole batch — backpressure the caller
 // must respond to (the HTTP layer answers 429 + Retry-After).
 func (s *Session) Apply(muts ...Mutation) ([]int64, error) {
+	if s.mgr.readOnly.Load() {
+		return nil, ErrReadOnly
+	}
+	return s.apply(muts)
+}
+
+// apply is Apply without the read-only gate — recovery replay and the
+// replication apply path (which are the only legal writers on a
+// follower) come through here.
+func (s *Session) apply(muts []Mutation) ([]int64, error) {
 	if len(muts) == 0 {
 		return nil, nil
 	}
@@ -297,7 +308,7 @@ func (s *Session) runBatch() {
 	s.depth.Store(int64(rest))
 	s.mu.Unlock()
 
-	if !s.det {
+	if !s.det && !cfg.NoCoalesce {
 		batch = coalesce(batch)
 	}
 	if len(batch) > 0 && s.mgr.walOK() {
@@ -335,7 +346,12 @@ func (s *Session) runBatch() {
 	// full on drain" degenerates to "publish full per batch").
 	s.mu.Lock()
 	more := len(s.queue) > 0 || len(s.ckptW) > 0
-	wantFull := s.flushW > 0
+	// A read-only manager is a replication follower: its readers never
+	// call Flush, so without the refresh-on-drain below the full snapshot
+	// would freeze at creation state while the head kept advancing. A
+	// drain there is frame-bounded (one per replicated records frame),
+	// not per-client-batch, so the rebuild cost stays amortized.
+	wantFull := s.flushW > 0 || s.mgr.readOnly.Load()
 	s.mu.Unlock()
 	s.sinceFull++
 	if (!more && wantFull) || s.sinceFull >= fullSnapshotEvery {

@@ -1,0 +1,268 @@
+package store
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Replication support: tailing the WAL as a record stream.
+//
+// A Cursor names a byte position inside the segmented log — the segment
+// index plus the offset of the next record frame within that segment.
+// Segment indices are monotonic and never reused, and bytes inside a
+// sealed segment never move, so a cursor handed to a follower stays
+// valid across leader restarts, rotations, and torn-tail healing (a
+// healed tail only ever discards bytes past the durable horizon, which
+// a cursor can never point beyond).
+//
+// ReadFrom streams records from a cursor up to the durable horizon: the
+// fsynced watermark under SyncAlways/SyncBatch, the written watermark
+// under SyncNone (benchmarks and tests that simulate the disk
+// elsewhere). Streaming only durable records is what keeps a follower
+// from ever being *ahead* of what the leader itself would recover after
+// a crash — the invariant the failover matrix asserts when it compares
+// a promoted follower against a from-scratch replay of the leader's
+// WAL.
+
+// Cursor is a replication position: the next record frame's segment
+// index and byte offset. The zero Cursor means "from the beginning of
+// the log".
+type Cursor struct {
+	Seg uint64
+	Off int64
+}
+
+// IsZero reports whether c is the log-start sentinel.
+func (c Cursor) IsZero() bool { return c.Seg == 0 && c.Off == 0 }
+
+// Less orders cursors by log position (segment, then offset).
+func (c Cursor) Less(o Cursor) bool {
+	if c.Seg != o.Seg {
+		return c.Seg < o.Seg
+	}
+	return c.Off < o.Off
+}
+
+// String renders "seg:off" (ParseCursor inverts it) — the form the
+// follower persists between runs.
+func (c Cursor) String() string { return fmt.Sprintf("%d:%d", c.Seg, c.Off) }
+
+// ParseCursor inverts Cursor.String.
+func ParseCursor(s string) (Cursor, error) {
+	segs, offs, ok := strings.Cut(strings.TrimSpace(s), ":")
+	if !ok {
+		return Cursor{}, fmt.Errorf("store: cursor %q: want seg:off", s)
+	}
+	seg, err := strconv.ParseUint(segs, 10, 64)
+	if err != nil {
+		return Cursor{}, fmt.Errorf("store: cursor segment: %w", err)
+	}
+	off, err := strconv.ParseInt(offs, 10, 64)
+	if err != nil || off < 0 {
+		return Cursor{}, fmt.Errorf("store: cursor offset %q", offs)
+	}
+	return Cursor{Seg: seg, Off: off}, nil
+}
+
+// Cursor errors. ErrCursorPruned means the follower is behind the
+// checkpoint-barrier prune horizon and must resync from a checkpoint
+// rather than the log; ErrCursorInvalid means the cursor does not name
+// a record boundary of this log at all (wrong log, forged offset, or a
+// position past the durable tail).
+var (
+	ErrCursorPruned  = errors.New("store: cursor points into pruned segments")
+	ErrCursorInvalid = errors.New("store: cursor is not a record boundary of this log")
+)
+
+// SetAppendNotify registers ch to receive a non-blocking kick whenever
+// the durable horizon may have advanced (append under SyncNone, fsync
+// completion otherwise). One channel per store; nil unregisters.
+func (s *Store) SetAppendNotify(ch chan struct{}) {
+	s.wal.nmu.Lock()
+	s.wal.notifyCh = ch
+	s.wal.nmu.Unlock()
+}
+
+// ReplTail reports the durable horizon — the cursor a fully caught-up
+// follower sits at.
+func (s *Store) ReplTail() Cursor {
+	s.wal.mu.Lock()
+	defer s.wal.mu.Unlock()
+	if err := s.wal.ensureTailLocked(); err != nil {
+		return Cursor{}
+	}
+	return s.wal.durableLocked()
+}
+
+// ensureTailLocked makes the tail (and durable horizon) known without
+// starting an appender. Caller holds mu.
+func (w *wal) ensureTailLocked() error {
+	if w.started || w.tailKnown {
+		return nil
+	}
+	_, err := w.scan(nil)
+	return err
+}
+
+// durableLocked returns the durable horizon as a cursor. Caller holds
+// mu (and has ensured the tail is known).
+func (w *wal) durableLocked() Cursor {
+	if w.started {
+		return Cursor{Seg: w.durSeg, Off: w.durOff}
+	}
+	// At rest every valid byte on disk is the durable horizon.
+	if w.tailIndex == 0 {
+		return Cursor{}
+	}
+	off := w.tailSize
+	if off < int64(len(segmentHeader)) {
+		off = int64(len(segmentHeader))
+	}
+	return Cursor{Seg: w.tailIndex, Off: off}
+}
+
+// ReadFrom streams records from cur toward the durable horizon, calling
+// fn for each, up to maxRecords per call (<= 0 selects 1024). It
+// returns the cursor after the last streamed record — pass it back in
+// to resume — plus the record count. A cursor inside pruned segments
+// fails with ErrCursorPruned; one that does not name a record boundary
+// fails with ErrCursorInvalid. Safe to call while the store is
+// appending: it reads only bytes at or below the durable horizon, which
+// always lands on a frame boundary.
+func (s *Store) ReadFrom(cur Cursor, maxRecords int, fn func(Record) error) (Cursor, int, error) {
+	if maxRecords <= 0 {
+		maxRecords = 1024
+	}
+	s.wal.mu.Lock()
+	if s.wal.closed {
+		s.wal.mu.Unlock()
+		return cur, 0, ErrStoreClosed
+	}
+	if err := s.wal.ensureTailLocked(); err != nil {
+		s.wal.mu.Unlock()
+		return cur, 0, err
+	}
+	dur := s.wal.durableLocked()
+	segs, err := s.wal.segments()
+	var prunedEnd map[uint64]int64
+	if len(s.wal.prunedEnd) > 0 {
+		prunedEnd = make(map[uint64]int64, len(s.wal.prunedEnd))
+		for k, v := range s.wal.prunedEnd {
+			prunedEnd[k] = v
+		}
+	}
+	s.wal.mu.Unlock()
+	if err != nil {
+		return cur, 0, err
+	}
+	if len(segs) == 0 || dur.IsZero() {
+		if cur.IsZero() {
+			return cur, 0, nil
+		}
+		return cur, 0, fmt.Errorf("%w: log is empty", ErrCursorInvalid)
+	}
+	if cur.IsZero() {
+		if segs[0] != 1 {
+			// Segment indices start at 1; a higher floor means history was
+			// pruned, and "from the beginning" cannot be honored.
+			return cur, 0, fmt.Errorf("%w: log starts at segment %08d", ErrCursorPruned, segs[0])
+		}
+		cur = Cursor{Seg: segs[0], Off: int64(len(segmentHeader))}
+	}
+	if cur.Off < int64(len(segmentHeader)) {
+		cur.Off = int64(len(segmentHeader))
+	}
+	// A cursor at the *end* of a pruned sealed segment lost nothing —
+	// every record at or before it was already streamed. Roll it forward
+	// across the pruned boundary (chaining through empty sealed segments)
+	// instead of stranding the caught-up follower a checkpoint barrier
+	// just pruned out from under it.
+	for cur.Seg < segs[0] {
+		end, ok := prunedEnd[cur.Seg]
+		if !ok || cur.Off != end {
+			break
+		}
+		cur = Cursor{Seg: cur.Seg + 1, Off: int64(len(segmentHeader))}
+	}
+	if cur.Seg < segs[0] {
+		return cur, 0, fmt.Errorf("%w: segment %08d < oldest %08d", ErrCursorPruned, cur.Seg, segs[0])
+	}
+	if dur.Less(cur) {
+		return cur, 0, fmt.Errorf("%w: %s is past the durable tail %s", ErrCursorInvalid, cur, dur)
+	}
+
+	n := 0
+	for n < maxRecords && cur.Less(dur) {
+		bound, err := s.readSegment(&cur, dur, maxRecords-n, &n, fn)
+		if err != nil {
+			return cur, n, err
+		}
+		if cur.Off >= bound && cur.Seg < dur.Seg {
+			// Sealed segment exhausted: hop to the next one.
+			cur = Cursor{Seg: cur.Seg + 1, Off: int64(len(segmentHeader))}
+			continue
+		}
+		if n == 0 {
+			// No progress and no hop: the cursor sits at the durable
+			// horizon (or fn consumed nothing) — nothing more to stream.
+			break
+		}
+		if cur.Off >= bound {
+			break
+		}
+	}
+	return cur, n, nil
+}
+
+// readSegment streams records inside one segment, advancing *cur and
+// *n, and returns the read bound used for that segment.
+func (s *Store) readSegment(cur *Cursor, dur Cursor, budget int, n *int, fn func(Record) error) (int64, error) {
+	path := s.wal.segPath(cur.Seg)
+	f, err := s.fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, fmt.Errorf("%w: segment %08d removed", ErrCursorPruned, cur.Seg)
+		}
+		return 0, err
+	}
+	defer f.Close()
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, err
+	}
+	bound := size
+	if cur.Seg == dur.Seg && dur.Off < bound {
+		bound = dur.Off
+	}
+	if cur.Off > bound {
+		return bound, fmt.Errorf("%w: offset %d past segment %08d end %d", ErrCursorInvalid, cur.Off, cur.Seg, bound)
+	}
+	if cur.Off == bound {
+		return bound, nil
+	}
+	if _, err := f.Seek(cur.Off, io.SeekStart); err != nil {
+		return bound, err
+	}
+	r := bufio.NewReaderSize(io.LimitReader(f, bound-cur.Off), 1<<16)
+	stop := *n + budget
+	for *n < stop && cur.Off < bound {
+		rec, sz, err := readRecord(r)
+		if err != nil {
+			// Bytes below the durable horizon are CRC-valid by the
+			// prefix-recovery contract, so any decode failure here means
+			// the cursor was not a record boundary.
+			return bound, fmt.Errorf("%w: %v", ErrCursorInvalid, err)
+		}
+		if err := fn(rec); err != nil {
+			return bound, err
+		}
+		cur.Off += sz
+		*n++
+	}
+	return bound, nil
+}

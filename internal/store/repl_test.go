@@ -1,0 +1,294 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestCursorStringRoundTrip(t *testing.T) {
+	for _, c := range []Cursor{{}, {Seg: 1, Off: 10}, {Seg: 42, Off: 1 << 40}} {
+		got, err := ParseCursor(c.String())
+		if err != nil {
+			t.Fatalf("ParseCursor(%q): %v", c.String(), err)
+		}
+		if got != c {
+			t.Fatalf("round trip: %v != %v", got, c)
+		}
+	}
+	for _, s := range []string{"", "5", "a:b", "1:-3", "x:1"} {
+		if _, err := ParseCursor(s); err == nil {
+			t.Fatalf("ParseCursor(%q): want error", s)
+		}
+	}
+}
+
+func TestCursorLess(t *testing.T) {
+	a, b, c := Cursor{Seg: 1, Off: 500}, Cursor{Seg: 2, Off: 10}, Cursor{Seg: 2, Off: 20}
+	if !a.Less(b) || !b.Less(c) || b.Less(a) || c.Less(c) {
+		t.Fatal("cursor ordering broken")
+	}
+}
+
+// readAll drains the log from cur in small pages and returns the records
+// plus the final cursor.
+func readAll(t *testing.T, s *Store, cur Cursor) ([]Record, Cursor) {
+	t.Helper()
+	var recs []Record
+	for {
+		next, n, err := s.ReadFrom(cur, 3, func(r Record) error {
+			cp := r
+			cp.Payload = append([]byte(nil), r.Payload...)
+			recs = append(recs, cp)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("ReadFrom(%v): %v", cur, err)
+		}
+		cur = next
+		if n == 0 {
+			return recs, cur
+		}
+	}
+}
+
+func TestReadFromStreamsAndResumes(t *testing.T) {
+	for _, sync := range []SyncPolicy{SyncNone, SyncAlways} {
+		t.Run(sync.String(), func(t *testing.T) {
+			s := mustOpen(t, testOpts(t, t.TempDir(), func(o *Options) { o.Sync = sync }))
+			defer s.Close()
+			var want []Record
+			for i := 0; i < 10; i++ {
+				r := rec(RecordBatch, "sess", uint64(i+1), fmt.Sprintf("payload-%d", i))
+				want = append(want, r)
+				if err := s.Append(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, cur := readAll(t, s, Cursor{})
+			if len(got) != len(want) {
+				t.Fatalf("streamed %d records, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Seq != want[i].Seq || string(got[i].Payload) != string(want[i].Payload) {
+					t.Fatalf("record %d: got %+v want %+v", i, got[i], want[i])
+				}
+			}
+			if tail := s.ReplTail(); cur != tail {
+				t.Fatalf("drained cursor %v != ReplTail %v", cur, tail)
+			}
+			// Resume from the tail: nothing more until a new append lands.
+			if _, n, err := s.ReadFrom(cur, 0, func(Record) error { return nil }); err != nil || n != 0 {
+				t.Fatalf("ReadFrom at tail: n=%d err=%v", n, err)
+			}
+			if err := s.Append(rec(RecordBatch, "sess", 11, "late")); err != nil {
+				t.Fatal(err)
+			}
+			late, _ := readAll(t, s, cur)
+			if len(late) != 1 || string(late[0].Payload) != "late" {
+				t.Fatalf("resume after append: %+v", late)
+			}
+		})
+	}
+}
+
+func TestReadFromHopsSegments(t *testing.T) {
+	s := mustOpen(t, testOpts(t, t.TempDir(), func(o *Options) { o.SegmentBytes = 128 }))
+	defer s.Close()
+	const total = 40
+	for i := 0; i < total; i++ {
+		if err := s.Append(rec(RecordBatch, "s", uint64(i+1), fmt.Sprintf("p%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := s.wal.segments()
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("want >=3 segments for the hop test, got %v (%v)", segs, err)
+	}
+	got, cur := readAll(t, s, Cursor{})
+	if len(got) != total {
+		t.Fatalf("streamed %d records across segments, want %d", len(got), total)
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d out of order: seq %d", i, r.Seq)
+		}
+	}
+	if tail := s.ReplTail(); cur != tail {
+		t.Fatalf("cursor %v != tail %v", cur, tail)
+	}
+}
+
+func TestReadFromPrunedCursor(t *testing.T) {
+	s := mustOpen(t, testOpts(t, t.TempDir(), func(o *Options) { o.SegmentBytes = 128 }))
+	defer s.Close()
+	for i := 0; i < 40; i++ {
+		if err := s.Append(rec(RecordBatch, "s", uint64(i+1), "padding-payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, _ := s.wal.segments()
+	if len(segs) < 3 {
+		t.Fatalf("want >=3 segments, got %v", segs)
+	}
+	if _, err := s.Prune(segs[1]); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := s.ReadFrom(Cursor{}, 0, func(Record) error { return nil })
+	if !errors.Is(err, ErrCursorPruned) {
+		t.Fatalf("zero cursor into pruned log: got %v, want ErrCursorPruned", err)
+	}
+	// A cursor at the first surviving segment still streams.
+	got, _ := readAll(t, s, Cursor{Seg: segs[1], Off: 0})
+	if len(got) == 0 {
+		t.Fatal("no records streamed from the surviving segments")
+	}
+}
+
+func TestReadFromRejectsBadCursors(t *testing.T) {
+	s := mustOpen(t, testOpts(t, t.TempDir(), nil))
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		if err := s.Append(rec(RecordBatch, "s", uint64(i+1), "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tail := s.ReplTail()
+	// Misaligned: one byte into a record frame.
+	mis := Cursor{Seg: tail.Seg, Off: int64(len(segmentHeader)) + 1}
+	if _, _, err := s.ReadFrom(mis, 0, func(Record) error { return nil }); !errors.Is(err, ErrCursorInvalid) {
+		t.Fatalf("misaligned cursor: got %v, want ErrCursorInvalid", err)
+	}
+	// Beyond the durable tail.
+	past := Cursor{Seg: tail.Seg, Off: tail.Off + 8}
+	if _, _, err := s.ReadFrom(past, 0, func(Record) error { return nil }); !errors.Is(err, ErrCursorInvalid) {
+		t.Fatalf("past-tail cursor: got %v, want ErrCursorInvalid", err)
+	}
+	// Future segment.
+	if _, _, err := s.ReadFrom(Cursor{Seg: tail.Seg + 7, Off: 0}, 0, func(Record) error { return nil }); !errors.Is(err, ErrCursorInvalid) {
+		t.Fatalf("future-segment cursor: got %v, want ErrCursorInvalid", err)
+	}
+}
+
+func TestReadFromDurableGateSyncBatch(t *testing.T) {
+	// Under SyncBatch the reader must never see past the fsynced
+	// watermark; after Sync() the horizon covers everything.
+	s := mustOpen(t, testOpts(t, t.TempDir(), func(o *Options) { o.Sync = SyncBatch }))
+	defer s.Close()
+	for i := 0; i < 8; i++ {
+		if err := s.Append(rec(RecordBatch, "s", uint64(i+1), "y")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, cur := readAll(t, s, Cursor{})
+	if len(got) != 8 {
+		t.Fatalf("after Sync: streamed %d, want 8", len(got))
+	}
+	if tail := s.ReplTail(); cur != tail {
+		t.Fatalf("cursor %v != tail %v", cur, tail)
+	}
+}
+
+func TestReadFromAtRestAndAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, testOpts(t, dir, nil))
+	for i := 0; i < 6; i++ {
+		if err := s.Append(rec(RecordBatch, "s", uint64(i+1), "z")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh handle that has never appended can still serve the stream.
+	s2 := mustOpen(t, testOpts(t, dir, nil))
+	defer s2.Close()
+	got, cur := readAll(t, s2, Cursor{})
+	if len(got) != 6 {
+		t.Fatalf("cold read: streamed %d, want 6", len(got))
+	}
+	if tail := s2.ReplTail(); cur != tail {
+		t.Fatalf("cold cursor %v != tail %v", cur, tail)
+	}
+}
+
+func TestAppendNotify(t *testing.T) {
+	s := mustOpen(t, testOpts(t, t.TempDir(), nil))
+	defer s.Close()
+	ch := make(chan struct{}, 1)
+	s.SetAppendNotify(ch)
+	if err := s.Append(rec(RecordBatch, "s", 1, "n")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no notify after append")
+	}
+	s.SetAppendNotify(nil)
+	if err := s.Append(rec(RecordBatch, "s", 2, "n")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+		t.Fatal("notify after unregister")
+	default:
+	}
+}
+
+// TestReadFromRollsAcrossPrunedBoundary pins the checkpoint-barrier
+// interaction: a follower caught up to the end of a sealed segment must
+// survive that segment being pruned (its cursor lost no records), while
+// a cursor strictly inside the pruned segment must still fail.
+func TestReadFromRollsAcrossPrunedBoundary(t *testing.T) {
+	s := mustOpen(t, testOpts(t, t.TempDir(), nil))
+	defer s.Close()
+	for i := 1; i <= 4; i++ {
+		if err := s.Append(rec(RecordBatch, "s", uint64(i), "xxxx")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Catch up fully: the cursor now sits at the end of segment 1.
+	got, cur := readAll(t, s, Cursor{})
+	if len(got) != 4 || cur.Seg != 1 {
+		t.Fatalf("catch-up: %d records, cursor %v", len(got), cur)
+	}
+	midCur := Cursor{Seg: 1, Off: cur.Off - 1} // strictly inside segment 1
+
+	active, err := s.Rotate()
+	if err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if _, err := s.Prune(active); err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+	if err := s.Append(rec(RecordBatch, "s", 5, "after")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The caught-up cursor rolls forward and streams the new record.
+	after, next := readAll(t, s, cur)
+	if len(after) != 1 || after[0].Seq != 5 {
+		t.Fatalf("post-prune resume: got %d records (want seq=5)", len(after))
+	}
+	if next.Seg != active {
+		t.Fatalf("post-prune cursor in segment %d, want active %d", next.Seg, active)
+	}
+	// Resuming from the rolled-forward cursor is a no-op, not an error.
+	if more, _ := readAll(t, s, next); len(more) != 0 {
+		t.Fatalf("tail resume streamed %d records, want 0", len(more))
+	}
+
+	// A mid-segment cursor into pruned history is genuinely lost.
+	if _, _, err := s.ReadFrom(midCur, 0, func(Record) error { return nil }); !errors.Is(err, ErrCursorPruned) {
+		t.Fatalf("mid-pruned-segment cursor: err=%v, want ErrCursorPruned", err)
+	}
+	// And so is a zero cursor: segment 1 is gone.
+	if _, _, err := s.ReadFrom(Cursor{}, 0, func(Record) error { return nil }); !errors.Is(err, ErrCursorPruned) {
+		t.Fatalf("zero cursor after prune: err=%v, want ErrCursorPruned", err)
+	}
+}

@@ -33,6 +33,8 @@ package store
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"path/filepath"
 
 	"repro/internal/obs"
@@ -180,15 +182,32 @@ func (s *Store) Prune(before uint64) (removed int, err error) {
 		if idx >= before || idx == s.wal.index {
 			continue
 		}
+		end, serr := s.segSize(idx)
 		if rerr := s.fs.Remove(s.wal.segPath(idx)); rerr != nil {
 			if err == nil {
 				err = rerr
 			}
 			continue
 		}
+		if serr == nil {
+			if s.wal.prunedEnd == nil {
+				s.wal.prunedEnd = make(map[uint64]int64)
+			}
+			s.wal.prunedEnd[idx] = end
+		}
 		removed++
 	}
 	return removed, err
+}
+
+// segSize reports a segment file's byte size. Caller holds wal.mu.
+func (s *Store) segSize(idx uint64) (int64, error) {
+	f, err := s.fs.OpenFile(s.wal.segPath(idx), os.O_RDONLY, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return f.Seek(0, io.SeekEnd)
 }
 
 // WriteCheckpoint persists a session checkpoint crash-atomically and

@@ -87,6 +87,23 @@ type wal struct {
 	synced atomic.Int64 // durable watermark (process-local)
 	syncMu sync.Mutex   // serializes group-commit leaders
 
+	// durable horizon as a log position (segment, offset): the bytes a
+	// replication reader may stream. Guarded by mu; advances on fsync
+	// (or on write under SyncNone).
+	durSeg uint64
+	durOff int64
+
+	// prunedEnd remembers each pruned segment's final size. A follower
+	// caught up to the end of a sealed segment holds a cursor the next
+	// checkpoint barrier would otherwise strand (the segment is gone,
+	// but no record past the cursor was lost) — ReadFrom uses this map
+	// to roll such cursors forward across the pruned boundary.
+	// In-memory only: after a restart those cursors resync instead.
+	prunedEnd map[uint64]int64
+
+	nmu      sync.Mutex    // guards notifyCh
+	notifyCh chan struct{} // replication kick: durable horizon advanced
+
 	kick chan struct{} // SyncBatch: wake the background syncer
 	done chan struct{} // closed to stop the syncer
 	idle chan struct{} // closed by the syncer when it exits
@@ -171,6 +188,7 @@ func (w *wal) start() error {
 	}
 	w.f, w.index, w.size = f, w.tailIndex, w.tailSize
 	w.started = true
+	w.durSeg, w.durOff = w.index, w.size
 	return nil
 }
 
@@ -197,6 +215,7 @@ func (w *wal) createSegment(index uint64) error {
 	w.f, w.index, w.size = f, index, int64(len(segmentHeader))
 	w.started, w.tailKnown = true, true
 	w.tailIndex, w.tailSize = index, w.size
+	w.durSeg, w.durOff = index, w.size
 	return nil
 }
 
@@ -263,6 +282,10 @@ func (w *wal) append(recs ...Record) error {
 	w.size += int64(len(frame))
 	w.written += int64(len(frame))
 	end := w.written
+	if w.policy == SyncNone {
+		// No fsync discipline: the written watermark is the horizon.
+		w.durSeg, w.durOff = w.index, w.size
+	}
 	w.mu.Unlock()
 
 	switch w.policy {
@@ -275,6 +298,8 @@ func (w *wal) append(recs ...Record) error {
 		case w.kick <- struct{}{}:
 		default: // a wakeup is already pending; it will cover this append
 		}
+	case SyncNone:
+		w.kickNotify()
 	}
 	w.mx.appendNs.Observe(float64(time.Since(t0).Nanoseconds()))
 	w.mx.walRecords.Add(int64(len(recs)))
@@ -308,7 +333,23 @@ func (w *wal) syncTo(end int64) error {
 	}
 	w.mx.fsyncNs.Observe(float64(time.Since(t0).Nanoseconds()))
 	storeMax(&w.synced, cover)
+	w.durSeg, w.durOff = w.index, w.size
+	w.kickNotify()
 	return nil
+}
+
+// kickNotify pokes the replication notifier (if registered) without
+// blocking. Safe to call with or without mu held.
+func (w *wal) kickNotify() {
+	w.nmu.Lock()
+	ch := w.notifyCh
+	w.nmu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // storeMax raises a monotonically to at least v.
@@ -347,6 +388,7 @@ func (w *wal) rotateLocked() error {
 		}
 		w.mx.fsyncNs.Observe(float64(time.Since(t0).Nanoseconds()))
 		storeMax(&w.synced, w.written)
+		w.durSeg, w.durOff = w.index, w.size
 		if err := w.f.Close(); err != nil {
 			return err
 		}
@@ -467,6 +509,9 @@ func (w *wal) closeWAL() error {
 	var err error
 	if w.failed == nil {
 		err = w.f.Sync()
+		if err == nil {
+			w.durSeg, w.durOff = w.index, w.size
+		}
 	}
 	if cerr := w.f.Close(); err == nil {
 		err = cerr

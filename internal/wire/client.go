@@ -206,6 +206,16 @@ func (cc *clientConn) readLoop(r *Reader) {
 			cc.c.Close()
 			return
 		}
+		if !IsResponseType(h.Type) {
+			// A frame outside the response whitelist (a push stream like
+			// MsgReplRecords, or a future type) must not be matched to a
+			// waiting request just because the ids collide — that would
+			// hand the caller a mis-typed payload. Fail the connection
+			// loudly instead.
+			cc.fail(fmt.Errorf("%w: type %d on response stream", ErrUnknownType, h.Type))
+			cc.c.Close()
+			return
+		}
 		cc.mu.Lock()
 		p := cc.inflight[h.ID]
 		delete(cc.inflight, h.ID)

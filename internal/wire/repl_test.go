@@ -1,0 +1,281 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func TestReplSubscribeRoundTrip(t *testing.T) {
+	for _, sub := range []ReplSubscribe{
+		{},
+		{NodeID: "n2", Epoch: 7, Cursor: store.Cursor{Seg: 3, Off: 4096}},
+	} {
+		got, err := DecodeReplSubscribe(AppendReplSubscribe(nil, sub))
+		if err != nil {
+			t.Fatalf("decode %+v: %v", sub, err)
+		}
+		if got != sub {
+			t.Fatalf("round trip: %+v != %+v", got, sub)
+		}
+	}
+}
+
+func TestReplAckRoundTrip(t *testing.T) {
+	ack := ReplAck{Epoch: 2, Cursor: store.Cursor{Seg: 9, Off: 127}}
+	got, err := DecodeReplAck(AppendReplAck(nil, ack))
+	if err != nil || got != ack {
+		t.Fatalf("round trip: %+v, %v", got, err)
+	}
+	if _, err := DecodeReplAck(make([]byte, 23)); err == nil {
+		t.Fatal("short ack accepted")
+	}
+}
+
+func replRecs() []store.Record {
+	return []store.Record{
+		{Kind: store.RecordCreate, Session: "alpha", Seq: 0, Payload: []byte("create-payload")},
+		{Kind: store.RecordBatch, Session: "alpha", Seq: 3, Payload: []byte("b1\nb2\nb3\n")},
+		{Kind: store.RecordDrop, Session: "beta", Seq: 0, Payload: nil},
+	}
+}
+
+func TestReplRecordsRoundTrip(t *testing.T) {
+	from := store.Cursor{Seg: 1, Off: 10}
+	next := store.Cursor{Seg: 2, Off: 99}
+	p := AppendReplRecords(nil, 5, from, next, replRecs())
+	epoch, gf, gn, recs, err := DecodeReplRecords(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 5 || gf != from || gn != next {
+		t.Fatalf("head mismatch: epoch %d from %v next %v", epoch, gf, gn)
+	}
+	want := replRecs()
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if recs[i].Kind != want[i].Kind || recs[i].Session != want[i].Session ||
+			recs[i].Seq != want[i].Seq || string(recs[i].Payload) != string(want[i].Payload) {
+			t.Fatalf("record %d: %+v != %+v", i, recs[i], want[i])
+		}
+	}
+	// Records must not alias the input buffer.
+	for i := range p {
+		p[i] = 0xff
+	}
+	if string(recs[0].Payload) != "create-payload" || recs[1].Session != "alpha" {
+		t.Fatal("decoded records alias the frame buffer")
+	}
+	// An empty run is legal (heartbeat/catch-up boundary).
+	_, _, _, empty, err := DecodeReplRecords(AppendReplRecords(nil, 1, from, from, nil), nil)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty run: %d records, %v", len(empty), err)
+	}
+}
+
+func TestDecodeReplRecordsRejectsAdversarial(t *testing.T) {
+	from := store.Cursor{Seg: 1, Off: 10}
+	good := AppendReplRecords(nil, 1, from, store.Cursor{Seg: 1, Off: 400}, replRecs())
+	cases := map[string][]byte{
+		"truncated head": good[:replRecordsHead-1],
+		"trailing bytes": append(append([]byte(nil), good...), 0xAA),
+	}
+	// Forged count: claims 2^31 records in a tiny payload.
+	bomb := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(bomb[8+2*replCursorSize:], 1<<31-1)
+	cases["count bomb"] = bomb
+	// Unknown record kind.
+	badKind := append([]byte(nil), good...)
+	badKind[replRecordsHead] = 0x7F
+	cases["unknown kind"] = badKind
+	// Record payload length bomb: first record claims 2^30 bytes.
+	plenOff := replRecordsHead + 1 + 8 + 2 + len("alpha")
+	plBomb := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(plBomb[plenOff:], 1<<30)
+	cases["payload length bomb"] = plBomb
+	// Cursor offset with the sign bit set.
+	negCur := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint64(negCur[8+8:], 1<<63)
+	cases["negative cursor"] = negCur
+
+	for name, p := range cases {
+		if _, _, _, _, err := DecodeReplRecords(p, nil); !errors.Is(err, ErrBadPayload) {
+			t.Errorf("%s: got %v, want ErrBadPayload", name, err)
+		}
+	}
+}
+
+func TestIsResponseType(t *testing.T) {
+	for _, typ := range []uint8{MsgHelloOK, MsgPong, MsgCreateOK, MsgMutateOK, MsgSummaryOK, MsgNodesOK, MsgFlushOK, MsgDropOK, MsgErr} {
+		if !IsResponseType(typ) {
+			t.Errorf("type %d should be a response type", typ)
+		}
+	}
+	for _, typ := range []uint8{MsgHello, MsgPing, MsgMutate, MsgReplSubscribe, MsgReplRecords, MsgReplAck, 0, 99} {
+		if IsResponseType(typ) {
+			t.Errorf("type %d must not be a response type", typ)
+		}
+	}
+}
+
+// TestClientRejectsUnknownFrameType is the regression test for the
+// read-loop dispatch fix: a frame whose type is outside the response
+// whitelist — here a MsgReplRecords push that happens to reuse a
+// pending request's id — must fail the connection with ErrUnknownType
+// instead of being handed to the waiting caller as its response.
+func TestClientRejectsUnknownFrameType(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		r := NewReader(c, 0)
+		h, p, err := r.Next()
+		if err != nil || h.Type != MsgHello || CheckHello(p) != nil {
+			return
+		}
+		c.Write(AppendFrame(nil, MsgHelloOK, 0, h.ID, AppendHello(nil), false))
+		// Read the client's request, then push a replication frame with
+		// the *same* request id — the trap the whitelist must catch.
+		h, _, err = r.Next()
+		if err != nil {
+			return
+		}
+		push := AppendReplRecords(nil, 1, store.Cursor{}, store.Cursor{Seg: 1, Off: 10}, replRecs())
+		c.Write(AppendFrame(nil, MsgReplRecords, 0, h.ID, push, false))
+	}()
+
+	c, err := Dial(ClientConfig{Addr: ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("ping against a pushing server: got %v, want ErrUnknownType", err)
+	}
+}
+
+// replSeeds builds the committed FuzzReplDecode corpus: well-formed
+// frames of all three repl payloads (with and without CRC) plus the
+// adversarial shapes named in the harness — length bombs, stale
+// cursors, wrong-kind records, and a flipped CRC trailer.
+func replSeeds() map[string][]byte {
+	sub := AppendReplSubscribe(nil, ReplSubscribe{NodeID: "n2", Epoch: 3, Cursor: store.Cursor{Seg: 2, Off: 777}})
+	ack := AppendReplAck(nil, ReplAck{Epoch: 3, Cursor: store.Cursor{Seg: 2, Off: 999}})
+	run := AppendReplRecords(nil, 3, store.Cursor{Seg: 2, Off: 777}, store.Cursor{Seg: 2, Off: 999}, replRecs())
+
+	seeds := map[string][]byte{}
+	for _, crc := range []bool{false, true} {
+		var s []byte
+		s = AppendFrame(s, MsgReplSubscribe, 0, 1, sub, crc)
+		s = AppendFrame(s, MsgReplRecords, 0, 1, run, crc)
+		s = AppendFrame(s, MsgReplAck, 0, 1, ack, crc)
+		name := "seed-repl-frames"
+		if crc {
+			name = "seed-repl-frames-crc"
+		}
+		seeds[name] = s
+	}
+	// Count bomb inside an otherwise valid records frame.
+	bomb := append([]byte(nil), run...)
+	binary.LittleEndian.PutUint32(bomb[8+2*replCursorSize:], 1<<31-1)
+	seeds["seed-repl-count-bomb"] = AppendFrame(nil, MsgReplRecords, 0, 2, bomb, false)
+	// Stale/absurd cursor: max segment, sign-bit offset.
+	stale := AppendReplSubscribe(nil, ReplSubscribe{NodeID: "n9", Epoch: 1, Cursor: store.Cursor{Seg: ^uint64(0), Off: 1}})
+	binary.LittleEndian.PutUint64(stale[len(stale)-8:], 1<<63)
+	seeds["seed-repl-stale-cursor"] = AppendFrame(nil, MsgReplSubscribe, 0, 3, stale, false)
+	// Wrong-kind record (a "wrong incarnation" of the record stream).
+	badKind := append([]byte(nil), run...)
+	badKind[replRecordsHead] = 0xEE
+	seeds["seed-repl-bad-kind"] = AppendFrame(nil, MsgReplRecords, 0, 4, badKind, false)
+	// CRC flip: valid frame, last trailer byte xored.
+	flip := AppendFrame(nil, MsgReplAck, 0, 5, ack, true)
+	flip[len(flip)-1] ^= 0xFF
+	seeds["seed-repl-crc-flip"] = flip
+	return seeds
+}
+
+// TestWriteReplSeedCorpus regenerates the committed seed corpus when
+// run with WIRE_WRITE_REPL_SEEDS=1; normally it only verifies the
+// files on disk match what replSeeds builds.
+func TestWriteReplSeedCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzReplDecode")
+	write := os.Getenv("WIRE_WRITE_REPL_SEEDS") == "1"
+	if write {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, data := range replSeeds() {
+		path := filepath.Join(dir, name)
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if write {
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s missing (regenerate with WIRE_WRITE_REPL_SEEDS=1): %v", path, err)
+		}
+		if string(got) != body {
+			t.Fatalf("%s is stale (regenerate with WIRE_WRITE_REPL_SEEDS=1)", path)
+		}
+	}
+}
+
+// FuzzReplDecode throws arbitrary frame streams at the replication
+// payload decoders. Invariants: no panic, every length/count word is
+// validated before allocation, and a records payload that decodes
+// successfully re-encodes to its exact input bytes (the codec is
+// canonical).
+func FuzzReplDecode(f *testing.F) {
+	for _, data := range replSeeds() {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// As raw payloads.
+		fuzzReplPayload(t, data)
+		// As a frame stream.
+		r := NewReader(bytes.NewReader(data), fuzzMax)
+		for {
+			h, p, err := r.Next()
+			if err != nil {
+				return
+			}
+			if len(p) != int(h.Len) || len(p) > fuzzMax {
+				t.Fatalf("payload %d bytes escaped (header len %d)", len(p), h.Len)
+			}
+			fuzzReplPayload(t, p)
+		}
+	})
+}
+
+func fuzzReplPayload(t *testing.T, p []byte) {
+	t.Helper()
+	DecodeReplSubscribe(p)
+	DecodeReplAck(p)
+	epoch, from, next, recs, err := DecodeReplRecords(p, nil)
+	if err == nil {
+		re := AppendReplRecords(nil, epoch, from, next, recs)
+		if string(re) != string(p) {
+			t.Fatalf("records payload is not canonical: % x -> % x", p, re)
+		}
+	}
+}

@@ -387,6 +387,10 @@ func (c *conn) dispatch(h Header, p []byte) {
 			return
 		}
 		if err := c.srv.cfg.Manager.DropSession(string(sid)); err != nil {
+			if errors.Is(err, serve.ErrReadOnly) {
+				c.writeErr(h.ID, StatusReadOnly, err.Error())
+				return
+			}
 			c.writeErr(h.ID, StatusNotFound, err.Error())
 			return
 		}
@@ -406,6 +410,8 @@ func (c *conn) create(id uint64, sid string, pts []geom.Point) {
 	switch {
 	case errors.Is(err, serve.ErrSessionExists):
 		c.writeErr(id, StatusExists, err.Error())
+	case errors.Is(err, serve.ErrReadOnly):
+		c.writeErr(id, StatusReadOnly, err.Error())
 	case errors.Is(err, serve.ErrClosed):
 		c.writeErr(id, StatusGone, err.Error())
 	case err != nil:
@@ -482,6 +488,10 @@ func (c *conn) flushMutations() {
 		c.invalidate()
 		for _, f := range frames {
 			c.writeErr(f.id, StatusGone, err.Error())
+		}
+	case errors.Is(err, serve.ErrReadOnly):
+		for _, f := range frames {
+			c.writeErr(f.id, StatusReadOnly, err.Error())
 		}
 	default:
 		// A validation error in a combined batch: re-apply frame by

@@ -100,7 +100,36 @@ const (
 	MsgDrop      uint8 = 16 // drop a session
 	MsgDropOK    uint8 = 17
 	MsgErr       uint8 = 18 // status in header, human-readable text payload
+
+	// Replication frames (see internal/repl). A follower opens a plain
+	// rimwire connection to the leader's feed listener, handshakes, and
+	// sends MsgReplSubscribe with its node id, epoch, and resume cursor.
+	// The leader answers with a stream of MsgReplRecords frames — each a
+	// run of committed WAL records plus the cursor to resume after them —
+	// and the follower acknowledges applied positions with MsgReplAck.
+	// MsgReplRecords frames are server-push: they share the subscribe
+	// request's id but arrive many-for-one, which is why a client that
+	// multiplexes by request id must treat them as unknown (see
+	// ErrUnknownType) rather than as a response.
+	MsgReplSubscribe uint8 = 19 // follower → leader: node id, epoch, cursor
+	MsgReplRecords   uint8 = 20 // leader → follower: committed record run
+	MsgReplAck       uint8 = 21 // follower → leader: applied-through cursor
 )
+
+// IsResponseType reports whether t is a frame type a server may send in
+// answer to a plain request — the complete whitelist a multiplexing
+// client accepts on its read loop. Push-stream types (MsgReplRecords)
+// and request types are deliberately excluded: anything outside this
+// set must surface as ErrUnknownType, never be silently matched to a
+// waiting request by id.
+func IsResponseType(t uint8) bool {
+	switch t {
+	case MsgHelloOK, MsgPong, MsgCreateOK, MsgMutateOK, MsgSummaryOK,
+		MsgNodesOK, MsgFlushOK, MsgDropOK, MsgErr:
+		return true
+	}
+	return false
+}
 
 // Response status codes (header offset 6). Deliberately the HTTP
 // numbers, so the two front doors speak one operational language and
@@ -108,9 +137,10 @@ const (
 const (
 	StatusOK       = 0
 	StatusBad      = 400 // malformed frame or rejected mutation
+	StatusReadOnly = 403 // follower role: mutations only via replication
 	StatusNotFound = 404 // no such session
-	StatusExists   = 409 // session id already taken
-	StatusGone     = 410 // session closed
+	StatusExists   = 409 // session id already taken / stale repl epoch
+	StatusGone     = 410 // session closed / repl cursor pruned
 	StatusAgain    = 429 // queue full: wait and resubmit (Retry-After analog)
 	StatusInternal = 500
 )
@@ -122,6 +152,11 @@ var (
 	ErrTruncated   = errors.New("wire: frame truncated")
 	ErrChecksum    = errors.New("wire: payload crc mismatch")
 	ErrBadPayload  = errors.New("wire: malformed payload")
+	// ErrUnknownType fires when a frame's type is outside the set the
+	// receiver can legally handle — a client read loop that sees a
+	// non-response type (IsResponseType false) fails the connection with
+	// it instead of mis-parsing the frame as some request's answer.
+	ErrUnknownType = errors.New("wire: unknown frame type")
 )
 
 // Error is a decoded MsgErr response: the status code plus the server's
