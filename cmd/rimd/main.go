@@ -72,7 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		replFollow    = fs.String("repl-follow", "", "leader feed address to follow (read-only follower mode; requires -data-dir)")
 		replLeaderID  = fs.String("repl-leader-id", "", "the leader's node ID (followers use it for ring successor math)")
 		replPeers     = fs.String("repl-peers", "", "comma-separated ring membership, leader included (e.g. n1,n2,n3)")
-		replEpoch     = fs.Uint64("repl-epoch", 1, "leader epoch (a promoted follower serves at observed epoch + 1)")
+		replEpoch     = fs.Uint64("repl-epoch", 1, "leader term: the epoch a leader serves at, and the one a follower pins its subscribe to (a promoted follower serves at observed epoch + 1)")
 		replAutoProm  = fs.Duration("repl-auto-promote", 0, "promote automatically after the leader is unreachable this long (0 = manual POST /repl/promote)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -110,6 +110,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		TraceCap:      *traceCap,
 		RebuildFactor: *rebuild,
 		Store:         st,
+		// A follower must apply the leader's post-coalesce records verbatim:
+		// re-coalescing across record boundaries would drop mutations and
+		// diverge the seq space (repl.NewFollower refuses a coalescing
+		// manager).
+		NoCoalesce: *replFollow != "",
 	})
 
 	if st != nil {

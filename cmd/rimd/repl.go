@@ -71,7 +71,13 @@ func startRepl(opts replOpts, mgr *serve.Manager, st *store.Store, stdout, stder
 			Manager:    mgr,
 			NodeID:     opts.nodeID,
 			LeaderAddr: opts.follow,
+			// Pin the leader term: a deposed leader restarting at a stale
+			// epoch on the same address is refused instead of re-followed.
+			Epoch:      opts.epoch,
 			CursorPath: opts.cursorPath,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(stderr, "rimd: "+format+"\n", args...)
+			},
 		})
 		if err != nil {
 			return nil, err
@@ -123,16 +129,30 @@ func (n *replNode) candidate() bool {
 }
 
 // promote hands the node over: drain the feed, lift read-only, and (when
-// -repl-addr is set) start leading at the next epoch.
+// -repl-addr is set) start leading at the next epoch. The "promoting"
+// intermediate role is the mutual exclusion: a concurrent POST
+// /repl/promote and the auto-promote watchdog cannot both pass the
+// role check, so only one caller ever runs fol.Promote + lead.
 func (n *replNode) promote() error {
 	n.mu.Lock()
-	if n.role != "follower" {
+	switch n.role {
+	case "follower":
+	case "promoting":
+		n.mu.Unlock()
+		return errors.New("repl: promotion already in progress")
+	default:
 		n.mu.Unlock()
 		return fmt.Errorf("repl: %s cannot be promoted", n.role)
 	}
+	n.role = "promoting"
 	fol := n.fol
 	n.mu.Unlock()
 	if err := fol.Promote(context.Background()); err != nil {
+		// Nothing irreversible happened (read-only is still on); return to
+		// follower so the operator can retry.
+		n.mu.Lock()
+		n.role = "follower"
+		n.mu.Unlock()
 		return err
 	}
 	epoch := fol.LeaderEpoch()
@@ -143,7 +163,15 @@ func (n *replNode) promote() error {
 	fmt.Fprintf(n.stdout, "rimd: repl promoted %s at cursor %s (epoch %d)\n",
 		n.opts.nodeID, fol.Cursor(), epoch)
 	if n.opts.addr != "" {
-		return n.lead(epoch)
+		if err := n.lead(epoch); err != nil {
+			// Read-only is already lifted, so the node IS the writer of
+			// record even though its feed listener failed to bind.
+			n.mu.Lock()
+			n.role, n.epoch = "leader", epoch
+			n.mu.Unlock()
+			return fmt.Errorf("repl: promoted but feed listener failed: %w", err)
+		}
+		return nil
 	}
 	n.mu.Lock()
 	n.role, n.epoch = "leader", epoch
@@ -187,6 +215,16 @@ func (n *replNode) watchLeader() {
 			fmt.Fprintf(n.stdout, "rimd: repl leader %s down; ring successor is elsewhere, holding\n", n.opts.follow)
 			return
 		}
+		n.mu.Lock()
+		fol := n.fol
+		n.mu.Unlock()
+		if fol != nil && fol.Stats().StuckResync {
+			// Behind by an unknowable amount — auto-promoting would crown
+			// stale state. Manual POST /repl/promote remains the operator's
+			// override.
+			fmt.Fprintf(n.stderr, "rimd: repl leader %s down but this follower is stuck-resync; refusing auto-promote\n", n.opts.follow)
+			return
+		}
 		fmt.Fprintf(n.stdout, "rimd: repl leader %s down for %s; taking over\n", n.opts.follow, n.opts.autoPromote)
 		if err := n.promote(); err != nil {
 			fmt.Fprintf(n.stderr, "rimd: repl auto-promote: %v\n", err)
@@ -221,6 +259,11 @@ type replStatus struct {
 	Reconnects       uint64 `json:"reconnects"`
 	Gaps             uint64 `json:"gaps"`
 	Resyncs          uint64 `json:"resyncs"`
+	Pruned           uint64 `json:"pruned"`
+	// StuckResync marks a follower the leader can no longer feed (cursor
+	// zero refused: the log start is pruned). It serves stale reads and
+	// is excluded from promote candidacy.
+	StuckResync bool `json:"stuck_resync"`
 }
 
 func (n *replNode) register(mux *http.ServeMux) {
@@ -245,7 +288,10 @@ func (n *replNode) register(mux *http.ServeMux) {
 			fs := fol.Stats()
 			st.Frames, st.Records, st.Reconnects, st.Gaps, st.Resyncs =
 				fs.Frames, fs.Records, fs.Reconnects, fs.Gaps, fs.Resyncs
-			st.PromoteCandidate = n.candidate()
+			st.Pruned, st.StuckResync = fs.Pruned, fs.StuckResync
+			// A stuck follower is behind by an unknowable amount; promoting
+			// it would serve that stale state as the new truth.
+			st.PromoteCandidate = n.candidate() && !fs.StuckResync
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(st)

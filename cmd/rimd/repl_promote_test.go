@@ -1,0 +1,64 @@
+package main
+
+import (
+	"context"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// TestPromoteSerialized pins the promotion guard: a manual POST
+// /repl/promote racing the auto-promote watchdog must yield exactly one
+// successful promotion — the loser sees a clean error instead of a
+// second lead() over already-lifted read-only state.
+func TestPromoteSerialized(t *testing.T) {
+	st, err := store.Open(store.Options{Dir: t.TempDir(), Sync: store.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	mgr := serve.NewManager(serve.Config{Shards: 1, Store: st, NoCoalesce: true})
+	defer mgr.Close(context.Background())
+
+	// A follower whose leader address never answers: promotion does not
+	// need a live feed, only a stoppable one.
+	n, err := startRepl(replOpts{nodeID: "n2", follow: "127.0.0.1:1", epoch: 1},
+		mgr, st, io.Discard, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.close()
+
+	errs := make([]error, 8)
+	var wg sync.WaitGroup
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = n.promote()
+		}(i)
+	}
+	wg.Wait()
+
+	ok := 0
+	for _, e := range errs {
+		if e == nil {
+			ok++
+		}
+	}
+	if ok != 1 {
+		t.Fatalf("concurrent promote succeeded %d times, want exactly 1 (errs: %v)", ok, errs)
+	}
+	n.mu.Lock()
+	role := n.role
+	n.mu.Unlock()
+	if role != "leader" {
+		t.Fatalf("post-promotion role = %q, want leader", role)
+	}
+	if mgr.ReadOnly() {
+		t.Fatal("promotion did not lift read-only")
+	}
+}

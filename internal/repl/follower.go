@@ -52,6 +52,9 @@ type FollowerConfig struct {
 	Backoff time.Duration
 	// Registry receives rim_repl_* metrics (default obs.Default()).
 	Registry *obs.Registry
+	// Logf, when set, receives operator-facing warnings (stuck-resync
+	// transitions). Default discards.
+	Logf func(format string, args ...any)
 }
 
 // FollowerStats is a snapshot of the feed counters.
@@ -61,6 +64,14 @@ type FollowerStats struct {
 	Reconnects uint64 // connection deaths survived
 	Gaps       uint64 // seq gaps detected (each forces a resync)
 	Resyncs    uint64 // restarts from the log start
+	Pruned     uint64 // StatusGone refusals (cursor inside pruned segments)
+	// StuckResync reports a follower that can never catch up as-is: the
+	// leader pruned the log start, so even a resync from cursor zero is
+	// refused. The follower keeps serving its last applied state and
+	// keeps retrying (a later prune cannot help, but a leader restart
+	// with intact history can), but it is not a healthy promote
+	// candidate and /repl/status must not present it as one.
+	StuckResync bool
 }
 
 // Follower is a running feed consumer. Create with NewFollower, drive
@@ -84,6 +95,8 @@ type Follower struct {
 	reconnects atomic.Uint64
 	gaps       atomic.Uint64
 	resyncs    atomic.Uint64
+	pruned     atomic.Uint64
+	stuck      atomic.Bool
 }
 
 // NewFollower builds a consumer, restoring the persisted cursor when
@@ -98,6 +111,19 @@ func NewFollower(cfg FollowerConfig) (*Follower, error) {
 	}
 	if cfg.Dial == nil {
 		cfg.Dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Manager == nil {
+		return nil, errors.New("repl: follower requires a manager")
+	}
+	if mc := cfg.Manager.Config(); !mc.NoCoalesce && !mc.Deterministic {
+		// The leader logs post-coalesce batches, so each replicated
+		// record's mutation count is exactly its seq advance; a coalescing
+		// follower would merge mutations across record boundaries and fall
+		// behind the leader's seq space (see internal/serve/replicate.go).
+		return nil, errors.New("repl: follower manager must be built with serve.Config.NoCoalesce")
 	}
 	f := &Follower{cfg: cfg, mx: registerMetrics(cfg.Registry), done: make(chan struct{})}
 	if cfg.CursorPath != "" {
@@ -135,11 +161,13 @@ func (f *Follower) LeaderEpoch() uint64 {
 // Stats snapshots the feed counters.
 func (f *Follower) Stats() FollowerStats {
 	return FollowerStats{
-		Frames:     f.frames.Load(),
-		Records:    f.records.Load(),
-		Reconnects: f.reconnects.Load(),
-		Gaps:       f.gaps.Load(),
-		Resyncs:    f.resyncs.Load(),
+		Frames:      f.frames.Load(),
+		Records:     f.records.Load(),
+		Reconnects:  f.reconnects.Load(),
+		Gaps:        f.gaps.Load(),
+		Resyncs:     f.resyncs.Load(),
+		Pruned:      f.pruned.Load(),
+		StuckResync: f.stuck.Load(),
 	}
 }
 
@@ -247,6 +275,12 @@ func (f *Follower) session() (progressed bool, fatal error) {
 		f.conn = nil
 		f.mu.Unlock()
 	}()
+	if f.stopped() {
+		// Stop may have snapshotted f.conn before the assignment above and
+		// so closed nothing; without this re-check the frame loop would
+		// outlive Stop and Promote's wg.Wait would never return.
+		return false, nil
+	}
 
 	r := wire.NewReader(conn, 0)
 	if _, err := conn.Write(wire.AppendFrame(nil, wire.MsgHello, 0, 1, wire.AppendHello(nil), false)); err != nil {
@@ -279,11 +313,18 @@ func (f *Follower) session() (progressed bool, fatal error) {
 			case wire.StatusGone:
 				// Cursor pruned on the leader. From a non-zero cursor a
 				// restart from the log start may still work (prune keeps
-				// whole segments); from zero the log is gone for good and
-				// reconnecting cannot help — but the leader may prune later
-				// segments in, so retrying stays correct, just slow.
+				// whole segments); from zero the log start is gone for good
+				// and no resync can help — the follower is stuck serving
+				// stale reads until an operator intervenes (there is no
+				// checkpoint bootstrap yet), so the transition is surfaced
+				// in FollowerStats and logged loudly instead of silently
+				// retrying forever.
+				f.pruned.Add(1)
+				f.mx.pruned.Inc()
 				if !cur.IsZero() {
 					f.resync()
+				} else if f.stuck.CompareAndSwap(false, true) {
+					f.cfg.Logf("repl: follower %s cannot catch up: leader pruned the log start (%s); serving stale reads, not a promote candidate", f.cfg.NodeID, msg)
 				}
 				return progressed, nil
 			default:
@@ -326,6 +367,9 @@ func (f *Follower) session() (progressed bool, fatal error) {
 			f.frames.Add(1)
 			f.mx.framesIn.Inc()
 			progressed = true
+			if f.stuck.CompareAndSwap(true, false) {
+				f.cfg.Logf("repl: follower %s caught the stream again", f.cfg.NodeID)
+			}
 			ackb = wire.AppendFrame(ackb[:0], wire.MsgReplAck, 0, h.ID,
 				wire.AppendReplAck(nil, wire.ReplAck{Epoch: epoch, Cursor: cur}), false)
 			if _, werr := conn.Write(ackb); werr != nil {

@@ -15,6 +15,7 @@ type metrics struct {
 	reconnects *obs.Counter
 	gaps       *obs.Counter
 	resyncs    *obs.Counter
+	pruned     *obs.Counter
 	promotions *obs.Counter
 	lag        *obs.Histogram
 }
@@ -39,6 +40,8 @@ func registerMetrics(reg *obs.Registry) *metrics {
 			"Seq gaps detected in the replicated stream (each forces a resync)."),
 		resyncs: reg.Counter("rim_repl_resyncs_total",
 			"Full resyncs from the log start (gap or cursor mismatch)."),
+		pruned: reg.Counter("rim_repl_cursor_pruned_total",
+			"Subscribes refused because the cursor fell inside pruned segments."),
 		promotions: reg.Counter("rim_repl_promotions_total",
 			"Follower promotions to leader."),
 		lag: reg.Histogram("rim_repl_batch_records",

@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"path/filepath"
@@ -690,5 +691,128 @@ func TestStaleEpochRefused(t *testing.T) {
 	waitUntil(t, 10*time.Second, "pinned-epoch catch-up", caughtUp(okF, ldrN.st, tail))
 	if got := okF.LeaderEpoch(); got != 7 {
 		t.Fatalf("LeaderEpoch = %d, want 7", got)
+	}
+}
+
+// TestFollowerRejectsCoalescingManager pins the replication contract at
+// construction time: a manager that coalesces batches would merge
+// mutations across record boundaries and fall behind the leader's seq
+// space, so NewFollower must refuse it — and must not leave the manager
+// read-only on the way out.
+func TestFollowerRejectsCoalescingManager(t *testing.T) {
+	st := openStore(t, t.TempDir(), store.SyncNone)
+	defer st.Close()
+	m := serve.NewManager(serve.Config{Shards: 1, Store: st})
+	defer m.Close(context.Background())
+	_, err := repl.NewFollower(repl.FollowerConfig{
+		Manager: m, NodeID: "bad", LeaderAddr: "127.0.0.1:1", Registry: obs.NewRegistry(),
+	})
+	if err == nil {
+		t.Fatal("NewFollower accepted a manager built without NoCoalesce")
+	}
+	if m.ReadOnly() {
+		t.Fatal("refused NewFollower left the manager read-only")
+	}
+}
+
+// TestFollowerStopDuringDial pins the Stop/session race: a Stop landing
+// after Dial returns but before the connection is recorded must still
+// terminate Run and close the fresh connection, or Promote's wg.Wait
+// would block forever behind a frame loop nobody can reach.
+func TestFollowerStopDuringDial(t *testing.T) {
+	folN := newNode(t, "n2", store.SyncNone, true)
+	defer folN.close()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	peer := make(chan net.Conn, 1)
+	dial := func(string) (net.Conn, error) {
+		close(entered)
+		<-release
+		c1, c2 := net.Pipe()
+		peer <- c2
+		return c1, nil
+	}
+	fol := newFollower(t, folN, "unused", dial)
+	done := make(chan error, 1)
+	go func() { done <- fol.Run() }()
+	<-entered
+	fol.Stop() // f.conn is still nil: Stop has nothing to close yet
+	close(release)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run never returned after Stop raced the dial")
+	}
+	c2 := <-peer
+	c2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c2.Read(make([]byte, 1)); !errors.Is(err, io.EOF) {
+		t.Fatalf("peer read err = %v, want io.EOF (connection closed by the stopped follower)", err)
+	}
+}
+
+// TestFollowerStuckWhenLogStartPruned pins the no-bootstrap limitation
+// as a *surfaced* state: once the leader prunes segment 1, a follower
+// forced to subscribe from cursor zero can never catch up — it must say
+// so (StuckResync, the pruned counter, a loud log line) instead of
+// silently serving stale reads while retrying forever.
+func TestFollowerStuckWhenLogStartPruned(t *testing.T) {
+	st, err := store.Open(store.Options{
+		Dir: t.TempDir(), Sync: store.SyncNone, SegmentBytes: 128, Registry: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 40; i++ {
+		if err := st.Append(store.Record{
+			Kind: store.RecordBatch, Session: "s", Seq: uint64(i + 1), Payload: []byte("padding-payload"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tail := st.ReplTail()
+	if tail.Seg < 3 {
+		t.Fatalf("want >=3 segments for the prune, tail at %v", tail)
+	}
+	if _, err := st.Prune(tail.Seg); err != nil {
+		t.Fatal(err)
+	}
+
+	ldr := repl.NewLeader(repl.LeaderConfig{
+		Store: st, NodeID: "n1", Epoch: 1, Poll: 5 * time.Millisecond, Registry: obs.NewRegistry(),
+	})
+	defer ldr.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ldr.Serve(ln)
+
+	folN := newNode(t, "n2", store.SyncNone, true)
+	defer folN.close()
+	var logged atomic.Int32
+	fol, err := repl.NewFollower(repl.FollowerConfig{
+		Manager: folN.m, NodeID: "n2", LeaderAddr: ln.Addr().String(),
+		Backoff: time.Millisecond, Registry: obs.NewRegistry(),
+		Logf:    func(string, ...any) { logged.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fol.Run()
+	defer fol.Stop()
+
+	waitUntil(t, 10*time.Second, "stuck-resync surfaced", func() bool {
+		s := fol.Stats()
+		return s.StuckResync && s.Pruned > 0
+	})
+	if logged.Load() == 0 {
+		t.Fatal("stuck-resync transition was never logged")
+	}
+	if s := fol.Stats(); s.Resyncs != 0 {
+		t.Fatalf("zero-cursor follower counted a resync that cannot help: %+v", s)
 	}
 }
