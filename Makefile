@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench bench-json serve-smoke store-smoke store-overhead wire-smoke wire-gate repl-smoke trace-demo obs-overhead repro figures tables cover fuzz fuzz-nightly clean
+.PHONY: all build vet test check bench bench-json serve-smoke store-smoke store-overhead wire-smoke wire-gate repl-smoke sub-smoke sub-gate trace-demo obs-overhead repro figures tables cover fuzz fuzz-nightly clean
 
 all: build vet test
 
@@ -40,13 +40,21 @@ bench:
 #            (p50/p99/p999 under Poisson arrivals)
 #   BENCH=5  + end-to-end WAL replication throughput over a loopback
 #            feed (leader apply + stream + follower apply, per mutation)
-# e.g. `make bench-json BENCH=5`.
+#   BENCH=6  + the standing-subscription numbers: matcher pass cost vs
+#            pool size, waypoint mobility stepping, and the rimlive
+#            end-to-end update→notify latency profile (p50/p99/p999
+#            under continuous churn with 1200 live subscriptions)
+# e.g. `make bench-json BENCH=6`.
 BENCH ?= 1
 BENCH_REGEX ?= BenchmarkAnnealEvaluator|BenchmarkAnnealRecompute|BenchmarkDynamicEvents|BenchmarkExactSearch|BenchmarkAblationIncremental|BenchmarkServeMixed|BenchmarkServeHTTPMixed|BenchmarkWALAppend|BenchmarkRecovery|BenchmarkServeWireMixed|BenchmarkWireCodec|BenchmarkWireRTT|BenchmarkReplThroughput
 RIMLOAD_PROFILE ?= smoke
+RIMLIVE_PROFILE ?= bench
 bench-json:
 	( $(GO) test -run=xxx -bench='$(BENCH_REGEX)' -benchtime=1x . ; \
-	  $(GO) run ./cmd/rimload -self -profile $(RIMLOAD_PROFILE) -bench-line ) \
+	  $(GO) test -run=xxx -bench='BenchmarkSubMatch|BenchmarkMobilityStep' -benchtime=1x \
+	    ./internal/sub/ ./internal/mobility/ ; \
+	  $(GO) run ./cmd/rimload -self -profile $(RIMLOAD_PROFILE) -bench-line ; \
+	  $(GO) run ./cmd/rimlive -self -profile $(RIMLIVE_PROFILE) -bench-line ) \
 		| $(GO) run ./cmd/benchjson > BENCH_$(BENCH).json && cat BENCH_$(BENCH).json
 
 # End-to-end daemon smoke: boot rimd on a random port, run a scripted
@@ -75,6 +83,21 @@ wire-smoke:
 # serving the same state — now writable.
 repl-smoke:
 	$(GO) test -run TestReplSmoke -count=1 -v ./cmd/rimd/
+
+# End-to-end subscription smoke: boot rimd with the wire door open,
+# attach one standing subscription per predicate kind over the binary
+# protocol, churn radii and positions, and require the server-push
+# stream to deliver init snapshots plus edge-triggered updates in
+# contiguous per-subscription Seq order — and silence after detach.
+sub-smoke:
+	$(GO) test -run TestSubSmoke -count=1 -v ./cmd/rimd/
+
+# Live-workload latency gate: rimlive drives a waypoint-mobility swarm
+# (n=4096, 1200 standing subscriptions, continuous churn) against an
+# in-process server stack and bounds the end-to-end update→notify p99.
+RIMLIVE_P99_MS ?= 10
+sub-gate:
+	$(GO) run ./cmd/rimlive -self -profile bench -bench-line -max-p99-ms $(RIMLIVE_P99_MS)
 
 # Wire throughput floor: the pipelined mixed workload must clear 500k
 # ops/s (best of WIRE_COUNT short runs — an absolute floor, not a

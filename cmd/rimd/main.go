@@ -7,6 +7,11 @@
 //	rimd -data-dir /var/lib/rimd                 # durable sessions (WAL + checkpoints)
 //	rimd -wire-addr 127.0.0.1:8087               # rimwire binary front door alongside HTTP
 //
+// The wire door also serves standing subscriptions (internal/sub):
+// clients register threshold / region / max-changed predicates with
+// MsgSubscribe and receive server-initiated MsgEvent frames as batches
+// commit — see DESIGN.md's "Standing subscriptions" section.
+//
 // The daemon prints its actual listening address on stdout (useful with
 // port 0), exposes /healthz, Prometheus /metrics, net/http/pprof under
 // /debug/pprof/, and live span dumps at /debug/obs/spans (plain tree)
@@ -39,6 +44,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/store"
+	"repro/internal/sub"
 	"repro/internal/wire"
 )
 
@@ -102,7 +108,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer st.Close()
 	}
 
-	mgr := serve.NewManager(serve.Config{
+	// Standing subscriptions ride the wire door: the hub consumes the
+	// per-batch delta seam and pushes MsgEvent frames to subscribed
+	// connections. Only built when the wire door is on — a non-nil
+	// AfterBatchDelta turns on per-batch delta tracking for every
+	// session, which pure-HTTP deployments should not pay for.
+	var hub *sub.Hub
+	if *wireAddr != "" {
+		hub = sub.NewHub(sub.Config{QueueCap: 1 << 15, Registry: obs.Default()})
+	}
+	scfg := serve.Config{
 		Shards:        *shards,
 		QueueCap:      *queueCap,
 		BatchCap:      *batchCap,
@@ -115,7 +130,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// diverge the seq space (repl.NewFollower refuses a coalescing
 		// manager).
 		NoCoalesce: *replFollow != "",
-	})
+	}
+	if hub != nil {
+		scfg.AfterBatchDelta = hub.AfterBatchDelta
+	}
+	mgr := serve.NewManager(scfg)
 
 	if st != nil {
 		// Recover before the listener opens: clients never observe a
@@ -196,7 +215,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			ln.Close()
 			return 1
 		}
-		wireSrv = wire.NewServer(wire.ServerConfig{Manager: mgr})
+		wireSrv = wire.NewServer(wire.ServerConfig{Manager: mgr, Hub: hub})
 		go func() {
 			if err := wireSrv.Serve(wln); err != nil {
 				fmt.Fprintf(stderr, "rimd: wire serve: %v\n", err)

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/sub"
+	"repro/internal/wire"
+)
+
+// TestSubSmoke boots a real rimd with the wire door open, attaches
+// standing subscriptions of every predicate kind over the binary
+// protocol, drives mutations, and requires the server-push event stream
+// to deliver the init snapshot and then edge-triggered updates — each
+// subscription's stream arriving in contiguous Seq order with no gaps.
+func TestSubSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sub smoke builds and boots a real daemon; skipped in -short")
+	}
+	bin := buildRimd(t)
+	p := bootRimd(t, bin, "-wire-addr", "127.0.0.1:0")
+
+	var wireAddr string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if m := wireAddrRe.FindStringSubmatch(p.out.String()); m != nil {
+			wireAddr = m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if wireAddr == "" {
+		t.Fatalf("rimd never announced its wire address; output:\n%s", p.out.String())
+	}
+
+	var mu sync.Mutex
+	var events []sub.Event
+	c, err := wire.Dial(wire.ClientConfig{Addr: wireAddr, Conns: 2, OnEvent: func(e sub.Event) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if n, err := c.CreateGen("subsmoke", wire.GenSpec{N: 64, Seed: 11}); err != nil || n != 64 {
+		t.Fatalf("CreateGen: n=%d err=%v", n, err)
+	}
+
+	// One subscription per predicate kind. The region disk is large
+	// enough to hold the whole generated instance, so its init event
+	// fires regardless of the generator's layout.
+	maxID, err := c.Subscribe("subsmoke", sub.Predicate{Kind: sub.KindMax})
+	if err != nil {
+		t.Fatalf("Subscribe max: %v", err)
+	}
+	thrID, err := c.Subscribe("subsmoke", sub.Predicate{Kind: sub.KindThreshold, Receiver: 0, K: 1})
+	if err != nil {
+		t.Fatalf("Subscribe threshold: %v", err)
+	}
+	regID, err := c.Subscribe("subsmoke", sub.Predicate{Kind: sub.KindRegion, X: 0, Y: 0, R: 1e9})
+	if err != nil {
+		t.Fatalf("Subscribe region: %v", err)
+	}
+
+	// Matching starts with the first batch the session commits after the
+	// subscription lands; commit one to collect the init events, then
+	// churn radii to force real threshold/max edges.
+	if _, err := c.Mutate("subsmoke", []serve.Mutation{serve.SetRadius(0, 0.01)}); err != nil {
+		t.Fatalf("Mutate: %v", err)
+	}
+	if _, err := c.Flush("subsmoke"); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		var ops []serve.Mutation
+		for j := 0; j < 8; j++ {
+			ops = append(ops, serve.SetRadius(int64(j), 0.05+float64(i)*0.4))
+		}
+		ops = append(ops, serve.Move(int64(i+8), float64(i)*0.2, 0.3))
+		if _, err := c.Mutate("subsmoke", ops); err != nil {
+			t.Fatalf("Mutate churn %d: %v", i, err)
+		}
+		if _, err := c.Flush("subsmoke"); err != nil {
+			t.Fatalf("Flush churn %d: %v", i, err)
+		}
+	}
+
+	// The push path is asynchronous: poll until every subscription has
+	// its init event and at least one post-init edge has arrived.
+	wantInit := map[uint64]bool{maxID: false, thrID: false, regID: false}
+	var postInit int
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		mu.Lock()
+		for k := range wantInit {
+			wantInit[k] = false
+		}
+		postInit = 0
+		for _, e := range events {
+			if e.Init() {
+				if e.Seq != 1 {
+					mu.Unlock()
+					t.Fatalf("init event for sub %d has Seq=%d, want 1", e.SubID, e.Seq)
+				}
+				if _, ok := wantInit[e.SubID]; ok {
+					wantInit[e.SubID] = true
+				}
+			} else if e.Seq > 1 {
+				postInit++
+			}
+		}
+		done := postInit > 0
+		for _, ok := range wantInit {
+			done = done && ok
+		}
+		mu.Unlock()
+		if done {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for id, ok := range wantInit {
+		if !ok {
+			t.Fatalf("no init event for subscription %d (got %d events total)", id, len(events))
+		}
+	}
+	if postInit == 0 {
+		t.Fatalf("no post-init events after radius churn (got %d events total)", len(events))
+	}
+
+	// Per-subscription streams must be gap-free and in contiguous Seq
+	// order — the queue never overflowed here, so no FlagGap either.
+	mu.Lock()
+	seqs := map[uint64]uint64{}
+	for _, e := range events {
+		if e.Gap() {
+			mu.Unlock()
+			t.Fatalf("unexpected gap-marked event on sub %d seq %d", e.SubID, e.Seq)
+		}
+		if want := seqs[e.SubID] + 1; e.Seq != want {
+			mu.Unlock()
+			t.Fatalf("sub %d delivered seq %d, want %d", e.SubID, e.Seq, want)
+		}
+		seqs[e.SubID] = e.Seq
+	}
+	mu.Unlock()
+
+	if err := c.Unsubscribe(thrID); err != nil {
+		t.Fatalf("Unsubscribe: %v", err)
+	}
+	// A detached subscription stops producing: drain in-flight events,
+	// then require silence from it over further churn.
+	time.Sleep(100 * time.Millisecond)
+	mu.Lock()
+	cut := len(events)
+	mu.Unlock()
+	for i := 0; i < 4; i++ {
+		if _, err := c.Mutate("subsmoke", []serve.Mutation{serve.SetRadius(0, 0.07+float64(i)*0.5)}); err != nil {
+			t.Fatalf("Mutate post-unsub: %v", err)
+		}
+		if _, err := c.Flush("subsmoke"); err != nil {
+			t.Fatalf("Flush post-unsub: %v", err)
+		}
+	}
+	time.Sleep(200 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	for _, e := range events[cut:] {
+		if e.SubID == thrID {
+			t.Fatalf("event on detached subscription %d (seq %d)", thrID, e.Seq)
+		}
+	}
+}

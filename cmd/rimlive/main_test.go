@@ -1,0 +1,53 @@
+package main
+
+// The -self path boots the whole stack in-process — manager, hub wired
+// into the batch seam, wire server with push — so this test exercises
+// the real rig end to end: mobility stepping, pipelined Move frames over
+// loopback TCP, MsgEvent demux, latency attribution, and the
+// benchjson-compatible output line.
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestRimliveSelfSmoke(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{
+		"-self", "-profile", "smoke",
+		"-duration", "600ms", "-n", "128", "-subs", "32",
+		"-bench-line",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("rimlive exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"issued", "events/s", "update→notify", "BenchmarkRimlive/profile=smoke"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	// The bench line must parse the way cmd/benchjson parses it: name,
+	// integer run count, then value/unit pairs.
+	line := regexp.MustCompile(`(?m)^BenchmarkRimlive\S* .*$`).FindString(s)
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		t.Fatalf("bench line has %d fields (want even, >=4): %q", len(fields), line)
+	}
+	for _, unit := range []string{"ns/op", "events/s", "p50_ms", "p99_ms", "p999_ms"} {
+		if !strings.Contains(line, " "+unit) {
+			t.Fatalf("bench line missing %s: %q", unit, line)
+		}
+	}
+}
+
+func TestRimliveUsageErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-profile", "nope", "-self"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown profile: exit %d, want 2", code)
+	}
+	if code := run([]string{"-profile", "smoke"}, &out, &errb); code != 2 {
+		t.Fatalf("no addr and no -self: exit %d, want 2", code)
+	}
+}

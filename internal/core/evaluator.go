@@ -328,6 +328,44 @@ func (ev *Evaluator) RemovePoint(idx int) {
 	ev.iv = append(ev.iv[:idx], ev.iv[idx+1:]...)
 }
 
+// MovePoint relocates the node at idx, keeping its index and radius.
+// The relocation is three local updates: the node's disk is silenced at
+// the old position (one annulus), its own received interference is
+// recounted at the new position (one range query bounded by the largest
+// current radius, as in AddPoint), and the disk is re-lit at the new
+// position (one annulus). No index shifts, so sustained churn costs
+// output-sensitive time per move instead of the O(n) a RemovePoint +
+// AddPoint pair pays. It panics while a snapshot is active.
+func (ev *Evaluator) MovePoint(idx int, p geom.Point) {
+	if len(ev.marks) > 0 {
+		panic("core: MovePoint during active snapshot")
+	}
+	if idx < 0 || idx >= len(ev.pts) {
+		panic(fmt.Sprintf("core: MovePoint index %d out of range", idx))
+	}
+	if obs.On() {
+		obsMovePoints.Inc()
+	}
+	r := ev.radii[idx]
+	ev.SetRadius(idx, 0)
+	// ev.pts aliases the grid's slice, so the grid update is visible
+	// through ev.pts[idx] immediately.
+	ev.grid.Move(idx, p)
+	deg := 0
+	if ev.maxR > 0 {
+		ev.buf = ev.grid.Within(p, ev.maxR, ev.buf[:0])
+		for _, u := range ev.buf {
+			if u != idx && ev.radii[u] > 0 && geom.InDisk(ev.pts[u], ev.radii[u], p) {
+				deg++
+			}
+		}
+	}
+	if deg != ev.iv[idx] {
+		ev.bump(idx, deg-ev.iv[idx])
+	}
+	ev.SetRadius(idx, r)
+}
+
 // Reset returns the evaluator to the all-zero assignment without
 // reallocating, discarding any active snapshots.
 func (ev *Evaluator) Reset() {

@@ -16,4 +16,6 @@ var (
 		"Dynamic point insertions into the evaluator.")
 	obsRemovePoints = obs.Default().Counter("rim_core_remove_points_total",
 		"Dynamic point removals from the evaluator.")
+	obsMovePoints = obs.Default().Counter("rim_core_move_points_total",
+		"Dynamic in-place point relocations in the evaluator.")
 )

@@ -32,7 +32,9 @@ package dynamic
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -54,10 +56,13 @@ type Engine interface {
 	Grid() *geom.Grid
 	Max() int
 	SumI() int
+	Radius(u int) float64
+	I(v int) int
 	SetRadius(u int, r float64) float64
 	GrowTo(u int, r float64) float64
 	AddPoint(p geom.Point) int
 	RemovePoint(idx int)
+	MovePoint(idx int, p geom.Point)
 	BatchSet(radii []float64, workers int)
 	ExportState(dst *core.State) *core.State
 }
@@ -77,6 +82,7 @@ const (
 	EventSetRadius
 	EventAnneal
 	EventRebuild
+	EventMove
 )
 
 // String names the kind for traces and logs.
@@ -92,6 +98,8 @@ func (k EventKind) String() string {
 		return "anneal"
 	case EventRebuild:
 		return "rebuild"
+	case EventMove:
+		return "move"
 	}
 	return "unknown"
 }
@@ -118,12 +126,31 @@ type Maintainer struct {
 	// metrics and trace recording here.
 	OnEvent func(Event)
 
+	// OnTouch, when non-nil, is called synchronously for every radius the
+	// maintainer changes through the engine — the newcomer's answer
+	// radius and its neighbor's growth on Insert, the neighbor shrinks
+	// and the vanished disk on Remove, repair-edge growth, and expert
+	// SetRadius overrides. Each call reports the node's position and the
+	// larger of its old and new radius: the disk within which any other
+	// node's received interference may have changed. Anneal and full
+	// rebuilds do NOT report touches — consumers must treat the
+	// EventAnneal/EventRebuild notifications as "everything dirty". The
+	// serving layer accumulates these into its per-batch dirty summary.
+	OnTouch func(at geom.Point, r float64)
+
 	factory  EngineFactory
 	eng      Engine
 	topo     *graph.Graph
 	baseline int // I(G') right after the last rebuild
 	rebuilds int
 	events   int
+
+	// Batch deferral (BeginBatch/EndBatch): while deferring, connectivity
+	// repair and drift control are postponed and latched here, so a batch
+	// of k operations pays for one connectivity pass instead of k.
+	deferring  bool
+	needRepair bool
+	needCheck  bool
 }
 
 // New starts a maintainer over the initial instance, built with the
@@ -255,6 +282,15 @@ func (m *Maintainer) fire(ev Event) {
 	}
 }
 
+// touch reports a changed coverage disk to OnTouch. r is the larger of
+// the node's old and new radius, so the disk over-approximates every
+// receiver whose interference the change can have altered.
+func (m *Maintainer) touch(at geom.Point, r float64) {
+	if m.OnTouch != nil {
+		m.OnTouch(at, r)
+	}
+}
+
 // Insert adds a node and returns its index. The newcomer links to its
 // nearest in-range neighbor (if any); out-of-range newcomers start a new
 // component, which is correct — the UDG is disconnected there too.
@@ -275,8 +311,12 @@ func (m *Maintainer) Insert(p geom.Point) int {
 	if best, bestD := m.eng.Grid().Nearest(idx); best >= 0 && bestD <= udg.Radius*(1+1e-9) {
 		m.topo.AddEdge(idx, best, bestD)
 		m.eng.SetRadius(idx, bestD)
-		m.eng.GrowTo(best, bestD)
+		old := m.eng.GrowTo(best, bestD)
+		m.touch(m.points()[best], math.Max(old, bestD))
 	}
+	// The newcomer's own disk (radius 0 when no neighbor answered —
+	// still a disk: coincident nodes are covered at distance zero).
+	m.touch(p, m.eng.Radius(idx))
 	m.fire(Event{Kind: EventInsert, Index: idx, Max: m.eng.Max()})
 	m.maybeRebuild()
 	return idx
@@ -294,6 +334,8 @@ func (m *Maintainer) Remove(idx int) {
 		obsEvents.Inc()
 	}
 	m.events++
+	// The victim's disk vanishes: every receiver it covered is dirty.
+	m.touch(m.points()[idx], m.eng.Radius(idx))
 	// The victim's former neighbors shrink to their remaining farthest
 	// neighbor; each shrink is one annulus update.
 	for _, v := range m.topo.Neighbors(idx) {
@@ -306,7 +348,8 @@ func (m *Maintainer) Remove(idx int) {
 				far = d
 			}
 		}
-		m.eng.SetRadius(v, far)
+		old := m.eng.SetRadius(v, far)
+		m.touch(m.points()[v], math.Max(old, far))
 	}
 	m.eng.RemovePoint(idx)
 	// Rebuild the topology over the surviving nodes with edges remapped.
@@ -347,6 +390,7 @@ func (m *Maintainer) SetRadius(idx int, r float64) float64 {
 	}
 	m.events++
 	old := m.eng.SetRadius(idx, r)
+	m.touch(m.points()[idx], math.Max(old, r))
 	m.fire(Event{Kind: EventSetRadius, Index: idx, Max: m.eng.Max()})
 	return old
 }
@@ -373,38 +417,202 @@ func (m *Maintainer) Anneal(seed int64, iters int) int {
 	return m.eng.Max()
 }
 
+// Move relocates node idx to p, preserving its index — the serving
+// layer's waypoint-churn primitive. Semantically it matches Remove
+// followed by Insert at the new position (old edges drop, former
+// neighbors shrink to their remaining farthest neighbor, the node
+// re-links to its nearest in-range neighbor), but costs only the touched
+// disks: no index shift, no topology copy, and — under BeginBatch — no
+// per-operation connectivity pass.
+func (m *Maintainer) Move(idx int, p geom.Point) {
+	if idx < 0 || idx >= len(m.points()) {
+		panic(fmt.Sprintf("dynamic: move index %d out of range", idx))
+	}
+	sp := obs.Start("dynamic.move")
+	defer sp.End()
+	if obs.On() {
+		obsEvents.Inc()
+	}
+	m.events++
+	// The disk leaves its old position: everyone it covered there is
+	// dirty, capped by the node's former radius.
+	m.touch(m.points()[idx], m.eng.Radius(idx))
+	// Former neighbors shrink exactly as on Remove.
+	nbrs := append([]int(nil), m.topo.Neighbors(idx)...)
+	for _, v := range nbrs {
+		m.topo.RemoveEdge(idx, v)
+	}
+	for _, v := range nbrs {
+		far := 0.0
+		for _, w := range m.topo.Neighbors(v) {
+			if d, ok := m.topo.EdgeWeight(v, w); ok && d > far {
+				far = d
+			}
+		}
+		old := m.eng.SetRadius(v, far)
+		m.touch(m.points()[v], math.Max(old, far))
+	}
+	// Silence before relocating so the engine's move pays only the
+	// receiver-side recount, then re-link like an arrival.
+	m.eng.SetRadius(idx, 0)
+	m.eng.MovePoint(idx, p)
+	if best, bestD := m.eng.Grid().Nearest(idx); best >= 0 && bestD <= udg.Radius*(1+1e-9) {
+		m.topo.AddEdge(idx, best, bestD)
+		m.eng.SetRadius(idx, bestD)
+		old := m.eng.GrowTo(best, bestD)
+		m.touch(m.points()[best], math.Max(old, bestD))
+	}
+	m.touch(p, m.eng.Radius(idx))
+	m.repairConnectivity()
+	m.fire(Event{Kind: EventMove, Index: idx, Max: m.eng.Max()})
+	m.maybeRebuild()
+}
+
+// BeginBatch defers connectivity repair and drift control until the
+// matching EndBatch, so a batch of k mutations pays one UDG-sized
+// connectivity pass instead of k (the passes were the dominant cost of
+// sustained churn: each is O(n) even when the operation itself touches a
+// constant-size neighborhood). Interference bookkeeping stays exact
+// throughout — only reconnection and rebuild decisions are postponed, so
+// mid-batch the maintained topology may transiently disagree with the
+// UDG's component structure. With RebuildFactor <= 1 ("rebuild every
+// event") a deferred batch rebuilds once, at EndBatch. Batches do not
+// nest.
+func (m *Maintainer) BeginBatch() {
+	if m.deferring {
+		panic("dynamic: nested BeginBatch")
+	}
+	m.deferring = true
+}
+
+// EndBatch runs the connectivity repair and drift control deferred since
+// BeginBatch. When the repair ran, the topology's components are known
+// to match the UDG's (repairConnectivity loops until they do), so the
+// drift check skips the redundant connectivity probe and tests only the
+// interference bound.
+func (m *Maintainer) EndBatch() {
+	if !m.deferring {
+		panic("dynamic: EndBatch without BeginBatch")
+	}
+	m.deferring = false
+	repaired := m.needRepair
+	m.needRepair = false
+	if repaired {
+		m.repairConnectivity()
+	}
+	if !m.needCheck {
+		return
+	}
+	m.needCheck = false
+	if m.RebuildFactor <= 1 {
+		m.rebuild(m.points())
+		return
+	}
+	if float64(m.eng.Max()) > m.RebuildFactor*float64(m.baseline)+1e-9 ||
+		(!repaired && !m.connectivityOK()) {
+		m.rebuild(m.points())
+	}
+}
+
 // repairConnectivity reconnects topology components that the UDG still
 // joins, using the shortest available crossing edge per component pair
 // (iterated until the component structures agree). Every repair edge
 // grows its endpoints' radii through the evaluator, keeping the
-// maintained interference exact.
+// maintained interference exact. Under BeginBatch the repair is latched
+// for EndBatch instead of running.
 func (m *Maintainer) repairConnectivity() {
-	base := udg.Build(m.points())
-	for {
-		tl, tk := m.topo.Components()
-		_, bk := base.Components()
-		if tk == bk {
-			// Same number of components; since the topology is a subgraph
-			// of the UDG, equal counts mean equal partitions.
-			return
+	if m.deferring {
+		m.needRepair = true
+		return
+	}
+	tl, tk := m.topo.Components()
+	if tk == 1 {
+		// The topology is a subgraph of the UDG, so a connected topology
+		// already matches the UDG partition — no UDG build needed.
+		return
+	}
+	// Repeatedly joining the globally shortest UDG edge that crosses two
+	// topology components is Kruskal's algorithm restricted to crossing
+	// edges: sort them once and merge with a union-find over the
+	// component labels. The edge set chosen is identical to the iterated
+	// global-minimum greedy (same (W, U, V) tie-break), without the
+	// per-edge O(n + m) relabeling that dominated batch-churn profiles.
+	//
+	// The crossing edges are enumerated without materializing the UDG:
+	// every crossing edge has at least one endpoint outside the largest
+	// topology component (two giant-labeled endpoints cannot cross), so
+	// only fragment nodes need a disk query against the engine's live
+	// grid — under churn that is a few nodes, not n, and building the
+	// full UDG graph here dominated the batch pipeline's CPU.
+	size := make([]int, tk)
+	for _, l := range tl {
+		size[l]++
+	}
+	giant := 0
+	for l, s := range size {
+		if s > size[giant] {
+			giant = l
 		}
-		// Find the shortest UDG edge joining two topology components.
-		var best graph.Edge
-		found := false
-		for _, e := range base.Edges() {
-			if tl[e.U] == tl[e.V] {
+	}
+	pts := m.points()
+	grid := m.eng.Grid()
+	var cross []graph.Edge
+	var buf []int
+	for u, lu := range tl {
+		if lu == giant {
+			continue
+		}
+		buf = grid.Within(pts[u], udg.Radius, buf[:0])
+		for _, v := range buf {
+			if v == u || tl[v] == lu {
 				continue
 			}
-			if !found || e.W < best.W || (e.W == best.W && (e.U < best.U || (e.U == best.U && e.V < best.V))) {
-				best, found = e, true
+			if tl[v] != giant && v < u {
+				continue // fragment–fragment pair: emitted once, at the lower index
 			}
+			a, b := u, v
+			if b < a {
+				a, b = b, a
+			}
+			cross = append(cross, graph.Edge{U: a, V: b, W: pts[u].Dist(pts[v])})
 		}
-		if !found {
-			return // nothing joinable (shouldn't happen when counts differ)
+	}
+	if len(cross) == 0 {
+		return // partitions already agree (UDG is disconnected the same way)
+	}
+	sort.Slice(cross, func(i, j int) bool {
+		a, b := cross[i], cross[j]
+		if a.W != b.W {
+			return a.W < b.W
 		}
-		m.topo.AddEdge(best.U, best.V, best.W)
-		m.eng.GrowTo(best.U, best.W)
-		m.eng.GrowTo(best.V, best.W)
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+	parent := make([]int, tk)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range cross {
+		ru, rv := find(tl[e.U]), find(tl[e.V])
+		if ru == rv {
+			continue
+		}
+		parent[ru] = rv
+		m.topo.AddEdge(e.U, e.V, e.W)
+		oldU := m.eng.GrowTo(e.U, e.W)
+		oldV := m.eng.GrowTo(e.V, e.W)
+		m.touch(m.points()[e.U], math.Max(oldU, e.W))
+		m.touch(m.points()[e.V], math.Max(oldV, e.W))
 		if obs.On() {
 			obsRepairEdges.Inc()
 		}
@@ -412,6 +620,10 @@ func (m *Maintainer) repairConnectivity() {
 }
 
 func (m *Maintainer) maybeRebuild() {
+	if m.deferring {
+		m.needCheck = true
+		return
+	}
 	if m.RebuildFactor <= 1 {
 		m.rebuild(m.points())
 		return

@@ -1,0 +1,119 @@
+package dynamic_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/oracle"
+)
+
+// checkMaintained cross-checks every maintained observable against the
+// naive oracles: exact interference of the maintained topology, radii
+// realizability, and the UDG component partition.
+func checkMaintained(t *testing.T, m *dynamic.Maintainer, step int, what string) {
+	t.Helper()
+	cur := m.Points()
+	topo := m.Topology()
+	if got, want := m.Interference(), oracle.InterferenceOf(cur, topo); got != want {
+		t.Fatalf("step %d (%s, n=%d): maintained I=%d, full recompute %d", step, what, len(cur), got, want)
+	}
+	if err := oracle.Check(cur, topo); err != nil {
+		t.Fatalf("step %d (%s): %v", step, what, err)
+	}
+	wantLabel, wantK := oracle.Components(cur)
+	gotLabel, gotK := topo.Components()
+	if gotK != wantK {
+		t.Fatalf("step %d (%s): maintained topology has %d components, UDG has %d", step, what, gotK, wantK)
+	}
+	for i := range gotLabel {
+		for j := i + 1; j < len(gotLabel); j++ {
+			if (gotLabel[i] == gotLabel[j]) != (wantLabel[i] == wantLabel[j]) {
+				t.Fatalf("step %d (%s): partition differs from UDG at (%d,%d)", step, what, i, j)
+			}
+		}
+	}
+}
+
+// TestMaintainerMoveAgainstOracle drives waypoint-style relocations
+// (mixed with churn) through Maintainer.Move and cross-checks the full
+// maintained state after every event — Move must be indistinguishable
+// from Remove+Insert to every oracle.
+func TestMaintainerMoveAgainstOracle(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		seed   int64
+		factor float64
+	}{
+		{"default-factor", 11, 0},
+		{"lazy-rebuilds", 12, 8},
+		{"rebuild-every-event", 13, 1},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(tc.seed))
+			m := dynamic.New(gen.UniformSquare(rng, 20, 2), tc.factor)
+			for step := 1; step <= 80; step++ {
+				n := len(m.Points())
+				switch roll := rng.Intn(10); {
+				case roll < 6:
+					p := geom.Pt(rng.Float64()*2, rng.Float64()*2)
+					if rng.Intn(8) == 0 {
+						p = p.Add(geom.Pt(10, 10)) // far hop: breaks/forms components
+					}
+					m.Move(rng.Intn(n), p)
+					checkMaintained(t, m, step, "move")
+				case roll < 8:
+					m.Insert(geom.Pt(rng.Float64()*2, rng.Float64()*2))
+					checkMaintained(t, m, step, "insert")
+				default:
+					if n > 4 {
+						m.Remove(rng.Intn(n))
+						checkMaintained(t, m, step, "remove")
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMaintainerBatchDeferral drives the same mixed churn inside
+// BeginBatch/EndBatch windows: mid-batch only the interference
+// bookkeeping must stay exact (connectivity repair is deferred by
+// design); at every EndBatch the whole state must pass the oracles
+// again.
+func TestMaintainerBatchDeferral(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	m := dynamic.New(gen.UniformSquare(rng, 24, 2), 0)
+	for batch := 0; batch < 40; batch++ {
+		m.BeginBatch()
+		for op := 0; op < 6; op++ {
+			n := len(m.Points())
+			switch roll := rng.Intn(10); {
+			case roll < 6:
+				m.Move(rng.Intn(n), geom.Pt(rng.Float64()*2, rng.Float64()*2))
+			case roll < 8:
+				m.Insert(geom.Pt(rng.Float64()*2, rng.Float64()*2))
+			default:
+				if n > 4 {
+					m.Remove(rng.Intn(n))
+				}
+			}
+			// Mid-batch: interference must already be exact for the
+			// maintained radii, even though connectivity repair waits.
+			cur := m.Points()
+			radii := make([]float64, len(cur))
+			for i := range radii {
+				radii[i] = m.Engine().Radius(i)
+			}
+			if got, want := m.Interference(), oracle.Interference(cur, radii).Max(); got != want {
+				t.Fatalf("batch %d op %d: maintained I=%d, recompute %d", batch, op, got, want)
+			}
+		}
+		m.EndBatch()
+		checkMaintained(t, m, batch, "end-batch")
+	}
+}

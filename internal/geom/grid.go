@@ -57,6 +57,25 @@ func (g *Grid) Len() int { return len(g.pts) }
 // Points returns the indexed point slice (shared, not a copy).
 func (g *Grid) Points() []Point { return g.pts }
 
+// clampRange clamps the inclusive cell-coordinate range [lo, hi] into
+// [0, n-1]. A range lying entirely outside the grid projects onto the
+// nearest border line instead of emptying: border cells hold clamped
+// out-of-bounds strays, so a query centered beyond the bounding box must
+// still scan them (the distance test filters false candidates).
+func clampRange(lo, hi, n int) (int, int) {
+	if lo < 0 {
+		lo = 0
+	} else if lo >= n {
+		lo = n - 1
+	}
+	if hi >= n {
+		hi = n - 1
+	} else if hi < 0 {
+		hi = 0
+	}
+	return lo, hi
+}
+
 func (g *Grid) cellOf(p Point) int {
 	cx := int((p.X - g.minX) / g.cell)
 	cy := int((p.Y - g.minY) / g.cell)
@@ -83,22 +102,12 @@ func (g *Grid) Within(c Point, r float64, dst []int) []int {
 		return dst
 	}
 	r2 := r * r * diskGrow
-	cx0 := int(math.Floor((c.X - r - g.minX) / g.cell))
-	cx1 := int(math.Floor((c.X + r - g.minX) / g.cell))
-	cy0 := int(math.Floor((c.Y - r - g.minY) / g.cell))
-	cy1 := int(math.Floor((c.Y + r - g.minY) / g.cell))
-	if cx0 < 0 {
-		cx0 = 0
-	}
-	if cy0 < 0 {
-		cy0 = 0
-	}
-	if cx1 >= g.nx {
-		cx1 = g.nx - 1
-	}
-	if cy1 >= g.ny {
-		cy1 = g.ny - 1
-	}
+	cx0, cx1 := clampRange(
+		int(math.Floor((c.X-r-g.minX)/g.cell)),
+		int(math.Floor((c.X+r-g.minX)/g.cell)), g.nx)
+	cy0, cy1 := clampRange(
+		int(math.Floor((c.Y-r-g.minY)/g.cell)),
+		int(math.Floor((c.Y+r-g.minY)/g.cell)), g.ny)
 	for cy := cy0; cy <= cy1; cy++ {
 		row := cy * g.nx
 		for cx := cx0; cx <= cx1; cx++ {
@@ -129,22 +138,12 @@ func (g *Grid) WithinAnnulus(c Point, lo, hi float64, dst []int) []int {
 	}
 	hi2 := hi * hi * diskGrow
 	lo2 := lo * lo * diskGrow
-	cx0 := int(math.Floor((c.X - hi - g.minX) / g.cell))
-	cx1 := int(math.Floor((c.X + hi - g.minX) / g.cell))
-	cy0 := int(math.Floor((c.Y - hi - g.minY) / g.cell))
-	cy1 := int(math.Floor((c.Y + hi - g.minY) / g.cell))
-	if cx0 < 0 {
-		cx0 = 0
-	}
-	if cy0 < 0 {
-		cy0 = 0
-	}
-	if cx1 >= g.nx {
-		cx1 = g.nx - 1
-	}
-	if cy1 >= g.ny {
-		cy1 = g.ny - 1
-	}
+	cx0, cx1 := clampRange(
+		int(math.Floor((c.X-hi-g.minX)/g.cell)),
+		int(math.Floor((c.X+hi-g.minX)/g.cell)), g.nx)
+	cy0, cy1 := clampRange(
+		int(math.Floor((c.Y-hi-g.minY)/g.cell)),
+		int(math.Floor((c.Y+hi-g.minY)/g.cell)), g.ny)
 	for cy := cy0; cy <= cy1; cy++ {
 		row := cy * g.nx
 		// Rectangle bounds of this cell row on the y axis.
@@ -246,6 +245,33 @@ func (g *Grid) Add(p Point) int {
 	return idx
 }
 
+// Move relocates the point at index idx in place: same index, new
+// position. Destinations outside the construction bounding box clamp
+// into border cells exactly as Add does. Cost is one bucket scan of the
+// old cell — there is no index shift, which is what makes it the right
+// primitive under sustained waypoint churn (Remove+Add would pay O(n)
+// per relocation).
+func (g *Grid) Move(idx int, p Point) {
+	if p.X < g.minX || p.X > g.minX+float64(g.nx)*g.cell ||
+		p.Y < g.minY || p.Y > g.minY+float64(g.ny)*g.cell {
+		g.strays = true
+	}
+	oldC := g.cellOf(g.pts[idx])
+	g.pts[idx] = p
+	newC := g.cellOf(p)
+	if newC == oldC {
+		return
+	}
+	list := g.cells[oldC]
+	for i, v := range list {
+		if int(v) == idx {
+			g.cells[oldC] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	g.cells[newC] = append(g.cells[newC], int32(idx))
+}
+
 // Remove deletes the point at index idx from the indexed set. Indices
 // above idx shift down by one, matching slice semantics. Cost is O(n):
 // every stored index above idx is decremented.
@@ -276,22 +302,12 @@ func (g *Grid) CountWithin(c Point, r float64) int {
 		return 0
 	}
 	r2 := r * r * diskGrow
-	cx0 := int(math.Floor((c.X - r - g.minX) / g.cell))
-	cx1 := int(math.Floor((c.X + r - g.minX) / g.cell))
-	cy0 := int(math.Floor((c.Y - r - g.minY) / g.cell))
-	cy1 := int(math.Floor((c.Y + r - g.minY) / g.cell))
-	if cx0 < 0 {
-		cx0 = 0
-	}
-	if cy0 < 0 {
-		cy0 = 0
-	}
-	if cx1 >= g.nx {
-		cx1 = g.nx - 1
-	}
-	if cy1 >= g.ny {
-		cy1 = g.ny - 1
-	}
+	cx0, cx1 := clampRange(
+		int(math.Floor((c.X-r-g.minX)/g.cell)),
+		int(math.Floor((c.X+r-g.minX)/g.cell)), g.nx)
+	cy0, cy1 := clampRange(
+		int(math.Floor((c.Y-r-g.minY)/g.cell)),
+		int(math.Floor((c.Y+r-g.minY)/g.cell)), g.ny)
 	n := 0
 	for cy := cy0; cy <= cy1; cy++ {
 		row := cy * g.nx

@@ -99,6 +99,46 @@ func (g *Graph) AddEdge(u, v int, w float64) bool {
 	return true
 }
 
+// RemoveEdge deletes the undirected edge {u, v}, reporting whether it
+// was present. The edge list compacts with a swap-remove, so Edges
+// order is not stable across removals. Cost is O(deg(u) + deg(v)).
+func (g *Graph) RemoveEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	if u > v {
+		u, v = v, u
+	}
+	key := [2]int{u, v}
+	i, ok := g.edgeSet[key]
+	if !ok {
+		return false
+	}
+	delete(g.edgeSet, key)
+	last := len(g.edges) - 1
+	if i != last {
+		moved := g.edges[last]
+		g.edges[i] = moved
+		g.edgeSet[[2]int{moved.U, moved.V}] = i
+	}
+	g.edges = g.edges[:last]
+	g.dropAdj(u, v)
+	g.dropAdj(v, u)
+	return true
+}
+
+// dropAdj removes v from u's adjacency list (swap-remove).
+func (g *Graph) dropAdj(u, v int) {
+	a := g.adj[u]
+	for i, w := range a {
+		if w == v {
+			a[i] = a[len(a)-1]
+			g.adj[u] = a[:len(a)-1]
+			return
+		}
+	}
+}
+
 // HasEdge reports whether the undirected edge {u, v} is present.
 func (g *Graph) HasEdge(u, v int) bool {
 	if u == v {

@@ -66,6 +66,10 @@ func (m *Model) Positions() []geom.Point {
 	return append([]geom.Point(nil), m.pos...)
 }
 
+// At returns node i's current position without copying the whole
+// position slice — the per-tick read for hot loops driving StepInto.
+func (m *Model) At(i int) geom.Point { return m.pos[i] }
+
 // Step advances the model by dt time units. Nodes that reach their
 // waypoint within the step pause there (consuming the remaining step
 // time) and then pick a new waypoint.
@@ -74,50 +78,75 @@ func (m *Model) Step(dt float64) {
 		panic("mobility: negative time step")
 	}
 	for i := range m.pos {
-		remaining := dt
-		for remaining > 1e-12 {
-			if m.pause[i] > 0 {
-				// Sit out the pause.
-				if m.pause[i] >= remaining {
-					m.pause[i] -= remaining
-					remaining = 0
-					break
-				}
-				remaining -= m.pause[i]
-				m.pause[i] = 0
-				m.pickWaypoint(i)
-			}
-			d := m.pos[i].Dist(m.dest[i])
-			travel := m.speed[i] * remaining
-			if m.speed[i] <= 0 {
-				// Degenerate zero speed: treat the waypoint as reached so
-				// the node re-pauses rather than stalling forever.
-				m.pos[i] = m.dest[i]
-				m.pause[i] = m.pauseT
-				if m.pauseT == 0 {
-					m.pickWaypoint(i)
-					remaining = 0
-				}
-				continue
-			}
-			if travel >= d {
-				// Arrive and start pausing.
-				m.pos[i] = m.dest[i]
-				used := d / m.speed[i]
-				remaining -= used
-				m.pause[i] = m.pauseT
-				if m.pauseT == 0 {
-					m.pickWaypoint(i)
-				}
-				continue
-			}
-			// Move toward the waypoint.
-			frac := travel / d
-			m.pos[i] = geom.Pt(
-				m.pos[i].X+(m.dest[i].X-m.pos[i].X)*frac,
-				m.pos[i].Y+(m.dest[i].Y-m.pos[i].Y)*frac,
-			)
-			remaining = 0
+		m.stepNode(i, dt)
+	}
+}
+
+// StepInto advances the model by dt and appends to buf the index of
+// every node whose position actually changed (paused nodes sit still and
+// are omitted). It allocates nothing beyond buf's growth: pass buf[:0]
+// of a reused slice for a zero-alloc per-tick loop, and read the new
+// positions with At. Positions(), by contrast, copies the whole slice
+// per call — wrong for a hot loop.
+func (m *Model) StepInto(dt float64, buf []int) []int {
+	if dt < 0 {
+		panic("mobility: negative time step")
+	}
+	for i := range m.pos {
+		if m.stepNode(i, dt) {
+			buf = append(buf, i)
 		}
 	}
+	return buf
+}
+
+// stepNode advances one node, reporting whether its position changed.
+func (m *Model) stepNode(i int, dt float64) bool {
+	start := m.pos[i]
+	remaining := dt
+	for remaining > 1e-12 {
+		if m.pause[i] > 0 {
+			// Sit out the pause.
+			if m.pause[i] >= remaining {
+				m.pause[i] -= remaining
+				remaining = 0
+				break
+			}
+			remaining -= m.pause[i]
+			m.pause[i] = 0
+			m.pickWaypoint(i)
+		}
+		d := m.pos[i].Dist(m.dest[i])
+		travel := m.speed[i] * remaining
+		if m.speed[i] <= 0 {
+			// Degenerate zero speed: treat the waypoint as reached so
+			// the node re-pauses rather than stalling forever.
+			m.pos[i] = m.dest[i]
+			m.pause[i] = m.pauseT
+			if m.pauseT == 0 {
+				m.pickWaypoint(i)
+				remaining = 0
+			}
+			continue
+		}
+		if travel >= d {
+			// Arrive and start pausing.
+			m.pos[i] = m.dest[i]
+			used := d / m.speed[i]
+			remaining -= used
+			m.pause[i] = m.pauseT
+			if m.pauseT == 0 {
+				m.pickWaypoint(i)
+			}
+			continue
+		}
+		// Move toward the waypoint.
+		frac := travel / d
+		m.pos[i] = geom.Pt(
+			m.pos[i].X+(m.dest[i].X-m.pos[i].X)*frac,
+			m.pos[i].Y+(m.dest[i].Y-m.pos[i].Y)*frac,
+		)
+		remaining = 0
+	}
+	return m.pos[i] != start
 }

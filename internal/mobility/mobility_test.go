@@ -97,6 +97,70 @@ func TestZeroSpeedDoesNotHang(t *testing.T) {
 	}
 }
 
+// TestStepIntoMatchesStep drives two identically-seeded models, one with
+// Step and one with StepInto, and checks that positions stay identical
+// and that the moved list is exactly the set of nodes whose position
+// changed.
+func TestStepIntoMatchesStep(t *testing.T) {
+	a := NewWaypoint(rand.New(rand.NewSource(7)), 64, 100, 100, 0.5, 2.0, 0.3)
+	b := NewWaypoint(rand.New(rand.NewSource(7)), 64, 100, 100, 0.5, 2.0, 0.3)
+
+	buf := make([]int, 0, a.N())
+	for step := 0; step < 500; step++ {
+		before := b.Positions()
+		a.Step(0.1)
+		buf = b.StepInto(0.1, buf[:0])
+
+		movedSet := make(map[int]bool, len(buf))
+		for _, i := range buf {
+			movedSet[i] = true
+		}
+		for i := 0; i < a.N(); i++ {
+			if a.At(i) != b.At(i) {
+				t.Fatalf("step %d: node %d diverged: Step=%v StepInto=%v", step, i, a.At(i), b.At(i))
+			}
+			changed := b.At(i) != before[i]
+			if changed != movedSet[i] {
+				t.Fatalf("step %d: node %d changed=%v but moved-listed=%v", step, i, changed, movedSet[i])
+			}
+		}
+	}
+}
+
+// TestStepIntoPausedNodesOmitted checks that nodes sitting out a pause
+// are not reported as moved.
+func TestStepIntoPausedNodesOmitted(t *testing.T) {
+	m := NewWaypoint(rand.New(rand.NewSource(11)), 20, 2, 2, 5, 10, 1e9)
+	m.Step(10) // everyone arrives and freezes under the huge pause
+	for step := 0; step < 20; step++ {
+		if got := m.StepInto(1.0, nil); len(got) != 0 {
+			t.Fatalf("step %d: paused nodes reported moved: %v", step, got)
+		}
+	}
+}
+
+// TestStepIntoAllocs pins the per-tick hot loop at zero allocations
+// when the caller reuses the buffer.
+func TestStepIntoAllocs(t *testing.T) {
+	m := NewWaypoint(rand.New(rand.NewSource(3)), 256, 100, 100, 0.5, 2.0, 0.2)
+	buf := make([]int, 0, m.N())
+	if avg := testing.AllocsPerRun(100, func() {
+		buf = m.StepInto(0.05, buf[:0])
+	}); avg != 0 {
+		t.Fatalf("StepInto allocates %v per step; want 0", avg)
+	}
+}
+
+func BenchmarkMobilityStep(b *testing.B) {
+	m := NewWaypoint(rand.New(rand.NewSource(9)), 4096, 1000, 1000, 0.5, 2.0, 0.2)
+	buf := make([]int, 0, m.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = m.StepInto(0.05, buf[:0])
+	}
+}
+
 func TestInvalidParamsPanic(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	cases := []func(){

@@ -76,6 +76,37 @@ func (h *Histogram) Observe(x float64) {
 // Count returns the number of samples observed.
 func (h *Histogram) Count() int64 { return h.n.Load() }
 
+// Quantile returns a conservative (upper-bound) estimate of the q-th
+// quantile: the upper bound of the first bucket at which the cumulative
+// count reaches ⌈q·n⌉. With no samples it returns 0; samples landing in
+// the +Inf overflow bucket report the last finite bound, the tightest
+// statement the histogram can make. A concurrent Observe may skew the
+// estimate by one sample — fine for the monitoring and test assertions
+// this serves.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.n.Load()
+	if n == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return b
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Sum returns the sum of all observed samples.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 

@@ -1,0 +1,32 @@
+package obs
+
+import "testing"
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1, 2, 4, 8)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 10 samples ≤1, 80 in (1,2], 10 in (4,8].
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 80; i++ {
+		h.Observe(1.5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.05, 1}, {0.1, 1}, {0.11, 2}, {0.5, 2}, {0.9, 2}, {0.91, 8}, {1, 8},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	h.Observe(100) // overflow bucket
+	if got := h.Quantile(1); got != 8 {
+		t.Errorf("overflow quantile = %v, want last finite bound 8", got)
+	}
+}

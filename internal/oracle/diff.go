@@ -73,6 +73,13 @@ func (d *DiffEvaluator) Max() int { return d.ev.Max() }
 // SumI delegates to the engine; Verify covers the underlying vector.
 func (d *DiffEvaluator) SumI() int { return d.ev.SumI() }
 
+// Radius delegates the per-node radius read; Verify checks the radii.
+func (d *DiffEvaluator) Radius(u int) float64 { return d.ev.Radius(u) }
+
+// I delegates the per-node interference read; Verify recomputes the
+// whole vector naively.
+func (d *DiffEvaluator) I(v int) int { return d.ev.I(v) }
+
 // ExportState delegates the engine's copy-on-read snapshot export.
 func (d *DiffEvaluator) ExportState(dst *core.State) *core.State {
 	return d.ev.ExportState(dst)
@@ -112,6 +119,14 @@ func (d *DiffEvaluator) RemovePoint(idx int) {
 	d.ev.RemovePoint(idx)
 	d.pts = append(d.pts[:idx], d.pts[idx+1:]...)
 	d.radii = append(d.radii[:idx], d.radii[idx+1:]...)
+}
+
+// MovePoint mirrors Evaluator.MovePoint: the shadow just rewrites the
+// position, so Verify's naive recount independently checks the engine's
+// incremental relocation bookkeeping.
+func (d *DiffEvaluator) MovePoint(idx int, p geom.Point) {
+	d.ev.MovePoint(idx, p)
+	d.pts[idx] = p
 }
 
 // Reset mirrors Evaluator.Reset.

@@ -1,0 +1,44 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestMovePointAgainstShadow drives a randomized walk of relocations,
+// radius updates, arrivals, and departures through the DiffEvaluator and
+// verifies every engine observable against the naive recount after each
+// step — the correctness gate for the in-place MovePoint path.
+func TestMovePointAgainstShadow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7311))
+	var pts []geom.Point
+	for i := 0; i < 40; i++ {
+		pts = append(pts, geom.Pt(rng.Float64()*6, rng.Float64()*6))
+	}
+	d := NewDiffEvaluator(pts)
+	for i := range pts {
+		d.SetRadius(i, rng.Float64()*2)
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 600; step++ {
+		switch roll := rng.Intn(10); {
+		case roll < 6:
+			d.MovePoint(rng.Intn(d.N()), geom.Pt(rng.Float64()*6, rng.Float64()*6))
+		case roll < 8:
+			d.SetRadius(rng.Intn(d.N()), rng.Float64()*2)
+		case roll < 9:
+			d.AddPoint(geom.Pt(rng.Float64()*6, rng.Float64()*6))
+		default:
+			if d.N() > 8 {
+				d.RemovePoint(rng.Intn(d.N()))
+			}
+		}
+		if err := d.Verify(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}

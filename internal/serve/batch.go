@@ -129,8 +129,9 @@ func (mu Mutation) validate(maxAnnealIters int, maxCoord float64) error {
 // sound because intermediate states inside a batch are unobservable
 // (snapshots publish at batch boundaries only), radius overrides trigger
 // no rebuilds, and the anneal step derives from positions alone. Used
-// only outside deterministic mode, where trace bytes must not depend on
-// batch boundaries.
+// only outside deterministic mode: a deterministic trace must record
+// every op the client enqueued, or replaying it would re-derive
+// different rejections.
 func coalesce(batch []Mutation) []Mutation {
 	lastSet := make(map[int64]int)
 	sets := 0
@@ -159,6 +160,7 @@ func coalesce(batch []Mutation) []Mutation {
 //	rimd-trace v1 n=<n>
 //	p i=<idx> x=<x> y=<y>                   one line per initial node
 //	m seq=<s> <op fields> n=<n> max=<max>   one line per processed op
+//	b seq=<s> k=<k> n=<n> max=<max>         one line per applied batch
 //
 // Applied op fields are, by kind,
 //
@@ -172,6 +174,14 @@ func coalesce(batch []Mutation) []Mutation {
 // "reject <op fields>", so replays stay aligned with the recorded
 // decision sequence. Floats use strconv's shortest round-trip form, which
 // makes the format byte-stable under parse/format cycles.
+//
+// The b line closes the batch formed by the k preceding m lines and
+// records the post-batch state — after the maintainer's deferred
+// connectivity repair and rebuild-drift check have run, which the per-op
+// lines cannot see. Because of that deferral the final state depends on
+// where the boundaries fall, so an exact replay must reproduce them:
+// ParseTraceBatches recovers the groups and Session.ApplyBatch pins
+// each one to a single pipeline batch.
 
 func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
 
@@ -247,6 +257,49 @@ var ErrTruncated = errors.New("serve: trace truncated (no final newline)")
 // id=3" cut from "...id=31 x=2 y=7"). ParseTrace refuses to guess — it
 // parses the complete lines and returns them with ErrTruncated.
 func ParseTrace(text string) (pts []geom.Point, ops []Mutation, err error) {
+	pts, ops, _, err = parseTrace(text)
+	return pts, ops, err
+}
+
+// ParseTraceBatches is ParseTrace with the batch structure kept: the
+// mutation sequence comes back split at the recorded b markers, each
+// group being one pipeline batch of the original run. Re-applying the
+// groups through Session.ApplyBatch (one call per group, in order)
+// reproduces the run's deferral points exactly, which is what makes the
+// replay byte-identical to the recording. Ops after the final marker — a
+// batch still in flight when the trace was captured — form a last
+// unterminated group. Each marker's k count is validated against its
+// group, so a trace whose ring buffer evicted lines (mid-stream cut) is
+// rejected rather than replayed misaligned.
+func ParseTraceBatches(text string) (pts []geom.Point, batches [][]Mutation, err error) {
+	pts, ops, marks, err := parseTrace(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	prev := 0
+	for _, mk := range marks {
+		if mk.end-prev != mk.k {
+			return nil, nil, fmt.Errorf("serve: batch marker seq=%d claims k=%d but %d ops precede it",
+				mk.seq, mk.k, mk.end-prev)
+		}
+		batches = append(batches, ops[prev:mk.end])
+		prev = mk.end
+	}
+	if prev < len(ops) {
+		batches = append(batches, ops[prev:])
+	}
+	return pts, batches, nil
+}
+
+// batchMark is a parsed b line: the op index it closes at, plus its
+// recorded fields for validation.
+type batchMark struct {
+	end int
+	seq uint64
+	k   int
+}
+
+func parseTrace(text string) (pts []geom.Point, ops []Mutation, marks []batchMark, err error) {
 	var truncated string
 	if n := len(text); n > 0 && text[n-1] != '\n' {
 		i := strings.LastIndexByte(text, '\n')
@@ -256,9 +309,9 @@ func ParseTrace(text string) (pts []geom.Point, ops []Mutation, err error) {
 	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
 	if len(lines) == 0 || !strings.HasPrefix(lines[0], "rimd-trace v1 ") {
 		if truncated != "" {
-			return nil, nil, fmt.Errorf("serve: header line %q cut short: %w", truncated, ErrTruncated)
+			return nil, nil, nil, fmt.Errorf("serve: header line %q cut short: %w", truncated, ErrTruncated)
 		}
-		return nil, nil, fmt.Errorf("serve: not a rimd-trace v1 header: %q", first(lines))
+		return nil, nil, nil, fmt.Errorf("serve: not a rimd-trace v1 header: %q", first(lines))
 	}
 	for no, line := range lines[1:] {
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -267,7 +320,7 @@ func ParseTrace(text string) (pts []geom.Point, ops []Mutation, err error) {
 		fields := strings.Fields(line)
 		kv, verb, rejected, perr := parseFields(fields)
 		if perr != nil {
-			return nil, nil, fmt.Errorf("serve: trace line %d: %w", no+2, perr)
+			return nil, nil, nil, fmt.Errorf("serve: trace line %d: %w", no+2, perr)
 		}
 		switch {
 		case fields[0] == "p":
@@ -275,17 +328,19 @@ func ParseTrace(text string) (pts []geom.Point, ops []Mutation, err error) {
 		case fields[0] == "m":
 			mu, merr := opFromTrace(verb, kv, rejected)
 			if merr != nil {
-				return nil, nil, fmt.Errorf("serve: trace line %d: %w", no+2, merr)
+				return nil, nil, nil, fmt.Errorf("serve: trace line %d: %w", no+2, merr)
 			}
 			ops = append(ops, mu)
+		case fields[0] == "b":
+			marks = append(marks, batchMark{end: len(ops), seq: uint64(kv["seq"]), k: int(kv["k"])})
 		default:
-			return nil, nil, fmt.Errorf("serve: trace line %d: unknown record %q", no+2, fields[0])
+			return nil, nil, nil, fmt.Errorf("serve: trace line %d: unknown record %q", no+2, fields[0])
 		}
 	}
 	if truncated != "" {
-		return pts, ops, fmt.Errorf("serve: final line %q cut short: %w", truncated, ErrTruncated)
+		return pts, ops, marks, fmt.Errorf("serve: final line %q cut short: %w", truncated, ErrTruncated)
 	}
-	return pts, ops, nil
+	return pts, ops, marks, nil
 }
 
 func first(lines []string) string {

@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// deltaCapture is one AfterBatchDelta invocation, deep-copied (the hook
+// argument is only valid during the call).
+type deltaCapture struct {
+	seq     uint64
+	full    bool
+	added   []NodeChange
+	removed []NodeChange
+	moved   []NodeChange
+	radius  []RadiusChange
+	disks   []Disk
+	ids     []int64
+	st      *core.State
+}
+
+// nodeView is the naive per-node view a snapshot diff compares.
+type nodeView struct {
+	pos geom.Point
+	r   float64
+	i   int
+}
+
+func captureView(v BatchView) deltaCapture {
+	c := deltaCapture{
+		seq:     v.Seq,
+		full:    v.Delta.Full,
+		added:   append([]NodeChange(nil), v.Delta.Added...),
+		removed: append([]NodeChange(nil), v.Delta.Removed...),
+		moved:   append([]NodeChange(nil), v.Delta.Moved...),
+		radius:  append([]RadiusChange(nil), v.Delta.Radius...),
+		disks:   append([]Disk(nil), v.Delta.Disks...),
+		st:      v.Engine.ExportState(nil),
+	}
+	for i := 0; i < v.Engine.N(); i++ {
+		c.ids = append(c.ids, v.IDOf(i))
+	}
+	return c
+}
+
+func (c *deltaCapture) view() map[int64]nodeView {
+	m := make(map[int64]nodeView, len(c.ids))
+	for i, id := range c.ids {
+		m[id] = nodeView{pos: c.st.Points[i], r: c.st.Radii[i], i: c.st.I[i]}
+	}
+	return m
+}
+
+// coveredByDisk reports whether p lies inside any reported dirty disk.
+func coveredByDisk(p geom.Point, disks []Disk) bool {
+	const eps = 1e-9
+	for _, d := range disks {
+		if p.Dist(geom.Pt(d.X, d.Y)) <= d.R+eps {
+			return true
+		}
+	}
+	return false
+}
+
+// TestBatchDeltaMatchesSnapshotDiff is the satellite regression test: the
+// per-batch dirty summary must agree with a naive diff of consecutive
+// engine snapshots — presence and position changes exactly, radius and
+// interference changes covered by the listed nodes or the dirty disks.
+func TestBatchDeltaMatchesSnapshotDiff(t *testing.T) {
+	var mu sync.Mutex
+	var caps []deltaCapture
+	m := NewManager(Config{
+		Shards: 1,
+		AfterBatchDelta: func(v BatchView) {
+			c := captureView(v)
+			mu.Lock()
+			caps = append(caps, c)
+			mu.Unlock()
+		},
+	})
+	defer m.Close(nil)
+
+	rng := rand.New(rand.NewSource(42))
+	var pts []geom.Point
+	for i := 0; i < 48; i++ {
+		pts = append(pts, geom.Pt(rng.Float64()*8, rng.Float64()*8))
+	}
+	s, err := m.CreateSession("delta", pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make([]int64, len(pts))
+	for i := range live {
+		live[i] = int64(i)
+	}
+
+	for round := 0; round < 120; round++ {
+		var batch []Mutation
+		n := 1 + rng.Intn(8)
+		for k := 0; k < n && len(live) > 4; k++ {
+			switch roll := rng.Intn(10); {
+			case roll < 3:
+				batch = append(batch, Add(rng.Float64()*8, rng.Float64()*8))
+			case roll < 5:
+				j := rng.Intn(len(live))
+				batch = append(batch, Remove(live[j]))
+				live = append(live[:j], live[j+1:]...)
+			case roll < 8:
+				batch = append(batch, Move(live[rng.Intn(len(live))], rng.Float64()*8, rng.Float64()*8))
+			case roll < 9:
+				batch = append(batch, SetRadius(live[rng.Intn(len(live))], rng.Float64()*1.5))
+			default:
+				batch = append(batch, AnnealStep(50, int64(round)))
+			}
+		}
+		ids, err := s.Apply(batch...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, ids...)
+		if err := s.Flush(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(caps) < 10 {
+		t.Fatalf("captured only %d batches", len(caps))
+	}
+
+	// The pre-history baseline: creation-time state.
+	prev := make(map[int64]nodeView)
+	{
+		// Recreate the creation-time view through a second, mutation-free
+		// session over the same points: same engine construction, same
+		// greedy radii.
+		m2 := NewManager(Config{Shards: 1})
+		defer m2.Close(nil)
+		s2, err := m2.CreateSession("baseline", pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ns := range s2.Snapshot().Nodes {
+			prev[ns.ID] = nodeView{pos: geom.Pt(ns.X, ns.Y), r: ns.R, i: ns.I}
+		}
+	}
+
+	checked := 0
+	for ci := range caps {
+		c := &caps[ci]
+		cur := c.view()
+		if c.full {
+			prev = cur
+			continue
+		}
+		addedNet := map[int64]bool{}
+		for _, a := range c.added {
+			addedNet[a.ID] = true
+		}
+		removedNet := map[int64]bool{}
+		for _, r := range c.removed {
+			if addedNet[r.ID] {
+				delete(addedNet, r.ID) // added and removed within the batch
+				continue
+			}
+			removedNet[r.ID] = true
+		}
+		// A node moved twice in one batch yields chained Moved entries;
+		// fold them so Old stays the first entry's origin and X/Y the
+		// last entry's destination.
+		movedBy := map[int64]NodeChange{}
+		for _, mv := range c.moved {
+			if prev, ok := movedBy[mv.ID]; ok {
+				prev.X, prev.Y = mv.X, mv.Y
+				movedBy[mv.ID] = prev
+			} else {
+				movedBy[mv.ID] = mv
+			}
+		}
+		radiusListed := map[int64]bool{}
+		for _, rc := range c.radius {
+			radiusListed[rc.ID] = true
+		}
+
+		// Presence: exact.
+		for id := range prev {
+			_, still := cur[id]
+			if !still && !removedNet[id] {
+				t.Fatalf("batch seq=%d: node %d disappeared but is not in Removed", c.seq, id)
+			}
+			if still && removedNet[id] {
+				t.Fatalf("batch seq=%d: node %d listed Removed but still present", c.seq, id)
+			}
+		}
+		for id := range cur {
+			_, was := prev[id]
+			if !was && !addedNet[id] {
+				t.Fatalf("batch seq=%d: node %d appeared but is not in Added", c.seq, id)
+			}
+			if was && addedNet[id] {
+				t.Fatalf("batch seq=%d: node %d listed Added but pre-existing", c.seq, id)
+			}
+		}
+
+		// Positions: exact, endpoints included.
+		for id, pv := range prev {
+			cv, still := cur[id]
+			if !still {
+				continue
+			}
+			mv, listed := movedBy[id]
+			if pv.pos != cv.pos {
+				if !listed {
+					t.Fatalf("batch seq=%d: node %d moved %v -> %v but is not in Moved", c.seq, id, pv.pos, cv.pos)
+				}
+				if geom.Pt(mv.OldX, mv.OldY) != pv.pos || geom.Pt(mv.X, mv.Y) != cv.pos {
+					t.Fatalf("batch seq=%d: node %d Moved endpoints (%v,%v)->(%v,%v) disagree with snapshots %v -> %v",
+						c.seq, id, mv.OldX, mv.OldY, mv.X, mv.Y, pv.pos, cv.pos)
+				}
+			} else if listed && geom.Pt(mv.X, mv.Y) != geom.Pt(mv.OldX, mv.OldY) {
+				t.Fatalf("batch seq=%d: node %d listed Moved but its position is unchanged", c.seq, id)
+			}
+
+			// Radius: listed, moved (re-inserted), or disk-covered.
+			if pv.r != cv.r {
+				if !radiusListed[id] && !listed && !coveredByDisk(cv.pos, c.disks) {
+					t.Fatalf("batch seq=%d: node %d radius %v -> %v not listed and not disk-covered",
+						c.seq, id, pv.r, cv.r)
+				}
+				checked++
+			}
+			// Interference: moved, or disk-covered.
+			if pv.i != cv.i {
+				if !listed && !coveredByDisk(cv.pos, c.disks) {
+					t.Fatalf("batch seq=%d: node %d interference %d -> %d but node neither moved nor disk-covered",
+						c.seq, id, pv.i, cv.i)
+				}
+				checked++
+			}
+		}
+		prev = cur
+	}
+	if checked == 0 {
+		t.Fatal("the trace never exercised a radius or interference change; weak test")
+	}
+}

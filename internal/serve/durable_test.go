@@ -60,15 +60,28 @@ func TestParseTraceTruncated(t *testing.T) {
 	// Cutting anywhere inside the final line must surface ErrTruncated and
 	// return only the complete-line prefix — including the nasty case
 	// where the cut leaves a prefix that parses as a complete, different
-	// record ("... id=31 ..." cut to "... id=3").
+	// record ("... id=31 ..." cut to "... id=3"). The final line is the
+	// batch marker; cutting inside it keeps all three ops.
 	last := strings.LastIndex(strings.TrimRight(full, "\n"), "\n") + 1
 	for cut := last + 1; cut < len(full); cut++ {
 		pts2, ops2, terr := serve.ParseTrace(full[:cut])
 		if !errors.Is(terr, serve.ErrTruncated) {
 			t.Fatalf("cut at %d: err=%v, want ErrTruncated", cut, terr)
 		}
+		if len(pts2) != 4 || len(ops2) != 3 {
+			t.Fatalf("cut at %d: pts=%d ops=%d, want the 3-op complete prefix", cut, len(pts2), len(ops2))
+		}
+	}
+	// Cutting inside the last op line instead drops that op.
+	noMark := full[:last]
+	opLast := strings.LastIndex(strings.TrimRight(noMark, "\n"), "\n") + 1
+	for cut := opLast + 1; cut < len(noMark); cut++ {
+		pts2, ops2, terr := serve.ParseTrace(noMark[:cut])
+		if !errors.Is(terr, serve.ErrTruncated) {
+			t.Fatalf("op cut at %d: err=%v, want ErrTruncated", cut, terr)
+		}
 		if len(pts2) != 4 || len(ops2) != 2 {
-			t.Fatalf("cut at %d: pts=%d ops=%d, want the 2-op complete prefix", cut, len(pts2), len(ops2))
+			t.Fatalf("op cut at %d: pts=%d ops=%d, want the 2-op complete prefix", cut, len(pts2), len(ops2))
 		}
 	}
 

@@ -186,7 +186,7 @@ func (m *Manager) Recover(verify bool) (RecoveryStats, error) {
 				return rs, fmt.Errorf("serve: recover %q: batch seq=%d does not extend prefix at %d by %d",
 					id, rec.Seq, s.seqFloor(), len(muts))
 			}
-			if _, aerr := s.apply(muts); aerr != nil {
+			if _, aerr := s.applyPinned(muts); aerr != nil {
 				return rs, fmt.Errorf("serve: recover %q: replay batch seq=%d: %w", id, rec.Seq, aerr)
 			}
 			if ferr := s.Flush(nil); ferr != nil {
@@ -269,11 +269,7 @@ func (m *Manager) restoreSession(id string, st sessState) (*Session, error) {
 		s.header = append(s.header, fmt.Sprintf("# restored from checkpoint at seq=%d; trace is not replayable from zero", st.seq))
 		s.ops = &sim.TraceBuffer{Cap: m.cfg.TraceCap}
 	}
-	mt.OnEvent = func(ev dynamic.Event) {
-		if ev.Kind == dynamic.EventRebuild {
-			m.metrics.Rebuilds.Add(1)
-		}
-	}
+	s.initHooks()
 	s.publish()
 	m.register(id, s)
 	return s, nil

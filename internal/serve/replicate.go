@@ -87,7 +87,11 @@ func (s *Session) applyReplicated(rec store.Record) error {
 			ErrReplGap, s.id, rec.Seq, watermark, len(muts))
 	}
 	for {
-		_, err := s.apply(muts)
+		// Pinned: one leader batch record must become exactly one local
+		// batch — the maintainer's end-of-batch deferral means merged or
+		// split boundaries settle on a different radius assignment than
+		// the leader's.
+		_, err := s.applyPinned(muts)
 		if err == nil {
 			break
 		}

@@ -108,6 +108,13 @@ type Config struct {
 	// oracle's DiffEvaluator and verifies.
 	BeforeBatch func(sessionID string)
 	AfterBatch  func(sessionID string, eng dynamic.Engine)
+	// AfterBatchDelta, when non-nil, makes every session accumulate a
+	// per-batch dirty summary (see BatchDelta) and publish it — with the
+	// post-batch engine and the external-ID translation — after each
+	// applied batch, on the owner goroutine. The subscription matcher
+	// (internal/sub) attaches here. Nil costs nothing: no delta is
+	// accumulated. Runs after AfterBatch.
+	AfterBatchDelta func(BatchView)
 	// Store, when non-nil, write-ahead-logs every applied batch and backs
 	// session checkpoints and boot-time recovery (see internal/store and
 	// durable.go). Nil costs nothing: the logging branch is one flag

@@ -348,6 +348,51 @@ func TestParseTraceRoundTrip(t *testing.T) {
 	if !strings.Contains(text, "reject remove id=7") {
 		t.Fatalf("rejected op not recorded:\n%s", text)
 	}
+	// One Apply call enqueues atomically, so the six ops drained as one
+	// pipeline batch — and the recorded boundary recovers it.
+	_, batches, err := serve.ParseTraceBatches(text)
+	if err != nil {
+		t.Fatalf("ParseTraceBatches: %v", err)
+	}
+	if len(batches) != 1 || len(batches[0]) != 6 {
+		t.Fatalf("recovered %d batches (first %d ops), want 1 batch of 6:\n%s", len(batches), len(batches[0]), text)
+	}
+}
+
+// TestApplyBatchPinsBoundaries checks the batch-boundary fidelity
+// primitive: pinned batches enqueued back-to-back (no flush between, so
+// the drain could otherwise merge them) must each run as one pipeline
+// batch — the trace markers prove where the boundaries fell. This is
+// what replication and WAL recovery lean on to reproduce the leader's
+// deferral points.
+func TestApplyBatchPinsBoundaries(t *testing.T) {
+	m := serve.NewManager(serve.Config{Shards: 1, Deterministic: true})
+	defer m.Close(context.Background())
+	rng := rand.New(rand.NewSource(9))
+	s := mustCreate(t, m, "pin", gen.UniformSquare(rng, 12, 2))
+	sizes := []int{3, 1, 5, 2}
+	for _, k := range sizes {
+		batch := make([]serve.Mutation, k)
+		for i := range batch {
+			batch[i] = serve.Move(int64(rng.Intn(12)), rng.Float64()*2, rng.Float64()*2)
+		}
+		if _, err := s.ApplyBatch(batch); err != nil {
+			t.Fatalf("ApplyBatch: %v", err)
+		}
+	}
+	flush(t, s)
+	_, batches, err := serve.ParseTraceBatches(s.TraceText())
+	if err != nil {
+		t.Fatalf("ParseTraceBatches: %v", err)
+	}
+	if len(batches) != len(sizes) {
+		t.Fatalf("drained as %d batches, want %d pinned", len(batches), len(sizes))
+	}
+	for i, b := range batches {
+		if len(b) != sizes[i] {
+			t.Fatalf("batch %d drained %d ops, want pinned size %d", i, len(b), sizes[i])
+		}
+	}
 }
 
 func TestTraceRingCap(t *testing.T) {
@@ -360,16 +405,22 @@ func TestTraceRingCap(t *testing.T) {
 	flush(t, s)
 	text := s.TraceText()
 	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
-	var mLines int
+	// Op lines share the ring with batch-boundary markers, whose count
+	// depends on how the queue drained — so bound the retained window
+	// instead of asserting an exact split.
+	var mLines, bLines int
 	for _, l := range lines {
-		if strings.HasPrefix(l, "m ") {
+		switch {
+		case strings.HasPrefix(l, "m "):
 			mLines++
+		case strings.HasPrefix(l, "b "):
+			bLines++
 		}
 	}
-	if mLines != 8 {
-		t.Fatalf("retained %d op lines, want ring cap 8:\n%s", mLines, text)
+	if got := mLines + bLines; got > 8 || mLines == 0 {
+		t.Fatalf("retained %d op + %d marker lines, want at most ring cap 8:\n%s", mLines, bLines, text)
 	}
-	if !strings.Contains(text, "# ring cap evicted 12 lines") {
+	if !strings.Contains(text, "# ring cap evicted ") {
 		t.Fatalf("eviction marker missing:\n%s", text)
 	}
 	// The retained suffix is the most recent ops.

@@ -29,6 +29,7 @@ type Session struct {
 	mu        sync.Mutex
 	cond      *sync.Cond  // signaled when the queue fully drains
 	queue     []Mutation
+	bounds    []int // pinned batch sizes (ApplyBatch); runBatch drains one per entry
 	scheduled bool        // in the shard's runq or mid-batch
 	closed    atomic.Bool // set under mu; read lock-free by Closed
 	dropped   bool             // DropSession (vs. manager drain): stop WAL logging
@@ -44,6 +45,8 @@ type Session struct {
 	idxOf   map[int64]int // external ID -> engine index
 	seq     uint64
 	scratch *core.State // reused export buffer; snapshots copy out of it
+	delta   BatchDelta  // per-batch dirty summary (AfterBatchDelta mode)
+	deltaOn bool
 
 	header []string // deterministic mode: instance preamble
 	ops    *sim.TraceBuffer
@@ -83,13 +86,31 @@ func newSession(m *Manager, id string, pts []geom.Point) *Session {
 		s.ops = &sim.TraceBuffer{Cap: m.cfg.TraceCap}
 	}
 	s.mt = dynamic.NewWithEngine(pts, m.cfg.RebuildFactor, m.cfg.Engine)
+	s.initHooks()
+	s.publish()
+	return s
+}
+
+// initHooks wires the maintainer's event and touch callbacks into the
+// session: rebuild metrics, and — when the manager publishes per-batch
+// deltas — dirty-disk accumulation and the rebuild full-dirty escalation.
+// Shared by fresh construction and checkpoint restore.
+func (s *Session) initHooks() {
+	m := s.mgr
 	s.mt.OnEvent = func(ev dynamic.Event) {
 		if ev.Kind == dynamic.EventRebuild {
 			m.metrics.Rebuilds.Add(1)
+			// A drift rebuild replaces the whole radius assignment: the
+			// batch's delta can no longer bound what changed.
+			s.delta.Full = true
 		}
 	}
-	s.publish()
-	return s
+	if m.cfg.AfterBatchDelta != nil {
+		s.deltaOn = true
+		s.mt.OnTouch = func(at geom.Point, r float64) {
+			s.delta.Disks = append(s.delta.Disks, Disk{X: at.X, Y: at.Y, R: r})
+		}
+	}
 }
 
 // ID returns the session's identifier.
@@ -131,10 +152,38 @@ func (s *Session) Apply(muts ...Mutation) ([]int64, error) {
 	return s.apply(muts)
 }
 
+// ApplyBatch enqueues muts to be applied as exactly one pipeline batch:
+// the drain will not merge them with other queued mutations or split
+// them at BatchCap. Batch boundaries are semantically significant — the
+// maintainer defers its connectivity repair and rebuild-drift check to
+// the batch boundary, so the same op sequence batched differently can
+// settle on a different (equally valid) radius assignment. Replaying a
+// recorded run byte-for-byte therefore requires replaying its exact
+// boundaries, and this is the primitive that pins them. Pinned and
+// unpinned applies must not be interleaved on one session: the sizes are
+// matched against the queue head in FIFO order.
+func (s *Session) ApplyBatch(muts []Mutation) ([]int64, error) {
+	if s.mgr.readOnly.Load() {
+		return nil, ErrReadOnly
+	}
+	return s.applyPinned(muts)
+}
+
 // apply is Apply without the read-only gate — recovery replay and the
 // replication apply path (which are the only legal writers on a
 // follower) come through here.
 func (s *Session) apply(muts []Mutation) ([]int64, error) {
+	return s.applyOpts(muts, false)
+}
+
+// applyPinned is ApplyBatch without the read-only gate: a follower's
+// replication apply and recovery's WAL replay re-apply the leader's
+// recorded batches and must land on its exact batch boundaries.
+func (s *Session) applyPinned(muts []Mutation) ([]int64, error) {
+	return s.applyOpts(muts, true)
+}
+
+func (s *Session) applyOpts(muts []Mutation, pinned bool) ([]int64, error) {
 	if len(muts) == 0 {
 		return nil, nil
 	}
@@ -166,6 +215,9 @@ func (s *Session) apply(muts []Mutation) ([]int64, error) {
 		}
 	}
 	s.queue = append(s.queue, muts...)
+	if pinned {
+		s.bounds = append(s.bounds, len(muts))
+	}
 	s.depth.Store(int64(len(s.queue)))
 	sched := !s.scheduled
 	s.scheduled = true
@@ -260,6 +312,7 @@ func (s *Session) rejectQueued() int {
 	s.mu.Lock()
 	n := len(s.queue)
 	s.queue = s.queue[:0]
+	s.bounds = s.bounds[:0]
 	s.depth.Store(0)
 	s.cond.Broadcast()
 	s.mu.Unlock()
@@ -302,6 +355,13 @@ func (s *Session) runBatch() {
 	}
 	s.mu.Lock()
 	n := min(len(s.queue), cfg.BatchCap)
+	if len(s.bounds) > 0 {
+		// Boundary-pinned batch (ApplyBatch): drain exactly the enqueued
+		// size, even past BatchCap — a recorded batch was already capped
+		// by its producer, and splitting it would move the deferral point.
+		n = min(s.bounds[0], len(s.queue))
+		s.bounds = s.bounds[1:]
+	}
 	batch := append([]Mutation(nil), s.queue[:n]...)
 	rest := copy(s.queue, s.queue[n:])
 	s.queue = s.queue[:rest]
@@ -324,9 +384,18 @@ func (s *Session) runBatch() {
 	}
 	sp := obs.Start("serve.batch")
 	t0 := time.Now()
+	if s.deltaOn {
+		s.delta.reset()
+	}
+	// One connectivity repair/drift pass per batch instead of one per
+	// mutation — the passes are O(n) each and dominated sustained-churn
+	// batches before the deferral.
+	s.mt.BeginBatch()
 	for i := range batch {
 		s.applyOne(batch[i])
 	}
+	s.mt.EndBatch()
+	s.traceBatchMark(len(batch))
 	pub := sp.Child("serve.publish")
 	s.publishHead()
 	pub.End()
@@ -336,6 +405,20 @@ func (s *Session) runBatch() {
 	mx.ApplyLatency.Observe(time.Since(t0).Seconds())
 	if cfg.AfterBatch != nil {
 		cfg.AfterBatch(s.id, s.mt.Engine())
+	}
+	if s.deltaOn {
+		// Published even for an empty batch: the consumer may have
+		// pending work (the subscription matcher integrates new
+		// subscriptions at the top of its pass) and returns in O(1) when
+		// it does not.
+		cfg.AfterBatchDelta(BatchView{
+			Session: s.id,
+			Seq:     s.seq,
+			Engine:  s.mt.Engine(),
+			Delta:   &s.delta,
+			IDOf:    s.externalID,
+			IdxOf:   s.indexOf,
+		})
 	}
 	s.serveCheckpoints()
 
@@ -404,32 +487,53 @@ func (s *Session) applyOne(mu Mutation) {
 			return
 		}
 		s.insert(mu.Node, geom.Pt(mu.X, mu.Y))
+		if s.deltaOn {
+			s.delta.Added = append(s.delta.Added, NodeChange{ID: mu.Node, X: mu.X, Y: mu.Y})
+		}
 	case OpRemove:
 		idx, found := s.idxOf[mu.Node]
 		if !found {
 			ok = false
 			return
 		}
+		old := s.mt.Engine().Points()[idx]
 		s.mt.Remove(idx)
 		s.dropID(mu.Node, idx)
+		if s.deltaOn {
+			s.delta.Removed = append(s.delta.Removed, NodeChange{ID: mu.Node, OldX: old.X, OldY: old.Y})
+		}
 	case OpMove:
 		idx, found := s.idxOf[mu.Node]
 		if !found {
 			ok = false
 			return
 		}
-		s.mt.Remove(idx)
-		s.dropID(mu.Node, idx)
-		s.insert(mu.Node, geom.Pt(mu.X, mu.Y))
+		old := s.mt.Engine().Points()[idx]
+		// In-place relocation: the node keeps its engine index, so the
+		// external-ID maps are untouched and the per-move cost is the
+		// touched disks, not an O(n) index shift.
+		s.mt.Move(idx, geom.Pt(mu.X, mu.Y))
+		if s.deltaOn {
+			s.delta.Moved = append(s.delta.Moved, NodeChange{ID: mu.Node, X: mu.X, Y: mu.Y, OldX: old.X, OldY: old.Y})
+		}
 	case OpSetRadius:
 		idx, found := s.idxOf[mu.Node]
 		if !found {
 			ok = false
 			return
 		}
+		var oldR float64
+		if s.deltaOn {
+			oldR = s.mt.Engine().Radius(idx)
+		}
 		s.mt.SetRadius(idx, mu.R)
+		if s.deltaOn {
+			s.delta.Radius = append(s.delta.Radius, RadiusChange{ID: mu.Node, Old: oldR, New: mu.R})
+		}
 	case OpAnneal:
 		s.mt.Anneal(mu.Seed, mu.Iters)
+		// A successful anneal adopts a whole new radius assignment.
+		s.delta.Full = true
 	}
 }
 
@@ -437,6 +541,22 @@ func (s *Session) insert(id int64, p geom.Point) {
 	idx := s.mt.Insert(p)
 	s.idOf = append(s.idOf, id)
 	s.idxOf[id] = idx
+}
+
+// externalID translates an engine index to the stable external node ID.
+// Owner-goroutine only (BatchView.IDOf).
+func (s *Session) externalID(idx int) int64 {
+	if idx < 0 || idx >= len(s.idOf) {
+		return -1
+	}
+	return s.idOf[idx]
+}
+
+// indexOf translates an external node ID to its current engine index.
+// Owner-goroutine only (BatchView.IdxOf).
+func (s *Session) indexOf(id int64) (int, bool) {
+	idx, ok := s.idxOf[id]
+	return idx, ok
 }
 
 // dropID removes id's mapping and shifts the indices above idx down by
@@ -447,6 +567,29 @@ func (s *Session) dropID(id int64, idx int) {
 	for i := idx; i < len(s.idOf); i++ {
 		s.idxOf[s.idOf[i]] = i
 	}
+}
+
+// traceBatchMark records a batch-boundary line in deterministic mode.
+// EndBatch's deferred connectivity repair makes the maintained state
+// depend on where batch boundaries fall, so a replay must reproduce
+// them: ParseTraceBatches splits the op sequence at these markers, and
+// ApplyBatch re-applies each group as one batch. n/max record the
+// post-EndBatch state, which the per-op lines cannot see.
+func (s *Session) traceBatchMark(k int) {
+	if !s.det || k == 0 {
+		return
+	}
+	eng := s.mt.Engine()
+	var sb strings.Builder
+	sb.WriteString("b seq=")
+	sb.WriteString(strconv.FormatUint(s.seq, 10))
+	sb.WriteString(" k=")
+	sb.WriteString(strconv.Itoa(k))
+	sb.WriteString(" n=")
+	sb.WriteString(strconv.Itoa(eng.N()))
+	sb.WriteString(" max=")
+	sb.WriteString(strconv.Itoa(eng.Max()))
+	s.ops.Append(sb.String())
 }
 
 // trace records one processed-op line in deterministic mode.

@@ -148,12 +148,15 @@ func randomMutation(rng *rand.Rand, snap *serve.Snapshot) serve.Mutation {
 }
 
 // replayTrace re-executes a recorded session trace through a fresh
-// single-shard deterministic pipeline and returns the new trace.
+// single-shard deterministic pipeline and returns the new trace. The
+// recorded batch boundaries are replayed exactly (ApplyBatch): the
+// maintainer defers connectivity repair to the batch boundary, so the
+// same ops batched differently would settle on different state.
 func replayTrace(t *testing.T, text string, engine dynamic.EngineFactory, after func(string, dynamic.Engine)) string {
 	t.Helper()
-	pts, ops, err := serve.ParseTrace(text)
+	pts, batches, err := serve.ParseTraceBatches(text)
 	if err != nil {
-		t.Fatalf("ParseTrace: %v", err)
+		t.Fatalf("ParseTraceBatches: %v", err)
 	}
 	mgr := serve.NewManager(serve.Config{
 		Shards: 1, QueueCap: 4096, Deterministic: true,
@@ -161,13 +164,18 @@ func replayTrace(t *testing.T, text string, engine dynamic.EngineFactory, after 
 	})
 	defer mgr.Close(context.Background())
 	s := mustCreate(t, mgr, "stress", pts)
-	for len(ops) > 0 {
-		n := min(len(ops), 1024)
-		if _, err := s.Apply(ops[:n]...); err != nil {
-			t.Fatalf("replay apply: %v", err)
+	for _, b := range batches {
+		for {
+			_, err := s.ApplyBatch(b)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, serve.ErrQueueFull) {
+				t.Fatalf("replay apply: %v", err)
+			}
+			flush(t, s)
 		}
-		flush(t, s)
-		ops = ops[n:]
 	}
+	flush(t, s)
 	return s.TraceText()
 }

@@ -1,0 +1,160 @@
+package sub
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/serve"
+)
+
+// TestSlowConsumerIsolated is the slow-consumer fault drill: one
+// subscriber stops reading entirely while another keeps draining. The
+// stalled consumer must cost bounded memory (its queue cap) and zero
+// delivery fidelity for everyone else, the mutation pipeline must not
+// feel it at all, and when it finally resumes it must see a gap-marked,
+// sequence-numbered stream that admits exact loss accounting.
+func TestSlowConsumerIsolated(t *testing.T) {
+	const queueCap = 64
+	hub := NewHub(Config{QueueCap: queueCap})
+	stuck := hub.NewSubscriber()
+	healthy := hub.NewSubscriber()
+
+	m := serve.NewManager(serve.Config{Shards: 1, AfterBatchDelta: hub.AfterBatchDelta})
+	defer m.Close(nil)
+
+	rng := rand.New(rand.NewSource(21))
+	var pts []geom.Point
+	for i := 0; i < 48; i++ {
+		pts = append(pts, geom.Pt(rng.Float64()*4, rng.Float64()*4))
+	}
+	s, err := m.CreateSession("fault", pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A whole-field region plus a max watch: every batch of moves emits
+	// events, so the stuck queue fills fast.
+	for _, sb := range []*Subscriber{stuck, healthy} {
+		if _, err := hub.Subscribe("fault", Predicate{Kind: KindRegion, X: 2, Y: 2, R: 1.5}, sb); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := hub.Subscribe("fault", Predicate{Kind: KindMax}, sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The healthy consumer drains between batches — a reader that keeps
+	// up — while the stuck one reads nothing.
+	var healthyEvents []Event
+	drainHealthy := func() {
+		for {
+			select {
+			case ev := <-healthy.ch:
+				healthyEvents = append(healthyEvents, ev)
+			default:
+				return
+			}
+		}
+	}
+	runBatches := func(n int) {
+		t.Helper()
+		for round := 0; round < n; round++ {
+			var muts []serve.Mutation
+			for k := 0; k < 4; k++ {
+				muts = append(muts, serve.Move(int64(rng.Intn(48)), rng.Float64()*4, rng.Float64()*4))
+			}
+			if _, err := s.Apply(muts...); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Flush(nil); err != nil {
+				t.Fatal(err)
+			}
+			drainHealthy()
+		}
+	}
+
+	// Phase 1: the stuck subscriber reads nothing while 300 batches flow.
+	runBatches(300)
+	if stuck.Drops() == 0 {
+		t.Fatal("stuck subscriber never dropped despite a full queue")
+	}
+	if n := len(stuck.ch); n > queueCap {
+		t.Fatalf("stuck queue holds %d events, cap %d", n, queueCap)
+	}
+
+	// Phase 2: the consumer resumes — drain what is buffered, let more
+	// batches flow, and verify the gap-marked hand-off.
+	var resumed []Event
+	for len(stuck.ch) > 0 {
+		resumed = append(resumed, <-stuck.ch)
+	}
+	runBatches(300)
+	hub.CloseSubscriber(stuck)
+	hub.CloseSubscriber(healthy)
+	for ev := range stuck.Events() {
+		resumed = append(resumed, ev)
+	}
+	for ev := range healthy.Events() {
+		healthyEvents = append(healthyEvents, ev)
+	}
+
+	// Loss is exactly accounted: per-subscription seqs are contiguous
+	// counting drops, and every discontinuity is gap-flagged.
+	perSub := make(map[uint64][]Event)
+	for _, ev := range resumed {
+		perSub[ev.SubID] = append(perSub[ev.SubID], ev)
+	}
+	var lost int64
+	for id, evs := range perSub {
+		prev := uint64(0)
+		for i, ev := range evs {
+			if ev.Seq <= prev {
+				t.Fatalf("sub %d event %d: seq %d after %d", id, i, ev.Seq, prev)
+			}
+			if gap := ev.Seq != prev+1; gap != ev.Gap() {
+				t.Fatalf("sub %d event %d: seq %d after %d but gap flag %v", id, i, ev.Seq, prev, ev.Gap())
+			}
+			lost += int64(ev.Seq - prev - 1)
+			prev = ev.Seq
+		}
+	}
+	if lost == 0 {
+		t.Fatal("resumed stream shows no seq jumps despite drops")
+	}
+	// Events shed after the last delivery are invisible to seq-jump
+	// accounting, so Drops() may exceed the observed jumps — never the
+	// other way around.
+	if drops := stuck.Drops(); lost > drops {
+		t.Fatalf("seq jumps say %d lost, Drops() says %d", lost, drops)
+	}
+
+	// The healthy consumer was untouched: contiguous, gap-free streams.
+	perSub = make(map[uint64][]Event)
+	for _, ev := range healthyEvents {
+		perSub[ev.SubID] = append(perSub[ev.SubID], ev)
+	}
+	if len(perSub) != 2 {
+		t.Fatalf("healthy consumer saw %d subs, want 2", len(perSub))
+	}
+	for id, evs := range perSub {
+		for i, ev := range evs {
+			if ev.Seq != uint64(i+1) || ev.Gap() {
+				t.Fatalf("healthy sub %d event %d: seq %d gap=%v", id, i, ev.Seq, ev.Gap())
+			}
+		}
+	}
+	if healthy.Drops() != 0 {
+		t.Fatalf("healthy subscriber dropped %d events", healthy.Drops())
+	}
+
+	// And the mutation pipeline never waited on the stalled consumer:
+	// with non-blocking delivery the apply-path p99 stays far below any
+	// stall a blocking send would introduce.
+	mx := m.Metrics()
+	if mx.ApplyLatency.Count() == 0 {
+		t.Fatal("no apply latency samples recorded")
+	}
+	if p99 := mx.ApplyLatency.Quantile(0.99); p99 > 0.1 {
+		t.Fatalf("apply p99 %.4fs — mutation path stalled by a slow subscriber", p99)
+	}
+}

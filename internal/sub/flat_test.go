@@ -1,0 +1,225 @@
+package sub
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/serve"
+)
+
+// farPool registers nFar subscriptions that no batch in the active area
+// can ever touch: regions in distant cells, thresholds on node ids that
+// are never allocated. Max subscriptions are deliberately excluded —
+// they are global by nature and re-checked every batch.
+func farPool(t *testing.T, hub *Hub, sb *Subscriber, session string, nFar int) {
+	t.Helper()
+	for i := 0; i < nFar; i++ {
+		var p Predicate
+		if i%2 == 0 {
+			p = Predicate{Kind: KindRegion, X: 1e4 + float64(i)*64, Y: 1e4, R: 5}
+		} else {
+			p = Predicate{Kind: KindThreshold, K: 1, Receiver: int64(1)<<40 + int64(i)}
+		}
+		if _, err := hub.Subscribe(session, p, sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// runFlatTrace drives a fixed, seeded move/radius workload with a few
+// active subscriptions plus nFar untouched ones, returning the number of
+// predicate evaluations the matcher performed after all subscriptions
+// were integrated.
+func runFlatTrace(t *testing.T, nFar int) (checked, events, fulls int64) {
+	t.Helper()
+	hub := NewHub(Config{QueueCap: 1 << 16})
+	sb := hub.NewSubscriber()
+	// A huge RebuildFactor pins the maintainer to incremental repair: a
+	// drift rebuild produces a Full batch, which re-checks every standing
+	// subscription by contract and would mask the incremental cost. The
+	// residual Full batches (UDG component changes force connectivity
+	// rebuilds) are counted so the caller can subtract their by-contract
+	// whole-pool cost.
+	var nFull int64
+	m := serve.NewManager(serve.Config{
+		Shards:        1,
+		RebuildFactor: 1e9,
+		AfterBatchDelta: func(v serve.BatchView) {
+			if v.Delta.Full {
+				nFull++
+			}
+			hub.AfterBatchDelta(v)
+		},
+	})
+	defer m.Close(nil)
+
+	// A dense 4×4 field keeps the UDG connected as nodes move; sparser
+	// fields split into components, and every component change is a
+	// connectivity rebuild — another source of Full batches.
+	rng := rand.New(rand.NewSource(5))
+	var pts []geom.Point
+	for i := 0; i < 48; i++ {
+		pts = append(pts, geom.Pt(rng.Float64()*4, rng.Float64()*4))
+	}
+	s, err := m.CreateSession("flat", pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	active := []Predicate{
+		{Kind: KindThreshold, K: 1, Receiver: 0},
+		{Kind: KindThreshold, K: 2, Receiver: 1},
+		{Kind: KindRegion, X: 1.5, Y: 1.5, R: 1},
+		{Kind: KindRegion, X: 3, Y: 3, R: 1},
+	}
+	for _, p := range active {
+		if _, err := hub.Subscribe("flat", p, sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	farPool(t, hub, sb, "flat", nFar)
+
+	flushBatch := func(muts ...serve.Mutation) {
+		if _, err := s.Apply(muts...); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Flush(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Integrate every subscription (Init events), then measure.
+	flushBatch(serve.Move(0, rng.Float64()*4, rng.Float64()*4))
+	base := hub.Stats()
+	nFull = 0
+
+	// Moves only: anneal batches are Full and re-check every subscription
+	// by contract, and random radius shrinks can disconnect the UDG and
+	// force a (likewise Full) connectivity rebuild — either would mask
+	// the incremental cost this test measures.
+	for round := 0; round < 60; round++ {
+		var muts []serve.Mutation
+		for k := 0; k < 3; k++ {
+			muts = append(muts, serve.Move(int64(rng.Intn(48)), rng.Float64()*4, rng.Float64()*4))
+		}
+		flushBatch(muts...)
+	}
+	st := hub.Stats()
+	hub.CloseSubscriber(sb)
+	return st.Checked - base.Checked, st.Events - base.Events, nFull
+}
+
+// TestMatchingCostFlatInSubscriptions is the incremental-matching
+// contract: growing the pool of untouched subscriptions 10× must not
+// change the number of predicate evaluations an identical workload
+// performs on incremental batches. Full batches (connectivity rebuilds)
+// re-check the whole pool by contract; their exactly-known cost is
+// subtracted before comparing.
+func TestMatchingCostFlatInSubscriptions(t *testing.T) {
+	const nSmall, nLarge = 40, 400
+	smallChecked, smallEvents, smallFulls := runFlatTrace(t, nSmall)
+	largeChecked, largeEvents, largeFulls := runFlatTrace(t, nLarge)
+	if smallChecked == 0 || smallEvents == 0 {
+		t.Fatalf("workload too quiet: checked=%d events=%d", smallChecked, smallEvents)
+	}
+	// The session's behavior is hub-independent, so the two runs see the
+	// same batches, including the same Full ones.
+	if smallFulls != largeFulls {
+		t.Fatalf("runs diverged: %d vs %d Full batches", smallFulls, largeFulls)
+	}
+	smallIncr := smallChecked - smallFulls*(nSmall+4)
+	largeIncr := largeChecked - largeFulls*(nLarge+4)
+	if largeIncr != smallIncr {
+		t.Fatalf("matching cost not flat: %d incremental checks with %d far subs, %d with %d (fulls=%d)",
+			smallIncr, nSmall, largeIncr, nLarge, smallFulls)
+	}
+	if largeEvents != smallEvents {
+		t.Fatalf("event stream changed with far subs: %d vs %d", smallEvents, largeEvents)
+	}
+}
+
+// benchView builds a standalone post-batch view over a live evaluator,
+// bypassing the serve pipeline so the benchmark isolates matcher cost.
+func benchView(ev *core.Evaluator, seq uint64, d *serve.BatchDelta) serve.BatchView {
+	return serve.BatchView{
+		Session: "bench",
+		Seq:     seq,
+		Engine:  ev,
+		Delta:   d,
+		IDOf:    func(idx int) int64 { return int64(idx) },
+		IdxOf: func(id int64) (int, bool) {
+			if id < 0 || id >= int64(ev.N()) {
+				return 0, false
+			}
+			return int(id), true
+		},
+	}
+}
+
+// BenchmarkSubMatch measures one matcher pass over a batch touching a
+// handful of nodes, with the standing-subscription pool as the benchmark
+// dimension: per-batch cost must not scale with it.
+func BenchmarkSubMatch(b *testing.B) {
+	for _, nSubs := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("subs=%d", nSubs), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(11))
+			var pts []geom.Point
+			for i := 0; i < 4096; i++ {
+				pts = append(pts, geom.Pt(rng.Float64()*64, rng.Float64()*64))
+			}
+			ev := core.NewEvaluator(pts)
+			for i := range pts {
+				ev.SetRadius(i, 0.5+rng.Float64())
+			}
+
+			hub := NewHub(Config{QueueCap: 64})
+			sb := hub.NewSubscriber()
+			// A sprinkle of active subscriptions near the dirty nodes, the
+			// rest spread over the full field.
+			for i := 0; i < nSubs; i++ {
+				var p Predicate
+				switch i % 3 {
+				case 0:
+					p = Predicate{Kind: KindThreshold, K: 2, Receiver: int64(rng.Intn(4096))}
+				case 1:
+					p = Predicate{Kind: KindRegion,
+						X: rng.Float64() * 64, Y: rng.Float64() * 64, R: 1 + rng.Float64()*2}
+				default:
+					p = Predicate{Kind: KindThreshold, K: 3, Receiver: int64(rng.Intn(4096))}
+				}
+				if _, err := hub.Subscribe("bench", p, sb); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var empty serve.BatchDelta
+			hub.AfterBatchDelta(benchView(ev, 1, &empty)) // integrate
+			drain := func() {
+				for {
+					select {
+					case <-sb.Events():
+					default:
+						return
+					}
+				}
+			}
+			drain()
+
+			// One batch: 8 moved nodes with their dirty disks.
+			var d serve.BatchDelta
+			for k := 0; k < 8; k++ {
+				idx := rng.Intn(4096)
+				p := pts[idx]
+				d.Moved = append(d.Moved, serve.NodeChange{
+					ID: int64(idx), X: p.X, Y: p.Y, OldX: p.X - 0.3, OldY: p.Y + 0.3})
+				d.Disks = append(d.Disks, serve.Disk{X: p.X, Y: p.Y, R: ev.Radius(idx)})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hub.AfterBatchDelta(benchView(ev, uint64(i+2), &d))
+				drain()
+			}
+		})
+	}
+}

@@ -1,0 +1,424 @@
+package sub
+
+import (
+	"math"
+	"slices"
+
+	"repro/internal/geom"
+	"repro/internal/serve"
+)
+
+// subscription is one standing predicate with its edge-trigger state.
+// All fields past sb are owned by the matcher pass (the session owner
+// goroutine) and the hub's exclusive-lock control plane.
+type subscription struct {
+	id uint64
+	p  Predicate
+	sb *Subscriber
+
+	seq    uint64 // per-subscription event sequence, Init is 1
+	gapped bool   // events were shed since the last delivery
+
+	lastTrue bool               // threshold: last evaluated truth
+	members  map[int64]struct{} // region: current member node ids
+	lastMax  int32              // max: last reported maximum
+
+	cells []cellKey // region: cells this subscription is registered in
+	cand  []int64   // region: per-batch candidate node ids (scratch)
+}
+
+type cellKey struct{ cx, cy int32 }
+
+// maxRegionCells bounds how many index cells one region subscription may
+// register in before it is demoted to the broad list.
+const maxRegionCells = 4096
+
+// matcher holds one session's subscriptions, indexed so a batch pass
+// visits only the predicates its dirty set can affect:
+//
+//   - region subscriptions live in a uniform cell index keyed by their
+//     disk's bounding box; a changed node position probes the single cell
+//     containing it (a disk containing the point always overlaps that
+//     cell);
+//   - threshold subscriptions hang off their receiver's external id, and
+//     dirty receivers are found from the delta's exact lists plus one
+//     engine-grid query per over-approximated dirty disk;
+//   - max subscriptions are global by nature and re-checked (one O(1)
+//     engine read each) on every non-empty batch.
+//
+// Mutating methods are serialized by the hub: control-plane calls hold
+// the hub lock exclusively, and the per-batch run holds it shared but is
+// already serialized per session by the session owner goroutine.
+type matcher struct {
+	session string
+	cell    float64
+
+	subs    map[uint64]*subscription
+	order   []*subscription // id-ascending; ids are monotonic so appends keep order
+	region  map[cellKey][]*subscription
+	broad   []*subscription // region subs too large for the cell index; probed per dirty node
+	byRecv  map[int64][]*subscription
+	maxSubs []*subscription
+	pending []*subscription
+
+	// per-batch scratch, reused
+	dirty     []int64
+	dirtyMark map[int64]struct{}
+	touched   []*subscription
+	idxBuf    []int
+	changeBuf []int64
+}
+
+func newMatcher(session string, cell float64) *matcher {
+	return &matcher{
+		session:   session,
+		cell:      cell,
+		subs:      make(map[uint64]*subscription),
+		region:    make(map[cellKey][]*subscription),
+		byRecv:    make(map[int64][]*subscription),
+		dirtyMark: make(map[int64]struct{}),
+	}
+}
+
+func (m *matcher) empty() bool { return len(m.subs) == 0 && len(m.pending) == 0 }
+
+// all returns every live subscription, active and pending.
+func (m *matcher) all() []*subscription {
+	out := make([]*subscription, 0, len(m.order)+len(m.pending))
+	out = append(out, m.order...)
+	return append(out, m.pending...)
+}
+
+func (m *matcher) cellOf(p geom.Point) cellKey {
+	return cellKey{int32(math.Floor(p.X / m.cell)), int32(math.Floor(p.Y / m.cell))}
+}
+
+// attach indexes a formerly-pending subscription.
+func (m *matcher) attach(s *subscription) {
+	m.subs[s.id] = s
+	m.order = append(m.order, s)
+	switch s.p.Kind {
+	case KindThreshold:
+		m.byRecv[s.p.Receiver] = append(m.byRecv[s.p.Receiver], s)
+	case KindRegion:
+		// A disk spanning more than maxRegionCells index cells goes to
+		// the broad list instead, probed directly for every changed node
+		// position. A few O(1) disk tests per dirty node beat
+		// materializing a quadratic cell fan-out — one R=1e9
+		// subscription would otherwise allocate ~10^16 index entries
+		// before the first batch ran (and overflow the int32 cell keys).
+		if side := 2*s.p.R/m.cell + 1; side*side > maxRegionCells {
+			m.broad = append(m.broad, s)
+			break
+		}
+		c0 := m.cellOf(geom.Pt(s.p.X-s.p.R, s.p.Y-s.p.R))
+		c1 := m.cellOf(geom.Pt(s.p.X+s.p.R, s.p.Y+s.p.R))
+		for cy := c0.cy; cy <= c1.cy; cy++ {
+			for cx := c0.cx; cx <= c1.cx; cx++ {
+				k := cellKey{cx, cy}
+				m.region[k] = append(m.region[k], s)
+				s.cells = append(s.cells, k)
+			}
+		}
+	case KindMax:
+		m.maxSubs = append(m.maxSubs, s)
+	}
+}
+
+func removeSub(list []*subscription, s *subscription) []*subscription {
+	for i, x := range list {
+		if x == s {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// detach removes a subscription from every index, returning it (nil if
+// the id is unknown).
+func (m *matcher) detach(id uint64) *subscription {
+	s := m.subs[id]
+	if s == nil {
+		for _, p := range m.pending {
+			if p.id == id {
+				m.pending = removeSub(m.pending, p)
+				return p
+			}
+		}
+		return nil
+	}
+	delete(m.subs, id)
+	m.order = removeSub(m.order, s)
+	switch s.p.Kind {
+	case KindThreshold:
+		if rest := removeSub(m.byRecv[s.p.Receiver], s); len(rest) > 0 {
+			m.byRecv[s.p.Receiver] = rest
+		} else {
+			delete(m.byRecv, s.p.Receiver)
+		}
+	case KindRegion:
+		if len(s.cells) == 0 {
+			m.broad = removeSub(m.broad, s)
+			break
+		}
+		for _, k := range s.cells {
+			if rest := removeSub(m.region[k], s); len(rest) > 0 {
+				m.region[k] = rest
+			} else {
+				delete(m.region, k)
+			}
+		}
+	case KindMax:
+		m.maxSubs = removeSub(m.maxSubs, s)
+	}
+	return s
+}
+
+// run is one batch pass: incremental (or full) evaluation for active
+// subscriptions, then integration of pending ones against the post-batch
+// state. Per-subscription event order is deterministic — transitions are
+// emitted in ascending node id — so an oracle can replay the batch
+// stream and predict every event exactly.
+func (m *matcher) run(h *Hub, v serve.BatchView) {
+	if v.Delta.Full {
+		m.fullPass(h, v)
+	} else if !v.Delta.Empty() {
+		m.deltaPass(h, v)
+	}
+	if len(m.pending) > 0 {
+		m.integrate(h, v)
+	}
+	h.batches.Inc()
+}
+
+// markRecv records a dirty receiver, once, if anyone watches it.
+func (m *matcher) markRecv(id int64) {
+	if _, watched := m.byRecv[id]; !watched {
+		return
+	}
+	if _, dup := m.dirtyMark[id]; dup {
+		return
+	}
+	m.dirtyMark[id] = struct{}{}
+	m.dirty = append(m.dirty, id)
+}
+
+// candPoint routes a changed node position to the region subscriptions
+// whose cell it lands in.
+func (m *matcher) candPoint(p geom.Point, id int64) {
+	for _, s := range m.region[m.cellOf(p)] {
+		if len(s.cand) == 0 {
+			m.touched = append(m.touched, s)
+		}
+		s.cand = append(s.cand, id)
+	}
+	for _, s := range m.broad {
+		if len(s.cand) == 0 {
+			m.touched = append(m.touched, s)
+		}
+		s.cand = append(s.cand, id)
+	}
+}
+
+func (m *matcher) deltaPass(h *Hub, v serve.BatchView) {
+	d := v.Delta
+	if len(m.region) > 0 || len(m.broad) > 0 {
+		for _, a := range d.Added {
+			m.candPoint(geom.Pt(a.X, a.Y), a.ID)
+		}
+		for _, r := range d.Removed {
+			m.candPoint(geom.Pt(r.OldX, r.OldY), r.ID)
+		}
+		for _, mv := range d.Moved {
+			m.candPoint(geom.Pt(mv.OldX, mv.OldY), mv.ID)
+			m.candPoint(geom.Pt(mv.X, mv.Y), mv.ID)
+		}
+	}
+	if len(m.byRecv) > 0 {
+		for _, a := range d.Added {
+			m.markRecv(a.ID)
+		}
+		for _, r := range d.Removed {
+			m.markRecv(r.ID)
+		}
+		for _, mv := range d.Moved {
+			m.markRecv(mv.ID)
+		}
+		for _, rc := range d.Radius {
+			m.markRecv(rc.ID)
+		}
+		for _, disk := range d.Disks {
+			m.idxBuf = v.Engine.Grid().Within(geom.Pt(disk.X, disk.Y), disk.R, m.idxBuf[:0])
+			for _, idx := range m.idxBuf {
+				m.markRecv(v.IDOf(idx))
+			}
+		}
+	}
+
+	// Thresholds, in ascending receiver id.
+	slices.Sort(m.dirty)
+	for _, id := range m.dirty {
+		idx, ok := v.IdxOf(id)
+		for _, s := range m.byRecv[id] {
+			m.evalThreshold(h, s, v, idx, ok)
+		}
+		delete(m.dirtyMark, id)
+	}
+	m.dirty = m.dirty[:0]
+
+	// Region candidates, deduplicated, evaluated against the FINAL
+	// post-batch state (a node that moved and moved back nets no event),
+	// in ascending node id.
+	pts := v.Engine.Points()
+	center := func(s *subscription) geom.Point { return geom.Pt(s.p.X, s.p.Y) }
+	for _, s := range m.touched {
+		slices.Sort(s.cand)
+		s.cand = slices.Compact(s.cand)
+		for _, id := range s.cand {
+			h.checked.Inc()
+			idx, present := v.IdxOf(id)
+			is := present && geom.InDisk(center(s), s.p.R, pts[idx])
+			_, was := s.members[id]
+			if is == was {
+				continue
+			}
+			fl := uint8(0)
+			if is {
+				s.members[id] = struct{}{}
+				fl = FlagRising
+			} else {
+				delete(s.members, id)
+			}
+			h.emit(s, Event{BatchSeq: v.Seq, Node: id, Flags: fl})
+		}
+		s.cand = s.cand[:0]
+	}
+	m.touched = m.touched[:0]
+
+	m.evalMax(h, v)
+}
+
+// fullPass re-evaluates every subscription after an unbounded batch
+// (anneal, rebuild) in ascending subscription id.
+func (m *matcher) fullPass(h *Hub, v serve.BatchView) {
+	for _, s := range m.order {
+		switch s.p.Kind {
+		case KindThreshold:
+			idx, ok := v.IdxOf(s.p.Receiver)
+			m.evalThreshold(h, s, v, idx, ok)
+		case KindRegion:
+			h.checked.Inc()
+			next := m.regionMembers(v, s)
+			ch := m.changeBuf[:0]
+			for id := range s.members {
+				if _, still := next[id]; !still {
+					ch = append(ch, id)
+				}
+			}
+			for id := range next {
+				if _, was := s.members[id]; !was {
+					ch = append(ch, id)
+				}
+			}
+			slices.Sort(ch)
+			for _, id := range ch {
+				fl := uint8(0)
+				if _, is := next[id]; is {
+					fl = FlagRising
+				}
+				h.emit(s, Event{BatchSeq: v.Seq, Node: id, Flags: fl})
+			}
+			m.changeBuf = ch[:0]
+			s.members = next
+		case KindMax:
+			h.checked.Inc()
+			m.evalMaxOne(h, s, v, int32(v.Engine.Max()))
+		}
+	}
+}
+
+func (m *matcher) evalThreshold(h *Hub, s *subscription, v serve.BatchView, idx int, present bool) {
+	h.checked.Inc()
+	var val int32
+	if present {
+		val = int32(v.Engine.I(idx))
+	}
+	is := present && val >= s.p.K
+	if is == s.lastTrue {
+		return
+	}
+	s.lastTrue = is
+	fl := uint8(0)
+	if is {
+		fl = FlagRising
+	}
+	h.emit(s, Event{BatchSeq: v.Seq, Node: s.p.Receiver, Value: val, Flags: fl})
+}
+
+func (m *matcher) evalMax(h *Hub, v serve.BatchView) {
+	if len(m.maxSubs) == 0 {
+		return
+	}
+	cur := int32(v.Engine.Max())
+	for _, s := range m.maxSubs {
+		h.checked.Inc()
+		m.evalMaxOne(h, s, v, cur)
+	}
+}
+
+func (m *matcher) evalMaxOne(h *Hub, s *subscription, v serve.BatchView, cur int32) {
+	if cur == s.lastMax {
+		return
+	}
+	fl := uint8(0)
+	if cur > s.lastMax {
+		fl = FlagRising
+	}
+	s.lastMax = cur
+	h.emit(s, Event{BatchSeq: v.Seq, Node: -1, Value: cur, Flags: fl})
+}
+
+// regionMembers computes a region subscription's membership from scratch
+// via the engine grid, with geom.InDisk as the boundary arbiter.
+func (m *matcher) regionMembers(v serve.BatchView, s *subscription) map[int64]struct{} {
+	c := geom.Pt(s.p.X, s.p.Y)
+	pts := v.Engine.Points()
+	m.idxBuf = v.Engine.Grid().Within(c, s.p.R, m.idxBuf[:0])
+	set := make(map[int64]struct{}, len(m.idxBuf))
+	for _, idx := range m.idxBuf {
+		if geom.InDisk(c, s.p.R, pts[idx]) {
+			set[v.IDOf(idx)] = struct{}{}
+		}
+	}
+	return set
+}
+
+// integrate activates pending subscriptions against the post-batch state
+// and emits their FlagInit events (Seq 1).
+func (m *matcher) integrate(h *Hub, v serve.BatchView) {
+	for _, s := range m.pending {
+		m.attach(s)
+		h.checked.Inc()
+		switch s.p.Kind {
+		case KindThreshold:
+			var val int32
+			idx, ok := v.IdxOf(s.p.Receiver)
+			if ok {
+				val = int32(v.Engine.I(idx))
+			}
+			s.lastTrue = ok && val >= s.p.K
+			fl := FlagInit
+			if s.lastTrue {
+				fl |= FlagRising
+			}
+			h.emit(s, Event{BatchSeq: v.Seq, Node: s.p.Receiver, Value: val, Flags: fl})
+		case KindRegion:
+			s.members = m.regionMembers(v, s)
+			h.emit(s, Event{BatchSeq: v.Seq, Node: -1, Value: int32(len(s.members)), Flags: FlagInit})
+		case KindMax:
+			s.lastMax = int32(v.Engine.Max())
+			h.emit(s, Event{BatchSeq: v.Seq, Node: -1, Value: s.lastMax, Flags: FlagInit})
+		}
+	}
+	m.pending = m.pending[:0]
+}

@@ -1,0 +1,441 @@
+package sub
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/serve"
+)
+
+// snap is one post-batch snapshot captured alongside the matcher pass,
+// the raw material for the brute-force oracle.
+type snap struct {
+	seq uint64
+	ids []int64
+	st  *core.State
+}
+
+func captureSnap(v serve.BatchView) snap {
+	s := snap{seq: v.Seq, st: v.Engine.ExportState(nil)}
+	for i := 0; i < v.Engine.N(); i++ {
+		s.ids = append(s.ids, v.IDOf(i))
+	}
+	return s
+}
+
+func (s *snap) find(id int64) (int, bool) {
+	for i, x := range s.ids {
+		if x == id {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func (s *snap) maxI() int32 {
+	max := 0
+	for _, v := range s.st.I {
+		if v > max {
+			max = v
+		}
+	}
+	return int32(max)
+}
+
+func (s *snap) members(p Predicate) map[int64]struct{} {
+	c := geom.Pt(p.X, p.Y)
+	set := make(map[int64]struct{})
+	for i, pt := range s.st.Points {
+		if geom.InDisk(c, p.R, pt) {
+			set[s.ids[i]] = struct{}{}
+		}
+	}
+	return set
+}
+
+func (s *snap) thresh(p Predicate) (int32, bool) {
+	idx, ok := s.find(p.Receiver)
+	if !ok {
+		return 0, false
+	}
+	val := int32(s.st.I[idx])
+	return val, val >= p.K
+}
+
+// expectedStream brute-forces the full event stream a subscription must
+// observe: its Init state from caps[start], then one edge-triggered diff
+// per later snapshot, region transitions in ascending node id. Seq and
+// flag-Gap are left zero — callers align by position (expected[k] is
+// seq k+1).
+func expectedStream(caps []snap, start int, p Predicate) []Event {
+	var out []Event
+	emit := func(ev Event) {
+		ev.Kind = p.Kind
+		out = append(out, ev)
+	}
+	switch p.Kind {
+	case KindThreshold:
+		val, is := caps[start].thresh(p)
+		fl := FlagInit
+		if is {
+			fl |= FlagRising
+		}
+		emit(Event{BatchSeq: caps[start].seq, Node: p.Receiver, Value: val, Flags: fl})
+		last := is
+		for k := start + 1; k < len(caps); k++ {
+			val, is := caps[k].thresh(p)
+			if is == last {
+				continue
+			}
+			last = is
+			fl := uint8(0)
+			if is {
+				fl = FlagRising
+			}
+			emit(Event{BatchSeq: caps[k].seq, Node: p.Receiver, Value: val, Flags: fl})
+		}
+	case KindRegion:
+		cur := caps[start].members(p)
+		emit(Event{BatchSeq: caps[start].seq, Node: -1, Value: int32(len(cur)), Flags: FlagInit})
+		for k := start + 1; k < len(caps); k++ {
+			next := caps[k].members(p)
+			var changed []int64
+			for id := range cur {
+				if _, still := next[id]; !still {
+					changed = append(changed, id)
+				}
+			}
+			for id := range next {
+				if _, was := cur[id]; !was {
+					changed = append(changed, id)
+				}
+			}
+			sortInt64(changed)
+			for _, id := range changed {
+				fl := uint8(0)
+				if _, is := next[id]; is {
+					fl = FlagRising
+				}
+				emit(Event{BatchSeq: caps[k].seq, Node: id, Flags: fl})
+			}
+			cur = next
+		}
+	case KindMax:
+		last := caps[start].maxI()
+		emit(Event{BatchSeq: caps[start].seq, Node: -1, Value: last, Flags: FlagInit})
+		for k := start + 1; k < len(caps); k++ {
+			cur := caps[k].maxI()
+			if cur == last {
+				continue
+			}
+			fl := uint8(0)
+			if cur > last {
+				fl = FlagRising
+			}
+			last = cur
+			emit(Event{BatchSeq: caps[k].seq, Node: -1, Value: cur, Flags: fl})
+		}
+	}
+	return out
+}
+
+func sortInt64(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// trace drives a manager+hub through a randomized mutation workload with
+// the given subscriptions, returning the captured snapshots and the
+// events each subscription delivered. lateSubs are registered halfway
+// through the trace.
+func trace(t *testing.T, hub *Hub, sb *Subscriber, subs, lateSubs []Predicate, rounds int) (caps []snap, got map[uint64][]Event, ids map[uint64]Predicate) {
+	t.Helper()
+	m := serve.NewManager(serve.Config{
+		Shards: 1,
+		AfterBatchDelta: func(v serve.BatchView) {
+			hub.AfterBatchDelta(v)
+			caps = append(caps, captureSnap(v))
+		},
+	})
+	defer m.Close(nil)
+
+	rng := rand.New(rand.NewSource(99))
+	var pts []geom.Point
+	for i := 0; i < 48; i++ {
+		pts = append(pts, geom.Pt(rng.Float64()*8, rng.Float64()*8))
+	}
+	s, err := m.CreateSession("live", pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make([]int64, len(pts))
+	for i := range live {
+		live[i] = int64(i)
+	}
+
+	ids = make(map[uint64]Predicate)
+	register := func(ps []Predicate) {
+		for _, p := range ps {
+			if p.Kind == KindThreshold && p.Receiver < 0 { // sentinel: pick a live node
+				p.Receiver = live[rng.Intn(len(live))]
+			}
+			id, err := hub.Subscribe("live", p, sb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids[id] = p
+		}
+	}
+	register(subs)
+
+	for round := 0; round < rounds; round++ {
+		if round == rounds/2 {
+			register(lateSubs)
+		}
+		var batch []serve.Mutation
+		n := 1 + rng.Intn(6)
+		for k := 0; k < n && len(live) > 4; k++ {
+			switch roll := rng.Intn(20); {
+			case roll < 5:
+				batch = append(batch, serve.Add(rng.Float64()*8, rng.Float64()*8))
+			case roll < 9:
+				j := rng.Intn(len(live))
+				batch = append(batch, serve.Remove(live[j]))
+				live = append(live[:j], live[j+1:]...)
+			case roll < 16:
+				batch = append(batch, serve.Move(live[rng.Intn(len(live))], rng.Float64()*8, rng.Float64()*8))
+			case roll < 18:
+				batch = append(batch, serve.SetRadius(live[rng.Intn(len(live))], rng.Float64()*1.5))
+			default:
+				batch = append(batch, serve.AnnealStep(40, int64(round)))
+			}
+		}
+		newIDs, err := s.Apply(batch...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, newIDs...)
+		if err := s.Flush(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	hub.CloseSubscriber(sb)
+	got = make(map[uint64][]Event)
+	for ev := range sb.Events() {
+		got[ev.SubID] = append(got[ev.SubID], ev)
+	}
+	return caps, got, ids
+}
+
+func tracePredicates() (subs, late []Predicate) {
+	subs = []Predicate{
+		{Kind: KindThreshold, K: 1, Receiver: -1},
+		{Kind: KindThreshold, K: 2, Receiver: -1},
+		{Kind: KindThreshold, K: 3, Receiver: -1},
+		{Kind: KindThreshold, K: 4, Receiver: -1},
+		{Kind: KindRegion, X: 2, Y: 2, R: 1.5},
+		{Kind: KindRegion, X: 6, Y: 5, R: 2.5},
+		{Kind: KindRegion, X: 4, Y: 4, R: 0.75},
+		{Kind: KindRegion, X: 0, Y: 8, R: 3},
+		// Disks past maxRegionCells take the matcher's broad path (no
+		// cell index); before it existed, the first of these rasterized
+		// ~10^16 cells in attach and wedged the hub.
+		{Kind: KindRegion, X: 0, Y: 0, R: 1e9},
+		{Kind: KindRegion, X: 5, Y: 4, R: 6},
+		{Kind: KindMax},
+	}
+	late = []Predicate{
+		{Kind: KindThreshold, K: 2, Receiver: -1},
+		{Kind: KindRegion, X: 3, Y: 6, R: 2},
+		{Kind: KindRegion, X: 4, Y: 5, R: 500},
+		{Kind: KindMax},
+	}
+	return
+}
+
+// TestMatcherAgainstOracle is the tentpole's correctness anchor: the
+// incremental, dirty-set-driven event stream must exactly equal a
+// brute-force re-evaluation of every predicate against every post-batch
+// snapshot — no missed transitions, no duplicates, no misordering.
+func TestMatcherAgainstOracle(t *testing.T) {
+	hub := NewHub(Config{QueueCap: 1 << 16})
+	sb := hub.NewSubscriber()
+	subs, late := tracePredicates()
+	caps, got, preds := trace(t, hub, sb, subs, late, 140)
+
+	if len(caps) < 20 {
+		t.Fatalf("trace produced only %d batches", len(caps))
+	}
+	startOf := func(seq uint64) int {
+		for i := range caps {
+			if caps[i].seq == seq {
+				return i
+			}
+		}
+		return -1
+	}
+
+	totalEvents := 0
+	for id, p := range preds {
+		evs := got[id]
+		if len(evs) == 0 {
+			t.Fatalf("sub %d (%v) delivered no events at all (Init missing)", id, p.Kind)
+		}
+		if !evs[0].Init() || evs[0].Seq != 1 {
+			t.Fatalf("sub %d: first event not Init/seq1: %+v", id, evs[0])
+		}
+		start := startOf(evs[0].BatchSeq)
+		if start < 0 {
+			t.Fatalf("sub %d: Init batch seq %d not captured", id, evs[0].BatchSeq)
+		}
+		want := expectedStream(caps, start, p)
+		if len(evs) != len(want) {
+			t.Errorf("sub %d (%v): delivered %d events, oracle expects %d", id, p.Kind, len(evs), len(want))
+		}
+		for k := 0; k < len(evs) && k < len(want); k++ {
+			g, w := evs[k], want[k]
+			if g.Seq != uint64(k+1) {
+				t.Fatalf("sub %d event %d: seq %d, want %d (loss with an unbounded queue)", id, k, g.Seq, k+1)
+			}
+			if g.Gap() {
+				t.Fatalf("sub %d event %d: unexpected gap flag", id, k)
+			}
+			if g.BatchSeq != w.BatchSeq || g.Node != w.Node || g.Value != w.Value ||
+				g.Kind != w.Kind || g.Flags&^FlagGap != w.Flags {
+				t.Fatalf("sub %d (%v) event %d:\n got %+v\nwant %+v", id, p.Kind, k, g, w)
+			}
+		}
+		totalEvents += len(evs)
+	}
+	if sb.Drops() != 0 {
+		t.Fatalf("unbounded queue dropped %d events", sb.Drops())
+	}
+	// The trace must actually exercise edges beyond the Init events.
+	if totalEvents < len(preds)*3 {
+		t.Fatalf("trace too quiet: %d events across %d subs", totalEvents, len(preds))
+	}
+	st := hub.Stats()
+	if st.Events != int64(totalEvents) || st.Dropped != 0 {
+		t.Fatalf("hub stats %+v disagree with delivered=%d", st, totalEvents)
+	}
+}
+
+// TestMatcherDropsAreLoud repeats the oracle trace with a tiny queue the
+// test never drains mid-run: delivery must degrade to a gap-marked
+// subsequence of the oracle stream with every loss accounted for.
+func TestMatcherDropsAreLoud(t *testing.T) {
+	hub := NewHub(Config{QueueCap: 8})
+	sb := hub.NewSubscriber()
+	// A single subscription registered before the first batch, so the
+	// oracle anchor is the first capture even if its Init event is shed.
+	subs := []Predicate{{Kind: KindRegion, X: 4, Y: 4, R: 3}}
+	caps, got, preds := trace(t, hub, sb, subs, nil, 140)
+
+	if len(preds) != 1 {
+		t.Fatalf("want 1 sub, got %d", len(preds))
+	}
+	var id uint64
+	for k := range preds {
+		id = k
+	}
+	want := expectedStream(caps, 0, subs[0])
+	evs := got[id]
+	if len(evs) == 0 || len(evs) >= len(want) {
+		t.Fatalf("want a proper subsequence: delivered %d of %d expected", len(evs), len(want))
+	}
+	if int64(len(want)-len(evs)) != sb.Drops() {
+		t.Fatalf("Drops()=%d but %d events missing", sb.Drops(), len(want)-len(evs))
+	}
+	prevSeq := uint64(0)
+	for i, g := range evs {
+		if g.Seq <= prevSeq || g.Seq > uint64(len(want)) {
+			t.Fatalf("event %d: seq %d out of order/range", i, g.Seq)
+		}
+		w := want[g.Seq-1]
+		if g.BatchSeq != w.BatchSeq || g.Node != w.Node || g.Value != w.Value ||
+			g.Kind != w.Kind || g.Flags&^FlagGap != w.Flags {
+			t.Fatalf("event %d (seq %d):\n got %+v\nwant %+v", i, g.Seq, g, w)
+		}
+		wantGap := g.Seq != prevSeq+1
+		if g.Gap() != wantGap {
+			t.Fatalf("event %d (seq %d after %d): gap flag %v, want %v", i, g.Seq, prevSeq, g.Gap(), wantGap)
+		}
+		prevSeq = g.Seq
+	}
+	if hub.Stats().Dropped != sb.Drops() {
+		t.Fatalf("hub drop counter %d != subscriber %d", hub.Stats().Dropped, sb.Drops())
+	}
+}
+
+// TestSubscribeValidation covers the control-plane error paths.
+func TestSubscribeValidation(t *testing.T) {
+	hub := NewHub(Config{})
+	sb := hub.NewSubscriber()
+	bad := []Predicate{
+		{Kind: 0},
+		{Kind: KindThreshold, K: -1},
+		{Kind: KindThreshold, Receiver: -1},
+		{Kind: KindRegion, R: -1},
+		{Kind: 99},
+	}
+	for i, p := range bad {
+		if _, err := hub.Subscribe("s", p, sb); err == nil {
+			t.Errorf("case %d: bad predicate %+v accepted", i, p)
+		}
+	}
+	if _, err := hub.Subscribe("s", Predicate{Kind: KindMax}, nil); err == nil {
+		t.Error("nil subscriber accepted")
+	}
+	id, err := hub.Subscribe("s", Predicate{Kind: KindMax}, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hub.Unsubscribe(id) {
+		t.Error("live id not unsubscribed")
+	}
+	if hub.Unsubscribe(id) {
+		t.Error("dead id unsubscribed twice")
+	}
+	hub.CloseSubscriber(sb)
+	if _, err := hub.Subscribe("s", Predicate{Kind: KindMax}, sb); err == nil {
+		t.Error("closed subscriber accepted")
+	}
+	hub.CloseSubscriber(sb) // idempotent
+	if _, open := <-sb.Events(); open {
+		t.Error("channel not closed")
+	}
+	if hub.Stats().Subs != 0 {
+		t.Errorf("leaked subscriptions: %+v", hub.Stats())
+	}
+}
+
+// TestDropSessionDetaches checks that dropping a session silently retires
+// its subscriptions without closing the subscriber.
+func TestDropSessionDetaches(t *testing.T) {
+	hub := NewHub(Config{})
+	sb := hub.NewSubscriber()
+	if _, err := hub.Subscribe("a", Predicate{Kind: KindMax}, sb); err != nil {
+		t.Fatal(err)
+	}
+	idB, err := hub.Subscribe("b", Predicate{Kind: KindMax}, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub.DropSession("a")
+	if got := hub.Stats().Subs; got != 1 {
+		t.Fatalf("after drop: %d subs, want 1", got)
+	}
+	if !hub.Unsubscribe(idB) {
+		t.Fatal("session-b sub lost by dropping session a")
+	}
+	hub.CloseSubscriber(sb)
+}

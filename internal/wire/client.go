@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/serve"
+	"repro/internal/sub"
 )
 
 // Client speaks rimwire v1 over a small pool of persistent connections.
@@ -38,6 +39,12 @@ type ClientConfig struct {
 	MaxFrame int
 	// DialTimeout bounds each connection attempt; <= 0 means 5s.
 	DialTimeout time.Duration
+	// OnEvent receives server-push subscription events (MsgEvent frames).
+	// It is called from the connection's read loop, so it must not block —
+	// hand the event to a channel or queue and return. Required before
+	// calling Subscribe: a push event arriving with no handler fails the
+	// connection (the strict-whitelist discipline, see IsResponseType).
+	OnEvent func(sub.Event)
 }
 
 // Dial connects the pool and runs the rimwire handshake on every
@@ -80,10 +87,11 @@ func (c *Client) pick() *clientConn {
 // clientConn is one pooled connection: submission channel, writer and
 // reader goroutines, and the in-flight table keyed by request id.
 type clientConn struct {
-	c    net.Conn
-	crc  bool
-	wch  chan *Pending
-	stop chan struct{}
+	c       net.Conn
+	crc     bool
+	onEvent func(sub.Event)
+	wch     chan *Pending
+	stop    chan struct{}
 
 	mu       sync.Mutex
 	inflight map[uint64]*Pending
@@ -104,6 +112,7 @@ func dialConn(cfg ClientConfig) (*clientConn, error) {
 	cc := &clientConn{
 		c:        nc,
 		crc:      cfg.CRC,
+		onEvent:  cfg.OnEvent,
 		wch:      make(chan *Pending, 256),
 		stop:     make(chan struct{}),
 		inflight: make(map[uint64]*Pending),
@@ -205,6 +214,24 @@ func (cc *clientConn) readLoop(r *Reader) {
 			cc.fail(fmt.Errorf("wire: read: %w", err))
 			cc.c.Close()
 			return
+		}
+		if h.Type == MsgEvent {
+			// Server-push subscription event: demux to the handler before
+			// the response whitelist — its header id is a subscription id,
+			// not a request id, and must never touch the in-flight table.
+			if cc.onEvent == nil {
+				cc.fail(fmt.Errorf("%w: push event with no OnEvent handler", ErrUnknownType))
+				cc.c.Close()
+				return
+			}
+			ev, err := DecodeEvent(payload)
+			if err != nil {
+				cc.fail(fmt.Errorf("wire: event: %w", err))
+				cc.c.Close()
+				return
+			}
+			cc.onEvent(ev)
+			continue
 		}
 		if !IsResponseType(h.Type) {
 			// A frame outside the response whitelist (a push stream like
@@ -506,6 +533,54 @@ func (c *Client) GoDrop(session string) *Pending {
 func (c *Client) Drop(session string) error {
 	p := c.GoDrop(session)
 	if err := p.finish(MsgDropOK); err != nil {
+		return err
+	}
+	p.Release()
+	return nil
+}
+
+// GoSubscribe submits a standing-predicate registration. Events for the
+// subscription are pushed on the connection that carried the request, so
+// they arrive at this client's OnEvent handler regardless of pool size.
+func (c *Client) GoSubscribe(session string, pred sub.Predicate) *Pending {
+	p := c.pending()
+	p.begin()
+	p.req = AppendString(p.req, session)
+	p.req = AppendPredicate(p.req, pred)
+	p.seal(MsgSubscribe)
+	return p
+}
+
+// SubID decodes a GoSubscribe response into the subscription id.
+func (p *Pending) SubID() (uint64, error) {
+	if err := p.finish(MsgSubscribeOK); err != nil {
+		return 0, err
+	}
+	id, err := DecodeU64(p.resp)
+	p.Release()
+	return id, err
+}
+
+// Subscribe registers a standing predicate and returns its subscription
+// id. ClientConfig.OnEvent must be set.
+func (c *Client) Subscribe(session string, pred sub.Predicate) (uint64, error) {
+	return c.GoSubscribe(session, pred).SubID()
+}
+
+// GoUnsubscribe submits a subscription detach. Events already queued
+// server-side may still arrive after the acknowledgment.
+func (c *Client) GoUnsubscribe(id uint64) *Pending {
+	p := c.pending()
+	p.begin()
+	p.req = AppendU64(p.req, id)
+	p.seal(MsgUnsubscribe)
+	return p
+}
+
+// Unsubscribe detaches a subscription by id.
+func (c *Client) Unsubscribe(id uint64) error {
+	p := c.GoUnsubscribe(id)
+	if err := p.finish(MsgUnsubscribeOK); err != nil {
 		return err
 	}
 	p.Release()

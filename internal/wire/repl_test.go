@@ -115,12 +115,12 @@ func TestDecodeReplRecordsRejectsAdversarial(t *testing.T) {
 }
 
 func TestIsResponseType(t *testing.T) {
-	for _, typ := range []uint8{MsgHelloOK, MsgPong, MsgCreateOK, MsgMutateOK, MsgSummaryOK, MsgNodesOK, MsgFlushOK, MsgDropOK, MsgErr} {
+	for _, typ := range []uint8{MsgHelloOK, MsgPong, MsgCreateOK, MsgMutateOK, MsgSummaryOK, MsgNodesOK, MsgFlushOK, MsgDropOK, MsgErr, MsgSubscribeOK, MsgUnsubscribeOK} {
 		if !IsResponseType(typ) {
 			t.Errorf("type %d should be a response type", typ)
 		}
 	}
-	for _, typ := range []uint8{MsgHello, MsgPing, MsgMutate, MsgReplSubscribe, MsgReplRecords, MsgReplAck, 0, 99} {
+	for _, typ := range []uint8{MsgHello, MsgPing, MsgMutate, MsgReplSubscribe, MsgReplRecords, MsgReplAck, MsgSubscribe, MsgUnsubscribe, MsgEvent, 0, 99} {
 		if IsResponseType(typ) {
 			t.Errorf("type %d must not be a response type", typ)
 		}

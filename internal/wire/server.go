@@ -15,6 +15,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/sub"
 )
 
 // Server speaks rimwire v1 over persistent connections, feeding the
@@ -55,6 +56,11 @@ type ServerConfig struct {
 	MaxGenN int
 	// Registry receives the rim_wire_* metrics; nil means obs.Default().
 	Registry *obs.Registry
+	// Hub, when set, enables the subscription frames (MsgSubscribe and
+	// friends): the hub must be wired into the same manager via
+	// serve.Config.AfterBatchDelta. Nil rejects subscription requests
+	// with status 400.
+	Hub *sub.Hub
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -158,6 +164,14 @@ type conn struct {
 	sess    *serve.Session
 	sid     []byte
 	mutSess *serve.Session // session the accumulated muts target
+
+	// Push state, created lazily on the first MsgSubscribe. The pump
+	// goroutine writes MsgEvent frames concurrently with the owner
+	// goroutine's response flushes, so every socket write — both paths —
+	// holds wmu; frames interleave whole, never torn.
+	wmu      sync.Mutex
+	pushSB   *sub.Subscriber
+	pushDone chan struct{}
 }
 
 // mutFrame remembers one pipelined mutate frame awaiting its enqueue:
@@ -171,14 +185,23 @@ type mutFrame struct {
 
 func (s *Server) handle(nc net.Conn) {
 	defer s.wg.Done()
+	c := &conn{srv: s, c: nc, r: NewReader(nc, s.cfg.MaxFrame)}
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, nc)
 		s.mu.Unlock()
+		// Detach the push subscriber before closing the socket (no new
+		// events), then close, then join the pump — a pump blocked in a
+		// write is unblocked by the close, so the join cannot hang.
+		if c.pushSB != nil {
+			s.cfg.Hub.CloseSubscriber(c.pushSB)
+		}
 		nc.Close()
+		if c.pushDone != nil {
+			<-c.pushDone
+		}
 		s.mx.connsClosed.Inc()
 	}()
-	c := &conn{srv: s, c: nc, r: NewReader(nc, s.cfg.MaxFrame)}
 
 	// Handshake: the first frame pins protocol and version, and its CRC
 	// flag opts the whole connection into CRC trailers both ways.
@@ -394,8 +417,64 @@ func (c *conn) dispatch(h Header, p []byte) {
 			c.writeErr(h.ID, StatusNotFound, err.Error())
 			return
 		}
+		if hub := c.srv.cfg.Hub; hub != nil {
+			hub.DropSession(string(sid))
+		}
 		c.invalidate()
 		c.begin(MsgDropOK, StatusOK, h.ID)
+		c.end()
+
+	case MsgSubscribe:
+		c.flushMutations() // FIFO: the registration lands after queued mutations
+		hub := c.srv.cfg.Hub
+		if hub == nil {
+			c.writeErr(h.ID, StatusBad, "subscriptions disabled")
+			return
+		}
+		sid, rest, err := ReadString(p)
+		if err != nil {
+			c.writeErr(h.ID, StatusBad, err.Error())
+			return
+		}
+		pred, err := DecodePredicate(rest)
+		if err != nil {
+			c.writeErr(h.ID, StatusBad, err.Error())
+			return
+		}
+		if c.pushSB == nil {
+			c.pushSB = hub.NewSubscriber()
+			c.pushDone = make(chan struct{})
+			go c.pump()
+		}
+		id, err := hub.Subscribe(string(sid), pred, c.pushSB)
+		if err != nil {
+			c.writeErr(h.ID, StatusBad, err.Error())
+			return
+		}
+		// The subscription is live from this instant, so an MsgEvent can
+		// in principle beat this acknowledgment onto the wire — clients
+		// learn the id from the event itself (header id = subscription id).
+		c.begin(MsgSubscribeOK, StatusOK, h.ID)
+		c.buf = AppendU64(c.buf, id)
+		c.end()
+
+	case MsgUnsubscribe:
+		c.flushMutations()
+		hub := c.srv.cfg.Hub
+		if hub == nil {
+			c.writeErr(h.ID, StatusBad, "subscriptions disabled")
+			return
+		}
+		id, err := DecodeU64(p)
+		if err != nil {
+			c.writeErr(h.ID, StatusBad, err.Error())
+			return
+		}
+		if !hub.Unsubscribe(id) {
+			c.writeErr(h.ID, StatusNotFound, "no such subscription")
+			return
+		}
+		c.begin(MsgUnsubscribeOK, StatusOK, h.ID)
 		c.end()
 
 	default:
@@ -540,13 +619,63 @@ func (c *conn) writeErr(id uint64, status uint16, msg string) {
 }
 
 // flushWrites pushes the buffered response frames to the socket in one
-// write.
+// write, serialized against the push pump by wmu.
 func (c *conn) flushWrites() error {
 	if len(c.buf) == 0 {
 		return nil
 	}
+	c.wmu.Lock()
 	n, err := c.c.Write(c.buf)
+	c.wmu.Unlock()
 	c.srv.mx.bytesOut.Add(int64(n))
 	c.buf = c.buf[:0]
 	return err
+}
+
+// pump delivers subscription events: it drains the connection's
+// subscriber queue, batches whatever is already waiting into one socket
+// write of MsgEvent frames, and keeps draining (without writing) after a
+// write error so CloseSubscriber always finds an empty, closing channel.
+// It exits when the subscriber channel closes and signals via pushDone.
+func (c *conn) pump() {
+	defer close(c.pushDone)
+	var buf []byte
+	dead := false
+	for ev := range c.pushSB.Events() {
+		if dead {
+			continue
+		}
+		buf = appendEventFrame(buf[:0], ev, c.crc)
+		frames := 1
+	batch:
+		for len(buf) < 64<<10 {
+			select {
+			case ev2, ok := <-c.pushSB.Events():
+				if !ok {
+					break batch // closed; write what we have, then exit above
+				}
+				buf = appendEventFrame(buf, ev2, c.crc)
+				frames++
+			default:
+				break batch
+			}
+		}
+		c.wmu.Lock()
+		n, err := c.c.Write(buf)
+		c.wmu.Unlock()
+		c.srv.mx.bytesOut.Add(int64(n))
+		c.srv.mx.framesOut.Add(int64(frames))
+		if err != nil {
+			dead = true
+		}
+	}
+}
+
+// appendEventFrame encodes one complete MsgEvent frame. The header id
+// slot carries the subscription id — push frames have no request id.
+func appendEventFrame(dst []byte, ev sub.Event, crc bool) []byte {
+	start := len(dst)
+	dst = BeginFrame(dst, MsgEvent, StatusOK, ev.SubID)
+	dst = AppendEvent(dst, ev)
+	return EndFrame(dst, start, crc)
 }

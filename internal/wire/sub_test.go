@@ -1,0 +1,204 @@
+package wire_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/sub"
+	"repro/internal/wire"
+)
+
+func TestPredicateEventCodecRoundTrip(t *testing.T) {
+	preds := []sub.Predicate{
+		{Kind: sub.KindThreshold, K: 7, Receiver: 1 << 40},
+		{Kind: sub.KindRegion, X: -3.25, Y: 1e9, R: 0.125},
+		{Kind: sub.KindMax},
+	}
+	for i, p := range preds {
+		enc := wire.AppendPredicate(nil, p)
+		if len(enc) != wire.PredicateSize {
+			t.Fatalf("pred %d: %d bytes, want %d", i, len(enc), wire.PredicateSize)
+		}
+		got, err := wire.DecodePredicate(enc)
+		if err != nil || got != p {
+			t.Fatalf("pred %d: %+v err=%v, want %+v", i, got, err, p)
+		}
+	}
+	if _, err := wire.DecodePredicate(make([]byte, wire.PredicateSize-1)); !errors.Is(err, wire.ErrBadPayload) {
+		t.Fatalf("short predicate: %v, want ErrBadPayload", err)
+	}
+
+	evs := []sub.Event{
+		{SubID: 9, Seq: 1, BatchSeq: 42, Node: -1, Value: 17, Kind: sub.KindMax, Flags: sub.FlagInit},
+		{SubID: 1 << 50, Seq: 1 << 30, BatchSeq: 7, Node: 1 << 41, Value: -2, Kind: sub.KindRegion,
+			Flags: sub.FlagRising | sub.FlagGap},
+	}
+	for i, ev := range evs {
+		enc := wire.AppendEvent(nil, ev)
+		if len(enc) != wire.EventSize {
+			t.Fatalf("event %d: %d bytes, want %d", i, len(enc), wire.EventSize)
+		}
+		got, err := wire.DecodeEvent(enc)
+		if err != nil || got != ev {
+			t.Fatalf("event %d: %+v err=%v, want %+v", i, got, err, ev)
+		}
+	}
+	if _, err := wire.DecodeEvent(make([]byte, wire.EventSize+1)); !errors.Is(err, wire.ErrBadPayload) {
+		t.Fatalf("long event: %v, want ErrBadPayload", err)
+	}
+}
+
+func nextEvent(t *testing.T, ch <-chan sub.Event) sub.Event {
+	t.Helper()
+	select {
+	case ev := <-ch:
+		return ev
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for a pushed event")
+		return sub.Event{}
+	}
+}
+
+// nextEventFor waits for the next event of one subscription, discarding
+// other subscriptions' events (the connectivity maintainer reassigns
+// radii as nodes move, so threshold and max activity is not predictable
+// at this layer — internal/sub's oracle test owns those semantics).
+func nextEventFor(t *testing.T, ch <-chan sub.Event, id uint64) sub.Event {
+	t.Helper()
+	for {
+		ev := nextEvent(t, ch)
+		if ev.SubID == id {
+			return ev
+		}
+	}
+}
+
+// TestWireSubscribePush is the protocol round trip: subscribe over the
+// wire, mutate, and receive server-push MsgEvent frames demuxed off the
+// client's pipeline reader. Matching semantics are internal/sub's tests'
+// job; this pins the framing, the demux, and the id plumbing.
+func TestWireSubscribePush(t *testing.T) {
+	hub := sub.NewHub(sub.Config{})
+	addr, _ := startServer(t,
+		serve.Config{AfterBatchDelta: hub.AfterBatchDelta},
+		wire.ServerConfig{Hub: hub})
+	events := make(chan sub.Event, 256)
+	c := dialClient(t, addr, wire.ClientConfig{
+		OnEvent: func(ev sub.Event) { events <- ev },
+	})
+
+	if _, err := c.Create("live", line(6)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A predicate the server cannot evaluate is rejected with 400.
+	if _, err := c.Subscribe("live", sub.Predicate{Kind: sub.Kind(9)}); err == nil {
+		t.Fatal("invalid predicate accepted")
+	} else {
+		var we *wire.Error
+		if !errors.As(err, &we) || we.Status != wire.StatusBad {
+			t.Fatalf("invalid predicate: %v, want status 400", err)
+		}
+	}
+
+	thrID, err := c.Subscribe("live", sub.Predicate{Kind: sub.KindThreshold, K: 1, Receiver: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regID, err := c.Subscribe("live", sub.Predicate{Kind: sub.KindRegion, X: 10, Y: 0, R: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxID, err := c.Subscribe("live", sub.Predicate{Kind: sub.KindMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thrID == regID || regID == maxID || thrID == maxID {
+		t.Fatalf("subscription ids collide: %d %d %d", thrID, regID, maxID)
+	}
+
+	flush := func(muts ...serve.Mutation) {
+		t.Helper()
+		if _, err := c.Mutate("live", muts); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Flush("live"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Batch 1: any mutation integrates the pending subscriptions; the
+	// Init events arrive in registration order (one queue, FIFO all the
+	// way through pump, socket, and read loop).
+	flush(serve.Move(0, 0, 0))
+	for _, want := range []uint64{thrID, regID, maxID} {
+		ev := nextEvent(t, events)
+		if ev.SubID != want || ev.Seq != 1 || !ev.Init() || ev.BatchSeq != 1 {
+			t.Fatalf("init event %+v, want sub %d seq 1 init batch 1", ev, want)
+		}
+	}
+
+	// Batch 2: node 2 moves into the watched disk at (10, 0). Region
+	// membership is pure geometry, so this event is fully deterministic;
+	// the move may also shuffle radii (connectivity repair) and fire the
+	// threshold/max subscriptions, which nextEventFor skips over.
+	flush(serve.Move(2, 10, 0))
+	ev := nextEventFor(t, events, regID)
+	if ev.Seq != 2 || !ev.Rising() || ev.Node != 2 || ev.Kind != sub.KindRegion || ev.BatchSeq != 2 {
+		t.Fatalf("region enter %+v", ev)
+	}
+
+	// Batch 3: node 2 moves back out — the falling edge.
+	flush(serve.Move(2, 1, 0))
+	ev = nextEventFor(t, events, regID)
+	if ev.Seq != 3 || ev.Rising() || ev.Node != 2 || ev.BatchSeq != 3 {
+		t.Fatalf("region leave %+v", ev)
+	}
+
+	// Unsubscribe is acknowledged once and 404s the second time.
+	if err := c.Unsubscribe(regID); err != nil {
+		t.Fatalf("Unsubscribe: %v", err)
+	}
+	if err := c.Unsubscribe(regID); err == nil {
+		t.Fatal("double unsubscribe accepted")
+	} else {
+		var we *wire.Error
+		if !errors.As(err, &we) || we.Status != wire.StatusNotFound {
+			t.Fatalf("double unsubscribe: %v, want status 404", err)
+		}
+	}
+
+	// Dropping the session over the wire discards its standing
+	// subscriptions hub-side.
+	if err := c.Drop("live"); err != nil {
+		t.Fatal(err)
+	}
+	if n := hub.Stats().Subs; n != 0 {
+		t.Fatalf("%d subscriptions survive the session drop", n)
+	}
+}
+
+// TestWireSubscribeDisabled pins the no-hub behavior: a server without a
+// subscription hub rejects MsgSubscribe with status 400 instead of
+// failing the connection.
+func TestWireSubscribeDisabled(t *testing.T) {
+	addr, _ := startServer(t, serve.Config{}, wire.ServerConfig{})
+	c := dialClient(t, addr, wire.ClientConfig{})
+	if _, err := c.Create("plain", line(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Subscribe("plain", sub.Predicate{Kind: sub.KindMax}); err == nil {
+		t.Fatal("subscribe accepted without a hub")
+	} else {
+		var we *wire.Error
+		if !errors.As(err, &we) || we.Status != wire.StatusBad {
+			t.Fatalf("subscribe without hub: %v, want status 400", err)
+		}
+	}
+	// The connection survives the rejection.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping after rejected subscribe: %v", err)
+	}
+}

@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/sub"
+)
+
+// Subscription payloads: fixed little-endian records, same discipline as
+// the mutation codec — no varints, append-style encode, length-checked
+// decode into caller-owned values.
+
+// PredicateSize is the fixed on-wire size of one predicate record —
+//
+//	offset 0   uint8   kind (sub.Kind)
+//	offset 1   uint32  k (threshold, int32 bits)
+//	offset 5   int64   receiver id
+//	offset 13  float64 x
+//	offset 21  float64 y
+//	offset 29  float64 r
+//
+// following the session string in a MsgSubscribe payload. Fields a kind
+// does not read are zero on the wire.
+const PredicateSize = 37
+
+// AppendPredicate appends one fixed predicate record.
+func AppendPredicate(dst []byte, p sub.Predicate) []byte {
+	dst = append(dst, byte(p.Kind))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(p.K))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(p.Receiver))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.X))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.Y))
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.R))
+}
+
+// DecodePredicate parses a fixed predicate record. Semantic validation
+// (unknown kinds, NaN radii) is sub.Predicate.Validate's job — the server
+// runs it and answers status 400; this only checks the framing.
+func DecodePredicate(p []byte) (sub.Predicate, error) {
+	if len(p) != PredicateSize {
+		return sub.Predicate{}, fmt.Errorf("%w: predicate is %d bytes (want %d)", ErrBadPayload, len(p), PredicateSize)
+	}
+	return sub.Predicate{
+		Kind:     sub.Kind(p[0]),
+		K:        int32(binary.LittleEndian.Uint32(p[1:5])),
+		Receiver: int64(binary.LittleEndian.Uint64(p[5:13])),
+		X:        math.Float64frombits(binary.LittleEndian.Uint64(p[13:21])),
+		Y:        math.Float64frombits(binary.LittleEndian.Uint64(p[21:29])),
+		R:        math.Float64frombits(binary.LittleEndian.Uint64(p[29:37])),
+	}, nil
+}
+
+// EventSize is the fixed on-wire size of one event record — the whole
+// payload of a MsgEvent frame:
+//
+//	offset 0   uint64  subscription id
+//	offset 8   uint64  per-subscription sequence number
+//	offset 16  uint64  batch sequence (session mutation seq)
+//	offset 24  int64   node id (−1 when not node-scoped)
+//	offset 32  uint32  value (int32 bits)
+//	offset 36  uint8   kind
+//	offset 37  uint8   flags
+const EventSize = 38
+
+// AppendEvent appends one fixed event record.
+func AppendEvent(dst []byte, ev sub.Event) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, ev.SubID)
+	dst = binary.LittleEndian.AppendUint64(dst, ev.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, ev.BatchSeq)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(ev.Node))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(ev.Value))
+	return append(dst, byte(ev.Kind), ev.Flags)
+}
+
+// DecodeEvent parses a fixed event record.
+func DecodeEvent(p []byte) (sub.Event, error) {
+	if len(p) != EventSize {
+		return sub.Event{}, fmt.Errorf("%w: event is %d bytes (want %d)", ErrBadPayload, len(p), EventSize)
+	}
+	return sub.Event{
+		SubID:    binary.LittleEndian.Uint64(p[0:8]),
+		Seq:      binary.LittleEndian.Uint64(p[8:16]),
+		BatchSeq: binary.LittleEndian.Uint64(p[16:24]),
+		Node:     int64(binary.LittleEndian.Uint64(p[24:32])),
+		Value:    int32(binary.LittleEndian.Uint32(p[32:36])),
+		Kind:     sub.Kind(p[36]),
+		Flags:    p[37],
+	}, nil
+}

@@ -114,18 +114,38 @@ const (
 	MsgReplSubscribe uint8 = 19 // follower → leader: node id, epoch, cursor
 	MsgReplRecords   uint8 = 20 // leader → follower: committed record run
 	MsgReplAck       uint8 = 21 // follower → leader: applied-through cursor
+
+	// Subscription frames (see internal/sub). A client registers a
+	// standing predicate with MsgSubscribe (session string + fixed
+	// 37-byte predicate record) and receives the subscription id in
+	// MsgSubscribeOK. Matching events then arrive as MsgEvent frames —
+	// server-push, never solicited by a request, interleaved with the
+	// connection's ordinary responses. An MsgEvent frame's header id
+	// carries the subscription id (NOT a request id) and its payload is
+	// one fixed 38-byte event record; a multiplexing client must demux
+	// these to its event handler before consulting the response
+	// whitelist. MsgUnsubscribe (uint64 subscription id) detaches one
+	// subscription; events already in flight may still arrive after the
+	// MsgUnsubscribeOK.
+	MsgSubscribe     uint8 = 22 // register a standing predicate
+	MsgSubscribeOK   uint8 = 23 // payload: uint64 subscription id
+	MsgUnsubscribe   uint8 = 24 // payload: uint64 subscription id
+	MsgUnsubscribeOK uint8 = 25
+	MsgEvent         uint8 = 26 // server-push: one fixed event record
 )
 
 // IsResponseType reports whether t is a frame type a server may send in
 // answer to a plain request — the complete whitelist a multiplexing
-// client accepts on its read loop. Push-stream types (MsgReplRecords)
-// and request types are deliberately excluded: anything outside this
-// set must surface as ErrUnknownType, never be silently matched to a
-// waiting request by id.
+// client accepts on its read loop. Push-stream types (MsgReplRecords,
+// MsgEvent) and request types are deliberately excluded: anything
+// outside this set must surface as ErrUnknownType, never be silently
+// matched to a waiting request by id. (The wire.Client demuxes MsgEvent
+// to its event handler before consulting this whitelist.)
 func IsResponseType(t uint8) bool {
 	switch t {
 	case MsgHelloOK, MsgPong, MsgCreateOK, MsgMutateOK, MsgSummaryOK,
-		MsgNodesOK, MsgFlushOK, MsgDropOK, MsgErr:
+		MsgNodesOK, MsgFlushOK, MsgDropOK, MsgErr,
+		MsgSubscribeOK, MsgUnsubscribeOK:
 		return true
 	}
 	return false
