@@ -69,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "max time to drain queues on shutdown")
 		obsOn         = fs.Bool("obs", true, "enable the observability layer (spans feed /debug/obs/*)")
 		spanSample    = fs.Int("span-sample", 16, "record every nth root span")
+		traceTail     = fs.Duration("trace-tail", 0, "tail-sampling threshold: keep full span trees only for traced batches at least this slow, or failed (0 = keep every traced batch)")
 		dataDir       = fs.String("data-dir", "", "durability directory (empty = in-memory only)")
 		fsyncMode     = fs.String("fsync", "batch", "WAL fsync policy: always, batch, or none")
 		ckptEvery     = fs.Duration("checkpoint-every", 5*time.Minute, "checkpoint-barrier interval (0 disables the ticker)")
@@ -91,6 +92,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *obsOn && obs.Available {
 		obs.SetEnabled(true)
 		obs.DefaultRecorder().SetSample(*spanSample)
+		obs.SetTailThreshold(*traceTail)
 	}
 
 	var st *store.Store
@@ -226,6 +228,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	// SIGQUIT dumps the flight recorder instead of killing the process:
+	// the always-on per-batch records are exactly the forensics wanted
+	// when a node looks wedged.
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	go func() {
+		for range quitc {
+			obs.DefaultFlight().WriteText(stderr, "SIGQUIT")
+		}
+	}()
+
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 

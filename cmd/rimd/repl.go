@@ -16,6 +16,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -264,6 +265,13 @@ type replStatus struct {
 	// zero refused: the log start is pruned). It serves stale reads and
 	// is excluded from promote candidacy.
 	StuckResync bool `json:"stuck_resync"`
+	// Peers is the leader's per-follower view: acked cursor, lag in
+	// records, ack RTT, and the estimated follower-clock offset that
+	// rimtrace uses to align spans across nodes.
+	Peers []repl.PeerStats `json:"peers,omitempty"`
+	// WallNS is this node's wall clock when the status was rendered —
+	// the reference point for the peer offsets above.
+	WallNS int64 `json:"wall_ns"`
 }
 
 func (n *replNode) register(mux *http.ServeMux) {
@@ -277,11 +285,17 @@ func (n *replNode) register(mux *http.ServeMux) {
 			Node: n.opts.nodeID, Role: n.role, Epoch: n.epoch,
 			LeaderAddr: n.opts.follow,
 		}
-		fol := n.fol
+		fol, ldr := n.fol, n.ldr
 		n.mu.Unlock()
+		st.WallNS = time.Now().UnixNano()
 		if st.Role == "leader" {
 			st.Cursor = n.st.ReplTail().String()
 			st.LeaderAddr = ""
+			if ldr != nil {
+				peers := ldr.Peers()
+				sort.Slice(peers, func(i, j int) bool { return peers[i].NodeID < peers[j].NodeID })
+				st.Peers = peers
+			}
 		} else if fol != nil {
 			st.Cursor = fol.Cursor().String()
 			st.Epoch = fol.LeaderEpoch()

@@ -1,0 +1,273 @@
+package main
+
+// TestTraceSmoke is the end-to-end distributed-tracing smoke behind
+// `make trace-smoke`: build the real rimd binary, boot a 2-node cluster
+// (leader + follower, both with the wire door open), attach a standing
+// subscription on the follower over a trace-negotiated connection, issue
+// ONE traced mutation against the leader's HTTP facade, and require
+//
+//   - the MsgEvent pushed to the subscriber to carry the mutation's
+//     trace id,
+//   - both nodes' span rings to hold the trace's spans with the
+//     follower's serve.batch linked to the leader's batch span, and
+//   - the rimtrace binary to stitch one merged Chrome trace showing
+//     leader-commit → follower-apply → event-push in causal order.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sub"
+	"repro/internal/wire"
+)
+
+// waitOut polls a daemon's output for a regexp capture.
+func waitOut(t *testing.T, p *rimdProc, re *regexp.Regexp, what string) string {
+	t.Helper()
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if m := re.FindStringSubmatch(p.out.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("rimd never announced its %s:\n%s", what, p.out.String())
+	return ""
+}
+
+// spanDump mirrors the "spans" key of /debug/obs/trace?since=.
+type spanDump struct {
+	Spans []obs.SpanRecord `json:"spans"`
+	Next  uint64           `json:"next"`
+}
+
+func (p *rimdProc) spansSince(t *testing.T, since uint64) spanDump {
+	t.Helper()
+	var doc spanDump
+	if err := json.Unmarshal(p.get(t, fmt.Sprintf("/debug/obs/trace?since=%d", since), 200), &doc); err != nil {
+		t.Fatalf("decode /debug/obs/trace: %v", err)
+	}
+	return doc
+}
+
+func TestTraceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace smoke builds and boots a 2-node cluster; skipped in -short")
+	}
+	bin := buildRimd(t)
+	base := t.TempDir()
+	common := []string{"-fsync", "batch", "-checkpoint-every", "0"}
+
+	ldr := bootRimd(t, bin, append([]string{
+		"-node-id", "n1", "-data-dir", filepath.Join(base, "n1"),
+		"-repl-addr", "127.0.0.1:0", "-wire-addr", "127.0.0.1:0"}, common...)...)
+	feedAddr := waitOut(t, ldr, replAddrRe, "feed address")
+
+	fol := bootRimd(t, bin, append([]string{
+		"-node-id", "n2", "-data-dir", filepath.Join(base, "n2"),
+		"-repl-follow", feedAddr, "-repl-leader-id", "n1",
+		"-repl-peers", "n1,n2", "-wire-addr", "127.0.0.1:0"}, common...)...)
+	folWire := waitOut(t, fol, wireAddrRe, "wire address")
+
+	// Session on the leader, replicated to the follower before the
+	// subscription attaches (a subscribe needs the session to exist).
+	ldr.post(t, "/v1/sessions", `{"id":"smoke","n":32,"seed":5}`, 201)
+	ldr.post(t, "/v1/sessions/smoke/flush", ``, 200)
+	tail := ldr.replStatus(t).Cursor
+	for deadline := time.Now().Add(15 * time.Second); ; {
+		if st := fol.replStatus(t); st.Cursor == tail {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up to %s:\n%s", tail, fol.out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Max-interference watch on the follower over a trace-negotiated
+	// connection: events from traced batches must carry the trace id.
+	var mu sync.Mutex
+	var events []sub.Event
+	c, err := wire.Dial(wire.ClientConfig{Addr: folWire, Conns: 1, Trace: true,
+		OnEvent: func(ev sub.Event) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		}})
+	if err != nil {
+		t.Fatalf("dial follower wire door: %v", err)
+	}
+	defer c.Close()
+	if !c.Traced() {
+		t.Fatal("follower wire door did not negotiate tracing")
+	}
+	if _, err := c.Subscribe("smoke", sub.Predicate{Kind: sub.KindMax}); err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+
+	// ONE traced mutation against the leader's HTTP facade. The server
+	// mints the context (no inbound header) and echoes it back.
+	resp, err := http.Post("http://"+ldr.addr+"/v1/sessions/smoke/mutations", "application/json",
+		strings.NewReader(`{"ops":[{"op":"set_radius","node":2,"r":0.9},{"op":"add","x":0.5,"y":0.5}]}`))
+	if err != nil {
+		t.Fatalf("traced mutate: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 202 {
+		t.Fatalf("traced mutate: status %d", resp.StatusCode)
+	}
+	hdr := resp.Header.Get("X-Rim-Trace")
+	if hdr == "" {
+		t.Fatal("mutate response lacks the X-Rim-Trace header")
+	}
+	traceID, err := strconv.ParseUint(strings.SplitN(hdr, "-", 2)[0], 16, 64)
+	if err != nil || traceID == 0 {
+		t.Fatalf("bad X-Rim-Trace header %q: %v", hdr, err)
+	}
+	ldr.post(t, "/v1/sessions/smoke/flush", ``, 200)
+
+	// The event must reach the subscriber stamped with the trace id.
+	for deadline := time.Now().Add(15 * time.Second); ; {
+		var seen bool
+		mu.Lock()
+		for _, ev := range events {
+			if ev.Trace == traceID {
+				seen = true
+			}
+		}
+		mu.Unlock()
+		if seen {
+			break
+		}
+		if time.Now().After(deadline) {
+			mu.Lock()
+			t.Fatalf("no pushed event carried trace %016x (got %d events)\nfollower:\n%s", traceID, len(events), fol.out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Both span rings hold the trace, causally linked: the follower's
+	// batch span names the leader's batch span as its remote parent.
+	find := func(recs []obs.SpanRecord, name string) (obs.SpanRecord, bool) {
+		for _, r := range recs {
+			if r.Trace == traceID && r.Name == name {
+				return r, true
+			}
+		}
+		return obs.SpanRecord{}, false
+	}
+	ldrBatch, ok := find(ldr.spansSince(t, 0).Spans, "serve.batch")
+	if !ok {
+		t.Fatalf("leader ring has no serve.batch span for trace %016x", traceID)
+	}
+	var folBatch, folPush obs.SpanRecord
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		recs := fol.spansSince(t, 0).Spans
+		b, okB := find(recs, "serve.batch")
+		p, okP := find(recs, "wire.event_push")
+		if okB && okP {
+			folBatch, folPush = b, p
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower ring incomplete for trace %016x (batch=%v push=%v)", traceID, okB, okP)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if folBatch.Link != ldrBatch.ID {
+		t.Errorf("follower batch links span %d, want the leader's batch span %d", folBatch.Link, ldrBatch.ID)
+	}
+	if !(ldrBatch.Start <= folBatch.Start && folBatch.Start <= folPush.Start) {
+		t.Errorf("causal order violated: leader-commit=%d follower-apply=%d event-push=%d",
+			ldrBatch.Start, folBatch.Start, folPush.Start)
+	}
+
+	// rimtrace stitches the two rings into one Perfetto document with
+	// the three legs in causal order on distinct process rows.
+	rtBin := filepath.Join(t.TempDir(), "rimtrace")
+	if out, err := exec.Command("go", "build", "-o", rtBin, "repro/cmd/rimtrace").CombinedOutput(); err != nil {
+		t.Fatalf("go build rimtrace: %v\n%s", err, out)
+	}
+	stitched := filepath.Join(t.TempDir(), "trace.json")
+	if out, err := exec.Command(rtBin,
+		"-nodes", "http://"+ldr.addr+",http://"+fol.addr, "-o", stitched).CombinedOutput(); err != nil {
+		t.Fatalf("rimtrace: %v\n%s", err, out)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			PID  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	raw, err := os.ReadFile(stitched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("stitched trace is not valid JSON: %v", err)
+	}
+	hexID := fmt.Sprintf("%016x", traceID)
+	type leg struct {
+		ts  float64
+		pid int
+	}
+	legs := map[string]leg{}
+	flows := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "s" || ev.Ph == "f" {
+			flows++
+		}
+		if ev.Args["trace"] != hexID {
+			continue
+		}
+		node, _ := ev.Args["node"].(string)
+		switch {
+		case ev.Name == "serve.batch" && node == "n1":
+			legs["leader-commit"] = leg{ev.TS, ev.PID}
+		case ev.Name == "serve.batch" && node == "n2":
+			legs["follower-apply"] = leg{ev.TS, ev.PID}
+		case ev.Name == "wire.event_push" && node == "n2":
+			legs["event-push"] = leg{ev.TS, ev.PID}
+		}
+	}
+	for _, want := range []string{"leader-commit", "follower-apply", "event-push"} {
+		if _, ok := legs[want]; !ok {
+			t.Fatalf("stitched trace lacks the %s leg for trace %s", want, hexID)
+		}
+	}
+	if !(legs["leader-commit"].ts <= legs["follower-apply"].ts && legs["follower-apply"].ts <= legs["event-push"].ts) {
+		t.Errorf("stitched causal order violated: %+v", legs)
+	}
+	if legs["leader-commit"].pid == legs["follower-apply"].pid {
+		t.Error("leader and follower share a process row in the stitched trace")
+	}
+	if flows == 0 {
+		t.Error("stitched trace has no flow arrows")
+	}
+
+	for _, p := range []*rimdProc{ldr, fol} {
+		if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.cmd.Wait(); err != nil {
+			t.Fatalf("graceful exit: %v\n%s", err, p.out.String())
+		}
+	}
+	fmt.Printf("trace smoke ok: one traced mutation stitched across leader %s and follower %s\n", ldr.addr, fol.addr)
+}

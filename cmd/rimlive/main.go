@@ -87,6 +87,7 @@ type collector struct {
 
 	mu     sync.Mutex
 	lats   []int64
+	byKind [4][]int64 // update→notify per predicate kind, indexed by sub.Kind
 	events int64
 	inits  int64
 	gaps   int64
@@ -106,8 +107,25 @@ func (l *collector) onEvent(ev sub.Event) {
 	}
 	if sent > 0 && now >= sent {
 		l.lats = append(l.lats, now-sent)
+		if k := int(ev.Kind); k >= 1 && k < len(l.byKind) {
+			l.byKind[k] = append(l.byKind[k], now-sent)
+		}
 	}
 	l.mu.Unlock()
+}
+
+// quant picks the q-quantile of a sorted sample.
+func quant(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+// pctOf computes the q-quantile in milliseconds of a sorted
+// nanosecond sample.
+func pctOf(sorted []int64, q float64) float64 {
+	return float64(quant(sorted, q)) / 1e6
 }
 
 // run is main's testable body.
@@ -156,6 +174,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// subscription hub wired into the batch seam, wire server with push
 	// enabled. The loopback hop is real TCP.
 	if *self {
+		// Enable the observability layer so the in-process server's flight
+		// recorder captures per-stage timings for the summary below; the
+		// ring is reset so a previous in-process run cannot bleed in.
+		if obs.Available {
+			obs.SetEnabled(true)
+			obs.ResetDefaultFlight(0, 0)
+		}
 		reg := obs.NewRegistry()
 		hub := sub.NewHub(sub.Config{QueueCap: 1 << 15, Registry: reg})
 		mgr := serve.NewManager(serve.Config{
@@ -223,15 +248,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	time.Sleep(200 * time.Millisecond)
 	lab.mu.Lock()
 	lats := append([]int64(nil), lab.lats...)
+	var byKind [4][]int64
+	for k := range lab.byKind {
+		byKind[k] = append([]int64(nil), lab.byKind[k]...)
+	}
 	events, inits, gaps := lab.events, lab.inits, lab.gaps
 	lab.mu.Unlock()
 	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
-	pct := func(q float64) float64 {
-		if len(lats) == 0 {
-			return 0
-		}
-		return float64(lats[int(q*float64(len(lats)-1))]) / 1e6
+	for k := range byKind {
+		s := byKind[k]
+		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
 	}
+	pct := func(q float64) float64 { return pctOf(lats, q) }
 	elapsed := float64(ticks) * p.tick.Seconds()
 	var meanNs, evPerSec float64
 	if len(lats) > 0 {
@@ -252,6 +280,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(lats) > 0 {
 		fmt.Fprintf(stdout, "rimlive: update→notify ms: p50=%.3f p90=%.3f p99=%.3f p999=%.3f max=%.3f\n",
 			pct(0.50), pct(0.90), pct(0.99), pct(0.999), pct(1))
+		for _, kn := range []struct {
+			kind sub.Kind
+			name string
+		}{{sub.KindThreshold, "threshold"}, {sub.KindRegion, "region"}, {sub.KindMax, "max"}} {
+			s := byKind[kn.kind]
+			fmt.Fprintf(stdout, "rimlive: update→notify ms [%s]: p50=%.3f p99=%.3f (n=%d)\n",
+				kn.name, pctOf(s, 0.50), pctOf(s, 0.99), len(s))
+		}
+	}
+
+	// Server-side per-stage breakdown from the always-on flight recorder.
+	// Only meaningful with -self: the records live in this process; a
+	// remote rimd's are behind its own /debug/obs/flight.
+	var stages [5][]int64 // queue, coalesce, wal, apply, publish (µs)
+	if *self && obs.Available {
+		for _, fr := range obs.DefaultFlight().Records() {
+			if fr.Session != *session {
+				continue
+			}
+			stages[0] = append(stages[0], int64(fr.QueueUS))
+			stages[1] = append(stages[1], int64(fr.CoalesceUS))
+			stages[2] = append(stages[2], int64(fr.WALUS))
+			stages[3] = append(stages[3], int64(fr.ApplyUS))
+			stages[4] = append(stages[4], int64(fr.PublishUS))
+		}
+		for i := range stages {
+			s := stages[i]
+			sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		}
+		if n := len(stages[0]); n > 0 {
+			stageUS := func(i int, q float64) float64 { return float64(quant(stages[i], q)) }
+			fmt.Fprintf(stdout, "rimlive: server stages µs (p50/p99 over %d batches): queue=%.0f/%.0f coalesce=%.0f/%.0f wal=%.0f/%.0f apply=%.0f/%.0f publish=%.0f/%.0f\n",
+				n, stageUS(0, .5), stageUS(0, .99), stageUS(1, .5), stageUS(1, .99),
+				stageUS(2, .5), stageUS(2, .99), stageUS(3, .5), stageUS(3, .99), stageUS(4, .5), stageUS(4, .99))
+		}
 	}
 	if errors > 0 {
 		fmt.Fprintf(stderr, "rimlive: first error: %v\n", firstErr)
@@ -263,9 +326,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *benchLine {
 		// Shaped exactly like a `go test -bench` line so cmd/benchjson
-		// parses it: name, run count, then value/unit pairs.
-		fmt.Fprintf(stdout, "BenchmarkRimlive/profile=%s %d %.0f ns/op %.1f events/s %.4f p50_ms %.4f p99_ms %.4f p999_ms %.1f gaps\n",
+		// parses it: name, run count, then value/unit pairs. Per-kind
+		// update→notify and per-stage server percentiles ride along as
+		// extra pairs (stage pairs are zero when not run with -self).
+		fmt.Fprintf(stdout, "BenchmarkRimlive/profile=%s %d %.0f ns/op %.1f events/s %.4f p50_ms %.4f p99_ms %.4f p999_ms %.1f gaps",
 			*prof, len(lats), meanNs, evPerSec, pct(0.50), pct(0.99), pct(0.999), float64(gaps))
+		fmt.Fprintf(stdout, " %.4f thr_p50_ms %.4f thr_p99_ms %.4f reg_p50_ms %.4f reg_p99_ms %.4f max_p50_ms %.4f max_p99_ms",
+			pctOf(byKind[sub.KindThreshold], 0.50), pctOf(byKind[sub.KindThreshold], 0.99),
+			pctOf(byKind[sub.KindRegion], 0.50), pctOf(byKind[sub.KindRegion], 0.99),
+			pctOf(byKind[sub.KindMax], 0.50), pctOf(byKind[sub.KindMax], 0.99))
+		fmt.Fprintf(stdout, " %d queue_p50_us %d queue_p99_us %d coalesce_p50_us %d coalesce_p99_us %d wal_p50_us %d wal_p99_us %d apply_p50_us %d apply_p99_us %d publish_p50_us %d publish_p99_us\n",
+			quant(stages[0], .5), quant(stages[0], .99), quant(stages[1], .5), quant(stages[1], .99),
+			quant(stages[2], .5), quant(stages[2], .99), quant(stages[3], .5), quant(stages[3], .99),
+			quant(stages[4], .5), quant(stages[4], .99))
 	}
 	if *maxP99 > 0 && pct(0.99) > *maxP99 {
 		fmt.Fprintf(stderr, "rimlive: p99 %.3fms exceeds the %.1fms bound\n", pct(0.99), *maxP99)

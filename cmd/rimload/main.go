@@ -81,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed      = fs.Int64("seed", 1, "RNG seed for arrivals and op mix")
 		session   = fs.String("session", "rimload", "session id to create and load")
 		crc       = fs.Bool("crc", false, "enable per-frame CRC32-C on the connection")
+		trace     = fs.Bool("trace", false, "negotiate trace-context extensions and stamp every mutate frame with a fresh sampled trace")
 		benchLine = fs.Bool("bench-line", false, "emit a go-test-bench formatted result line for benchjson")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -127,7 +128,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		*addr = ln.Addr().String()
 	}
 
-	c, err := wire.Dial(wire.ClientConfig{Addr: *addr, Conns: p.conns, CRC: *crc})
+	c, err := wire.Dial(wire.ClientConfig{Addr: *addr, Conns: p.conns, CRC: *crc, Trace: *trace})
 	if err != nil {
 		fmt.Fprintf(stderr, "rimload: dial: %v\n", err)
 		return 1
@@ -144,7 +145,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "rimload: profile=%s addr=%s rate=%.0f/s duration=%s conns=%d read-frac=%.2f n=%d\n",
 		*prof, *addr, p.rate, p.duration, p.conns, p.readFrac, p.n)
 
-	res := drive(c, *session, p, *seed)
+	res := drive(c, *session, p, *seed, *trace && c.Traced())
 
 	fmt.Fprintf(stdout, "rimload: completed %d ops in %.2fs (%.0f ops/s achieved, target %.0f), %d backpressure, %d errors\n",
 		res.completed, res.elapsed.Seconds(), res.achieved, p.rate, res.backpressure, res.errors)
@@ -190,7 +191,7 @@ func (r *result) pct(q float64) float64 {
 // drive runs the open loop: one dispatcher schedules Poisson arrivals
 // and submits pipelined requests; collectors await completions and
 // record latency against the intended arrival time.
-func drive(c *wire.Client, session string, p profile, seed int64) result {
+func drive(c *wire.Client, session string, p profile, seed int64, traced bool) result {
 	inflight := make(chan issue, 1<<16)
 	collectors := 8
 	lats := make([][]int64, collectors)
@@ -253,7 +254,16 @@ func drive(c *wire.Client, session string, p profile, seed int64) result {
 			is.p = c.GoSummary(session)
 		} else {
 			node := int64(rng.Intn(p.n))
-			is.p = c.GoMutate(session, []serve.Mutation{serve.SetRadius(node, 0.1 + rng.Float64()*0.4)})
+			ops := []serve.Mutation{serve.SetRadius(node, 0.1 + rng.Float64()*0.4)}
+			if traced {
+				// A fresh sampled root per mutation: the whole write path —
+				// wire decode, queue, WAL, apply, publish — runs its traced
+				// branches, which is what -trace is for (overhead and
+				// end-to-end smoke, not span analysis of the rig itself).
+				is.p = c.GoMutateTraced(session, ops, obs.TraceContext{TraceID: obs.NewTraceID(), Flags: obs.TraceFlagSampled})
+			} else {
+				is.p = c.GoMutate(session, ops)
+			}
 		}
 		inflight <- is
 		issued++

@@ -1,0 +1,148 @@
+// Command rimtrace stitches one Chrome trace out of a rimd cluster: it
+// fetches the raw span records behind /debug/obs/trace?since= from every
+// node, aligns follower clocks using the offsets the leader estimated
+// from replication-ack round trips (/repl/status), and writes a single
+// merged trace_event JSON document — load it in ui.perfetto.dev to watch
+// a mutation travel client → leader commit → follower apply → MsgEvent
+// push across process rows, connected by flow arrows.
+//
+//	rimtrace -nodes http://127.0.0.1:8086,http://127.0.0.1:8186 -o trace.json
+//	rimtrace -nodes ... -since 1024        # only records past a previous poll's "next"
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// statusDoc is the slice of GET /repl/status rimtrace cares about: the
+// node's identity and, on the leader, the per-follower clock offsets.
+type statusDoc struct {
+	Node  string `json:"node"`
+	Role  string `json:"role"`
+	Peers []struct {
+		NodeID   string `json:"node"`
+		OffsetNS int64  `json:"offset_ns"`
+	} `json:"peers"`
+}
+
+// traceDoc is the slice of GET /debug/obs/trace?since= rimtrace reads:
+// the raw records (full-precision absolute clocks) and the next cursor.
+type traceDoc struct {
+	Spans []obs.SpanRecord `json:"spans"`
+	Next  uint64           `json:"next"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rimtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		nodes   = fs.String("nodes", "", "comma-separated base URLs of every cluster node (e.g. http://127.0.0.1:8086,http://127.0.0.1:8186)")
+		out     = fs.String("o", "", "output file for the stitched trace (default stdout)")
+		since   = fs.Uint64("since", 0, "span-ring cursor: fetch only records past a previous poll's \"next\"")
+		timeout = fs.Duration("timeout", 5*time.Second, "per-request HTTP timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *nodes == "" {
+		fmt.Fprintln(stderr, "rimtrace: -nodes is required")
+		return 2
+	}
+	var urls []string
+	for _, u := range strings.Split(*nodes, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	// First pass: identity and clock model. The leader's /repl/status
+	// carries offset_ns per follower (estimated from ack round trips);
+	// the leader itself — and any node without replication — sits at
+	// offset zero, i.e. its clock is the reference.
+	type nodeInfo struct {
+		url  string
+		name string
+		role string
+	}
+	infos := make([]nodeInfo, 0, len(urls))
+	offsets := map[string]int64{}
+	for i, u := range urls {
+		ni := nodeInfo{url: u, name: fmt.Sprintf("node%d", i+1), role: "standalone"}
+		var st statusDoc
+		if err := getJSON(client, u+"/repl/status", &st); err == nil && st.Node != "" {
+			ni.name, ni.role = st.Node, st.Role
+			for _, p := range st.Peers {
+				offsets[p.NodeID] = p.OffsetNS
+			}
+		}
+		infos = append(infos, ni)
+	}
+
+	// Second pass: the span rings. A node that is down is skipped with a
+	// warning — a partial stitch of the surviving nodes beats nothing
+	// when that is exactly the incident being debugged.
+	dumps := make([]NodeDump, 0, len(infos))
+	total := 0
+	for _, ni := range infos {
+		var td traceDoc
+		if err := getJSON(client, fmt.Sprintf("%s/debug/obs/trace?since=%d", ni.url, *since), &td); err != nil {
+			fmt.Fprintf(stderr, "rimtrace: %s (%s): %v (skipped)\n", ni.name, ni.url, err)
+			continue
+		}
+		dumps = append(dumps, NodeDump{
+			Name:     ni.name,
+			Role:     ni.role,
+			OffsetNS: offsets[ni.name],
+			Spans:    td.Spans,
+		})
+		total += len(td.Spans)
+		fmt.Fprintf(stderr, "rimtrace: %s (%s): %d spans, next cursor %d, offset %dns\n",
+			ni.name, ni.role, len(td.Spans), td.Next, offsets[ni.name])
+	}
+	if len(dumps) == 0 {
+		fmt.Fprintln(stderr, "rimtrace: no node answered")
+		return 1
+	}
+
+	doc, err := Stitch(dumps)
+	if err != nil {
+		fmt.Fprintf(stderr, "rimtrace: stitch: %v\n", err)
+		return 1
+	}
+	doc = append(doc, '\n')
+	if *out == "" {
+		stdout.Write(doc)
+	} else if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fmt.Fprintf(stderr, "rimtrace: %v\n", err)
+		return 1
+	} else {
+		fmt.Fprintf(stderr, "rimtrace: wrote %s (%d spans from %d nodes)\n", *out, total, len(dumps))
+	}
+	return 0
+}
+
+func getJSON(client *http.Client, url string, into any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}

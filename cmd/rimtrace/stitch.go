@@ -1,0 +1,202 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Stitching: merge every node's raw span records into one Chrome
+// trace_event document (loadable in ui.perfetto.dev) with one process
+// row per node, timestamps corrected onto the reference node's clock,
+// and flow arrows along the cross-process causal edges (SpanRecord.Link)
+// so a mutation's life — client mint, leader commit, follower apply,
+// event push — reads as one connected story.
+//
+// The stitcher is a pure function of its NodeDump inputs: given the same
+// dumps it emits the same bytes, which is what the golden-file test
+// pins.
+
+// NodeDump is everything rimtrace pulled from one node: its identity,
+// its clock offset relative to the reference node (positive = this
+// node's wall clock runs ahead), and its raw span records.
+type NodeDump struct {
+	Name     string
+	Role     string // "leader" | "follower" | "standalone"
+	OffsetNS int64
+	Spans    []obs.SpanRecord
+}
+
+// stitchEvent is one trace_event entry. Field order is fixed so the
+// stitched document is byte-stable for the golden test.
+type stitchEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`            // microseconds, corrected clock
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	PID  int            `json:"pid"`
+	TID  uint64         `json:"tid"`
+	ID   uint64         `json:"id,omitempty"` // flow binding id
+	BP   string         `json:"bp,omitempty"` // "e" on flow finish
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type stitchDoc struct {
+	TraceEvents     []stitchEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// corrected maps a node-local wall-clock nanosecond onto the reference
+// node's clock.
+func corrected(ns int64, offsetNS int64) int64 { return ns - offsetNS }
+
+// Stitch merges the dumps into an indented Chrome trace_event JSON
+// document. Nodes become processes (pid = position in dumps, 1-based,
+// named via process_name metadata); lanes stay thread rows. Spans whose
+// Link names a span found on another node grow a flow arrow from that
+// remote parent.
+func Stitch(dumps []NodeDump) ([]byte, error) {
+	var events []stitchEvent
+
+	// Epoch: earliest corrected start across every dump, so ts starts
+	// near zero no matter when the cluster booted.
+	var epoch int64
+	haveEpoch := false
+	for _, d := range dumps {
+		for _, s := range d.Spans {
+			if c := corrected(s.Start, d.OffsetNS); !haveEpoch || c < epoch {
+				epoch, haveEpoch = c, true
+			}
+		}
+	}
+
+	// Where each span lives, for flow-arrow endpoints. A Link names the
+	// remote parent's span id within the same trace — but span ids are
+	// per-node counters, so the same (trace, id) can legitimately exist
+	// on several nodes. Keep every candidate; resolution picks a
+	// different node than the target (a Link is a cross-process edge by
+	// definition) that does not violate causality.
+	type spanKey struct {
+		trace, id uint64
+	}
+	type spanAt struct {
+		pid int
+		tid uint64
+		ts  float64
+	}
+	at := make(map[spanKey][]spanAt)
+
+	for i, d := range dumps {
+		pid := i + 1
+		name := d.Name
+		if d.Role != "" {
+			name = d.Role + " " + d.Name
+		}
+		events = append(events, stitchEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": name},
+		})
+		for _, s := range d.Spans {
+			ts := float64(corrected(s.Start, d.OffsetNS)-epoch) / 1e3
+			if s.Trace != 0 {
+				k := spanKey{s.Trace, s.ID}
+				at[k] = append(at[k], spanAt{pid: pid, tid: s.Lane, ts: ts})
+			}
+			args := map[string]any{"id": s.ID, "parent": s.Parent, "node": d.Name}
+			if s.Trace != 0 {
+				args["trace"] = fmt.Sprintf("%016x", s.Trace)
+			}
+			if s.Link != 0 {
+				args["link"] = s.Link
+			}
+			events = append(events, stitchEvent{
+				Name: s.Name, Ph: "X",
+				TS: ts, Dur: float64(s.Dur) / 1e3,
+				PID: pid, TID: s.Lane, Args: args,
+			})
+		}
+	}
+
+	// Flow arrows along cross-process causal edges. The start event must
+	// land inside the source slice and the finish inside the target, so
+	// both borrow their endpoint's ts. Flow ids just need to be unique
+	// per arrow; assigning them after the deterministic sort below keeps
+	// them stable.
+	type arrow struct{ from, to spanAt }
+	var arrows []arrow
+	for i, d := range dumps {
+		pid := i + 1
+		for _, s := range d.Spans {
+			if s.Link == 0 || s.Trace == 0 {
+				continue
+			}
+			dst := spanAt{pid: pid, tid: s.Lane,
+				ts: float64(corrected(s.Start, d.OffsetNS)-epoch) / 1e3}
+			// Pick the remote parent: another node's span (never our own
+			// — ids collide across per-node counters) that started no
+			// later than us; ties broken by latest start then lowest pid,
+			// both deterministic.
+			var src spanAt
+			found := false
+			for _, cand := range at[spanKey{s.Trace, s.Link}] {
+				if cand.pid == pid || cand.ts > dst.ts {
+					continue
+				}
+				if !found || cand.ts > src.ts || (cand.ts == src.ts && cand.pid < src.pid) {
+					src, found = cand, true
+				}
+			}
+			if !found {
+				continue // remote parent not in any dump (evicted, or the client's own span)
+			}
+			arrows = append(arrows, arrow{from: src, to: dst})
+		}
+	}
+	sort.Slice(arrows, func(i, j int) bool {
+		a, b := arrows[i], arrows[j]
+		if a.from.ts != b.from.ts {
+			return a.from.ts < b.from.ts
+		}
+		if a.to.ts != b.to.ts {
+			return a.to.ts < b.to.ts
+		}
+		return a.to.pid < b.to.pid
+	})
+	for i, ar := range arrows {
+		id := uint64(i + 1)
+		events = append(events,
+			stitchEvent{Name: "causal", Ph: "s", TS: ar.from.ts, PID: ar.from.pid, TID: ar.from.tid, ID: id},
+			stitchEvent{Name: "causal", Ph: "f", BP: "e", TS: ar.to.ts, PID: ar.to.pid, TID: ar.to.tid, ID: id},
+		)
+	}
+
+	// Deterministic order: metadata first (by pid), then everything else
+	// by corrected time, breaking ties structurally.
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		am, bm := a.Ph == "M", b.Ph == "M"
+		if am != bm {
+			return am
+		}
+		if am {
+			return a.PID < b.PID
+		}
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if a.Ph != b.Ph {
+			return a.Ph < b.Ph
+		}
+		return a.Name < b.Name
+	})
+
+	return json.MarshalIndent(stitchDoc{TraceEvents: events, DisplayTimeUnit: "ms"}, "", "  ")
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewTraceIDNonZeroDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if id == 0 {
+			t.Fatal("NewTraceID returned the untraced sentinel 0")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %x", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTailKeep(t *testing.T) {
+	prev := TailThresholdNS()
+	t.Cleanup(func() { tailThresholdNS.Store(prev) })
+	SetTailThreshold(0)
+	if !TailKeep(1, false) {
+		t.Error("no threshold: every trace kept")
+	}
+	SetTailThreshold(time.Millisecond)
+	if TailKeep(int64(time.Microsecond), false) {
+		t.Error("fast trace under the bar must be shed")
+	}
+	if !TailKeep(int64(2*time.Millisecond), false) {
+		t.Error("slow trace must be kept")
+	}
+	if !TailKeep(1, true) {
+		t.Error("failed trace must be kept regardless of latency")
+	}
+}
+
+func TestRecordsSinceNoDuplicates(t *testing.T) {
+	r := NewRecorder(64)
+	for i := 0; i < 5; i++ {
+		record(r, SpanRecord{ID: uint64(i + 1), Lane: 1, Name: "a", Start: int64(i), Dur: 1})
+	}
+	first, cur := r.RecordsSince(0)
+	if len(first) != 5 {
+		t.Fatalf("first poll got %d records, want 5", len(first))
+	}
+	// Nothing new: the second poll must be empty, not a repeat.
+	again, cur2 := r.RecordsSince(cur)
+	if len(again) != 0 || cur2 != cur {
+		t.Fatalf("idle poll returned %d records (cursor %d->%d), want none", len(again), cur, cur2)
+	}
+	record(r, SpanRecord{ID: 6, Lane: 1, Name: "b", Start: 9, Dur: 1})
+	fresh, _ := r.RecordsSince(cur)
+	if len(fresh) != 1 || fresh[0].ID != 6 {
+		t.Fatalf("incremental poll = %+v, want just ID 6", fresh)
+	}
+}
+
+func TestRecordsSinceWraparound(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 20; i++ {
+		record(r, SpanRecord{ID: uint64(i + 1), Lane: 1, Name: "s", Start: int64(i), Dur: 1})
+	}
+	// A stale cursor inside the evicted region clamps to the oldest
+	// retained record instead of re-reading overwritten slots.
+	recs, next := r.RecordsSince(2)
+	if len(recs) != 8 {
+		t.Fatalf("got %d records after wrap, want 8", len(recs))
+	}
+	if recs[0].ID != 13 {
+		t.Errorf("oldest retained ID = %d, want 13", recs[0].ID)
+	}
+	if next != 20 {
+		t.Errorf("next cursor = %d, want 20", next)
+	}
+}
+
+// TestDebugTraceSincePollsNoDuplicates is the /debug/obs/trace regression
+// test: two consecutive HTTP polls with the advertised cursor must not
+// return the same span twice (the old handler dumped the whole ring on
+// every GET).
+func TestDebugTraceSincePollsNoDuplicates(t *testing.T) {
+	enable(t)
+	old := DefaultRecorder()
+	r := ResetDefault(64)
+	t.Cleanup(func() { defaultRecorder.Store(old) })
+
+	r.Start("first").End()
+	mux := http.NewServeMux()
+	MountDebug(mux)
+	poll := func(since string) (ids []uint64, next uint64) {
+		req := httptest.NewRequest("GET", "/debug/obs/trace?since="+since, nil)
+		rw := httptest.NewRecorder()
+		mux.ServeHTTP(rw, req)
+		if rw.Code != 200 {
+			t.Fatalf("GET since=%s: status %d", since, rw.Code)
+		}
+		var doc struct {
+			Spans []SpanRecord `json:"spans"`
+			Next  uint64       `json:"next"`
+		}
+		if err := json.Unmarshal(rw.Body.Bytes(), &doc); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		for _, s := range doc.Spans {
+			ids = append(ids, s.ID)
+		}
+		return ids, doc.Next
+	}
+
+	got1, next := poll("0")
+	if len(got1) != 1 {
+		t.Fatalf("first poll returned %d spans, want 1", len(got1))
+	}
+	r.Start("second").End()
+	got2, next2 := poll(intToStr(next))
+	if len(got2) != 1 {
+		t.Fatalf("second poll returned %d spans, want only the new one", len(got2))
+	}
+	if got2[0] == got1[0] {
+		t.Fatalf("consecutive polls returned the same span id %d", got2[0])
+	}
+	if empty, _ := poll(intToStr(next2)); len(empty) != 0 {
+		t.Fatalf("idle poll returned %d spans, want 0", len(empty))
+	}
+
+	// The cursorless form still dumps everything (viewer quick look).
+	req := httptest.NewRequest("GET", "/debug/obs/trace", nil)
+	rw := httptest.NewRecorder()
+	mux.ServeHTTP(rw, req)
+	if !strings.Contains(rw.Body.String(), `"traceEvents"`) {
+		t.Fatal("cursorless dump lost the trace_event shape")
+	}
+}
+
+func intToStr(v uint64) string {
+	b := []byte{}
+	if v == 0 {
+		return "0"
+	}
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestFlightLog(t *testing.T) {
+	f := NewFlightLog(2, 4)
+	for i := 0; i < 10; i++ {
+		f.Add(uint64(i), FlightRecord{Session: "s", Seq: uint64(i + 1), Start: int64(i), Ops: 1})
+	}
+	if f.Len() != 8 {
+		t.Errorf("Len = %d, want 8 (2 shards × 4)", f.Len())
+	}
+	recs := f.Records()
+	if len(recs) != 8 {
+		t.Fatalf("got %d records, want 8", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Start < recs[i-1].Start {
+			t.Fatal("records not start-sorted")
+		}
+	}
+	var sb strings.Builder
+	f.WriteText(&sb, "test")
+	if !strings.Contains(sb.String(), "flight recorder dump (test): 8 batches") {
+		t.Errorf("text dump header wrong:\n%s", sb.String())
+	}
+	var js strings.Builder
+	if err := f.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Count  int `json:"count"`
+		Flight []struct {
+			Seq uint64 `json:"seq"`
+		} `json:"flight"`
+	}
+	if err := json.Unmarshal([]byte(js.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Count != 8 || len(doc.Flight) != 8 {
+		t.Errorf("JSON dump count = %d/%d, want 8", doc.Count, len(doc.Flight))
+	}
+	f.Reset()
+	if f.Len() != 0 {
+		t.Errorf("Len after Reset = %d", f.Len())
+	}
+}
+
+// TestTraceContextDisabledZeroAllocObs pins the obs side of the
+// disabled-path contract: with observability off, StartTrace, flight
+// guards, and tail checks cost zero allocations.
+func TestTraceContextDisabledZeroAllocObs(t *testing.T) {
+	prev := SetEnabled(false)
+	t.Cleanup(func() { SetEnabled(prev) })
+	r := NewRecorder(16)
+	f := NewFlightLog(1, 4)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if On() {
+			sp := r.StartTrace("x", 1, 2)
+			sp.End()
+			f.Add(0, FlightRecord{})
+		}
+		var tc TraceContext
+		if tc.Valid() && tc.Sampled() {
+			panic("zero context must be untraced")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("disabled trace path allocates %v per op, want 0", allocs)
+	}
+}

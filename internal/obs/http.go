@@ -3,13 +3,19 @@ package obs
 import (
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 )
 
 // MountDebug attaches the debug surface to mux:
 //
 //	/debug/pprof/*     net/http/pprof (profiles, heap, goroutines, trace)
 //	/debug/obs/spans   plain-text span tree from the default recorder
-//	/debug/obs/trace   Chrome trace_event JSON (open in ui.perfetto.dev)
+//	/debug/obs/trace   Chrome trace_event JSON (open in ui.perfetto.dev);
+//	                   ?since=<cursor> returns only records newer than a
+//	                   previous poll's "next" root key (raw span records
+//	                   ride along under "spans")
+//	/debug/obs/flight  the always-on flight recorder (?format=text for
+//	                   the crash-dump shape, JSON otherwise)
 //
 // The daemon (cmd/rimd) mounts this next to its API; the /metrics
 // endpoint itself stays with the serve handler, which appends the
@@ -24,8 +30,28 @@ func MountDebug(mux *http.ServeMux) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		DefaultRecorder().WriteTree(w)
 	})
-	mux.HandleFunc("/debug/obs/trace", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/debug/obs/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		if s := r.URL.Query().Get("since"); s != "" {
+			since, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since cursor", http.StatusBadRequest)
+				return
+			}
+			_, _ = DefaultRecorder().WriteChromeTraceSince(w, since)
+			return
+		}
+		// No cursor: the whole retained ring, exactly the historical
+		// behavior (and the ui.perfetto.dev quick look).
 		_ = DefaultRecorder().WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/debug/obs/flight", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			DefaultFlight().WriteText(w, "http")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = DefaultFlight().WriteJSON(w)
 	})
 }

@@ -34,8 +34,10 @@ type SpanRecord struct {
 	Parent uint64
 	Lane   uint64 // root-span lane, inherited by descendants (trace row)
 	Name   string
-	Start  int64 // ns since the Unix epoch
-	Dur    int64 // ns
+	Start  int64  // ns since the Unix epoch
+	Dur    int64  // ns
+	Trace  uint64 // distributed trace id; 0 = local-only span
+	Link   uint64 // remote parent span id (cross-process causal edge)
 }
 
 // Recorder collects span records into a fixed ring buffer.
@@ -92,6 +94,8 @@ type Span struct {
 	id     uint64
 	parent uint64
 	lane   uint64
+	trace  uint64
+	link   uint64
 	start  time.Time
 }
 
@@ -124,9 +128,38 @@ func (r *Recorder) Start(name string) *Span {
 	}
 }
 
+// StartTrace opens a root span carrying a distributed trace context: the
+// span records the trace id and links to the remote parent span (link may
+// be 0 for trace roots). Traced spans bypass the root sampling rate — the
+// sampling decision was made where the trace was minted.
+func (r *Recorder) StartTrace(name string, trace, link uint64) *Span {
+	if !On() {
+		return nil
+	}
+	return &Span{
+		rec:   r,
+		name:  name,
+		id:    r.ids.Add(1),
+		lane:  r.lanes.Add(1),
+		trace: trace,
+		link:  link,
+		start: time.Now(),
+	}
+}
+
+// ID returns the span's record id (0 for a nil span) — what a remote
+// child links back to across processes.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
 // Child opens a sub-span. Safe to call from any goroutine holding the
 // parent (explicit parent handoff is the cross-goroutine mechanism), and
-// a nil parent yields a nil child.
+// a nil parent yields a nil child. Children inherit the parent's trace
+// id.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
@@ -137,6 +170,7 @@ func (s *Span) Child(name string) *Span {
 		id:     s.rec.ids.Add(1),
 		parent: s.id,
 		lane:   s.lane,
+		trace:  s.trace,
 		start:  time.Now(),
 	}
 }
@@ -154,10 +188,37 @@ func (s *Span) End() {
 		Name:   s.name,
 		Start:  s.start.UnixNano(),
 		Dur:    int64(time.Since(s.start)),
+		Trace:  s.trace,
+		Link:   s.link,
 	}
 	slot := s.rec.cursor.Add(1) - 1
 	s.rec.slots[slot&s.rec.mask].Store(rec)
 }
+
+// Record publishes a hand-built span record (ID/Lane assigned here when
+// zero). It is the low-level seam for per-stage pipeline stamps whose
+// start and duration were measured without a live Span — the serve batch
+// path builds its queue/coalesce/wal/apply records this way so logBatch
+// can know the batch span's id before apply runs.
+func (r *Recorder) Record(rec SpanRecord) uint64 {
+	if rec.ID == 0 {
+		rec.ID = r.ids.Add(1)
+	}
+	if rec.Lane == 0 {
+		rec.Lane = r.lanes.Add(1)
+	}
+	slot := r.cursor.Add(1) - 1
+	r.slots[slot&r.mask].Store(&rec)
+	return rec.ID
+}
+
+// NextID reserves a span id without recording anything — the pipeline
+// pre-allocates a batch span's id so records written before (WAL stamp)
+// and after (stage spans) the fact can agree on it.
+func (r *Recorder) NextID() uint64 { return r.ids.Add(1) }
+
+// NextLane reserves a trace row for a group of manually built records.
+func (r *Recorder) NextLane() uint64 { return r.lanes.Add(1) }
 
 // Len returns how many records are currently retained.
 func (r *Recorder) Len() int {
@@ -181,10 +242,24 @@ func (r *Recorder) Dropped() int64 {
 // written concurrently are either included or not — never torn (each
 // slot is a single atomic pointer).
 func (r *Recorder) Records() []SpanRecord {
+	recs, _ := r.RecordsSince(0)
+	return recs
+}
+
+// RecordsSince snapshots the retained records at ring positions >= since
+// (a cursor previously returned by RecordsSince; 0 means everything
+// retained) and returns the next cursor. Positions already evicted by
+// wraparound are skipped, so two consecutive polls never see the same
+// record twice and a stalled poller loses the overwritten middle, not
+// the tail.
+func (r *Recorder) RecordsSince(since uint64) ([]SpanRecord, uint64) {
 	n := r.cursor.Load()
-	start := uint64(0)
-	if n > uint64(len(r.slots)) {
+	start := since
+	if n > uint64(len(r.slots)) && start < n-uint64(len(r.slots)) {
 		start = n - uint64(len(r.slots))
+	}
+	if start > n {
+		start = n
 	}
 	out := make([]SpanRecord, 0, n-start)
 	for i := start; i < n; i++ {
@@ -192,7 +267,7 @@ func (r *Recorder) Records() []SpanRecord {
 			out = append(out, *p)
 		}
 	}
-	return out
+	return out, n
 }
 
 // Reset clears the recorder. Not safe to race with active spans; call it

@@ -29,11 +29,9 @@ type chromeTrace struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
-// WriteChromeTrace renders the retained records as Chrome trace_event
-// JSON. Lanes map to thread rows, so concurrent root spans land on
-// separate rows and nesting inside a lane follows the span hierarchy.
-func (r *Recorder) WriteChromeTrace(w io.Writer) error {
-	recs := r.Records()
+// chromeEvents converts records (start-sorted in place) to trace events
+// timestamped relative to the first record.
+func chromeEvents(recs []SpanRecord) []chromeEvent {
 	sort.Slice(recs, func(i, j int) bool { return recs[i].Start < recs[j].Start })
 	var epoch int64
 	if len(recs) > 0 {
@@ -41,6 +39,13 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	}
 	evs := make([]chromeEvent, 0, len(recs))
 	for _, rec := range recs {
+		args := map[string]any{"id": rec.ID, "parent": rec.Parent}
+		if rec.Trace != 0 {
+			args["trace"] = fmt.Sprintf("%016x", rec.Trace)
+		}
+		if rec.Link != 0 {
+			args["link"] = rec.Link
+		}
 		evs = append(evs, chromeEvent{
 			Name: rec.Name,
 			Ph:   "X",
@@ -48,11 +53,45 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			Dur:  float64(rec.Dur) / 1e3,
 			PID:  1,
 			TID:  rec.Lane,
-			Args: map[string]any{"id": rec.ID, "parent": rec.Parent},
+			Args: args,
 		})
 	}
+	return evs
+}
+
+// WriteChromeTrace renders the retained records as Chrome trace_event
+// JSON. Lanes map to thread rows, so concurrent root spans land on
+// separate rows and nesting inside a lane follows the span hierarchy.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	enc := json.NewEncoder(w)
-	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+	return enc.Encode(chromeTrace{TraceEvents: chromeEvents(r.Records()), DisplayTimeUnit: "ms"})
+}
+
+// chromeTraceSince is the incremental-poll response shape: still a
+// loadable trace_event document, with two extra root keys viewers
+// ignore — the raw span records (full-precision absolute nanosecond
+// clocks, the stitcher's input) and the cursor for the next poll.
+type chromeTraceSince struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	Spans           []SpanRecord  `json:"spans"`
+	Next            uint64        `json:"next"`
+}
+
+// WriteChromeTraceSince renders only the records at ring positions >=
+// since (a cursor from a previous call; 0 = everything retained) and
+// returns the next cursor, which is also embedded in the JSON root as
+// "next". Two consecutive polls never repeat a record — this is the
+// seam cmd/rimtrace polls on every cluster node.
+func (r *Recorder) WriteChromeTraceSince(w io.Writer, since uint64) (uint64, error) {
+	recs, next := r.RecordsSince(since)
+	doc := chromeTraceSince{
+		TraceEvents:     chromeEvents(recs),
+		DisplayTimeUnit: "ms",
+		Spans:           recs,
+		Next:            next,
+	}
+	return next, json.NewEncoder(w).Encode(doc)
 }
 
 // WriteTree renders the retained records as an indented tree, children

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Distributed trace context: the compact identity a request carries
+// across process boundaries so spans recorded on different nodes can be
+// stitched into one causal tree.
+//
+// A TraceContext is minted once at the edge (the rimwire client or the
+// HTTP facade) and then only *narrowed*: each hop keeps TraceID, replaces
+// SpanID with the id of its own outermost span, and forwards. The wire
+// encoding is 17 bytes (see internal/wire's trace block); the zero value
+// means "untraced" and costs nothing anywhere.
+
+// TraceFlagSampled marks a context whose full span tree should be
+// retained end to end. The sampling decision is made where the trace is
+// minted; downstream stages never re-roll it.
+const TraceFlagSampled uint8 = 1 << 0
+
+// TraceContext identifies one request's distributed trace.
+type TraceContext struct {
+	TraceID uint64 // nonzero for a live trace
+	SpanID  uint64 // the sender's span, i.e. the remote parent
+	Flags   uint8  // TraceFlag* bits
+}
+
+// Valid reports whether the context names a live trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
+
+// Sampled reports whether the full span tree should be retained.
+func (tc TraceContext) Sampled() bool { return tc.Flags&TraceFlagSampled != 0 }
+
+// traceSeed walks a Weyl sequence seeded from the boot clock; NewTraceID
+// finalizes each step with splitmix64 so ids from different processes
+// collide only by 64-bit accident.
+var traceSeed atomic.Uint64
+
+func init() { traceSeed.Store(uint64(time.Now().UnixNano())) }
+
+// NewTraceID mints a process-unique, cross-process-improbable trace id.
+// Never returns 0 (the "untraced" sentinel).
+func NewTraceID() uint64 {
+	x := traceSeed.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+// tailThresholdNS gates tail retention: a traced request's full span tree
+// is published only when its end-to-end duration meets the threshold or
+// the request errored. <= 0 retains every sampled trace.
+var tailThresholdNS atomic.Int64
+
+// SetTailThreshold sets the tail-retention latency bar (0 disables it:
+// every sampled trace is retained).
+func SetTailThreshold(d time.Duration) { tailThresholdNS.Store(int64(d)) }
+
+// TailThresholdNS returns the current tail-retention bar in nanoseconds.
+func TailThresholdNS() int64 { return tailThresholdNS.Load() }
+
+// TailKeep decides retention for a finished traced request: keep when the
+// request errored, when it met the latency bar, or when no bar is set.
+func TailKeep(durNS int64, failed bool) bool {
+	t := tailThresholdNS.Load()
+	return failed || t <= 0 || durNS >= t
+}

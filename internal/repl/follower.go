@@ -370,8 +370,10 @@ func (f *Follower) session() (progressed bool, fatal error) {
 			if f.stuck.CompareAndSwap(true, false) {
 				f.cfg.Logf("repl: follower %s caught the stream again", f.cfg.NodeID)
 			}
+			// WallNS lets the leader estimate this node's clock offset from
+			// the ack round trip (see PeerStats.OffsetNS).
 			ackb = wire.AppendFrame(ackb[:0], wire.MsgReplAck, 0, h.ID,
-				wire.AppendReplAck(nil, wire.ReplAck{Epoch: epoch, Cursor: cur}), false)
+				wire.AppendReplAck(nil, wire.ReplAck{Epoch: epoch, Cursor: cur, WallNS: time.Now().UnixNano()}), false)
 			if _, werr := conn.Write(ackb); werr != nil {
 				return progressed, nil
 			}

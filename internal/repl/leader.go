@@ -59,7 +59,52 @@ type Leader struct {
 	closed bool
 	lns    []net.Listener
 	conns  map[net.Conn]struct{}
-	acked  map[string]store.Cursor
+	peers  map[string]*peerState
+}
+
+// PeerStats is the leader's view of one follower: replication position,
+// lag in records, and a clock model estimated from ack round trips.
+type PeerStats struct {
+	NodeID string       `json:"node"`
+	Acked  store.Cursor `json:"-"`
+	// AckedCursor is Acked rendered for JSON consumers (/repl/status).
+	AckedCursor string `json:"acked"`
+	// LagRecords counts records streamed on the current connection that
+	// the follower has not yet acknowledged.
+	LagRecords uint64 `json:"lag_records"`
+	// RTTNS is the last measured ack round trip (frame write to ack
+	// arrival on the leader).
+	RTTNS int64 `json:"rtt_ns"`
+	// OffsetNS estimates the follower's wall clock minus the leader's,
+	// from offset ≈ ack.WallNS − (send + RTT/2). Zero until the follower
+	// sends wall-clock-stamped acks.
+	OffsetNS int64 `json:"offset_ns"`
+	// LastAckNS is the leader wall clock at the most recent ack.
+	LastAckNS int64 `json:"last_ack_ns"`
+}
+
+// peerState is the per-follower accounting behind PeerStats. A fresh
+// one is installed on every subscribe, so the streamed/acked counters
+// are connection-scoped (a reconnect replays the unacked prefix, which
+// re-counts as lag until the first ack lands — transient and honest).
+type peerState struct {
+	mu        sync.Mutex
+	acked     store.Cursor
+	streamed  uint64 // records written on this connection
+	ackedRecs uint64 // records covered by the latest matched ack
+	sent      map[store.Cursor]sentFrame
+	rttNS     int64
+	offsetNS  int64
+	lastAckNS int64
+}
+
+// sentFrame remembers when a MsgReplRecords frame left the leader. The
+// key is the frame's next-cursor — the one value the follower echoes
+// back in its ack — because every records frame on a connection shares
+// the subscribe frame's id and so ids cannot match acks to frames.
+type sentFrame struct {
+	atNS  int64
+	total uint64 // cumulative records streamed through this frame
 }
 
 // NewLeader builds a feed over cfg.Store and hooks its append
@@ -83,7 +128,7 @@ func NewLeader(cfg LeaderConfig) *Leader {
 		notify: make(chan struct{}, 1),
 		done:   make(chan struct{}),
 		conns:  make(map[net.Conn]struct{}),
-		acked:  make(map[string]store.Cursor),
+		peers:  make(map[string]*peerState),
 	}
 	l.bcast.init()
 	cfg.Store.SetAppendNotify(l.notify)
@@ -174,7 +219,49 @@ func (l *Leader) Close() {
 func (l *Leader) Acked(node string) store.Cursor {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.acked[node]
+	if ps := l.peers[node]; ps != nil {
+		ps.mu.Lock()
+		defer ps.mu.Unlock()
+		return ps.acked
+	}
+	return store.Cursor{}
+}
+
+// Peers snapshots the leader's per-follower replication view, sorted is
+// not guaranteed — callers sort if they need stable output.
+func (l *Leader) Peers() []PeerStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]PeerStats, 0, len(l.peers))
+	for node, ps := range l.peers {
+		ps.mu.Lock()
+		out = append(out, PeerStats{
+			NodeID:      node,
+			Acked:       ps.acked,
+			AckedCursor: ps.acked.String(),
+			LagRecords:  ps.streamed - ps.ackedRecs,
+			RTTNS:       ps.rttNS,
+			OffsetNS:    ps.offsetNS,
+			LastAckNS:   ps.lastAckNS,
+		})
+		ps.mu.Unlock()
+	}
+	return out
+}
+
+// refreshLag re-derives the follower-lag gauge from every peer. Called
+// on both the send and ack paths so a scrape between acks still sees
+// the streamed-but-unacked backlog.
+func (l *Leader) refreshLag() {
+	l.mu.Lock()
+	var lag uint64
+	for _, ps := range l.peers {
+		ps.mu.Lock()
+		lag += ps.streamed - ps.ackedRecs
+		ps.mu.Unlock()
+	}
+	l.mu.Unlock()
+	l.mx.lagRecords.Set(float64(lag))
 }
 
 func (l *Leader) dropConn(c net.Conn) {
@@ -216,6 +303,20 @@ func (l *Leader) handle(c net.Conn) {
 	}
 	l.mx.subs.Inc()
 
+	// A fresh peerState per subscribe: the send-time map and lag
+	// counters are connection-scoped, while the installed entry itself
+	// outlives the connection so /repl/status keeps the last known
+	// position of a dead follower.
+	ps := &peerState{sent: make(map[store.Cursor]sentFrame)}
+	l.mu.Lock()
+	if old := l.peers[sub.NodeID]; old != nil {
+		old.mu.Lock()
+		ps.acked = old.acked
+		old.mu.Unlock()
+	}
+	l.peers[sub.NodeID] = ps
+	l.mu.Unlock()
+
 	// Ack drain: after subscribe the follower only ever sends acks, so
 	// this goroutine owns the read half. Any read error (or non-ack
 	// frame) kills the connection, which unblocks the stream loop.
@@ -232,13 +333,33 @@ func (l *Leader) handle(c net.Conn) {
 				return
 			}
 			l.mx.acks.Inc()
-			l.mu.Lock()
-			l.acked[sub.NodeID] = ack.Cursor
-			l.mu.Unlock()
+			now := time.Now().UnixNano()
+			ps.mu.Lock()
+			ps.acked = ack.Cursor
+			ps.lastAckNS = now
+			if fr, ok := ps.sent[ack.Cursor]; ok {
+				rtt := now - fr.atNS
+				ps.rttNS = rtt
+				if ack.WallNS != 0 {
+					// The follower stamped its wall clock when it acked;
+					// assume the ack spent half the round trip in flight.
+					ps.offsetNS = ack.WallNS - (fr.atNS + rtt/2)
+				}
+				ps.ackedRecs = fr.total
+				// This ack covers every earlier frame too — drop them so
+				// the map stays bounded by the in-flight window.
+				for cur, f := range ps.sent {
+					if f.total <= fr.total {
+						delete(ps.sent, cur)
+					}
+				}
+			}
+			ps.mu.Unlock()
+			l.refreshLag()
 		}
 	}()
 
-	l.stream(c, h.ID, sub, dead)
+	l.stream(c, h.ID, sub, ps, dead)
 	c.Close() // unblocks the ack drain
 	<-dead
 }
@@ -251,7 +372,7 @@ var errBatchFull = errors.New("repl: batch full")
 // and then tails live appends. The first frame is sent even when empty:
 // it is the subscribe ack, carrying the echoed cursor the follower
 // validates against its own.
-func (l *Leader) stream(c net.Conn, id uint64, sub wire.ReplSubscribe, dead chan struct{}) {
+func (l *Leader) stream(c net.Conn, id uint64, sub wire.ReplSubscribe, ps *peerState, dead chan struct{}) {
 	var (
 		cur   = sub.Cursor
 		first = true
@@ -285,9 +406,18 @@ func (l *Leader) stream(c net.Conn, id uint64, sub wire.ReplSubscribe, dead chan
 		if n > 0 || first {
 			buf = wire.AppendReplRecords(buf[:0], l.cfg.Epoch, cur, next, recs)
 			frame := wire.AppendFrame(nil, wire.MsgReplRecords, 0, id, buf, true)
+			sendNS := time.Now().UnixNano()
 			if _, err := c.Write(frame); err != nil {
 				return
 			}
+			// Remember when this frame left, keyed by its next-cursor (the
+			// value the follower echoes back): the ack drain matches on it
+			// to measure RTT and estimate the follower's clock offset.
+			ps.mu.Lock()
+			ps.streamed += uint64(n)
+			ps.sent[next] = sentFrame{atNS: sendNS, total: ps.streamed}
+			ps.mu.Unlock()
+			l.refreshLag()
 			first = false
 			cur = next
 			l.mx.framesOut.Inc()

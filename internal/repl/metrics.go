@@ -18,6 +18,7 @@ type metrics struct {
 	pruned     *obs.Counter
 	promotions *obs.Counter
 	lag        *obs.Histogram
+	lagRecords *obs.Gauge
 }
 
 func registerMetrics(reg *obs.Registry) *metrics {
@@ -47,5 +48,7 @@ func registerMetrics(reg *obs.Registry) *metrics {
 		lag: reg.Histogram("rim_repl_batch_records",
 			"Records per streamed MsgReplRecords frame.",
 			1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+		lagRecords: reg.Gauge("rim_repl_follower_lag_records",
+			"Records streamed to followers but not yet acknowledged, summed across followers (leader side)."),
 	}
 }

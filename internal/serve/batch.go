@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // Op enumerates the mutation kinds a session pipeline applies.
@@ -67,6 +68,16 @@ type Mutation struct {
 	R     float64 // OpSetRadius
 	Iters int     // OpAnneal
 	Seed  int64   // OpAnneal
+
+	// TC carries the distributed trace context of the request that
+	// enqueued this mutation (nil = untraced); the batch that drains it
+	// adopts the first traced mutation's context. EnqNS is the enqueue
+	// wall clock, stamped by Apply while observability is on — the
+	// flight recorder's queue-wait stage. Neither field travels through
+	// the WAL op encoding; the batch record carries one trace-stamp line
+	// instead (see logBatch).
+	TC    *obs.TraceContext
+	EnqNS int64
 }
 
 // Add enqueues a new node at (x, y) with an automatically assigned ID.

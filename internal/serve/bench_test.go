@@ -1,0 +1,42 @@
+package serve_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// BenchmarkBatchPipeline drives one mutation per op through the full
+// enqueue→coalesce→apply→publish pipeline (Flush barriers each batch) —
+// the path that pays the always-on flight-recorder write while
+// observability is enabled. Here observability is runtime-disabled:
+// `make obs-overhead` runs the obs_off build (flight machinery compiled
+// out entirely) as the baseline and gates this build within OBS_TOL,
+// pinning the flight guards to the same ≤3% disabled-path contract as
+// the rest of the subsystem. The *enabled* write's cost is bounded
+// absolutely by TestFlightWriteGate in internal/obs.
+func BenchmarkBatchPipeline(b *testing.B) {
+	prev := obs.SetEnabled(false)
+	b.Cleanup(func() { obs.SetEnabled(prev) })
+	m := serve.NewManager(serve.Config{Shards: 2})
+	defer m.Close(context.Background())
+	s, err := m.CreateSession("bench", line(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Apply(serve.SetRadius(rng.Int63n(64), 0.1+rng.Float64()*0.4)); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Flush(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -85,6 +85,10 @@ type BatchView struct {
 	Session string
 	// Seq is the post-batch mutation-log position.
 	Seq uint64
+	// Trace is the distributed trace id of the batch (0 = untraced);
+	// consumers stamp it onto whatever they emit so one trace covers
+	// mutation ingress through event delivery.
+	Trace uint64
 	// Engine is the session's live engine, positioned after the batch.
 	Engine dynamic.Engine
 	// Delta is the batch's dirty summary (owned by the session; copy to

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/dynamic"
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -40,10 +42,14 @@ import (
 var ErrNoStore = errors.New("serve: no store configured")
 
 // walFail records a WAL append failure once and disables further logging.
+// The first failure dumps the flight recorder to stderr — the last ~32k
+// batches of per-stage timings, captured at the moment durability died.
 func (m *Manager) walFail(err error) {
 	m.metrics.WALFailures.Add(1)
 	m.walBroken.Store(true)
-	m.walErr.CompareAndSwap(nil, &err)
+	if m.walErr.CompareAndSwap(nil, &err) && obs.On() {
+		obs.DefaultFlight().WriteText(os.Stderr, "wal failure: "+err.Error())
+	}
 }
 
 // walOK reports whether batch logging is still active.
@@ -84,7 +90,9 @@ func encodeBatch(dst []byte, batch []Mutation) []byte {
 	return dst
 }
 
-// parseBatchPayload inverts encodeBatch.
+// parseBatchPayload inverts encodeBatch. '#'-comment lines (the trace
+// stamp, or annotations from future writers) are skipped — they are
+// metadata about the batch, not mutations of it.
 func parseBatchPayload(payload []byte) ([]Mutation, error) {
 	text := strings.TrimRight(string(payload), "\n")
 	if text == "" {
@@ -93,6 +101,9 @@ func parseBatchPayload(payload []byte) ([]Mutation, error) {
 	lines := strings.Split(text, "\n")
 	muts := make([]Mutation, 0, len(lines))
 	for no, line := range lines {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
 		// Reuse the trace-line field parser with a synthetic record tag.
 		kv, verb, rejected, err := parseFields(append([]string{"b"}, strings.Fields(line)...))
 		if err != nil {
@@ -107,16 +118,91 @@ func parseBatchPayload(payload []byte) ([]Mutation, error) {
 	return muts, nil
 }
 
+// traceStampPrefix opens the batch record's trace annotation line.
+const traceStampPrefix = "# trace "
+
+// appendTraceStamp renders the trace annotation a traced batch's WAL
+// record carries after its op lines:
+//
+//	# trace id=<hex> span=<batch span id> flags=<n>
+//
+// The '#' keeps it invisible to parseBatchPayload; ParseBatchTrace
+// recovers it so a replication follower can link its apply span back to
+// the leader's batch span.
+func appendTraceStamp(dst []byte, traceID, span uint64, flags uint8) []byte {
+	dst = append(dst, traceStampPrefix...)
+	dst = append(dst, "id="...)
+	dst = strconv.AppendUint(dst, traceID, 16)
+	dst = append(dst, " span="...)
+	dst = strconv.AppendUint(dst, span, 10)
+	dst = append(dst, " flags="...)
+	dst = strconv.AppendUint(dst, uint64(flags), 10)
+	return append(dst, '\n')
+}
+
+// ParseBatchTrace extracts the trace stamp from a batch record payload.
+// The returned context's SpanID is the *writer's* batch span — the causal
+// parent a replicated re-apply links to. ok is false for untraced or
+// legacy records.
+func ParseBatchTrace(payload []byte) (tc obs.TraceContext, ok bool) {
+	text := string(payload)
+	for len(text) > 0 {
+		line := text
+		if i := strings.IndexByte(text, '\n'); i >= 0 {
+			line, text = text[:i], text[i+1:]
+		} else {
+			text = ""
+		}
+		if !strings.HasPrefix(line, traceStampPrefix) {
+			continue
+		}
+		for _, tok := range strings.Fields(line[len(traceStampPrefix):]) {
+			k, v, isKV := strings.Cut(tok, "=")
+			if !isKV {
+				continue
+			}
+			switch k {
+			case "id":
+				u, err := strconv.ParseUint(v, 16, 64)
+				if err != nil {
+					return obs.TraceContext{}, false
+				}
+				tc.TraceID = u
+			case "span":
+				u, err := strconv.ParseUint(v, 10, 64)
+				if err != nil {
+					return obs.TraceContext{}, false
+				}
+				tc.SpanID = u
+			case "flags":
+				u, err := strconv.ParseUint(v, 10, 8)
+				if err != nil {
+					return obs.TraceContext{}, false
+				}
+				tc.Flags = uint8(u)
+			}
+		}
+		return tc, tc.TraceID != 0
+	}
+	return obs.TraceContext{}, false
+}
+
 // logBatch write-ahead-logs one about-to-apply batch. Owner goroutine
 // only. Errors trip the manager-wide fail-open switch. The append runs
 // under ckptMu so a batch that raced past the dropped-flag check still
-// lands before its session's drop record, never after.
-func (s *Session) logBatch(batch []Mutation) {
+// lands before its session's drop record, never after. A traced batch's
+// record carries the trace stamp: the span id was pre-allocated by
+// runBatch so the record (written before apply) and the span (recorded
+// after) name the same id.
+func (s *Session) logBatch(batch []Mutation, tc *obs.TraceContext, batchSpan uint64) {
 	// The payload buffer is owner-only scratch; Append consumes it
 	// synchronously (the store copies it into its own encode buffer), so
 	// reusing it across batches is safe and keeps the log path
 	// allocation-free at steady state.
 	s.walBuf = encodeBatch(s.walBuf[:0], batch)
+	if tc != nil {
+		s.walBuf = appendTraceStamp(s.walBuf, tc.TraceID, batchSpan, tc.Flags)
+	}
 	rec := store.Record{
 		Kind:    store.RecordBatch,
 		Session: s.id,

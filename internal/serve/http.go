@@ -245,7 +245,18 @@ func (h *api) mutate(w http.ResponseWriter, r *http.Request) {
 		}
 		muts = append(muts, mu)
 	}
+	var tc *obs.TraceContext
+	if obs.On() && len(muts) > 0 {
+		t := traceFromHeader(r.Header.Get("X-Rim-Trace"))
+		tc = &t
+		muts[0].TC = tc
+	}
 	ids, err := s.Apply(muts...)
+	if tc != nil {
+		// Echoed on every outcome, including backpressure — the client
+		// retries under the same trace.
+		w.Header().Set("X-Rim-Trace", formatTraceHeader(*tc))
+	}
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -259,6 +270,26 @@ func (h *api) mutate(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusAccepted, map[string]any{"queued": len(muts), "ids": ids})
 	}
+}
+
+// traceFromHeader resurrects a caller-supplied trace context from an
+// X-Rim-Trace header ("<trace hex>-<parent span hex>-<flags hex>"), or
+// mints a fresh sampled root when the header is absent or malformed —
+// the HTTP facade is a trace edge, so every mutate is traced while
+// observability is on.
+func traceFromHeader(v string) obs.TraceContext {
+	if v != "" {
+		var tid, sid, fl uint64
+		if n, err := fmt.Sscanf(v, "%x-%x-%x", &tid, &sid, &fl); n == 3 && err == nil && tid != 0 && fl <= 0xff {
+			return obs.TraceContext{TraceID: tid, SpanID: sid, Flags: uint8(fl)}
+		}
+	}
+	return obs.TraceContext{TraceID: obs.NewTraceID(), Flags: obs.TraceFlagSampled}
+}
+
+// formatTraceHeader inverts traceFromHeader.
+func formatTraceHeader(tc obs.TraceContext) string {
+	return fmt.Sprintf("%016x-%016x-%02x", tc.TraceID, tc.SpanID, tc.Flags)
 }
 
 func (h *api) flush(w http.ResponseWriter, r *http.Request) {

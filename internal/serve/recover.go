@@ -253,6 +253,7 @@ func (m *Manager) restoreSession(id string, st sessState) (*Session, error) {
 		mgr:     m,
 		sh:      m.shardFor(id),
 		det:     m.cfg.Deterministic,
+		flShard: flightShardOf(id),
 		nextID:  st.nextID,
 		idOf:    append([]int64(nil), st.idOf...),
 		idxOf:   make(map[int64]int, len(st.idOf)),

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -81,6 +82,14 @@ func (s *Session) applyReplicated(rec store.Record) error {
 	muts, err := parseBatchPayload(rec.Payload)
 	if err != nil {
 		return fmt.Errorf("serve: replicated batch %q seq=%d: %w", s.id, rec.Seq, err)
+	}
+	if obs.On() && len(muts) > 0 {
+		// A traced leader batch re-applies as a traced follower batch: the
+		// stamp's span id is the leader's batch span, so the follower's
+		// serve.batch span links straight back to the leader's commit.
+		if tc, ok := ParseBatchTrace(rec.Payload); ok {
+			muts[0].TC = &tc
+		}
 	}
 	if rec.Seq != watermark+uint64(len(muts)) {
 		return fmt.Errorf("%w: session %q batch seq=%d does not extend watermark %d by %d",

@@ -21,10 +21,11 @@ import (
 // snapshot. All engine state is touched only by the owning shard's
 // goroutine; clients interact through Apply/Flush/Snapshot.
 type Session struct {
-	id  string
-	mgr *Manager
-	sh  *shard
-	det bool
+	id      string
+	mgr     *Manager
+	sh      *shard
+	det     bool
+	flShard uint64 // flight-recorder shard (FNV of id), fixed at creation
 
 	mu        sync.Mutex
 	cond      *sync.Cond  // signaled when the queue fully drains
@@ -60,6 +61,18 @@ type Session struct {
 	depth     atomic.Int64 // mirrors len(queue); read lock-free by QueueDepth
 }
 
+// flightShardOf spreads sessions across the flight recorder's shards
+// (FNV-1a over the id), so concurrent shards' always-on writes never
+// share a ring cursor.
+func flightShardOf(id string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
 // fullSnapshotEvery bounds how many batches may pass before the full
 // node/edge snapshot is rebuilt anyway. Flush always forces a rebuild,
 // so this only bounds how far Snapshot-path readers (node dumps,
@@ -68,13 +81,14 @@ const fullSnapshotEvery = 64
 
 func newSession(m *Manager, id string, pts []geom.Point) *Session {
 	s := &Session{
-		id:     id,
-		mgr:    m,
-		sh:     m.shardFor(id),
-		det:    m.cfg.Deterministic,
-		nextID: int64(len(pts)),
-		idOf:   make([]int64, len(pts)),
-		idxOf:  make(map[int64]int, len(pts)),
+		id:      id,
+		mgr:     m,
+		sh:      m.shardFor(id),
+		det:     m.cfg.Deterministic,
+		flShard: flightShardOf(id),
+		nextID:  int64(len(pts)),
+		idOf:    make([]int64, len(pts)),
+		idxOf:   make(map[int64]int, len(pts)),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := range pts {
@@ -190,6 +204,14 @@ func (s *Session) applyOpts(muts []Mutation, pinned bool) ([]int64, error) {
 	for _, mu := range muts {
 		if err := mu.validate(s.mgr.cfg.MaxAnnealIters, s.mgr.cfg.MaxCoord); err != nil {
 			return nil, err
+		}
+	}
+	if obs.On() {
+		// Enqueue stamp for the flight recorder's queue-wait stage. One
+		// clock read per Apply call, amortized over the batch.
+		enq := time.Now().UnixNano()
+		for i := range muts {
+			muts[i].EnqNS = enq
 		}
 	}
 	s.mu.Lock()
@@ -368,8 +390,42 @@ func (s *Session) runBatch() {
 	s.depth.Store(int64(rest))
 	s.mu.Unlock()
 
+	// Always-on flight accounting plus tail-sampled trace spans: every
+	// non-empty batch writes one compact flight record while observability
+	// is on; full span trees are recorded only for traced batches that
+	// pass the tail-retention bar (slow, errored, or no bar set). The
+	// batch adopts the first traced mutation's context, and its span id is
+	// pre-allocated so the WAL stamp (written before apply) and the span
+	// records (written after) agree on it.
+	var fl obs.FlightRecord
+	var tc *obs.TraceContext
+	var batchSpan uint64
+	var tMark time.Time
+	flOn := obs.On() && len(batch) > 0
+	if flOn {
+		tMark = time.Now()
+		fl.Start = tMark.UnixNano()
+		fl.Session = s.id
+		if e := batch[0].EnqNS; e != 0 { // FIFO: index 0 is the oldest
+			fl.QueueUS = obs.US(time.Duration(fl.Start - e))
+		}
+		for i := range batch {
+			if batch[i].TC != nil {
+				tc = batch[i].TC
+				batchSpan = obs.DefaultRecorder().NextID()
+				break
+			}
+		}
+	}
+
 	if !s.det && !cfg.NoCoalesce {
 		batch = coalesce(batch)
+	}
+	if flOn {
+		fl.Ops = uint32(len(batch))
+		now := time.Now()
+		fl.CoalesceUS = obs.US(now.Sub(tMark))
+		tMark = now
 	}
 	if len(batch) > 0 && s.mgr.walOK() {
 		s.mu.Lock()
@@ -379,11 +435,22 @@ func (s *Session) runBatch() {
 			// Write-ahead: the batch is durable (per the fsync policy)
 			// before it is applied, so recovery can only ever land on a
 			// batch boundary of the acknowledged mutation log.
-			s.logBatch(batch)
+			s.logBatch(batch, tc, batchSpan)
 		}
 	}
-	sp := obs.Start("serve.batch")
+	if flOn {
+		now := time.Now()
+		fl.WALUS = obs.US(now.Sub(tMark))
+		tMark = now
+	}
+	var sp *obs.Span
+	if tc == nil {
+		// Untraced batches keep the sampled local span; traced batches
+		// record their tree explicitly below, under tail retention.
+		sp = obs.Start("serve.batch")
+	}
 	t0 := time.Now()
+	rej0 := s.rejected.Load()
 	if s.deltaOn {
 		s.delta.reset()
 	}
@@ -396,6 +463,11 @@ func (s *Session) runBatch() {
 	}
 	s.mt.EndBatch()
 	s.traceBatchMark(len(batch))
+	if flOn {
+		now := time.Now()
+		fl.ApplyUS = obs.US(now.Sub(tMark))
+		tMark = now
+	}
 	pub := sp.Child("serve.publish")
 	s.publishHead()
 	pub.End()
@@ -407,6 +479,10 @@ func (s *Session) runBatch() {
 		cfg.AfterBatch(s.id, s.mt.Engine())
 	}
 	if s.deltaOn {
+		var trace uint64
+		if tc != nil {
+			trace = tc.TraceID
+		}
 		// Published even for an empty batch: the consumer may have
 		// pending work (the subscription matcher integrates new
 		// subscriptions at the top of its pass) and returns in O(1) when
@@ -414,11 +490,28 @@ func (s *Session) runBatch() {
 		cfg.AfterBatchDelta(BatchView{
 			Session: s.id,
 			Seq:     s.seq,
+			Trace:   trace,
 			Engine:  s.mt.Engine(),
 			Delta:   &s.delta,
 			IDOf:    s.externalID,
 			IdxOf:   s.indexOf,
 		})
+	}
+	if flOn {
+		end := time.Now()
+		fl.PublishUS = obs.US(end.Sub(tMark))
+		fl.Seq = s.seq
+		failed := s.rejected.Load() > rej0 || (s.mgr.cfg.Store != nil && !s.mgr.walOK())
+		if failed {
+			fl.Err = 1
+		}
+		if tc != nil {
+			fl.Trace, fl.Span = tc.TraceID, batchSpan
+		}
+		obs.DefaultFlight().Add(s.flShard, fl)
+		if tc != nil {
+			s.recordBatchSpans(tc, batchSpan, fl, end, failed)
+		}
 	}
 	s.serveCheckpoints()
 
@@ -457,6 +550,40 @@ func (s *Session) runBatch() {
 	if more {
 		s.sh.schedule(s)
 	}
+}
+
+// recordBatchSpans publishes a traced batch's span tree: the root
+// carries the pre-allocated batch span id (already stamped into the WAL
+// record) and links to the remote parent span; the children replay the
+// flight record's stage stamps. Tail sampling decides retention here, at
+// completion time, when the latency and failure outcome are known.
+func (s *Session) recordBatchSpans(tc *obs.TraceContext, batchSpan uint64, fl obs.FlightRecord, end time.Time, failed bool) {
+	rootStart := fl.Start - int64(fl.QueueUS)*1e3
+	durNS := end.UnixNano() - rootStart
+	if !obs.TailKeep(durNS, failed) {
+		return
+	}
+	r := obs.DefaultRecorder()
+	lane := r.NextLane()
+	r.Record(obs.SpanRecord{
+		ID: batchSpan, Lane: lane, Name: "serve.batch",
+		Start: rootStart, Dur: durNS,
+		Trace: tc.TraceID, Link: tc.SpanID,
+	})
+	at := rootStart
+	stage := func(name string, us uint32) {
+		d := int64(us) * 1e3
+		r.Record(obs.SpanRecord{
+			Parent: batchSpan, Lane: lane, Name: name,
+			Start: at, Dur: d, Trace: tc.TraceID,
+		})
+		at += d
+	}
+	stage("serve.queue", fl.QueueUS)
+	stage("serve.coalesce", fl.CoalesceUS)
+	stage("serve.wal", fl.WALUS)
+	stage("serve.apply", fl.ApplyUS)
+	stage("serve.publish", fl.PublishUS)
 }
 
 // applyOne executes a single mutation against the maintainer, translating

@@ -289,7 +289,7 @@ func (m *matcher) deltaPass(h *Hub, v serve.BatchView) {
 			} else {
 				delete(s.members, id)
 			}
-			h.emit(s, Event{BatchSeq: v.Seq, Node: id, Flags: fl})
+			h.emit(s, Event{BatchSeq: v.Seq, Trace: v.Trace, Node: id, Flags: fl})
 		}
 		s.cand = s.cand[:0]
 	}
@@ -326,7 +326,7 @@ func (m *matcher) fullPass(h *Hub, v serve.BatchView) {
 				if _, is := next[id]; is {
 					fl = FlagRising
 				}
-				h.emit(s, Event{BatchSeq: v.Seq, Node: id, Flags: fl})
+				h.emit(s, Event{BatchSeq: v.Seq, Trace: v.Trace, Node: id, Flags: fl})
 			}
 			m.changeBuf = ch[:0]
 			s.members = next
@@ -352,7 +352,7 @@ func (m *matcher) evalThreshold(h *Hub, s *subscription, v serve.BatchView, idx 
 	if is {
 		fl = FlagRising
 	}
-	h.emit(s, Event{BatchSeq: v.Seq, Node: s.p.Receiver, Value: val, Flags: fl})
+	h.emit(s, Event{BatchSeq: v.Seq, Trace: v.Trace, Node: s.p.Receiver, Value: val, Flags: fl})
 }
 
 func (m *matcher) evalMax(h *Hub, v serve.BatchView) {
@@ -375,7 +375,7 @@ func (m *matcher) evalMaxOne(h *Hub, s *subscription, v serve.BatchView, cur int
 		fl = FlagRising
 	}
 	s.lastMax = cur
-	h.emit(s, Event{BatchSeq: v.Seq, Node: -1, Value: cur, Flags: fl})
+	h.emit(s, Event{BatchSeq: v.Seq, Trace: v.Trace, Node: -1, Value: cur, Flags: fl})
 }
 
 // regionMembers computes a region subscription's membership from scratch
@@ -411,13 +411,13 @@ func (m *matcher) integrate(h *Hub, v serve.BatchView) {
 			if s.lastTrue {
 				fl |= FlagRising
 			}
-			h.emit(s, Event{BatchSeq: v.Seq, Node: s.p.Receiver, Value: val, Flags: fl})
+			h.emit(s, Event{BatchSeq: v.Seq, Trace: v.Trace, Node: s.p.Receiver, Value: val, Flags: fl})
 		case KindRegion:
 			s.members = m.regionMembers(v, s)
-			h.emit(s, Event{BatchSeq: v.Seq, Node: -1, Value: int32(len(s.members)), Flags: FlagInit})
+			h.emit(s, Event{BatchSeq: v.Seq, Trace: v.Trace, Node: -1, Value: int32(len(s.members)), Flags: FlagInit})
 		case KindMax:
 			s.lastMax = int32(v.Engine.Max())
-			h.emit(s, Event{BatchSeq: v.Seq, Node: -1, Value: s.lastMax, Flags: FlagInit})
+			h.emit(s, Event{BatchSeq: v.Seq, Trace: v.Trace, Node: -1, Value: s.lastMax, Flags: FlagInit})
 		}
 	}
 	m.pending = m.pending[:0]

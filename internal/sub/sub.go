@@ -114,10 +114,11 @@ type Event struct {
 	SubID    uint64
 	Seq      uint64
 	BatchSeq uint64
-	Node     int64 // crossing node (region), receiver (threshold), −1 otherwise
-	Value    int32 // interference value, new max, or Init member count
+	Node     int64  // crossing node (region), receiver (threshold), −1 otherwise
+	Value    int32  // interference value, new max, or Init member count
 	Kind     Kind
 	Flags    uint8
+	Trace    uint64 // distributed trace id of the producing batch; 0 = untraced
 }
 
 // Rising reports the false→true direction.
@@ -184,7 +185,8 @@ type Hub struct {
 
 	mu       sync.RWMutex
 	matchers map[string]*matcher
-	owner    map[uint64]*matcher // subscription id → its session matcher
+	owner    map[uint64]*matcher   // subscription id → its session matcher
+	sbs      map[*Subscriber]bool  // live subscriber endpoints (queue-depth gauge)
 	nextID   uint64
 	nSubs    int
 
@@ -200,6 +202,7 @@ func NewHub(cfg Config) *Hub {
 		queueCap: cfg.QueueCap,
 		matchers: make(map[string]*matcher),
 		owner:    make(map[uint64]*matcher),
+		sbs:      make(map[*Subscriber]bool),
 	}
 	if h.queueCap <= 0 {
 		h.queueCap = 1024
@@ -217,6 +220,15 @@ func NewHub(cfg Config) *Hub {
 			h.mu.RLock()
 			defer h.mu.RUnlock()
 			return float64(h.nSubs)
+		})
+		reg.GaugeFunc("rim_sub_queue_depth", "Events waiting in subscriber queues.", func() float64 {
+			h.mu.RLock()
+			defer h.mu.RUnlock()
+			depth := 0
+			for sb := range h.sbs {
+				depth += len(sb.ch)
+			}
+			return float64(depth)
 		})
 	} else {
 		h.events = new(obs.Counter)
@@ -243,10 +255,14 @@ func (h *Hub) Stats() Stats {
 
 // NewSubscriber creates a consumer endpoint with the hub's queue bound.
 func (h *Hub) NewSubscriber() *Subscriber {
-	return &Subscriber{
+	sb := &Subscriber{
 		ch:   make(chan Event, h.queueCap),
 		subs: make(map[uint64]struct{}),
 	}
+	h.mu.Lock()
+	h.sbs[sb] = true
+	h.mu.Unlock()
+	return sb
 }
 
 // Subscribe registers p against the named session and returns the
@@ -323,6 +339,7 @@ func (h *Hub) CloseSubscriber(sb *Subscriber) {
 			}
 		}
 	}
+	delete(h.sbs, sb)
 	sb.subs = nil
 	close(sb.ch)
 }

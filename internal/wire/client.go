@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sub"
 )
@@ -37,6 +38,11 @@ type ClientConfig struct {
 	CRC bool
 	// MaxFrame bounds response payloads; <= 0 means the package default.
 	MaxFrame int
+	// Trace negotiates the distributed-tracing capability (FlagTrace on
+	// the hello). When the server echoes it, GoMutateTraced attaches
+	// trace-context blocks to mutate frames; otherwise those frames are
+	// byte-identical to untraced ones.
+	Trace bool
 	// DialTimeout bounds each connection attempt; <= 0 means 5s.
 	DialTimeout time.Duration
 	// OnEvent receives server-push subscription events (MsgEvent frames).
@@ -89,6 +95,7 @@ func (c *Client) pick() *clientConn {
 type clientConn struct {
 	c       net.Conn
 	crc     bool
+	trace   bool // both sides negotiated FlagTrace at hello
 	onEvent func(sub.Event)
 	wch     chan *Pending
 	stop    chan struct{}
@@ -124,6 +131,11 @@ func dialConn(cfg ClientConfig) (*clientConn, error) {
 	hello = BeginFrame(hello, MsgHello, 0, 0)
 	hello = AppendHello(hello)
 	hello = EndFrame(hello, start, cfg.CRC)
+	if cfg.Trace {
+		// Capability bits ride the header flags: CheckHello pins the
+		// payload to an exact length, so the payload cannot grow.
+		hello[start+5] |= FlagTrace
+	}
 	if _, err := nc.Write(hello); err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("wire: hello: %w", err)
@@ -138,6 +150,7 @@ func dialConn(cfg ClientConfig) (*clientConn, error) {
 		nc.Close()
 		return nil, fmt.Errorf("wire: server is not rimwire v%d", Version)
 	}
+	cc.trace = cfg.Trace && h.Flags&FlagTrace != 0
 
 	cc.done.Add(2)
 	go cc.writeLoop()
@@ -290,13 +303,14 @@ func (cc *clientConn) submit(p *Pending) {
 // Release returns it to the pool; the typed decode helpers release
 // automatically. Pendings are pooled — do not use one after release.
 type Pending struct {
-	cc   *clientConn
-	id   uint64
-	req  []byte
-	h    Header
-	resp []byte
-	err  error
-	ch   chan struct{}
+	cc    *clientConn
+	id    uint64
+	req   []byte
+	flags uint8 // extra header flags ORed in at seal (FlagTrace)
+	h     Header
+	resp  []byte
+	err   error
+	ch    chan struct{}
 }
 
 var pendingPool = sync.Pool{New: func() any {
@@ -309,8 +323,15 @@ func (c *Client) pending() *Pending {
 	p.cc = cc
 	p.id = cc.ids.Add(1)
 	p.req = p.req[:0]
+	p.flags = 0
 	p.err = nil
 	return p
+}
+
+// Traced reports whether the pool negotiated the tracing capability with
+// the server (ClientConfig.Trace set and echoed at hello).
+func (c *Client) Traced() bool {
+	return len(c.conns) > 0 && c.conns[0].trace
 }
 
 // Wait blocks until the response (or a connection failure) arrives. It
@@ -360,6 +381,7 @@ func (p *Pending) seal(typ uint8) {
 	p.req = EndFrame(p.req, 0, p.cc.crc)
 	hb := p.req[:HeaderSize]
 	hb[4] = typ
+	hb[5] |= p.flags
 	p.cc.submit(p)
 }
 
@@ -430,6 +452,23 @@ func (c *Client) GoMutate(session string, ops []serve.Mutation) *Pending {
 	p.begin()
 	p.req = AppendString(p.req, session)
 	p.req = AppendOps(p.req, ops)
+	p.seal(MsgMutate)
+	return p
+}
+
+// GoMutateTraced submits a mutation batch carrying a distributed trace
+// context: the 17-byte block rides after the op records and the frame is
+// marked FlagTrace. Downgrades to a byte-identical GoMutate when the
+// connection did not negotiate tracing or tc is the zero context.
+func (c *Client) GoMutateTraced(session string, ops []serve.Mutation, tc obs.TraceContext) *Pending {
+	p := c.pending()
+	p.begin()
+	p.req = AppendString(p.req, session)
+	p.req = AppendOps(p.req, ops)
+	if p.cc.trace && tc.Valid() {
+		p.req = AppendTraceContext(p.req, tc)
+		p.flags |= FlagTrace
+	}
 	p.seal(MsgMutate)
 	return p
 }

@@ -75,28 +75,48 @@ func DecodeReplSubscribe(p []byte) (ReplSubscribe, error) {
 }
 
 // ReplAck is a decoded MsgReplAck payload: the epoch the follower is
-// following and the cursor it has durably applied through.
+// following, the cursor it has durably applied through, and the
+// follower's wall clock when the ack was sent. WallNS is the raw
+// material of cross-node clock-offset estimation (cmd/rimtrace): the
+// leader remembers when it sent the records frame whose next-cursor the
+// ack echoes, so ack arrival minus send time is the round trip and
+// WallNS − (send + RTT/2) estimates the follower's clock offset.
 type ReplAck struct {
 	Epoch  uint64
 	Cursor store.Cursor
+	WallNS int64 // follower wall clock at ack send; 0 from legacy peers
 }
+
+// replAckLegacySize is the pre-tracing ack payload (no timestamp);
+// replAckSize is the current form. Decode accepts both so a mid-upgrade
+// cluster keeps replicating.
+const (
+	replAckLegacySize = 8 + replCursorSize
+	replAckSize       = replAckLegacySize + 8
+)
 
 // AppendReplAck appends a MsgReplAck payload.
 func AppendReplAck(dst []byte, ack ReplAck) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, ack.Epoch)
-	return appendCursor(dst, ack.Cursor)
+	dst = appendCursor(dst, ack.Cursor)
+	return binary.LittleEndian.AppendUint64(dst, uint64(ack.WallNS))
 }
 
-// DecodeReplAck parses a MsgReplAck payload.
+// DecodeReplAck parses a MsgReplAck payload (with or without the
+// trailing wall-clock word).
 func DecodeReplAck(p []byte) (ReplAck, error) {
-	if len(p) != 8+replCursorSize {
-		return ReplAck{}, fmt.Errorf("%w: ack is %d bytes (want %d)", ErrBadPayload, len(p), 8+replCursorSize)
+	if len(p) != replAckLegacySize && len(p) != replAckSize {
+		return ReplAck{}, fmt.Errorf("%w: ack is %d bytes (want %d or %d)", ErrBadPayload, len(p), replAckLegacySize, replAckSize)
 	}
 	cur, err := decodeCursor(p[8:])
 	if err != nil {
 		return ReplAck{}, err
 	}
-	return ReplAck{Epoch: binary.LittleEndian.Uint64(p[0:8]), Cursor: cur}, nil
+	ack := ReplAck{Epoch: binary.LittleEndian.Uint64(p[0:8]), Cursor: cur}
+	if len(p) == replAckSize {
+		ack.WallNS = int64(binary.LittleEndian.Uint64(p[replAckLegacySize:]))
+	}
+	return ack, nil
 }
 
 // replRecordsHead is the fixed prefix of a MsgReplRecords payload:

@@ -150,10 +150,11 @@ func (s *Server) Close() error {
 // pending pipelined-mutation accumulator, and a one-entry session cache
 // so steady-state requests never re-hash the session table.
 type conn struct {
-	srv *Server
-	c   net.Conn
-	r   *Reader
-	crc bool // client requested CRC trailers in the hello
+	srv   *Server
+	c     net.Conn
+	r     *Reader
+	crc   bool // client requested CRC trailers in the hello
+	trace bool // client negotiated trace-context extensions in the hello
 
 	buf        []byte // outgoing frames accumulate here until flushed
 	frameStart int    // offset of the frame being built in buf
@@ -212,9 +213,16 @@ func (s *Server) handle(nc net.Conn) {
 		return
 	}
 	c.crc = h.Flags&FlagCRC != 0
+	c.trace = h.Flags&FlagTrace != 0
 	c.begin(MsgHelloOK, StatusOK, h.ID)
 	c.buf = AppendHello(c.buf)
 	c.end()
+	if c.trace {
+		// Echo the capability so the client knows its trace blocks will be
+		// honored. Header flags are outside the CRC trailer (it covers the
+		// payload alone), so patching after end() is safe.
+		c.buf[c.frameStart+5] |= FlagTrace
+	}
 	c.flushWrites()
 
 	for {
@@ -274,13 +282,28 @@ func (c *conn) dispatch(h Header, p []byte) {
 			c.flushMutations() // session switch: keep batches single-session
 		}
 		before := len(c.muts)
-		muts, _, err := DecodeOps(rest, c.muts)
+		muts, tail, err := DecodeOps(rest, c.muts)
 		if err != nil {
 			c.flushMutations()
 			c.writeErr(h.ID, StatusBad, err.Error())
 			return
 		}
 		c.muts = muts
+		if h.Flags&FlagTrace != 0 && c.trace {
+			tc, _, terr := DecodeTraceContext(tail)
+			if terr != nil {
+				c.muts = c.muts[:before]
+				c.flushMutations()
+				c.writeErr(h.ID, StatusBad, terr.Error())
+				return
+			}
+			if len(c.muts) > before {
+				// The first mutation carries the context; the serve batch
+				// adopts the first traced mutation it drains.
+				tcp := tc
+				c.muts[before].TC = &tcp
+			}
+		}
 		adds := 0
 		for i := before; i < len(c.muts); i++ {
 			if c.muts[i].Op == serve.OpAdd {
@@ -640,12 +663,17 @@ func (c *conn) flushWrites() error {
 func (c *conn) pump() {
 	defer close(c.pushDone)
 	var buf []byte
+	var traced []uint64 // trace ids of traced events in the current write
 	dead := false
 	for ev := range c.pushSB.Events() {
 		if dead {
 			continue
 		}
-		buf = appendEventFrame(buf[:0], ev, c.crc)
+		traced = traced[:0]
+		buf = appendEventFrame(buf[:0], ev, c.crc, c.trace)
+		if c.trace && ev.Trace != 0 {
+			traced = append(traced, ev.Trace)
+		}
 		frames := 1
 	batch:
 		for len(buf) < 64<<10 {
@@ -654,11 +682,19 @@ func (c *conn) pump() {
 				if !ok {
 					break batch // closed; write what we have, then exit above
 				}
-				buf = appendEventFrame(buf, ev2, c.crc)
+				buf = appendEventFrame(buf, ev2, c.crc, c.trace)
+				if c.trace && ev2.Trace != 0 {
+					traced = append(traced, ev2.Trace)
+				}
 				frames++
 			default:
 				break batch
 			}
+		}
+		spanPush := len(traced) > 0 && obs.On()
+		var t0 time.Time
+		if spanPush {
+			t0 = time.Now()
 		}
 		c.wmu.Lock()
 		n, err := c.c.Write(buf)
@@ -667,15 +703,36 @@ func (c *conn) pump() {
 		c.srv.mx.framesOut.Add(int64(frames))
 		if err != nil {
 			dead = true
+		} else if spanPush {
+			// The delivery leg of a distributed trace: one span per traced
+			// event, covering the socket write that pushed it. Start/Dur
+			// are shared across the batched write — the stitcher cares
+			// about trace membership and causal position, not per-frame
+			// byte timing.
+			dur := time.Since(t0).Nanoseconds()
+			r := obs.DefaultRecorder()
+			for _, tid := range traced {
+				r.Record(obs.SpanRecord{Name: "wire.event_push", Start: t0.UnixNano(), Dur: dur, Trace: tid})
+			}
 		}
 	}
 }
 
 // appendEventFrame encodes one complete MsgEvent frame. The header id
-// slot carries the subscription id — push frames have no request id.
-func appendEventFrame(dst []byte, ev sub.Event, crc bool) []byte {
+// slot carries the subscription id — push frames have no request id. On a
+// trace-negotiated connection an event from a traced batch uses the
+// extended record and marks the frame FlagTrace; otherwise the trace id
+// is stripped so legacy decoders see the fixed 38-byte form.
+func appendEventFrame(dst []byte, ev sub.Event, crc, trace bool) []byte {
+	if !trace {
+		ev.Trace = 0
+	}
 	start := len(dst)
 	dst = BeginFrame(dst, MsgEvent, StatusOK, ev.SubID)
 	dst = AppendEvent(dst, ev)
-	return EndFrame(dst, start, crc)
+	dst = EndFrame(dst, start, crc)
+	if ev.Trace != 0 {
+		dst[start+5] |= FlagTrace
+	}
+	return dst
 }

@@ -62,24 +62,37 @@ func DecodePredicate(p []byte) (sub.Predicate, error) {
 //	offset 32  uint32  value (int32 bits)
 //	offset 36  uint8   kind
 //	offset 37  uint8   flags
+//
+// An event produced by a traced batch may carry the extended record —
+// the same 38 bytes plus a trailing uint64 trace id (EventTracedSize,
+// frame marked FlagTrace) — so a subscriber's push delivery can be
+// stitched into the mutation's distributed trace.
 const EventSize = 38
 
-// AppendEvent appends one fixed event record.
+// EventTracedSize is the extended event record carrying a trace id.
+const EventTracedSize = EventSize + 8
+
+// AppendEvent appends one fixed event record; a nonzero ev.Trace selects
+// the extended traced form.
 func AppendEvent(dst []byte, ev sub.Event) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, ev.SubID)
 	dst = binary.LittleEndian.AppendUint64(dst, ev.Seq)
 	dst = binary.LittleEndian.AppendUint64(dst, ev.BatchSeq)
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(ev.Node))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(ev.Value))
-	return append(dst, byte(ev.Kind), ev.Flags)
+	dst = append(dst, byte(ev.Kind), ev.Flags)
+	if ev.Trace != 0 {
+		dst = binary.LittleEndian.AppendUint64(dst, ev.Trace)
+	}
+	return dst
 }
 
-// DecodeEvent parses a fixed event record.
+// DecodeEvent parses a fixed event record, plain or traced.
 func DecodeEvent(p []byte) (sub.Event, error) {
-	if len(p) != EventSize {
-		return sub.Event{}, fmt.Errorf("%w: event is %d bytes (want %d)", ErrBadPayload, len(p), EventSize)
+	if len(p) != EventSize && len(p) != EventTracedSize {
+		return sub.Event{}, fmt.Errorf("%w: event is %d bytes (want %d or %d)", ErrBadPayload, len(p), EventSize, EventTracedSize)
 	}
-	return sub.Event{
+	ev := sub.Event{
 		SubID:    binary.LittleEndian.Uint64(p[0:8]),
 		Seq:      binary.LittleEndian.Uint64(p[8:16]),
 		BatchSeq: binary.LittleEndian.Uint64(p[16:24]),
@@ -87,5 +100,9 @@ func DecodeEvent(p []byte) (sub.Event, error) {
 		Value:    int32(binary.LittleEndian.Uint32(p[32:36])),
 		Kind:     sub.Kind(p[36]),
 		Flags:    p[37],
-	}, nil
+	}
+	if len(p) == EventTracedSize {
+		ev.Trace = binary.LittleEndian.Uint64(p[38:46])
+	}
+	return ev, nil
 }

@@ -1,0 +1,155 @@
+package wire_test
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/wire"
+)
+
+// TestTraceContextDisabledZeroAlloc pins the zero-cost-when-off contract
+// of the trace extension: on a connection that did not negotiate
+// tracing, GoMutateTraced allocates nothing beyond the base mutate path
+// (which is itself zero-alloc at steady state) and puts not one extra
+// byte on the wire — the frame is byte-identical to GoMutate's, modulo
+// the request id.
+func TestTraceContextDisabledZeroAlloc(t *testing.T) {
+	addr, _ := startServer(t, serve.Config{}, wire.ServerConfig{})
+	// Trace deliberately NOT set: the hello does not offer the capability.
+	c := dialClient(t, addr, wire.ClientConfig{Conns: 1})
+	if _, err := c.Create("s", line(8)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Traced() {
+		t.Fatal("connection negotiated tracing without asking for it")
+	}
+
+	tc := obs.TraceContext{TraceID: obs.NewTraceID(), SpanID: 7, Flags: obs.TraceFlagSampled}
+	ops := []serve.Mutation{serve.SetRadius(1, 0.5)}
+	var ids []int64
+	base := func() {
+		p := c.GoMutate("s", ops)
+		var err error
+		ids, err = p.MutateIDs(ids[:0])
+		if err != nil {
+			panic("mutate failed")
+		}
+	}
+	traced := func() {
+		p := c.GoMutateTraced("s", ops, tc)
+		var err error
+		ids, err = p.MutateIDs(ids[:0])
+		if err != nil {
+			panic("mutate failed")
+		}
+	}
+	base()
+	traced() // reach steady-state buffer sizes
+	// The base round trip has a small fixed alloc count (completion
+	// wakeup); the trace-disabled path must add exactly zero on top.
+	baseAllocs := testing.AllocsPerRun(200, base)
+	tracedAllocs := testing.AllocsPerRun(200, traced)
+	if extra := tracedAllocs - baseAllocs; extra != 0 {
+		t.Errorf("GoMutateTraced on an untraced connection allocates %v more per op than GoMutate (%v vs %v), want 0 extra",
+			extra, tracedAllocs, baseAllocs)
+	}
+}
+
+// TestTraceDisabledNoWireBytes proxies the client through a recording
+// tee and compares the raw mutate frames: with tracing unnegotiated,
+// GoMutateTraced and GoMutate must emit identical bytes (the id field
+// aside), with no FlagTrace and no trailing trace block.
+func TestTraceDisabledNoWireBytes(t *testing.T) {
+	addr, _ := startServer(t, serve.Config{}, wire.ServerConfig{})
+
+	// A one-connection tee: record every client→server byte.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var mu sync.Mutex
+	var captured bytes.Buffer
+	go func() {
+		cl, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		up, err := net.Dial("tcp", addr)
+		if err != nil {
+			cl.Close()
+			return
+		}
+		go io.Copy(cl, up) // responses pass through untouched
+		buf := make([]byte, 4096)
+		for {
+			n, err := cl.Read(buf)
+			if n > 0 {
+				mu.Lock()
+				captured.Write(buf[:n])
+				mu.Unlock()
+				up.Write(buf[:n])
+			}
+			if err != nil {
+				cl.Close()
+				up.Close()
+				return
+			}
+		}
+	}()
+
+	c := dialClient(t, ln.Addr().String(), wire.ClientConfig{Conns: 1})
+	if _, err := c.Create("s", line(8)); err != nil {
+		t.Fatal(err)
+	}
+	ops := []serve.Mutation{serve.SetRadius(1, 0.5)}
+	if _, err := c.Mutate("s", ops); err != nil {
+		t.Fatal(err)
+	}
+	tc := obs.TraceContext{TraceID: obs.NewTraceID(), Flags: obs.TraceFlagSampled}
+	if _, err := c.GoMutateTraced("s", ops, tc).MutateIDs(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	stream := append([]byte(nil), captured.Bytes()...)
+	mu.Unlock()
+
+	// Walk the captured stream and keep the MsgMutate frames whole
+	// (header + payload).
+	var frames [][]byte
+	r := wire.NewReader(bytes.NewReader(stream), 0)
+	off := 0
+	for {
+		h, p, err := r.Next()
+		if err != nil {
+			break
+		}
+		flen := wire.HeaderSize + len(p)
+		if h.Type == wire.MsgMutate {
+			frames = append(frames, append([]byte(nil), stream[off:off+flen]...))
+		}
+		off += flen
+	}
+	if len(frames) != 2 {
+		t.Fatalf("captured %d mutate frames, want 2", len(frames))
+	}
+	plain, traced := frames[0], frames[1]
+	if traced[5]&wire.FlagTrace != 0 {
+		t.Error("untraced connection emitted FlagTrace")
+	}
+	// Mask the request id (bytes 8..16) and require byte equality.
+	for _, f := range frames {
+		for i := 8; i < 16; i++ {
+			f[i] = 0
+		}
+	}
+	if !bytes.Equal(plain, traced) {
+		t.Errorf("GoMutateTraced frame differs from GoMutate with tracing off:\n  plain:  %x\n  traced: %x", plain, traced)
+	}
+}

@@ -1,0 +1,41 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Trace-context block: the 17-byte distributed-tracing extension a
+// FlagTrace-marked MsgMutate frame appends after its op records —
+//
+//	offset 0   uint64  trace id (nonzero)
+//	offset 8   uint64  parent span id (the sender's span; 0 for a root)
+//	offset 16  uint8   flags (obs.TraceFlag* bits)
+//
+// Appending it after the ops keeps the block invisible to decoders that
+// ignore the frame flag: DecodeOps returns trailing bytes untouched.
+
+// TraceBlockSize is the fixed on-wire size of one trace-context block.
+const TraceBlockSize = 17
+
+// AppendTraceContext appends one fixed trace-context block.
+func AppendTraceContext(dst []byte, tc obs.TraceContext) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, tc.TraceID)
+	dst = binary.LittleEndian.AppendUint64(dst, tc.SpanID)
+	return append(dst, tc.Flags)
+}
+
+// DecodeTraceContext parses a trace-context block off the front of p
+// and returns the rest.
+func DecodeTraceContext(p []byte) (obs.TraceContext, []byte, error) {
+	if len(p) < TraceBlockSize {
+		return obs.TraceContext{}, nil, fmt.Errorf("%w: trace block is %d bytes (want %d)", ErrBadPayload, len(p), TraceBlockSize)
+	}
+	return obs.TraceContext{
+		TraceID: binary.LittleEndian.Uint64(p[0:8]),
+		SpanID:  binary.LittleEndian.Uint64(p[8:16]),
+		Flags:   p[16],
+	}, p[TraceBlockSize:], nil
+}

@@ -76,6 +76,20 @@ const (
 	// skips it (TCP already checksums); a client talking across storage
 	// or relays can turn it on per connection.
 	FlagCRC = 1 << 0
+
+	// FlagTrace is the distributed-tracing capability and marker bit.
+	// On a MsgHello header it asks the server to accept trace contexts;
+	// the server echoes it on MsgHelloOK when it can (capability bits
+	// live in the header because CheckHello pins the hello payload to an
+	// exact length). On a MsgMutate header it marks a 17-byte trace
+	// block (u64 trace id, u64 parent span id, u8 flags) appended after
+	// the op records — DecodeOps already tolerates trailing bytes, so an
+	// untraced peer skips it harmlessly. On a MsgEvent header it marks
+	// the extended 46-byte event record whose tail carries the trace id.
+	// Absent everywhere, nothing is encoded and nothing is paid: the
+	// zero-cost-when-off contract is pinned by
+	// TestTraceContextDisabledZeroAlloc.
+	FlagTrace = 1 << 1
 )
 
 // Message types. Requests are odd jobs of the client; every request
