@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench bench-json serve-smoke store-smoke store-overhead wire-smoke wire-gate repl-smoke sub-smoke sub-gate trace-smoke trace-demo obs-overhead repro figures tables cover fuzz fuzz-nightly clean
+.PHONY: all build vet test check bench bench-json serve-smoke store-smoke store-overhead wire-smoke wire-gate repl-smoke sub-smoke sub-gate trace-smoke trace-demo obs-overhead phys-smoke repro figures tables cover fuzz fuzz-nightly clean
 
 all: build vet test
 
@@ -49,9 +49,12 @@ bench:
 #            max p50+p99) and per-stage server-side percentiles
 #            (queue/coalesce/wal/apply/publish µs) from the always-on
 #            flight recorder
-# e.g. `make bench-json BENCH=7`.
+#   BENCH=8  + the physical-model (SINR) evaluator: incremental
+#            SetRadius deltas over the far-field neighborhood at n=4096
+#            (the hot path of annealing and serving under -measure=sinr)
+# e.g. `make bench-json BENCH=8`.
 BENCH ?= 1
-BENCH_REGEX ?= BenchmarkAnnealEvaluator|BenchmarkAnnealRecompute|BenchmarkDynamicEvents|BenchmarkExactSearch|BenchmarkAblationIncremental|BenchmarkServeMixed|BenchmarkServeHTTPMixed|BenchmarkWALAppend|BenchmarkRecovery|BenchmarkServeWireMixed|BenchmarkWireCodec|BenchmarkWireRTT|BenchmarkReplThroughput
+BENCH_REGEX ?= BenchmarkAnnealEvaluator|BenchmarkAnnealRecompute|BenchmarkDynamicEvents|BenchmarkExactSearch|BenchmarkAblationIncremental|BenchmarkServeMixed|BenchmarkServeHTTPMixed|BenchmarkWALAppend|BenchmarkRecovery|BenchmarkServeWireMixed|BenchmarkWireCodec|BenchmarkWireRTT|BenchmarkReplThroughput|BenchmarkPhysEvaluator
 RIMLOAD_PROFILE ?= smoke
 RIMLIVE_PROFILE ?= bench
 bench-json:
@@ -73,6 +76,13 @@ serve-smoke:
 # graceful SIGTERM restart to prove the final-checkpoint path).
 store-smoke:
 	$(GO) test -run TestStoreSmoke -count=1 -v ./cmd/rimd/
+
+# End-to-end physical-model smoke: boot the real rimd binary with
+# -measure=sinr and a data directory, mutate over HTTP, kill -9, restart
+# on the same directory, and require byte-identical SINR session state
+# back (then a graceful SIGTERM restart to prove the checkpoint path).
+phys-smoke:
+	$(GO) test -run TestPhysSmoke -count=1 -v ./cmd/rimd/
 
 # End-to-end wire smoke: boot rimd with both front doors, drive the
 # binary protocol through a pipelined client (create, mutate, flush,
@@ -201,6 +211,7 @@ fuzz:
 	$(GO) test -run=xxx -fuzz=FuzzRobustnessBound -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -run=xxx -fuzz=FuzzCheckRadii -fuzztime=$(FUZZTIME) ./internal/oracle/
 	$(GO) test -run=xxx -fuzz=FuzzLaws -fuzztime=$(FUZZTIME) ./internal/oracle/
+	$(GO) test -run=xxx -fuzz=FuzzPhysEvaluator -fuzztime=$(FUZZTIME) ./internal/oracle/
 	$(GO) test -run=xxx -fuzz=FuzzReadInstance -fuzztime=$(FUZZTIME) ./internal/encode/
 	$(GO) test -run=xxx -fuzz=FuzzReadTopology -fuzztime=$(FUZZTIME) ./internal/encode/
 	$(GO) test -run=xxx -fuzz=FuzzWALDecode -fuzztime=$(FUZZTIME) ./internal/store/

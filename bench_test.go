@@ -22,6 +22,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/highway"
 	"repro/internal/opt"
+	"repro/internal/phys"
 	"repro/internal/planar"
 	"repro/internal/schedule"
 	"repro/internal/sim"
@@ -367,6 +368,28 @@ func BenchmarkAnnealEvaluator(b *testing.B) {
 		opt.Anneal(pts, rand.New(rand.NewSource(int64(i))), iters)
 	}
 	b.ReportMetric(float64(iters)*float64(b.N)/b.Elapsed().Seconds(), "iters/s")
+}
+
+// BenchmarkPhysEvaluator measures the incremental SINR evaluator at
+// n=4096: per-op SetRadius deltas over the far-field neighborhood, the
+// hot path of annealing and serving under -measure=sinr. Compare with
+// BenchmarkAnnealEvaluator — the physical measure pays for power sums
+// over the F·r disk where the graph measure pays for coverage counts
+// over the r disk.
+func BenchmarkPhysEvaluator(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := gen.UniformSquare(rng, 4096, 12)
+	ev := phys.NewEvaluator(pts, phys.Default())
+	radii := make([]float64, len(pts))
+	for i := range radii {
+		radii[i] = 0.2 + rng.Float64()
+	}
+	ev.BatchSet(radii, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.SetRadius(rng.Intn(len(pts)), 0.2+rng.Float64())
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "setradius/s")
 }
 
 // BenchmarkAnnealRecompute is the ablation baseline for

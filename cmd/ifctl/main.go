@@ -18,6 +18,9 @@
 //	    emit the instance as CSV (replayable via internal/encode)
 //	ifctl svg      -family gadget -n 36 -alg NNF > gadget.svg
 //	    render the instance + topology with interference disks
+//	ifctl phys     -family gadget -n 12 -iters 6000
+//	    anneal under the graph and the physical (SINR) measure, score
+//	    both optima under both measures
 //
 // Families: uniform, clustered, highway, expchain, gadget (T4.1),
 // figure1.
@@ -38,6 +41,7 @@ import (
 	"repro/internal/highway"
 	"repro/internal/obs"
 	"repro/internal/opt"
+	"repro/internal/phys"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/tablefmt"
@@ -66,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	alg := fs.String("alg", "MST", "algorithm name for measure/profile/svg (see 'compare' output)")
 	csv := fs.Bool("csv", false, "emit CSV")
 	heat := fs.Bool("heat", false, "overlay the interference heatmap in 'svg' output")
+	iters := fs.Int("iters", 0, "annealing iterations for 'phys' (0 = 400·n)")
 	var ocli obs.CLI
 	ocli.AddFlags(fs)
 	if err := fs.Parse(args[1:]); err != nil {
@@ -95,6 +100,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return profile(stdout, stderr, pts, *alg)
 	case "stats":
 		instanceStats(stdout, pts)
+	case "phys":
+		physCompare(stdout, pts, *seed, *iters, *csv)
 	case "svg":
 		a, ok := findAlg(*alg)
 		if !ok {
@@ -118,7 +125,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: ifctl <compare|measure|optimal|profile|stats|dump|svg> [flags]
+	fmt.Fprintln(w, `usage: ifctl <compare|measure|optimal|profile|stats|dump|svg|phys> [flags]
   compare  run the full topology-control zoo and tabulate interference
   measure  per-node interference report for one algorithm (-alg)
   optimal  exact minimum-interference topology (small instances)
@@ -126,6 +133,7 @@ func usage(w io.Writer) {
   stats    instance geometry: extent, hull, density, closest pair, Δ, γ
   dump     emit the generated instance as CSV
   svg      render the instance + topology (-alg) with interference disks
+  phys     anneal under graph and physical (SINR) measures, score both ways
 run "ifctl compare -h" for flags`)
 }
 
@@ -245,6 +253,39 @@ func profile(stdout, stderr io.Writer, pts []geom.Point, name string) int {
 	t.AddRowf("connectivity preserved", p.PreservesConnectivity)
 	t.Render(stdout)
 	return 0
+}
+
+// physCompare anneals the instance under both interference measures and
+// scores each optimum under each measure — the CLI face of experiment
+// X13. A large sinr_I in the graph row is the disk abstraction failing:
+// the graph-optimal radii accumulate physical power the disk measure
+// never counted.
+func physCompare(stdout io.Writer, pts []geom.Point, seed int64, iters int, csv bool) {
+	if iters <= 0 {
+		iters = 400 * len(pts)
+	}
+	m := phys.Default()
+	score := func(radii []float64) (graphI, sinrI int) {
+		ev := phys.NewEvaluator(pts, m)
+		ev.BatchSet(radii, 0)
+		return core.InterferenceRadii(pts, radii).Max(), ev.Max()
+	}
+	graphRes := opt.Anneal(pts, rand.New(rand.NewSource(seed)), iters)
+	physRes := opt.AnnealWith(phys.NewMeasure, pts, rand.New(rand.NewSource(seed)), iters)
+	t := tablefmt.New(
+		fmt.Sprintf("graph vs physical optima (%s, %d anneal iters)", gen.Describe(pts), iters),
+		"annealed_under", "graph_I", "sinr_I")
+	gg, gs := score(graphRes.Radii)
+	pg, ps := score(physRes.Radii)
+	t.AddRowf("graph", gg, gs)
+	t.AddRowf("sinr", pg, ps)
+	if csv {
+		t.RenderCSV(stdout)
+		return
+	}
+	t.Render(stdout)
+	fmt.Fprintf(stdout, "sinr_I = max integer SINR level (α=%g β=%g far-field=%g·r); far-field truncation bound %.3g levels\n",
+		m.PathLoss, m.Beta, m.FarField, m.TruncationBound(len(pts)))
 }
 
 // instanceStats prints the geometric profile of the generated instance.

@@ -90,6 +90,18 @@ func TestCompareCSV(t *testing.T) {
 	}
 }
 
+func TestPhysComparesBothMeasures(t *testing.T) {
+	out, _, code := runCapture(t, "phys", "-family", "gadget", "-n", "12", "-iters", "800")
+	if code != 0 {
+		t.Fatalf("code %d", code)
+	}
+	for _, want := range []string{"annealed_under", "graph_I", "sinr_I", "truncation bound"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("phys output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestMeasureUnknownAlgorithm(t *testing.T) {
 	_, errOut, code := runCapture(t, "measure", "-alg", "Telepathy")
 	if code != 2 || !strings.Contains(errOut, "unknown algorithm") {

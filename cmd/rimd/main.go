@@ -66,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		deterministic = fs.Bool("deterministic", false, "record replayable per-session mutation traces")
 		traceCap      = fs.Int("trace-cap", 1<<20, "retained trace lines per session (ring buffer; 0 = unlimited)")
 		rebuild       = fs.Float64("rebuild-factor", 0, "maintainer drift-rebuild factor (0 = default)")
+		measure       = fs.String("measure", "graph", "default interference measure for new sessions: graph (receiver-centric disks) or sinr (physical model)")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "max time to drain queues on shutdown")
 		obsOn         = fs.Bool("obs", true, "enable the observability layer (spans feed /debug/obs/*)")
 		spanSample    = fs.Int("span-sample", 16, "record every nth root span")
@@ -87,6 +88,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if fs.NArg() > 0 {
 		fmt.Fprintf(stderr, "rimd: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	if !serve.ValidMeasure(*measure) {
+		fmt.Fprintf(stderr, "rimd: unknown -measure %q (want graph or sinr)\n", *measure)
 		return 2
 	}
 	if *obsOn && obs.Available {
@@ -120,13 +125,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		hub = sub.NewHub(sub.Config{QueueCap: 1 << 15, Registry: obs.Default()})
 	}
 	scfg := serve.Config{
-		Shards:        *shards,
-		QueueCap:      *queueCap,
-		BatchCap:      *batchCap,
-		Deterministic: *deterministic,
-		TraceCap:      *traceCap,
-		RebuildFactor: *rebuild,
-		Store:         st,
+		Shards:         *shards,
+		QueueCap:       *queueCap,
+		BatchCap:       *batchCap,
+		Deterministic:  *deterministic,
+		TraceCap:       *traceCap,
+		RebuildFactor:  *rebuild,
+		Store:          st,
+		DefaultMeasure: *measure,
 		// A follower must apply the leader's post-coalesce records verbatim:
 		// re-coalescing across record boundaries would drop mutations and
 		// diverge the seq space (repl.NewFollower refuses a coalescing

@@ -177,3 +177,83 @@ func TestStoreSmoke(t *testing.T) {
 	}
 	fmt.Printf("store smoke ok: 3 boots, 1 kill -9, state preserved\n")
 }
+
+// TestPhysSmoke is TestStoreSmoke's physical-model sibling, behind
+// `make phys-smoke`: boot the real daemon with -measure=sinr, drive a
+// session over the HTTP door, kill -9, and demand the byte-identical
+// SINR session back — the engine choice must survive the WAL, the
+// checkpoint, and both recovery paths.
+func TestPhysSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("phys smoke builds and boots real daemons; skipped in -short")
+	}
+	bin := buildRimd(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	durable := []string{"-data-dir", dataDir, "-fsync", "batch", "-checkpoint-every", "0", "-measure", "sinr"}
+
+	// Boot 1: a sinr session by server default, then die without ceremony.
+	p1 := bootRimd(t, bin, durable...)
+	p1.post(t, "/v1/sessions", `{"id":"phys","n":24,"seed":7}`, 201)
+	p1.post(t, "/v1/sessions/phys/mutations",
+		`{"ops":[{"op":"set_radius","node":0,"r":0.8},{"op":"add","x":0.2,"y":0.7},{"op":"move","node":3,"x":0.5,"y":0.5},{"op":"anneal","iters":200,"seed":13}]}`, 202)
+	p1.post(t, "/v1/sessions/phys/flush", ``, 200)
+	wantSummary := stripAge(p1.get(t, "/v1/sessions/phys", 200))
+	if !strings.Contains(wantSummary, `"measure":"sinr"`) {
+		t.Fatalf("summary does not carry the sinr measure: %s", wantSummary)
+	}
+	wantNodes := string(p1.get(t, "/v1/sessions/phys/nodes", 200))
+
+	if err := p1.cmd.Process.Kill(); err != nil { // SIGKILL: the crash
+		t.Fatal(err)
+	}
+	p1.cmd.Wait()
+
+	// Boot 2: WAL-only recovery must rebuild the session under the phys
+	// engine — the boot-time oracle verification scores sinr sessions with
+	// the naive physical model, so a measure mix-up refuses the boot.
+	p2 := bootRimd(t, bin, durable...)
+	if out := p2.out.String(); !strings.Contains(out, "recovered 1 sessions") || !strings.Contains(out, "1 verified") {
+		t.Fatalf("recovery manifest missing after kill -9:\n%s", out)
+	}
+	if got := stripAge(p2.get(t, "/v1/sessions/phys", 200)); got != wantSummary {
+		t.Fatalf("summary diverged after crash recovery:\n got %s\nwant %s", got, wantSummary)
+	}
+	if got := string(p2.get(t, "/v1/sessions/phys/nodes", 200)); got != wantNodes {
+		t.Fatalf("nodes diverged after crash recovery:\n got %s\nwant %s", got, wantNodes)
+	}
+
+	// The recovered daemon keeps serving under sinr, and the phys metric
+	// families ride the shared registry out the /metrics door.
+	p2.post(t, "/v1/sessions/phys/mutations", `{"ops":[{"op":"set_radius","node":1,"r":1.1}]}`, 202)
+	p2.post(t, "/v1/sessions/phys/flush", ``, 200)
+	wantSummary = stripAge(p2.get(t, "/v1/sessions/phys", 200))
+	metrics := string(p2.get(t, "/metrics", 200))
+	for _, want := range []string{"rim_phys_set_radius_total", "rim_phys_max_level", "rim_phys_truncation_bound"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Graceful stop, then a checkpoint-only boot.
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.cmd.Wait(); err != nil {
+		t.Fatalf("graceful exit: %v\n%s", err, p2.out.String())
+	}
+	p3 := bootRimd(t, bin, durable...)
+	out := p3.out.String()
+	if !strings.Contains(out, "1 from checkpoint") || !strings.Contains(out, "replayed 0 batches") {
+		t.Fatalf("boot after clean shutdown should need no WAL replay:\n%s", out)
+	}
+	if got := stripAge(p3.get(t, "/v1/sessions/phys", 200)); got != wantSummary {
+		t.Fatalf("summary diverged after clean restart:\n got %s\nwant %s", got, wantSummary)
+	}
+	if err := p3.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := p3.cmd.Wait(); err != nil {
+		t.Fatalf("boot 3 exit: %v\n%s", err, p3.out.String())
+	}
+	fmt.Printf("phys smoke ok: 3 boots, 1 kill -9, sinr state preserved\n")
+}

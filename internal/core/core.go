@@ -179,6 +179,10 @@ func CoveredByNaive(pts []geom.Point, g *graph.Graph, v int) []int {
 	return out
 }
 
+// GridCell exposes the evaluator's cell-size heuristic so alternative
+// measure engines (internal/phys) index the same point set the same way.
+func GridCell(pts []geom.Point) float64 { return gridCell(pts) }
+
 // gridCell picks a cell size for interference evaluation: the mean
 // nearest-extent heuristic — 1/√n of the bounding-box diagonal — keeps
 // cell occupancy O(1) for roughly uniform instances while degrading

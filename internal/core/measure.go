@@ -1,0 +1,46 @@
+package core
+
+import "repro/internal/geom"
+
+// Measure is the incremental-evaluator surface shared by every
+// interference measure. *Evaluator implements it for the paper's
+// receiver-centric disk measure I(G); phys.Evaluator implements it for
+// the physical (SINR) model. dynamic.Maintainer, the serve sessions,
+// and the opt searchers all drive this interface, so a session can run
+// either measure — or a shadow-checked oracle wrapper — without code
+// changes.
+//
+// Snapshot/Restore is the transactional part of the contract: Snapshot
+// pushes a mark, Restore rewinds every SetRadius/GrowTo back to it
+// exactly. Structural edits (AddPoint/RemovePoint/MovePoint/BatchSet)
+// are outside snapshot scope and must panic while marks are open, as
+// *Evaluator does.
+type Measure interface {
+	N() int
+	Points() []geom.Point
+	Grid() *geom.Grid
+	Max() int
+	SumI() int
+	Radius(u int) float64
+	I(v int) int
+	SetRadius(u int, r float64) float64
+	GrowTo(u int, r float64) float64
+	Snapshot()
+	Restore()
+	AddPoint(p geom.Point) int
+	RemovePoint(idx int)
+	MovePoint(idx int, p geom.Point)
+	BatchSet(radii []float64, workers int)
+	ExportState(dst *State) *State
+}
+
+// MeasureFactory builds a measure engine for a point set. opt's
+// *With searchers and the dynamic maintainer call it at construction
+// and on every full rebuild.
+type MeasureFactory func(pts []geom.Point) Measure
+
+// GraphMeasure is the default factory: the paper's receiver-centric
+// disk measure.
+func GraphMeasure(pts []geom.Point) Measure { return NewEvaluator(pts) }
+
+var _ Measure = (*Evaluator)(nil)

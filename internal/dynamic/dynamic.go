@@ -46,32 +46,20 @@ import (
 )
 
 // Engine is the incremental-evaluator surface the maintainer drives.
-// *core.Evaluator implements it and is the production engine; the
-// differential oracle's DiffEvaluator wraps one behind the same surface,
-// so a whole maintenance (or serving) pipeline can run against the
-// shadow-checked engine without code changes.
-type Engine interface {
-	N() int
-	Points() []geom.Point
-	Grid() *geom.Grid
-	Max() int
-	SumI() int
-	Radius(u int) float64
-	I(v int) int
-	SetRadius(u int, r float64) float64
-	GrowTo(u int, r float64) float64
-	AddPoint(p geom.Point) int
-	RemovePoint(idx int)
-	MovePoint(idx int, p geom.Point)
-	BatchSet(radii []float64, workers int)
-	ExportState(dst *core.State) *core.State
-}
+// It is an alias for core.Measure: *core.Evaluator implements it for
+// the graph measure, phys.Evaluator for the physical (SINR) model, and
+// the differential oracle's Diff*Evaluator wrappers shadow either one
+// behind the same surface, so a whole maintenance (or serving) pipeline
+// can run against any measure without code changes.
+type Engine = core.Measure
 
 var _ Engine = (*core.Evaluator)(nil)
 
 // EngineFactory builds the engine for an instance; the maintainer calls
-// it at construction and again on every full rebuild.
-type EngineFactory func(pts []geom.Point) Engine
+// it at construction and again on every full rebuild. It is an alias
+// for core.MeasureFactory so factories flow into opt's *With searchers
+// unchanged.
+type EngineFactory = core.MeasureFactory
 
 // EventKind labels a maintainer event for hook consumers.
 type EventKind uint8
@@ -408,7 +396,9 @@ func (m *Maintainer) Anneal(seed int64, iters int) int {
 	}
 	m.events++
 	if len(m.points()) >= 2 && iters > 0 {
-		res := opt.Anneal(m.points(), rand.New(rand.NewSource(seed)), iters)
+		// Optimize against the session's own measure: a physical-model
+		// maintainer anneals the SINR objective, not the disk counts.
+		res := opt.AnnealWith(m.factory, m.points(), rand.New(rand.NewSource(seed)), iters)
 		m.eng.BatchSet(res.Radii, 0)
 		m.topo = res.Topology
 		m.baseline = m.eng.Max()

@@ -78,6 +78,8 @@ func Registry() []Experiment {
 			func(p Params) (*tablefmt.Table, string) { return DistCostX11(p.Seed, 150), "" }},
 		{"x12", "X12 — topology churn under motion",
 			func(p Params) (*tablefmt.Table, string) { return StabilityX12(p.Seed, 60, 60), "" }},
+		{"x13", "X13 — graph vs physical (SINR) optima",
+			func(p Params) (*tablefmt.Table, string) { return PhysLabX13(p.Seed) }},
 		{"r54", "T5.4 replicated — O(√Δ) constant with error bars",
 			func(p Params) (*tablefmt.Table, string) { return ReplicatedT54(p.Seed, p.MCTrials, p.MCWorkers), "" }},
 		{"r56", "T5.6 replicated — approximation ratio distribution",

@@ -81,6 +81,21 @@ func Exact(pts []geom.Point) Result {
 // the solver into an anytime heuristic that still returns the best
 // topology found, flagged Exact == false.
 func ExactBudget(pts []geom.Point, budget int64) Result {
+	return ExactBudgetWith(core.GraphMeasure, pts, budget)
+}
+
+// ExactWith is Exact under an arbitrary interference measure; the
+// feasibility constraint (preserving UDG components) is measure-
+// independent, so only the objective changes.
+func ExactWith(factory core.MeasureFactory, pts []geom.Point) Result {
+	return ExactBudgetWith(factory, pts, defaultBudget)
+}
+
+// ExactBudgetWith is ExactBudget generalized over the measure engine.
+// The branch-and-bound relies only on the core.Measure contract:
+// monotonicity of Max in every radius (true for disk counts and for
+// power sums alike) and exact Snapshot/Restore.
+func ExactBudgetWith(factory core.MeasureFactory, pts []geom.Point, budget int64) Result {
 	n := len(pts)
 	if n > MaxExactN {
 		panic("opt: instance too large for exact search; use Anneal")
@@ -93,7 +108,7 @@ func ExactBudget(pts []geom.Point, budget int64) Result {
 	base := udg.Build(pts)
 	_, wantK := base.Components()
 
-	ev := core.NewEvaluator(pts)
+	ev := factory(pts)
 	s := &exactSearch{
 		pts:    pts,
 		cand:   candidatesGrid(pts, base, ev.Grid()),
@@ -106,12 +121,16 @@ func ExactBudget(pts []geom.Point, budget int64) Result {
 
 	// Seed the upper bound with the best feasible topology at hand: the
 	// range-limited Euclidean MST, improved by a short annealing run. The
-	// tighter the seed, the harder the bound prunes.
+	// tighter the seed, the harder the bound prunes. The seed value is
+	// measured through the same engine (then reset to all-zero for the
+	// search invariant), so it is exact under any measure.
 	seed := sp.Child("opt.exact.seed")
 	mst := graph.EuclideanMST(pts, udg.Radius)
 	seedRadii := core.Radii(pts, mst)
-	seedI := core.InterferenceRadii(pts, seedRadii).Max()
-	if ann := Anneal(pts, rand.New(rand.NewSource(1)), 400*n); ann.Interference < seedI {
+	ev.BatchSet(seedRadii, 0)
+	seedI := ev.Max()
+	ev.BatchSet(make([]float64, n), 0)
+	if ann := AnnealWith(factory, pts, rand.New(rand.NewSource(1)), 400*n); ann.Interference < seedI {
 		seedI = ann.Interference
 		seedRadii = ann.Radii
 	}
@@ -288,7 +307,7 @@ type exactSearch struct {
 	udgAdj    *graph.Graph
 	fc        *feasChecker
 	radii     []float64
-	ev        *core.Evaluator
+	ev        core.Measure
 	best      int // best feasible interference found (inclusive bound)
 	bestRadii []float64
 	visited   int64
@@ -401,6 +420,14 @@ func RealizeForest(pts []geom.Point, radii []float64) *graph.Graph {
 // kept for the ablation benchmarks; both draw identically from rng, so
 // they walk the same move sequence.
 func Anneal(pts []geom.Point, rng *rand.Rand, iters int) Result {
+	return AnnealWith(core.GraphMeasure, pts, rng, iters)
+}
+
+// AnnealWith is Anneal under an arbitrary interference measure: the
+// move set, candidate lists, feasibility checks, and rng draws are
+// identical to Anneal's, so AnnealWith(core.GraphMeasure, …) walks the
+// same sequence bit-for-bit; only Max comes from the supplied engine.
+func AnnealWith(factory core.MeasureFactory, pts []geom.Point, rng *rand.Rand, iters int) Result {
 	n := len(pts)
 	if n == 0 {
 		return Result{Topology: graph.New(0)}
@@ -411,7 +438,7 @@ func Anneal(pts []geom.Point, rng *rand.Rand, iters int) Result {
 	base := udg.Build(pts)
 	_, wantK := base.Components()
 
-	ev := core.NewEvaluator(pts)
+	ev := factory(pts)
 	fc := newFeasChecker(pts, ev.Grid(), wantK)
 	cand := candidatesGrid(pts, base, ev.Grid())
 

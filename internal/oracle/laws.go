@@ -31,15 +31,16 @@ type Law struct {
 	Check func(rng *rand.Rand) error
 }
 
-// Laws returns the full catalogue.
+// Laws returns the full catalogue, graph-measure laws followed by the
+// physical-measure laws from physlaws.go.
 func Laws() []Law {
-	return []Law{
+	return append([]Law{
 		{"arrival-delta-at-most-one", lawArrivalDelta},
 		{"scale-invariance", lawScaleInvariance},
 		{"translate-invariance", lawTranslateInvariance},
 		{"radius-monotonicity", lawMonotonicity},
 		{"snapshot-roundtrip", lawSnapshotRoundTrip},
-	}
+	}, physLaws()...)
 }
 
 // lawInstance draws n points quantized to multiples of 2⁻¹⁶ in a square

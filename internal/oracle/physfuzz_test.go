@@ -1,0 +1,100 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/oracle"
+	"repro/internal/phys"
+)
+
+// FuzzPhysEvaluator drives the shadow-checked physical evaluator with a
+// byte-coded op interpreter: the first bytes seed an instance (same
+// 5-byte encoding as FuzzCheckRadii), the rest are 4-byte ops covering
+// every mutation path — radius updates at arbitrary snapshot depth,
+// structural edits at depth zero, whole-vector resets. Verify
+// recomputes the quantized power sums naively and requires bit-exact
+// agreement after every few ops and again after unwinding.
+func FuzzPhysEvaluator(f *testing.F) {
+	// One mid-size instance with a pair of coincident points and a mix
+	// of ops; one tiny instance driven through structural churn.
+	f.Add([]byte{
+		0, 0, 0, 0, 255, 0, 0, 0, 0, 128, 255, 255, 255, 255, 64,
+		0xff, // end of instance (odd stride tail ignored)
+		0, 0, 200, 0, 2, 0, 0, 0, 4, 100, 100, 0, 3, 0, 0, 0,
+	})
+	f.Add([]byte{
+		16, 0, 16, 0, 40, 240, 0, 240, 0, 40,
+		0xff,
+		4, 50, 50, 0, 6, 0, 200, 200, 7, 13, 7, 0, 5, 0, 0, 0,
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Split instance bytes from op bytes at the first 0xff marker.
+		inst := data
+		var ops []byte
+		for i, b := range data {
+			if b == 0xff {
+				inst, ops = data[:i], data[i+1:]
+				break
+			}
+		}
+		pts, radii := decodeInstance(inst)
+		if len(pts) == 0 {
+			pts = []geom.Point{geom.Pt(0, 0)}
+			radii = []float64{0}
+		}
+		d := oracle.NewDiffPhysEvaluator(pts, phys.Default())
+		d.BatchSet(radii, 0)
+		if err := d.Verify(); err != nil {
+			t.Fatalf("after seed BatchSet: %v", err)
+		}
+
+		for i := 0; i+4 <= len(ops) && d.N() > 0; i += 4 {
+			op, a, b, c := ops[i], ops[i+1], ops[i+2], ops[i+3]
+			u := int(a) % d.N()
+			switch op % 8 {
+			case 0:
+				d.SetRadius(u, float64(b)/255*4)
+			case 1:
+				d.GrowTo(u, float64(b)/255*4)
+			case 2:
+				if d.Depth() < 6 {
+					d.Snapshot()
+				}
+			case 3:
+				if d.Depth() > 0 {
+					d.Restore()
+				}
+			case 4:
+				if d.Depth() == 0 && d.N() < 64 {
+					d.AddPoint(geom.Pt(float64(b)/255*8, float64(c)/255*8))
+				}
+			case 5:
+				if d.Depth() == 0 && d.N() > 1 {
+					d.RemovePoint(u)
+				}
+			case 6:
+				if d.Depth() == 0 {
+					d.MovePoint(u, geom.Pt(float64(b)/255*8, float64(c)/255*8))
+				}
+			default:
+				if d.Depth() == 0 {
+					rr := make([]float64, d.N())
+					for j := range rr {
+						rr[j] = float64((int(b)+j*int(c))%256) / 255 * 4
+					}
+					d.BatchSet(rr, 0)
+				}
+			}
+			if i/4%8 == 7 {
+				if err := d.Verify(); err != nil {
+					t.Fatalf("after op %d (code %d): %v", i/4, op%8, err)
+				}
+			}
+		}
+		d.Unwind()
+		if err := d.Verify(); err != nil {
+			t.Fatalf("after unwind: %v", err)
+		}
+	})
+}

@@ -1,0 +1,193 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/phys"
+)
+
+// Metamorphic laws for the physical (SINR) measure. Same floating-point
+// discipline as the graph laws: the scale law multiplies coordinates
+// and radii by powers of two, which is exact in IEEE double — both the
+// squared distances and the r²/d² ratios inside phys.Model.Units come
+// out bit-identical, so quantized power sums must match exactly, not
+// approximately. (In raw watts, scaling space by s rescales transmit
+// power by s^α automatically — P(r)=β·N·r^α — which is why received
+// power in β·N units is scale-free without adjusting β.)
+
+func physLaws() []Law {
+	return []Law{
+		{"phys-scale-invariance", lawPhysScaleInvariance},
+		{"phys-radius-monotonicity", lawPhysMonotonicity},
+		{"phys-snapshot-roundtrip", lawPhysSnapshotRoundTrip},
+		{"phys-disk-domination", lawPhysDiskDomination},
+		{"phys-far-field-cutoff", lawPhysFarField},
+	}
+}
+
+// lawPhysScaleInvariance: quantized received power is scale-free —
+// multiplying every coordinate and radius by the same power of two
+// leaves every pw(v) bit-identical, on both the naive and the
+// incremental path.
+func lawPhysScaleInvariance(rng *rand.Rand) error {
+	m := phys.Default()
+	pts, radii := lawInstance(rng, 2+rng.Intn(24), 4)
+	s := []float64{0.25, 0.5, 2, 4, 8}[rng.Intn(5)]
+	scaledPts := make([]geom.Point, len(pts))
+	scaledRadii := make([]float64, len(radii))
+	for i := range pts {
+		scaledPts[i] = pts[i].Scale(s)
+		scaledRadii[i] = radii[i] * s
+	}
+	orig := PhysPower(pts, radii, m)
+	scaled := PhysPower(scaledPts, scaledRadii, m)
+	for v := range orig {
+		if orig[v] != scaled[v] {
+			return fmt.Errorf("pw(%d) changed under ×%v scaling: %d → %d", v, s, orig[v], scaled[v])
+		}
+	}
+	ev := phys.NewEvaluator(scaledPts, m)
+	ev.BatchSet(scaledRadii, 0)
+	for v := range orig {
+		if ev.Power(v) != orig[v] {
+			return fmt.Errorf("evaluator pw(%d) under ×%v scaling: %d, naive original %d", v, s, ev.Power(v), orig[v])
+		}
+	}
+	return nil
+}
+
+// lawPhysMonotonicity: raising one node's radius never decreases any
+// receiver's power sum (larger radius means more transmit power at
+// every distance and a wider far-field support). Checked on the naive
+// model and on the incremental SetRadius path.
+func lawPhysMonotonicity(rng *rand.Rand) error {
+	m := phys.Default()
+	pts, radii := lawInstance(rng, 2+rng.Intn(24), 4)
+	u := rng.Intn(len(pts))
+	grown := append([]float64(nil), radii...)
+	grown[u] = radii[u] + rng.Float64()*2
+
+	before := PhysPower(pts, radii, m)
+	after := PhysPower(pts, grown, m)
+	for v := range before {
+		if after[v] < before[v] {
+			return fmt.Errorf("pw(%d) decreased when r_%d grew %v → %v: %d → %d",
+				v, u, radii[u], grown[u], before[v], after[v])
+		}
+	}
+
+	ev := phys.NewEvaluator(pts, m)
+	ev.BatchSet(radii, 0)
+	ev.SetRadius(u, grown[u])
+	for v := range after {
+		if ev.Power(v) != after[v] {
+			return fmt.Errorf("incremental pw(%d) after growing r_%d: %d, naive %d", v, u, ev.Power(v), after[v])
+		}
+	}
+	return nil
+}
+
+// lawPhysSnapshotRoundTrip: a Snapshot/mutate/Restore cycle lands on
+// bit-identical power sums — the integer deltas the undo log replays
+// cancel exactly, which is the property that makes speculative search
+// (opt's branch-and-bound) sound under the physical measure.
+func lawPhysSnapshotRoundTrip(rng *rand.Rand) error {
+	m := phys.Default()
+	pts, radii := lawInstance(rng, 2+rng.Intn(24), 4)
+	ev := phys.NewEvaluator(pts, m)
+	ev.BatchSet(radii, 0)
+
+	before := make([]int64, len(pts))
+	for v := range before {
+		before[v] = ev.Power(v)
+	}
+	beforeMax, beforeSum := ev.Max(), ev.SumI()
+
+	ev.Snapshot()
+	for k := 0; k < 12; k++ {
+		u := rng.Intn(len(pts))
+		switch rng.Intn(3) {
+		case 0:
+			ev.SetRadius(u, 0)
+		case 1:
+			ev.GrowTo(u, rng.Float64()*6)
+		default:
+			ev.SetRadius(u, rng.Float64()*4)
+		}
+		if rng.Intn(4) == 0 {
+			ev.Snapshot()
+			ev.SetRadius(rng.Intn(len(pts)), rng.Float64()*4)
+			ev.Restore()
+		}
+	}
+	ev.Restore()
+
+	for v := range before {
+		if ev.Power(v) != before[v] {
+			return fmt.Errorf("pw(%d) after round-trip: %d, want %d", v, ev.Power(v), before[v])
+		}
+	}
+	if ev.Max() != beforeMax || ev.SumI() != beforeSum {
+		return fmt.Errorf("max/sum after round-trip: %d/%d, want %d/%d", ev.Max(), ev.SumI(), beforeMax, beforeSum)
+	}
+	return nil
+}
+
+// lawPhysDiskDomination: a sender whose disk strictly covers a receiver
+// (d² ≤ r², no epsilon) delivers at least one full decode threshold,
+// so level(v) is at least the strict cover count — the bridge between
+// the physical levels and the paper's disk-count measure. (Stated for
+// strict containment only: a coverer in the 1e-9 boundary ring can
+// quantize to UnitScale−1.)
+func lawPhysDiskDomination(rng *rand.Rand) error {
+	m := phys.Default()
+	pts, radii := lawInstance(rng, 2+rng.Intn(24), 4)
+	levels := PhysLevels(pts, radii, m)
+	for v := range pts {
+		cover := 0
+		for u := range pts {
+			if u != v && radii[u] > 0 && pts[u].Dist2(pts[v]) <= radii[u]*radii[u] {
+				cover++
+			}
+		}
+		if levels[v] < cover {
+			return fmt.Errorf("level(%d) = %d below strict cover count %d", v, levels[v], cover)
+		}
+	}
+	return nil
+}
+
+// lawPhysFarField: Units is zero exactly outside the far-field cutoff
+// (F·r)²·(1+1e-9) — the same epsilon geom's disk queries apply — and
+// positive inside it under the default model, so the grid query's
+// support set and the power definition agree on every boundary case.
+func lawPhysFarField(rng *rand.Rand) error {
+	m := phys.Default()
+	const grow = 1 + 1e-9
+	for trial := 0; trial < 64; trial++ {
+		r := rng.Float64()*4 + 1.0/(1<<12)
+		reach2 := (m.FarField * r) * (m.FarField * r)
+		var d2 float64
+		switch trial % 4 {
+		case 0:
+			d2 = reach2 * grow // exact cutoff: still inside
+		case 1:
+			d2 = reach2 * grow * (1 + 1e-12) // just past: outside
+		case 2:
+			d2 = rng.Float64() * reach2
+		default:
+			d2 = reach2 * (1 + rng.Float64()*4)
+		}
+		u := m.Units(r, d2)
+		inside := d2 <= reach2*grow
+		if inside && u <= 0 {
+			return fmt.Errorf("Units(%v, %v) = %d inside the cutoff", r, d2, u)
+		}
+		if !inside && u != 0 {
+			return fmt.Errorf("Units(%v, %v) = %d beyond the cutoff", r, d2, u)
+		}
+	}
+	return nil
+}

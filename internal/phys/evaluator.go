@@ -1,0 +1,450 @@
+package phys
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+// Evaluator maintains per-receiver quantized power sums incrementally
+// under the core.Measure mutation surface. Where core.Evaluator counts
+// covering disks (±1 per annulus node), this engine adds and removes
+// Units(r, d²) contributions per far-field neighborhood node: a radius
+// change r→r' touches Within(u, F·max(r, r')) — power changes at every
+// distance, not just in the annulus — and each touched receiver's sum
+// moves by the exact integer delta, so the update is reversible and
+// order-independent.
+//
+// Max is kept by a (maxLevel, count-at-max) pair instead of core's
+// dense histogram — levels can reach ~2^20 for coincident points, far
+// too sparse to array-index. Increases update the pair in O(1);
+// the rare decrease that empties the top level falls back to one O(n)
+// rescan, counted by rim_phys_max_rescans_total.
+type Evaluator struct {
+	model Model
+	pts   []geom.Point
+	grid  *geom.Grid
+	radii []float64
+	pw    []int64 // quantized received power per node, Σ Units(r_u, d²(u,v))
+
+	sumLevels int64
+	maxLevel  int
+	atMax     int     // nodes with level == maxLevel
+	maxR      float64 // upper bound on max_u radii[u] (never shrinks eagerly)
+	buf       []int
+
+	// Undo log: SetRadius journals prior radii while snapshots are
+	// active; Restore replays the tail in reverse (exact, because
+	// integer deltas cancel).
+	undo  []undoRec
+	marks []int
+}
+
+type undoRec struct {
+	u int
+	r float64
+}
+
+// NewEvaluator starts from the all-zero radius assignment under the
+// given model. The point slice is copied.
+func NewEvaluator(pts []geom.Point, m Model) *Evaluator {
+	own := append([]geom.Point(nil), pts...)
+	ev := &Evaluator{
+		model: m,
+		pts:   own,
+		radii: make([]float64, len(own)),
+		pw:    make([]int64, len(own)),
+		atMax: len(own),
+	}
+	if len(own) > 0 {
+		ev.grid = geom.NewGrid(own, core.GridCell(own))
+	}
+	if obs.On() {
+		obsTruncBound.Set(m.TruncationBound(len(own)))
+	}
+	return ev
+}
+
+// NewMeasure is the core.MeasureFactory for the default physical model.
+func NewMeasure(pts []geom.Point) core.Measure {
+	return NewEvaluator(pts, Default())
+}
+
+var _ core.Measure = (*Evaluator)(nil)
+
+// Model returns the physical-layer constants this evaluator runs under.
+func (ev *Evaluator) Model() Model { return ev.model }
+
+// N returns the number of points under evaluation.
+func (ev *Evaluator) N() int { return len(ev.pts) }
+
+// Points returns the evaluated point slice (shared; treat as read-only).
+func (ev *Evaluator) Points() []geom.Point { return ev.pts }
+
+// Grid returns the evaluator's spatial index (shared; treat as
+// read-only).
+func (ev *Evaluator) Grid() *geom.Grid { return ev.grid }
+
+// Radius returns the current radius of u.
+func (ev *Evaluator) Radius(u int) float64 { return ev.radii[u] }
+
+// Radii returns a copy of the current radius assignment.
+func (ev *Evaluator) Radii() []float64 {
+	return append([]float64(nil), ev.radii...)
+}
+
+// Power returns v's quantized received power sum (UnitScale units per
+// decode threshold). This is the exact quantity the naive oracle
+// recomputes from scratch.
+func (ev *Evaluator) Power(v int) int64 { return ev.pw[v] }
+
+// I returns v's integer interference level — received power in whole
+// decode thresholds, ⌊pw/UnitScale⌋.
+func (ev *Evaluator) I(v int) int { return level(ev.pw[v]) }
+
+// Max returns the maximum interference level over all receivers.
+func (ev *Evaluator) Max() int { return ev.maxLevel }
+
+// SumI returns Σ_v level(v), maintained incrementally.
+func (ev *Evaluator) SumI() int { return int(ev.sumLevels) }
+
+func level(pw int64) int { return int(pw >> LogUnitScale) }
+
+// SetRadius changes node u's transmission radius and returns the
+// previous value. Cost is O(|D(u, F·max(old, new)) ∩ V|) — every
+// receiver inside the larger far-field disk re-weighs u's contribution.
+func (ev *Evaluator) SetRadius(u int, r float64) float64 {
+	old := ev.radii[u]
+	if r == old {
+		return old
+	}
+	if r < 0 {
+		panic(fmt.Sprintf("phys: negative radius %v for node %d", r, u))
+	}
+	if len(ev.marks) > 0 {
+		ev.undo = append(ev.undo, undoRec{u, old})
+	}
+	ev.apply(u, r)
+	return old
+}
+
+// apply performs the radius change without journaling.
+func (ev *Evaluator) apply(u int, r float64) {
+	old := ev.radii[u]
+	ev.radii[u] = r
+	if r > ev.maxR {
+		ev.maxR = r
+	}
+	hi := old
+	if r > hi {
+		hi = r
+	}
+	if hi <= 0 || ev.grid == nil {
+		return
+	}
+	p := ev.pts[u]
+	ev.buf = ev.grid.Within(p, ev.model.FarField*hi, ev.buf[:0])
+	if obs.On() {
+		obsSetRadius.Inc()
+		obsReachNodes.Add(int64(len(ev.buf)))
+	}
+	for _, v := range ev.buf {
+		if v == u {
+			continue
+		}
+		d2 := p.Dist2(ev.pts[v])
+		if delta := ev.model.Units(r, d2) - ev.model.Units(old, d2); delta != 0 {
+			ev.addPW(v, delta)
+		}
+	}
+}
+
+// GrowTo raises u's radius to at least r (no-op if already larger),
+// returning the previous radius.
+func (ev *Evaluator) GrowTo(u int, r float64) float64 {
+	if r <= ev.radii[u] {
+		return ev.radii[u]
+	}
+	return ev.SetRadius(u, r)
+}
+
+// addPW moves v's power sum by delta and maintains sumLevels and the
+// (maxLevel, atMax) pair.
+func (ev *Evaluator) addPW(v int, delta int64) {
+	oldL := level(ev.pw[v])
+	ev.pw[v] += delta
+	newL := level(ev.pw[v])
+	if newL == oldL {
+		return
+	}
+	ev.sumLevels += int64(newL - oldL)
+	if newL > oldL {
+		if newL > ev.maxLevel {
+			ev.maxLevel, ev.atMax = newL, 1
+			if obs.On() {
+				obsMaxLevel.Set(float64(newL))
+			}
+		} else if newL == ev.maxLevel {
+			ev.atMax++
+		}
+	} else if oldL == ev.maxLevel {
+		ev.atMax--
+		if ev.atMax == 0 {
+			ev.rescanMax()
+		}
+	}
+}
+
+// rescanMax recounts the (maxLevel, atMax) pair in one pass — the
+// fallback when every holder of the previous maximum decreased.
+func (ev *Evaluator) rescanMax() {
+	if obs.On() {
+		obsMaxRescans.Inc()
+	}
+	maxL, cnt := 0, 0
+	for _, p := range ev.pw {
+		if l := level(p); l > maxL {
+			maxL, cnt = l, 1
+		} else if l == maxL {
+			cnt++
+		}
+	}
+	ev.maxLevel, ev.atMax = maxL, cnt
+	if obs.On() {
+		obsMaxLevel.Set(float64(maxL))
+	}
+}
+
+// Snapshot marks the current radius assignment; see core.Evaluator.
+func (ev *Evaluator) Snapshot() {
+	ev.marks = append(ev.marks, len(ev.undo))
+}
+
+// Restore rolls back to the most recent Snapshot exactly: integer
+// deltas cancel bit-for-bit, so restored state is identical to the
+// state at Snapshot, not merely close.
+func (ev *Evaluator) Restore() {
+	if len(ev.marks) == 0 {
+		panic("phys: Restore without Snapshot")
+	}
+	mark := ev.marks[len(ev.marks)-1]
+	ev.marks = ev.marks[:len(ev.marks)-1]
+	for i := len(ev.undo) - 1; i >= mark; i-- {
+		rec := ev.undo[i]
+		if ev.radii[rec.u] != rec.r {
+			ev.apply(rec.u, rec.r)
+		}
+	}
+	ev.undo = ev.undo[:mark]
+}
+
+// BatchSet replaces the entire radius assignment in one pass over the
+// senders' far-field disks. workers is accepted for interface parity
+// and ignored: accumulation is serial because it is already
+// output-sensitive over the grid, and the quantized integer adds keep
+// any future sharding bit-identical. It panics while a snapshot is
+// active.
+func (ev *Evaluator) BatchSet(radii []float64, workers int) {
+	_ = workers
+	if len(radii) != len(ev.pts) {
+		panic("phys: radius vector length mismatch")
+	}
+	if len(ev.marks) > 0 {
+		panic("phys: BatchSet during active snapshot")
+	}
+	copy(ev.radii, radii)
+	ev.maxR = 0
+	for _, r := range ev.radii {
+		if r < 0 {
+			panic("phys: negative radius in BatchSet")
+		}
+		if r > ev.maxR {
+			ev.maxR = r
+		}
+	}
+	if len(ev.pts) == 0 {
+		return
+	}
+	if obs.On() {
+		obsBatchSets.Inc()
+		sp := obs.Start("phys.batchset")
+		defer sp.End()
+	}
+	for i := range ev.pw {
+		ev.pw[i] = 0
+	}
+	for u, r := range ev.radii {
+		if r <= 0 {
+			continue
+		}
+		p := ev.pts[u]
+		ev.buf = ev.grid.Within(p, ev.model.FarField*r, ev.buf[:0])
+		for _, v := range ev.buf {
+			if v == u {
+				continue
+			}
+			ev.pw[v] += ev.model.Units(r, p.Dist2(ev.pts[v]))
+		}
+	}
+	ev.rebuildLevels()
+}
+
+// rebuildLevels recomputes sumLevels and the max pair from pw.
+func (ev *Evaluator) rebuildLevels() {
+	ev.sumLevels = 0
+	maxL, cnt := 0, 0
+	for _, p := range ev.pw {
+		l := level(p)
+		ev.sumLevels += int64(l)
+		if l > maxL {
+			maxL, cnt = l, 1
+		} else if l == maxL {
+			cnt++
+		}
+	}
+	ev.maxLevel, ev.atMax = maxL, cnt
+	if obs.On() {
+		obsMaxLevel.Set(float64(maxL))
+	}
+}
+
+// AddPoint appends a new (initially silent) node and returns its index.
+// The newcomer's own power sum is one range query bounded by the
+// largest current far-field reach. It panics while a snapshot is
+// active.
+func (ev *Evaluator) AddPoint(p geom.Point) int {
+	if len(ev.marks) > 0 {
+		panic("phys: AddPoint during active snapshot")
+	}
+	if obs.On() {
+		obsAddPoints.Inc()
+	}
+	if ev.grid == nil {
+		ev.pts = append(ev.pts, p)
+		ev.grid = geom.NewGrid(ev.pts, 1)
+	} else {
+		ev.grid.Add(p)
+		ev.pts = ev.grid.Points()
+	}
+	idx := len(ev.pts) - 1
+	ev.radii = append(ev.radii, 0)
+	ev.pw = append(ev.pw, ev.recount(idx, p))
+	l := level(ev.pw[idx])
+	ev.sumLevels += int64(l)
+	if l > ev.maxLevel {
+		ev.maxLevel, ev.atMax = l, 1
+	} else if l == ev.maxLevel {
+		ev.atMax++
+	}
+	if obs.On() {
+		obsMaxLevel.Set(float64(ev.maxLevel))
+		obsTruncBound.Set(ev.model.TruncationBound(len(ev.pts)))
+	}
+	return idx
+}
+
+// recount computes node idx's power sum from scratch at position p:
+// one range query bounded by the largest current far-field reach.
+func (ev *Evaluator) recount(idx int, p geom.Point) int64 {
+	if ev.maxR <= 0 {
+		return 0
+	}
+	var pw int64
+	ev.buf = ev.grid.Within(p, ev.model.FarField*ev.maxR, ev.buf[:0])
+	for _, u := range ev.buf {
+		if u != idx && ev.radii[u] > 0 {
+			pw += ev.model.Units(ev.radii[u], ev.pts[u].Dist2(p))
+		}
+	}
+	return pw
+}
+
+// RemovePoint deletes the node at idx: its signal is silenced and it
+// stops counting as a receiver. Indices above idx shift down by one.
+// It panics while a snapshot is active.
+func (ev *Evaluator) RemovePoint(idx int) {
+	if len(ev.marks) > 0 {
+		panic("phys: RemovePoint during active snapshot")
+	}
+	if idx < 0 || idx >= len(ev.pts) {
+		panic(fmt.Sprintf("phys: RemovePoint index %d out of range", idx))
+	}
+	if obs.On() {
+		obsRemovePoints.Inc()
+	}
+	ev.SetRadius(idx, 0)
+	l := level(ev.pw[idx])
+	ev.sumLevels -= int64(l)
+	wasMax := l == ev.maxLevel
+	ev.grid.Remove(idx)
+	ev.pts = ev.grid.Points()
+	ev.radii = append(ev.radii[:idx], ev.radii[idx+1:]...)
+	ev.pw = append(ev.pw[:idx], ev.pw[idx+1:]...)
+	if wasMax {
+		ev.atMax--
+		if ev.atMax == 0 {
+			ev.rescanMax()
+		}
+	}
+	if obs.On() {
+		obsMaxLevel.Set(float64(ev.maxLevel))
+		obsTruncBound.Set(ev.model.TruncationBound(len(ev.pts)))
+	}
+}
+
+// MovePoint relocates the node at idx, keeping its index and radius:
+// silence at the old position, recount own power at the new position,
+// re-light at the new position. It panics while a snapshot is active.
+func (ev *Evaluator) MovePoint(idx int, p geom.Point) {
+	if len(ev.marks) > 0 {
+		panic("phys: MovePoint during active snapshot")
+	}
+	if idx < 0 || idx >= len(ev.pts) {
+		panic(fmt.Sprintf("phys: MovePoint index %d out of range", idx))
+	}
+	if obs.On() {
+		obsMovePoints.Inc()
+	}
+	r := ev.radii[idx]
+	ev.SetRadius(idx, 0)
+	// ev.pts aliases the grid's slice, so the grid update is visible
+	// through ev.pts[idx] immediately.
+	ev.grid.Move(idx, p)
+	if delta := ev.recount(idx, p) - ev.pw[idx]; delta != 0 {
+		ev.addPW(idx, delta)
+	}
+	ev.SetRadius(idx, r)
+}
+
+// Reset returns the evaluator to the all-zero assignment without
+// reallocating, discarding any active snapshots.
+func (ev *Evaluator) Reset() {
+	for i := range ev.radii {
+		ev.radii[i] = 0
+		ev.pw[i] = 0
+	}
+	ev.sumLevels = 0
+	ev.maxLevel = 0
+	ev.atMax = len(ev.pts)
+	ev.maxR = 0
+	ev.undo = ev.undo[:0]
+	ev.marks = ev.marks[:0]
+}
+
+// ExportState copies the observables into dst (levels as the I
+// vector), mirroring core.Evaluator.ExportState.
+func (ev *Evaluator) ExportState(dst *core.State) *core.State {
+	if dst == nil {
+		dst = &core.State{}
+	}
+	dst.Points = append(dst.Points[:0], ev.pts...)
+	dst.Radii = append(dst.Radii[:0], ev.radii...)
+	dst.I = dst.I[:0]
+	for _, p := range ev.pw {
+		dst.I = append(dst.I, level(p))
+	}
+	dst.Max = ev.maxLevel
+	return dst
+}

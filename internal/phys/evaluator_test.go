@@ -1,0 +1,213 @@
+package phys_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/oracle"
+	"repro/internal/phys"
+)
+
+func TestUnitsProperties(t *testing.T) {
+	m := phys.Default()
+	if got := m.Units(0, 1); got != 0 {
+		t.Fatalf("silent sender contributes %d units", got)
+	}
+	if got := m.Units(1, 0); got != phys.PairCap {
+		t.Fatalf("coincident pair: %d units, want PairCap", got)
+	}
+	// A sender exactly at distance r delivers exactly one threshold.
+	if got := m.Units(2, 4); got != phys.UnitScale {
+		t.Fatalf("boundary sender: %d units, want UnitScale", got)
+	}
+	// Strict containment dominates the threshold.
+	if got := m.Units(2, 3.9); got < phys.UnitScale {
+		t.Fatalf("covering sender: %d units, below UnitScale", got)
+	}
+	// Far field is exactly zero.
+	reach := m.Reach(1)
+	if got := m.Units(1, reach*reach*2); got != 0 {
+		t.Fatalf("far-field sender: %d units, want 0", got)
+	}
+	// Monotone in r at fixed distance.
+	prev := int64(-1)
+	for r := 0.1; r < 8; r += 0.1 {
+		u := m.Units(r, 2.25)
+		if u < prev {
+			t.Fatalf("Units not monotone in r at r=%v: %d < %d", r, u, prev)
+		}
+		prev = u
+	}
+	if b := m.TruncationBound(65); b != 64*math.Pow(4, -3) {
+		t.Fatalf("TruncationBound(65) = %v", b)
+	}
+}
+
+// zoo returns the paper's instance families at test-friendly sizes.
+func zoo(rng *rand.Rand) map[string][]geom.Point {
+	return map[string][]geom.Point{
+		"expchain":  gen.ExpChain(12, 1<<11),
+		"doubleexp": gen.DoubleExpChain(6),
+		"figure1":   gen.Figure1(rng, 24, 0.3),
+		"uniform":   gen.UniformSquare(rng, 40, 10),
+		"clustered": gen.Clustered(rng, 40, 4, 10, 0.5),
+		"highway":   gen.HighwayUniform(rng, 32, 50),
+	}
+}
+
+// TestZooExactness drives every incremental path on every zoo family
+// and requires bit-exact agreement with the naive O(n²) oracle: the
+// acceptance bar for the physical evaluator.
+func TestZooExactness(t *testing.T) {
+	m := phys.Default()
+	for name, pts := range zoo(rand.New(rand.NewSource(7))) {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			side := gen.Bounds(pts).Width() + 1
+
+			// Per-op SetRadius path vs BatchSet path vs naive.
+			radii := make([]float64, len(pts))
+			for u := range radii {
+				if rng.Intn(4) > 0 {
+					radii[u] = rng.Float64() * side / 4
+				}
+			}
+			if err := oracle.CheckPhysRadii(pts, radii, m); err != nil {
+				t.Fatal(err)
+			}
+
+			// Churn path: moves, removals, arrivals, speculative stacks.
+			d := oracle.NewDiffPhysEvaluator(pts, m)
+			d.BatchSet(radii, 0)
+			for step := 0; step < 60; step++ {
+				switch rng.Intn(6) {
+				case 0:
+					d.SetRadius(rng.Intn(d.N()), rng.Float64()*side/4)
+				case 1:
+					d.MovePoint(rng.Intn(d.N()), geom.Pt(rng.Float64()*side, rng.Float64()*side))
+				case 2:
+					if d.N() > 4 {
+						d.RemovePoint(rng.Intn(d.N()))
+					}
+				case 3:
+					d.AddPoint(geom.Pt(rng.Float64()*side, rng.Float64()*side))
+				case 4:
+					d.Snapshot()
+					d.SetRadius(rng.Intn(d.N()), rng.Float64()*side/2)
+					d.SetRadius(rng.Intn(d.N()), 0)
+					d.Restore()
+				default:
+					d.GrowTo(rng.Intn(d.N()), rng.Float64()*side/4)
+				}
+				if step%10 == 9 {
+					if err := d.Verify(); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+				}
+			}
+			if err := d.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestMaxRescanFallback forces the O(n) recount: several co-maximal
+// receivers whose shared senders all go quiet.
+func TestMaxRescanFallback(t *testing.T) {
+	// Two tight clusters; cluster A's senders cover everyone in A.
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(0.1, 0), geom.Pt(0, 0.1), geom.Pt(0.1, 0.1),
+		geom.Pt(50, 50), geom.Pt(50.1, 50),
+	}
+	ev := phys.NewEvaluator(pts, phys.Default())
+	for u := 0; u < 4; u++ {
+		ev.SetRadius(u, 1)
+	}
+	if ev.Max() < 3 {
+		t.Fatalf("cluster max level %d, want >= 3", ev.Max())
+	}
+	for u := 0; u < 4; u++ {
+		ev.SetRadius(u, 0)
+	}
+	if ev.Max() != 0 || ev.SumI() != 0 {
+		t.Fatalf("after silencing: max %d sum %d, want 0/0", ev.Max(), ev.SumI())
+	}
+	ev.SetRadius(4, 0.2)
+	if ev.I(5) < 1 {
+		t.Fatalf("cluster B receiver level %d, want >= 1", ev.I(5))
+	}
+	if ev.Max() != ev.I(5) {
+		t.Fatalf("max %d != I(5) %d after rescan", ev.Max(), ev.I(5))
+	}
+}
+
+func TestStructuralOpsPanicDuringSnapshot(t *testing.T) {
+	for name, op := range map[string]func(*phys.Evaluator){
+		"BatchSet":    func(ev *phys.Evaluator) { ev.BatchSet(make([]float64, ev.N()), 0) },
+		"AddPoint":    func(ev *phys.Evaluator) { ev.AddPoint(geom.Pt(1, 1)) },
+		"RemovePoint": func(ev *phys.Evaluator) { ev.RemovePoint(0) },
+		"MovePoint":   func(ev *phys.Evaluator) { ev.MovePoint(0, geom.Pt(1, 1)) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			ev := phys.NewEvaluator([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}, phys.Default())
+			ev.Snapshot()
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic during active snapshot", name)
+				}
+			}()
+			op(ev)
+		})
+	}
+}
+
+// TestScaleInvarianceExact pins the power-of-two exactness the laws
+// rely on: scaling coordinates and radii by 2^k leaves every quantized
+// pair contribution bit-identical.
+func TestScaleInvarianceExact(t *testing.T) {
+	m := phys.Default()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		r := rng.Float64() * 4
+		dx, dy := rng.Float64()*8, rng.Float64()*8
+		base := m.Units(r, geom.Pt(0, 0).Dist2(geom.Pt(dx, dy)))
+		for _, s := range []float64{0.125, 0.5, 2, 16, 1024} {
+			scaled := m.Units(r*s, geom.Pt(0, 0).Dist2(geom.Pt(dx*s, dy*s)))
+			if scaled != base {
+				t.Fatalf("Units changed under ×%v: %d → %d (r=%v d=(%v,%v))", s, base, scaled, r, dx, dy)
+			}
+		}
+	}
+}
+
+func TestExportStateAndReset(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0)}
+	ev := phys.NewEvaluator(pts, phys.Default())
+	ev.SetRadius(0, 2.5)
+	ev.SetRadius(1, 1)
+	st := ev.ExportState(nil)
+	if st.N() != 3 || st.Max != ev.Max() {
+		t.Fatalf("export: n=%d max=%d, want 3/%d", st.N(), st.Max, ev.Max())
+	}
+	for v := 0; v < 3; v++ {
+		if st.I[v] != ev.I(v) || st.Radii[v] != ev.Radius(v) {
+			t.Fatalf("export node %d: I=%d r=%v, want %d/%v", v, st.I[v], st.Radii[v], ev.I(v), ev.Radius(v))
+		}
+	}
+	ev.Reset()
+	if ev.Max() != 0 || ev.SumI() != 0 || ev.Radius(0) != 0 {
+		t.Fatal("Reset left residue")
+	}
+	// Post-reset mutations still agree with the oracle.
+	ev.SetRadius(2, 3)
+	want := oracle.PhysPower(pts, []float64{0, 0, 3}, ev.Model())
+	for v := range want {
+		if ev.Power(v) != want[v] {
+			t.Fatalf("post-reset pw(%d) = %d, want %d", v, ev.Power(v), want[v])
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package phys evaluates interference in the physical (SINR) model and
+// maintains it incrementally under the same mutation surface as
+// core.Evaluator, so the optimizers, the dynamic maintainer, and the
+// serving layer can run either measure through core.Measure.
+//
+// In the physical model a node transmitting with radius r uses power
+// P(r) = β·N·r^α (the least power that closes an SINR link of length r
+// against the noise floor N at threshold β), and a receiver at distance
+// d sees P(r)/d^α. Dividing by β·N makes the received power scale-free:
+//
+//	recv(r, d) = (r/d)^α   in units of β·N.
+//
+// The measure maintained here is the per-receiver sum of recv over all
+// other senders, truncated at the far-field cutoff d > F·r (senders
+// whose signal has decayed below F^{-α} ≈ 1/64 of the decode threshold
+// are ignored — Korman's bounded-radius regime). The cutoff is what
+// makes updates O(local): a radius change touches only the grid
+// neighborhood Within(u, F·max(r_old, r_new)), and the ignored tail is
+// bounded by n·F^{-α} per receiver (exposed as a gauge metric).
+//
+// Exactness. "Incremental agrees exactly with the naive O(n²) oracle"
+// is a hard requirement (recovery verification and replication both
+// re-derive state), but float sums are order-dependent. The evaluator
+// therefore quantizes each sender→receiver contribution once —
+// Units(r, d²), an int64 — and maintains integer sums. Integer adds
+// commute and cancel exactly, so any op order, any snapshot/restore
+// depth, and the naive oracle all land on bit-identical state. The
+// integer interference level of a receiver is its power sum in whole
+// multiples of the decode threshold: level(v) = pw(v)/UnitScale. A
+// sender whose disk strictly covers v (d² ≤ r²) contributes at least
+// UnitScale, so levels are the SINR analogue of the graph measure's
+// disk counts — comparable numbers, different physics.
+package phys
+
+import "math"
+
+const (
+	// LogUnitScale is the base-2 log of UnitScale.
+	LogUnitScale = 20
+	// UnitScale is the quantization of one decode threshold (β·N) of
+	// received power: a sender exactly at distance r contributes
+	// UnitScale units; integer level = pw >> LogUnitScale.
+	UnitScale = int64(1) << LogUnitScale
+	// PairCap bounds a single pair's quantized contribution (hit at
+	// d → 0). 2^40 units keeps sums of millions of capped pairs far
+	// from int64 overflow while still dominating every realistic sum.
+	PairCap = int64(1) << 40
+
+	// boundaryGrow mirrors geom's disk epsilon (1+1e-9 on the squared
+	// radius) so the far-field support set is exactly the set returned
+	// by geom.Grid.Within(p, F·r) — no boundary disagreements between
+	// the incremental path and the naive oracle.
+	boundaryGrow = 1 + 1e-9
+)
+
+// Model fixes the physical-layer constants. The zero value is not
+// valid; use Default (the single source of truth shared with
+// internal/sim's SINR collision mode).
+type Model struct {
+	PathLoss float64 // α, the path-loss exponent (> 2 in practice)
+	Beta     float64 // β, the SINR decode threshold
+	Noise    float64 // N, the ambient noise floor
+	FarField float64 // F, the cutoff multiple: senders beyond F·r are ignored
+}
+
+// Default returns the model used across the repo: α=3, β=2, N=1e-6
+// (matching internal/sim's SINR mode since PR 2) and a far-field
+// cutoff of 4 radii (a truncated signal is ≤ 4^-3 = 1/64 threshold).
+func Default() Model {
+	return Model{PathLoss: 3, Beta: 2, Noise: 1e-6, FarField: 4}
+}
+
+// TxPower is the transmit power that closes an SINR link of length r
+// against noise alone: P = β·N·r^α.
+func (m Model) TxPower(r float64) float64 {
+	return m.Beta * m.Noise * math.Pow(r, m.PathLoss)
+}
+
+// RecvFrac is the received power at distance d from a radius-r sender,
+// in units of the decode threshold β·N: (r/d)^α. Unquantized; the
+// evaluator path uses Units.
+func (m Model) RecvFrac(r, d float64) float64 {
+	return math.Pow(r/d, m.PathLoss)
+}
+
+// Reach is the far-field support radius of a radius-r sender.
+func (m Model) Reach(r float64) float64 { return m.FarField * r }
+
+// Units quantizes one sender→receiver contribution: the received power
+// of a radius-r sender at squared distance d2, in 1/UnitScale-ths of
+// the decode threshold, floored. Zero outside the far-field cutoff
+// (with the same boundary epsilon geom.Grid.Within applies, so the
+// support set and the grid query agree exactly); capped at PairCap for
+// coincident points. This is the only place power is computed — the
+// incremental evaluator and the naive oracle both call it with
+// identical float arguments, which is what makes them bit-identical.
+func (m Model) Units(r, d2 float64) int64 {
+	if r <= 0 {
+		return 0
+	}
+	reach := m.FarField * r
+	if d2 > reach*reach*boundaryGrow {
+		return 0
+	}
+	if d2 <= 0 {
+		return PairCap
+	}
+	u := float64(UnitScale) * math.Pow(r*r/d2, m.PathLoss/2)
+	if u >= float64(PairCap) {
+		return PairCap
+	}
+	return int64(u)
+}
+
+// TruncationBound is the worst-case power a single receiver could be
+// missing to the far-field cutoff, in decode-threshold units: each of
+// the n-1 ignored senders contributes < F^{-α}.
+func (m Model) TruncationBound(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return float64(n-1) * math.Pow(m.FarField, -m.PathLoss)
+}

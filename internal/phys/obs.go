@@ -1,0 +1,27 @@
+package phys
+
+import "repro/internal/obs"
+
+// Physical-evaluator metrics, mirroring internal/core's guard idiom:
+// every update site checks obs.On() first, so the disabled path is one
+// atomic load.
+var (
+	obsSetRadius = obs.Default().Counter("rim_phys_set_radius_total",
+		"Single-radius physical-model evaluator updates applied.")
+	obsReachNodes = obs.Default().Counter("rim_phys_reach_nodes_total",
+		"Nodes enumerated inside far-field disks during physical radius updates.")
+	obsBatchSets = obs.Default().Counter("rim_phys_batch_sets_total",
+		"Whole-vector BatchSet evaluations on physical-model evaluators.")
+	obsAddPoints = obs.Default().Counter("rim_phys_add_points_total",
+		"Dynamic point insertions into physical-model evaluators.")
+	obsRemovePoints = obs.Default().Counter("rim_phys_remove_points_total",
+		"Dynamic point removals from physical-model evaluators.")
+	obsMovePoints = obs.Default().Counter("rim_phys_move_points_total",
+		"Dynamic in-place point relocations in physical-model evaluators.")
+	obsMaxRescans = obs.Default().Counter("rim_phys_max_rescans_total",
+		"O(n) recount fallbacks of the max-level tracker (every holder of the maximum decreased).")
+	obsMaxLevel = obs.Default().Gauge("rim_phys_max_level",
+		"Maximum per-receiver SINR interference level last maintained by any physical evaluator.")
+	obsTruncBound = obs.Default().Gauge("rim_phys_truncation_bound",
+		"Worst-case per-receiver received power ignored beyond the far-field cutoff, in decode-threshold units, for the largest instance observed.")
+)

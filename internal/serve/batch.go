@@ -240,14 +240,38 @@ func appendOp(dst []byte, mu Mutation) []byte {
 	return append(dst, "unknown"...)
 }
 
-// traceHeader renders the instance preamble.
+// traceHeader renders the instance preamble for a graph-measure
+// session (the historical format, byte-identical to pre-measure rimd).
 func traceHeader(pts []geom.Point) []string {
+	return traceHeaderMeasure(pts, MeasureGraph)
+}
+
+// traceHeaderMeasure renders the instance preamble. Non-default
+// measures append a measure= token to the header line; the graph
+// default stays tokenless so existing traces, WALs, and their parsers
+// round-trip unchanged.
+func traceHeaderMeasure(pts []geom.Point, measure string) []string {
 	lines := make([]string, 0, len(pts)+1)
-	lines = append(lines, fmt.Sprintf("rimd-trace v1 n=%d", len(pts)))
+	head := fmt.Sprintf("rimd-trace v1 n=%d", len(pts))
+	if measure != "" && measure != MeasureGraph {
+		head += " measure=" + measure
+	}
+	lines = append(lines, head)
 	for i, p := range pts {
 		lines = append(lines, fmt.Sprintf("p i=%d x=%s y=%s", i, ftoa(p.X), ftoa(p.Y)))
 	}
 	return lines
+}
+
+// headerMeasure extracts the measure token from a rimd-trace header
+// line, defaulting to graph for legacy headers.
+func headerMeasure(header string) string {
+	for _, tok := range strings.Fields(header) {
+		if v, ok := strings.CutPrefix(tok, "measure="); ok {
+			return v
+		}
+	}
+	return MeasureGraph
 }
 
 // ErrTruncated reports trace text that does not end in a newline: the

@@ -58,26 +58,32 @@ func (m *Manager) walOK() bool {
 }
 
 // createPayload renders the create-record payload: the same instance
-// preamble a deterministic trace starts with.
-func createPayload(pts []geom.Point) []byte {
+// preamble a deterministic trace starts with, measure token included —
+// recovery and replication must rebuild the session under the same
+// engine, and graph-measure payloads stay byte-identical to pre-measure
+// rimd.
+func createPayload(pts []geom.Point, measure string) []byte {
 	var sb strings.Builder
-	for _, l := range traceHeader(pts) {
+	for _, l := range traceHeaderMeasure(pts, measure) {
 		sb.WriteString(l)
 		sb.WriteByte('\n')
 	}
 	return []byte(sb.String())
 }
 
-// parseCreatePayload inverts createPayload.
-func parseCreatePayload(payload []byte) ([]geom.Point, error) {
-	pts, ops, err := ParseTrace(string(payload))
+// parseCreatePayload inverts createPayload, returning the session's
+// measure (graph for legacy records without the token).
+func parseCreatePayload(payload []byte) ([]geom.Point, string, error) {
+	text := string(payload)
+	pts, ops, err := ParseTrace(text)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if len(ops) != 0 {
-		return nil, fmt.Errorf("serve: create record carries %d mutation lines", len(ops))
+		return nil, "", fmt.Errorf("serve: create record carries %d mutation lines", len(ops))
 	}
-	return pts, nil
+	header, _, _ := strings.Cut(text, "\n")
+	return pts, headerMeasure(header), nil
 }
 
 // encodeBatch renders one formatOp line per mutation, appending onto
@@ -228,10 +234,11 @@ func (s *Session) logBatch(batch []Mutation, tc *obs.TraceContext, batchSpan uin
 
 // sessState is the decoded form of a checkpoint payload.
 type sessState struct {
-	seq      uint64
-	nextID   int64
-	idOf     []int64
-	rs       dynamic.RestoreState
+	seq     uint64
+	nextID  int64
+	measure string
+	idOf    []int64
+	rs      dynamic.RestoreState
 }
 
 // encodeCheckpoint serializes the session's full behavioral state. Owner
@@ -239,8 +246,14 @@ type sessState struct {
 func (s *Session) encodeCheckpoint() (seq uint64, payload []byte) {
 	st := s.mt.Snapshot()
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "rimsess v1 seq=%d next=%d baseline=%d events=%d rebuilds=%d n=%d m=%d\n",
+	fmt.Fprintf(&sb, "rimsess v1 seq=%d next=%d baseline=%d events=%d rebuilds=%d n=%d m=%d",
 		s.seq, s.loadNextID(), st.Baseline, st.Events, st.Rebuilds, len(st.Points), len(st.Edges))
+	if s.measure != "" && s.measure != MeasureGraph {
+		// Non-default measure only: graph checkpoints stay byte-identical
+		// to the pre-measure format.
+		fmt.Fprintf(&sb, " measure=%s", s.measure)
+	}
+	sb.WriteByte('\n')
 	for i, p := range st.Points {
 		fmt.Fprintf(&sb, "p id=%d x=%s y=%s r=%s\n", s.idOf[i], ftoa(p.X), ftoa(p.Y), ftoa(st.Radii[i]))
 	}
@@ -278,6 +291,13 @@ func decodeCheckpoint(payload []byte) (sessState, error) {
 				return st, fmt.Errorf("serve: checkpoint seq: %w", err)
 			}
 			st.seq = u
+			continue
+		}
+		if k == "measure" {
+			if _, err := normalizeMeasure(v); err != nil {
+				return st, fmt.Errorf("serve: checkpoint header: %w", err)
+			}
+			st.measure = v
 			continue
 		}
 		i, err := strconv.ParseInt(v, 10, 64)

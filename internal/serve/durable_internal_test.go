@@ -5,12 +5,14 @@ package serve
 // decoder must reject damage instead of guessing.
 
 import (
+	"bytes"
 	"context"
 	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/geom"
+	"repro/internal/store"
 )
 
 func TestBatchPayloadRoundTrip(t *testing.T) {
@@ -38,15 +40,56 @@ func TestBatchPayloadRoundTrip(t *testing.T) {
 
 func TestCreatePayloadRoundTrip(t *testing.T) {
 	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1.5, -2.25), geom.Pt(0.3333333333333333, 7)}
-	got, err := parseCreatePayload(createPayload(pts))
+	got, measure, err := parseCreatePayload(createPayload(pts, MeasureGraph))
 	if err != nil {
 		t.Fatalf("parseCreatePayload: %v", err)
 	}
 	if !reflect.DeepEqual(got, pts) {
 		t.Fatalf("round trip\n got %v\nwant %v", got, pts)
 	}
-	if _, err := parseCreatePayload([]byte("rimd-trace v1 n=0\nm seq=1 remove id=0 n=0 max=0\n")); err == nil {
+	if measure != MeasureGraph {
+		t.Fatalf("graph payload decoded as measure %q", measure)
+	}
+	// Graph payloads must stay byte-identical to the pre-measure format:
+	// no measure token in the header line.
+	if bytes.Contains(createPayload(pts, MeasureGraph), []byte("measure")) {
+		t.Fatal("graph create payload grew a measure token")
+	}
+	got2, measure2, err := parseCreatePayload(createPayload(pts, MeasureSinr))
+	if err != nil {
+		t.Fatalf("parseCreatePayload sinr: %v", err)
+	}
+	if !reflect.DeepEqual(got2, pts) || measure2 != MeasureSinr {
+		t.Fatalf("sinr round trip: measure %q", measure2)
+	}
+	if _, _, err := parseCreatePayload([]byte("rimd-trace v1 n=0\nm seq=1 remove id=0 n=0 max=0\n")); err == nil {
 		t.Fatal("create payload with mutation lines accepted")
+	}
+}
+
+// TestReplicatedCreateCarriesMeasure pins the replication path: a
+// follower applying a leader's create record must build the session
+// under the leader's measure, and redelivery stays an idempotent skip.
+func TestReplicatedCreateCarriesMeasure(t *testing.T) {
+	m := NewManager(Config{Shards: 1, NoCoalesce: true})
+	defer m.Close(context.Background())
+	rec := store.Record{
+		Kind:    store.RecordCreate,
+		Session: "r1",
+		Payload: createPayload([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}, MeasureSinr),
+	}
+	if err := m.ApplyRecord(rec); err != nil {
+		t.Fatalf("ApplyRecord: %v", err)
+	}
+	s, ok := m.Session("r1")
+	if !ok {
+		t.Fatal("replicated session missing")
+	}
+	if s.Measure() != MeasureSinr {
+		t.Fatalf("replicated Measure()=%q, want sinr", s.Measure())
+	}
+	if err := m.ApplyRecord(rec); err != nil {
+		t.Fatalf("redelivered create: %v", err)
 	}
 }
 

@@ -13,13 +13,16 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata/metrics.golden")
 
-// TestMetricsGolden locks the /metrics exposition format produced by
-// Manager.WriteMetrics: family order, metric names, HELP/TYPE lines, and
-// label structure must not drift (dashboards and scrape configs depend
-// on them). Sample values are timing- and load-dependent, so every value
-// is normalized to V before comparison — the golden file locks the
-// skeleton, not the numbers. Refresh with `go test ./internal/serve/
-// -run Golden -update` after an intentional format change.
+// TestMetricsGolden locks the /metrics exposition format: the legacy
+// rimd_* block from Manager.WriteMetrics followed by the shared obs
+// registry families (rim_core_*, rim_dynamic_*, rim_phys_*, …), composed
+// exactly as the HTTP handler composes them. Family order, metric names,
+// HELP/TYPE lines, and label structure must not drift (dashboards and
+// scrape configs depend on them). Sample values are timing- and
+// load-dependent, so every value is normalized to V before comparison —
+// the golden file locks the skeleton, not the numbers. Refresh with
+// `go test ./internal/serve/ -run Golden -update` after an intentional
+// format change.
 func TestMetricsGolden(t *testing.T) {
 	m := NewManager(Config{Shards: 1, QueueCap: 16, BatchCap: 8})
 	defer m.Close(context.Background())
@@ -39,6 +42,7 @@ func TestMetricsGolden(t *testing.T) {
 
 	var sb strings.Builder
 	m.WriteMetrics(&sb)
+	obs.Default().WritePrometheus(&sb)
 	got := normalizeExposition(sb.String())
 
 	const path = "testdata/metrics.golden"

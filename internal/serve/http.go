@@ -43,6 +43,9 @@ type createReq struct {
 	N    int     `json:"n,omitempty"`
 	Seed int64   `json:"seed,omitempty"`
 	Side float64 `json:"side,omitempty"` // 0 = sqrt(n)/5
+	// Measure picks the interference measure: "graph" (default) or
+	// "sinr". Empty falls back to the server's -measure setting.
+	Measure string `json:"measure,omitempty"`
 }
 
 type opJSON struct {
@@ -70,6 +73,9 @@ type summaryJSON struct {
 	Rebuilds int     `json:"rebuilds"`
 	AgeMS    float64 `json:"snapshot_age_ms"`
 	Queue    int     `json:"queue_depth"`
+	// Measure is emitted only for non-graph sessions, keeping graph
+	// summaries byte-identical to the pre-measure format.
+	Measure string `json:"measure,omitempty"`
 }
 
 type errJSON struct {
@@ -172,7 +178,7 @@ func (h *api) create(w http.ResponseWriter, r *http.Request) {
 		}
 		pts = gen.UniformSquare(rand.New(rand.NewSource(req.Seed)), req.N, side)
 	}
-	s, err := h.m.CreateSession(req.ID, pts)
+	s, err := h.m.CreateSessionMeasure(req.ID, pts, req.Measure)
 	switch {
 	case errors.Is(err, ErrSessionExists):
 		writeErr(w, http.StatusConflict, err.Error())
@@ -197,12 +203,16 @@ func (h *api) summary(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	head := s.Head()
-	writeJSON(w, http.StatusOK, summaryJSON{
+	sj := summaryJSON{
 		ID: s.ID(), N: head.N, Max: head.Max, Avg: head.Avg,
 		Edges: head.Edges, Seq: head.Seq, Events: head.Events,
 		Rebuilds: head.Rebuilds, AgeMS: float64(head.Age()) / float64(time.Millisecond),
 		Queue: s.QueueDepth(),
-	})
+	}
+	if mea := s.Measure(); mea != MeasureGraph {
+		sj.Measure = mea
+	}
+	writeJSON(w, http.StatusOK, sj)
 }
 
 func (h *api) drop(w http.ResponseWriter, r *http.Request) {

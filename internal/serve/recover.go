@@ -6,9 +6,11 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/dynamic"
 	"repro/internal/obs"
 	"repro/internal/oracle"
+	"repro/internal/phys"
 	"repro/internal/sim"
 	"repro/internal/store"
 )
@@ -17,10 +19,10 @@ import (
 // numbers rimd logs as its recovery manifest (they also land in the
 // rim_store_* metrics, and from there in the run manifest).
 type RecoveryStats struct {
-	Sessions           int      // sessions alive after recovery
-	FromCheckpoint     int      // restored from a checkpoint file
-	FromLog            int      // rebuilt from their create record alone
-	DroppedSessions    int      // sessions whose log ends in a drop record
+	Sessions        int // sessions alive after recovery
+	FromCheckpoint  int // restored from a checkpoint file
+	FromLog         int // rebuilt from their create record alone
+	DroppedSessions int // sessions whose log ends in a drop record
 	// InterruptedDrops counts sessions recovered as dropped because their
 	// batch records had neither a create record nor a checkpoint — the
 	// signature of a DropSession interrupted by the crash (checkpoint
@@ -28,8 +30,8 @@ type RecoveryStats struct {
 	// durable). Finishing the drop is the only safe reading. Unsafe manual
 	// segment deletion produces the same signature and also lands here —
 	// visibly, in this counter — rather than failing the boot.
-	InterruptedDrops  int
-	ReplayedBatches   int // WAL batch records replayed
+	InterruptedDrops   int
+	ReplayedBatches    int      // WAL batch records replayed
 	ReplayedMutations  int      // mutations inside those batches
 	TornTail           bool     // the WAL ended mid-record (healed)
 	TornBytes          int64    // bytes the torn tail dropped
@@ -154,11 +156,11 @@ func (m *Manager) Recover(verify bool) (RecoveryStats, error) {
 			}
 			rs.FromCheckpoint++
 		case inc.created:
-			pts, perr := parseCreatePayload(inc.createPayload)
+			pts, measure, perr := parseCreatePayload(inc.createPayload)
 			if perr != nil {
 				return rs, fmt.Errorf("serve: recover %q: create record: %w", id, perr)
 			}
-			s = newSession(m, id, pts)
+			s = newSession(m, id, pts, measure)
 			m.register(id, s)
 			rs.FromLog++
 		default:
@@ -221,10 +223,16 @@ func (m *Manager) Recover(verify bool) (RecoveryStats, error) {
 }
 
 // verifySession recomputes the recovered interference vector with the
-// naive O(n²) oracle and compares it to the engine's maintained state.
+// naive O(n²) oracle for the session's measure and compares it to the
+// engine's maintained state.
 func verifySession(s *Session) error {
 	st := s.mt.Snapshot()
-	iv := oracle.Interference(st.Points, st.Radii)
+	var iv core.Vector
+	if s.measure == MeasureSinr {
+		iv = oracle.PhysLevels(st.Points, st.Radii, phys.Default())
+	} else {
+		iv = oracle.Interference(st.Points, st.Radii)
+	}
 	snap := s.Snapshot()
 	if max := iv.Max(); max != snap.Max {
 		return fmt.Errorf("oracle cross-check: recovered max %d, oracle %d", snap.Max, max)
@@ -244,7 +252,11 @@ func (m *Manager) restoreSession(id string, st sessState) (*Session, error) {
 	if len(st.idOf) != len(st.rs.Points) {
 		return nil, fmt.Errorf("checkpoint carries %d ids for %d points", len(st.idOf), len(st.rs.Points))
 	}
-	mt, err := dynamic.Restore(st.rs, m.cfg.RebuildFactor, m.cfg.Engine)
+	measure, err := normalizeMeasure(st.measure)
+	if err != nil {
+		return nil, err
+	}
+	mt, err := dynamic.Restore(st.rs, m.cfg.RebuildFactor, m.engineFor(measure))
 	if err != nil {
 		return nil, err
 	}
@@ -253,6 +265,7 @@ func (m *Manager) restoreSession(id string, st sessState) (*Session, error) {
 		mgr:     m,
 		sh:      m.shardFor(id),
 		det:     m.cfg.Deterministic,
+		measure: measure,
 		flShard: flightShardOf(id),
 		nextID:  st.nextID,
 		idOf:    append([]int64(nil), st.idOf...),
@@ -266,7 +279,7 @@ func (m *Manager) restoreSession(id string, st sessState) (*Session, error) {
 		s.idxOf[ext] = i
 	}
 	if s.det {
-		s.header = traceHeader(st.rs.Points)
+		s.header = traceHeaderMeasure(st.rs.Points, measure)
 		s.header = append(s.header, fmt.Sprintf("# restored from checkpoint at seq=%d; trace is not replayable from zero", st.seq))
 		s.ops = &sim.TraceBuffer{Cap: m.cfg.TraceCap}
 	}

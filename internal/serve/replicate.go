@@ -40,11 +40,11 @@ var ErrReplGap = errors.New("serve: replicated batch leaves a seq gap")
 func (m *Manager) ApplyRecord(rec store.Record) error {
 	switch rec.Kind {
 	case store.RecordCreate:
-		pts, err := parseCreatePayload(rec.Payload)
+		pts, measure, err := parseCreatePayload(rec.Payload)
 		if err != nil {
 			return fmt.Errorf("serve: replicated create %q: %w", rec.Session, err)
 		}
-		if _, err := m.createSession(rec.Session, pts); err != nil {
+		if _, err := m.createSession(rec.Session, pts, measure); err != nil {
 			if errors.Is(err, ErrSessionExists) {
 				return nil // redelivery
 			}

@@ -98,10 +98,19 @@ type Config struct {
 	// bounding box, so one far-flung coordinate would balloon memory — the
 	// service rejects such instances and mutations up front.
 	MaxCoord float64
-	// Engine overrides the evaluator engine factory (nil selects the
-	// production core.Evaluator). Tests inject oracle.NewDiffEvaluator
-	// here to shadow-check a whole serving pipeline.
+	// Engine overrides the evaluator engine factory for graph-measure
+	// sessions (nil selects the production core.Evaluator). Tests inject
+	// oracle.NewDiffEvaluator here to shadow-check a whole serving
+	// pipeline.
 	Engine dynamic.EngineFactory
+	// SinrEngine is Engine's counterpart for sinr-measure sessions (nil
+	// selects the production phys.Evaluator; tests inject the oracle's
+	// DiffPhysEvaluator).
+	SinrEngine dynamic.EngineFactory
+	// DefaultMeasure is the measure CreateSession assigns when the
+	// caller does not pick one: MeasureGraph or MeasureSinr ("" means
+	// graph). rimd's -measure flag lands here.
+	DefaultMeasure string
 	// BeforeBatch and AfterBatch are debug/verification hooks called on
 	// the owner goroutine around every batch (nil to disable). AfterBatch
 	// receives the session's engine — a replay harness casts it to the
@@ -213,17 +222,32 @@ func (m *Manager) shardFor(id string) *shard {
 // the session is readable immediately (its initial snapshot is published
 // before return) and writable through Apply.
 func (m *Manager) CreateSession(id string, pts []geom.Point) (*Session, error) {
+	return m.CreateSessionMeasure(id, pts, m.cfg.DefaultMeasure)
+}
+
+// CreateSessionMeasure is CreateSession with an explicit interference
+// measure (MeasureGraph, MeasureSinr, or "" for the configured
+// default). The measure is fixed for the session's lifetime and
+// recorded durably with it.
+func (m *Manager) CreateSessionMeasure(id string, pts []geom.Point, measure string) (*Session, error) {
 	if m.readOnly.Load() {
 		return nil, ErrReadOnly
 	}
-	return m.createSession(id, pts)
+	if measure == "" {
+		measure = m.cfg.DefaultMeasure
+	}
+	return m.createSession(id, pts, measure)
 }
 
-// createSession is CreateSession without the read-only gate — the path
-// replicated create records take on a follower.
-func (m *Manager) createSession(id string, pts []geom.Point) (*Session, error) {
+// createSession is CreateSessionMeasure without the read-only gate —
+// the path replicated create records take on a follower.
+func (m *Manager) createSession(id string, pts []geom.Point, measure string) (*Session, error) {
 	if id == "" {
 		return nil, fmt.Errorf("serve: empty session id")
+	}
+	measure, err := normalizeMeasure(measure)
+	if err != nil {
+		return nil, err
 	}
 	for i, p := range pts {
 		if err := checkCoord(p.X, p.Y, m.cfg.MaxCoord); err != nil {
@@ -244,7 +268,7 @@ func (m *Manager) createSession(id string, pts []geom.Point) (*Session, error) {
 	m.sessions[id] = nil
 	m.mu.Unlock()
 
-	s := newSession(m, id, pts)
+	s := newSession(m, id, pts, measure)
 
 	// The create record and the registration are one critical section
 	// with the checkpoint barrier's rotate-and-list step: either this
@@ -253,7 +277,7 @@ func (m *Manager) createSession(id string, pts []geom.Point) (*Session, error) {
 	// record lands in the post-rotation segment and survives the prune.
 	m.ckptMu.Lock()
 	if m.walOK() {
-		rec := store.Record{Kind: store.RecordCreate, Session: id, Payload: createPayload(pts)}
+		rec := store.Record{Kind: store.RecordCreate, Session: id, Payload: createPayload(pts, measure)}
 		if err := m.cfg.Store.Append(rec); err != nil {
 			m.walFail(err)
 		}

@@ -25,14 +25,15 @@ type Session struct {
 	mgr     *Manager
 	sh      *shard
 	det     bool
+	measure string // interference measure (MeasureGraph/MeasureSinr), fixed at creation
 	flShard uint64 // flight-recorder shard (FNV of id), fixed at creation
 
 	mu        sync.Mutex
-	cond      *sync.Cond  // signaled when the queue fully drains
+	cond      *sync.Cond // signaled when the queue fully drains
 	queue     []Mutation
-	bounds    []int // pinned batch sizes (ApplyBatch); runBatch drains one per entry
-	scheduled bool        // in the shard's runq or mid-batch
-	closed    atomic.Bool // set under mu; read lock-free by Closed
+	bounds    []int            // pinned batch sizes (ApplyBatch); runBatch drains one per entry
+	scheduled bool             // in the shard's runq or mid-batch
+	closed    atomic.Bool      // set under mu; read lock-free by Closed
 	dropped   bool             // DropSession (vs. manager drain): stop WAL logging
 	nolog     bool             // recovery replay: batches are already in the WAL
 	ckptW     []chan ckptReply // checkpoint waiters served between batches
@@ -79,12 +80,13 @@ func flightShardOf(id string) uint64 {
 // traces) can trail while nobody flushes.
 const fullSnapshotEvery = 64
 
-func newSession(m *Manager, id string, pts []geom.Point) *Session {
+func newSession(m *Manager, id string, pts []geom.Point, measure string) *Session {
 	s := &Session{
 		id:      id,
 		mgr:     m,
 		sh:      m.shardFor(id),
 		det:     m.cfg.Deterministic,
+		measure: measure,
 		flShard: flightShardOf(id),
 		nextID:  int64(len(pts)),
 		idOf:    make([]int64, len(pts)),
@@ -96,10 +98,10 @@ func newSession(m *Manager, id string, pts []geom.Point) *Session {
 		s.idxOf[int64(i)] = i
 	}
 	if s.det {
-		s.header = traceHeader(pts)
+		s.header = traceHeaderMeasure(pts, measure)
 		s.ops = &sim.TraceBuffer{Cap: m.cfg.TraceCap}
 	}
-	s.mt = dynamic.NewWithEngine(pts, m.cfg.RebuildFactor, m.cfg.Engine)
+	s.mt = dynamic.NewWithEngine(pts, m.cfg.RebuildFactor, m.engineFor(measure))
 	s.initHooks()
 	s.publish()
 	return s
@@ -129,6 +131,10 @@ func (s *Session) initHooks() {
 
 // ID returns the session's identifier.
 func (s *Session) ID() string { return s.id }
+
+// Measure returns the interference measure the session was created
+// under (MeasureGraph or MeasureSinr); immutable.
+func (s *Session) Measure() string { return s.measure }
 
 // Snapshot returns the latest published full state — one atomic load,
 // never blocking the writer. The result is immutable and always

@@ -1,6 +1,10 @@
 package sim
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/phys"
+)
 
 // This file adds the physical (SINR) reception model as an alternative to
 // the paper's protocol (disk) model, so experiments can ask how well the
@@ -34,16 +38,26 @@ type PhysicalConfig struct {
 	Noise float64
 }
 
-// DefaultPhysical returns a standard parameterization (α = 3, β = 2,
-// unit-less noise floor).
+// DefaultPhysical returns the standard parameterization (α = 3, β = 2,
+// unit-less noise floor) — the same constants phys.Default() uses, so
+// the simulator's reception model and the phys interference measure
+// describe one physical layer.
 func DefaultPhysical() PhysicalConfig {
-	return PhysicalConfig{Enabled: true, PathLoss: 3, Beta: 2, Noise: 1e-6}
+	m := phys.Default()
+	return PhysicalConfig{Enabled: true, PathLoss: m.PathLoss, Beta: m.Beta, Noise: m.Noise}
+}
+
+// model views the reception parameters as a phys.Model (the simulator
+// has no far-field cutoff: reception sums interference network-wide).
+func (pc PhysicalConfig) model() phys.Model {
+	return phys.Model{PathLoss: pc.PathLoss, Beta: pc.Beta, Noise: pc.Noise}
 }
 
 // txPower returns P_u for a node with transmission radius r under the
-// physical configuration.
+// physical configuration. Delegates to phys.Model.TxPower so the two
+// packages cannot drift.
 func (pc PhysicalConfig) txPower(r float64) float64 {
-	return pc.Beta * pc.Noise * math.Pow(r, pc.PathLoss)
+	return pc.model().TxPower(r)
 }
 
 // sinrOK reports whether the transmission u→v is decodable this slot
